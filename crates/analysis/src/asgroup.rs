@@ -1,0 +1,492 @@
+//! AS-level traffic splits: hypergiants vs. the rest (Fig. 4), remote-work
+//! AS grouping (§3.4), and the per-AS residential-shift scatter (Fig. 6).
+
+use lockdown_flow::record::FlowRecord;
+use lockdown_flow::time::Date;
+use lockdown_scenario::calendar::day_type;
+use lockdown_topology::asn::{Asn, Region};
+use lockdown_topology::hypergiants::is_hypergiant;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Fig. 4's four time buckets: workday/weekend × working hours
+/// (09:00–16:59) / evening (17:00–24:00).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DayPart {
+    /// Workday 09:00–16:59.
+    WorkdayWork,
+    /// Workday 17:00–24:00.
+    WorkdayEvening,
+    /// Weekend 09:00–16:59.
+    WeekendWork,
+    /// Weekend 17:00–24:00.
+    WeekendEvening,
+}
+
+impl DayPart {
+    /// All four buckets.
+    pub const ALL: [DayPart; 4] = [
+        DayPart::WorkdayWork,
+        DayPart::WorkdayEvening,
+        DayPart::WeekendWork,
+        DayPart::WeekendEvening,
+    ];
+
+    /// Classify a (date, hour); `None` outside the two windows.
+    pub fn of(date: Date, hour: u8, region: Region) -> Option<DayPart> {
+        let weekendish = day_type(date, region).is_weekend_like();
+        let work = (9..17).contains(&hour);
+        let evening = (17..24).contains(&hour);
+        match (weekendish, work, evening) {
+            (false, true, _) => Some(DayPart::WorkdayWork),
+            (false, _, true) => Some(DayPart::WorkdayEvening),
+            (true, true, _) => Some(DayPart::WeekendWork),
+            (true, _, true) => Some(DayPart::WeekendEvening),
+            _ => None,
+        }
+    }
+
+    /// Figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DayPart::WorkdayWork => "Workday: 09:00-16:59",
+            DayPart::WorkdayEvening => "Workday: 17:00-24:00",
+            DayPart::WeekendWork => "Weekend: 09:00-16:59",
+            DayPart::WeekendEvening => "Weekend: 17:00-24:00",
+        }
+    }
+}
+
+/// Streaming accumulator for the Fig. 4 hypergiant/other split:
+/// bytes per (ISO week, day part, hypergiant?), normalized per
+/// contributing day — Fig. 4 plots *daily* traffic growth, and weeks with
+/// holidays contribute extra weekend-like days that would otherwise skew
+/// weekly sums.
+#[derive(Debug, Clone, Default)]
+pub struct HypergiantSplit {
+    bins: BTreeMap<(u8, DayPart, bool), u64>,
+    days: BTreeMap<(u8, DayPart), HashSet<i64>>,
+}
+
+impl HypergiantSplit {
+    /// An empty accumulator.
+    pub fn new() -> HypergiantSplit {
+        HypergiantSplit::default()
+    }
+
+    /// Add one flow observed at a vantage point in `region`. The flow's
+    /// content side is whichever endpoint is not the local eyeball; the
+    /// caller passes the eyeball ASN to exclude.
+    pub fn add(&mut self, record: &FlowRecord, region: Region, eyeball_asn: Asn) {
+        let date = record.start.date();
+        let hour = record.start.hour();
+        let Some(part) = DayPart::of(date, hour, region) else {
+            return;
+        };
+        let (_, week) = date.iso_week();
+        let content_asn = if record.src_as == eyeball_asn.0 {
+            Asn(record.dst_as)
+        } else {
+            Asn(record.src_as)
+        };
+        let hg = is_hypergiant(content_asn);
+        *self.bins.entry((week, part, hg)).or_insert(0) += record.bytes;
+        self.days
+            .entry((week, part))
+            .or_default()
+            .insert(date.day_number());
+    }
+
+    /// Total bytes for (week, part, hypergiant?).
+    pub fn get(&self, week: u8, part: DayPart, hypergiant: bool) -> u64 {
+        self.bins.get(&(week, part, hypergiant)).copied().unwrap_or(0)
+    }
+
+    /// Mean *daily* bytes for (week, part, hypergiant?) — the unit Fig. 4
+    /// plots.
+    pub fn mean_daily(&self, week: u8, part: DayPart, hypergiant: bool) -> f64 {
+        let days = self.days.get(&(week, part)).map(HashSet::len).unwrap_or(0);
+        if days == 0 {
+            0.0
+        } else {
+            self.get(week, part, hypergiant) as f64 / days as f64
+        }
+    }
+
+    /// Growth series over weeks for one group and day part, normalized by
+    /// `base_week`'s value. Weeks with no traffic yield `None` entries.
+    pub fn growth_series(
+        &self,
+        part: DayPart,
+        hypergiant: bool,
+        weeks: impl IntoIterator<Item = u8>,
+        base_week: u8,
+    ) -> Vec<Option<f64>> {
+        let base = self.mean_daily(base_week, part, hypergiant);
+        weeks
+            .into_iter()
+            .map(|w| {
+                let v = self.mean_daily(w, part, hypergiant);
+                if base == 0.0 || v == 0.0 {
+                    None
+                } else {
+                    Some(v / base)
+                }
+            })
+            .collect()
+    }
+}
+
+/// §3.4's workday/weekend-ratio grouping of ASes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RatioGroup {
+    /// Traffic dominated by workdays (candidate remote-work AS).
+    WorkdayDominated,
+    /// Roughly balanced.
+    Balanced,
+    /// Weekend-dominated (entertainment-leaning).
+    WeekendDominated,
+}
+
+/// Per-AS byte totals split by workday/weekend.
+#[derive(Debug, Clone, Default)]
+pub struct AsDayTotals {
+    totals: HashMap<u32, (u64, u64)>, // (workday, weekend)
+    days_seen: (HashSet<i64>, HashSet<i64>),
+    region: Option<Region>,
+}
+
+impl AsDayTotals {
+    /// An empty accumulator for a region's calendar.
+    pub fn new(region: Region) -> AsDayTotals {
+        AsDayTotals {
+            region: Some(region),
+            ..AsDayTotals::default()
+        }
+    }
+
+    /// Add one flow, attributing bytes to both endpoint ASes (an AS's
+    /// traffic is what it sends plus what it receives).
+    pub fn add(&mut self, record: &FlowRecord) {
+        let region = self.region.expect("constructed via new()");
+        let date = record.start.date();
+        let weekend = day_type(date, region).is_weekend_like();
+        for asn in [record.src_as, record.dst_as] {
+            if asn == 0 {
+                continue;
+            }
+            let entry = self.totals.entry(asn).or_insert((0, 0));
+            if weekend {
+                entry.1 += record.bytes;
+            } else {
+                entry.0 += record.bytes;
+            }
+        }
+        if weekend {
+            self.days_seen.1.insert(date.day_number());
+        } else {
+            self.days_seen.0.insert(date.day_number());
+        }
+    }
+
+    /// Group an AS by its *per-day* workday/weekend ratio. `None` if the
+    /// AS was not observed (or one class of days is absent in the window).
+    pub fn group_of(&self, asn: Asn) -> Option<RatioGroup> {
+        let (wd_bytes, we_bytes) = self.totals.get(&asn.0).copied()?;
+        let wd_days = self.days_seen.0.len() as f64;
+        let we_days = self.days_seen.1.len() as f64;
+        if wd_days == 0.0 || we_days == 0.0 {
+            return None;
+        }
+        let wd_rate = wd_bytes as f64 / wd_days;
+        let we_rate = we_bytes as f64 / we_days;
+        if we_rate == 0.0 && wd_rate == 0.0 {
+            return None;
+        }
+        let ratio = if we_rate == 0.0 {
+            f64::INFINITY
+        } else {
+            wd_rate / we_rate
+        };
+        Some(if ratio > 1.3 {
+            RatioGroup::WorkdayDominated
+        } else if ratio < 0.8 {
+            RatioGroup::WeekendDominated
+        } else {
+            RatioGroup::Balanced
+        })
+    }
+
+    /// All ASes in a group.
+    pub fn in_group(&self, group: RatioGroup) -> Vec<Asn> {
+        let mut out: Vec<Asn> = self
+            .totals
+            .keys()
+            .map(|&a| Asn(a))
+            .filter(|&a| self.group_of(a) == Some(group))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Mean daily bytes of an AS across the whole window.
+    pub fn mean_daily_bytes(&self, asn: Asn) -> f64 {
+        let Some(&(wd, we)) = self.totals.get(&asn.0) else {
+            return 0.0;
+        };
+        let days = (self.days_seen.0.len() + self.days_seen.1.len()).max(1) as f64;
+        (wd + we) as f64 / days
+    }
+}
+
+/// One point of the Fig. 6 scatter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResidentialShift {
+    /// The AS.
+    pub asn: Asn,
+    /// Normalized difference in mean total volume (Mar − Feb) in `[-1, 1]`.
+    pub total_delta: f64,
+    /// Normalized difference in mean residential (eyeball-facing) volume.
+    pub residential_delta: f64,
+}
+
+/// Compute the Fig. 6 scatter: per AS, the normalized change in mean daily
+/// total volume vs. the change in mean daily eyeball-facing volume between
+/// a base window and a lockdown window. Normalization is symmetric:
+/// `(b - a) / max(a, b)`, which lands in `[-1, 1]` like the paper's axes.
+pub fn residential_shift(
+    base: &AsDayTotals,
+    lockdown: &AsDayTotals,
+    base_res: &AsDayTotals,
+    lockdown_res: &AsDayTotals,
+    ases: impl IntoIterator<Item = Asn>,
+) -> Vec<ResidentialShift> {
+    fn delta(a: f64, b: f64) -> f64 {
+        let m = a.max(b);
+        if m == 0.0 {
+            0.0
+        } else {
+            (b - a) / m
+        }
+    }
+    ases.into_iter()
+        .filter_map(|asn| {
+            let t0 = base.mean_daily_bytes(asn);
+            let t1 = lockdown.mean_daily_bytes(asn);
+            if t0 == 0.0 && t1 == 0.0 {
+                return None;
+            }
+            let r0 = base_res.mean_daily_bytes(asn);
+            let r1 = lockdown_res.mean_daily_bytes(asn);
+            Some(ResidentialShift {
+                asn,
+                total_delta: delta(t0, t1),
+                residential_delta: delta(r0, r1),
+            })
+        })
+        .collect()
+}
+
+/// Counts per quadrant of the Fig. 6 plane (excluding points on the axes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuadrantCounts {
+    /// Total ↑, residential ↑.
+    pub both_up: usize,
+    /// Total ↓, residential ↑ (companies whose internal traffic collapsed).
+    pub total_down_res_up: usize,
+    /// Total ↓, residential ↓.
+    pub both_down: usize,
+    /// Total ↑, residential ↓.
+    pub total_up_res_down: usize,
+}
+
+impl QuadrantCounts {
+    /// Count quadrant membership.
+    pub fn of(points: &[ResidentialShift]) -> QuadrantCounts {
+        let mut q = QuadrantCounts::default();
+        for p in points {
+            match (p.total_delta > 0.0, p.residential_delta > 0.0) {
+                (true, true) => q.both_up += 1,
+                (false, true) => q.total_down_res_up += 1,
+                (false, false) => q.both_down += 1,
+                (true, false) => q.total_up_res_down += 1,
+            }
+        }
+        q
+    }
+}
+
+/// Pearson correlation between total and residential deltas (§3.4: "for a
+/// majority of the ASes, there is a correlation").
+pub fn shift_correlation(points: &[ResidentialShift]) -> f64 {
+    let n = points.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = points.iter().map(|p| p.total_delta).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.residential_delta).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for p in points {
+        let dx = p.total_delta - mx;
+        let dy = p.residential_delta - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockdown_flow::protocol::IpProtocol;
+    use lockdown_flow::record::FlowKey;
+    use std::net::Ipv4Addr;
+
+    fn flow(date: Date, hour: u8, src_as: u32, dst_as: u32, bytes: u64) -> FlowRecord {
+        let t = date.at_hour(hour);
+        FlowRecord::builder(
+            FlowKey {
+                src_addr: Ipv4Addr::new(192, 0, 2, 1),
+                dst_addr: Ipv4Addr::new(192, 0, 2, 2),
+                src_port: 443,
+                dst_port: 50_000,
+                protocol: IpProtocol::Tcp,
+            },
+            t,
+        )
+        .end(t.add_secs(1))
+        .bytes(bytes)
+        .packets(1)
+        .asns(src_as, dst_as)
+        .build()
+    }
+
+    const EYEBALL: Asn = Asn(64_496);
+    const GOOGLE: u32 = 15_169;
+    const OTHER: u32 = 65_100;
+
+    #[test]
+    fn daypart_classification() {
+        let wed = Date::new(2020, 2, 19);
+        let sat = Date::new(2020, 2, 22);
+        assert_eq!(DayPart::of(wed, 10, Region::CentralEurope), Some(DayPart::WorkdayWork));
+        assert_eq!(DayPart::of(wed, 20, Region::CentralEurope), Some(DayPart::WorkdayEvening));
+        assert_eq!(DayPart::of(sat, 10, Region::CentralEurope), Some(DayPart::WeekendWork));
+        assert_eq!(DayPart::of(sat, 23, Region::CentralEurope), Some(DayPart::WeekendEvening));
+        assert_eq!(DayPart::of(wed, 3, Region::CentralEurope), None);
+        // Easter Monday counts as weekend-like.
+        assert_eq!(
+            DayPart::of(Date::new(2020, 4, 13), 10, Region::CentralEurope),
+            Some(DayPart::WeekendWork)
+        );
+    }
+
+    #[test]
+    fn hypergiant_split_growth() {
+        let mut split = HypergiantSplit::new();
+        // Week 8 (Feb 19 is in ISO week 8): baseline.
+        let base_day = Date::new(2020, 2, 19);
+        split.add(&flow(base_day, 10, GOOGLE, EYEBALL.0, 100), Region::CentralEurope, EYEBALL);
+        split.add(&flow(base_day, 10, OTHER, EYEBALL.0, 100), Region::CentralEurope, EYEBALL);
+        // Week 13 (Mar 25): hypergiants +30%, others +60%.
+        let lock_day = Date::new(2020, 3, 25);
+        split.add(&flow(lock_day, 10, GOOGLE, EYEBALL.0, 130), Region::CentralEurope, EYEBALL);
+        split.add(&flow(lock_day, 10, OTHER, EYEBALL.0, 160), Region::CentralEurope, EYEBALL);
+
+        let (_, base_week) = base_day.iso_week();
+        let (_, lock_week) = lock_day.iso_week();
+        let hg = split.growth_series(DayPart::WorkdayWork, true, [lock_week], base_week);
+        let other = split.growth_series(DayPart::WorkdayWork, false, [lock_week], base_week);
+        assert_eq!(hg[0], Some(1.3));
+        assert_eq!(other[0], Some(1.6));
+        // Missing weeks yield None.
+        assert_eq!(
+            split.growth_series(DayPart::WorkdayWork, true, [40u8], base_week)[0],
+            None
+        );
+    }
+
+    #[test]
+    fn flow_direction_does_not_matter_for_content_side() {
+        let mut split = HypergiantSplit::new();
+        let d = Date::new(2020, 2, 19);
+        // Upstream flow: eyeball is the source; content side is dst.
+        split.add(&flow(d, 10, EYEBALL.0, GOOGLE, 50), Region::CentralEurope, EYEBALL);
+        let (_, w) = d.iso_week();
+        assert_eq!(split.get(w, DayPart::WorkdayWork, true), 50);
+    }
+
+    #[test]
+    fn ratio_groups() {
+        let mut t = AsDayTotals::new(Region::CentralEurope);
+        // Workday-heavy AS 1: 100/day on workdays, 10/day weekends.
+        // Weekend-heavy AS 2: the reverse. Balanced AS 3.
+        for d in Date::new(2020, 2, 3).range_inclusive(Date::new(2020, 2, 9)) {
+            let weekend = d.weekday().is_weekend();
+            t.add(&flow(d, 12, 1, 0, if weekend { 10 } else { 100 }));
+            t.add(&flow(d, 12, 2, 0, if weekend { 100 } else { 10 }));
+            t.add(&flow(d, 12, 3, 0, 50));
+        }
+        assert_eq!(t.group_of(Asn(1)), Some(RatioGroup::WorkdayDominated));
+        assert_eq!(t.group_of(Asn(2)), Some(RatioGroup::WeekendDominated));
+        assert_eq!(t.group_of(Asn(3)), Some(RatioGroup::Balanced));
+        assert_eq!(t.group_of(Asn(99)), None);
+        assert_eq!(t.in_group(RatioGroup::WorkdayDominated), vec![Asn(1)]);
+    }
+
+    #[test]
+    fn residential_shift_quadrants() {
+        let region = Region::CentralEurope;
+        let feb = Date::new(2020, 2, 19);
+        let mar = Date::new(2020, 3, 25);
+        let mk = |d: Date, asn: u32, total: u64, res: u64| {
+            let mut all = AsDayTotals::new(region);
+            let mut resid = AsDayTotals::new(region);
+            all.add(&flow(d, 12, asn, 0, total));
+            let r = flow(d, 12, asn, EYEBALL.0, res);
+            all.add(&r);
+            resid.add(&r);
+            (all, resid)
+        };
+        // AS 10: total down, residential up (top-left quadrant).
+        let (b_all, b_res) = mk(feb, 10, 1_000, 50);
+        let (l_all, l_res) = mk(mar, 10, 200, 400);
+        let pts = residential_shift(&b_all, &l_all, &b_res, &l_res, [Asn(10)]);
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].total_delta < 0.0, "total fell");
+        assert!(pts[0].residential_delta > 0.0, "residential rose");
+        let q = QuadrantCounts::of(&pts);
+        assert_eq!(q.total_down_res_up, 1);
+    }
+
+    #[test]
+    fn deltas_bounded() {
+        let region = Region::CentralEurope;
+        let mut b = AsDayTotals::new(region);
+        let mut l = AsDayTotals::new(region);
+        b.add(&flow(Date::new(2020, 2, 19), 12, 5, 0, 1));
+        l.add(&flow(Date::new(2020, 3, 25), 12, 5, 0, 1_000_000));
+        let pts = residential_shift(&b, &l, &b, &l, [Asn(5)]);
+        assert!(pts[0].total_delta <= 1.0 && pts[0].total_delta > 0.99);
+    }
+
+    #[test]
+    fn correlation() {
+        let pts: Vec<ResidentialShift> = (0..20)
+            .map(|i| ResidentialShift {
+                asn: Asn(i),
+                total_delta: i as f64 / 20.0 - 0.5,
+                residential_delta: (i as f64 / 20.0 - 0.5) * 0.8,
+            })
+            .collect();
+        assert!((shift_correlation(&pts) - 1.0).abs() < 1e-9);
+        assert_eq!(shift_correlation(&pts[..1]), 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # lockdown-analysis
+//!
+//! The paper's measurement pipeline, reimplemented over synthetic flow
+//! records. Nothing here reads the scenario's demand model: every result is
+//! recovered from flow data alone, which is what makes the figure
+//! reproductions meaningful.
+//!
+//! * [`timeseries`] — hourly/daily/weekly binning and normalization;
+//! * [`ecdf`] — empirical CDFs (Fig. 5's presentation);
+//! * [`dayclass`] — the 6-hour workday-/weekend-like classifier (Fig. 2);
+//! * [`linkutil`] — calibrated IXP member port utilization (Fig. 5);
+//! * [`asgroup`] — hypergiant/other splits (Fig. 4), remote-work AS
+//!   grouping and the residential-shift scatter (§3.4, Fig. 6);
+//! * [`ports`] — service-port attribution and top-port profiles (Fig. 7);
+//! * [`appclass`] — the Table 1 filter inventory, classification, Fig. 9
+//!   heatmaps and Fig. 8 usage metrics;
+//! * [`vpn`] — §6's two VPN identification methods (Fig. 10);
+//! * [`edu`] — §7's directionality and connection-level analysis
+//!   (Figs. 11–12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appclass;
+pub mod asgroup;
+pub mod dayclass;
+pub mod ecdf;
+pub mod edu;
+pub mod linkutil;
+pub mod ports;
+pub mod timeseries;
+pub mod vpn;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::appclass::{
+        class_hour_usage, heatmap_diff, Classifier, HourUsage, PaperClass, WeekHeatmap,
+    };
+    pub use crate::asgroup::{
+        residential_shift, shift_correlation, AsDayTotals, DayPart, HypergiantSplit,
+        QuadrantCounts, RatioGroup, ResidentialShift,
+    };
+    pub use crate::dayclass::{ClassificationSummary, ClassifiedDay, DayClassifier, DayPattern};
+    pub use crate::ecdf::Ecdf;
+    pub use crate::edu::{EduAnalysis, EduTrafficClass, Orientation};
+    pub use crate::linkutil::{LinkUtilization, MemberUtilization};
+    pub use crate::ports::{tcp443, tcp80, PortProfile, ServiceKey};
+    pub use crate::timeseries::{mean, median, normalize, normalize_by_min, HourlyVolume};
+    pub use crate::vpn::{is_port_vpn, VpnClassifier, VpnMethod};
+}

@@ -1,0 +1,260 @@
+//! Streaming time-series aggregation and normalization.
+//!
+//! Every figure in the paper starts from the same primitive: bin flow bytes
+//! by hour, roll up to days or ISO weeks, and normalize by a baseline (the
+//! third January week for Fig. 1, the minimum for Fig. 3, a February week
+//! for the §5 heatmaps). This module provides that primitive as a streaming
+//! accumulator so experiments never hold a full trace in memory.
+
+use lockdown_flow::record::FlowRecord;
+use lockdown_flow::time::{Date, Timestamp, SECS_PER_HOUR};
+use std::collections::BTreeMap;
+
+/// Hour-binned byte volume accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct HourlyVolume {
+    bins: BTreeMap<Timestamp, u64>,
+}
+
+impl HourlyVolume {
+    /// An empty accumulator.
+    pub fn new() -> HourlyVolume {
+        HourlyVolume::default()
+    }
+
+    /// Add one flow (binned by its start hour, the convention flow
+    /// pipelines use for hourly accounting).
+    pub fn add(&mut self, record: &FlowRecord) {
+        self.add_bytes(record.start, record.bytes);
+    }
+
+    /// Add raw bytes at a time.
+    pub fn add_bytes(&mut self, at: Timestamp, bytes: u64) {
+        *self.bins.entry(at.floor_hour()).or_insert(0) += bytes;
+    }
+
+    /// Add many flows.
+    pub fn add_all<'a>(&mut self, records: impl IntoIterator<Item = &'a FlowRecord>) {
+        for r in records {
+            self.add(r);
+        }
+    }
+
+    /// Bytes in one hour bin.
+    pub fn get(&self, date: Date, hour: u8) -> u64 {
+        self.bins.get(&date.at_hour(hour)).copied().unwrap_or(0)
+    }
+
+    /// Total bytes on a date.
+    pub fn daily_total(&self, date: Date) -> u64 {
+        (0..24).map(|h| self.get(date, h)).sum()
+    }
+
+    /// Mean daily volume over an inclusive date range.
+    pub fn mean_daily(&self, start: Date, end: Date) -> f64 {
+        let days: Vec<u64> = start
+            .range_inclusive(end)
+            .map(|d| self.daily_total(d))
+            .collect();
+        if days.is_empty() {
+            0.0
+        } else {
+            days.iter().sum::<u64>() as f64 / days.len() as f64
+        }
+    }
+
+    /// The 24 hourly values of a date.
+    pub fn day_profile(&self, date: Date) -> [u64; 24] {
+        let mut out = [0u64; 24];
+        for (h, slot) in out.iter_mut().enumerate() {
+            *slot = self.get(date, h as u8);
+        }
+        out
+    }
+
+    /// Hourly series over an inclusive date range, one entry per hour,
+    /// including empty bins (value 0).
+    pub fn hourly_series(&self, start: Date, end: Date) -> Vec<(Timestamp, u64)> {
+        let mut out = Vec::new();
+        for date in start.range_inclusive(end) {
+            for hour in 0..24 {
+                let t = date.at_hour(hour);
+                out.push((t, self.bins.get(&t).copied().unwrap_or(0)));
+            }
+        }
+        out
+    }
+
+    /// Weekly totals keyed by ISO `(year, week)`.
+    pub fn weekly_totals(&self) -> BTreeMap<(i32, u8), u64> {
+        let mut out: BTreeMap<(i32, u8), u64> = BTreeMap::new();
+        for (t, bytes) in &self.bins {
+            let key = t.date().iso_week();
+            *out.entry(key).or_insert(0) += bytes;
+        }
+        out
+    }
+
+    /// Number of non-empty hour bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &HourlyVolume) {
+        for (t, b) in &other.bins {
+            *self.bins.entry(*t).or_insert(0) += b;
+        }
+    }
+}
+
+/// Normalize a series by a positive base value.
+pub fn normalize(values: &[u64], base: f64) -> Vec<f64> {
+    assert!(base > 0.0, "normalization base must be positive");
+    values.iter().map(|&v| v as f64 / base).collect()
+}
+
+/// Normalize by the series' minimum *positive* value (Fig. 3: "normalized
+/// by the respective minimum traffic volume"). Returns `None` for an empty
+/// or all-zero series.
+pub fn normalize_by_min(values: &[u64]) -> Option<Vec<f64>> {
+    let min = values.iter().copied().filter(|&v| v > 0).min()? as f64;
+    Some(values.iter().map(|&v| v as f64 / min).collect())
+}
+
+/// Mean of a float slice (0 for empty — callers treat empty as "no data").
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Median of a float slice (0 for empty).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in medians"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Seconds covered by one hour bin (re-exported for rate conversions).
+pub const BIN_SECS: u64 = SECS_PER_HOUR;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockdown_flow::protocol::IpProtocol;
+    use lockdown_flow::record::FlowKey;
+    use std::net::Ipv4Addr;
+
+    fn flow(at: Timestamp, bytes: u64) -> FlowRecord {
+        FlowRecord::builder(
+            FlowKey {
+                src_addr: Ipv4Addr::new(192, 0, 2, 1),
+                dst_addr: Ipv4Addr::new(192, 0, 2, 2),
+                src_port: 443,
+                dst_port: 50_000,
+                protocol: IpProtocol::Tcp,
+            },
+            at,
+        )
+        .end(at.add_secs(10))
+        .bytes(bytes)
+        .packets(1)
+        .build()
+    }
+
+    #[test]
+    fn bins_by_start_hour() {
+        let mut v = HourlyVolume::new();
+        let d = Date::new(2020, 3, 25);
+        v.add(&flow(d.at_hour(9).add_secs(120), 100));
+        v.add(&flow(d.at_hour(9).add_secs(3_599), 50));
+        v.add(&flow(d.at_hour(10), 7));
+        assert_eq!(v.get(d, 9), 150);
+        assert_eq!(v.get(d, 10), 7);
+        assert_eq!(v.get(d, 11), 0);
+        assert_eq!(v.daily_total(d), 157);
+    }
+
+    #[test]
+    fn weekly_rollup() {
+        let mut v = HourlyVolume::new();
+        // Week 12 of 2020 starts Mon Mar 16.
+        v.add_bytes(Date::new(2020, 3, 16).at_hour(0), 10);
+        v.add_bytes(Date::new(2020, 3, 22).at_hour(23), 20);
+        v.add_bytes(Date::new(2020, 3, 23).at_hour(0), 40); // week 13
+        let weekly = v.weekly_totals();
+        assert_eq!(weekly[&(2020, 12)], 30);
+        assert_eq!(weekly[&(2020, 13)], 40);
+    }
+
+    #[test]
+    fn series_includes_empty_bins() {
+        let mut v = HourlyVolume::new();
+        let d = Date::new(2020, 2, 1);
+        v.add_bytes(d.at_hour(5), 1);
+        let series = v.hourly_series(d, d);
+        assert_eq!(series.len(), 24);
+        assert_eq!(series[5].1, 1);
+        assert_eq!(series[6].1, 0);
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize(&[10, 20], 10.0), vec![1.0, 2.0]);
+        assert_eq!(normalize_by_min(&[0, 4, 2, 8]).unwrap(), vec![0.0, 2.0, 1.0, 4.0]);
+        assert!(normalize_by_min(&[0, 0]).is_none());
+        assert!(normalize_by_min(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn normalize_zero_base_panics() {
+        normalize(&[1], 0.0);
+    }
+
+    #[test]
+    fn stats() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulators() {
+        let d = Date::new(2020, 2, 1);
+        let mut a = HourlyVolume::new();
+        a.add_bytes(d.at_hour(1), 5);
+        let mut b = HourlyVolume::new();
+        b.add_bytes(d.at_hour(1), 3);
+        b.add_bytes(d.at_hour(2), 9);
+        a.merge(&b);
+        assert_eq!(a.get(d, 1), 8);
+        assert_eq!(a.get(d, 2), 9);
+    }
+
+    #[test]
+    fn mean_daily_range() {
+        let mut v = HourlyVolume::new();
+        v.add_bytes(Date::new(2020, 2, 1).at_hour(0), 10);
+        v.add_bytes(Date::new(2020, 2, 2).at_hour(0), 30);
+        assert_eq!(v.mean_daily(Date::new(2020, 2, 1), Date::new(2020, 2, 2)), 20.0);
+    }
+}

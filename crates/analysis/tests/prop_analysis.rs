@@ -1,0 +1,185 @@
+//! Property tests for the analysis primitives: accumulators must be
+//! order-insensitive and merge-consistent, the ECDF must behave like a
+//! distribution function, and classifiers must be total and stable.
+
+use lockdown_analysis::appclass::Classifier;
+use lockdown_analysis::ecdf::Ecdf;
+use lockdown_analysis::edu::{orientation, EduTrafficClass};
+use lockdown_analysis::ports::ServiceKey;
+use lockdown_analysis::timeseries::{median, normalize_by_min, HourlyVolume};
+use lockdown_analysis::vpn::is_port_vpn;
+use lockdown_flow::protocol::IpProtocol;
+use lockdown_flow::record::{FlowKey, FlowRecord};
+use lockdown_flow::time::{Date, Timestamp};
+use lockdown_topology::registry::Registry;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use std::sync::OnceLock;
+
+fn registry() -> &'static Registry {
+    static R: OnceLock<Registry> = OnceLock::new();
+    R.get_or_init(Registry::synthesize)
+}
+
+fn arb_record() -> impl Strategy<Value = FlowRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        prop_oneof![Just(6u8), Just(17u8), Just(47u8), Just(50u8), any::<u8>()],
+        0u64..10_000_000, // start offset into 2020
+        1u64..1_000_000_000,
+        (0u32..200_000, 0u32..200_000),
+    )
+        .prop_map(|(sa, da, sp, dp, proto, off, bytes, (sas, das))| {
+            let start = Date::new(2020, 1, 1).midnight().add_secs(off);
+            FlowRecord::builder(
+                FlowKey {
+                    src_addr: Ipv4Addr::from(sa),
+                    dst_addr: Ipv4Addr::from(da),
+                    src_port: sp,
+                    dst_port: dp,
+                    protocol: IpProtocol::from_number(proto),
+                },
+                start,
+            )
+            .end(start.add_secs(60))
+            .bytes(bytes)
+            .packets(bytes / 1_000 + 1)
+            .asns(sas, das)
+            .build()
+        })
+}
+
+proptest! {
+    /// HourlyVolume is order-insensitive and merge equals bulk add.
+    #[test]
+    fn hourly_volume_order_and_merge(records in prop::collection::vec(arb_record(), 0..80)) {
+        let mut forward = HourlyVolume::new();
+        forward.add_all(&records);
+        let mut backward = HourlyVolume::new();
+        for r in records.iter().rev() {
+            backward.add(r);
+        }
+        let d = Date::new(2020, 1, 15);
+        for h in 0..24 {
+            prop_assert_eq!(forward.get(d, h), backward.get(d, h));
+        }
+
+        // Split + merge == bulk.
+        let mid = records.len() / 2;
+        let mut a = HourlyVolume::new();
+        a.add_all(&records[..mid]);
+        let mut b = HourlyVolume::new();
+        b.add_all(&records[mid..]);
+        a.merge(&b);
+        let total_weekly: u64 = forward.weekly_totals().values().sum();
+        let merged_weekly: u64 = a.weekly_totals().values().sum();
+        prop_assert_eq!(total_weekly, merged_weekly);
+    }
+
+    /// ECDF is a valid CDF: monotone, 0 below min, 1 at max; quantile and
+    /// fraction_le are mutually consistent.
+    #[test]
+    fn ecdf_is_a_cdf(mut sample in prop::collection::vec(0.0f64..1e9, 1..200)) {
+        let e = Ecdf::new(sample.clone());
+        sample.sort_by(f64::total_cmp);
+        prop_assert_eq!(e.fraction_le(sample[0] - 1.0), 0.0);
+        prop_assert_eq!(e.fraction_le(*sample.last().expect("non-empty")), 1.0);
+        let mut prev = 0.0;
+        for &x in &sample {
+            let f = e.fraction_le(x);
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+        // quantile(f(x)) <= x for all sample points.
+        for &x in &sample {
+            prop_assert!(e.quantile(e.fraction_le(x)) <= x + 1e-9);
+        }
+    }
+
+    /// normalize_by_min yields min 1.0 over positive entries and preserves
+    /// ratios.
+    #[test]
+    fn normalize_by_min_properties(values in prop::collection::vec(0u64..1_000_000, 1..60)) {
+        match normalize_by_min(&values) {
+            None => prop_assert!(values.iter().all(|&v| v == 0)),
+            Some(norm) => {
+                let min_pos = norm
+                    .iter()
+                    .copied()
+                    .filter(|&v| v > 0.0)
+                    .fold(f64::MAX, f64::min);
+                prop_assert!((min_pos - 1.0).abs() < 1e-12);
+                // Ratio preservation against the raw values.
+                let raw_min = values.iter().copied().filter(|&v| v > 0).min().expect("positive") as f64;
+                for (&raw, &n) in values.iter().zip(&norm) {
+                    prop_assert!((n - raw as f64 / raw_min).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    /// median is within [min, max] and permutation-invariant.
+    #[test]
+    fn median_properties(mut values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let m = median(&values);
+        let lo = values.iter().copied().fold(f64::MAX, f64::min);
+        let hi = values.iter().copied().fold(f64::MIN, f64::max);
+        prop_assert!(m >= lo && m <= hi);
+        values.reverse();
+        prop_assert_eq!(median(&values), m);
+    }
+
+    /// The Table 1 classifier is total (never panics) and deterministic.
+    #[test]
+    fn classifier_total_and_deterministic(r in arb_record()) {
+        let c = Classifier::from_registry(registry());
+        let a = c.classify(&r);
+        let b = c.classify(&r);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Service attribution never assigns an ephemeral-only flow a port key.
+    #[test]
+    fn service_key_respects_ephemeral_rule(r in arb_record()) {
+        if let Some(ServiceKey::Port(_, port)) = ServiceKey::of(&r) {
+            prop_assert!(port < 32_768);
+            prop_assert!(port == r.key.src_port.min(r.key.dst_port));
+        }
+    }
+
+    /// VPN port classification matches the §6 port list exactly.
+    #[test]
+    fn vpn_port_rule(r in arb_record()) {
+        let expected = match r.key.protocol {
+            IpProtocol::Esp | IpProtocol::Gre => true,
+            IpProtocol::Tcp | IpProtocol::Udp => [500u16, 4_500, 1_194, 1_701, 1_723]
+                .iter()
+                .any(|&p| p == r.key.src_port || p == r.key.dst_port),
+            _ => false,
+        };
+        prop_assert_eq!(is_port_vpn(&r), expected);
+    }
+
+    /// EDU classification and orientation are total and deterministic.
+    #[test]
+    fn edu_classification_total(r in arb_record()) {
+        let c1 = EduTrafficClass::of(&r);
+        let c2 = EduTrafficClass::of(&r);
+        prop_assert_eq!(c1, c2);
+        let o1 = orientation(&r);
+        prop_assert_eq!(o1, orientation(&r));
+    }
+
+    /// Timestamp bucketing: a record lands in exactly the hour bin of its
+    /// start time.
+    #[test]
+    fn hour_bucketing(r in arb_record()) {
+        let mut v = HourlyVolume::new();
+        v.add(&r);
+        let t: Timestamp = r.start.floor_hour();
+        prop_assert_eq!(v.get(t.date(), t.hour()), r.bytes);
+    }
+}

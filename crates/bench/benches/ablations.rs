@@ -1,0 +1,117 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * `ablation_lpm` — longest-prefix-match trie vs. linear prefix scan
+//!   for IP→AS attribution;
+//! * `ablation_dayclass_granularity` — the day classifier at 1/2/4/6/12-
+//!   hour aggregation (the paper chose 6 h);
+//! * `ablation_vpn_method` — port-only vs. domain-augmented VPN
+//!   classification cost per flow.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lockdown_analysis::dayclass::DayClassifier;
+use lockdown_analysis::timeseries::HourlyVolume;
+use lockdown_analysis::vpn::{is_port_vpn, VpnClassifier};
+use lockdown_core::{Context, Fidelity};
+use lockdown_flow::time::Date;
+use lockdown_topology::asn::Region;
+use lockdown_topology::prefix::LinearPrefixTable;
+use lockdown_topology::vantage::VantagePoint;
+use std::net::Ipv4Addr;
+
+fn bench_lpm(c: &mut Criterion) {
+    let ctx = Context::new(Fidelity::Test);
+    let registry = &ctx.registry;
+    // Mirror the registry's prefixes into a linear table.
+    let mut linear = LinearPrefixTable::new();
+    for a in registry.ases() {
+        for p in registry.prefixes_of(a.asn) {
+            linear.insert(*p, a.asn);
+        }
+    }
+    // A lookup workload: addresses spread over the allocated space.
+    let addrs: Vec<Ipv4Addr> = (0..10_000u32)
+        .map(|i| Ipv4Addr::from(0x0B00_0000 + i.wrapping_mul(40_503) % 0x0200_0000))
+        .collect();
+
+    let mut g = c.benchmark_group("ablation_lpm");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("trie", |b| {
+        b.iter(|| addrs.iter().filter(|a| registry.lookup(**a).is_some()).count())
+    });
+    g.bench_function("linear_scan", |b| {
+        b.iter(|| addrs.iter().filter(|a| linear.lookup(**a).is_some()).count())
+    });
+    g.finish();
+}
+
+fn bench_dayclass(c: &mut Criterion) {
+    let ctx = Context::new(Fidelity::Test);
+    let generator = ctx.generator();
+    let mut volume = HourlyVolume::new();
+    generator.for_each_hour(
+        VantagePoint::IspCe,
+        Date::new(2020, 2, 1),
+        Date::new(2020, 4, 30),
+        |_, _, flows| volume.add_all(flows),
+    );
+
+    let mut g = c.benchmark_group("ablation_dayclass_granularity");
+    for buckets in [2usize, 4, 6, 12, 24] {
+        // Report classification *quality* alongside cost: accuracy on the
+        // pre-lockdown window, where calendar truth is meaningful.
+        let clf = DayClassifier::train(
+            &volume,
+            Region::CentralEurope,
+            Date::new(2020, 2, 1),
+            Date::new(2020, 2, 29),
+            buckets,
+        );
+        let days = clf.classify_range(&volume, Date::new(2020, 2, 1), Date::new(2020, 2, 29));
+        let acc = lockdown_analysis::dayclass::ClassificationSummary::of(&days).accuracy();
+        println!("dayclass buckets={buckets}: February accuracy {acc:.3}");
+
+        g.bench_function(format!("buckets_{buckets}"), |b| {
+            b.iter(|| {
+                let clf = DayClassifier::train(
+                    &volume,
+                    Region::CentralEurope,
+                    Date::new(2020, 2, 1),
+                    Date::new(2020, 2, 29),
+                    buckets,
+                );
+                clf.classify_range(&volume, Date::new(2020, 3, 1), Date::new(2020, 4, 30))
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_vpn_method(c: &mut Criterion) {
+    let ctx = Context::new(Fidelity::Standard);
+    let generator = ctx.generator();
+    let flows = generator.generate_day(VantagePoint::IxpCe, Date::new(2020, 3, 25));
+    let domain = VpnClassifier::new(ctx.vpn_candidate_ips());
+
+    // Coverage comparison (the §6 claim) printed once.
+    let port_hits = flows.iter().filter(|f| is_port_vpn(f)).count();
+    let both_hits = flows.iter().filter(|f| domain.classify(f).is_some()).count();
+    println!(
+        "vpn_method coverage on a lockdown day: port-only {port_hits} flows, \
+         port+domain {both_hits} flows ({:.1}% found only via domains)",
+        (both_hits - port_hits) as f64 / both_hits.max(1) as f64 * 100.0
+    );
+
+    let mut g = c.benchmark_group("ablation_vpn_method");
+    g.throughput(Throughput::Elements(flows.len() as u64));
+    g.bench_function("port_only", |b| {
+        b.iter(|| flows.iter().filter(|f| is_port_vpn(f)).count())
+    });
+    g.bench_function("port_plus_domain", |b| {
+        b.iter(|| flows.iter().filter(|f| domain.classify(f).is_some()).count())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lpm, bench_dayclass, bench_vpn_method);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Wire-codec throughput: NetFlow v5 vs v9 vs IPFIX, encode and decode.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use lockdown_core::{Context, Fidelity};
+use lockdown_flow::ipfix;
+use lockdown_flow::netflow::v9::TemplateCache;
+use lockdown_flow::netflow::{v5, v9, Template};
+use lockdown_flow::record::FlowRecord;
+use lockdown_flow::time::Date;
+use lockdown_topology::vantage::VantagePoint;
+
+fn sample_records(n: usize) -> Vec<FlowRecord> {
+    let ctx = Context::new(Fidelity::Standard);
+    let generator = ctx.generator();
+    let date = Date::new(2020, 3, 25);
+    let mut flows = Vec::new();
+    let mut hour = 0u8;
+    while flows.len() < n {
+        flows.extend(generator.generate_hour(VantagePoint::IxpCe, date, hour % 24));
+        hour += 1;
+    }
+    flows.truncate(n);
+    // v5-compatible timestamps: clamp flow times under the export time.
+    let export = date.at_hour(23);
+    for f in &mut flows {
+        if f.end > export {
+            f.end = export;
+        }
+        if f.start > f.end {
+            f.start = f.end;
+        }
+    }
+    flows
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    const N: usize = 3_000;
+    let records = sample_records(N);
+    let date = Date::new(2020, 3, 25);
+    let boot = date.midnight();
+    let export = date.at_hour(23);
+
+    let mut g = c.benchmark_group("codec_throughput");
+    g.throughput(Throughput::Elements(N as u64));
+
+    // --- encode ---
+    g.bench_function("encode/netflow_v5", |b| {
+        b.iter(|| {
+            let mut out = 0usize;
+            for chunk in records.chunks(v5::MAX_RECORDS) {
+                out += v5::encode(chunk, export, boot, 0).len();
+            }
+            out
+        })
+    });
+    let t9 = Template::standard_v9(300);
+    g.bench_function("encode/netflow_v9", |b| {
+        b.iter(|| {
+            let mut out = 0usize;
+            for chunk in records.chunks(100) {
+                out += v9::encode(chunk, Some(&t9), &t9, export, boot, 0, 1).len();
+            }
+            out
+        })
+    });
+    let ti = Template::standard_ipfix(300);
+    g.bench_function("encode/ipfix", |b| {
+        b.iter(|| {
+            let mut out = 0usize;
+            for chunk in records.chunks(100) {
+                out += ipfix::encode(chunk, Some(&ti), &ti, export, 0, 1).len();
+            }
+            out
+        })
+    });
+
+    // --- decode ---
+    let v5_pkts: Vec<Vec<u8>> = records
+        .chunks(v5::MAX_RECORDS)
+        .map(|c| v5::encode(c, export, boot, 0))
+        .collect();
+    g.bench_function("decode/netflow_v5", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for p in &v5_pkts {
+                n += v5::decode(p).expect("valid").1.len();
+            }
+            n
+        })
+    });
+    let v9_pkts: Vec<Vec<u8>> = records
+        .chunks(100)
+        .map(|c| v9::encode(c, Some(&t9), &t9, export, boot, 0, 1))
+        .collect();
+    g.bench_function("decode/netflow_v9", |b| {
+        b.iter_batched(
+            TemplateCache::new,
+            |mut cache| {
+                let mut n = 0usize;
+                for p in &v9_pkts {
+                    n += v9::decode(p, &mut cache).expect("valid").1.len();
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let ipfix_pkts: Vec<Vec<u8>> = records
+        .chunks(100)
+        .map(|c| ipfix::encode(c, Some(&ti), &ti, export, 0, 1))
+        .collect();
+    g.bench_function("decode/ipfix", |b| {
+        b.iter_batched(
+            TemplateCache::new,
+            |mut cache| {
+                let mut n = 0usize;
+                for p in &ipfix_pkts {
+                    n += ipfix::decode(p, &mut cache).expect("valid").1.len();
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! One Criterion bench per paper figure/table: each benchmark runs the
+//! full experiment driver (generation + analysis) at test fidelity and, as
+//! a side effect of the first iteration, prints the rendered result — so
+//! `cargo bench` both times and regenerates the evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lockdown_core::experiments::{
+    fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, tables,
+};
+use lockdown_core::{Context, Fidelity};
+use lockdown_topology::vantage::VantagePoint;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(|| Context::new(Fidelity::Test))
+}
+
+/// Print a rendering once per process so bench output doubles as the
+/// regenerated evaluation.
+fn show(name: &str, render: impl FnOnce() -> String) {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    static SHOWN: Mutex<Option<HashSet<String>>> = Mutex::new(None);
+    let mut guard = SHOWN.lock().expect("not poisoned");
+    let shown = guard.get_or_insert_with(HashSet::new);
+    if shown.insert(name.to_string()) {
+        println!("\n{}\n", render());
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig1_weekly_volume", |b| {
+        show("fig1", || fig1::run(ctx()).render());
+        b.iter(|| fig1::run(ctx()))
+    });
+    g.bench_function("fig2_patterns", |b| {
+        show("fig2a", || fig2::run_2a(ctx()).render());
+        show("fig2b", || fig2::run_2bc(ctx(), VantagePoint::IspCe).render());
+        b.iter(|| {
+            (
+                fig2::run_2a(ctx()),
+                fig2::run_2bc(ctx(), VantagePoint::IspCe),
+            )
+        })
+    });
+    g.bench_function("fig3_weeks", |b| {
+        show("fig3a", || fig3::run_3a(ctx()).render());
+        show("fig3b", || fig3::run_3b(ctx()).render());
+        b.iter(|| (fig3::run_3a(ctx()), fig3::run_3b(ctx())))
+    });
+    g.bench_function("fig4_hypergiants", |b| {
+        show("fig4", || fig4::run(ctx()).render());
+        b.iter(|| fig4::run(ctx()))
+    });
+    g.bench_function("fig5_ecdf", |b| {
+        show("fig5", || fig5::run(ctx()).render());
+        b.iter(|| fig5::run(ctx()))
+    });
+    g.bench_function("fig6_shift", |b| {
+        show("fig6", || fig6::run(ctx()).render());
+        b.iter(|| fig6::run(ctx()))
+    });
+    g.bench_function("fig7_ports", |b| {
+        show("fig7a", || fig7::run(ctx(), VantagePoint::IspCe).render());
+        show("fig7b", || fig7::run(ctx(), VantagePoint::IxpCe).render());
+        b.iter(|| fig7::run(ctx(), VantagePoint::IspCe))
+    });
+    g.bench_function("fig8_gaming", |b| {
+        show("fig8", || fig8::run(ctx()).render());
+        b.iter(|| fig8::run(ctx()))
+    });
+    g.bench_function("fig9_heatmap", |b| {
+        show("fig9_isp", || fig9::run(ctx(), VantagePoint::IspCe).render());
+        show("fig9_ixpce", || fig9::run(ctx(), VantagePoint::IxpCe).render());
+        b.iter(|| fig9::run(ctx(), VantagePoint::IxpCe))
+    });
+    g.bench_function("fig10_vpn", |b| {
+        show("fig10", || fig10::run(ctx()).render());
+        b.iter(|| fig10::run(ctx()))
+    });
+    g.bench_function("fig11_12_edu", |b| {
+        show("fig11_12", || fig11_12::run(ctx()).render());
+        b.iter(|| fig11_12::run(ctx()))
+    });
+    g.bench_function("table1_filters", |b| {
+        show("table1", || tables::table1(ctx()).render());
+        show("table2", tables::table2);
+        b.iter(|| tables::table1(ctx()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

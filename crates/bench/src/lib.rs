@@ -1,0 +1,7 @@
+//! # lockdown-bench
+//!
+//! Bench-only crate. The Criterion targets under `benches/` regenerate
+//! every paper figure/table (`figures`), measure the wire codecs
+//! (`codecs`), the pipeline stages (`pipeline`), and the design-choice
+//! ablations DESIGN.md lists (`ablations`). Run with
+//! `cargo bench -p lockdown-bench`.

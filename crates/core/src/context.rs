@@ -1,0 +1,104 @@
+//! Shared experiment context: one registry, DNS corpus and generator pair
+//! that every figure reproduction runs against.
+
+use lockdown_dns::corpus::{synthesize, Corpus};
+use lockdown_dns::vpn::identify_vpn_ips;
+use lockdown_topology::registry::Registry;
+use lockdown_traffic::config::GeneratorConfig;
+use lockdown_traffic::edu_gen::EduGenerator;
+use lockdown_traffic::generate::TrafficGenerator;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// How much synthetic data an experiment run generates.
+///
+/// All figures are normalized/relative, so fidelity trades statistical
+/// smoothness against runtime without moving the expected curves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Minimal resolution: CI-friendly; curves are noisy but ordering
+    /// relations (who grows, who shrinks) hold.
+    Test,
+    /// Default resolution used by the examples and benches.
+    Standard,
+    /// High resolution for statistics-hungry figures (unique IPs, ports).
+    High,
+}
+
+impl Fidelity {
+    /// Generator configuration for this fidelity.
+    pub fn config(self, seed: u64) -> GeneratorConfig {
+        match self {
+            Fidelity::Test => GeneratorConfig::coarse(seed),
+            Fidelity::Standard => GeneratorConfig::with_seed(seed),
+            Fidelity::High => GeneratorConfig::high_resolution(seed),
+        }
+    }
+}
+
+/// Everything an experiment needs, built once.
+#[derive(Debug)]
+pub struct Context {
+    /// The synthetic AS registry.
+    pub registry: Registry,
+    /// The synthetic DNS corpus.
+    pub corpus: Corpus,
+    /// Generator configuration in use.
+    pub config: GeneratorConfig,
+}
+
+impl Context {
+    /// Build a context at a fidelity with the default experiment seed.
+    pub fn new(fidelity: Fidelity) -> Context {
+        Context::with_seed(fidelity, 0x10CD_2020)
+    }
+
+    /// Build a context with an explicit seed.
+    pub fn with_seed(fidelity: Fidelity, seed: u64) -> Context {
+        let registry = Registry::synthesize();
+        let corpus = synthesize(&registry, seed);
+        Context {
+            registry,
+            corpus,
+            config: fidelity.config(seed),
+        }
+    }
+
+    /// A trace generator borrowing this context.
+    pub fn generator(&self) -> TrafficGenerator<'_> {
+        TrafficGenerator::new(&self.registry, &self.corpus, self.config)
+    }
+
+    /// An EDU generator borrowing this context.
+    pub fn edu_generator(&self) -> EduGenerator<'_> {
+        EduGenerator::new(&self.registry, self.config)
+    }
+
+    /// The §6 candidate VPN endpoint set, derived from the corpus the way
+    /// the paper derives it from CT logs/forward DNS.
+    pub fn vpn_candidate_ips(&self) -> BTreeSet<Ipv4Addr> {
+        identify_vpn_ips(&self.corpus.db).vpn_ips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_and_identifies_vpn_ips() {
+        let ctx = Context::new(Fidelity::Test);
+        assert!(!ctx.vpn_candidate_ips().is_empty());
+        let g = ctx.generator();
+        assert_eq!(g.config().seed, 0x10CD_2020);
+    }
+
+    #[test]
+    fn fidelity_ordering() {
+        let t = Fidelity::Test.config(1);
+        let s = Fidelity::Standard.config(1);
+        let h = Fidelity::High.config(1);
+        assert!(t.flows_per_gbps < s.flows_per_gbps);
+        assert!(s.flows_per_gbps < h.flows_per_gbps);
+    }
+}

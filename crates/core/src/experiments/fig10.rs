@@ -1,0 +1,197 @@
+//! Fig. 10 — VPN traffic at IXP-CE for three weeks, identified two ways:
+//! by well-known VPN ports/protocols and by `*vpn*` domains on TCP/443
+//! (§6). The port-based curve barely moves; the domain-based curve grows
+//! by more than 200% during March working hours.
+
+use crate::context::Context;
+use crate::report::TextTable;
+use lockdown_analysis::vpn::{VpnClassifier, VpnMethod};
+use lockdown_scenario::calendar::{day_type, AnalysisWeek, DayType, PORTS_IXP_WEEKS};
+use lockdown_topology::vantage::VantagePoint;
+
+/// Hourly volume for one (week, method): workday and weekend aggregates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VpnWeek {
+    /// Bytes per hour-of-day across workdays.
+    pub workday: [u64; 24],
+    /// Bytes per hour-of-day across weekend days.
+    pub weekend: [u64; 24],
+}
+
+impl VpnWeek {
+    /// Total bytes in the working-hours window (09:00–17:00) on workdays.
+    pub fn working_hours_bytes(&self) -> u64 {
+        (9..17).map(|h| self.workday[h]).sum()
+    }
+
+    /// Total weekend bytes.
+    pub fn weekend_bytes(&self) -> u64 {
+        self.weekend.iter().sum()
+    }
+}
+
+/// Fig. 10 result.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// `(week label, port-based, domain-based)`.
+    pub weeks: Vec<(&'static str, VpnWeek, VpnWeek)>,
+    /// Number of candidate VPN endpoints the §6 procedure identified.
+    pub candidate_ips: usize,
+}
+
+/// Run Fig. 10 (IXP-CE).
+pub fn run(ctx: &Context) -> Fig10 {
+    let classifier = VpnClassifier::new(ctx.vpn_candidate_ips());
+    let candidate_ips = classifier.candidate_count();
+    let generator = ctx.generator();
+    let region = VantagePoint::IxpCe.region();
+    let mut weeks = Vec::new();
+    for week in &PORTS_IXP_WEEKS {
+        let mut port = VpnWeek::default();
+        let mut domain = VpnWeek::default();
+        run_week(ctx, &generator, &classifier, week, region, &mut port, &mut domain);
+        weeks.push((week.label, port, domain));
+    }
+    Fig10 {
+        weeks,
+        candidate_ips,
+    }
+}
+
+fn run_week(
+    _ctx: &Context,
+    generator: &lockdown_traffic::generate::TrafficGenerator<'_>,
+    classifier: &VpnClassifier,
+    week: &AnalysisWeek,
+    region: lockdown_topology::asn::Region,
+    port: &mut VpnWeek,
+    domain: &mut VpnWeek,
+) {
+    generator.for_each_hour(VantagePoint::IxpCe, week.start, week.end(), |date, hour, flows| {
+        let weekend = day_type(date, region) != DayType::Workday;
+        for f in flows {
+            let Some(method) = classifier.classify(f) else {
+                continue;
+            };
+            let target = match method {
+                VpnMethod::Port => &mut *port,
+                VpnMethod::Domain => &mut *domain,
+            };
+            if weekend {
+                target.weekend[hour as usize] += f.bytes;
+            } else {
+                target.workday[hour as usize] += f.bytes;
+            }
+        }
+    });
+}
+
+impl Fig10 {
+    /// One week's pair by label.
+    pub fn week(&self, label: &str) -> (&VpnWeek, &VpnWeek) {
+        let (_, p, d) = self
+            .weeks
+            .iter()
+            .find(|(l, _, _)| *l == label)
+            .expect("week exists");
+        (p, d)
+    }
+
+    /// Working-hours growth of one method between two weeks.
+    pub fn working_hours_growth(&self, method: VpnMethod, from: &str, to: &str) -> f64 {
+        let pick = |label: &str| {
+            let (p, d) = self.week(label);
+            match method {
+                VpnMethod::Port => p.working_hours_bytes(),
+                VpnMethod::Domain => d.working_hours_bytes(),
+            }
+        };
+        pick(to) as f64 / pick(from).max(1) as f64
+    }
+
+    /// Render weekly working-hours totals for both methods.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "week",
+            "port-based (work-hrs)",
+            "domain-based (work-hrs)",
+            "domain weekend",
+        ]);
+        for (label, p, d) in &self.weeks {
+            t.row([
+                label.to_string(),
+                p.working_hours_bytes().to_string(),
+                d.working_hours_bytes().to_string(),
+                d.weekend_bytes().to_string(),
+            ]);
+        }
+        format!(
+            "Fig. 10 — VPN traffic at IXP-CE ({} candidate endpoints)\n{}",
+            self.candidate_ips,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Fidelity;
+    use std::sync::OnceLock;
+
+    fn fig() -> &'static Fig10 {
+        static FIG: OnceLock<Fig10> = OnceLock::new();
+        FIG.get_or_init(|| run(&Context::new(Fidelity::Test)))
+    }
+
+    #[test]
+    fn candidates_found() {
+        assert!(fig().candidate_ips > 30, "{} candidates", fig().candidate_ips);
+    }
+
+    #[test]
+    fn port_based_barely_moves() {
+        // "we see almost no change in port-based VPN traffic before and
+        // after the lockdown".
+        let g = fig().working_hours_growth(VpnMethod::Port, "february", "march");
+        assert!((0.75..1.45).contains(&g), "port-based growth {g:.2}");
+    }
+
+    #[test]
+    fn domain_based_explodes_in_march() {
+        // "the workday traffic increases by more than 200% in March".
+        let g = fig().working_hours_growth(VpnMethod::Domain, "february", "march");
+        assert!(g > 2.6, "domain-based March growth only {g:.2}×");
+        // Port-based counting vastly undercounts the increase.
+        let port = fig().working_hours_growth(VpnMethod::Port, "february", "march");
+        assert!(g > 2.0 * port);
+    }
+
+    #[test]
+    fn april_gain_smaller_than_march() {
+        // "in April, we still see a gain … although not as large as in
+        // March" (restrictions were lifting).
+        let march = fig().working_hours_growth(VpnMethod::Domain, "february", "march");
+        let april = fig().working_hours_growth(VpnMethod::Domain, "february", "april");
+        assert!(april > 1.3, "April domain gain {april:.2}");
+        assert!(april < march, "April {april:.2} must trail March {march:.2}");
+    }
+
+    #[test]
+    fn weekend_increase_less_pronounced() {
+        let f = fig();
+        let (_, d_feb) = f.week("february");
+        let (_, d_mar) = f.week("march");
+        let weekend_growth = d_mar.weekend_bytes() as f64 / d_feb.weekend_bytes().max(1) as f64;
+        let work_growth = f.working_hours_growth(VpnMethod::Domain, "february", "march");
+        assert!(
+            weekend_growth < work_growth,
+            "weekend {weekend_growth:.2} must trail working hours {work_growth:.2}"
+        );
+    }
+
+    #[test]
+    fn renders() {
+        assert!(fig().render().contains("domain-based"));
+    }
+}

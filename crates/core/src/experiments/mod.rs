@@ -1,0 +1,71 @@
+//! One driver per figure and table of the paper.
+//!
+//! Every driver generates its own slice of the synthetic trace (generation
+//! is deterministic and cell-seeded, so slices are consistent across
+//! experiments), runs the `lockdown-analysis` pipeline over it, and returns
+//! a typed result with a plain-text `render()`.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — weekly traffic across vantage points |
+//! | [`fig2`] | Fig. 2 — diurnal patterns and day classification |
+//! | [`fig3`] | Fig. 3 — hourly volumes for the four analysis weeks |
+//! | [`fig4`] | Fig. 4 — hypergiant vs. other-AS growth |
+//! | [`fig5`] | Fig. 5 — IXP port-utilization ECDFs |
+//! | [`fig6`] | Fig. 6 — per-AS total vs. residential shifts |
+//! | [`fig7`] | Fig. 7 — top application ports |
+//! | [`fig8`] | Fig. 8 — gaming at IXP-SE |
+//! | [`fig9`] | Fig. 9 — application-class heatmaps |
+//! | [`fig10`] | Fig. 10 — VPN: port- vs. domain-identified |
+//! | [`fig11_12`] | Figs. 11–12 and §7 statistics — the EDU network |
+//! | [`sec3_4`] | §3.4 — remote-work AS ratio groups |
+//! | [`sec9`] | §9 — peak vs. valley growth decomposition |
+//! | [`tables`] | Table 1 (filters) and Table 2 (hypergiants) |
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod sec3_4;
+pub mod sec9;
+pub mod fig10;
+pub mod fig11_12;
+pub mod tables;
+
+use crate::context::Context;
+use lockdown_analysis::timeseries::HourlyVolume;
+use lockdown_flow::time::Date;
+use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::parallel::default_workers;
+
+/// Accumulate a vantage point's hourly volume over an inclusive range.
+/// Long sweeps (Fig. 1/2 cover 120+ days) fan out over scoped threads;
+/// cell seeding makes the result identical to the sequential fold.
+pub(crate) fn volume_over(ctx: &Context, vp: VantagePoint, start: Date, end: Date) -> HourlyVolume {
+    let generator = ctx.generator();
+    let days = start.days_until(end) + 1;
+    if days < 14 {
+        let mut volume = HourlyVolume::new();
+        generator.for_each_hour(vp, start, end, |_, _, flows| {
+            volume.add_all(flows);
+        });
+        return volume;
+    }
+    generator.fold_hours_parallel(
+        vp,
+        start,
+        end,
+        default_workers(),
+        HourlyVolume::new,
+        |acc, _, _, flows| acc.add_all(flows),
+        |mut a, b| {
+            a.merge(&b);
+            a
+        },
+    )
+}

@@ -1,0 +1,15 @@
+//! # lockdown-core
+//!
+//! Experiment drivers reproducing every figure and table of "The Lockdown
+//! Effect" (IMC 2020) over the synthetic substrate, plus text/CSV report
+//! rendering. See `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+pub mod report;
+
+pub use context::{Context, Fidelity};

@@ -1,0 +1,294 @@
+//! Flow collector: the receiving side of the export pipeline.
+//!
+//! Accepts raw datagrams in any of the three formats (the version is
+//! sniffed from the first two bytes, as real collectors do), maintains
+//! per-observation-domain template state for the templated formats, and
+//! accumulates normalized [`FlowRecord`]s plus collection statistics.
+//!
+//! A collector that starts mid-stream will see v9/IPFIX data sets before
+//! the next template refresh arrives; those packets are counted in
+//! [`CollectorStats::missing_template`] and dropped, matching deployed
+//! collector behaviour.
+
+use crate::ipfix;
+use crate::netflow::v5;
+use crate::netflow::v9;
+use crate::record::FlowRecord;
+use crate::wire::{Cursor, WireError};
+use std::collections::HashMap;
+
+/// Counters describing what a collector has seen.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Datagrams accepted and fully decoded.
+    pub packets_ok: u64,
+    /// Flow records extracted.
+    pub records: u64,
+    /// Datagrams dropped because a data set referenced an unseen template.
+    pub missing_template: u64,
+    /// Datagrams dropped as malformed.
+    pub malformed: u64,
+    /// Records whose counters were renormalized by an announced sampling
+    /// interval.
+    pub renormalized: u64,
+}
+
+/// Scale sampled counters by the exporter's announced interval; returns
+/// how many records were adjusted.
+fn renormalize(
+    records: &mut [FlowRecord],
+    sampling: Option<crate::netflow::options::SamplingInfo>,
+) -> u64 {
+    let Some(info) = sampling else { return 0 };
+    if info.interval <= 1 {
+        return 0;
+    }
+    for r in records.iter_mut() {
+        r.bytes = r.bytes.saturating_mul(u64::from(info.interval));
+        r.packets = r.packets.saturating_mul(u64::from(info.interval));
+    }
+    records.len() as u64
+}
+
+/// A multi-format flow collector.
+#[derive(Debug, Default)]
+pub struct Collector {
+    /// v9 template state per source id.
+    v9_templates: HashMap<u32, v9::TemplateCache>,
+    /// IPFIX template state per observation domain.
+    ipfix_templates: HashMap<u32, v9::TemplateCache>,
+    records: Vec<FlowRecord>,
+    stats: CollectorStats,
+}
+
+impl Collector {
+    /// An empty collector with no template state.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// Ingest one datagram. Returns how many records it contributed.
+    pub fn ingest(&mut self, datagram: &[u8]) -> usize {
+        let mut c = Cursor::new(datagram);
+        let version = match c.read_u16("version sniff") {
+            Ok(v) => v,
+            Err(_) => {
+                self.stats.malformed += 1;
+                return 0;
+            }
+        };
+        let result = match version {
+            v5::VERSION => v5::decode(datagram).map(|(_, recs)| recs),
+            v9::VERSION => match v9::check(datagram) {
+                Ok(hdr) => {
+                    let cache = self.v9_templates.entry(hdr.source_id).or_default();
+                    v9::decode(datagram, cache)
+                        .map(|(_, recs)| (recs, cache.sampling()))
+                        .map(|(mut recs, sampling)| {
+                            self.stats.renormalized += renormalize(&mut recs, sampling);
+                            recs
+                        })
+                }
+                Err(e) => Err(e),
+            },
+            ipfix::VERSION => match ipfix::check(datagram) {
+                Ok(hdr) => {
+                    let cache = self.ipfix_templates.entry(hdr.domain_id).or_default();
+                    ipfix::decode(datagram, cache)
+                        .map(|(_, recs)| (recs, cache.sampling()))
+                        .map(|(mut recs, sampling)| {
+                            self.stats.renormalized += renormalize(&mut recs, sampling);
+                            recs
+                        })
+                }
+                Err(e) => Err(e),
+            },
+            found => Err(WireError::BadVersion { expected: 0, found }),
+        };
+        match result {
+            Ok(recs) => {
+                let n = recs.len();
+                self.stats.packets_ok += 1;
+                self.stats.records += n as u64;
+                self.records.extend(recs);
+                n
+            }
+            Err(WireError::UnknownTemplate { .. }) => {
+                self.stats.missing_template += 1;
+                0
+            }
+            Err(_) => {
+                self.stats.malformed += 1;
+                0
+            }
+        }
+    }
+
+    /// Ingest a batch of datagrams.
+    pub fn ingest_all<'a>(&mut self, datagrams: impl IntoIterator<Item = &'a [u8]>) -> usize {
+        datagrams.into_iter().map(|d| self.ingest(d)).sum()
+    }
+
+    /// Collected records so far.
+    pub fn records(&self) -> &[FlowRecord] {
+        &self.records
+    }
+
+    /// Drain collected records, leaving template state intact.
+    pub fn take_records(&mut self) -> Vec<FlowRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Collection statistics so far.
+    pub fn stats(&self) -> CollectorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exporter::{ExportFormat, Exporter, ExporterConfig};
+    use crate::protocol::IpProtocol;
+    use crate::record::{FlowKey, FlowRecord};
+    use crate::time::{Date, Timestamp};
+    use std::net::Ipv4Addr;
+
+    fn records(n: u32, t: Timestamp) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|i| {
+                FlowRecord::builder(
+                    FlowKey {
+                        src_addr: Ipv4Addr::from(0xC633_6400 | (i & 0xFF)),
+                        dst_addr: Ipv4Addr::new(198, 51, 100, 1),
+                        src_port: 10_000 + i as u16,
+                        dst_port: 443,
+                        protocol: IpProtocol::Udp,
+                    },
+                    t,
+                )
+                .end(t.add_secs(5))
+                .bytes(500 + u64::from(i))
+                .packets(3)
+                .build()
+            })
+            .collect()
+    }
+
+    fn run_roundtrip(format: ExportFormat) {
+        let boot = Date::new(2020, 3, 18).midnight();
+        let now = boot.add_hours(6);
+        let recs = records(57, now);
+        let mut exporter = Exporter::new(ExporterConfig::new(format, boot));
+        let pkts = exporter.export_all(&recs, now.add_secs(30));
+        let mut collector = Collector::new();
+        let n = collector.ingest_all(pkts.iter().map(|p| p.as_slice()));
+        assert_eq!(n, 57);
+        assert_eq!(collector.stats().records, 57);
+        assert_eq!(collector.stats().malformed, 0);
+        // Payload fields survive the trip for every format.
+        for (a, b) in recs.iter().zip(collector.records()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.packets, b.packets);
+        }
+    }
+
+    #[test]
+    fn roundtrip_v5() {
+        run_roundtrip(ExportFormat::NetflowV5);
+    }
+
+    #[test]
+    fn roundtrip_v9() {
+        run_roundtrip(ExportFormat::NetflowV9);
+    }
+
+    #[test]
+    fn roundtrip_ipfix() {
+        run_roundtrip(ExportFormat::Ipfix);
+    }
+
+    #[test]
+    fn mid_stream_join_drops_until_template() {
+        let boot = Date::new(2020, 3, 18).midnight();
+        let now = boot.add_hours(6);
+        let mut cfg = ExporterConfig::new(ExportFormat::Ipfix, boot);
+        cfg.batch_size = 10;
+        cfg.template_refresh = 3;
+        let mut exporter = Exporter::new(cfg);
+        let pkts = exporter.export_all(&records(60, now), now.add_secs(1));
+        assert_eq!(pkts.len(), 6);
+
+        // Join after the first (template-bearing) packet.
+        let mut collector = Collector::new();
+        let n = collector.ingest_all(pkts[1..].iter().map(|p| p.as_slice()));
+        // Packets 1, 2 dropped (no template); 3 carries a refresh; 3..6 decode.
+        assert_eq!(collector.stats().missing_template, 2);
+        assert_eq!(n, 30);
+    }
+
+    #[test]
+    fn malformed_and_unknown_versions_counted() {
+        let mut collector = Collector::new();
+        assert_eq!(collector.ingest(&[0x00]), 0);
+        assert_eq!(collector.ingest(&[0x00, 0x07, 1, 2, 3]), 0);
+        let stats = collector.stats();
+        assert_eq!(stats.malformed, 2);
+        assert_eq!(stats.packets_ok, 0);
+    }
+
+    #[test]
+    fn per_domain_template_isolation() {
+        let boot = Date::new(2020, 3, 18).midnight();
+        let now = boot.add_hours(1);
+        // Exporter A (domain 1) sends template+data; exporter B (domain 2)
+        // sends data only. B's data must not decode against A's template.
+        let mut cfg_a = ExporterConfig::new(ExportFormat::Ipfix, boot);
+        cfg_a.domain_id = 1;
+        let mut a = Exporter::new(cfg_a);
+        let mut cfg_b = ExporterConfig::new(ExportFormat::Ipfix, boot);
+        cfg_b.domain_id = 2;
+        cfg_b.template_refresh = 0; // template only in the very first packet
+        let mut b = Exporter::new(cfg_b);
+
+        let pkts_a = a.export_all(&records(5, now), now.add_secs(1));
+        let pkts_b = b.export_all(&records(5, now), now.add_secs(1));
+
+        let mut collector = Collector::new();
+        collector.ingest_all(pkts_a.iter().map(|p| p.as_slice()));
+        // Drop B's first packet (which held its template): the rest has none.
+        // With batch 100, B emits a single packet, so craft the scenario by
+        // re-exporting data-only from B.
+        let data_only = b.export_all(&records(5, now), now.add_secs(2));
+        let before = collector.stats().missing_template;
+        // b's second batch: template_refresh=0 means only packet 0 had it.
+        collector.ingest_all(data_only.iter().map(|p| p.as_slice()));
+        // Domain 2 never delivered its template to this collector.
+        assert!(collector.stats().missing_template > before);
+        // B's first batch (template + data) arrives late: decodes fine, but
+        // the dropped data-only batch is gone for good.
+        collector.ingest_all(pkts_b.iter().map(|p| p.as_slice()));
+        assert_eq!(collector.stats().records, 10);
+    }
+
+    #[test]
+    fn take_records_preserves_templates() {
+        let boot = Date::new(2020, 3, 18).midnight();
+        let now = boot.add_hours(1);
+        let mut cfg = ExporterConfig::new(ExportFormat::Ipfix, boot);
+        cfg.template_refresh = 0;
+        let mut exporter = Exporter::new(cfg);
+        let p1 = exporter.export_all(&records(3, now), now.add_secs(1));
+        let p2 = exporter.export_all(&records(3, now), now.add_secs(2));
+
+        let mut collector = Collector::new();
+        collector.ingest_all(p1.iter().map(|p| p.as_slice()));
+        let drained = collector.take_records();
+        assert_eq!(drained.len(), 3);
+        assert!(collector.records().is_empty());
+        // Template cache survives the drain; p2 (data-only) still decodes.
+        collector.ingest_all(p2.iter().map(|p| p.as_slice()));
+        assert_eq!(collector.records().len(), 3);
+    }
+}

@@ -1,0 +1,324 @@
+//! Flow exporter: turns streams of [`FlowRecord`]s into wire datagrams.
+//!
+//! Models what a router/IXP fabric exporter does: batch records into
+//! packets, maintain sequence numbers, and (for templated formats) re-send
+//! the template periodically so that a collector joining mid-stream can
+//! synchronize — the behaviour the collector tests in this crate and the
+//! integration tests exercise.
+
+use crate::ipfix;
+use crate::netflow::options::{OptionsTemplate, SamplingInfo};
+use crate::netflow::v5;
+use crate::netflow::v9;
+use crate::netflow::Template;
+use crate::record::FlowRecord;
+use crate::sampling::FlowSampler;
+use crate::time::Timestamp;
+
+/// Wire format an [`Exporter`] speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// NetFlow v5 (fixed format; 16-bit ASNs).
+    NetflowV5,
+    /// NetFlow v9 (templated; uptime-relative timestamps).
+    NetflowV9,
+    /// IPFIX / RFC 7011 (templated; absolute timestamps).
+    Ipfix,
+}
+
+/// Exporter configuration.
+#[derive(Debug, Clone)]
+pub struct ExporterConfig {
+    /// Wire format to emit.
+    pub format: ExportFormat,
+    /// Records per emitted packet (clamped to 30 for v5).
+    pub batch_size: usize,
+    /// For templated formats: a template is included every
+    /// `template_refresh` packets (and always in the first packet).
+    pub template_refresh: u32,
+    /// Router boot time; used by v5/v9 uptime-relative encoding.
+    pub boot_time: Timestamp,
+    /// Observation domain / source id stamped on packets.
+    pub domain_id: u32,
+    /// Template id for templated formats.
+    pub template_id: u16,
+    /// Router-style packet sampling: when set to N > 1, only 1-in-N flows
+    /// are exported with *raw* counters and the sampling configuration is
+    /// announced in-band via an options template (v9/IPFIX only; the
+    /// collector renormalizes). `None`/1 exports everything.
+    pub sampling: Option<u32>,
+}
+
+impl ExporterConfig {
+    /// A sensible default for the given format.
+    pub fn new(format: ExportFormat, boot_time: Timestamp) -> ExporterConfig {
+        ExporterConfig {
+            format,
+            batch_size: match format {
+                ExportFormat::NetflowV5 => v5::MAX_RECORDS,
+                _ => 100,
+            },
+            template_refresh: 20,
+            boot_time,
+            domain_id: 0,
+            template_id: 256,
+            sampling: None,
+        }
+    }
+}
+
+/// Stateful exporter. Feed it records; it yields datagrams.
+#[derive(Debug)]
+pub struct Exporter {
+    config: ExporterConfig,
+    template: Template,
+    options_template: OptionsTemplate,
+    sampler: Option<FlowSampler>,
+    /// v5: flows exported; v9: packets emitted; IPFIX: data records emitted.
+    sequence: u32,
+    packets_emitted: u32,
+    pending: Vec<FlowRecord>,
+}
+
+impl Exporter {
+    /// Build an exporter from a configuration.
+    pub fn new(config: ExporterConfig) -> Exporter {
+        let template = match config.format {
+            ExportFormat::NetflowV9 => Template::standard_v9(config.template_id),
+            _ => Template::standard_ipfix(config.template_id),
+        };
+        let mut config = config;
+        if config.format == ExportFormat::NetflowV5 {
+            config.batch_size = config.batch_size.min(v5::MAX_RECORDS);
+        }
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let sampler = match config.sampling {
+            Some(rate) if rate > 1 => {
+                assert!(
+                    config.format != ExportFormat::NetflowV5,
+                    "v5 has no in-band sampling announcement; sample upstream instead"
+                );
+                Some(FlowSampler::new(rate, u64::from(config.domain_id) ^ 0x5A17))
+            }
+            _ => None,
+        };
+        let options_template = OptionsTemplate::sampling(config.template_id + 1);
+        Exporter {
+            config,
+            template,
+            options_template,
+            sampler,
+            sequence: 0,
+            packets_emitted: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The sampling announcement this exporter sends, if sampling.
+    pub fn sampling_info(&self) -> Option<SamplingInfo> {
+        self.config.sampling.filter(|&r| r > 1).map(|rate| SamplingInfo {
+            interval: rate,
+            algorithm: 1, // deterministic hash-based selection
+        })
+    }
+
+    /// The template this exporter announces (templated formats).
+    pub fn template(&self) -> &Template {
+        &self.template
+    }
+
+    /// Queue a record; returns a datagram when a full batch is ready.
+    /// Under sampled export, unselected flows are silently dropped with
+    /// their counters *unscaled* — renormalization is the collector's job,
+    /// guided by the in-band announcement.
+    pub fn push(&mut self, record: FlowRecord, now: Timestamp) -> Option<Vec<u8>> {
+        if let Some(sampler) = &self.sampler {
+            if !sampler.selects(&record) {
+                return None;
+            }
+        }
+        self.pending.push(record);
+        if self.pending.len() >= self.config.batch_size {
+            Some(self.emit(now))
+        } else {
+            None
+        }
+    }
+
+    /// Flush any buffered records into a final (possibly short) datagram.
+    pub fn flush(&mut self, now: Timestamp) -> Option<Vec<u8>> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.emit(now))
+        }
+    }
+
+    /// Export an entire batch of records as a sequence of datagrams.
+    pub fn export_all(&mut self, records: &[FlowRecord], now: Timestamp) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for r in records {
+            if let Some(pkt) = self.push(*r, now) {
+                out.push(pkt);
+            }
+        }
+        if let Some(pkt) = self.flush(now) {
+            out.push(pkt);
+        }
+        out
+    }
+
+    fn template_due(&self) -> bool {
+        self.packets_emitted == 0
+            || (self.config.template_refresh > 0
+                && self.packets_emitted.is_multiple_of(self.config.template_refresh))
+    }
+
+    fn emit(&mut self, now: Timestamp) -> Vec<u8> {
+        let batch: Vec<FlowRecord> = self.pending.drain(..).collect();
+        let pkt = match self.config.format {
+            ExportFormat::NetflowV5 => {
+                let pkt = v5::encode(&batch, now, self.config.boot_time, self.sequence);
+                self.sequence = self.sequence.wrapping_add(batch.len() as u32);
+                pkt
+            }
+            ExportFormat::NetflowV9 => {
+                let due = self.template_due();
+                let tmpl = due.then_some(&self.template);
+                let sampling = if due {
+                    self.sampling_info().map(|i| (&self.options_template, i))
+                } else {
+                    None
+                };
+                let pkt = v9::encode_full(
+                    &batch,
+                    tmpl,
+                    sampling,
+                    &self.template,
+                    now,
+                    self.config.boot_time,
+                    self.sequence,
+                    self.config.domain_id,
+                );
+                self.sequence = self.sequence.wrapping_add(1); // v9: per packet
+                pkt
+            }
+            ExportFormat::Ipfix => {
+                let due = self.template_due();
+                let tmpl = due.then_some(&self.template);
+                let sampling = if due {
+                    self.sampling_info().map(|i| (&self.options_template, i))
+                } else {
+                    None
+                };
+                let pkt = ipfix::encode_full(
+                    &batch,
+                    tmpl,
+                    sampling,
+                    &self.template,
+                    now,
+                    self.sequence,
+                    self.config.domain_id,
+                );
+                self.sequence = self.sequence.wrapping_add(batch.len() as u32);
+                pkt
+            }
+        };
+        self.packets_emitted = self.packets_emitted.wrapping_add(1);
+        pkt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::IpProtocol;
+    use crate::record::FlowKey;
+    use crate::time::Date;
+    use std::net::Ipv4Addr;
+
+    fn record(i: u32, t: Timestamp) -> FlowRecord {
+        FlowRecord::builder(
+            FlowKey {
+                src_addr: Ipv4Addr::from(0x0A00_0000 | i),
+                dst_addr: Ipv4Addr::new(192, 0, 2, 1),
+                src_port: 1_024 + (i % 60_000) as u16,
+                dst_port: 443,
+                protocol: IpProtocol::Tcp,
+            },
+            t,
+        )
+        .end(t.add_secs(1))
+        .bytes(1_000)
+        .packets(2)
+        .build()
+    }
+
+    fn mk(format: ExportFormat, batch: usize, refresh: u32) -> (Exporter, Timestamp) {
+        let boot = Date::new(2020, 2, 1).midnight();
+        let mut cfg = ExporterConfig::new(format, boot);
+        cfg.batch_size = batch;
+        cfg.template_refresh = refresh;
+        (Exporter::new(cfg), boot.add_hours(24))
+    }
+
+    #[test]
+    fn batches_and_flushes() {
+        let (mut e, now) = mk(ExportFormat::Ipfix, 10, 20);
+        let recs: Vec<_> = (0..25).map(|i| record(i, now)).collect();
+        let pkts = e.export_all(&recs, now.add_secs(60));
+        assert_eq!(pkts.len(), 3); // 10 + 10 + 5
+    }
+
+    #[test]
+    fn v5_clamps_batch() {
+        let boot = Date::new(2020, 2, 1).midnight();
+        let mut cfg = ExporterConfig::new(ExportFormat::NetflowV5, boot);
+        cfg.batch_size = 100;
+        let e = Exporter::new(cfg);
+        assert_eq!(e.config.batch_size, v5::MAX_RECORDS);
+    }
+
+    #[test]
+    fn v5_sequence_counts_flows() {
+        let (mut e, now) = mk(ExportFormat::NetflowV5, 5, 0);
+        let recs: Vec<_> = (0..12).map(|i| record(i, now)).collect();
+        let pkts = e.export_all(&recs, now.add_secs(1));
+        assert_eq!(pkts.len(), 3);
+        let (h0, _) = v5::decode(&pkts[0]).unwrap();
+        let (h1, _) = v5::decode(&pkts[1]).unwrap();
+        let (h2, _) = v5::decode(&pkts[2]).unwrap();
+        assert_eq!((h0.flow_sequence, h1.flow_sequence, h2.flow_sequence), (0, 5, 10));
+    }
+
+    #[test]
+    fn template_refresh_cycle() {
+        let (mut e, now) = mk(ExportFormat::NetflowV9, 1, 3);
+        let recs: Vec<_> = (0..7).map(|i| record(i, now)).collect();
+        let pkts = e.export_all(&recs, now.add_secs(1));
+        assert_eq!(pkts.len(), 7);
+        // Packets 0, 3, 6 carry the template: decodable from scratch.
+        for (i, pkt) in pkts.iter().enumerate() {
+            let mut fresh = v9::TemplateCache::new();
+            let has_template = v9::decode(pkt, &mut fresh).is_ok();
+            assert_eq!(has_template, i % 3 == 0, "packet {i}");
+        }
+    }
+
+    #[test]
+    fn ipfix_sequence_counts_records() {
+        let (mut e, now) = mk(ExportFormat::Ipfix, 4, 1);
+        let recs: Vec<_> = (0..8).map(|i| record(i, now)).collect();
+        let pkts = e.export_all(&recs, now.add_secs(1));
+        let mut cache = v9::TemplateCache::new();
+        let (h0, _) = ipfix::decode(&pkts[0], &mut cache).unwrap();
+        let (h1, _) = ipfix::decode(&pkts[1], &mut cache).unwrap();
+        assert_eq!((h0.sequence, h1.sequence), (0, 4));
+    }
+
+    #[test]
+    fn flush_on_empty_is_none() {
+        let (mut e, now) = mk(ExportFormat::Ipfix, 4, 1);
+        assert!(e.flush(now).is_none());
+    }
+}

@@ -1,0 +1,646 @@
+//! NetFlow version 9 (RFC 3954) — the templated export format.
+//!
+//! A v9 packet carries a 20-byte header and a sequence of FlowSets. FlowSet
+//! id 0 holds templates; ids ≥ 256 hold data records whose layout is defined
+//! by the referenced template. Decoding therefore requires template state —
+//! [`TemplateCache`] — which in practice is keyed by `(exporter, source id,
+//! template id)`; here the exporter identity is the cache instance.
+
+use super::options::{parse_options_record, validate, OptionsTemplate, SamplingInfo};
+use super::{field, FieldSpec, Template};
+use crate::protocol::{IpProtocol, TcpFlags};
+use crate::record::{Direction, FlowKey, FlowRecord};
+use crate::time::Timestamp;
+use crate::wire::{Cursor, PutBe, WireError, WireResult};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Protocol version constant.
+pub const VERSION: u16 = 9;
+/// Packet header size.
+pub const HEADER_LEN: usize = 20;
+/// FlowSet id carrying templates.
+pub const TEMPLATE_FLOWSET_ID: u16 = 0;
+/// FlowSet id carrying options templates (parsed and skipped).
+pub const OPTIONS_FLOWSET_ID: u16 = 1;
+
+/// Decoded v9 packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct V9Header {
+    /// Total records (data + templates) in the packet.
+    pub count: u16,
+    /// Milliseconds since the exporter booted.
+    pub sys_uptime_ms: u32,
+    /// Export time, Unix seconds.
+    pub unix_secs: u32,
+    /// Packet-level sequence number (unlike v5's flow-level one).
+    pub sequence: u32,
+    /// Exporter observation domain ("source id").
+    pub source_id: u32,
+}
+
+/// Per-exporter template state used when decoding data FlowSets.
+#[derive(Debug, Default, Clone)]
+pub struct TemplateCache {
+    templates: HashMap<u16, Template>,
+    options: HashMap<u16, OptionsTemplate>,
+    sampling: Option<SamplingInfo>,
+}
+
+impl TemplateCache {
+    /// An empty cache.
+    pub fn new() -> TemplateCache {
+        TemplateCache::default()
+    }
+
+    /// Insert or refresh a template (v9 semantics: latest definition wins).
+    pub fn insert(&mut self, template: Template) {
+        self.templates.insert(template.id, template);
+    }
+
+    /// Look up a template by id.
+    pub fn get(&self, id: u16) -> Option<&Template> {
+        self.templates.get(&id)
+    }
+
+    /// Number of cached templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the cache holds no templates.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Insert or refresh an options template.
+    pub fn insert_options(&mut self, template: OptionsTemplate) {
+        self.options.insert(template.id, template);
+    }
+
+    /// Look up an options template by id.
+    pub fn get_options(&self, id: u16) -> Option<&OptionsTemplate> {
+        self.options.get(&id)
+    }
+
+    /// The exporter's announced sampling configuration, if any.
+    pub fn sampling(&self) -> Option<SamplingInfo> {
+        self.sampling
+    }
+
+    /// Record a sampling announcement.
+    pub fn set_sampling(&mut self, info: SamplingInfo) {
+        self.sampling = Some(info);
+    }
+}
+
+/// Encode one v9 packet containing a template FlowSet (if `template` is
+/// given) followed by a data FlowSet with `records`.
+///
+/// Real exporters resend templates periodically; [`crate::exporter::Exporter`]
+/// models that refresh cycle and calls this with `template: Some(..)` when
+/// due.
+pub fn encode(
+    records: &[FlowRecord],
+    template: Option<&Template>,
+    data_template: &Template,
+    export_time: Timestamp,
+    boot_time: Timestamp,
+    sequence: u32,
+    source_id: u32,
+) -> Vec<u8> {
+    encode_full(
+        records,
+        template,
+        None,
+        data_template,
+        export_time,
+        boot_time,
+        sequence,
+        source_id,
+    )
+}
+
+/// [`encode`] plus an optional in-band sampling announcement: when
+/// `sampling` is given, the packet carries an options template FlowSet and
+/// one options data record scoped to this exporter (RFC 3954 §6.1).
+#[allow(clippy::too_many_arguments)] // mirrors the packet layout
+pub fn encode_full(
+    records: &[FlowRecord],
+    template: Option<&Template>,
+    sampling: Option<(&OptionsTemplate, SamplingInfo)>,
+    data_template: &Template,
+    export_time: Timestamp,
+    boot_time: Timestamp,
+    sequence: u32,
+    source_id: u32,
+) -> Vec<u8> {
+    assert!(export_time >= boot_time, "export before boot");
+    let uptime_ms = (export_time.unix() - boot_time.unix()) * 1000;
+    let mut buf = Vec::new();
+    let record_count =
+        records.len() + usize::from(template.is_some()) + if sampling.is_some() { 2 } else { 0 };
+    buf.put_u16_be(VERSION);
+    buf.put_u16_be(record_count as u16);
+    buf.put_u32_be(uptime_ms as u32);
+    buf.put_u32_be(export_time.unix() as u32);
+    buf.put_u32_be(sequence);
+    buf.put_u32_be(source_id);
+
+    if let Some(t) = template {
+        encode_template_flowset(&mut buf, t);
+    }
+    if let Some((ot, info)) = sampling {
+        encode_options_template_flowset(&mut buf, ot);
+        encode_options_data_flowset(&mut buf, ot, info, source_id);
+    }
+    if !records.is_empty() {
+        encode_data_flowset(&mut buf, records, data_template, export_time, uptime_ms);
+    }
+    buf
+}
+
+/// v9 options template FlowSet: scope/option sizes are in *bytes*.
+fn encode_options_template_flowset(buf: &mut Vec<u8>, t: &OptionsTemplate) {
+    let scope_len = t.scope_fields.len() * 4;
+    let option_len = t.option_fields.len() * 4;
+    let raw = 4 + 6 + scope_len + option_len;
+    let padding = (4 - raw % 4) % 4;
+    buf.put_u16_be(OPTIONS_FLOWSET_ID);
+    buf.put_u16_be((raw + padding) as u16);
+    buf.put_u16_be(t.id);
+    buf.put_u16_be(scope_len as u16);
+    buf.put_u16_be(option_len as u16);
+    for f in t.scope_fields.iter().chain(&t.option_fields) {
+        buf.put_u16_be(f.field_type);
+        buf.put_u16_be(f.length);
+    }
+    for _ in 0..padding {
+        buf.put_u8_be(0);
+    }
+}
+
+/// One options data record (in a regular data FlowSet keyed by the
+/// options template id) announcing the sampling configuration.
+fn encode_options_data_flowset(
+    buf: &mut Vec<u8>,
+    t: &OptionsTemplate,
+    info: SamplingInfo,
+    source_id: u32,
+) {
+    use super::options::{SAMPLING_ALGORITHM, SAMPLING_INTERVAL, SCOPE_SYSTEM};
+    let raw = 4 + t.record_len();
+    let padding = (4 - raw % 4) % 4;
+    buf.put_u16_be(t.id);
+    buf.put_u16_be((raw + padding) as u16);
+    for f in t.scope_fields.iter().chain(&t.option_fields) {
+        let value: u64 = match f.field_type {
+            SCOPE_SYSTEM => u64::from(source_id),
+            SAMPLING_INTERVAL => u64::from(info.interval),
+            SAMPLING_ALGORITHM => u64::from(info.algorithm),
+            _ => 0,
+        };
+        for i in (0..f.length).rev() {
+            buf.put_u8_be((value >> (8 * i)) as u8);
+        }
+    }
+    for _ in 0..padding {
+        buf.put_u8_be(0);
+    }
+}
+
+fn encode_template_flowset(buf: &mut Vec<u8>, t: &Template) {
+    let body_len = 4 + 4 + t.fields.len() * 4; // flowset hdr + tmpl hdr + fields
+    buf.put_u16_be(TEMPLATE_FLOWSET_ID);
+    buf.put_u16_be(body_len as u16);
+    buf.put_u16_be(t.id);
+    buf.put_u16_be(t.fields.len() as u16);
+    for f in &t.fields {
+        buf.put_u16_be(f.field_type);
+        buf.put_u16_be(f.length);
+    }
+}
+
+fn encode_data_flowset(
+    buf: &mut Vec<u8>,
+    records: &[FlowRecord],
+    template: &Template,
+    export_time: Timestamp,
+    uptime_ms: u64,
+) {
+    let raw_len = 4 + records.len() * template.record_len();
+    let padding = (4 - raw_len % 4) % 4; // FlowSets are 32-bit aligned
+    buf.put_u16_be(template.id);
+    buf.put_u16_be((raw_len + padding) as u16);
+    for r in records {
+        for f in &template.fields {
+            encode_field(buf, r, f, export_time, uptime_ms);
+        }
+    }
+    for _ in 0..padding {
+        buf.put_u8_be(0);
+    }
+}
+
+/// Encode one field of one record according to its spec.
+fn encode_field(
+    buf: &mut Vec<u8>,
+    r: &FlowRecord,
+    spec: &FieldSpec,
+    export_time: Timestamp,
+    uptime_ms: u64,
+) {
+    use field::*;
+    let rel_ms = |t: Timestamp| -> u64 {
+        uptime_ms.saturating_sub(export_time.unix().saturating_sub(t.unix()) * 1000)
+    };
+    let value: u64 = match spec.field_type {
+        IPV4_SRC_ADDR => u64::from(u32::from(r.key.src_addr)),
+        IPV4_DST_ADDR => u64::from(u32::from(r.key.dst_addr)),
+        L4_SRC_PORT => u64::from(r.key.src_port),
+        L4_DST_PORT => u64::from(r.key.dst_port),
+        PROTOCOL => u64::from(r.key.protocol.number()),
+        TCP_FLAGS => u64::from(r.tcp_flags.0),
+        INPUT_SNMP => u64::from(r.input_if),
+        OUTPUT_SNMP => u64::from(r.output_if),
+        IN_BYTES => r.bytes,
+        IN_PKTS => r.packets,
+        FIRST_SWITCHED => rel_ms(r.start),
+        LAST_SWITCHED => rel_ms(r.end),
+        FLOW_START_SECONDS => r.start.unix(),
+        FLOW_END_SECONDS => r.end.unix(),
+        SRC_AS => u64::from(r.src_as),
+        DST_AS => u64::from(r.dst_as),
+        DIRECTION => match r.direction {
+            Direction::Ingress => 0,
+            Direction::Egress => 1,
+            Direction::Unknown => 0xFF,
+        },
+        _ => 0, // unknown field types encode as zero
+    };
+    // Big-endian, truncated to the spec'd length (reduced-size encoding).
+    for i in (0..spec.length).rev() {
+        buf.put_u8_be((value >> (8 * i)) as u8);
+    }
+}
+
+/// Validate the packet header without touching FlowSets.
+pub fn check(buf: &[u8]) -> WireResult<V9Header> {
+    let mut c = Cursor::new(buf);
+    let version = c.read_u16("v9 version")?;
+    if version != VERSION {
+        return Err(WireError::BadVersion {
+            expected: VERSION,
+            found: version,
+        });
+    }
+    let count = c.read_u16("v9 count")?;
+    let sys_uptime_ms = c.read_u32("v9 uptime")?;
+    let unix_secs = c.read_u32("v9 unix secs")?;
+    let sequence = c.read_u32("v9 sequence")?;
+    let source_id = c.read_u32("v9 source id")?;
+    Ok(V9Header {
+        count,
+        sys_uptime_ms,
+        unix_secs,
+        sequence,
+        source_id,
+    })
+}
+
+/// Decode a v9 packet, updating `cache` with any templates found and
+/// decoding data FlowSets whose template is known.
+///
+/// Data FlowSets referencing unknown templates produce
+/// [`WireError::UnknownTemplate`]; a tolerant collector may choose to retry
+/// after the next template refresh (see [`crate::collector`]).
+pub fn decode(buf: &[u8], cache: &mut TemplateCache) -> WireResult<(V9Header, Vec<FlowRecord>)> {
+    let header = check(buf)?;
+    let boot_unix_ms = u64::from(header.unix_secs) * 1000 - u64::from(header.sys_uptime_ms);
+    let mut c = Cursor::new(&buf[HEADER_LEN..]);
+    let mut records = Vec::new();
+    while c.remaining() >= 4 {
+        let set_id = c.read_u16("flowset id")?;
+        let set_len = c.read_u16("flowset length")? as usize;
+        if set_len < 4 {
+            return Err(WireError::BadLength {
+                what: "flowset length",
+                value: set_len,
+            });
+        }
+        let mut body = c.sub(set_len - 4, "flowset body")?;
+        match set_id {
+            TEMPLATE_FLOWSET_ID => decode_template_flowset(&mut body, cache)?,
+            OPTIONS_FLOWSET_ID => decode_options_template_flowset(&mut body, cache)?,
+            id if id >= 256 => {
+                if let Some(ot) = cache.get_options(id).cloned() {
+                    // Options data: exporter metadata, not flows.
+                    let rec_len = ot.record_len();
+                    while rec_len > 0 && body.remaining() >= rec_len {
+                        if let Some(info) = parse_options_record(&mut body, &ot)? {
+                            cache.set_sampling(info);
+                        }
+                    }
+                    continue;
+                }
+                let template = cache
+                    .get(id)
+                    .ok_or(WireError::UnknownTemplate { id })?
+                    .clone();
+                decode_data_flowset(&mut body, &template, boot_unix_ms, &mut records)?;
+            }
+            id => {
+                return Err(WireError::BadField {
+                    what: if id < 256 { "reserved flowset id" } else { "flowset id" },
+                })
+            }
+        }
+    }
+    Ok((header, records))
+}
+
+fn decode_template_flowset(c: &mut Cursor<'_>, cache: &mut TemplateCache) -> WireResult<()> {
+    // A template FlowSet may carry several templates back to back.
+    while c.remaining() >= 4 {
+        let id = c.read_u16("template id")?;
+        let field_count = c.read_u16("template field count")? as usize;
+        let mut fields = Vec::with_capacity(field_count);
+        for _ in 0..field_count {
+            let field_type = c.read_u16("field type")?;
+            let length = c.read_u16("field length")?;
+            if length == 0 {
+                return Err(WireError::BadLength {
+                    what: "template field length",
+                    value: 0,
+                });
+            }
+            fields.push(FieldSpec { field_type, length });
+        }
+        cache.insert(Template::new(id, fields)?);
+    }
+    Ok(())
+}
+
+/// Decode a v9 options template FlowSet (scope/option sizes in bytes).
+fn decode_options_template_flowset(
+    c: &mut Cursor<'_>,
+    cache: &mut TemplateCache,
+) -> WireResult<()> {
+    while c.remaining() >= 6 {
+        let id = c.read_u16("options template id")?;
+        let scope_len = c.read_u16("option scope length")? as usize;
+        let option_len = c.read_u16("option length")? as usize;
+        if !scope_len.is_multiple_of(4) || !option_len.is_multiple_of(4) {
+            return Err(WireError::BadLength {
+                what: "options template field-spec length",
+                value: scope_len + option_len,
+            });
+        }
+        let read_specs = |n: usize, c: &mut Cursor<'_>| -> WireResult<Vec<FieldSpec>> {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                let field_type = c.read_u16("options field type")?;
+                let length = c.read_u16("options field length")?;
+                out.push(FieldSpec { field_type, length });
+            }
+            Ok(out)
+        };
+        let scope_fields = read_specs(scope_len / 4, c)?;
+        let option_fields = read_specs(option_len / 4, c)?;
+        let t = OptionsTemplate {
+            id,
+            scope_fields,
+            option_fields,
+        };
+        validate(&t)?;
+        cache.insert_options(t);
+        // Remaining bytes < 6 are padding; the loop condition handles it.
+    }
+    Ok(())
+}
+
+fn decode_data_flowset(
+    c: &mut Cursor<'_>,
+    template: &Template,
+    boot_unix_ms: u64,
+    out: &mut Vec<FlowRecord>,
+) -> WireResult<()> {
+    let rec_len = template.record_len();
+    if rec_len == 0 {
+        return Err(WireError::BadLength {
+            what: "template record length",
+            value: 0,
+        });
+    }
+    while c.remaining() >= rec_len {
+        out.push(decode_record(c, template, boot_unix_ms)?);
+    }
+    // Whatever is left (< rec_len) is alignment padding.
+    Ok(())
+}
+
+/// Decode one data record against a template. Shared with the IPFIX decoder
+/// (the field semantics are identical; only the timestamp elements differ,
+/// and both are handled here).
+pub(crate) fn decode_record(
+    c: &mut Cursor<'_>,
+    template: &Template,
+    boot_unix_ms: u64,
+) -> WireResult<FlowRecord> {
+    use field::*;
+    let mut src_addr = Ipv4Addr::UNSPECIFIED;
+    let mut dst_addr = Ipv4Addr::UNSPECIFIED;
+    let (mut src_port, mut dst_port) = (0u16, 0u16);
+    let mut protocol = IpProtocol::Other(0);
+    let mut tcp_flags = TcpFlags::default();
+    let (mut input_if, mut output_if) = (0u16, 0u16);
+    let (mut bytes, mut packets) = (0u64, 0u64);
+    let (mut start, mut end) = (Timestamp(0), Timestamp(0));
+    let (mut src_as, mut dst_as) = (0u32, 0u32);
+    let mut direction = Direction::Unknown;
+
+    for f in &template.fields {
+        let v = c.read_uint(f.length as usize, "data field")?;
+        match f.field_type {
+            IPV4_SRC_ADDR => src_addr = Ipv4Addr::from(v as u32),
+            IPV4_DST_ADDR => dst_addr = Ipv4Addr::from(v as u32),
+            L4_SRC_PORT => src_port = v as u16,
+            L4_DST_PORT => dst_port = v as u16,
+            PROTOCOL => protocol = IpProtocol::from_number(v as u8),
+            TCP_FLAGS => tcp_flags = TcpFlags(v as u8),
+            INPUT_SNMP => input_if = v as u16,
+            OUTPUT_SNMP => output_if = v as u16,
+            IN_BYTES => bytes = v,
+            IN_PKTS => packets = v,
+            FIRST_SWITCHED => start = Timestamp((boot_unix_ms + v) / 1000),
+            LAST_SWITCHED => end = Timestamp((boot_unix_ms + v) / 1000),
+            FLOW_START_SECONDS => start = Timestamp(v),
+            FLOW_END_SECONDS => end = Timestamp(v),
+            SRC_AS => src_as = v as u32,
+            DST_AS => dst_as = v as u32,
+            DIRECTION => {
+                direction = match v {
+                    0 => Direction::Ingress,
+                    1 => Direction::Egress,
+                    _ => Direction::Unknown,
+                }
+            }
+            _ => { /* unknown information element: ignore */ }
+        }
+    }
+    if end < start {
+        return Err(WireError::BadField {
+            what: "flow ends before it starts",
+        });
+    }
+    Ok(FlowRecord {
+        key: FlowKey {
+            src_addr,
+            dst_addr,
+            src_port,
+            dst_port,
+            protocol,
+        },
+        start,
+        end,
+        bytes,
+        packets,
+        tcp_flags,
+        input_if,
+        output_if,
+        src_as,
+        dst_as,
+        direction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Date;
+
+    fn sample(start: Timestamp, i: u16) -> FlowRecord {
+        FlowRecord::builder(
+            FlowKey {
+                src_addr: Ipv4Addr::new(100, 64, (i >> 8) as u8, i as u8),
+                dst_addr: Ipv4Addr::new(192, 0, 2, 1),
+                src_port: 40_000 + i,
+                dst_port: 443,
+                protocol: IpProtocol::Udp,
+            },
+            start,
+        )
+        .end(start.add_secs(9))
+        .bytes(1_234_567)
+        .packets(890)
+        .asns(6_805, 20_940)
+        .direction(Direction::Egress)
+        .build()
+    }
+
+    #[test]
+    fn roundtrip_with_inline_template() {
+        let boot = Date::new(2020, 2, 20).midnight();
+        let export = boot.add_hours(3);
+        let t = Template::standard_v9(300);
+        let recs: Vec<_> = (0..5)
+            .map(|i| {
+                let mut r = sample(export, i);
+                r.start = Timestamp(export.unix() - 60);
+                r.end = Timestamp(export.unix() - 51);
+                r
+            })
+            .collect();
+        let pkt = encode(&recs, Some(&t), &t, export, boot, 9, 1);
+        let mut cache = TemplateCache::new();
+        let (hdr, out) = decode(&pkt, &mut cache).unwrap();
+        assert_eq!(hdr.count, 6); // 5 data + 1 template
+        assert_eq!(hdr.source_id, 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(out.len(), 5);
+        for (a, b) in recs.iter().zip(&out) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn data_without_template_fails_then_succeeds() {
+        let boot = Date::new(2020, 2, 20).midnight();
+        let export = boot.add_hours(1);
+        let t = Template::standard_v9(400);
+        let mut r = sample(export, 1);
+        r.start = Timestamp(export.unix() - 10);
+        r.end = Timestamp(export.unix() - 2);
+
+        let data_only = encode(&[r], None, &t, export, boot, 1, 7);
+        let mut cache = TemplateCache::new();
+        assert!(matches!(
+            decode(&data_only, &mut cache),
+            Err(WireError::UnknownTemplate { id: 400 })
+        ));
+
+        // Template-only packet teaches the cache; data then decodes.
+        let tmpl_only = encode(&[], Some(&t), &t, export, boot, 2, 7);
+        let (_, none) = decode(&tmpl_only, &mut cache).unwrap();
+        assert!(none.is_empty());
+        let (_, recs) = decode(&data_only, &mut cache).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].bytes, 1_234_567);
+        assert_eq!(recs[0].direction, Direction::Egress);
+    }
+
+    #[test]
+    fn flowset_alignment_padding() {
+        // standard template is 41 bytes -> one record needs 3 bytes padding.
+        let boot = Date::new(2020, 2, 20).midnight();
+        let export = boot.add_hours(1);
+        let t = Template::standard_v9(300);
+        let mut r = sample(export, 0);
+        r.start = Timestamp(export.unix() - 10);
+        r.end = Timestamp(export.unix() - 2);
+        let pkt = encode(&[r], None, &t, export, boot, 0, 0);
+        assert_eq!((pkt.len() - HEADER_LEN) % 4, 0, "flowset must be 32-bit aligned");
+        let mut cache = TemplateCache::new();
+        cache.insert(t);
+        let (_, recs) = decode(&pkt, &mut cache).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let boot = Date::new(2020, 2, 20).midnight();
+        let t = Template::standard_v9(300);
+        let mut pkt = encode(&[], Some(&t), &t, boot.add_hours(1), boot, 0, 0);
+        pkt[1] = 10;
+        assert!(matches!(
+            check(&pkt),
+            Err(WireError::BadVersion { found: 10, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_flowset_rejected() {
+        let boot = Date::new(2020, 2, 20).midnight();
+        let export = boot.add_hours(1);
+        let t = Template::standard_v9(300);
+        let mut r = sample(export, 0);
+        r.start = Timestamp(export.unix() - 10);
+        r.end = Timestamp(export.unix() - 2);
+        let pkt = encode(&[r], Some(&t), &t, export, boot, 0, 0);
+        let mut cache = TemplateCache::new();
+        assert!(decode(&pkt[..pkt.len() - 5], &mut cache).is_err());
+    }
+
+    #[test]
+    fn template_refresh_overwrites() {
+        let mut cache = TemplateCache::new();
+        cache.insert(Template::standard_v9(300));
+        let shorter = Template::new(
+            300,
+            vec![FieldSpec { field_type: field::IN_BYTES, length: 4 }],
+        )
+        .unwrap();
+        cache.insert(shorter.clone());
+        assert_eq!(cache.get(300), Some(&shorter));
+    }
+}

@@ -1,0 +1,164 @@
+//! Transport/IP protocol numbers and TCP flags as they appear in flow records.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// IP protocol numbers relevant to the paper's analyses.
+///
+/// The paper's port-level analysis (§4) and the EDU/VPN traffic classes
+/// (§6, Appendix B) distinguish TCP, UDP, and the tunnelling protocols ESP
+/// (IPsec payload) and GRE, which carry no ports. Everything else is folded
+/// into [`IpProtocol::Other`] with its raw protocol number preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IpProtocol {
+    /// ICMP (protocol 1).
+    Icmp,
+    /// TCP (protocol 6).
+    Tcp,
+    /// UDP (protocol 17).
+    Udp,
+    /// Generic Routing Encapsulation (protocol 47) — IPsec/VPN tunnels.
+    Gre,
+    /// IPsec Encapsulating Security Payload (protocol 50).
+    Esp,
+    /// Any other protocol, by IANA number.
+    Other(u8),
+}
+
+impl IpProtocol {
+    /// Parse from the IANA protocol number.
+    pub fn from_number(n: u8) -> IpProtocol {
+        match n {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            47 => IpProtocol::Gre,
+            50 => IpProtocol::Esp,
+            other => IpProtocol::Other(other),
+        }
+    }
+
+    /// The IANA protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Gre => 47,
+            IpProtocol::Esp => 50,
+            IpProtocol::Other(n) => n,
+        }
+    }
+
+    /// Whether this protocol carries transport-layer ports.
+    pub fn has_ports(self) -> bool {
+        matches!(self, IpProtocol::Tcp | IpProtocol::Udp)
+    }
+}
+
+impl fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpProtocol::Icmp => write!(f, "ICMP"),
+            IpProtocol::Tcp => write!(f, "TCP"),
+            IpProtocol::Udp => write!(f, "UDP"),
+            IpProtocol::Gre => write!(f, "GRE"),
+            IpProtocol::Esp => write!(f, "ESP"),
+            IpProtocol::Other(n) => write!(f, "proto{n}"),
+        }
+    }
+}
+
+/// TCP control-bit flags, as accumulated over a flow by NetFlow/IPFIX
+/// exporters (`tcpControlBits`, IE 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct TcpFlags(pub u8);
+
+#[allow(missing_docs)] // the six flag constants are self-describing
+impl TcpFlags {
+    pub const FIN: u8 = 0x01;
+    pub const SYN: u8 = 0x02;
+    pub const RST: u8 = 0x04;
+    pub const PSH: u8 = 0x08;
+    pub const ACK: u8 = 0x10;
+    pub const URG: u8 = 0x20;
+
+    /// Flags typical of a complete connection (SYN + ACK + FIN).
+    pub fn complete_connection() -> TcpFlags {
+        TcpFlags(Self::SYN | Self::ACK | Self::FIN | Self::PSH)
+    }
+
+    /// Whether the SYN bit was observed — used to count *connections*
+    /// (as opposed to volume) in the EDU analysis (§7).
+    pub fn has_syn(self) -> bool {
+        self.0 & Self::SYN != 0
+    }
+
+    pub fn has_fin(self) -> bool {
+        self.0 & Self::FIN != 0
+    }
+
+    pub fn has_rst(self) -> bool {
+        self.0 & Self::RST != 0
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [(u8, char); 6] = [
+            (TcpFlags::URG, 'U'),
+            (TcpFlags::ACK, 'A'),
+            (TcpFlags::PSH, 'P'),
+            (TcpFlags::RST, 'R'),
+            (TcpFlags::SYN, 'S'),
+            (TcpFlags::FIN, 'F'),
+        ];
+        for (bit, ch) in NAMES {
+            if self.0 & bit != 0 {
+                write!(f, "{ch}")?;
+            } else {
+                write!(f, ".")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_roundtrip() {
+        for n in 0..=255u8 {
+            assert_eq!(IpProtocol::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn named_protocols() {
+        assert_eq!(IpProtocol::from_number(6), IpProtocol::Tcp);
+        assert_eq!(IpProtocol::from_number(17), IpProtocol::Udp);
+        assert_eq!(IpProtocol::from_number(47), IpProtocol::Gre);
+        assert_eq!(IpProtocol::from_number(50), IpProtocol::Esp);
+        assert!(IpProtocol::Tcp.has_ports());
+        assert!(IpProtocol::Udp.has_ports());
+        assert!(!IpProtocol::Gre.has_ports());
+        assert!(!IpProtocol::Esp.has_ports());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(IpProtocol::Tcp.to_string(), "TCP");
+        assert_eq!(IpProtocol::Other(132).to_string(), "proto132");
+        assert_eq!(TcpFlags(TcpFlags::SYN | TcpFlags::ACK).to_string(), ".A..S.");
+    }
+
+    #[test]
+    fn flags() {
+        let f = TcpFlags::complete_connection();
+        assert!(f.has_syn());
+        assert!(f.has_fin());
+        assert!(!f.has_rst());
+    }
+}

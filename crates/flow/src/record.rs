@@ -1,0 +1,261 @@
+//! The flow record: the unit of data every analysis in the paper consumes.
+//!
+//! Both NetFlow and IPFIX reduce a unidirectional packet stream sharing a
+//! 5-tuple to one summary record. [`FlowRecord`] is the normalized in-memory
+//! form that the wire codecs decode into and the generator emits; it carries
+//! exactly the fields the paper's pipeline uses (§2: "flow summaries based
+//! on the packet header … no payload information").
+
+use crate::protocol::{IpProtocol, TcpFlags};
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Direction of a flow relative to the observing network's border.
+///
+/// The EDU analysis (§7) hinges on ingress/egress classification ("we
+/// determine whether the connections are incoming or outgoing using the AS
+/// numbers of each end-point, interfaces, and port pairs"); flows whose
+/// direction cannot be established are `Unknown` (the paper reports 39% of
+/// EDU flows in that state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Entering the observed network from outside.
+    Ingress,
+    /// Leaving the observed network.
+    Egress,
+    /// Direction could not be determined.
+    Unknown,
+}
+
+/// The classic unidirectional 5-tuple flow key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_addr: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_addr: Ipv4Addr,
+    /// Source transport port (0 for port-less protocols).
+    pub src_port: u16,
+    /// Destination transport port (0 for port-less protocols).
+    pub dst_port: u16,
+    /// IP protocol.
+    pub protocol: IpProtocol,
+}
+
+impl FlowKey {
+    /// The key of the reverse flow.
+    pub fn reversed(self) -> FlowKey {
+        FlowKey {
+            src_addr: self.dst_addr,
+            dst_addr: self.src_addr,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} -> {}:{}",
+            self.protocol, self.src_addr, self.src_port, self.dst_addr, self.dst_port
+        )
+    }
+}
+
+/// One exported flow record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// The flow's 5-tuple.
+    pub key: FlowKey,
+    /// First packet of the flow.
+    pub start: Timestamp,
+    /// Last packet of the flow.
+    pub end: Timestamp,
+    /// Total layer-3 bytes.
+    pub bytes: u64,
+    /// Total packets.
+    pub packets: u64,
+    /// Accumulated TCP flags (zero for non-TCP).
+    pub tcp_flags: TcpFlags,
+    /// SNMP input interface index on the exporting router.
+    pub input_if: u16,
+    /// SNMP output interface index on the exporting router.
+    pub output_if: u16,
+    /// Source autonomous system, as recorded by the exporter (0 if unknown).
+    pub src_as: u32,
+    /// Destination autonomous system (0 if unknown).
+    pub dst_as: u32,
+    /// Direction relative to the observing network.
+    pub direction: Direction,
+}
+
+impl FlowRecord {
+    /// A builder seeded with mandatory fields; optional fields default to
+    /// zero/unknown, matching what a minimal NetFlow v5 record carries.
+    pub fn builder(key: FlowKey, start: Timestamp) -> FlowRecordBuilder {
+        FlowRecordBuilder {
+            record: FlowRecord {
+                key,
+                start,
+                end: start,
+                bytes: 0,
+                packets: 0,
+                tcp_flags: TcpFlags::default(),
+                input_if: 0,
+                output_if: 0,
+                src_as: 0,
+                dst_as: 0,
+                direction: Direction::Unknown,
+            },
+        }
+    }
+
+    /// Duration in seconds (zero for single-packet flows).
+    pub fn duration_secs(&self) -> u64 {
+        self.end.unix().saturating_sub(self.start.unix())
+    }
+
+    /// Mean packet size in bytes; zero-packet records yield 0.
+    pub fn mean_packet_size(&self) -> u64 {
+        self.bytes.checked_div(self.packets).unwrap_or(0)
+    }
+
+    /// Whether this record represents the start of a TCP connection
+    /// (SYN observed). Used for connection counting in §7.
+    pub fn is_connection_start(&self) -> bool {
+        self.key.protocol == IpProtocol::Tcp && self.tcp_flags.has_syn()
+    }
+}
+
+/// Builder for [`FlowRecord`]; keeps construction sites readable when only a
+/// few optional fields are set.
+#[derive(Debug, Clone)]
+pub struct FlowRecordBuilder {
+    record: FlowRecord,
+}
+
+impl FlowRecordBuilder {
+    /// Set the flow end time.
+    pub fn end(mut self, end: Timestamp) -> Self {
+        self.record.end = end;
+        self
+    }
+
+    /// Set the byte count.
+    pub fn bytes(mut self, bytes: u64) -> Self {
+        self.record.bytes = bytes;
+        self
+    }
+
+    /// Set the packet count.
+    pub fn packets(mut self, packets: u64) -> Self {
+        self.record.packets = packets;
+        self
+    }
+
+    /// Set accumulated TCP flags.
+    pub fn tcp_flags(mut self, flags: TcpFlags) -> Self {
+        self.record.tcp_flags = flags;
+        self
+    }
+
+    /// Set SNMP input/output interface indices.
+    pub fn interfaces(mut self, input: u16, output: u16) -> Self {
+        self.record.input_if = input;
+        self.record.output_if = output;
+        self
+    }
+
+    /// Set source/destination AS numbers.
+    pub fn asns(mut self, src_as: u32, dst_as: u32) -> Self {
+        self.record.src_as = src_as;
+        self.record.dst_as = dst_as;
+        self
+    }
+
+    /// Set the flow direction.
+    pub fn direction(mut self, direction: Direction) -> Self {
+        self.record.direction = direction;
+        self
+    }
+
+    /// Finalize the record.
+    pub fn build(self) -> FlowRecord {
+        let r = self.record;
+        debug_assert!(r.end >= r.start, "flow ends before it starts");
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Date;
+
+    fn key() -> FlowKey {
+        FlowKey {
+            src_addr: Ipv4Addr::new(10, 1, 2, 3),
+            dst_addr: Ipv4Addr::new(192, 0, 2, 9),
+            src_port: 50_123,
+            dst_port: 443,
+            protocol: IpProtocol::Tcp,
+        }
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let t = Date::new(2020, 3, 1).at_hour(12);
+        let r = FlowRecord::builder(key(), t).build();
+        assert_eq!(r.bytes, 0);
+        assert_eq!(r.direction, Direction::Unknown);
+        assert_eq!(r.duration_secs(), 0);
+    }
+
+    #[test]
+    fn builder_full() {
+        let t = Date::new(2020, 3, 1).at_hour(12);
+        let r = FlowRecord::builder(key(), t)
+            .end(t.add_secs(30))
+            .bytes(15_000)
+            .packets(10)
+            .tcp_flags(TcpFlags::complete_connection())
+            .interfaces(4, 7)
+            .asns(64_512, 15_169)
+            .direction(Direction::Egress)
+            .build();
+        assert_eq!(r.duration_secs(), 30);
+        assert_eq!(r.mean_packet_size(), 1_500);
+        assert!(r.is_connection_start());
+        assert_eq!(r.src_as, 64_512);
+    }
+
+    #[test]
+    fn reversed_key() {
+        let k = key();
+        let r = k.reversed();
+        assert_eq!(r.src_addr, k.dst_addr);
+        assert_eq!(r.dst_port, k.src_port);
+        assert_eq!(r.reversed(), k);
+    }
+
+    #[test]
+    fn udp_flow_is_not_connection_start() {
+        let mut k = key();
+        k.protocol = IpProtocol::Udp;
+        let t = Date::new(2020, 3, 1).at_hour(0);
+        let r = FlowRecord::builder(k, t)
+            .tcp_flags(TcpFlags(TcpFlags::SYN))
+            .build();
+        assert!(!r.is_connection_start());
+    }
+
+    #[test]
+    fn display_key() {
+        assert_eq!(key().to_string(), "TCP 10.1.2.3:50123 -> 192.0.2.9:443");
+    }
+}

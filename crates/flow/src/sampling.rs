@@ -1,0 +1,162 @@
+//! Sampled flow export.
+//!
+//! Production flow telemetry is usually *sampled*: at multi-Tbps fabrics
+//! (the paper's IXP-CE peaks above 8 Tbps) routers export 1-in-N sampled
+//! NetFlow/IPFIX and analyses renormalize by the sampling rate. Sampling
+//! is why the paper works in normalized volumes throughout — ratios are
+//! unbiased under sampling while absolute counts are estimates.
+//!
+//! This module models flow-level sampling with byte renormalization: a
+//! flow survives with probability `1/rate` and its counters are scaled by
+//! `rate`, giving an unbiased estimator of total bytes. The integration
+//! tests check the property the paper relies on: normalized time series
+//! computed from sampled traces converge to the unsampled ones.
+
+use crate::record::FlowRecord;
+
+/// Deterministic 1-in-N flow sampler with counter renormalization.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSampler {
+    rate: u32,
+    seed: u64,
+}
+
+impl FlowSampler {
+    /// Create a sampler keeping 1 in `rate` flows. `rate == 1` keeps
+    /// everything (and renormalizes by 1, i.e. identity).
+    pub fn new(rate: u32, seed: u64) -> FlowSampler {
+        assert!(rate >= 1, "sampling rate must be >= 1");
+        FlowSampler { rate, seed }
+    }
+
+    /// The sampling rate N (1 in N).
+    pub fn rate(&self) -> u32 {
+        self.rate
+    }
+
+    /// Whether a flow is selected. Selection is a deterministic hash of
+    /// the flow key and start time, so the same flow is consistently kept
+    /// or dropped regardless of batch boundaries — the property that lets
+    /// distributed collectors agree.
+    pub fn selects(&self, record: &FlowRecord) -> bool {
+        if self.rate == 1 {
+            return true;
+        }
+        let mut z = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for part in [
+            u64::from(u32::from(record.key.src_addr)),
+            u64::from(u32::from(record.key.dst_addr)),
+            u64::from(record.key.src_port) << 16 | u64::from(record.key.dst_port),
+            u64::from(record.key.protocol.number()),
+            record.start.unix(),
+        ] {
+            z ^= part.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = z.rotate_left(27).wrapping_mul(0x94D0_49BB_1331_11EB);
+        }
+        z ^= z >> 31;
+        z.is_multiple_of(u64::from(self.rate))
+    }
+
+    /// Sample one record: `None` if dropped; otherwise the record with
+    /// byte/packet counters scaled by the rate (saturating).
+    pub fn sample(&self, record: &FlowRecord) -> Option<FlowRecord> {
+        if !self.selects(record) {
+            return None;
+        }
+        let mut out = *record;
+        out.bytes = out.bytes.saturating_mul(u64::from(self.rate));
+        out.packets = out.packets.saturating_mul(u64::from(self.rate));
+        Some(out)
+    }
+
+    /// Sample a batch.
+    pub fn sample_all(&self, records: &[FlowRecord]) -> Vec<FlowRecord> {
+        records.iter().filter_map(|r| self.sample(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::IpProtocol;
+    use crate::record::FlowKey;
+    use crate::time::Date;
+    use std::net::Ipv4Addr;
+
+    fn records(n: u32) -> Vec<FlowRecord> {
+        let t = Date::new(2020, 3, 25).at_hour(12);
+        (0..n)
+            .map(|i| {
+                FlowRecord::builder(
+                    FlowKey {
+                        src_addr: Ipv4Addr::from(0x0B00_0000 + i),
+                        dst_addr: Ipv4Addr::new(192, 0, 2, 1),
+                        src_port: 40_000 + (i % 20_000) as u16,
+                        dst_port: 443,
+                        protocol: IpProtocol::Tcp,
+                    },
+                    t.add_secs(u64::from(i % 3_600)),
+                )
+                .end(t.add_secs(u64::from(i % 3_600) + 1))
+                .bytes(1_000)
+                .packets(2)
+                .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rate_one_is_identity() {
+        let recs = records(100);
+        let s = FlowSampler::new(1, 7);
+        assert_eq!(s.sample_all(&recs), recs);
+    }
+
+    #[test]
+    fn keeps_about_one_in_n() {
+        let recs = records(40_000);
+        for rate in [4u32, 16, 64] {
+            let s = FlowSampler::new(rate, 7);
+            let kept = s.sample_all(&recs).len() as f64;
+            let expected = recs.len() as f64 / f64::from(rate);
+            assert!(
+                (kept - expected).abs() < 0.15 * expected,
+                "rate {rate}: kept {kept}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_estimator_is_unbiased() {
+        let recs = records(40_000);
+        let truth: u64 = recs.iter().map(|r| r.bytes).sum();
+        let s = FlowSampler::new(16, 9);
+        let estimate: u64 = s.sample_all(&recs).iter().map(|r| r.bytes).sum();
+        let err = (estimate as f64 - truth as f64).abs() / truth as f64;
+        assert!(err < 0.05, "estimator error {err:.3}");
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_batch_independent() {
+        let recs = records(1_000);
+        let s = FlowSampler::new(8, 3);
+        let whole = s.sample_all(&recs);
+        let mut split = s.sample_all(&recs[..500]);
+        split.extend(s.sample_all(&recs[500..]));
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn different_seeds_select_differently() {
+        let recs = records(1_000);
+        let a = FlowSampler::new(8, 1).sample_all(&recs);
+        let b = FlowSampler::new(8, 2).sample_all(&recs);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be >= 1")]
+    fn zero_rate_rejected() {
+        FlowSampler::new(0, 1);
+    }
+}

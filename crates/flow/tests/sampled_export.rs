@@ -1,0 +1,128 @@
+//! Router-style sampled export, end to end: the exporter thins flows with
+//! raw counters and announces the interval via options templates; the
+//! collector reads the announcement and renormalizes. The estimator must
+//! be unbiased and the announcement must survive template refresh cycles
+//! and mid-stream joins.
+
+use lockdown_flow::netflow::options::SamplingInfo;
+use lockdown_flow::prelude::*;
+use lockdown_flow::time::Date;
+use std::net::Ipv4Addr;
+
+fn records(n: u32, t: Timestamp) -> Vec<FlowRecord> {
+    (0..n)
+        .map(|i| {
+            FlowRecord::builder(
+                FlowKey {
+                    src_addr: Ipv4Addr::from(0x0B00_0000 + i),
+                    dst_addr: Ipv4Addr::new(192, 0, 2, 1),
+                    src_port: 20_000 + (i % 40_000) as u16,
+                    dst_port: 443,
+                    protocol: IpProtocol::Tcp,
+                },
+                t.add_secs(u64::from(i % 3_000)),
+            )
+            .end(t.add_secs(u64::from(i % 3_000) + 30))
+            .bytes(10_000)
+            .packets(12)
+            .build()
+        })
+        .collect()
+}
+
+fn run(format: ExportFormat, rate: u32) -> (u64, u64, CollectorStats) {
+    let boot = Date::new(2020, 3, 25).midnight();
+    let now = boot.add_hours(6);
+    let flows = records(20_000, now);
+    let truth: u64 = flows.iter().map(|f| f.bytes).sum();
+
+    let mut cfg = ExporterConfig::new(format, boot);
+    cfg.sampling = Some(rate);
+    cfg.batch_size = 60;
+    cfg.template_refresh = 10;
+    let mut exporter = Exporter::new(cfg);
+    let pkts = exporter.export_all(&flows, boot.add_hours(7));
+
+    let mut collector = Collector::new();
+    collector.ingest_all(pkts.iter().map(|p| p.as_slice()));
+    let estimate: u64 = collector.records().iter().map(|r| r.bytes).sum();
+    (truth, estimate, collector.stats())
+}
+
+#[test]
+fn ipfix_sampled_export_is_unbiased() {
+    let (truth, estimate, stats) = run(ExportFormat::Ipfix, 16);
+    let err = (estimate as f64 - truth as f64).abs() / truth as f64;
+    assert!(err < 0.05, "estimate off by {err:.3}");
+    assert_eq!(stats.renormalized, stats.records);
+    // Roughly 1-in-16 of the records arrived.
+    let kept = stats.records as f64 / 20_000.0;
+    assert!((kept - 1.0 / 16.0).abs() < 0.02, "kept fraction {kept:.4}");
+}
+
+#[test]
+fn v9_sampled_export_is_unbiased() {
+    let (truth, estimate, stats) = run(ExportFormat::NetflowV9, 8);
+    let err = (estimate as f64 - truth as f64).abs() / truth as f64;
+    assert!(err < 0.05, "estimate off by {err:.3}");
+    assert!(stats.renormalized > 0);
+}
+
+#[test]
+fn unsampled_export_untouched() {
+    let (truth, estimate, stats) = run(ExportFormat::Ipfix, 1);
+    assert_eq!(truth, estimate);
+    assert_eq!(stats.renormalized, 0);
+    assert_eq!(stats.records, 20_000);
+}
+
+#[test]
+fn mid_stream_join_picks_up_announcement_at_refresh() {
+    let boot = Date::new(2020, 3, 25).midnight();
+    let now = boot.add_hours(6);
+    let flows = records(20_000, now);
+    let mut cfg = ExporterConfig::new(ExportFormat::Ipfix, boot);
+    cfg.sampling = Some(8);
+    cfg.batch_size = 60;
+    cfg.template_refresh = 5;
+    let mut exporter = Exporter::new(cfg);
+    let pkts = exporter.export_all(&flows, boot.add_hours(7));
+    assert!(pkts.len() > 12);
+
+    // Join after the first announcement: drop packets 0..2.
+    let mut collector = Collector::new();
+    collector.ingest_all(pkts[2..].iter().map(|p| p.as_slice()));
+    let stats = collector.stats();
+    // Data packets before the next refresh are dropped (no data template);
+    // once the refresh (with announcement) arrives, everything counts and
+    // everything is renormalized.
+    assert!(stats.missing_template > 0);
+    assert!(stats.records > 0);
+    assert_eq!(stats.renormalized, stats.records);
+}
+
+#[test]
+fn sampling_info_exposed() {
+    let boot = Date::new(2020, 3, 25).midnight();
+    let mut cfg = ExporterConfig::new(ExportFormat::Ipfix, boot);
+    cfg.sampling = Some(100);
+    let exporter = Exporter::new(cfg);
+    assert_eq!(
+        exporter.sampling_info(),
+        Some(SamplingInfo {
+            interval: 100,
+            algorithm: 1
+        })
+    );
+    let cfg = ExporterConfig::new(ExportFormat::Ipfix, boot);
+    assert_eq!(Exporter::new(cfg).sampling_info(), None);
+}
+
+#[test]
+#[should_panic(expected = "v5 has no in-band sampling announcement")]
+fn v5_sampled_export_rejected() {
+    let boot = Date::new(2020, 3, 25).midnight();
+    let mut cfg = ExporterConfig::new(ExportFormat::NetflowV5, boot);
+    cfg.sampling = Some(8);
+    Exporter::new(cfg);
+}

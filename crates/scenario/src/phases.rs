@@ -1,0 +1,191 @@
+//! Lockdown phases per region, with the dates the paper anchors on.
+//!
+//! The demand model needs to know, for every (region, date), how far into
+//! the lockdown a population is: traffic growth tracks the *behavioural*
+//! intensity of stay-at-home measures, ramping up over the first lockdown
+//! week and relaxing gradually from late April (Central Europe: shop
+//! re-openings mid-April, school openings in May, §1; Southern Europe:
+//! school closure Mar 11, state of emergency Mar 14, §7; US East Coast:
+//! lockdown "later", §3.1).
+
+use lockdown_flow::time::Date;
+use lockdown_topology::asn::Region;
+use serde::{Deserialize, Serialize};
+
+/// Coarse phase of the pandemic response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockdownPhase {
+    /// Before the outbreak influenced behaviour.
+    PreCovid,
+    /// Outbreak known, behaviour beginning to change (Europe: from late
+    /// January, week 4–5 in Fig. 1).
+    Outbreak,
+    /// Initial responses: advisories, event cancellations, first closures.
+    InitialResponse,
+    /// Full stay-at-home lockdown.
+    Lockdown,
+    /// Gradual relaxation ("containment" in Fig. 1): shops, later schools.
+    Relaxation,
+}
+
+/// The date anchors of one region's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionTimeline {
+    /// The region this timeline describes.
+    pub region: Region,
+    /// Outbreak becomes publicly salient.
+    pub outbreak: Date,
+    /// First closures/advisories.
+    pub initial_response: Date,
+    /// Stay-at-home lockdown in force.
+    pub lockdown: Date,
+    /// First relaxation steps.
+    pub relaxation: Date,
+}
+
+impl RegionTimeline {
+    /// The timeline for a region, from the paper's narrative.
+    pub fn for_region(region: Region) -> RegionTimeline {
+        match region {
+            // "The COVID-19 outbreak reached Europe in late January (week 4)
+            // and first lockdowns were imposed in early March (week 10)" —
+            // Central Europe locked down in week 12 (Mar 16–22); shops
+            // reopened mid-April, schools in May.
+            Region::CentralEurope => RegionTimeline {
+                region,
+                outbreak: Date::new(2020, 1, 27),
+                initial_response: Date::new(2020, 3, 9),
+                lockdown: Date::new(2020, 3, 16),
+                relaxation: Date::new(2020, 4, 20),
+            },
+            // §7: closure of the educational system announced Mar 9,
+            // effective Mar 11; national state of emergency Mar 14.
+            Region::SouthernEurope => RegionTimeline {
+                region,
+                outbreak: Date::new(2020, 1, 31),
+                initial_response: Date::new(2020, 3, 9),
+                lockdown: Date::new(2020, 3, 14),
+                relaxation: Date::new(2020, 4, 27),
+            },
+            // "The traffic increase at the IXP at US East Coast trails the
+            // other data sources as the lockdown occurred later" — NY-area
+            // stay-at-home orders arrived Mar 22, and restrictions persisted
+            // past the study window.
+            Region::UsEast => RegionTimeline {
+                region,
+                outbreak: Date::new(2020, 2, 25),
+                initial_response: Date::new(2020, 3, 16),
+                lockdown: Date::new(2020, 3, 22),
+                relaxation: Date::new(2020, 5, 15),
+            },
+        }
+    }
+
+    /// Phase in force on a date.
+    pub fn phase(&self, date: Date) -> LockdownPhase {
+        if date < self.outbreak {
+            LockdownPhase::PreCovid
+        } else if date < self.initial_response {
+            LockdownPhase::Outbreak
+        } else if date < self.lockdown {
+            LockdownPhase::InitialResponse
+        } else if date < self.relaxation {
+            LockdownPhase::Lockdown
+        } else {
+            LockdownPhase::Relaxation
+        }
+    }
+
+    /// Behavioural stay-at-home intensity in `[0, 1]`.
+    ///
+    /// 0 = normal life, 1 = full lockdown compliance. Ramps linearly over
+    /// the first week of each escalation and decays slowly during
+    /// relaxation (the paper: "once the lockdown was further relaxed …
+    /// the growth decreased to 6% for the ISP-CE but persisted for the
+    /// IXP-CE", i.e. behaviour only partially reverts within the window).
+    pub fn intensity(&self, date: Date) -> f64 {
+        match self.phase(date) {
+            LockdownPhase::PreCovid => 0.0,
+            LockdownPhase::Outbreak => {
+                // Slow drift up to 0.1 as awareness builds.
+                let total = self.outbreak.days_until(self.initial_response) as f64;
+                let done = self.outbreak.days_until(date) as f64;
+                0.10 * (done / total.max(1.0)).clamp(0.0, 1.0)
+            }
+            LockdownPhase::InitialResponse => {
+                // 0.1 → 0.4 across the response window.
+                let total = self.initial_response.days_until(self.lockdown) as f64;
+                let done = self.initial_response.days_until(date) as f64;
+                0.10 + 0.30 * (done / total.max(1.0)).clamp(0.0, 1.0)
+            }
+            LockdownPhase::Lockdown => {
+                // Ramp 0.4 → 1.0 over the first 4 days, then hold (the
+                // paper's week-over-week jump at the lockdown is sharp).
+                let done = self.lockdown.days_until(date) as f64;
+                (0.40 + 0.60 * (done / 4.0)).clamp(0.0, 1.0)
+            }
+            LockdownPhase::Relaxation => {
+                // Decay from 1.0 toward 0.45 over ~6 weeks: much of the
+                // behaviour change persists within the study window.
+                let done = self.relaxation.days_until(date) as f64;
+                (1.0 - 0.55 * (done / 42.0)).clamp(0.45, 1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_progression_central_europe() {
+        let t = RegionTimeline::for_region(Region::CentralEurope);
+        assert_eq!(t.phase(Date::new(2020, 1, 15)), LockdownPhase::PreCovid);
+        assert_eq!(t.phase(Date::new(2020, 2, 10)), LockdownPhase::Outbreak);
+        assert_eq!(t.phase(Date::new(2020, 3, 10)), LockdownPhase::InitialResponse);
+        assert_eq!(t.phase(Date::new(2020, 3, 25)), LockdownPhase::Lockdown);
+        assert_eq!(t.phase(Date::new(2020, 5, 1)), LockdownPhase::Relaxation);
+    }
+
+    #[test]
+    fn us_lockdown_trails_europe() {
+        let ce = RegionTimeline::for_region(Region::CentralEurope);
+        let us = RegionTimeline::for_region(Region::UsEast);
+        assert!(us.lockdown > ce.lockdown);
+        // Mid-April: US still in full lockdown while CE is about to relax.
+        let apr25 = Date::new(2020, 4, 25);
+        assert_eq!(us.phase(apr25), LockdownPhase::Lockdown);
+        assert_eq!(ce.phase(apr25), LockdownPhase::Relaxation);
+    }
+
+    #[test]
+    fn intensity_monotone_through_lockdown() {
+        let t = RegionTimeline::for_region(Region::CentralEurope);
+        let mut last = -1.0;
+        let mut d = Date::new(2020, 1, 1);
+        while d <= t.relaxation {
+            let i = t.intensity(d);
+            assert!(i >= last - 1e-9, "intensity dipped at {}", d.iso());
+            assert!((0.0..=1.0).contains(&i));
+            last = i;
+            d = d.add_days(1);
+        }
+    }
+
+    #[test]
+    fn intensity_saturates_and_relaxes() {
+        let t = RegionTimeline::for_region(Region::CentralEurope);
+        assert_eq!(t.intensity(Date::new(2020, 1, 10)), 0.0);
+        assert!((t.intensity(Date::new(2020, 4, 1)) - 1.0).abs() < 1e-9);
+        let may = t.intensity(Date::new(2020, 5, 15));
+        assert!(may < 1.0 && may > 0.45, "relaxation intensity = {may}");
+    }
+
+    #[test]
+    fn southern_europe_locks_down_before_central() {
+        let se = RegionTimeline::for_region(Region::SouthernEurope);
+        let ce = RegionTimeline::for_region(Region::CentralEurope);
+        assert!(se.lockdown < ce.lockdown);
+    }
+}

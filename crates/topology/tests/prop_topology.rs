@@ -1,0 +1,87 @@
+//! Property tests for the topology substrate: the LPM trie must agree with
+//! the linear-scan oracle on arbitrary prefix sets, and prefixes must
+//! behave like the sets they denote.
+
+use lockdown_topology::prefix::{Ipv4Prefix, LinearPrefixTable, LpmTable};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Prefix::new(Ipv4Addr::from(addr), len))
+}
+
+proptest! {
+    /// The trie and the linear oracle agree on every lookup. Duplicated
+    /// prefixes resolve to the *last* insert in the trie; feed the oracle
+    /// deduplicated last-wins entries to match.
+    #[test]
+    fn trie_matches_linear_oracle(
+        prefixes in prop::collection::vec((arb_prefix(), any::<u32>()), 0..60),
+        probes in prop::collection::vec(any::<u32>(), 0..100),
+    ) {
+        let mut trie = LpmTable::new();
+        let mut last: std::collections::BTreeMap<Ipv4Prefix, u32> = Default::default();
+        for (p, v) in &prefixes {
+            trie.insert(*p, *v);
+            last.insert(*p, *v);
+        }
+        let mut linear = LinearPrefixTable::new();
+        for (p, v) in &last {
+            linear.insert(*p, *v);
+        }
+        for probe in probes {
+            let addr = Ipv4Addr::from(probe);
+            let got = trie.lookup(addr).copied();
+            // The linear oracle needs the longest match among last-wins
+            // entries; LinearPrefixTable already returns that, but when
+            // several distinct prefixes share a length and contain the
+            // address they cannot (disjoint equal-length prefixes can't
+            // both contain one address, so it's unambiguous).
+            let want = linear.lookup(addr).copied();
+            prop_assert_eq!(got, want, "mismatch at {}", addr);
+        }
+    }
+
+    /// contains() is consistent with nth_addr() and size().
+    #[test]
+    fn prefix_membership(p in arb_prefix(), i in any::<u64>()) {
+        let member = p.nth_addr(i);
+        prop_assert!(p.contains(member));
+        // The address one past the prefix (when it exists) is outside.
+        if p.len() > 0 {
+            let beyond = u32::from(p.network()) as u64 + p.size();
+            if beyond <= u32::MAX as u64 {
+                prop_assert!(!p.contains(Ipv4Addr::from(beyond as u32)));
+            }
+        }
+    }
+
+    /// covers() is a partial order consistent with membership.
+    #[test]
+    fn covers_transitivity(a in arb_prefix(), b in arb_prefix(), probe in any::<u32>()) {
+        if a.covers(b) {
+            let addr = Ipv4Addr::from(probe);
+            if b.contains(addr) {
+                prop_assert!(a.contains(addr), "{a} covers {b} but not {addr}");
+            }
+        }
+    }
+
+    /// Exact-match get() returns what was inserted (last wins).
+    #[test]
+    fn get_returns_last_insert(p in arb_prefix(), v1 in any::<u32>(), v2 in any::<u32>()) {
+        let mut t = LpmTable::new();
+        t.insert(p, v1);
+        t.insert(p, v2);
+        prop_assert_eq!(t.get(p), Some(&v2));
+        prop_assert_eq!(t.len(), 1);
+    }
+
+    /// Lookup of an address inside an inserted prefix never returns None.
+    #[test]
+    fn inserted_prefix_always_matches(p in arb_prefix(), v in any::<u32>(), i in any::<u64>()) {
+        let mut t = LpmTable::new();
+        t.insert(p, v);
+        prop_assert_eq!(t.lookup(p.nth_addr(i)), Some(&v));
+    }
+}

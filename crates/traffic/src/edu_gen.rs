@@ -1,0 +1,479 @@
+//! EDU vantage-point generation (§7).
+//!
+//! The educational network's traffic is structurally different from the
+//! other vantage points — directionality is the story — so it gets its own
+//! generator driven by [`EduModel`]: per-class connection counts (Fig. 12),
+//! ingress/egress volume (Fig. 11), overseas-student night access, and the
+//! 39% of flows whose direction cannot be determined (§7).
+
+use crate::config::GeneratorConfig;
+use crate::sizes;
+use lockdown_flow::protocol::{IpProtocol, TcpFlags};
+use lockdown_flow::record::{Direction, FlowKey, FlowRecord};
+use lockdown_flow::time::Date;
+use lockdown_scenario::diurnal::{shape, DiurnalProfile};
+use lockdown_scenario::edu::{EduClass, EduModel};
+use lockdown_topology::asn::{AsCategory, Asn, Region};
+use lockdown_topology::registry::{Registry, EDU_ASN, SPOTIFY_ASN};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::net::Ipv4Addr;
+
+/// Scale factor from modelled connection counts to generated records.
+/// Fig. 12 plots *relative* growth, so the factor cancels; it only trades
+/// statistical smoothness against cost.
+pub const CONN_SCALE: f64 = 1.0 / 1_500.0;
+
+/// Port signature for one EDU traffic class (protocol, server port).
+fn class_signature(class: EduClass, rng: &mut StdRng) -> (IpProtocol, u16) {
+    match class {
+        EduClass::WebIn | EduClass::WebOut | EduClass::HypergiantWebOut => {
+            (IpProtocol::Tcp, if rng.gen_bool(0.85) { 443 } else { 80 })
+        }
+        EduClass::QuicOut => (IpProtocol::Udp, 443),
+        EduClass::EmailIn => (
+            IpProtocol::Tcp,
+            *[993u16, 25, 587, 143, 465, 995, 110].choose(rng).expect("non-empty"),
+        ),
+        EduClass::VpnIn => {
+            if rng.gen_bool(0.15) {
+                // Some institutional VPN rides ESP (Appendix B lists it).
+                (IpProtocol::Esp, 0)
+            } else {
+                (IpProtocol::Udp, *[4500u16, 500, 1194].choose(rng).expect("non-empty"))
+            }
+        }
+        EduClass::RemoteDesktopIn => (
+            IpProtocol::Tcp,
+            *[3389u16, 1494, 5938].choose(rng).expect("non-empty"),
+        ),
+        EduClass::SshIn => (IpProtocol::Tcp, 22),
+        EduClass::PushNotifOut => (IpProtocol::Tcp, *[5223u16, 5228].choose(rng).expect("non-empty")),
+        EduClass::SpotifyOut => (IpProtocol::Tcp, 4070),
+    }
+}
+
+/// The EDU trace generator.
+#[derive(Debug)]
+pub struct EduGenerator<'a> {
+    registry: &'a Registry,
+    model: EduModel,
+    config: GeneratorConfig,
+    national_eyeballs: Vec<Asn>,
+    overseas_eyeballs: Vec<Asn>,
+    hypergiants: Vec<Asn>,
+    web_servers: Vec<Asn>,
+}
+
+impl<'a> EduGenerator<'a> {
+    /// Build an EDU generator over the shared registry.
+    pub fn new(registry: &'a Registry, config: GeneratorConfig) -> EduGenerator<'a> {
+        let eyeballs = |region: Region| -> Vec<Asn> {
+            registry
+                .in_region(region)
+                .filter(|a| a.category == AsCategory::EyeballIsp)
+                .map(|a| a.asn)
+                .collect()
+        };
+        EduGenerator {
+            registry,
+            model: EduModel::new(),
+            config,
+            national_eyeballs: eyeballs(Region::SouthernEurope),
+            // The paper's overseas students connect from Latin America and
+            // North America; the US region stands in for both.
+            overseas_eyeballs: eyeballs(Region::UsEast),
+            hypergiants: registry
+                .in_category(AsCategory::Hypergiant)
+                .map(|a| a.asn)
+                .collect(),
+            web_servers: registry
+                .in_category(AsCategory::Cdn)
+                .chain(registry.in_category(AsCategory::CloudProvider))
+                .map(|a| a.asn)
+                .collect(),
+        }
+    }
+
+    /// The behavioural model in use.
+    pub fn model(&self) -> &EduModel {
+        &self.model
+    }
+
+    /// Hourly weight (mean 1.0 across the day) for a class's connections.
+    fn hour_weight(&self, class: EduClass, date: Date, hour: u8) -> f64 {
+        let remote = self.model.remote_activity(date);
+        if class.is_incoming() {
+            // Incoming shifts from business hours toward a remote mix with
+            // a visible overseas night component (§7: Latin-American users
+            // peak at 3–4 am).
+            let pre = shape(DiurnalProfile::BusinessHours, hour);
+            let post = 0.65 * shape(DiurnalProfile::BusinessHours, hour)
+                + 0.15 * shape(DiurnalProfile::ResidentialLockdown, hour)
+                + 0.20 * shape(DiurnalProfile::OverseasNight, hour);
+            (1.0 - remote) * pre + remote * post
+        } else {
+            // Outgoing connections track people on campus.
+            shape(DiurnalProfile::Campus, hour)
+        }
+    }
+
+    /// Cell RNG (per date/hour).
+    fn cell_rng(&self, date: Date, hour: u8, salt: u64) -> StdRng {
+        let mut z = self.config.seed ^ salt.wrapping_mul(0xA24B_AED4_963E_E407);
+        z ^= (date.day_number() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = z.rotate_left(17).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= u64::from(hour) << 7;
+        StdRng::seed_from_u64(z)
+    }
+
+    /// Generate one hour of EDU traffic.
+    pub fn generate_hour(&self, date: Date, hour: u8) -> Vec<FlowRecord> {
+        let mut out = Vec::new();
+        let (ingress_gbps, egress_gbps) = self.model.volume_gbps(date, hour);
+
+        // Per-class connection records.
+        let mut n_in = 0usize;
+        let mut n_out = 0usize;
+        for class in EduClass::ALL {
+            let daily = self.model.daily_connections(class, date);
+            let weight = self.hour_weight(class, date, hour);
+            let mut rng = self.cell_rng(date, hour, class as u64 + 1);
+            let raw = daily * CONN_SCALE * weight / 24.0;
+            let mut n = raw.floor() as usize;
+            if rng.gen_bool((raw - n as f64).clamp(0.0, 1.0)) {
+                n += 1;
+            }
+            if n == 0 {
+                continue;
+            }
+            if class.is_incoming() {
+                n_in += n;
+            } else {
+                n_out += n;
+            }
+            self.emit_class(class, n, date, hour, &mut rng, &mut out);
+        }
+
+        // Direction-unknown chaff: §7 cannot determine directionality for
+        // 39% of flows. unknown / (unknown + known) = 0.39.
+        let known = n_in + n_out;
+        let n_unknown = ((known as f64) * 0.39 / 0.61).round() as usize;
+        let mut rng = self.cell_rng(date, hour, 0xFF);
+        self.emit_unknown(n_unknown, date, hour, &mut rng, &mut out);
+
+        // Attach volume: split the hour's ingress/egress bytes over the
+        // flows of each direction so Fig. 11 recovers the volume story.
+        let in_bytes = (ingress_gbps * crate::generate::BYTES_PER_GBPS_HOUR) as u64;
+        let eg_bytes = (egress_gbps * crate::generate::BYTES_PER_GBPS_HOUR) as u64;
+        let mut rng = self.cell_rng(date, hour, 0xAB);
+        distribute_bytes(&mut out, Direction::Ingress, in_bytes, &mut rng);
+        distribute_bytes(&mut out, Direction::Egress, eg_bytes, &mut rng);
+        out
+    }
+
+    /// Emit `n` connection records of one class.
+    fn emit_class(
+        &self,
+        class: EduClass,
+        n: usize,
+        date: Date,
+        hour: u8,
+        rng: &mut StdRng,
+        out: &mut Vec<FlowRecord>,
+    ) {
+        let hour_start = date.at_hour(hour);
+        let remote = self.model.remote_activity(date);
+        // Client origin correlates with the hour: overseas students (the
+        // §7 Latin-American cohort) dominate the small hours once teaching
+        // moves online, because of the time-zone offset.
+        let w_dom = 0.65 * shape(DiurnalProfile::BusinessHours, hour)
+            + 0.15 * shape(DiurnalProfile::ResidentialLockdown, hour);
+        let w_ov = 0.20 * shape(DiurnalProfile::OverseasNight, hour);
+        let overseas_now = w_ov / (w_dom + w_ov);
+        for _ in 0..n {
+            let (protocol, server_port) = class_signature(class, rng);
+            let start = hour_start.add_secs(rng.gen_range(0..3_600));
+            let flags = if protocol == IpProtocol::Tcp {
+                TcpFlags::complete_connection()
+            } else {
+                TcpFlags::default()
+            };
+            let record = if class.is_incoming() {
+                // External client → EDU server.
+                let overseas_p = 0.05 * (1.0 - remote) + remote * overseas_now;
+                let ext_asn = if rng.gen_bool(overseas_p) {
+                    self.overseas_eyeballs[rng.gen_range(0..self.overseas_eyeballs.len())]
+                } else {
+                    self.national_eyeballs[rng.gen_range(0..self.national_eyeballs.len())]
+                };
+                let ext_ip = self
+                    .registry
+                    .host_addr(ext_asn, 1_000 + rng.gen_range(0..20_000))
+                    .expect("eyeball prefixes");
+                let edu_ip = self.edu_server_ip(class, rng);
+                FlowRecord::builder(
+                    FlowKey {
+                        src_addr: ext_ip,
+                        dst_addr: edu_ip,
+                        src_port: if protocol.has_ports() { rng.gen_range(32_768..61_000) } else { 0 },
+                        dst_port: if protocol.has_ports() { server_port } else { 0 },
+                        protocol,
+                    },
+                    start,
+                )
+                .asns(ext_asn.0, EDU_ASN.0)
+                .direction(Direction::Ingress)
+            } else {
+                // Campus client → external service.
+                let presence = self.model.campus_presence(date);
+                let pool = ((8_000.0 * presence) as u64).max(50);
+                let campus_ip = self
+                    .registry
+                    .host_addr(EDU_ASN, 1_000 + rng.gen_range(0..pool))
+                    .expect("EDU prefixes");
+                let dst_asn = match class {
+                    EduClass::SpotifyOut => SPOTIFY_ASN,
+                    EduClass::PushNotifOut | EduClass::HypergiantWebOut | EduClass::QuicOut => {
+                        self.hypergiants[rng.gen_range(0..self.hypergiants.len())]
+                    }
+                    _ => {
+                        if rng.gen_bool(0.5) {
+                            self.hypergiants[rng.gen_range(0..self.hypergiants.len())]
+                        } else {
+                            self.web_servers[rng.gen_range(0..self.web_servers.len())]
+                        }
+                    }
+                };
+                let dst_ip = self
+                    .registry
+                    .host_addr(dst_asn, rng.gen_range(0..64))
+                    .expect("server prefixes");
+                FlowRecord::builder(
+                    FlowKey {
+                        src_addr: campus_ip,
+                        dst_addr: dst_ip,
+                        src_port: if protocol.has_ports() { rng.gen_range(32_768..61_000) } else { 0 },
+                        dst_port: if protocol.has_ports() { server_port } else { 0 },
+                        protocol,
+                    },
+                    start,
+                )
+                .asns(EDU_ASN.0, dst_asn.0)
+                .direction(Direction::Egress)
+            };
+            out.push(
+                record
+                    .end(start.add_secs(sizes::duration_secs(rng, 300)))
+                    .bytes(2_000) // placeholder; volume attached afterwards
+                    .packets(6)
+                    .tcp_flags(flags)
+                    .build(),
+            );
+        }
+    }
+
+    /// Emit flows whose direction the §7 pipeline cannot determine:
+    /// P2P-like traffic on unregistered high ports, marginal protocols.
+    fn emit_unknown(
+        &self,
+        n: usize,
+        date: Date,
+        hour: u8,
+        rng: &mut StdRng,
+        out: &mut Vec<FlowRecord>,
+    ) {
+        let hour_start = date.at_hour(hour);
+        for _ in 0..n {
+            let start = hour_start.add_secs(rng.gen_range(0..3_600));
+            let protocol = if rng.gen_bool(0.8) {
+                if rng.gen_bool(0.5) { IpProtocol::Udp } else { IpProtocol::Tcp }
+            } else {
+                IpProtocol::Other(rng.gen_range(90..130))
+            };
+            let edu_ip = self
+                .registry
+                .host_addr(EDU_ASN, 1_000 + rng.gen_range(0..8_000))
+                .expect("EDU prefixes");
+            let peer = Ipv4Addr::from(rng.gen_range(0x0B00_0000u32..0x5F00_0000));
+            let (src, dst) = if rng.gen_bool(0.5) { (edu_ip, peer) } else { (peer, edu_ip) };
+            out.push(
+                FlowRecord::builder(
+                    FlowKey {
+                        src_addr: src,
+                        dst_addr: dst,
+                        src_port: if protocol.has_ports() { rng.gen_range(20_000..65_000) } else { 0 },
+                        dst_port: if protocol.has_ports() { rng.gen_range(20_000..65_000) } else { 0 },
+                        protocol,
+                    },
+                    start,
+                )
+                .end(start.add_secs(sizes::duration_secs(rng, 600)))
+                .bytes(rng.gen_range(500..50_000))
+                .packets(rng.gen_range(2..50))
+                .direction(Direction::Unknown)
+                .build(),
+            );
+        }
+    }
+
+    /// A stable EDU-side server address for a class, spread across the 16
+    /// institutions.
+    fn edu_server_ip(&self, class: EduClass, rng: &mut StdRng) -> Ipv4Addr {
+        let institution = rng.gen_range(0..lockdown_topology::registry::EDU_INSTITUTIONS as u64);
+        let service = class as u64;
+        self.registry
+            .host_addr(EDU_ASN, institution * 8 + service % 8)
+            .expect("EDU prefixes")
+    }
+}
+
+/// Re-split `total_bytes` across all flows of one direction, heavy-tailed.
+fn distribute_bytes(
+    flows: &mut [FlowRecord],
+    direction: Direction,
+    total_bytes: u64,
+    rng: &mut StdRng,
+) {
+    let idx: Vec<usize> = flows
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.direction == direction)
+        .map(|(i, _)| i)
+        .collect();
+    if idx.is_empty() {
+        return;
+    }
+    let sizes = sizes::split_bytes(rng, total_bytes, idx.len());
+    for (slot, bytes) in idx.into_iter().zip(sizes) {
+        flows[slot].bytes = bytes.max(1);
+        flows[slot].packets = (bytes / 1_000).max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> (Registry, GeneratorConfig) {
+        (Registry::synthesize(), GeneratorConfig::with_seed(11))
+    }
+
+    fn day_flows(g: &EduGenerator<'_>, date: Date) -> Vec<FlowRecord> {
+        (0..24).flat_map(|h| g.generate_hour(date, h)).collect()
+    }
+
+    #[test]
+    fn unknown_direction_share_is_39_percent() {
+        let (r, cfg) = gen();
+        let g = EduGenerator::new(&r, cfg);
+        let flows = day_flows(&g, Date::new(2020, 3, 3));
+        let unknown = flows.iter().filter(|f| f.direction == Direction::Unknown).count();
+        let share = unknown as f64 / flows.len() as f64;
+        assert!(
+            (0.33..0.45).contains(&share),
+            "unknown-direction share = {share:.3}"
+        );
+    }
+
+    #[test]
+    fn volume_matches_model() {
+        let (r, cfg) = gen();
+        let g = EduGenerator::new(&r, cfg);
+        let date = Date::new(2020, 3, 3);
+        let flows = g.generate_hour(date, 11);
+        let in_bytes: u64 = flows
+            .iter()
+            .filter(|f| f.direction == Direction::Ingress)
+            .map(|f| f.bytes)
+            .sum();
+        let (in_gbps, _) = g.model().volume_gbps(date, 11);
+        let expected = in_gbps * crate::generate::BYTES_PER_GBPS_HOUR;
+        let err = (in_bytes as f64 - expected).abs() / expected;
+        assert!(err < 0.01, "ingress volume error {err}");
+    }
+
+    #[test]
+    fn incoming_connections_double_after_lockdown() {
+        let (r, cfg) = gen();
+        let g = EduGenerator::new(&r, cfg);
+        let count_in = |d: Date| {
+            day_flows(&g, d)
+                .iter()
+                .filter(|f| f.direction == Direction::Ingress)
+                .count() as f64
+        };
+        let base = count_in(Date::new(2020, 3, 4));
+        let online = count_in(Date::new(2020, 4, 22));
+        let growth = online / base;
+        assert!((1.4..2.8).contains(&growth), "incoming growth {growth:.2}");
+    }
+
+    #[test]
+    fn ssh_grows_most_among_incoming() {
+        let (r, cfg) = gen();
+        let g = EduGenerator::new(&r, cfg);
+        let count = |d: Date, port: u16| {
+            day_flows(&g, d)
+                .iter()
+                .filter(|f| f.key.dst_port == port && f.direction == Direction::Ingress)
+                .count()
+                .max(1) as f64
+        };
+        let ssh_growth = count(Date::new(2020, 4, 23), 22) / count(Date::new(2020, 2, 27), 22);
+        let web_growth = count(Date::new(2020, 4, 23), 443) / count(Date::new(2020, 2, 27), 443);
+        assert!(
+            ssh_growth > 2.0 * web_growth,
+            "SSH ({ssh_growth:.1}×) must outgrow web ({web_growth:.1}×)"
+        );
+    }
+
+    #[test]
+    fn spotify_collapses() {
+        let (r, cfg) = gen();
+        let g = EduGenerator::new(&r, cfg);
+        let count = |d: Date| {
+            day_flows(&g, d)
+                .iter()
+                .filter(|f| f.dst_as == SPOTIFY_ASN.0)
+                .count() as f64
+        };
+        let base = count(Date::new(2020, 2, 27)).max(1.0);
+        let online = count(Date::new(2020, 4, 23));
+        assert!(
+            online / base < 0.45,
+            "Spotify outgoing should collapse: {}",
+            online / base
+        );
+    }
+
+    #[test]
+    fn overseas_night_connections_appear() {
+        let (r, cfg) = gen();
+        let g = EduGenerator::new(&r, cfg);
+        // 3 am connections from overseas eyeballs, before vs. after.
+        let overseas_at_3am = |d: Date| {
+            g.generate_hour(d, 3)
+                .iter()
+                .filter(|f| {
+                    f.direction == Direction::Ingress
+                        && r.get(Asn(f.src_as))
+                            .map(|a| a.region == Region::UsEast)
+                            .unwrap_or(false)
+                })
+                .count()
+        };
+        let pre: usize = (0..7).map(|w| overseas_at_3am(Date::new(2020, 2, 20).add_days(w))).sum();
+        let post: usize = (0..7).map(|w| overseas_at_3am(Date::new(2020, 4, 16).add_days(w))).sum();
+        assert!(post > pre, "overseas night access must rise: {pre} -> {post}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (r, cfg) = gen();
+        let g = EduGenerator::new(&r, cfg);
+        let a = g.generate_hour(Date::new(2020, 3, 12), 10);
+        let b = g.generate_hour(Date::new(2020, 3, 12), 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,138 @@
+//! Flow size and duration distributions.
+//!
+//! Internet flow sizes are famously heavy-tailed (a few elephants carry
+//! most bytes, many mice carry few). The generator draws per-flow weights
+//! from a bounded Pareto and normalizes them to hit the hour's expected
+//! byte total exactly, so figure-level volumes are noise-free while
+//! per-flow statistics stay realistic.
+
+use rand::Rng;
+
+/// Pareto shape parameter for flow-size weights. α ≈ 1.2 reproduces the
+/// classic elephants-and-mice skew without divergent variance in samples.
+pub const SIZE_ALPHA: f64 = 1.2;
+
+/// Draw a bounded Pareto(α) variate in `[1, cap]` by inverse transform.
+pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, cap: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // Inverse CDF of Pareto with x_m = 1, truncated at cap.
+    let raw = (1.0 - u * (1.0 - cap.powf(-alpha))).powf(-1.0 / alpha);
+    raw.min(cap)
+}
+
+/// Split `total_bytes` across `n` flows with heavy-tailed proportions.
+/// The sizes sum to exactly `total_bytes` (remainder goes to the largest
+/// flow). Every flow gets at least 1 byte when `total_bytes >= n`.
+pub fn split_bytes<R: Rng + ?Sized>(rng: &mut R, total_bytes: u64, n: usize) -> Vec<u64> {
+    assert!(n > 0, "cannot split across zero flows");
+    if n == 1 {
+        return vec![total_bytes];
+    }
+    let weights: Vec<f64> = (0..n)
+        .map(|_| bounded_pareto(rng, SIZE_ALPHA, 10_000.0))
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    let mut sizes: Vec<u64> = weights
+        .iter()
+        .map(|w| ((w / sum) * total_bytes as f64) as u64)
+        .collect();
+    let assigned: u64 = sizes.iter().sum();
+    let remainder = total_bytes - assigned;
+    // Give the remainder to the biggest flow to keep the tail heavy.
+    if let Some(max) = sizes.iter_mut().max() {
+        *max += remainder;
+    }
+    sizes
+}
+
+/// Packets for a flow of `bytes` bytes: MTU-ish mean packet size with some
+/// spread, at least 1 packet for non-empty flows.
+pub fn packets_for<R: Rng + ?Sized>(rng: &mut R, bytes: u64) -> u64 {
+    if bytes == 0 {
+        return 0;
+    }
+    let mean_pkt = rng.gen_range(400.0..1400.0);
+    ((bytes as f64 / mean_pkt).ceil() as u64).max(1)
+}
+
+/// Flow duration in seconds: log-uniform over [1, cap], so short flows
+/// dominate but long-lived tunnels appear.
+pub fn duration_secs<R: Rng + ?Sized>(rng: &mut R, cap_secs: u64) -> u64 {
+    let cap = cap_secs.max(1) as f64;
+    let u: f64 = rng.gen_range(0.0..1.0);
+    cap.powf(u) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 7, 100] {
+            for total in [0u64, 5, 1_000, 123_456_789] {
+                let sizes = split_bytes(&mut rng, total, n);
+                assert_eq!(sizes.len(), n);
+                assert_eq!(sizes.iter().sum::<u64>(), total, "n={n} total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sizes = split_bytes(&mut rng, 1_000_000_000, 1_000);
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = sorted.iter().take(100).sum(); // top 10%
+        let total: u64 = sorted.iter().sum();
+        assert!(
+            top10 as f64 > 0.4 * total as f64,
+            "top decile carries {:.2} of bytes — not heavy-tailed",
+            top10 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn pareto_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = bounded_pareto(&mut rng, SIZE_ALPHA, 100.0);
+            assert!((1.0..=100.0).contains(&x), "out of bounds: {x}");
+        }
+    }
+
+    #[test]
+    fn packets_plausible() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(packets_for(&mut rng, 0), 0);
+        for bytes in [1u64, 1_500, 1_000_000] {
+            let p = packets_for(&mut rng, bytes);
+            assert!(p >= 1);
+            assert!(p <= bytes.max(1), "more packets than bytes: {p} for {bytes}");
+        }
+    }
+
+    #[test]
+    fn duration_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let d = duration_secs(&mut rng, 3_600);
+            assert!(d <= 3_600);
+        }
+        // Degenerate cap.
+        assert_eq!(duration_secs(&mut rng, 0), 1);
+    }
+
+    #[test]
+    fn short_flows_dominate_durations() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let short = (0..10_000)
+            .filter(|_| duration_secs(&mut rng, 3_600) < 60)
+            .count();
+        assert!(short > 4_000, "only {short} short flows of 10000");
+    }
+}

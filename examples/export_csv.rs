@@ -1,0 +1,113 @@
+//! Export every figure's data series as CSV for external plotting.
+//!
+//! ```sh
+//! cargo run --release --example export_csv -- out_dir
+//! ```
+//!
+//! Writes one CSV per figure into `out_dir` (default `./figures_csv`).
+
+use lockdown::core::experiments::{fig1, fig11_12, fig4, fig5, fig8};
+use lockdown::core::report::TextTable;
+use lockdown::core::{Context, Fidelity};
+use lockdown_analysis::asgroup::DayPart;
+use std::fs;
+use std::path::Path;
+
+fn write(dir: &Path, name: &str, table: &TextTable) {
+    let path = dir.join(name);
+    fs::write(&path, table.to_csv()).expect("writable output dir");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "figures_csv".to_string());
+    let dir = Path::new(&dir);
+    fs::create_dir_all(dir).expect("create output dir");
+    let ctx = Context::new(Fidelity::Standard);
+
+    // Fig. 1: weekly normalized series per vantage point.
+    let f1 = fig1::run(&ctx);
+    let mut t = TextTable::new(
+        std::iter::once("week".to_string())
+            .chain(f1.series.iter().map(|s| s.vantage.label().to_string())),
+    );
+    for w in fig1::WEEKS {
+        let mut row = vec![w.to_string()];
+        for s in &f1.series {
+            row.push(s.at(w).map(|v| format!("{v:.4}")).unwrap_or_default());
+        }
+        t.row(row);
+    }
+    write(dir, "fig1_weekly_volume.csv", &t);
+
+    // Fig. 4: hypergiant vs other growth.
+    let f4 = fig4::run(&ctx);
+    let mut t = TextTable::new(["week", "daypart", "group", "growth"]);
+    for part in DayPart::ALL {
+        for hg in [true, false] {
+            for w in fig4::WEEKS {
+                if let Some(v) = f4.at(part, hg, w) {
+                    t.row([
+                        w.to_string(),
+                        part.label().to_string(),
+                        if hg { "hypergiant".into() } else { "other".to_string() },
+                        format!("{v:.4}"),
+                    ]);
+                }
+            }
+        }
+    }
+    write(dir, "fig4_hypergiant_growth.csv", &t);
+
+    // Fig. 5: ECDF curves on a percent grid.
+    let f5 = fig5::run(&ctx);
+    let mut t = TextTable::new(["utilization", "series", "fraction"]);
+    for (label, stage2, stat) in [
+        ("base_min", false, fig5::UtilStat::Min),
+        ("base_avg", false, fig5::UtilStat::Avg),
+        ("base_max", false, fig5::UtilStat::Max),
+        ("stage2_min", true, fig5::UtilStat::Min),
+        ("stage2_avg", true, fig5::UtilStat::Avg),
+        ("stage2_max", true, fig5::UtilStat::Max),
+    ] {
+        for pct in 1..=100u32 {
+            let x = f64::from(pct) / 100.0;
+            t.row([
+                pct.to_string(),
+                label.to_string(),
+                format!("{:.4}", f5.ecdf(stage2, stat).fraction_le(x)),
+            ]);
+        }
+    }
+    write(dir, "fig5_port_utilization_ecdf.csv", &t);
+
+    // Fig. 8: gaming daily stats.
+    let f8 = fig8::run(&ctx);
+    let mut t = TextTable::new(["date", "metric", "min", "avg", "max"]);
+    for (metric, series) in [("unique_ips", &f8.unique_ips), ("volume", &f8.volume)] {
+        for d in series {
+            t.row([
+                d.date.iso(),
+                metric.to_string(),
+                format!("{:.3}", d.min),
+                format!("{:.3}", d.avg),
+                format!("{:.3}", d.max),
+            ]);
+        }
+    }
+    write(dir, "fig8_gaming.csv", &t);
+
+    // Fig. 12: relative connection growth series.
+    let edu = fig11_12::run(&ctx);
+    let mut t = TextTable::new(["date", "category", "relative_growth"]);
+    for (label, _, _) in fig11_12::F12_CLASSES {
+        for (date, v) in edu.fig12_series(label) {
+            t.row([date.iso(), label.to_string(), format!("{v:.4}")]);
+        }
+    }
+    write(dir, "fig12_edu_classes.csv", &t);
+
+    println!("done.");
+}

@@ -1,0 +1,65 @@
+//! Wire-level tour of the flow substrate: encode the same records as
+//! NetFlow v5, NetFlow v9 and IPFIX, inspect the packets, anonymize
+//! addresses prefix-preservingly, and show template-cache behaviour on a
+//! mid-stream join.
+//!
+//! ```sh
+//! cargo run --release --example flow_pipeline
+//! ```
+
+use lockdown::core::{Context, Fidelity};
+use lockdown::flow::anon::Anonymizer;
+use lockdown::flow::prelude::*;
+use lockdown::topology::vantage::VantagePoint;
+use lockdown_flow::time::Date;
+
+fn main() {
+    let ctx = Context::new(Fidelity::Test);
+    let generator = ctx.generator();
+    let date = Date::new(2020, 3, 25);
+    let flows = generator.generate_hour(VantagePoint::IxpCe, date, 12);
+    println!("sample: {} flows from IXP-CE, {} 12:00", flows.len(), date.iso());
+
+    // Encode the same batch in all three formats.
+    let boot = date.midnight();
+    let now = date.at_hour(13);
+    for format in [ExportFormat::NetflowV5, ExportFormat::NetflowV9, ExportFormat::Ipfix] {
+        let mut exporter = Exporter::new(ExporterConfig::new(format, boot));
+        let pkts = exporter.export_all(&flows, now);
+        let bytes: usize = pkts.iter().map(Vec::len).sum();
+        println!(
+            "  {format:?}: {} datagrams, {} bytes on the wire ({:.1} B/record)",
+            pkts.len(),
+            bytes,
+            bytes as f64 / flows.len() as f64
+        );
+    }
+
+    // Mid-stream join: a collector that missed the first template.
+    let mut cfg = ExporterConfig::new(ExportFormat::Ipfix, boot);
+    cfg.batch_size = 50;
+    cfg.template_refresh = 5;
+    let mut exporter = Exporter::new(cfg);
+    let pkts = exporter.export_all(&flows, now);
+    let mut collector = Collector::new();
+    collector.ingest_all(pkts.iter().skip(1).map(|p| p.as_slice()));
+    let stats = collector.stats();
+    println!(
+        "mid-stream join: {} records recovered, {} datagrams dropped awaiting template refresh",
+        stats.records, stats.missing_template
+    );
+
+    // Prefix-preserving anonymization (§2.1's "IP addresses are hashed").
+    let anon = Anonymizer::new(0x5EC2E7);
+    let a = flows[0].key.src_addr;
+    let b = flows[1].key.src_addr;
+    let (ea, eb) = (anon.anonymize(a), anon.anonymize(b));
+    println!(
+        "anonymization: {a} -> {ea}, {b} -> {eb} (shared prefix {} bits before, {} after)",
+        Anonymizer::common_prefix_len(a, b),
+        Anonymizer::common_prefix_len(ea, eb),
+    );
+    // IP-to-AS attribution still works on anonymized *structure*: equal
+    // prefix lengths survive, which is what keeps per-prefix aggregation
+    // valid after hashing.
+}

@@ -1,0 +1,45 @@
+//! Reproduce every figure and table of the paper and print the text
+//! renderings — the full evaluation in one binary.
+//!
+//! ```sh
+//! cargo run --release --example paper_figures            # standard fidelity
+//! cargo run --release --example paper_figures -- --test  # fast, noisier
+//! ```
+
+use lockdown::core::experiments::{
+    fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, tables,
+};
+use lockdown::core::{Context, Fidelity};
+use lockdown::topology::vantage::VantagePoint;
+
+fn main() {
+    let fidelity = if std::env::args().any(|a| a == "--test") {
+        Fidelity::Test
+    } else {
+        Fidelity::Standard
+    };
+    let ctx = Context::new(fidelity);
+
+    println!("{}", tables::table2());
+    println!("{}", tables::table1(&ctx).render());
+
+    println!("{}", fig1::run(&ctx).render());
+    println!("{}", fig2::run_2a(&ctx).render());
+    println!("{}", fig2::run_2bc(&ctx, VantagePoint::IspCe).render());
+    println!("{}", fig2::run_2bc(&ctx, VantagePoint::IxpCe).render());
+    println!("{}", fig3::run_3a(&ctx).render());
+    println!("{}", fig3::run_3b(&ctx).render());
+    println!("{}", fig4::run(&ctx).render());
+    println!("{}", fig5::run(&ctx).render());
+    println!("{}", fig6::run(&ctx).render());
+    println!("{}", sec3_4::run(&ctx).render());
+    println!("{}", fig7::run(&ctx, VantagePoint::IspCe).render());
+    println!("{}", fig7::run(&ctx, VantagePoint::IxpCe).render());
+    println!("{}", fig8::run(&ctx).render());
+    for vp in VantagePoint::CORE_FOUR {
+        println!("{}", fig9::run(&ctx, vp).render());
+    }
+    println!("{}", fig10::run(&ctx).render());
+    println!("{}", fig11_12::run(&ctx).render());
+    println!("{}", sec9::run(&ctx).render());
+}

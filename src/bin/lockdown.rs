@@ -1,0 +1,307 @@
+//! `lockdown` — command-line front end to the reproduction.
+//!
+//! ```text
+//! lockdown figures [--fidelity test|standard|high] [NAME...]
+//! lockdown registry
+//! lockdown capture --vantage IXP-CE --date 2020-03-25 --out day.lkdn [--format ipfix|v9|v5] [--sample N]
+//! lockdown analyze --trace day.lkdn
+//! lockdown vpn-scan
+//! lockdown help
+//! ```
+//!
+//! Argument parsing is hand-rolled (the dependency set is deliberately
+//! small); every subcommand prints human-oriented tables.
+
+use lockdown::analysis::prelude::*;
+use lockdown::core::experiments::{
+    fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, tables,
+};
+use lockdown::core::{Context, Fidelity};
+use lockdown::dns::vpn::identify_vpn_ips;
+use lockdown::flow::prelude::*;
+use lockdown::topology::vantage::VantagePoint;
+use lockdown_flow::time::Date;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "figures" => cmd_figures(rest),
+        "registry" => cmd_registry(),
+        "capture" => cmd_capture(rest),
+        "analyze" => cmd_analyze(rest),
+        "vpn-scan" => cmd_vpn_scan(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+lockdown — reproduce 'The Lockdown Effect' (IMC 2020) from synthetic flows
+
+USAGE:
+  lockdown figures [--fidelity test|standard|high] [NAME...]
+      Render figures/tables (default: all). Names: fig1 fig2 fig3 fig4
+      fig5 fig6 fig7 fig8 fig9 fig10 edu sec3.4 sec9 table1 table2
+  lockdown registry
+      Print the synthetic AS registry summary.
+  lockdown capture --vantage <VP> --date YYYY-MM-DD --out FILE
+                   [--format ipfix|v9|v5] [--sample N]
+      Generate one day of traffic, export it on the wire, store a trace.
+      Vantage points: ISP-CE IXP-CE IXP-SE IXP-US EDU MOBILE-CE IPX
+  lockdown analyze --trace FILE
+      Replay a stored trace through the collector and summarize it.
+  lockdown vpn-scan
+      Run the §6 *vpn* domain identification over the synthetic corpus.";
+
+fn flag(rest: &[String], name: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .cloned()
+}
+
+fn parse_date(s: &str) -> Result<Date, String> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return Err(format!("bad date (want YYYY-MM-DD): {s}"));
+    }
+    let y: i32 = parts[0].parse().map_err(|_| format!("bad year: {s}"))?;
+    let m: u8 = parts[1].parse().map_err(|_| format!("bad month: {s}"))?;
+    let d: u8 = parts[2].parse().map_err(|_| format!("bad day: {s}"))?;
+    if !(1..=12).contains(&m) {
+        return Err(format!("bad month: {s}"));
+    }
+    if d < 1 || d > lockdown_flow::time::days_in_month(y, m) {
+        return Err(format!("bad day of month: {s}"));
+    }
+    Ok(Date::new(y, m, d))
+}
+
+fn parse_vantage(s: &str) -> Result<VantagePoint, String> {
+    VantagePoint::ALL
+        .into_iter()
+        .find(|v| v.label().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown vantage point: {s}"))
+}
+
+fn cmd_figures(rest: &[String]) -> Result<(), String> {
+    let fidelity = match flag(rest, "--fidelity").as_deref() {
+        None | Some("standard") => Fidelity::Standard,
+        Some("test") => Fidelity::Test,
+        Some("high") => Fidelity::High,
+        Some(other) => return Err(format!("unknown fidelity: {other}")),
+    };
+    let names: Vec<&String> = rest
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| flag(rest, "--fidelity").as_ref() != Some(*a))
+        .collect();
+    let all = names.is_empty();
+    let want = |n: &str| all || names.iter().any(|x| x.as_str() == n);
+
+    let ctx = Context::new(fidelity);
+    if want("table2") {
+        println!("{}", tables::table2());
+    }
+    if want("table1") {
+        println!("{}", tables::table1(&ctx).render());
+    }
+    if want("fig1") {
+        println!("{}", fig1::run(&ctx).render());
+    }
+    if want("fig2") {
+        println!("{}", fig2::run_2a(&ctx).render());
+        println!("{}", fig2::run_2bc(&ctx, VantagePoint::IspCe).render());
+        println!("{}", fig2::run_2bc(&ctx, VantagePoint::IxpCe).render());
+    }
+    if want("fig3") {
+        println!("{}", fig3::run_3a(&ctx).render());
+        println!("{}", fig3::run_3b(&ctx).render());
+    }
+    if want("fig4") {
+        println!("{}", fig4::run(&ctx).render());
+    }
+    if want("fig5") {
+        println!("{}", fig5::run(&ctx).render());
+    }
+    if want("fig6") {
+        println!("{}", fig6::run(&ctx).render());
+    }
+    if want("sec3.4") {
+        println!("{}", sec3_4::run(&ctx).render());
+    }
+    if want("fig7") {
+        println!("{}", fig7::run(&ctx, VantagePoint::IspCe).render());
+        println!("{}", fig7::run(&ctx, VantagePoint::IxpCe).render());
+    }
+    if want("fig8") {
+        println!("{}", fig8::run(&ctx).render());
+    }
+    if want("fig9") {
+        for vp in VantagePoint::CORE_FOUR {
+            println!("{}", fig9::run(&ctx, vp).render());
+        }
+    }
+    if want("fig10") {
+        println!("{}", fig10::run(&ctx).render());
+    }
+    if want("edu") {
+        println!("{}", fig11_12::run(&ctx).render());
+    }
+    if want("sec9") {
+        println!("{}", sec9::run(&ctx).render());
+    }
+    Ok(())
+}
+
+fn cmd_registry() -> Result<(), String> {
+    let registry = lockdown::topology::registry::Registry::synthesize();
+    let mut by_cat: HashMap<String, usize> = HashMap::new();
+    for a in registry.ases() {
+        *by_cat.entry(a.category.to_string()).or_insert(0) += 1;
+    }
+    let mut cats: Vec<_> = by_cat.into_iter().collect();
+    cats.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!(
+        "synthetic registry: {} ASes, {} prefixes",
+        registry.ases().len(),
+        registry.prefix_count()
+    );
+    for (cat, n) in cats {
+        println!("  {n:>4}  {cat}");
+    }
+    Ok(())
+}
+
+fn cmd_capture(rest: &[String]) -> Result<(), String> {
+    let vantage = parse_vantage(&flag(rest, "--vantage").ok_or("--vantage required")?)?;
+    let date = parse_date(&flag(rest, "--date").ok_or("--date required")?)?;
+    let out = flag(rest, "--out").ok_or("--out required")?;
+    let format = match flag(rest, "--format").as_deref() {
+        None | Some("ipfix") => ExportFormat::Ipfix,
+        Some("v9") => ExportFormat::NetflowV9,
+        Some("v5") => ExportFormat::NetflowV5,
+        Some(other) => return Err(format!("unknown format: {other}")),
+    };
+    let sample_rate: u32 = match flag(rest, "--sample") {
+        None => 1,
+        Some(s) => s.parse().map_err(|_| format!("bad sample rate: {s}"))?,
+    };
+
+    let ctx = Context::new(Fidelity::Standard);
+    let flows = if vantage == VantagePoint::Edu {
+        let generator = ctx.edu_generator();
+        (0..24).flat_map(|h| generator.generate_hour(date, h)).collect()
+    } else {
+        ctx.generator().generate_day(vantage, date)
+    };
+    let sampler = FlowSampler::new(sample_rate, ctx.config.seed);
+    let flows = sampler.sample_all(&flows);
+
+    let boot = date.midnight();
+    let mut exporter = Exporter::new(ExporterConfig::new(format, boot));
+    let mut writer = TraceWriter::new();
+    // Export after the last flow ends (EDU flows may cross midnight).
+    let export_time = flows
+        .iter()
+        .map(|f| f.end)
+        .max()
+        .unwrap_or(date.at_hour(23))
+        .add_secs(1);
+    for pkt in exporter.export_all(&flows, export_time) {
+        writer
+            .push(export_time, &pkt)
+            .map_err(|e| e.to_string())?;
+    }
+    let datagrams = writer.len();
+    let bytes = writer.finish();
+    std::fs::write(&out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "captured {} at {} ({:?}, sample 1:{sample_rate}): {} flows, {datagrams} datagrams, {} bytes -> {out}",
+        vantage,
+        date.iso(),
+        format,
+        flows.len(),
+        bytes.len(),
+    );
+    Ok(())
+}
+
+fn cmd_analyze(rest: &[String]) -> Result<(), String> {
+    let path = flag(rest, "--trace").ok_or("--trace required")?;
+    let bytes = std::fs::read(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let reader = TraceReader::open(&bytes).map_err(|e| e.to_string())?;
+    let mut collector = Collector::new();
+    for record in reader {
+        let record = record.map_err(|e| e.to_string())?;
+        collector.ingest(record.payload);
+    }
+    let stats = collector.stats();
+    println!(
+        "trace {path}: {} datagrams ok, {} records, {} missing-template drops, {} malformed",
+        stats.packets_ok, stats.records, stats.missing_template, stats.malformed
+    );
+    if collector.records().is_empty() {
+        return Ok(());
+    }
+
+    // Volume + top ports + VPN summary over the replayed records.
+    let records = collector.records();
+    let total: u64 = records.iter().map(|r| r.bytes).sum();
+    let first = records.iter().map(|r| r.start).min().expect("non-empty");
+    println!("total volume: {total} bytes, first flow {}", first.date().iso());
+
+    let mut profile = PortProfile::new();
+    // Region only affects weekday labels in the profile; Central Europe is
+    // the default lens for a stored trace.
+    profile.add_all(records, lockdown::topology::asn::Region::CentralEurope);
+    println!("top services:");
+    for key in profile.top_services(8, &[]) {
+        println!("  {:<12} {:>16} bytes", key.label(), profile.total(key));
+    }
+
+    let ctx = Context::new(Fidelity::Standard);
+    let vpn = VpnClassifier::new(ctx.vpn_candidate_ips());
+    let port_vpn: u64 = records.iter().filter(|r| is_port_vpn(r)).map(|r| r.bytes).sum();
+    let dom_vpn: u64 = records
+        .iter()
+        .filter(|r| vpn.is_domain_vpn(r))
+        .map(|r| r.bytes)
+        .sum();
+    println!("VPN bytes: port-identified {port_vpn}, domain-identified {dom_vpn}");
+    Ok(())
+}
+
+fn cmd_vpn_scan() -> Result<(), String> {
+    let ctx = Context::new(Fidelity::Standard);
+    let id = identify_vpn_ips(&ctx.corpus.db);
+    println!(
+        "corpus: {} names; candidates: {} domains -> {} addresses; eliminated {}; final {}",
+        ctx.corpus.db.len(),
+        id.candidate_domains.len(),
+        id.raw_candidate_ips.len(),
+        id.eliminated_ips.len(),
+        id.vpn_ips.len()
+    );
+    for d in id.candidate_domains.iter().take(10) {
+        println!("  {d}");
+    }
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the whole `lockdown` workspace.
+pub use lockdown_analysis as analysis;
+pub use lockdown_core as core;
+pub use lockdown_dns as dns;
+pub use lockdown_flow as flow;
+pub use lockdown_scenario as scenario;
+pub use lockdown_topology as topology;
+pub use lockdown_traffic as traffic;

@@ -1,0 +1,113 @@
+//! Smoke tests for the `lockdown` CLI binary: every subcommand runs,
+//! capture→analyze round-trips, and bad input fails cleanly.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lockdown"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("figures"));
+    assert!(text.contains("vpn-scan"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn registry_summarizes() {
+    let out = bin().arg("registry").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("hypergiant"));
+    assert!(text.contains("eyeball ISP"));
+}
+
+#[test]
+fn figures_single_table_at_test_fidelity() {
+    let out = bin()
+        .args(["figures", "--fidelity", "test", "table1", "table2"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Table 1"));
+    assert!(text.contains("Netflix"));
+    // Only the requested outputs appear.
+    assert!(!text.contains("Fig. 1"));
+}
+
+#[test]
+fn capture_analyze_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("lockdown-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let trace = dir.join("edu.lkdn");
+
+    let out = bin()
+        .args([
+            "capture",
+            "--vantage",
+            "EDU",
+            "--date",
+            "2020-03-17",
+            "--format",
+            "v5",
+            "--out",
+        ])
+        .arg(&trace)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "capture failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(trace.exists());
+
+    let out = bin()
+        .args(["analyze", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("records"), "{text}");
+    assert!(text.contains("top services"));
+    assert!(text.contains("0 malformed"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn capture_validates_arguments() {
+    for bad in [
+        vec!["capture", "--date", "2020-03-17", "--out", "/tmp/x"],
+        vec!["capture", "--vantage", "IXP-CE", "--out", "/tmp/x"],
+        vec!["capture", "--vantage", "NOPE", "--date", "2020-03-17", "--out", "/tmp/x"],
+        vec!["capture", "--vantage", "IXP-CE", "--date", "2020-13-01", "--out", "/tmp/x"],
+        vec!["capture", "--vantage", "IXP-CE", "--date", "2020-02-30", "--out", "/tmp/x"],
+    ] {
+        let out = bin().args(&bad).output().expect("spawn");
+        assert!(!out.status.success(), "should fail: {bad:?}");
+    }
+}
+
+#[test]
+fn analyze_rejects_garbage() {
+    let dir = std::env::temp_dir().join(format!("lockdown-cli-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("garbage.lkdn");
+    std::fs::write(&path, b"this is not a trace").expect("write");
+    let out = bin().args(["analyze", "--trace"]).arg(&path).output().expect("spawn");
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

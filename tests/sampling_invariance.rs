@@ -1,0 +1,113 @@
+//! Sampled-telemetry invariance: the paper's analyses are built on
+//! normalized volumes precisely because production flow export is sampled.
+//! These tests check that the figures' *ratios* survive 1-in-N sampling
+//! with renormalization, while absolute counts become estimates.
+
+use lockdown::analysis::prelude::*;
+use lockdown::core::{Context, Fidelity};
+use lockdown::flow::prelude::*;
+use lockdown::topology::vantage::VantagePoint;
+use lockdown_flow::time::Date;
+
+#[test]
+fn growth_ratio_survives_sampling() {
+    // The headline ratio (lockdown day / base day volume) must be stable
+    // under sampling at a modest rate.
+    let ctx = Context::new(Fidelity::Standard);
+    let generator = ctx.generator();
+    let base_day = Date::new(2020, 2, 19);
+    let lock_day = Date::new(2020, 3, 25);
+    let base = generator.generate_day(VantagePoint::IxpCe, base_day);
+    let lock = generator.generate_day(VantagePoint::IxpCe, lock_day);
+
+    let ratio = |b: &[FlowRecord], l: &[FlowRecord]| {
+        let vb: u64 = b.iter().map(|f| f.bytes).sum();
+        let vl: u64 = l.iter().map(|f| f.bytes).sum();
+        vl as f64 / vb as f64
+    };
+    let truth = ratio(&base, &lock);
+
+    let sampler = FlowSampler::new(8, 42);
+    let sampled = ratio(&sampler.sample_all(&base), &sampler.sample_all(&lock));
+    let err = (sampled - truth).abs() / truth;
+    assert!(
+        err < 0.08,
+        "sampled growth {sampled:.3} vs true {truth:.3} (err {err:.3})"
+    );
+}
+
+#[test]
+fn day_pattern_classification_survives_sampling() {
+    // Fig. 2's classifier works on 6-hour volume shares: sampling noise
+    // must not flip verdicts at moderate rates.
+    let ctx = Context::new(Fidelity::Standard);
+    let generator = ctx.generator();
+    let sampler = FlowSampler::new(4, 7);
+    let region = VantagePoint::IspCe.region();
+
+    let mut full = HourlyVolume::new();
+    let mut sampled = HourlyVolume::new();
+    generator.for_each_hour(
+        VantagePoint::IspCe,
+        Date::new(2020, 2, 1),
+        Date::new(2020, 3, 31),
+        |_, _, flows| {
+            full.add_all(flows);
+            for f in flows {
+                if let Some(s) = sampler.sample(f) {
+                    sampled.add(&s);
+                }
+            }
+        },
+    );
+    let clf_full = DayClassifier::train_february(&full, region);
+    let clf_sampled = DayClassifier::train_february(&sampled, region);
+    let mut agree = 0;
+    let mut total = 0;
+    for date in Date::new(2020, 3, 1).range_inclusive(Date::new(2020, 3, 31)) {
+        let (Some(a), Some(b)) = (
+            clf_full.classify(&full, date),
+            clf_sampled.classify(&sampled, date),
+        ) else {
+            continue;
+        };
+        total += 1;
+        if a == b {
+            agree += 1;
+        }
+    }
+    assert!(total >= 28);
+    assert!(
+        agree as f64 >= 0.9 * total as f64,
+        "verdicts agree on only {agree}/{total} days"
+    );
+}
+
+#[test]
+fn port_mix_shares_survive_sampling() {
+    let ctx = Context::new(Fidelity::Standard);
+    let generator = ctx.generator();
+    let flows = generator.generate_day(VantagePoint::IxpCe, Date::new(2020, 3, 25));
+    let sampler = FlowSampler::new(8, 3);
+    let sampled = sampler.sample_all(&flows);
+
+    let region = VantagePoint::IxpCe.region();
+    let mut p_full = PortProfile::new();
+    p_full.add_all(&flows, region);
+    let mut p_sampled = PortProfile::new();
+    p_sampled.add_all(&sampled, region);
+
+    // The web-port share (a headline §4 statistic) moves by at most a few
+    // points under sampling.
+    let full_share = p_full.share_of(&[tcp443(), tcp80()]);
+    let sampled_share = p_sampled.share_of(&[tcp443(), tcp80()]);
+    assert!(
+        (full_share - sampled_share).abs() < 0.05,
+        "web share {full_share:.3} vs sampled {sampled_share:.3}"
+    );
+    // The top non-web port is stable.
+    assert_eq!(
+        p_full.top_services(1, &[tcp443(), tcp80()]),
+        p_sampled.top_services(1, &[tcp443(), tcp80()])
+    );
+}
