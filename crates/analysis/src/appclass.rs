@@ -283,8 +283,14 @@ impl Classifier {
             .find(|(c, _)| *c == class)
             .expect("all classes present")
             .1;
-        let asns: BTreeSet<Asn> = rules.iter().flat_map(|r| r.asns().iter().copied()).collect();
-        let ports: BTreeSet<PortSig> = rules.iter().flat_map(|r| r.ports().iter().copied()).collect();
+        let asns: BTreeSet<Asn> = rules
+            .iter()
+            .flat_map(|r| r.asns().iter().copied())
+            .collect();
+        let ports: BTreeSet<PortSig> = rules
+            .iter()
+            .flat_map(|r| r.ports().iter().copied())
+            .collect();
         (rules.len(), asns.len(), ports.len())
     }
 
@@ -299,13 +305,19 @@ impl Classifier {
 fn service_sig(record: &FlowRecord) -> Option<PortSig> {
     let proto = record.key.protocol;
     if !proto.has_ports() {
-        return Some(PortSig { protocol: proto, port: 0 });
+        return Some(PortSig {
+            protocol: proto,
+            port: 0,
+        });
     }
     let lo = record.key.src_port.min(record.key.dst_port);
     if lo >= EPHEMERAL_START {
         None
     } else {
-        Some(PortSig { protocol: proto, port: lo })
+        Some(PortSig {
+            protocol: proto,
+            port: lo,
+        })
     }
 }
 
@@ -370,24 +382,53 @@ pub fn display_slot(hour: u8) -> Option<usize> {
 }
 
 impl WeekHeatmap {
+    /// An empty grid for the week starting at `start`.
+    pub fn new(start: Date) -> WeekHeatmap {
+        WeekHeatmap {
+            start,
+            grid: vec![[[0u64; DISPLAY_HOURS]; 7]; PaperClass::ALL.len()],
+        }
+    }
+
+    /// Accumulate one flow into the grid (classified flows inside the
+    /// week's displayed hours only).
+    pub fn add(&mut self, classifier: &Classifier, record: &FlowRecord) {
+        let Some(class) = classifier.classify(record) else {
+            return;
+        };
+        let day = self.start.days_until(record.start.date());
+        if !(0..7).contains(&day) {
+            return;
+        }
+        let Some(slot) = display_slot(record.start.hour()) else {
+            return;
+        };
+        let ci = PaperClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("in ALL");
+        self.grid[ci][day as usize][slot] += record.bytes;
+    }
+
+    /// Merge another same-week grid into this one (cells are additive).
+    pub fn merge(&mut self, other: &WeekHeatmap) {
+        debug_assert_eq!(self.start, other.start, "weeks must agree");
+        for (mine, theirs) in self.grid.iter_mut().zip(&other.grid) {
+            for (day_m, day_t) in mine.iter_mut().zip(theirs) {
+                for (cell_m, cell_t) in day_m.iter_mut().zip(day_t) {
+                    *cell_m += cell_t;
+                }
+            }
+        }
+    }
+
     /// Accumulate one week of flows into the grid.
     pub fn build(classifier: &Classifier, start: Date, flows: &[FlowRecord]) -> WeekHeatmap {
-        let mut grid = vec![[[0u64; DISPLAY_HOURS]; 7]; PaperClass::ALL.len()];
+        let mut h = WeekHeatmap::new(start);
         for f in flows {
-            let Some(class) = classifier.classify(f) else {
-                continue;
-            };
-            let day = start.days_until(f.start.date());
-            if !(0..7).contains(&day) {
-                continue;
-            }
-            let Some(slot) = display_slot(f.start.hour()) else {
-                continue;
-            };
-            let ci = PaperClass::ALL.iter().position(|&c| c == class).expect("in ALL");
-            grid[ci][day as usize][slot] += f.bytes;
+            h.add(classifier, f);
         }
-        WeekHeatmap { start, grid }
+        h
     }
 
     /// The class's cells normalized to this week+others' shared max (the
@@ -395,7 +436,10 @@ impl WeekHeatmap {
     /// the paper's "normalized to the minimum/maximum of all three weeks
     /// per application per vantage point").
     pub fn normalized(&self, class: PaperClass, class_max: u64) -> [[f64; DISPLAY_HOURS]; 7] {
-        let ci = PaperClass::ALL.iter().position(|&c| c == class).expect("in ALL");
+        let ci = PaperClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("in ALL");
         let mut out = [[0.0; DISPLAY_HOURS]; 7];
         let denom = class_max.max(1) as f64;
         for (day_out, day_in) in out.iter_mut().zip(&self.grid[ci]) {
@@ -408,7 +452,10 @@ impl WeekHeatmap {
 
     /// Max cell value of one class in this week.
     pub fn class_max(&self, class: PaperClass) -> u64 {
-        let ci = PaperClass::ALL.iter().position(|&c| c == class).expect("in ALL");
+        let ci = PaperClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("in ALL");
         self.grid[ci]
             .iter()
             .flat_map(|day| day.iter())
@@ -560,15 +607,24 @@ mod tests {
             Some(PaperClass::Gaming)
         );
         // Generic web to a random AS: unclassified.
-        assert_eq!(c.classify(&flow(IpProtocol::Tcp, 443, 50_000, 99, 98)), None);
+        assert_eq!(
+            c.classify(&flow(IpProtocol::Tcp, 443, 50_000, 99, 98)),
+            None
+        );
         // QUIC to Google: not one of the nine classes.
-        assert_eq!(c.classify(&flow(IpProtocol::Udp, 443, 50_000, 15_169, 64_496)), None);
+        assert_eq!(
+            c.classify(&flow(IpProtocol::Udp, 443, 50_000, 15_169, 64_496)),
+            None
+        );
     }
 
     #[test]
     fn ephemeral_both_sides_unclassified_by_port() {
         let c = Classifier::from_registry(&registry());
-        assert_eq!(c.classify(&flow(IpProtocol::Tcp, 40_000, 50_000, 7, 8)), None);
+        assert_eq!(
+            c.classify(&flow(IpProtocol::Tcp, 40_000, 50_000, 7, 8)),
+            None
+        );
         // …but AS rules still apply (VoD is AS-only).
         assert_eq!(
             c.classify(&flow(IpProtocol::Tcp, 40_000, 50_000, 2_906, 8)),
@@ -615,10 +671,7 @@ mod tests {
         }
         assert_eq!(display_slot(7), Some(2));
         assert_eq!(display_slot(23), Some(18));
-        assert_eq!(
-            (0..24).filter_map(display_slot).count(),
-            DISPLAY_HOURS
-        );
+        assert_eq!((0..24).filter_map(display_slot).count(), DISPLAY_HOURS);
     }
 
     #[test]

@@ -97,9 +97,23 @@ impl HypergiantSplit {
             .insert(date.day_number());
     }
 
+    /// Merge another split into this one (byte bins are additive; day
+    /// sets union, so double-counting a day is impossible).
+    pub fn merge(&mut self, other: &HypergiantSplit) {
+        for (k, v) in &other.bins {
+            *self.bins.entry(*k).or_insert(0) += v;
+        }
+        for (k, days) in &other.days {
+            self.days.entry(*k).or_default().extend(days);
+        }
+    }
+
     /// Total bytes for (week, part, hypergiant?).
     pub fn get(&self, week: u8, part: DayPart, hypergiant: bool) -> u64 {
-        self.bins.get(&(week, part, hypergiant)).copied().unwrap_or(0)
+        self.bins
+            .get(&(week, part, hypergiant))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Mean *daily* bytes for (week, part, hypergiant?) — the unit Fig. 4
@@ -187,6 +201,18 @@ impl AsDayTotals {
         } else {
             self.days_seen.0.insert(date.day_number());
         }
+    }
+
+    /// Merge another accumulator (same region) into this one.
+    pub fn merge(&mut self, other: &AsDayTotals) {
+        debug_assert_eq!(self.region, other.region, "regions must agree");
+        for (asn, (wd, we)) in &other.totals {
+            let entry = self.totals.entry(*asn).or_insert((0, 0));
+            entry.0 += wd;
+            entry.1 += we;
+        }
+        self.days_seen.0.extend(&other.days_seen.0);
+        self.days_seen.1.extend(&other.days_seen.1);
     }
 
     /// Group an AS by its *per-day* workday/weekend ratio. `None` if the
@@ -376,10 +402,22 @@ mod tests {
     fn daypart_classification() {
         let wed = Date::new(2020, 2, 19);
         let sat = Date::new(2020, 2, 22);
-        assert_eq!(DayPart::of(wed, 10, Region::CentralEurope), Some(DayPart::WorkdayWork));
-        assert_eq!(DayPart::of(wed, 20, Region::CentralEurope), Some(DayPart::WorkdayEvening));
-        assert_eq!(DayPart::of(sat, 10, Region::CentralEurope), Some(DayPart::WeekendWork));
-        assert_eq!(DayPart::of(sat, 23, Region::CentralEurope), Some(DayPart::WeekendEvening));
+        assert_eq!(
+            DayPart::of(wed, 10, Region::CentralEurope),
+            Some(DayPart::WorkdayWork)
+        );
+        assert_eq!(
+            DayPart::of(wed, 20, Region::CentralEurope),
+            Some(DayPart::WorkdayEvening)
+        );
+        assert_eq!(
+            DayPart::of(sat, 10, Region::CentralEurope),
+            Some(DayPart::WeekendWork)
+        );
+        assert_eq!(
+            DayPart::of(sat, 23, Region::CentralEurope),
+            Some(DayPart::WeekendEvening)
+        );
         assert_eq!(DayPart::of(wed, 3, Region::CentralEurope), None);
         // Easter Monday counts as weekend-like.
         assert_eq!(
@@ -393,12 +431,28 @@ mod tests {
         let mut split = HypergiantSplit::new();
         // Week 8 (Feb 19 is in ISO week 8): baseline.
         let base_day = Date::new(2020, 2, 19);
-        split.add(&flow(base_day, 10, GOOGLE, EYEBALL.0, 100), Region::CentralEurope, EYEBALL);
-        split.add(&flow(base_day, 10, OTHER, EYEBALL.0, 100), Region::CentralEurope, EYEBALL);
+        split.add(
+            &flow(base_day, 10, GOOGLE, EYEBALL.0, 100),
+            Region::CentralEurope,
+            EYEBALL,
+        );
+        split.add(
+            &flow(base_day, 10, OTHER, EYEBALL.0, 100),
+            Region::CentralEurope,
+            EYEBALL,
+        );
         // Week 13 (Mar 25): hypergiants +30%, others +60%.
         let lock_day = Date::new(2020, 3, 25);
-        split.add(&flow(lock_day, 10, GOOGLE, EYEBALL.0, 130), Region::CentralEurope, EYEBALL);
-        split.add(&flow(lock_day, 10, OTHER, EYEBALL.0, 160), Region::CentralEurope, EYEBALL);
+        split.add(
+            &flow(lock_day, 10, GOOGLE, EYEBALL.0, 130),
+            Region::CentralEurope,
+            EYEBALL,
+        );
+        split.add(
+            &flow(lock_day, 10, OTHER, EYEBALL.0, 160),
+            Region::CentralEurope,
+            EYEBALL,
+        );
 
         let (_, base_week) = base_day.iso_week();
         let (_, lock_week) = lock_day.iso_week();
@@ -418,7 +472,11 @@ mod tests {
         let mut split = HypergiantSplit::new();
         let d = Date::new(2020, 2, 19);
         // Upstream flow: eyeball is the source; content side is dst.
-        split.add(&flow(d, 10, EYEBALL.0, GOOGLE, 50), Region::CentralEurope, EYEBALL);
+        split.add(
+            &flow(d, 10, EYEBALL.0, GOOGLE, 50),
+            Region::CentralEurope,
+            EYEBALL,
+        );
         let (_, w) = d.iso_week();
         assert_eq!(split.get(w, DayPart::WorkdayWork, true), 50);
     }

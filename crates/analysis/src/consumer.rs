@@ -1,0 +1,370 @@
+//! The multi-consumer aggregation contract used by the single-pass trace
+//! engine (`lockdown-core::engine`).
+//!
+//! Every figure's accumulator observes flow records one at a time and can
+//! merge a same-typed partial produced by another worker. All implementors
+//! bin into integer counters (or sets) whose merges are commutative and
+//! associative, so results are independent of both flow fan-out order and
+//! worker count — the property the engine's determinism tests assert.
+
+use crate::appclass::{Classifier, HourUsage, PaperClass, WeekHeatmap};
+use crate::asgroup::{AsDayTotals, HypergiantSplit};
+use crate::edu::EduAnalysis;
+use crate::linkutil::AsHourly;
+use crate::ports::{PortProfile, EPHEMERAL_START};
+use crate::timeseries::HourlyVolume;
+use lockdown_flow::record::FlowRecord;
+use lockdown_flow::time::Date;
+use lockdown_topology::asn::{Asn, Region};
+use std::collections::{BTreeMap, HashSet};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// A streaming flow aggregator that can absorb a same-typed partial.
+///
+/// `merge` must be commutative and associative so that sharding flows
+/// across workers and merging the partials yields the same state as a
+/// single sequential pass.
+pub trait FlowConsumer {
+    /// Observe one flow record.
+    fn observe(&mut self, record: &FlowRecord);
+
+    /// Observe a batch of records (hot path for the engine's per-cell
+    /// fan-out; the default just loops).
+    fn observe_all(&mut self, records: &[FlowRecord]) {
+        for r in records {
+            self.observe(r);
+        }
+    }
+
+    /// Absorb another worker's partial state.
+    fn merge(&mut self, other: Self)
+    where
+        Self: Sized;
+}
+
+impl FlowConsumer for HourlyVolume {
+    fn observe(&mut self, record: &FlowRecord) {
+        self.add(record);
+    }
+
+    fn merge(&mut self, other: Self) {
+        HourlyVolume::merge(self, &other);
+    }
+}
+
+impl FlowConsumer for EduAnalysis {
+    fn observe(&mut self, record: &FlowRecord) {
+        self.add(record);
+    }
+
+    fn merge(&mut self, other: Self) {
+        EduAnalysis::merge(self, &other);
+    }
+}
+
+/// [`PortProfile`] bound to the vantage region its calendar needs.
+#[derive(Debug, Clone)]
+pub struct PortConsumer {
+    /// The accumulated profile.
+    pub profile: PortProfile,
+    region: Region,
+}
+
+impl PortConsumer {
+    /// An empty profile for a region's calendar.
+    pub fn new(region: Region) -> PortConsumer {
+        PortConsumer {
+            profile: PortProfile::new(),
+            region,
+        }
+    }
+}
+
+impl FlowConsumer for PortConsumer {
+    fn observe(&mut self, record: &FlowRecord) {
+        self.profile.add(record, self.region);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.profile.merge(&other.profile);
+    }
+}
+
+/// [`HypergiantSplit`] bound to its region and local eyeball ASN (Fig. 4).
+#[derive(Debug, Clone)]
+pub struct HypergiantConsumer {
+    /// The accumulated split.
+    pub split: HypergiantSplit,
+    region: Region,
+    eyeball: Asn,
+}
+
+impl HypergiantConsumer {
+    /// An empty split for a vantage in `region` with the given eyeball.
+    pub fn new(region: Region, eyeball: Asn) -> HypergiantConsumer {
+        HypergiantConsumer {
+            split: HypergiantSplit::new(),
+            region,
+            eyeball,
+        }
+    }
+}
+
+impl FlowConsumer for HypergiantConsumer {
+    fn observe(&mut self, record: &FlowRecord) {
+        self.split.add(record, self.region, self.eyeball);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.split.merge(&other.split);
+    }
+}
+
+/// [`AsDayTotals`] with an optional endpoint-AS gate — `Some(asn)` keeps
+/// only flows touching that AS (the "residential" half of Fig. 6/§3.4).
+#[derive(Debug, Clone)]
+pub struct AsTotalsConsumer {
+    /// The accumulated totals.
+    pub totals: AsDayTotals,
+    require_asn: Option<u32>,
+}
+
+impl AsTotalsConsumer {
+    /// Accumulate every flow.
+    pub fn all(region: Region) -> AsTotalsConsumer {
+        AsTotalsConsumer {
+            totals: AsDayTotals::new(region),
+            require_asn: None,
+        }
+    }
+
+    /// Accumulate only flows with `asn` as an endpoint.
+    pub fn touching(region: Region, asn: Asn) -> AsTotalsConsumer {
+        AsTotalsConsumer {
+            totals: AsDayTotals::new(region),
+            require_asn: Some(asn.0),
+        }
+    }
+}
+
+impl FlowConsumer for AsTotalsConsumer {
+    fn observe(&mut self, record: &FlowRecord) {
+        if let Some(a) = self.require_asn {
+            if record.src_as != a && record.dst_as != a {
+                return;
+            }
+        }
+        self.totals.add(record);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.totals.merge(&other.totals);
+    }
+}
+
+/// One Fig. 9 [`WeekHeatmap`] fed flow-by-flow through a shared classifier.
+#[derive(Debug, Clone)]
+pub struct HeatmapConsumer {
+    classifier: Arc<Classifier>,
+    /// The accumulated heatmap.
+    pub heatmap: WeekHeatmap,
+}
+
+impl HeatmapConsumer {
+    /// An empty heatmap for the week starting at `start`.
+    pub fn new(classifier: Arc<Classifier>, start: Date) -> HeatmapConsumer {
+        HeatmapConsumer {
+            classifier,
+            heatmap: WeekHeatmap::new(start),
+        }
+    }
+}
+
+impl FlowConsumer for HeatmapConsumer {
+    fn observe(&mut self, record: &FlowRecord) {
+        self.heatmap.add(&self.classifier, record);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.heatmap.merge(&other.heatmap);
+    }
+}
+
+/// Fig. 8's per-hour usage of one application class: bytes plus distinct
+/// client addresses per `(day, hour)` bin. Equivalent to calling
+/// [`crate::appclass::class_hour_usage`] on each hour batch separately
+/// (flows land in the bin of their start hour).
+#[derive(Debug, Clone)]
+pub struct ClassUsageConsumer {
+    classifier: Arc<Classifier>,
+    class: PaperClass,
+    bins: BTreeMap<(i64, u8), (u64, HashSet<Ipv4Addr>)>,
+}
+
+impl ClassUsageConsumer {
+    /// An empty accumulator for one class.
+    pub fn new(classifier: Arc<Classifier>, class: PaperClass) -> ClassUsageConsumer {
+        ClassUsageConsumer {
+            classifier,
+            class,
+            bins: BTreeMap::new(),
+        }
+    }
+
+    /// Usage in one hour bin (zeroes when the bin is empty).
+    pub fn hour_usage(&self, date: Date, hour: u8) -> HourUsage {
+        match self.bins.get(&(date.day_number(), hour)) {
+            Some((bytes, ips)) => HourUsage {
+                bytes: *bytes,
+                unique_ips: ips.len(),
+            },
+            None => HourUsage::default(),
+        }
+    }
+}
+
+impl FlowConsumer for ClassUsageConsumer {
+    fn observe(&mut self, record: &FlowRecord) {
+        if self.classifier.classify(record) != Some(self.class) {
+            return;
+        }
+        // The client is the ephemeral-port side; fall back to source —
+        // the same rule `class_hour_usage` applies.
+        let client = if record.key.src_port >= EPHEMERAL_START || record.key.src_port == 0 {
+            record.key.src_addr
+        } else {
+            record.key.dst_addr
+        };
+        let bin = self
+            .bins
+            .entry((record.start.date().day_number(), record.start.hour()))
+            .or_insert_with(|| (0, HashSet::new()));
+        bin.0 += record.bytes;
+        bin.1.insert(client);
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (k, (bytes, ips)) in other.bins {
+            let bin = self.bins.entry(k).or_insert_with(|| (0, HashSet::new()));
+            bin.0 += bytes;
+            bin.1.extend(ips);
+        }
+    }
+}
+
+impl FlowConsumer for AsHourly {
+    fn observe(&mut self, record: &FlowRecord) {
+        self.add(record);
+    }
+
+    fn merge(&mut self, other: Self) {
+        AsHourly::merge(self, &other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockdown_flow::protocol::IpProtocol;
+    use lockdown_flow::record::FlowKey;
+    use lockdown_flow::time::Timestamp;
+    use lockdown_topology::registry::Registry;
+
+    fn flow(at: Timestamp, sport: u16, dport: u16, src_as: u32, dst_as: u32) -> FlowRecord {
+        FlowRecord::builder(
+            FlowKey {
+                src_addr: Ipv4Addr::new(203, 0, 113, 9),
+                dst_addr: Ipv4Addr::new(192, 0, 2, 2),
+                src_port: sport,
+                dst_port: dport,
+                protocol: IpProtocol::Tcp,
+            },
+            at,
+        )
+        .end(at.add_secs(1))
+        .bytes(100)
+        .packets(1)
+        .asns(src_as, dst_as)
+        .build()
+    }
+
+    /// Observing a batch split across two consumers then merging equals
+    /// one sequential pass — the engine's core invariant, checked here on
+    /// a representative consumer of each binning shape.
+    #[test]
+    fn split_merge_equals_sequential() {
+        let d = Date::new(2020, 3, 25);
+        let flows: Vec<FlowRecord> = (0..40u16)
+            .map(|i| {
+                flow(
+                    d.at_hour((i % 24) as u8),
+                    443,
+                    50_000 + i,
+                    64_496,
+                    65_000 + i as u32 % 3,
+                )
+            })
+            .collect();
+
+        let mut seq = HourlyVolume::new();
+        seq.observe_all(&flows);
+        let mut a = HourlyVolume::new();
+        let mut b = HourlyVolume::new();
+        a.observe_all(&flows[..17]);
+        b.observe_all(&flows[17..]);
+        FlowConsumer::merge(&mut a, b);
+        assert_eq!(seq.hourly_series(d, d), a.hourly_series(d, d));
+
+        let mut seq = AsTotalsConsumer::all(Region::CentralEurope);
+        seq.observe_all(&flows);
+        let mut a = AsTotalsConsumer::all(Region::CentralEurope);
+        let mut b = AsTotalsConsumer::all(Region::CentralEurope);
+        a.observe_all(&flows[..9]);
+        b.observe_all(&flows[9..]);
+        FlowConsumer::merge(&mut a, b);
+        for asn in [65_000, 65_001, 65_002, 64_496] {
+            assert_eq!(
+                seq.totals.mean_daily_bytes(Asn(asn)),
+                a.totals.mean_daily_bytes(Asn(asn))
+            );
+        }
+    }
+
+    #[test]
+    fn filtered_totals_gate_on_endpoint() {
+        let d = Date::new(2020, 3, 25);
+        let mut c = AsTotalsConsumer::touching(Region::CentralEurope, Asn(64_496));
+        c.observe(&flow(d.at_hour(9), 443, 50_000, 64_496, 65_000));
+        c.observe(&flow(d.at_hour(9), 443, 50_001, 65_001, 65_000));
+        assert!(c.totals.mean_daily_bytes(Asn(64_496)) > 0.0);
+        assert_eq!(c.totals.mean_daily_bytes(Asn(65_001)), 0.0);
+    }
+
+    #[test]
+    fn class_usage_matches_per_hour_helper() {
+        use crate::appclass::class_hour_usage;
+        let registry = Registry::synthesize();
+        let classifier = Arc::new(Classifier::from_registry(&registry));
+        let d = Date::new(2020, 3, 25);
+        // Email flows (TCP/993) across two hours plus unclassified noise.
+        let flows = vec![
+            flow(d.at_hour(9), 993, 50_000, 1, 2),
+            flow(d.at_hour(9), 993, 50_001, 1, 2),
+            flow(d.at_hour(10), 993, 50_002, 1, 2),
+            flow(d.at_hour(9), 40_000, 50_003, 1, 2),
+        ];
+        let mut c = ClassUsageConsumer::new(classifier.clone(), PaperClass::Email);
+        c.observe_all(&flows);
+        let h9: Vec<FlowRecord> = flows
+            .iter()
+            .filter(|f| f.start.hour() == 9)
+            .cloned()
+            .collect();
+        assert_eq!(
+            c.hour_usage(d, 9),
+            class_hour_usage(&classifier, PaperClass::Email, &h9)
+        );
+        assert_eq!(c.hour_usage(d, 11), HourUsage::default());
+    }
+}

@@ -268,7 +268,11 @@ mod tests {
 
     #[test]
     fn classifies_clean_february_perfectly() {
-        let v = synthetic(Date::new(2020, 2, 1), Date::new(2020, 2, 29), calendar_profiles);
+        let v = synthetic(
+            Date::new(2020, 2, 1),
+            Date::new(2020, 2, 29),
+            calendar_profiles,
+        );
         let c = DayClassifier::train_february(&v, Region::CentralEurope);
         let days = c.classify_range(&v, Date::new(2020, 2, 1), Date::new(2020, 2, 29));
         let s = ClassificationSummary::of(&days);
@@ -305,7 +309,11 @@ mod tests {
 
     #[test]
     fn empty_days_are_skipped() {
-        let v = synthetic(Date::new(2020, 2, 1), Date::new(2020, 2, 29), calendar_profiles);
+        let v = synthetic(
+            Date::new(2020, 2, 1),
+            Date::new(2020, 2, 29),
+            calendar_profiles,
+        );
         let c = DayClassifier::train_february(&v, Region::CentralEurope);
         assert_eq!(c.classify(&v, Date::new(2020, 6, 1)), None);
         let days = c.classify_range(&v, Date::new(2020, 5, 30), Date::new(2020, 6, 2));
@@ -314,7 +322,11 @@ mod tests {
 
     #[test]
     fn volumes_normalized_to_range_max() {
-        let v = synthetic(Date::new(2020, 2, 1), Date::new(2020, 2, 29), calendar_profiles);
+        let v = synthetic(
+            Date::new(2020, 2, 1),
+            Date::new(2020, 2, 29),
+            calendar_profiles,
+        );
         let c = DayClassifier::train_february(&v, Region::CentralEurope);
         let days = c.classify_range(&v, Date::new(2020, 2, 1), Date::new(2020, 2, 29));
         let max = days.iter().map(|d| d.volume).fold(0.0, f64::max);
@@ -324,7 +336,11 @@ mod tests {
 
     #[test]
     fn ablation_granularities_all_work() {
-        let v = synthetic(Date::new(2020, 2, 1), Date::new(2020, 2, 29), calendar_profiles);
+        let v = synthetic(
+            Date::new(2020, 2, 1),
+            Date::new(2020, 2, 29),
+            calendar_profiles,
+        );
         for buckets in [2usize, 3, 4, 6, 8, 12, 24] {
             let c = DayClassifier::train(
                 &v,
@@ -346,7 +362,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "divide 24")]
     fn invalid_bucket_count_panics() {
-        let v = synthetic(Date::new(2020, 2, 1), Date::new(2020, 2, 29), calendar_profiles);
+        let v = synthetic(
+            Date::new(2020, 2, 1),
+            Date::new(2020, 2, 29),
+            calendar_profiles,
+        );
         DayClassifier::train(
             &v,
             Region::CentralEurope,

@@ -223,6 +223,18 @@ impl EduAnalysis {
         }
     }
 
+    /// Merge another accumulator into this one (used by the engine's
+    /// per-worker partial merge; all bins are additive).
+    pub fn merge(&mut self, other: &EduAnalysis) {
+        for (k, v) in &other.connections {
+            *self.connections.entry(*k).or_insert(0) += v;
+        }
+        self.ingress.merge(&other.ingress);
+        self.egress.merge(&other.egress);
+        self.flows += other.flows;
+        self.undetermined += other.undetermined;
+    }
+
     /// Daily connections for (class, orientation).
     pub fn daily_connections(
         &self,
@@ -279,12 +291,7 @@ impl EduAnalysis {
         let base = self.daily_connections(base_date, class, orient).max(1) as f64;
         start
             .range_inclusive(end)
-            .map(|d| {
-                (
-                    d,
-                    self.daily_connections(d, class, orient) as f64 / base,
-                )
-            })
+            .map(|d| (d, self.daily_connections(d, class, orient) as f64 / base))
             .collect()
     }
 
@@ -370,7 +377,13 @@ mod tests {
     #[test]
     fn classes() {
         assert_eq!(
-            EduTrafficClass::of(&flow(IpProtocol::Tcp, 50_000, 443, false, Direction::Ingress)),
+            EduTrafficClass::of(&flow(
+                IpProtocol::Tcp,
+                50_000,
+                443,
+                false,
+                Direction::Ingress
+            )),
             EduTrafficClass::Web
         );
         assert_eq!(
@@ -378,23 +391,53 @@ mod tests {
             EduTrafficClass::Quic
         );
         assert_eq!(
-            EduTrafficClass::of(&flow(IpProtocol::Udp, 50_000, 4_500, false, Direction::Ingress)),
+            EduTrafficClass::of(&flow(
+                IpProtocol::Udp,
+                50_000,
+                4_500,
+                false,
+                Direction::Ingress
+            )),
             EduTrafficClass::Vpn
         );
         assert_eq!(
-            EduTrafficClass::of(&flow(IpProtocol::Tcp, 50_000, 22, false, Direction::Ingress)),
+            EduTrafficClass::of(&flow(
+                IpProtocol::Tcp,
+                50_000,
+                22,
+                false,
+                Direction::Ingress
+            )),
             EduTrafficClass::Ssh
         );
         assert_eq!(
-            EduTrafficClass::of(&flow(IpProtocol::Tcp, 50_000, 3_389, false, Direction::Ingress)),
+            EduTrafficClass::of(&flow(
+                IpProtocol::Tcp,
+                50_000,
+                3_389,
+                false,
+                Direction::Ingress
+            )),
             EduTrafficClass::RemoteDesktop
         );
         assert_eq!(
-            EduTrafficClass::of(&flow(IpProtocol::Tcp, 50_000, 4_070, true, Direction::Egress)),
+            EduTrafficClass::of(&flow(
+                IpProtocol::Tcp,
+                50_000,
+                4_070,
+                true,
+                Direction::Egress
+            )),
             EduTrafficClass::Spotify
         );
         assert_eq!(
-            EduTrafficClass::of(&flow(IpProtocol::Udp, 40_000, 50_000, true, Direction::Unknown)),
+            EduTrafficClass::of(&flow(
+                IpProtocol::Udp,
+                40_000,
+                50_000,
+                true,
+                Direction::Unknown
+            )),
             EduTrafficClass::Other
         );
     }
@@ -424,10 +467,28 @@ mod tests {
     fn accumulator_counts_and_volume() {
         let mut a = EduAnalysis::new();
         let d = Date::new(2020, 3, 3);
-        a.add(&flow(IpProtocol::Tcp, 50_000, 443, false, Direction::Ingress));
-        a.add(&flow(IpProtocol::Tcp, 50_000, 443, false, Direction::Ingress));
+        a.add(&flow(
+            IpProtocol::Tcp,
+            50_000,
+            443,
+            false,
+            Direction::Ingress,
+        ));
+        a.add(&flow(
+            IpProtocol::Tcp,
+            50_000,
+            443,
+            false,
+            Direction::Ingress,
+        ));
         a.add(&flow(IpProtocol::Tcp, 50_000, 443, true, Direction::Egress));
-        a.add(&flow(IpProtocol::Udp, 40_000, 50_000, true, Direction::Unknown));
+        a.add(&flow(
+            IpProtocol::Udp,
+            40_000,
+            50_000,
+            true,
+            Direction::Unknown,
+        ));
         assert_eq!(
             a.daily_connections(d, EduTrafficClass::Web, Orientation::Incoming),
             2
@@ -442,7 +503,13 @@ mod tests {
     fn growth_series_and_median() {
         let mut a = EduAnalysis::new();
         // 1 connection on Mar 3, 3 on Mar 4.
-        a.add(&flow(IpProtocol::Tcp, 50_000, 22, false, Direction::Ingress));
+        a.add(&flow(
+            IpProtocol::Tcp,
+            50_000,
+            22,
+            false,
+            Direction::Ingress,
+        ));
         for _ in 0..3 {
             let mut f = flow(IpProtocol::Tcp, 50_000, 22, false, Direction::Ingress);
             f.start = Date::new(2020, 3, 4).at_hour(9);
@@ -470,7 +537,13 @@ mod tests {
     #[test]
     fn ratio_none_without_egress() {
         let mut a = EduAnalysis::new();
-        a.add(&flow(IpProtocol::Tcp, 50_000, 443, false, Direction::Ingress));
+        a.add(&flow(
+            IpProtocol::Tcp,
+            50_000,
+            443,
+            false,
+            Direction::Ingress,
+        ));
         assert_eq!(a.in_out_ratio(Date::new(2020, 3, 3)), None);
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod appclass;
 pub mod asgroup;
+pub mod consumer;
 pub mod dayclass;
 pub mod ecdf;
 pub mod edu;
@@ -40,10 +41,14 @@ pub mod prelude {
         residential_shift, shift_correlation, AsDayTotals, DayPart, HypergiantSplit,
         QuadrantCounts, RatioGroup, ResidentialShift,
     };
+    pub use crate::consumer::{
+        AsTotalsConsumer, ClassUsageConsumer, FlowConsumer, HeatmapConsumer, HypergiantConsumer,
+        PortConsumer,
+    };
     pub use crate::dayclass::{ClassificationSummary, ClassifiedDay, DayClassifier, DayPattern};
     pub use crate::ecdf::Ecdf;
     pub use crate::edu::{EduAnalysis, EduTrafficClass, Orientation};
-    pub use crate::linkutil::{LinkUtilization, MemberUtilization};
+    pub use crate::linkutil::{AsHourly, LinkUtilization, MemberUtilization};
     pub use crate::ports::{tcp443, tcp80, PortProfile, ServiceKey};
     pub use crate::timeseries::{mean, median, normalize, normalize_by_min, HourlyVolume};
     pub use crate::vpn::{is_port_vpn, VpnClassifier, VpnMethod};

@@ -21,7 +21,7 @@ use lockdown_flow::record::FlowRecord;
 use lockdown_flow::time::Date;
 use lockdown_topology::asn::Asn;
 use lockdown_topology::ixp::IxpFabric;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Min/avg/max utilization of one member port on one day.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,25 +36,71 @@ pub struct MemberUtilization {
     pub max: f64,
 }
 
-/// Hourly byte totals per member for one day of flows. A flow counts
-/// toward a member if either endpoint AS is that member (the paper
-/// measures the member's *port*, which both directions traverse).
-fn member_hourly(fabric: &IxpFabric, flows: &[FlowRecord], date: Date) -> HashMap<Asn, [u64; 24]> {
-    let member_set: HashSet<u32> = fabric.members.iter().map(|m| m.asn.0).collect();
-    let day_start = date.midnight();
-    let mut out: HashMap<Asn, [u64; 24]> = HashMap::new();
-    for f in flows {
-        let hour = (f.start.unix().saturating_sub(day_start.unix()) / 3_600) as usize;
-        if hour >= 24 {
-            continue;
+/// Streaming per-AS hourly byte totals for one day. A flow counts toward
+/// *both* endpoint ASes (the paper measures the member's *port*, which
+/// both directions traverse); membership is filtered later, at
+/// calibration/stats time, so this accumulator needs no fabric handle and
+/// can be fed by the trace engine.
+#[derive(Debug, Clone)]
+pub struct AsHourly {
+    date: Date,
+    day_start_unix: u64,
+    bins: HashMap<u32, [u64; 24]>,
+}
+
+impl AsHourly {
+    /// An empty accumulator for one day.
+    pub fn new(date: Date) -> AsHourly {
+        AsHourly {
+            date,
+            day_start_unix: date.midnight().unix(),
+            bins: HashMap::new(),
         }
-        for asn in [f.src_as, f.dst_as] {
-            if member_set.contains(&asn) {
-                out.entry(Asn(asn)).or_insert([0; 24])[hour] += f.bytes;
+    }
+
+    /// The day being accumulated.
+    pub fn date(&self) -> Date {
+        self.date
+    }
+
+    /// Add one flow (binned by start hour; flows outside the day are
+    /// ignored).
+    pub fn add(&mut self, record: &FlowRecord) {
+        let hour = (record.start.unix().saturating_sub(self.day_start_unix) / 3_600) as usize;
+        if hour >= 24 {
+            return;
+        }
+        for asn in [record.src_as, record.dst_as] {
+            if asn != 0 {
+                self.bins.entry(asn).or_insert([0; 24])[hour] += record.bytes;
             }
         }
     }
-    out
+
+    /// Merge another same-day accumulator into this one.
+    pub fn merge(&mut self, other: &AsHourly) {
+        debug_assert_eq!(self.date, other.date, "days must agree");
+        for (asn, theirs) in &other.bins {
+            let mine = self.bins.entry(*asn).or_insert([0; 24]);
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+    }
+
+    /// Accumulate a batch of flows.
+    pub fn from_flows(flows: &[FlowRecord], date: Date) -> AsHourly {
+        let mut h = AsHourly::new(date);
+        for f in flows {
+            h.add(f);
+        }
+        h
+    }
+
+    /// One AS's 24 hourly totals, if it carried traffic.
+    pub fn hours(&self, asn: Asn) -> Option<&[u64; 24]> {
+        self.bins.get(&asn.0)
+    }
 }
 
 /// Calibrated link-utilization analyzer for one IXP fabric.
@@ -70,10 +116,16 @@ impl<'a> LinkUtilization<'a> {
     /// Calibrate against a base day: each member's average utilization on
     /// `base_date` is anchored to its modelled baseline utilization.
     pub fn calibrate(fabric: &'a IxpFabric, base_flows: &[FlowRecord], base_date: Date) -> Self {
-        let hourly = member_hourly(fabric, base_flows, base_date);
+        Self::calibrate_hourly(fabric, &AsHourly::from_flows(base_flows, base_date))
+    }
+
+    /// Like [`LinkUtilization::calibrate`], from a pre-accumulated
+    /// [`AsHourly`] (the engine's streaming path).
+    pub fn calibrate_hourly(fabric: &'a IxpFabric, hourly: &AsHourly) -> Self {
+        let base_date = hourly.date();
         let mut gbps_equivalent = HashMap::new();
         for m in &fabric.members {
-            let Some(bins) = hourly.get(&m.asn) else {
+            let Some(bins) = hourly.hours(m.asn) else {
                 continue; // member silent in the base trace: uncalibratable
             };
             let avg_bytes = bins.iter().sum::<u64>() as f64 / 24.0;
@@ -97,13 +149,19 @@ impl<'a> LinkUtilization<'a> {
     /// Per-member min/avg/max utilization for one day of flows.
     /// Members without calibration or traffic that day are omitted.
     pub fn day_stats(&self, flows: &[FlowRecord], date: Date) -> Vec<MemberUtilization> {
-        let hourly = member_hourly(self.fabric, flows, date);
+        self.day_stats_hourly(&AsHourly::from_flows(flows, date))
+    }
+
+    /// Like [`LinkUtilization::day_stats`], from a pre-accumulated
+    /// [`AsHourly`].
+    pub fn day_stats_hourly(&self, hourly: &AsHourly) -> Vec<MemberUtilization> {
+        let date = hourly.date();
         let mut out = Vec::new();
         for m in &self.fabric.members {
             let Some(factor) = self.gbps_equivalent.get(&m.asn) else {
                 continue;
             };
-            let Some(bins) = hourly.get(&m.asn) else {
+            let Some(bins) = hourly.hours(m.asn) else {
                 continue;
             };
             let capacity = m.capacity_gbps(date);
@@ -114,7 +172,12 @@ impl<'a> LinkUtilization<'a> {
             let min = utils.iter().copied().fold(f64::INFINITY, f64::min);
             let max = utils.iter().copied().fold(0.0f64, f64::max);
             let avg = utils.iter().sum::<f64>() / utils.len() as f64;
-            out.push(MemberUtilization { asn: m.asn, min, avg, max });
+            out.push(MemberUtilization {
+                asn: m.asn,
+                min,
+                avg,
+                max,
+            });
         }
         out
     }

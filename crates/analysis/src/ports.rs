@@ -101,6 +101,16 @@ impl PortProfile {
         }
     }
 
+    /// Merge another profile into this one (bins are additive).
+    pub fn merge(&mut self, other: &PortProfile) {
+        for (k, v) in &other.bins {
+            *self.bins.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.totals {
+            *self.totals.entry(*k).or_insert(0) += v;
+        }
+    }
+
     /// Total bytes attributed to a service.
     pub fn total(&self, key: ServiceKey) -> u64 {
         self.totals.get(&key).copied().unwrap_or(0)
@@ -163,12 +173,18 @@ pub fn tcp80() -> ServiceKey {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lockdown_flow::time::Date;
     use lockdown_flow::record::FlowKey;
+    use lockdown_flow::time::Date;
     use lockdown_flow::time::Timestamp;
     use std::net::Ipv4Addr;
 
-    fn flow(proto: IpProtocol, src_port: u16, dst_port: u16, at: Timestamp, bytes: u64) -> FlowRecord {
+    fn flow(
+        proto: IpProtocol,
+        src_port: u16,
+        dst_port: u16,
+        at: Timestamp,
+        bytes: u64,
+    ) -> FlowRecord {
         FlowRecord::builder(
             FlowKey {
                 src_addr: Ipv4Addr::new(192, 0, 2, 1),
@@ -213,9 +229,18 @@ mod tests {
         let mut p = PortProfile::new();
         let wed = Date::new(2020, 2, 19);
         let sat = Date::new(2020, 2, 22);
-        p.add(&flow(IpProtocol::Udp, 443, 40_000, wed.at_hour(9), 100), Region::CentralEurope);
-        p.add(&flow(IpProtocol::Udp, 443, 40_001, wed.at_hour(9), 50), Region::CentralEurope);
-        p.add(&flow(IpProtocol::Udp, 40_002, 443, sat.at_hour(20), 70), Region::CentralEurope);
+        p.add(
+            &flow(IpProtocol::Udp, 443, 40_000, wed.at_hour(9), 100),
+            Region::CentralEurope,
+        );
+        p.add(
+            &flow(IpProtocol::Udp, 443, 40_001, wed.at_hour(9), 50),
+            Region::CentralEurope,
+        );
+        p.add(
+            &flow(IpProtocol::Udp, 40_002, 443, sat.at_hour(20), 70),
+            Region::CentralEurope,
+        );
         let quic = ServiceKey::Port(17, 443);
         assert_eq!(p.curve(quic, false)[9], 150);
         assert_eq!(p.curve(quic, true)[20], 70);
@@ -227,7 +252,13 @@ mod tests {
         let mut p = PortProfile::new();
         // Apr 13 (Easter Monday) is a Monday but classifies as weekend.
         p.add(
-            &flow(IpProtocol::Tcp, 993, 40_000, Date::new(2020, 4, 13).at_hour(10), 10),
+            &flow(
+                IpProtocol::Tcp,
+                993,
+                40_000,
+                Date::new(2020, 4, 13).at_hour(10),
+                10,
+            ),
             Region::CentralEurope,
         );
         let k = ServiceKey::Port(6, 993);
@@ -239,10 +270,22 @@ mod tests {
     fn top_services_with_exclusion() {
         let mut p = PortProfile::new();
         let t = Date::new(2020, 2, 19).at_hour(12);
-        p.add(&flow(IpProtocol::Tcp, 443, 40_000, t, 1_000), Region::CentralEurope);
-        p.add(&flow(IpProtocol::Tcp, 80, 40_001, t, 500), Region::CentralEurope);
-        p.add(&flow(IpProtocol::Udp, 443, 40_002, t, 300), Region::CentralEurope);
-        p.add(&flow(IpProtocol::Udp, 4_500, 40_003, t, 200), Region::CentralEurope);
+        p.add(
+            &flow(IpProtocol::Tcp, 443, 40_000, t, 1_000),
+            Region::CentralEurope,
+        );
+        p.add(
+            &flow(IpProtocol::Tcp, 80, 40_001, t, 500),
+            Region::CentralEurope,
+        );
+        p.add(
+            &flow(IpProtocol::Udp, 443, 40_002, t, 300),
+            Region::CentralEurope,
+        );
+        p.add(
+            &flow(IpProtocol::Udp, 4_500, 40_003, t, 200),
+            Region::CentralEurope,
+        );
         p.add(&flow(IpProtocol::Gre, 0, 0, t, 100), Region::CentralEurope);
         let top = p.top_services(3, &[tcp443(), tcp80()]);
         assert_eq!(
@@ -261,8 +304,14 @@ mod tests {
     fn deterministic_tie_break() {
         let mut p = PortProfile::new();
         let t = Date::new(2020, 2, 19).at_hour(12);
-        p.add(&flow(IpProtocol::Tcp, 22, 40_000, t, 100), Region::CentralEurope);
-        p.add(&flow(IpProtocol::Tcp, 25, 40_001, t, 100), Region::CentralEurope);
+        p.add(
+            &flow(IpProtocol::Tcp, 22, 40_000, t, 100),
+            Region::CentralEurope,
+        );
+        p.add(
+            &flow(IpProtocol::Tcp, 25, 40_001, t, 100),
+            Region::CentralEurope,
+        );
         let top = p.top_services(2, &[]);
         assert_eq!(top, vec![ServiceKey::Port(6, 22), ServiceKey::Port(6, 25)]);
     }

@@ -217,7 +217,10 @@ mod tests {
     #[test]
     fn normalization() {
         assert_eq!(normalize(&[10, 20], 10.0), vec![1.0, 2.0]);
-        assert_eq!(normalize_by_min(&[0, 4, 2, 8]).unwrap(), vec![0.0, 2.0, 1.0, 4.0]);
+        assert_eq!(
+            normalize_by_min(&[0, 4, 2, 8]).unwrap(),
+            vec![0.0, 2.0, 1.0, 4.0]
+        );
         assert!(normalize_by_min(&[0, 0]).is_none());
         assert!(normalize_by_min(&[]).is_none());
     }
@@ -255,6 +258,9 @@ mod tests {
         let mut v = HourlyVolume::new();
         v.add_bytes(Date::new(2020, 2, 1).at_hour(0), 10);
         v.add_bytes(Date::new(2020, 2, 2).at_hour(0), 30);
-        assert_eq!(v.mean_daily(Date::new(2020, 2, 1), Date::new(2020, 2, 2)), 20.0);
+        assert_eq!(
+            v.mean_daily(Date::new(2020, 2, 1), Date::new(2020, 2, 2)),
+            20.0
+        );
     }
 }

@@ -36,10 +36,20 @@ fn bench_lpm(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_lpm");
     g.throughput(Throughput::Elements(addrs.len() as u64));
     g.bench_function("trie", |b| {
-        b.iter(|| addrs.iter().filter(|a| registry.lookup(**a).is_some()).count())
+        b.iter(|| {
+            addrs
+                .iter()
+                .filter(|a| registry.lookup(**a).is_some())
+                .count()
+        })
     });
     g.bench_function("linear_scan", |b| {
-        b.iter(|| addrs.iter().filter(|a| linear.lookup(**a).is_some()).count())
+        b.iter(|| {
+            addrs
+                .iter()
+                .filter(|a| linear.lookup(**a).is_some())
+                .count()
+        })
     });
     g.finish();
 }
@@ -95,7 +105,10 @@ fn bench_vpn_method(c: &mut Criterion) {
 
     // Coverage comparison (the §6 claim) printed once.
     let port_hits = flows.iter().filter(|f| is_port_vpn(f)).count();
-    let both_hits = flows.iter().filter(|f| domain.classify(f).is_some()).count();
+    let both_hits = flows
+        .iter()
+        .filter(|f| domain.classify(f).is_some())
+        .count();
     println!(
         "vpn_method coverage on a lockdown day: port-only {port_hits} flows, \
          port+domain {both_hits} flows ({:.1}% found only via domains)",
@@ -108,7 +121,12 @@ fn bench_vpn_method(c: &mut Criterion) {
         b.iter(|| flows.iter().filter(|f| is_port_vpn(f)).count())
     });
     g.bench_function("port_plus_domain", |b| {
-        b.iter(|| flows.iter().filter(|f| domain.classify(f).is_some()).count())
+        b.iter(|| {
+            flows
+                .iter()
+                .filter(|f| domain.classify(f).is_some())
+                .count()
+        })
     });
     g.finish();
 }

@@ -1,0 +1,78 @@
+//! One-pass engine vs. per-figure regeneration.
+//!
+//! The tentpole claim in numbers: running the whole figure suite through
+//! one shared [`lockdown_core::engine`] plan generates each overlapping
+//! `(stream, date, hour)` cell exactly once, while the old per-figure path
+//! regenerates it per driver. `one_pass_suite` vs `per_figure_suite` is
+//! the direct comparison (same figures, same fidelity, same seed); the
+//! `workers` benches show the engine's scaling on a fixed plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lockdown_analysis::timeseries::HourlyVolume;
+use lockdown_core::engine::{self, EnginePlan};
+use lockdown_core::experiments::{
+    fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, suite,
+};
+use lockdown_core::{Context, Fidelity};
+use lockdown_flow::time::Date;
+use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(|| Context::new(Fidelity::Standard))
+}
+
+/// The old world: every driver runs standalone, regenerating its own
+/// trace slices (each `run()` is its own engine pass, so shared windows
+/// are produced once *per figure*).
+fn per_figure_suite(ctx: &Context) {
+    fig1::run(ctx);
+    fig2::run_2a(ctx);
+    fig2::run_2bc(ctx, VantagePoint::IspCe);
+    fig2::run_2bc(ctx, VantagePoint::IxpCe);
+    fig3::run_3a(ctx);
+    fig3::run_3b(ctx);
+    fig4::run(ctx);
+    fig5::run(ctx);
+    fig6::run(ctx);
+    sec3_4::run(ctx);
+    fig7::run(ctx, VantagePoint::IspCe);
+    fig7::run(ctx, VantagePoint::IxpCe);
+    fig8::run(ctx);
+    for vp in VantagePoint::CORE_FOUR {
+        fig9::run(ctx, vp);
+    }
+    fig10::run(ctx);
+    fig11_12::run(ctx);
+    sec9::run(ctx);
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+
+    g.bench_function("one_pass_suite", |b| b.iter(|| suite::run_all(ctx())));
+    g.bench_function("per_figure_suite", |b| b.iter(|| per_figure_suite(ctx())));
+
+    // Worker scaling on one fixed month-long plan.
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_function(format!("volume_month_{workers}w"), |b| {
+            b.iter(|| {
+                let mut plan = EnginePlan::new();
+                let d = plan.subscribe(
+                    Stream::Vantage(VantagePoint::IspCe),
+                    Date::new(2020, 3, 1),
+                    Date::new(2020, 3, 31),
+                    HourlyVolume::new,
+                );
+                engine::run_with_workers(ctx(), plan, workers).take(d)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -39,7 +39,9 @@ fn bench_figures(c: &mut Criterion) {
     });
     g.bench_function("fig2_patterns", |b| {
         show("fig2a", || fig2::run_2a(ctx()).render());
-        show("fig2b", || fig2::run_2bc(ctx(), VantagePoint::IspCe).render());
+        show("fig2b", || {
+            fig2::run_2bc(ctx(), VantagePoint::IspCe).render()
+        });
         b.iter(|| {
             (
                 fig2::run_2a(ctx()),
@@ -74,8 +76,12 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| fig8::run(ctx()))
     });
     g.bench_function("fig9_heatmap", |b| {
-        show("fig9_isp", || fig9::run(ctx(), VantagePoint::IspCe).render());
-        show("fig9_ixpce", || fig9::run(ctx(), VantagePoint::IxpCe).render());
+        show("fig9_isp", || {
+            fig9::run(ctx(), VantagePoint::IspCe).render()
+        });
+        show("fig9_ixpce", || {
+            fig9::run(ctx(), VantagePoint::IxpCe).render()
+        });
         b.iter(|| fig9::run(ctx(), VantagePoint::IxpCe))
     });
     g.bench_function("fig10_vpn", |b| {

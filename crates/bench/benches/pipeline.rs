@@ -3,10 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use lockdown_analysis::appclass::Classifier;
-use lockdown_flow::sampling::FlowSampler;
 use lockdown_analysis::ports::PortProfile;
 use lockdown_analysis::timeseries::HourlyVolume;
 use lockdown_core::{Context, Fidelity};
+use lockdown_flow::sampling::FlowSampler;
 use lockdown_flow::time::Date;
 use lockdown_topology::vantage::VantagePoint;
 
@@ -26,7 +26,12 @@ fn bench_pipeline(c: &mut Criterion) {
     // Classification throughput over a fixed batch.
     let classifier = Classifier::from_registry(&ctx.registry);
     g.bench_function("classify_table1", |b| {
-        b.iter(|| sample.iter().filter(|f| classifier.classify(f).is_some()).count())
+        b.iter(|| {
+            sample
+                .iter()
+                .filter(|f| classifier.classify(f).is_some())
+                .count()
+        })
     });
 
     // Streaming aggregation throughput.

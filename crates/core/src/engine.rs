@@ -1,0 +1,324 @@
+//! Single-pass trace engine: one shared generation plan feeding every
+//! subscribed consumer.
+//!
+//! The figure drivers overlap heavily in the trace slices they demand —
+//! regenerating per figure materializes the same `(stream, date, hour)`
+//! cell many times over. The engine inverts that: drivers *declare* their
+//! demands as `(stream, window, consumer factory)` subscriptions, the
+//! underlying [`TracePlan`] deduplicates the union of windows, and each
+//! distinct cell is generated exactly once and fanned out to every
+//! subscription whose window covers it.
+//!
+//! Determinism: cells are independently seeded, workers own contiguous
+//! chunks of the sorted cell list, and every [`FlowConsumer`] merge is
+//! commutative and associative over disjoint cell sets — so the merged
+//! result is bit-identical regardless of worker count, and identical to
+//! the old per-figure regeneration. `tests/determinism.rs` asserts both.
+
+use crate::context::Context;
+use lockdown_analysis::consumer::FlowConsumer;
+use lockdown_flow::record::FlowRecord;
+use lockdown_flow::time::Date;
+use lockdown_traffic::parallel::default_workers;
+use lockdown_traffic::plan::{Cell, Stream, TraceEmitter, TracePlan};
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// Object-safe face of [`FlowConsumer`] used inside the engine.
+trait AnyConsumer: Send {
+    fn observe_batch(&mut self, records: &[FlowRecord]);
+    fn merge_box(&mut self, other: Box<dyn AnyConsumer>);
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// One worker's partial state: its consumer column plus its flow count.
+type WorkerPartial = (Vec<Box<dyn AnyConsumer>>, u64);
+
+struct Erased<C>(C);
+
+impl<C: FlowConsumer + Send + 'static> AnyConsumer for Erased<C> {
+    fn observe_batch(&mut self, records: &[FlowRecord]) {
+        self.0.observe_all(records);
+    }
+
+    fn merge_box(&mut self, other: Box<dyn AnyConsumer>) {
+        let other = other
+            .into_any()
+            .downcast::<Erased<C>>()
+            .expect("merged consumers share one subscription type");
+        self.0.merge(other.0);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+struct Subscription {
+    stream: Stream,
+    start: Date,
+    end: Date,
+    factory: Box<dyn Fn() -> Box<dyn AnyConsumer> + Send + Sync>,
+}
+
+impl Subscription {
+    fn covers(&self, cell: Cell) -> bool {
+        self.stream == cell.stream && self.start <= cell.date && cell.date <= self.end
+    }
+}
+
+/// Typed handle to one subscription; redeem it against the
+/// [`EngineOutput`] after the run.
+pub struct Demand<C> {
+    idx: usize,
+    _marker: PhantomData<fn() -> C>,
+}
+
+impl<C> Clone for Demand<C> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<C> Copy for Demand<C> {}
+
+/// The union of every driver's trace demands, with one consumer factory
+/// per subscription.
+#[derive(Default)]
+pub struct EnginePlan {
+    trace: TracePlan,
+    subs: Vec<Subscription>,
+}
+
+impl EnginePlan {
+    /// An empty plan.
+    pub fn new() -> EnginePlan {
+        EnginePlan::default()
+    }
+
+    /// Subscribe a consumer to an inclusive date window of one stream.
+    /// `factory` builds one fresh consumer per worker; partials are merged
+    /// in worker order after the pass.
+    pub fn subscribe<C, F>(
+        &mut self,
+        stream: Stream,
+        start: Date,
+        end: Date,
+        factory: F,
+    ) -> Demand<C>
+    where
+        C: FlowConsumer + Send + 'static,
+        F: Fn() -> C + Send + Sync + 'static,
+    {
+        self.trace.demand(stream, start, end);
+        let idx = self.subs.len();
+        self.subs.push(Subscription {
+            stream,
+            start,
+            end,
+            factory: Box::new(move || Box::new(Erased(factory()))),
+        });
+        Demand {
+            idx,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of subscriptions recorded.
+    pub fn demand_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Whether nothing has been subscribed.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+}
+
+/// What one engine pass did: the dedup story in numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Subscriptions served.
+    pub demands: usize,
+    /// Cells requested across all demands, counting overlap multiplicity
+    /// — what per-figure regeneration would materialize.
+    pub cells_demanded: u64,
+    /// Distinct cells actually generated (each exactly once).
+    pub cells_generated: u64,
+    /// Flow records emitted across all generated cells.
+    pub flows_emitted: u64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl EngineStats {
+    /// How many times over per-figure regeneration would have re-made the
+    /// average cell.
+    pub fn dedup_ratio(&self) -> f64 {
+        self.cells_demanded as f64 / self.cells_generated.max(1) as f64
+    }
+
+    /// One-line human-readable summary (the CLI prints this after a full
+    /// suite run).
+    pub fn summary(&self) -> String {
+        format!(
+            "engine: {} demands, {} cells generated once (vs {} demanded, dedup x{:.2}), {} flows, {} workers",
+            self.demands,
+            self.cells_generated,
+            self.cells_demanded,
+            self.dedup_ratio(),
+            self.flows_emitted,
+            self.workers,
+        )
+    }
+}
+
+/// Merged consumer states of one engine pass, redeemable by [`Demand`].
+pub struct EngineOutput {
+    consumers: Vec<Option<Box<dyn AnyConsumer>>>,
+    stats: EngineStats,
+}
+
+impl EngineOutput {
+    /// Take the merged consumer of one subscription (each demand can be
+    /// taken once).
+    pub fn take<C: FlowConsumer + Send + 'static>(&mut self, demand: Demand<C>) -> C {
+        let boxed = self.consumers[demand.idx]
+            .take()
+            .expect("each demand is taken exactly once");
+        boxed
+            .into_any()
+            .downcast::<Erased<C>>()
+            .expect("demand type matches its subscription")
+            .0
+    }
+
+    /// The pass's statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+/// Run a plan with the default worker count.
+pub fn run(ctx: &Context, plan: EnginePlan) -> EngineOutput {
+    run_with_workers(ctx, plan, default_workers())
+}
+
+/// Run a plan with an explicit worker count. Output is bit-identical for
+/// any count (see module docs).
+pub fn run_with_workers(ctx: &Context, plan: EnginePlan, workers: usize) -> EngineOutput {
+    let EnginePlan { trace, subs } = plan;
+    let emitter = TraceEmitter::new(&ctx.registry, &ctx.corpus, ctx.config);
+    let cells = trace.cells();
+    let workers = workers.max(1).min(cells.len().max(1));
+    let mut merged: Vec<Box<dyn AnyConsumer>> = subs.iter().map(|s| (s.factory)()).collect();
+    let mut flows_emitted = 0u64;
+
+    if workers == 1 {
+        let mut buf = Vec::new();
+        for &cell in &cells {
+            emitter.generate_cell(cell, &mut buf);
+            flows_emitted += buf.len() as u64;
+            for (sub, consumer) in subs.iter().zip(merged.iter_mut()) {
+                if sub.covers(cell) {
+                    consumer.observe_batch(&buf);
+                }
+            }
+        }
+    } else {
+        let chunk = cells.len().div_ceil(workers);
+        let mut results: Vec<Option<WorkerPartial>> = Vec::new();
+        results.resize_with(workers, || None);
+        crossbeam::thread::scope(|scope| {
+            for (slot, chunk_cells) in results.iter_mut().zip(cells.chunks(chunk)) {
+                let emitter = &emitter;
+                let subs = &subs;
+                scope.spawn(move |_| {
+                    let mut local: Vec<Box<dyn AnyConsumer>> =
+                        subs.iter().map(|s| (s.factory)()).collect();
+                    let mut buf = Vec::new();
+                    let mut flows = 0u64;
+                    for &cell in chunk_cells {
+                        emitter.generate_cell(cell, &mut buf);
+                        flows += buf.len() as u64;
+                        for (sub, consumer) in subs.iter().zip(local.iter_mut()) {
+                            if sub.covers(cell) {
+                                consumer.observe_batch(&buf);
+                            }
+                        }
+                    }
+                    *slot = Some((local, flows));
+                });
+            }
+        })
+        .expect("engine workers do not panic");
+        for (local, flows) in results.into_iter().flatten() {
+            flows_emitted += flows;
+            for (m, l) in merged.iter_mut().zip(local) {
+                m.merge_box(l);
+            }
+        }
+    }
+
+    EngineOutput {
+        stats: EngineStats {
+            demands: merged.len(),
+            cells_demanded: trace.cells_demanded(),
+            cells_generated: cells.len() as u64,
+            flows_emitted,
+            workers,
+        },
+        consumers: merged.into_iter().map(Some).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Fidelity;
+    use lockdown_analysis::timeseries::HourlyVolume;
+    use lockdown_topology::vantage::VantagePoint;
+
+    #[test]
+    fn overlapping_subscriptions_share_cells() {
+        let ctx = Context::with_seed(Fidelity::Test, 3);
+        let mut plan = EnginePlan::new();
+        let vp = VantagePoint::IxpSe;
+        let d1 = Date::new(2020, 2, 3);
+        let d2 = Date::new(2020, 2, 6);
+        let a = plan.subscribe(Stream::Vantage(vp), d1, d2, HourlyVolume::new);
+        let b = plan.subscribe(Stream::Vantage(vp), d1, d1, HourlyVolume::new);
+        let mut out = run_with_workers(&ctx, plan, 2);
+        let stats = out.stats();
+        // 4 + 1 days demanded, 4 distinct days generated.
+        assert_eq!(stats.cells_demanded, 5 * 24);
+        assert_eq!(stats.cells_generated, 4 * 24);
+        let full = out.take(a);
+        let first_day = out.take(b);
+        assert_eq!(full.daily_total(d1), first_day.daily_total(d1));
+        assert!(first_day.daily_total(d2) == 0, "window gates fan-out");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output() {
+        let ctx = Context::with_seed(Fidelity::Test, 5);
+        let d1 = Date::new(2020, 3, 1);
+        let d2 = Date::new(2020, 3, 4);
+        let mut reference: Option<Vec<(lockdown_flow::time::Timestamp, u64)>> = None;
+        for workers in [1usize, 2, 3, 8] {
+            let mut plan = EnginePlan::new();
+            let h = plan.subscribe(
+                Stream::Vantage(VantagePoint::IspCe),
+                d1,
+                d2,
+                HourlyVolume::new,
+            );
+            let mut out = run_with_workers(&ctx, plan, workers);
+            let series = out.take(h).hourly_series(d1, d2);
+            match &reference {
+                None => reference = Some(series),
+                Some(r) => assert_eq!(r, &series, "workers={workers}"),
+            }
+        }
+    }
+}

@@ -4,10 +4,12 @@
 //! network.
 
 use crate::context::Context;
+use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::{opt_norm, TextTable};
-use crate::experiments::volume_over;
+use lockdown_analysis::timeseries::HourlyVolume;
 use lockdown_flow::time::Date;
 use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
 use std::collections::BTreeMap;
 
 /// The week range Fig. 1 plots (calendar weeks of 2020).
@@ -59,14 +61,34 @@ pub struct Fig1 {
     pub series: Vec<WeeklySeries>,
 }
 
-/// Run the Fig. 1 reproduction.
-pub fn run(ctx: &Context) -> Fig1 {
+/// Demand handles of one Fig. 1 pass.
+pub struct Plan {
+    volumes: Vec<(VantagePoint, Demand<HourlyVolume>)>,
+}
+
+/// Declare Fig. 1's trace demands on a shared engine plan.
+pub fn plan(plan: &mut EnginePlan) -> Plan {
     // The plot starts Jan 1 and the paper's snapshot runs into May.
     let start = Date::new(2020, 1, 1);
     let end = Date::new(2020, 5, 3); // end of week 18
+    Plan {
+        volumes: VANTAGE_POINTS
+            .iter()
+            .map(|&vp| {
+                (
+                    vp,
+                    plan.subscribe(Stream::Vantage(vp), start, end, HourlyVolume::new),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Assemble the figure from a finished engine pass.
+pub fn finish(plan: Plan, out: &mut EngineOutput) -> Fig1 {
     let mut series = Vec::new();
-    for vp in VANTAGE_POINTS {
-        let volume = volume_over(ctx, vp, start, end);
+    for (vp, demand) in plan.volumes {
+        let volume = out.take(demand);
         let weekly: BTreeMap<(i32, u8), u64> = volume.weekly_totals();
         let base = weekly.get(&(2020, BASE_WEEK)).copied().unwrap_or(0);
         let series_vp: Vec<(u8, Option<f64>)> = WEEKS
@@ -86,6 +108,13 @@ pub fn run(ctx: &Context) -> Fig1 {
         });
     }
     Fig1 { series }
+}
+
+/// Run the Fig. 1 reproduction standalone (one engine pass of its own).
+pub fn run(ctx: &Context) -> Fig1 {
+    let mut eplan = EnginePlan::new();
+    let p = plan(&mut eplan);
+    finish(p, &mut engine::run(ctx, eplan))
 }
 
 impl Fig1 {
@@ -136,8 +165,16 @@ mod tests {
         // paper's magnitudes (ISP >15%, IXP-CE >18% at week 13).
         let isp = f.vantage(VantagePoint::IspCe);
         let ixp_ce = f.vantage(VantagePoint::IxpCe);
-        assert!(isp.at(13).unwrap() > 1.12, "ISP wk13 {}", isp.at(13).unwrap());
-        assert!(ixp_ce.at(13).unwrap() > 1.15, "IXP-CE wk13 {}", ixp_ce.at(13).unwrap());
+        assert!(
+            isp.at(13).unwrap() > 1.12,
+            "ISP wk13 {}",
+            isp.at(13).unwrap()
+        );
+        assert!(
+            ixp_ce.at(13).unwrap() > 1.15,
+            "IXP-CE wk13 {}",
+            ixp_ce.at(13).unwrap()
+        );
 
         // The US IXP trails Europe: its week-12 growth is smaller than
         // IXP-CE's, and its curve keeps rising into late April.
@@ -150,13 +187,20 @@ mod tests {
         let mobile = f.vantage(VantagePoint::MobileCe);
         let roaming = f.vantage(VantagePoint::RoamingIpx);
         assert!(mobile.at(14).unwrap() < 1.02);
-        assert!(roaming.at(14).unwrap() < 0.75, "roaming {}", roaming.at(14).unwrap());
+        assert!(
+            roaming.at(14).unwrap() < 0.75,
+            "roaming {}",
+            roaming.at(14).unwrap()
+        );
         assert!(roaming.at(14).unwrap() < mobile.at(14).unwrap());
 
         // ISP decays toward May while IXP-CE's gain persists (§3.1).
         let isp_late = isp.at(18).unwrap();
         let isp_peak = isp.peak();
-        assert!(isp_late < isp_peak - 0.04, "ISP should decay: {isp_late} vs {isp_peak}");
+        assert!(
+            isp_late < isp_peak - 0.04,
+            "ISP should decay: {isp_late} vs {isp_peak}"
+        );
         assert!(ixp_ce.at(18).unwrap() > 1.10);
     }
 

@@ -4,10 +4,16 @@
 //! by more than 200% during March working hours.
 
 use crate::context::Context;
+use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::TextTable;
+use lockdown_analysis::consumer::FlowConsumer;
 use lockdown_analysis::vpn::{VpnClassifier, VpnMethod};
-use lockdown_scenario::calendar::{day_type, AnalysisWeek, DayType, PORTS_IXP_WEEKS};
+use lockdown_flow::record::FlowRecord;
+use lockdown_scenario::calendar::{day_type, DayType, PORTS_IXP_WEEKS};
+use lockdown_topology::asn::Region;
 use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
+use std::sync::Arc;
 
 /// Hourly volume for one (week, method): workday and weekend aggregates.
 #[derive(Debug, Clone, Copy, Default)]
@@ -39,51 +45,104 @@ pub struct Fig10 {
     pub candidate_ips: usize,
 }
 
-/// Run Fig. 10 (IXP-CE).
-pub fn run(ctx: &Context) -> Fig10 {
-    let classifier = VpnClassifier::new(ctx.vpn_candidate_ips());
-    let candidate_ips = classifier.candidate_count();
-    let generator = ctx.generator();
-    let region = VantagePoint::IxpCe.region();
-    let mut weeks = Vec::new();
-    for week in &PORTS_IXP_WEEKS {
-        let mut port = VpnWeek::default();
-        let mut domain = VpnWeek::default();
-        run_week(ctx, &generator, &classifier, week, region, &mut port, &mut domain);
-        weeks.push((week.label, port, domain));
-    }
-    Fig10 {
-        weeks,
-        candidate_ips,
+/// Engine consumer binning VPN-classified flows into per-method
+/// workday/weekend hourly aggregates.
+struct VpnWeekConsumer {
+    classifier: Arc<VpnClassifier>,
+    region: Region,
+    port: VpnWeek,
+    domain: VpnWeek,
+}
+
+impl VpnWeekConsumer {
+    fn new(classifier: Arc<VpnClassifier>, region: Region) -> VpnWeekConsumer {
+        VpnWeekConsumer {
+            classifier,
+            region,
+            port: VpnWeek::default(),
+            domain: VpnWeek::default(),
+        }
     }
 }
 
-fn run_week(
-    _ctx: &Context,
-    generator: &lockdown_traffic::generate::TrafficGenerator<'_>,
-    classifier: &VpnClassifier,
-    week: &AnalysisWeek,
-    region: lockdown_topology::asn::Region,
-    port: &mut VpnWeek,
-    domain: &mut VpnWeek,
-) {
-    generator.for_each_hour(VantagePoint::IxpCe, week.start, week.end(), |date, hour, flows| {
-        let weekend = day_type(date, region) != DayType::Workday;
-        for f in flows {
-            let Some(method) = classifier.classify(f) else {
-                continue;
-            };
-            let target = match method {
-                VpnMethod::Port => &mut *port,
-                VpnMethod::Domain => &mut *domain,
-            };
-            if weekend {
-                target.weekend[hour as usize] += f.bytes;
-            } else {
-                target.workday[hour as usize] += f.bytes;
-            }
+impl FlowConsumer for VpnWeekConsumer {
+    fn observe(&mut self, record: &FlowRecord) {
+        let Some(method) = self.classifier.classify(record) else {
+            return;
+        };
+        let target = match method {
+            VpnMethod::Port => &mut self.port,
+            VpnMethod::Domain => &mut self.domain,
+        };
+        let weekend = day_type(record.start.date(), self.region) != DayType::Workday;
+        let hour = record.start.hour() as usize;
+        if weekend {
+            target.weekend[hour] += record.bytes;
+        } else {
+            target.workday[hour] += record.bytes;
         }
-    });
+    }
+
+    fn merge(&mut self, other: Self) {
+        for h in 0..24 {
+            self.port.workday[h] += other.port.workday[h];
+            self.port.weekend[h] += other.port.weekend[h];
+            self.domain.workday[h] += other.domain.workday[h];
+            self.domain.weekend[h] += other.domain.weekend[h];
+        }
+    }
+}
+
+/// Demand handles of one Fig. 10 pass.
+pub struct Plan {
+    candidate_ips: usize,
+    weeks: Vec<(&'static str, Demand<VpnWeekConsumer>)>,
+}
+
+/// Declare Fig. 10's trace demands on a shared engine plan.
+pub fn plan(plan: &mut EnginePlan, ctx: &Context) -> Plan {
+    let classifier = Arc::new(VpnClassifier::new(ctx.vpn_candidate_ips()));
+    let candidate_ips = classifier.candidate_count();
+    let region = VantagePoint::IxpCe.region();
+    Plan {
+        candidate_ips,
+        weeks: PORTS_IXP_WEEKS
+            .iter()
+            .map(|week| {
+                let classifier = Arc::clone(&classifier);
+                let d = plan.subscribe(
+                    Stream::Vantage(VantagePoint::IxpCe),
+                    week.start,
+                    week.end(),
+                    move || VpnWeekConsumer::new(Arc::clone(&classifier), region),
+                );
+                (week.label, d)
+            })
+            .collect(),
+    }
+}
+
+/// Assemble Fig. 10 from a finished engine pass.
+pub fn finish(plan: Plan, out: &mut EngineOutput) -> Fig10 {
+    let weeks = plan
+        .weeks
+        .into_iter()
+        .map(|(label, demand)| {
+            let c = out.take(demand);
+            (label, c.port, c.domain)
+        })
+        .collect();
+    Fig10 {
+        weeks,
+        candidate_ips: plan.candidate_ips,
+    }
+}
+
+/// Run Fig. 10 (IXP-CE) standalone.
+pub fn run(ctx: &Context) -> Fig10 {
+    let mut eplan = EnginePlan::new();
+    let p = plan(&mut eplan, ctx);
+    finish(p, &mut engine::run(ctx, eplan))
 }
 
 impl Fig10 {
@@ -146,7 +205,11 @@ mod tests {
 
     #[test]
     fn candidates_found() {
-        assert!(fig().candidate_ips > 30, "{} candidates", fig().candidate_ips);
+        assert!(
+            fig().candidate_ips > 30,
+            "{} candidates",
+            fig().candidate_ips
+        );
     }
 
     #[test]
@@ -174,7 +237,10 @@ mod tests {
         let march = fig().working_hours_growth(VpnMethod::Domain, "february", "march");
         let april = fig().working_hours_growth(VpnMethod::Domain, "february", "april");
         assert!(april > 1.3, "April domain gain {april:.2}");
-        assert!(april < march, "April {april:.2} must trail March {march:.2}");
+        assert!(
+            april < march,
+            "April {april:.2} must trail March {march:.2}"
+        );
     }
 
     #[test]

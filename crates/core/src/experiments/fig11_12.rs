@@ -10,23 +10,59 @@
 //!   desktop 5.9×, SSH 9.1×).
 
 use crate::context::Context;
+use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::TextTable;
-use lockdown_analysis::edu::{EduAnalysis, EduTrafficClass, Orientation};
+use lockdown_analysis::consumer::FlowConsumer;
+use lockdown_analysis::edu::{orientation, EduAnalysis, EduTrafficClass, Orientation};
+use lockdown_flow::record::FlowRecord;
 use lockdown_flow::time::Date;
 use lockdown_scenario::calendar::{AnalysisWeek, EDU_WEEKS};
+use lockdown_topology::asn::Region;
+use lockdown_topology::registry::Registry;
+use lockdown_traffic::plan::Stream;
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Fig. 12's plotted range (Feb 27 – Apr 22).
-pub const F12_START: Date = Date { year: 2020, month: 2, day: 27 };
+pub const F12_START: Date = Date {
+    year: 2020,
+    month: 2,
+    day: 27,
+};
 /// End of the Fig. 12 range.
-pub const F12_END: Date = Date { year: 2020, month: 4, day: 22 };
+pub const F12_END: Date = Date {
+    year: 2020,
+    month: 4,
+    day: 22,
+};
 
 /// The categories Fig. 12 plots, as (label, class, orientation).
 pub const F12_CLASSES: [(&str, EduTrafficClass, Orientation); 6] = [
-    ("Eyeball ISPs (Email, In)", EduTrafficClass::Email, Orientation::Incoming),
-    ("Eyeball ISPs (VPN, In)", EduTrafficClass::Vpn, Orientation::Incoming),
-    ("Eyeball ISPs (Web, In)", EduTrafficClass::Web, Orientation::Incoming),
-    ("Hypergiants (Web, Out)", EduTrafficClass::Web, Orientation::Outgoing),
-    ("Push notifications (Out)", EduTrafficClass::PushNotif, Orientation::Outgoing),
+    (
+        "Eyeball ISPs (Email, In)",
+        EduTrafficClass::Email,
+        Orientation::Incoming,
+    ),
+    (
+        "Eyeball ISPs (VPN, In)",
+        EduTrafficClass::Vpn,
+        Orientation::Incoming,
+    ),
+    (
+        "Eyeball ISPs (Web, In)",
+        EduTrafficClass::Web,
+        Orientation::Incoming,
+    ),
+    (
+        "Hypergiants (Web, Out)",
+        EduTrafficClass::Web,
+        Orientation::Outgoing,
+    ),
+    (
+        "Push notifications (Out)",
+        EduTrafficClass::PushNotif,
+        Orientation::Outgoing,
+    ),
     ("QUIC (Out)", EduTrafficClass::Quic, Orientation::Outgoing),
 ];
 
@@ -57,21 +93,94 @@ pub struct EduFigures {
     pub fig11a: Vec<(&'static str, [f64; 7])>,
     /// Daily in/out ratio per analysis week.
     pub fig11b: Vec<(&'static str, [f64; 7])>,
+    /// §7's hourly access pattern in the online-lecturing week.
+    pub origins: HourlyOrigins,
 }
 
-/// Run the EDU experiments.
-pub fn run(ctx: &Context) -> EduFigures {
-    let generator = ctx.edu_generator();
-    let mut analysis = EduAnalysis::new();
+/// Engine consumer counting incoming connections per hour of day, split
+/// by the client's origin region (precomputed ASN sets — the registry
+/// itself stays out of the `'static` factory closure).
+struct OriginsConsumer {
+    national_as: Arc<HashSet<u32>>,
+    overseas_as: Arc<HashSet<u32>>,
+    national: [u64; 24],
+    overseas: [u64; 24],
+}
+
+impl OriginsConsumer {
+    fn new(national_as: Arc<HashSet<u32>>, overseas_as: Arc<HashSet<u32>>) -> OriginsConsumer {
+        OriginsConsumer {
+            national_as,
+            overseas_as,
+            national: [0; 24],
+            overseas: [0; 24],
+        }
+    }
+}
+
+impl FlowConsumer for OriginsConsumer {
+    fn observe(&mut self, record: &FlowRecord) {
+        if orientation(record) != Orientation::Incoming {
+            return;
+        }
+        let hour = record.start.hour() as usize;
+        if self.national_as.contains(&record.src_as) {
+            self.national[hour] += 1;
+        } else if self.overseas_as.contains(&record.src_as) {
+            self.overseas[hour] += 1;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for h in 0..24 {
+            self.national[h] += other.national[h];
+            self.overseas[h] += other.overseas[h];
+        }
+    }
+}
+
+/// Demand handles of one EDU pass.
+pub struct Plan {
+    analysis: Demand<EduAnalysis>,
+    origins: Demand<OriginsConsumer>,
+}
+
+/// Declare the EDU experiments' trace demands on a shared engine plan.
+pub fn plan(plan: &mut EnginePlan, registry: &Registry) -> Plan {
     // Cover the union of the Fig. 11 weeks and the Fig. 12 range.
     let start = Date::new(2020, 2, 27);
     let end = Date::new(2020, 4, 26);
-    for date in start.range_inclusive(end) {
-        for hour in 0..24u8 {
-            let flows = generator.generate_hour(date, hour);
-            analysis.add_all(&flows);
-        }
-    }
+    let analysis = plan.subscribe(Stream::Edu, start, end, EduAnalysis::new);
+
+    let by_region = |region: Region| -> Arc<HashSet<u32>> {
+        Arc::new(
+            registry
+                .ases()
+                .iter()
+                .filter(|a| a.region == region)
+                .map(|a| a.asn.0)
+                .collect(),
+        )
+    };
+    let national_as = by_region(Region::SouthernEurope);
+    let overseas_as = by_region(Region::UsEast);
+    let origins = plan.subscribe(
+        Stream::Edu,
+        EDU_WEEKS[2].start,
+        EDU_WEEKS[2].end(),
+        move || OriginsConsumer::new(Arc::clone(&national_as), Arc::clone(&overseas_as)),
+    );
+    Plan { analysis, origins }
+}
+
+/// Assemble the EDU figures from a finished engine pass.
+pub fn finish(plan: Plan, out: &mut EngineOutput) -> EduFigures {
+    let analysis = out.take(plan.analysis);
+    let o = out.take(plan.origins);
+    let origins = HourlyOrigins {
+        national: o.national,
+        overseas: o.overseas,
+    };
 
     // Fig. 11a/b over the paper's three weeks.
     let week_days = |week: &AnalysisWeek| -> Vec<Date> { week.dates() };
@@ -108,7 +217,15 @@ pub fn run(ctx: &Context) -> EduFigures {
         analysis,
         fig11a,
         fig11b,
+        origins,
     }
+}
+
+/// Run the EDU experiments standalone.
+pub fn run(ctx: &Context) -> EduFigures {
+    let mut eplan = EnginePlan::new();
+    let p = plan(&mut eplan, &ctx.registry);
+    finish(p, &mut engine::run(ctx, eplan))
 }
 
 impl EduFigures {
@@ -145,7 +262,9 @@ impl EduFigures {
     /// §7 statistic: median daily incoming-connection growth factor for a
     /// class between the base week and the online-lecturing week.
     pub fn median_growth(&self, class: EduTrafficClass, orient: Orientation) -> f64 {
-        let base = self.analysis.median_daily(class, orient, EDU_WEEKS[0].start, EDU_WEEKS[0].end());
+        let base =
+            self.analysis
+                .median_daily(class, orient, EDU_WEEKS[0].start, EDU_WEEKS[0].end());
         let online =
             self.analysis
                 .median_daily(class, orient, EDU_WEEKS[2].start, EDU_WEEKS[2].end());
@@ -162,41 +281,11 @@ impl EduFigures {
                 .collect();
             lockdown_analysis::timeseries::median(&counts)
         };
-        let inc = med(Orientation::Incoming, &EDU_WEEKS[2]) / med(Orientation::Incoming, &EDU_WEEKS[0]);
-        let out = med(Orientation::Outgoing, &EDU_WEEKS[2]) / med(Orientation::Outgoing, &EDU_WEEKS[0]);
+        let inc =
+            med(Orientation::Incoming, &EDU_WEEKS[2]) / med(Orientation::Incoming, &EDU_WEEKS[0]);
+        let out =
+            med(Orientation::Outgoing, &EDU_WEEKS[2]) / med(Orientation::Outgoing, &EDU_WEEKS[0]);
         (inc, out)
-    }
-
-    /// §7's hourly access patterns in the online-lecturing week: incoming
-    /// web connections per hour of day, split by client origin region.
-    ///
-    /// The paper: "National users access web resources … from 10 am to
-    /// 9 pm, with a valley from 2 to 4 pm. Latin American users start
-    /// connecting at 5 pm, presenting a peak from midnight until 7 am."
-    pub fn hourly_origin_pattern(&self, ctx: &Context) -> HourlyOrigins {
-        use lockdown_analysis::edu::{orientation, Orientation};
-        use lockdown_topology::asn::{Asn, Region};
-        let generator = ctx.edu_generator();
-        let mut national = [0u64; 24];
-        let mut overseas = [0u64; 24];
-        for date in EDU_WEEKS[2].start.range_inclusive(EDU_WEEKS[2].end()) {
-            for hour in 0..24u8 {
-                for f in generator.generate_hour(date, hour) {
-                    if orientation(&f) != Orientation::Incoming {
-                        continue;
-                    }
-                    let Some(info) = ctx.registry.get(Asn(f.src_as)) else {
-                        continue;
-                    };
-                    match info.region {
-                        Region::SouthernEurope => national[hour as usize] += 1,
-                        Region::UsEast => overseas[hour as usize] += 1,
-                        Region::CentralEurope => {}
-                    }
-                }
-            }
-        }
-        HourlyOrigins { national, overseas }
     }
 
     /// Render Fig. 11 summaries and the §7 growth factors.
@@ -205,7 +294,11 @@ impl EduFigures {
         for (label, v) in &self.fig11a {
             let r = self.ratios(label);
             let mean_ratio = r.iter().sum::<f64>() / 7.0;
-            let vols = v.iter().map(|x| format!("{x:.1}")).collect::<Vec<_>>().join(" ");
+            let vols = v
+                .iter()
+                .map(|x| format!("{x:.1}"))
+                .collect::<Vec<_>>()
+                .join(" ");
             t.row([label.to_string(), vols, format!("{mean_ratio:.1}")]);
         }
         let (inc, out) = self.total_growth();
@@ -274,8 +367,14 @@ mod tests {
         let transition = mean("transition");
         let online = mean("online-lecturing");
         assert!(base > 6.0, "base in/out ratio {base:.1}");
-        assert!(transition < base, "transition {transition:.1} < base {base:.1}");
-        assert!(online < transition, "online {online:.1} < transition {transition:.1}");
+        assert!(
+            transition < base,
+            "transition {transition:.1} < base {base:.1}"
+        );
+        assert!(
+            online < transition,
+            "online {online:.1} < transition {transition:.1}"
+        );
         assert!(online < base / 3.0);
     }
 
@@ -338,8 +437,7 @@ mod tests {
     fn overseas_users_connect_at_night() {
         // §7: national users peak in the working day; overseas (Latin
         // American time zones) peak in the small hours.
-        let ctx = Context::new(Fidelity::Test);
-        let o = fig().hourly_origin_pattern(&ctx);
+        let o = fig().origins;
         let national_peak = HourlyOrigins::peak_hour(&o.national);
         assert!(
             (8..=21).contains(&national_peak),

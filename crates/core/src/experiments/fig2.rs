@@ -6,17 +6,42 @@
 //!   as workday-like or weekend-like against a February 6-hour baseline.
 
 use crate::context::Context;
-use crate::experiments::volume_over;
+use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::{sparkline, TextTable};
-use lockdown_analysis::dayclass::{ClassificationSummary, ClassifiedDay, DayClassifier, DayPattern};
+use lockdown_analysis::dayclass::{
+    ClassificationSummary, ClassifiedDay, DayClassifier, DayPattern,
+};
+use lockdown_analysis::timeseries::HourlyVolume;
 use lockdown_flow::time::Date;
 use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
 
 /// The three days of Fig. 2a.
 pub const FIG2A_DAYS: [(Date, &str); 3] = [
-    (Date { year: 2020, month: 2, day: 19 }, "Wednesday Feb 19"),
-    (Date { year: 2020, month: 2, day: 22 }, "Saturday Feb 22"),
-    (Date { year: 2020, month: 3, day: 25 }, "Wednesday Mar 25 (lockdown)"),
+    (
+        Date {
+            year: 2020,
+            month: 2,
+            day: 19,
+        },
+        "Wednesday Feb 19",
+    ),
+    (
+        Date {
+            year: 2020,
+            month: 2,
+            day: 22,
+        },
+        "Saturday Feb 22",
+    ),
+    (
+        Date {
+            year: 2020,
+            month: 3,
+            day: 25,
+        },
+        "Wednesday Mar 25 (lockdown)",
+    ),
 ];
 
 /// Fig. 2a result: normalized hourly profiles of the three days.
@@ -26,11 +51,34 @@ pub struct Fig2a {
     pub profiles: Vec<(&'static str, [f64; 24])>,
 }
 
-/// Run Fig. 2a (ISP-CE).
-pub fn run_2a(ctx: &Context) -> Fig2a {
+/// Demand handles of one Fig. 2a pass.
+pub struct Plan2a {
+    days: Vec<(Date, &'static str, Demand<HourlyVolume>)>,
+}
+
+/// Declare Fig. 2a's trace demands on a shared engine plan.
+pub fn plan_2a(plan: &mut EnginePlan) -> Plan2a {
+    Plan2a {
+        days: FIG2A_DAYS
+            .iter()
+            .map(|&(date, label)| {
+                let d = plan.subscribe(
+                    Stream::Vantage(VantagePoint::IspCe),
+                    date,
+                    date,
+                    HourlyVolume::new,
+                );
+                (date, label, d)
+            })
+            .collect(),
+    }
+}
+
+/// Assemble Fig. 2a from a finished engine pass.
+pub fn finish_2a(plan: Plan2a, out: &mut EngineOutput) -> Fig2a {
     let mut raw = Vec::new();
-    for (date, label) in FIG2A_DAYS {
-        let volume = volume_over(ctx, VantagePoint::IspCe, date, date);
+    for (date, label, demand) in plan.days {
+        let volume = out.take(demand);
         raw.push((label, volume.day_profile(date)));
     }
     let max = raw
@@ -53,6 +101,13 @@ pub fn run_2a(ctx: &Context) -> Fig2a {
     Fig2a { profiles }
 }
 
+/// Run Fig. 2a (ISP-CE) standalone.
+pub fn run_2a(ctx: &Context) -> Fig2a {
+    let mut eplan = EnginePlan::new();
+    let p = plan_2a(&mut eplan);
+    finish_2a(p, &mut engine::run(ctx, eplan))
+}
+
 impl Fig2a {
     /// Render as a small table plus sparklines.
     pub fn render(&self) -> String {
@@ -65,7 +120,10 @@ impl Fig2a {
                 format!("{:.2}", p[21]),
             ]);
         }
-        format!("Fig. 2a — ISP-CE hourly traffic, normalized\n{}", t.render())
+        format!(
+            "Fig. 2a — ISP-CE hourly traffic, normalized\n{}",
+            t.render()
+        )
     }
 }
 
@@ -78,14 +136,40 @@ pub struct Fig2bc {
     pub days: Vec<ClassifiedDay>,
 }
 
-/// Run Fig. 2b (ISP-CE) or 2c (IXP-CE).
-pub fn run_2bc(ctx: &Context, vantage: VantagePoint) -> Fig2bc {
+/// Demand handles of one Fig. 2b/2c pass.
+pub struct Plan2bc {
+    vantage: VantagePoint,
+    volume: Demand<HourlyVolume>,
+}
+
+/// Declare Fig. 2b/2c's trace demand on a shared engine plan.
+pub fn plan_2bc(plan: &mut EnginePlan, vantage: VantagePoint) -> Plan2bc {
     let start = Date::new(2020, 1, 1);
     let end = Date::new(2020, 5, 11);
-    let volume = volume_over(ctx, vantage, start, end);
-    let classifier = DayClassifier::train_february(&volume, vantage.region());
+    Plan2bc {
+        vantage,
+        volume: plan.subscribe(Stream::Vantage(vantage), start, end, HourlyVolume::new),
+    }
+}
+
+/// Assemble Fig. 2b/2c from a finished engine pass.
+pub fn finish_2bc(plan: Plan2bc, out: &mut EngineOutput) -> Fig2bc {
+    let start = Date::new(2020, 1, 1);
+    let end = Date::new(2020, 5, 11);
+    let volume = out.take(plan.volume);
+    let classifier = DayClassifier::train_february(&volume, plan.vantage.region());
     let days = classifier.classify_range(&volume, start, end);
-    Fig2bc { vantage, days }
+    Fig2bc {
+        vantage: plan.vantage,
+        days,
+    }
+}
+
+/// Run Fig. 2b (ISP-CE) or 2c (IXP-CE) standalone.
+pub fn run_2bc(ctx: &Context, vantage: VantagePoint) -> Fig2bc {
+    let mut eplan = EnginePlan::new();
+    let p = plan_2bc(&mut eplan, vantage);
+    finish_2bc(p, &mut engine::run(ctx, eplan))
 }
 
 impl Fig2bc {
@@ -195,10 +279,17 @@ mod tests {
             let f = run_2bc(ctx(), vp);
             // Before the lockdown, classification matches the calendar.
             let feb = f.summary(Date::new(2020, 2, 1), Date::new(2020, 2, 29));
-            assert!(feb.accuracy() > 0.85, "{vp}: Feb accuracy {}", feb.accuracy());
+            assert!(
+                feb.accuracy() > 0.85,
+                "{vp}: Feb accuracy {}",
+                feb.accuracy()
+            );
             // From April on, almost all workdays classify weekend-like.
             let flipped = f.workdays_turned_weekend(Date::new(2020, 4, 1), Date::new(2020, 4, 30));
-            assert!(flipped > 0.85, "{vp}: only {flipped:.2} of April workdays flipped");
+            assert!(
+                flipped > 0.85,
+                "{vp}: only {flipped:.2} of April workdays flipped"
+            );
             // Pre-covid February workdays did not flip.
             let feb_flip = f.workdays_turned_weekend(Date::new(2020, 2, 1), Date::new(2020, 2, 29));
             assert!(feb_flip < 0.15, "{vp}: Feb flip {feb_flip:.2}");

@@ -6,11 +6,12 @@
 //! * 3b: the three IXPs, reduced to workday/weekend hourly averages.
 
 use crate::context::Context;
-use crate::experiments::volume_over;
+use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::TextTable;
 use lockdown_analysis::timeseries::HourlyVolume;
 use lockdown_scenario::calendar::{day_type, AnalysisWeek, DayType, FIG3_WEEKS};
 use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
 
 /// Fig. 3a result: per week, the 168 hourly values normalized by the
 /// global minimum positive value.
@@ -20,11 +21,34 @@ pub struct Fig3a {
     pub weeks: Vec<(&'static str, Vec<f64>)>,
 }
 
-/// Run Fig. 3a (ISP-CE).
-pub fn run_3a(ctx: &Context) -> Fig3a {
+/// Demand handles of one Fig. 3a pass.
+pub struct Plan3a {
+    weeks: Vec<(AnalysisWeek, Demand<HourlyVolume>)>,
+}
+
+/// Declare Fig. 3a's trace demands on a shared engine plan.
+pub fn plan_3a(plan: &mut EnginePlan) -> Plan3a {
+    Plan3a {
+        weeks: FIG3_WEEKS
+            .iter()
+            .map(|&week| {
+                let d = plan.subscribe(
+                    Stream::Vantage(VantagePoint::IspCe),
+                    week.start,
+                    week.end(),
+                    HourlyVolume::new,
+                );
+                (week, d)
+            })
+            .collect(),
+    }
+}
+
+/// Assemble Fig. 3a from a finished engine pass.
+pub fn finish_3a(plan: Plan3a, out: &mut EngineOutput) -> Fig3a {
     let mut raw: Vec<(&'static str, Vec<u64>)> = Vec::new();
-    for week in FIG3_WEEKS {
-        let volume = volume_over(ctx, VantagePoint::IspCe, week.start, week.end());
+    for (week, demand) in plan.weeks {
+        let volume = out.take(demand);
         let series: Vec<u64> = volume
             .hourly_series(week.start, week.end())
             .into_iter()
@@ -47,6 +71,13 @@ pub fn run_3a(ctx: &Context) -> Fig3a {
     }
 }
 
+/// Run Fig. 3a (ISP-CE) standalone.
+pub fn run_3a(ctx: &Context) -> Fig3a {
+    let mut eplan = EnginePlan::new();
+    let p = plan_3a(&mut eplan);
+    finish_3a(p, &mut engine::run(ctx, eplan))
+}
+
 impl Fig3a {
     /// Mean normalized volume of one week.
     pub fn week_mean(&self, label: &str) -> f64 {
@@ -64,7 +95,11 @@ impl Fig3a {
         for (label, s) in &self.weeks {
             let mean = s.iter().sum::<f64>() / s.len() as f64;
             let peak = s.iter().copied().fold(0.0, f64::max);
-            let min = s.iter().copied().filter(|&v| v > 0.0).fold(f64::MAX, f64::min);
+            let min = s
+                .iter()
+                .copied()
+                .filter(|&v| v > 0.0)
+                .fold(f64::MAX, f64::min);
             t.row([
                 label.to_string(),
                 format!("{mean:.2}"),
@@ -129,14 +164,50 @@ fn week_profile(
     (workday, weekend)
 }
 
-/// Run Fig. 3b (the three IXPs).
-pub fn run_3b(ctx: &Context) -> Fig3b {
+/// One analysis week's volume demand.
+type WeekDemands = Vec<(AnalysisWeek, Demand<HourlyVolume>)>;
+
+/// Demand handles of one Fig. 3b pass.
+pub struct Plan3b {
+    ixps: Vec<(VantagePoint, WeekDemands)>,
+}
+
+/// Declare Fig. 3b's trace demands on a shared engine plan.
+pub fn plan_3b(plan: &mut EnginePlan) -> Plan3b {
+    Plan3b {
+        ixps: [
+            VantagePoint::IxpCe,
+            VantagePoint::IxpUs,
+            VantagePoint::IxpSe,
+        ]
+        .into_iter()
+        .map(|vp| {
+            let weeks = FIG3_WEEKS
+                .iter()
+                .map(|&week| {
+                    let d = plan.subscribe(
+                        Stream::Vantage(vp),
+                        week.start,
+                        week.end(),
+                        HourlyVolume::new,
+                    );
+                    (week, d)
+                })
+                .collect();
+            (vp, weeks)
+        })
+        .collect(),
+    }
+}
+
+/// Assemble Fig. 3b from a finished engine pass.
+pub fn finish_3b(plan: Plan3b, out: &mut EngineOutput) -> Fig3b {
     let mut ixps = Vec::new();
-    for vp in [VantagePoint::IxpCe, VantagePoint::IxpUs, VantagePoint::IxpSe] {
+    for (vp, weeks) in plan.ixps {
         let mut profiles = Vec::new();
-        for week in &FIG3_WEEKS {
-            let volume = volume_over(ctx, vp, week.start, week.end());
-            let (workday, weekend) = week_profile(&volume, week, vp);
+        for (week, demand) in weeks {
+            let volume = out.take(demand);
+            let (workday, weekend) = week_profile(&volume, &week, vp);
             profiles.push(IxpWeekProfile {
                 label: week.label,
                 workday,
@@ -158,6 +229,13 @@ pub fn run_3b(ctx: &Context) -> Fig3b {
         ixps.push((vp, profiles));
     }
     Fig3b { ixps }
+}
+
+/// Run Fig. 3b (the three IXPs) standalone.
+pub fn run_3b(ctx: &Context) -> Fig3b {
+    let mut eplan = EnginePlan::new();
+    let p = plan_3b(&mut eplan);
+    finish_3b(p, &mut engine::run(ctx, eplan))
 }
 
 impl Fig3b {

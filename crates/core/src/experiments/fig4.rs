@@ -6,11 +6,14 @@
 //! hypergiants', with the smallest gap during working hours on workdays.
 
 use crate::context::Context;
+use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::{opt_norm, TextTable};
 use lockdown_analysis::asgroup::{DayPart, HypergiantSplit};
+use lockdown_analysis::consumer::HypergiantConsumer;
 use lockdown_flow::time::Date;
 use lockdown_topology::registry::ISP_CE_ASN;
 use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
 
 /// Weeks plotted.
 pub const WEEKS: std::ops::RangeInclusive<u8> = 1..=18;
@@ -26,21 +29,27 @@ pub struct Fig4 {
     pub series: Vec<(DayPart, bool, Vec<Option<f64>>)>,
 }
 
-/// Run Fig. 4.
-pub fn run(ctx: &Context) -> Fig4 {
-    let generator = ctx.generator();
+/// Demand handle of one Fig. 4 pass.
+pub struct Plan {
+    split: Demand<HypergiantConsumer>,
+}
+
+/// Declare Fig. 4's trace demand on a shared engine plan.
+pub fn plan(plan: &mut EnginePlan) -> Plan {
     let region = VantagePoint::IspCe.region();
-    let mut split = HypergiantSplit::new();
-    generator.for_each_hour(
-        VantagePoint::IspCe,
-        Date::new(2020, 1, 1),
-        Date::new(2020, 5, 3),
-        |_, _, flows| {
-            for f in flows {
-                split.add(f, region, ISP_CE_ASN);
-            }
-        },
-    );
+    Plan {
+        split: plan.subscribe(
+            Stream::Vantage(VantagePoint::IspCe),
+            Date::new(2020, 1, 1),
+            Date::new(2020, 5, 3),
+            move || HypergiantConsumer::new(region, ISP_CE_ASN),
+        ),
+    }
+}
+
+/// Assemble Fig. 4 from a finished engine pass.
+pub fn finish(plan: Plan, out: &mut EngineOutput) -> Fig4 {
+    let split = out.take(plan.split).split;
     let mut series = Vec::new();
     for part in DayPart::ALL {
         for hg in [true, false] {
@@ -48,6 +57,13 @@ pub fn run(ctx: &Context) -> Fig4 {
         }
     }
     Fig4 { split, series }
+}
+
+/// Run Fig. 4 standalone.
+pub fn run(ctx: &Context) -> Fig4 {
+    let mut eplan = EnginePlan::new();
+    let p = plan(&mut eplan);
+    finish(p, &mut engine::run(ctx, eplan))
 }
 
 impl Fig4 {
@@ -155,7 +171,10 @@ mod tests {
         let hg_11 = f.at(DayPart::WeekendEvening, true, 11).unwrap();
         let hg_12 = f.at(DayPart::WeekendEvening, true, 12).unwrap();
         // Substantial HG increase into the lockdown week.
-        assert!(hg_12 > hg_11 + 0.04, "HG surge week 11→12: {hg_11} -> {hg_12}");
+        assert!(
+            hg_12 > hg_11 + 0.04,
+            "HG surge week 11→12: {hg_11} -> {hg_12}"
+        );
         // Weekend HG traffic declines or stabilizes week 12→13 (resolution
         // reduction on Mar 19).
         let hg_we_12 = f.at(DayPart::WeekendEvening, true, 12).unwrap();

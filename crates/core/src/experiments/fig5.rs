@@ -5,18 +5,27 @@
 //! shifted to the right".
 
 use crate::context::Context;
+use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::TextTable;
 use lockdown_analysis::ecdf::Ecdf;
-use lockdown_analysis::linkutil::LinkUtilization;
-use lockdown_flow::record::FlowRecord;
+use lockdown_analysis::linkutil::{AsHourly, LinkUtilization};
 use lockdown_flow::time::Date;
 use lockdown_topology::ixp::IxpFabric;
 use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
 
 /// Base comparison day: a workday of the base week (Thu Feb 20).
-pub const BASE_DAY: Date = Date { year: 2020, month: 2, day: 20 };
+pub const BASE_DAY: Date = Date {
+    year: 2020,
+    month: 2,
+    day: 20,
+};
 /// Stage-2 comparison day: a workday of the stage-2 week (Thu Apr 23).
-pub const STAGE2_DAY: Date = Date { year: 2020, month: 4, day: 23 };
+pub const STAGE2_DAY: Date = Date {
+    year: 2020,
+    month: 4,
+    day: 23,
+};
 
 /// The three per-member statistics Fig. 5 plots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,19 +49,30 @@ pub struct Fig5 {
     pub members: usize,
 }
 
-fn day_flows(ctx: &Context, date: Date) -> Vec<FlowRecord> {
-    ctx.generator().generate_day(VantagePoint::IxpCe, date)
+/// Demand handles of one Fig. 5 pass.
+pub struct Plan {
+    base: Demand<AsHourly>,
+    stage2: Demand<AsHourly>,
 }
 
-/// Run Fig. 5.
-pub fn run(ctx: &Context) -> Fig5 {
-    let fabric = IxpFabric::synthesize(VantagePoint::IxpCe, &ctx.registry, ctx.config.seed);
-    let base_flows = day_flows(ctx, BASE_DAY);
-    let lu = LinkUtilization::calibrate(&fabric, &base_flows, BASE_DAY);
+/// Declare Fig. 5's trace demands on a shared engine plan.
+pub fn plan(plan: &mut EnginePlan) -> Plan {
+    let stream = Stream::Vantage(VantagePoint::IxpCe);
+    Plan {
+        base: plan.subscribe(stream, BASE_DAY, BASE_DAY, || AsHourly::new(BASE_DAY)),
+        stage2: plan.subscribe(stream, STAGE2_DAY, STAGE2_DAY, || AsHourly::new(STAGE2_DAY)),
+    }
+}
 
-    let base_stats = lu.day_stats(&base_flows, BASE_DAY);
-    let stage2_flows = day_flows(ctx, STAGE2_DAY);
-    let stage2_stats = lu.day_stats(&stage2_flows, STAGE2_DAY);
+/// Assemble Fig. 5 from a finished engine pass.
+pub fn finish(ctx: &Context, plan: Plan, out: &mut EngineOutput) -> Fig5 {
+    let fabric = IxpFabric::synthesize(VantagePoint::IxpCe, &ctx.registry, ctx.config.seed);
+    let base_hourly = out.take(plan.base);
+    let stage2_hourly = out.take(plan.stage2);
+    let lu = LinkUtilization::calibrate_hourly(&fabric, &base_hourly);
+
+    let base_stats = lu.day_stats_hourly(&base_hourly);
+    let stage2_stats = lu.day_stats_hourly(&stage2_hourly);
 
     let ecdfs = |stats: &[lockdown_analysis::linkutil::MemberUtilization]| {
         [
@@ -68,6 +88,13 @@ pub fn run(ctx: &Context) -> Fig5 {
     }
 }
 
+/// Run Fig. 5 standalone.
+pub fn run(ctx: &Context) -> Fig5 {
+    let mut eplan = EnginePlan::new();
+    let p = plan(&mut eplan);
+    finish(ctx, p, &mut engine::run(ctx, eplan))
+}
+
 impl Fig5 {
     /// ECDF for (day, stat).
     pub fn ecdf(&self, stage2: bool, stat: UtilStat) -> &Ecdf {
@@ -81,10 +108,12 @@ impl Fig5 {
 
     /// Render the ECDFs evaluated on the paper's 1–100% utilization grid.
     pub fn render(&self) -> String {
-        let grid: Vec<f64> = [1.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]
-            .iter()
-            .map(|p| p / 100.0)
-            .collect();
+        let grid: Vec<f64> = [
+            1.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0,
+        ]
+        .iter()
+        .map(|p| p / 100.0)
+        .collect();
         let mut t = TextTable::new([
             "util%", "base min", "base avg", "base max", "s2 min", "s2 avg", "s2 max",
         ]);

@@ -8,25 +8,43 @@
 //! vanished while their remote-work traffic grew).
 
 use crate::context::Context;
+use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::TextTable;
 use lockdown_analysis::asgroup::{
-    residential_shift, shift_correlation, AsDayTotals, QuadrantCounts, RatioGroup,
-    ResidentialShift,
+    residential_shift, shift_correlation, QuadrantCounts, RatioGroup, ResidentialShift,
 };
+use lockdown_analysis::consumer::AsTotalsConsumer;
 use lockdown_flow::time::Date;
 use lockdown_topology::asn::Asn;
 use lockdown_topology::registry::ISP_CE_ASN;
 use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
 
 /// Base window (February week).
 pub const BASE: (Date, Date) = (
-    Date { year: 2020, month: 2, day: 19 },
-    Date { year: 2020, month: 2, day: 25 },
+    Date {
+        year: 2020,
+        month: 2,
+        day: 19,
+    },
+    Date {
+        year: 2020,
+        month: 2,
+        day: 25,
+    },
 );
 /// Lockdown window (March week).
 pub const LOCKDOWN: (Date, Date) = (
-    Date { year: 2020, month: 3, day: 18 },
-    Date { year: 2020, month: 3, day: 24 },
+    Date {
+        year: 2020,
+        month: 3,
+        day: 18,
+    },
+    Date {
+        year: 2020,
+        month: 3,
+        day: 24,
+    },
 );
 
 /// Fig. 6 result.
@@ -43,30 +61,41 @@ pub struct Fig6 {
     pub workday_dominated: usize,
 }
 
-/// Accumulate one window of ISP transit flows into total and
-/// residential-only accumulators.
-fn window_totals(ctx: &Context, window: (Date, Date)) -> (AsDayTotals, AsDayTotals) {
+/// Total and residential-only demands for one window of ISP transit flows.
+fn window_demands(
+    plan: &mut EnginePlan,
+    window: (Date, Date),
+) -> (Demand<AsTotalsConsumer>, Demand<AsTotalsConsumer>) {
     let region = VantagePoint::IspCe.region();
-    let generator = ctx.generator();
-    let mut all = AsDayTotals::new(region);
-    let mut residential = AsDayTotals::new(region);
-    for date in window.0.range_inclusive(window.1) {
-        for hour in 0..24u8 {
-            for f in generator.generate_isp_transit_hour(date, hour) {
-                all.add(&f);
-                if f.src_as == ISP_CE_ASN.0 || f.dst_as == ISP_CE_ASN.0 {
-                    residential.add(&f);
-                }
-            }
-        }
-    }
+    let all = plan.subscribe(Stream::IspTransit, window.0, window.1, move || {
+        AsTotalsConsumer::all(region)
+    });
+    let residential = plan.subscribe(Stream::IspTransit, window.0, window.1, move || {
+        AsTotalsConsumer::touching(region, ISP_CE_ASN)
+    });
     (all, residential)
 }
 
-/// Run Fig. 6.
-pub fn run(ctx: &Context) -> Fig6 {
-    let (base_all, base_res) = window_totals(ctx, BASE);
-    let (lock_all, lock_res) = window_totals(ctx, LOCKDOWN);
+/// Demand handles of one Fig. 6 pass.
+pub struct Plan {
+    base: (Demand<AsTotalsConsumer>, Demand<AsTotalsConsumer>),
+    lockdown: (Demand<AsTotalsConsumer>, Demand<AsTotalsConsumer>),
+}
+
+/// Declare Fig. 6's trace demands on a shared engine plan.
+pub fn plan(plan: &mut EnginePlan) -> Plan {
+    Plan {
+        base: window_demands(plan, BASE),
+        lockdown: window_demands(plan, LOCKDOWN),
+    }
+}
+
+/// Assemble Fig. 6 from a finished engine pass.
+pub fn finish(ctx: &Context, plan: Plan, out: &mut EngineOutput) -> Fig6 {
+    let base_all = out.take(plan.base.0).totals;
+    let base_res = out.take(plan.base.1).totals;
+    let lock_all = out.take(plan.lockdown.0).totals;
+    let lock_res = out.take(plan.lockdown.1).totals;
 
     // The §3.4 point set: business ASes seen in the transit view (the ISP
     // itself is the eyeball side, not a point).
@@ -91,16 +120,29 @@ pub fn run(ctx: &Context) -> Fig6 {
     }
 }
 
+/// Run Fig. 6 standalone.
+pub fn run(ctx: &Context) -> Fig6 {
+    let mut eplan = EnginePlan::new();
+    let p = plan(&mut eplan);
+    finish(ctx, p, &mut engine::run(ctx, eplan))
+}
+
 impl Fig6 {
     /// Render quadrant counts and correlation.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(["quadrant", "ASes"]);
-        t.row(["total ↑ / residential ↑", &self.quadrants.both_up.to_string()]);
+        t.row([
+            "total ↑ / residential ↑",
+            &self.quadrants.both_up.to_string(),
+        ]);
         t.row([
             "total ↓ / residential ↑",
             &self.quadrants.total_down_res_up.to_string(),
         ]);
-        t.row(["total ↓ / residential ↓", &self.quadrants.both_down.to_string()]);
+        t.row([
+            "total ↓ / residential ↓",
+            &self.quadrants.both_down.to_string(),
+        ]);
         t.row([
             "total ↑ / residential ↓",
             &self.quadrants.total_up_res_down.to_string(),
@@ -156,7 +198,10 @@ mod tests {
         );
         // But most points see residential growth overall.
         let res_up = f.quadrants.both_up + f.quadrants.total_down_res_up;
-        assert!(res_up * 2 > f.points.len(), "residential growth should dominate");
+        assert!(
+            res_up * 2 > f.points.len(),
+            "residential growth should dominate"
+        );
     }
 
     #[test]

@@ -3,10 +3,13 @@
 //! excluded for readability (§4).
 
 use crate::context::Context;
+use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::TextTable;
+use lockdown_analysis::consumer::PortConsumer;
 use lockdown_analysis::ports::{tcp443, tcp80, PortProfile, ServiceKey};
 use lockdown_scenario::calendar::{AnalysisWeek, PORTS_ISP_WEEKS, PORTS_IXP_WEEKS};
 use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
 
 /// How many ports Fig. 7 shows ("the top 3–12 ports" = 10 rows).
 pub const TOP_N: usize = 10;
@@ -32,34 +35,59 @@ pub struct Fig7 {
     pub top_ports: Vec<ServiceKey>,
 }
 
-/// Run Fig. 7a (ISP-CE) or 7b (IXP-CE).
-pub fn run(ctx: &Context, vantage: VantagePoint) -> Fig7 {
+/// Demand handles of one Fig. 7 pass.
+pub struct Plan {
+    vantage: VantagePoint,
+    weeks: Vec<(&'static str, Demand<PortConsumer>)>,
+}
+
+/// Declare Fig. 7's trace demands on a shared engine plan.
+pub fn plan(plan: &mut EnginePlan, vantage: VantagePoint) -> Plan {
     let week_set: &[AnalysisWeek] = if vantage == VantagePoint::IspCe {
         &PORTS_ISP_WEEKS
     } else {
         &PORTS_IXP_WEEKS
     };
-    let generator = ctx.generator();
     let region = vantage.region();
+    Plan {
+        vantage,
+        weeks: week_set
+            .iter()
+            .map(|week| {
+                let d = plan.subscribe(
+                    Stream::Vantage(vantage),
+                    week.start,
+                    week.end(),
+                    move || PortConsumer::new(region),
+                );
+                (week.label, d)
+            })
+            .collect(),
+    }
+}
+
+/// Assemble Fig. 7 from a finished engine pass.
+pub fn finish(plan: Plan, out: &mut EngineOutput) -> Fig7 {
     let mut weeks = Vec::new();
     let mut combined = PortProfile::new();
-    for week in week_set {
-        let mut profile = PortProfile::new();
-        generator.for_each_hour(vantage, week.start, week.end(), |_, _, flows| {
-            profile.add_all(flows, region);
-            combined.add_all(flows, region);
-        });
-        weeks.push(WeekPorts {
-            label: week.label,
-            profile,
-        });
+    for (label, demand) in plan.weeks {
+        let profile = out.take(demand).profile;
+        combined.merge(&profile);
+        weeks.push(WeekPorts { label, profile });
     }
     let top_ports = combined.top_services(TOP_N, &[tcp443(), tcp80()]);
     Fig7 {
-        vantage,
+        vantage: plan.vantage,
         weeks,
         top_ports,
     }
+}
+
+/// Run Fig. 7a (ISP-CE) or 7b (IXP-CE) standalone.
+pub fn run(ctx: &Context, vantage: VantagePoint) -> Fig7 {
+    let mut eplan = EnginePlan::new();
+    let p = plan(&mut eplan, vantage);
+    finish(p, &mut engine::run(ctx, eplan))
 }
 
 impl Fig7 {
@@ -202,7 +230,11 @@ mod tests {
     fn tv_streaming_present_at_ixp_only_row() {
         let tv = ServiceKey::Port(IpProtocol::Tcp.number(), 8_200);
         // TCP/8200 is a top IXP-CE port and grows there in March.
-        assert!(ixp().top_ports.contains(&tv), "TV port missing at IXP: {:?}", ixp().top_ports);
+        assert!(
+            ixp().top_ports.contains(&tv),
+            "TV port missing at IXP: {:?}",
+            ixp().top_ports
+        );
         let g = ixp().growth(tv, "february", "march").unwrap();
         assert!(g > 1.2, "TV streaming March growth {g:.2}");
     }
@@ -214,8 +246,14 @@ mod tests {
         // ISP ≫ IXP with both being the majority.
         let isp_share = isp().web_share();
         let ixp_share = ixp().web_share();
-        assert!((0.60..0.92).contains(&isp_share), "ISP web share {isp_share:.2}");
-        assert!((0.45..0.80).contains(&ixp_share), "IXP web share {ixp_share:.2}");
+        assert!(
+            (0.60..0.92).contains(&isp_share),
+            "ISP web share {isp_share:.2}"
+        );
+        assert!(
+            (0.45..0.80).contains(&ixp_share),
+            "IXP web share {ixp_share:.2}"
+        );
         assert!(isp_share > ixp_share);
     }
 

@@ -4,15 +4,28 @@
 //! first lockdown week (§5).
 
 use crate::context::Context;
+use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::TextTable;
-use lockdown_analysis::appclass::{class_hour_usage, Classifier, PaperClass};
+use lockdown_analysis::appclass::{Classifier, PaperClass};
+use lockdown_analysis::consumer::ClassUsageConsumer;
 use lockdown_flow::time::Date;
+use lockdown_topology::registry::Registry;
 use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
+use std::sync::Arc;
 
 /// First Monday of calendar week 7 (Feb 10).
-pub const START: Date = Date { year: 2020, month: 2, day: 10 };
+pub const START: Date = Date {
+    year: 2020,
+    month: 2,
+    day: 10,
+};
 /// Last Sunday of calendar week 17 (Apr 26).
-pub const END: Date = Date { year: 2020, month: 4, day: 26 };
+pub const END: Date = Date {
+    year: 2020,
+    month: 4,
+    day: 26,
+};
 
 /// One day's summary of a metric.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,28 +54,50 @@ fn day_stats(date: Date, hourly: &[f64]) -> DayStats {
     let min = hourly.iter().copied().fold(f64::MAX, f64::min);
     let max = hourly.iter().copied().fold(0.0f64, f64::max);
     let avg = hourly.iter().sum::<f64>() / hourly.len() as f64;
-    DayStats { date, min, avg, max }
+    DayStats {
+        date,
+        min,
+        avg,
+        max,
+    }
 }
 
-/// Run Fig. 8.
-pub fn run(ctx: &Context) -> Fig8 {
-    let classifier = Classifier::from_registry(&ctx.registry);
-    let generator = ctx.generator();
+/// Demand handle of one Fig. 8 pass.
+pub struct Plan {
+    usage: Demand<ClassUsageConsumer>,
+}
+
+/// Declare Fig. 8's trace demand on a shared engine plan.
+pub fn plan(plan: &mut EnginePlan, registry: &Registry) -> Plan {
+    let classifier = Arc::new(Classifier::from_registry(registry));
+    Plan {
+        usage: plan.subscribe(
+            Stream::Vantage(VantagePoint::IxpSe),
+            START,
+            END,
+            move || ClassUsageConsumer::new(Arc::clone(&classifier), PaperClass::Gaming),
+        ),
+    }
+}
+
+/// Assemble Fig. 8 from a finished engine pass.
+pub fn finish(plan: Plan, out: &mut EngineOutput) -> Fig8 {
+    let usage = out.take(plan.usage);
     let mut unique_ips = Vec::new();
     let mut volume = Vec::new();
     let mut day_ips: Vec<f64> = Vec::with_capacity(24);
     let mut day_bytes: Vec<f64> = Vec::with_capacity(24);
-    generator.for_each_hour(VantagePoint::IxpSe, START, END, |date, hour, flows| {
-        let usage = class_hour_usage(&classifier, PaperClass::Gaming, flows);
-        day_ips.push(usage.unique_ips as f64);
-        day_bytes.push(usage.bytes as f64);
-        if hour == 23 {
-            unique_ips.push(day_stats(date, &day_ips));
-            volume.push(day_stats(date, &day_bytes));
-            day_ips.clear();
-            day_bytes.clear();
+    for date in START.range_inclusive(END) {
+        for hour in 0..24u8 {
+            let u = usage.hour_usage(date, hour);
+            day_ips.push(u.unique_ips as f64);
+            day_bytes.push(u.bytes as f64);
         }
-    });
+        unique_ips.push(day_stats(date, &day_ips));
+        volume.push(day_stats(date, &day_bytes));
+        day_ips.clear();
+        day_bytes.clear();
+    }
     // Normalize each series to its global positive minimum.
     let normalize = |series: &mut Vec<DayStats>| {
         let min = series
@@ -80,6 +115,13 @@ pub fn run(ctx: &Context) -> Fig8 {
     normalize(&mut fig.unique_ips);
     normalize(&mut fig.volume);
     fig
+}
+
+/// Run Fig. 8 standalone.
+pub fn run(ctx: &Context) -> Fig8 {
+    let mut eplan = EnginePlan::new();
+    let p = plan(&mut eplan, &ctx.registry);
+    finish(p, &mut engine::run(ctx, eplan))
 }
 
 impl Fig8 {

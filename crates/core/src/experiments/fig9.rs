@@ -4,11 +4,17 @@
 //! [−100%, +200%] (§5).
 
 use crate::context::Context;
+use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::TextTable;
-use lockdown_analysis::appclass::{heatmap_diff, Classifier, PaperClass, WeekHeatmap, DISPLAY_HOURS};
-use lockdown_flow::record::FlowRecord;
+use lockdown_analysis::appclass::{
+    heatmap_diff, Classifier, PaperClass, WeekHeatmap, DISPLAY_HOURS,
+};
+use lockdown_analysis::consumer::HeatmapConsumer;
 use lockdown_scenario::calendar::{AnalysisWeek, APPCLASS_ISP_WEEKS, APPCLASS_IXP_WEEKS};
+use lockdown_topology::registry::Registry;
 use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
+use std::sync::Arc;
 
 /// Fig. 9 result for one vantage point.
 #[derive(Debug)]
@@ -19,31 +25,59 @@ pub struct Fig9 {
     pub weeks: [WeekHeatmap; 3],
 }
 
-fn week_flows(ctx: &Context, vantage: VantagePoint, week: &AnalysisWeek) -> Vec<FlowRecord> {
-    let generator = ctx.generator();
-    let mut out = Vec::new();
-    generator.for_each_hour(vantage, week.start, week.end(), |_, _, flows| {
-        out.extend_from_slice(flows);
-    });
-    out
+/// Demand handles of one Fig. 9 pass.
+pub struct Plan {
+    vantage: VantagePoint,
+    weeks: [Demand<HeatmapConsumer>; 3],
 }
 
-/// Run Fig. 9 for one vantage point.
-pub fn run(ctx: &Context, vantage: VantagePoint) -> Fig9 {
+/// Declare Fig. 9's trace demands for one vantage point on a shared
+/// engine plan.
+pub fn plan(plan: &mut EnginePlan, registry: &Registry, vantage: VantagePoint) -> Plan {
     let weeks: &[AnalysisWeek; 3] = if vantage == VantagePoint::IspCe {
         &APPCLASS_ISP_WEEKS
     } else {
         &APPCLASS_IXP_WEEKS
     };
-    let classifier = Classifier::from_registry(&ctx.registry);
-    let build = |week: &AnalysisWeek| {
-        let flows = week_flows(ctx, vantage, week);
-        WeekHeatmap::build(&classifier, week.start, &flows)
+    let classifier = Arc::new(Classifier::from_registry(registry));
+    let mut subscribe = |week: &AnalysisWeek| {
+        let classifier = Arc::clone(&classifier);
+        let start = week.start;
+        plan.subscribe(
+            Stream::Vantage(vantage),
+            week.start,
+            week.end(),
+            move || HeatmapConsumer::new(Arc::clone(&classifier), start),
+        )
     };
-    Fig9 {
+    Plan {
         vantage,
-        weeks: [build(&weeks[0]), build(&weeks[1]), build(&weeks[2])],
+        weeks: [
+            subscribe(&weeks[0]),
+            subscribe(&weeks[1]),
+            subscribe(&weeks[2]),
+        ],
     }
+}
+
+/// Assemble Fig. 9 from a finished engine pass.
+pub fn finish(plan: Plan, out: &mut EngineOutput) -> Fig9 {
+    let [a, b, c] = plan.weeks;
+    Fig9 {
+        vantage: plan.vantage,
+        weeks: [
+            out.take(a).heatmap,
+            out.take(b).heatmap,
+            out.take(c).heatmap,
+        ],
+    }
+}
+
+/// Run Fig. 9 for one vantage point standalone.
+pub fn run(ctx: &Context, vantage: VantagePoint) -> Fig9 {
+    let mut eplan = EnginePlan::new();
+    let p = plan(&mut eplan, &ctx.registry, vantage);
+    finish(p, &mut engine::run(ctx, eplan))
 }
 
 impl Fig9 {
@@ -95,8 +129,15 @@ impl Fig9 {
     pub fn volume_diff(&self, class: PaperClass, stage: usize) -> f64 {
         assert!(stage == 1 || stage == 2, "stage must be 1 or 2");
         let sum = |w: &WeekHeatmap| -> f64 {
-            let ci = PaperClass::ALL.iter().position(|&c| c == class).expect("in ALL");
-            w.grid[ci].iter().flat_map(|d| d.iter()).map(|&v| v as f64).sum()
+            let ci = PaperClass::ALL
+                .iter()
+                .position(|&c| c == class)
+                .expect("in ALL");
+            w.grid[ci]
+                .iter()
+                .flat_map(|d| d.iter())
+                .map(|&v| v as f64)
+                .sum()
         };
         let base = sum(&self.weeks[0]).max(1.0);
         (sum(&self.weeks[stage]) - base) / base * 100.0
@@ -153,7 +194,11 @@ mod tests {
         // more than 200% during business hours" at all vantage points.
         for f in [isp(), ixp_ce(), ixp_us()] {
             let d = f.business_hours_diff(PaperClass::WebConf, 2);
-            assert!(d > 120.0, "{}: Webconf business-hours Δ {d:+.0}%", f.vantage);
+            assert!(
+                d > 120.0,
+                "{}: Webconf business-hours Δ {d:+.0}%",
+                f.vantage
+            );
         }
     }
 
@@ -167,7 +212,10 @@ mod tests {
         let us_mail = ixp_us().volume_diff(PaperClass::Email, 2);
         assert!(eu_msg > 60.0, "EU messaging Δ {eu_msg:+.0}%");
         assert!(us_msg < 0.0, "US messaging Δ {us_msg:+.0}%");
-        assert!(us_mail > eu_mail, "US email {us_mail:+.0}% vs EU {eu_mail:+.0}%");
+        assert!(
+            us_mail > eu_mail,
+            "US email {us_mail:+.0}% vs EU {eu_mail:+.0}%"
+        );
     }
 
     #[test]

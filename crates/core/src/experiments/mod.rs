@@ -1,9 +1,11 @@
 //! One driver per figure and table of the paper.
 //!
-//! Every driver generates its own slice of the synthetic trace (generation
-//! is deterministic and cell-seeded, so slices are consistent across
-//! experiments), runs the `lockdown-analysis` pipeline over it, and returns
-//! a typed result with a plain-text `render()`.
+//! Every driver declares its trace demands on an [`crate::engine`] plan
+//! (`plan(..)`), and assembles its typed result from the finished pass
+//! (`finish(..)`); a back-compat `run(..)` wraps both in a standalone
+//! engine pass. [`suite::run_all`] composes *all* drivers onto one shared
+//! plan so each overlapping `(stream, date, hour)` cell is generated
+//! exactly once. Every result carries a plain-text `render()`.
 //!
 //! | Module | Reproduces |
 //! |---|---|
@@ -23,6 +25,8 @@
 //! | [`tables`] | Table 1 (filters) and Table 2 (hypergiants) |
 
 pub mod fig1;
+pub mod fig10;
+pub mod fig11_12;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -33,39 +37,6 @@ pub mod fig8;
 pub mod fig9;
 pub mod sec3_4;
 pub mod sec9;
-pub mod fig10;
-pub mod fig11_12;
 pub mod tables;
 
-use crate::context::Context;
-use lockdown_analysis::timeseries::HourlyVolume;
-use lockdown_flow::time::Date;
-use lockdown_topology::vantage::VantagePoint;
-use lockdown_traffic::parallel::default_workers;
-
-/// Accumulate a vantage point's hourly volume over an inclusive range.
-/// Long sweeps (Fig. 1/2 cover 120+ days) fan out over scoped threads;
-/// cell seeding makes the result identical to the sequential fold.
-pub(crate) fn volume_over(ctx: &Context, vp: VantagePoint, start: Date, end: Date) -> HourlyVolume {
-    let generator = ctx.generator();
-    let days = start.days_until(end) + 1;
-    if days < 14 {
-        let mut volume = HourlyVolume::new();
-        generator.for_each_hour(vp, start, end, |_, _, flows| {
-            volume.add_all(flows);
-        });
-        return volume;
-    }
-    generator.fold_hours_parallel(
-        vp,
-        start,
-        end,
-        default_workers(),
-        HourlyVolume::new,
-        |acc, _, _, flows| acc.add_all(flows),
-        |mut a, b| {
-            a.merge(&b);
-            a
-        },
-    )
-}
+pub mod suite;

@@ -8,14 +8,17 @@
 //! capacity … to reach multiple eyeball networks".
 
 use crate::context::Context;
+use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::TextTable;
 use lockdown_analysis::asgroup::{
-    residential_shift, shift_correlation, AsDayTotals, RatioGroup, ResidentialShift,
+    residential_shift, shift_correlation, RatioGroup, ResidentialShift,
 };
+use lockdown_analysis::consumer::AsTotalsConsumer;
 use lockdown_flow::time::Date;
 use lockdown_topology::asn::Asn;
 use lockdown_topology::registry::ISP_CE_ASN;
 use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
 
 /// Per-group §3.4 statistics.
 #[derive(Debug, Clone)]
@@ -37,38 +40,60 @@ pub struct Sec34 {
     pub groups: Vec<GroupStats>,
 }
 
-/// Run the §3.4 grouping analysis over the ISP transit view.
-pub fn run(ctx: &Context) -> Sec34 {
+/// Demands of one comparison window: transit totals, transit residential
+/// and the regular subscriber view (content ASes serving the ISP's
+/// eyeballs — always residential-facing by definition, so it folds into
+/// both sides at assembly time).
+struct WindowDemands {
+    transit_all: Demand<AsTotalsConsumer>,
+    transit_res: Demand<AsTotalsConsumer>,
+    subscriber: Demand<AsTotalsConsumer>,
+}
+
+/// Demand handles of one §3.4 pass.
+pub struct Plan {
+    base: WindowDemands,
+    lockdown: WindowDemands,
+}
+
+fn window_demands(plan: &mut EnginePlan, start: Date, end: Date) -> WindowDemands {
     let region = VantagePoint::IspCe.region();
-    let generator = ctx.generator();
-    let windows = [
-        (Date::new(2020, 2, 19), Date::new(2020, 2, 25)),
-        (Date::new(2020, 3, 18), Date::new(2020, 3, 24)),
-    ];
-    let mut totals = Vec::new();
-    for (start, end) in windows {
-        let mut all = AsDayTotals::new(region);
-        let mut residential = AsDayTotals::new(region);
-        for date in start.range_inclusive(end) {
-            for hour in 0..24u8 {
-                for f in generator.generate_isp_transit_hour(date, hour) {
-                    all.add(&f);
-                    if f.src_as == ISP_CE_ASN.0 || f.dst_as == ISP_CE_ASN.0 {
-                        residential.add(&f);
-                    }
-                }
-                // The regular subscriber view: content ASes serving the
-                // ISP's eyeballs (always residential-facing by definition).
-                for f in generator.generate_hour(VantagePoint::IspCe, date, hour) {
-                    all.add(&f);
-                    residential.add(&f);
-                }
-            }
-        }
-        totals.push((all, residential));
+    WindowDemands {
+        transit_all: plan.subscribe(Stream::IspTransit, start, end, move || {
+            AsTotalsConsumer::all(region)
+        }),
+        transit_res: plan.subscribe(Stream::IspTransit, start, end, move || {
+            AsTotalsConsumer::touching(region, ISP_CE_ASN)
+        }),
+        subscriber: plan.subscribe(
+            Stream::Vantage(VantagePoint::IspCe),
+            start,
+            end,
+            move || AsTotalsConsumer::all(region),
+        ),
     }
-    let (base_all, base_res) = &totals[0];
-    let (lock_all, lock_res) = &totals[1];
+}
+
+/// Declare §3.4's trace demands on a shared engine plan.
+pub fn plan(plan: &mut EnginePlan) -> Plan {
+    Plan {
+        base: window_demands(plan, Date::new(2020, 2, 19), Date::new(2020, 2, 25)),
+        lockdown: window_demands(plan, Date::new(2020, 3, 18), Date::new(2020, 3, 24)),
+    }
+}
+
+/// Assemble §3.4 from a finished engine pass.
+pub fn finish(plan: Plan, out: &mut EngineOutput) -> Sec34 {
+    let mut window = |w: WindowDemands| {
+        let mut all = out.take(w.transit_all).totals;
+        let mut residential = out.take(w.transit_res).totals;
+        let subscriber = out.take(w.subscriber).totals;
+        all.merge(&subscriber);
+        residential.merge(&subscriber);
+        (all, residential)
+    };
+    let (base_all, base_res) = &window(plan.base);
+    let (lock_all, lock_res) = &window(plan.lockdown);
 
     let mut groups = Vec::new();
     for group in [
@@ -97,6 +122,13 @@ pub fn run(ctx: &Context) -> Sec34 {
     Sec34 { groups }
 }
 
+/// Run the §3.4 grouping analysis over the ISP transit view standalone.
+pub fn run(ctx: &Context) -> Sec34 {
+    let mut eplan = EnginePlan::new();
+    let p = plan(&mut eplan);
+    finish(p, &mut engine::run(ctx, eplan))
+}
+
 impl Sec34 {
     /// Stats for one group.
     pub fn group(&self, group: RatioGroup) -> &GroupStats {
@@ -117,7 +149,10 @@ impl Sec34 {
                 format!("{:+.3}", g.mean_residential_delta),
             ]);
         }
-        format!("§3.4 — remote-work AS groups (ISP transit view)\n{}", t.render())
+        format!(
+            "§3.4 — remote-work AS groups (ISP transit view)\n{}",
+            t.render()
+        )
     }
 }
 
@@ -141,7 +176,11 @@ mod tests {
         let bal = f.group(RatioGroup::Balanced);
         let we = f.group(RatioGroup::WeekendDominated);
         assert!(wd.members > 20, "workday group has {} members", wd.members);
-        assert!(bal.members > 3, "balanced group has {} members", bal.members);
+        assert!(
+            bal.members > 3,
+            "balanced group has {} members",
+            bal.members
+        );
         assert!(we.members > 3, "weekend group has {} members", we.members);
     }
 

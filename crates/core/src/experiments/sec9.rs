@@ -9,10 +9,12 @@
 //! stage-2 weeks.
 
 use crate::context::Context;
-use crate::experiments::volume_over;
+use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::TextTable;
-use lockdown_scenario::calendar::FIG3_WEEKS;
+use lockdown_analysis::timeseries::HourlyVolume;
+use lockdown_scenario::calendar::{AnalysisWeek, FIG3_WEEKS};
 use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
 
 /// Growth decomposition for one vantage point.
 #[derive(Debug, Clone, Copy)]
@@ -34,31 +36,56 @@ pub struct Sec9 {
     pub rows: Vec<PeakValley>,
 }
 
-/// Run the §9 peak/valley decomposition.
-pub fn run(ctx: &Context) -> Sec9 {
+/// Demand handles of one §9 pass.
+pub struct Plan {
+    rows: Vec<(VantagePoint, Demand<HourlyVolume>, Demand<HourlyVolume>)>,
+}
+
+/// Declare §9's trace demands on a shared engine plan.
+pub fn plan(plan: &mut EnginePlan) -> Plan {
     let base = &FIG3_WEEKS[0];
     let stage2 = &FIG3_WEEKS[2];
+    Plan {
+        rows: VantagePoint::CORE_FOUR
+            .into_iter()
+            .map(|vp| {
+                let d0 = plan.subscribe(
+                    Stream::Vantage(vp),
+                    base.start,
+                    base.end(),
+                    HourlyVolume::new,
+                );
+                let d2 = plan.subscribe(
+                    Stream::Vantage(vp),
+                    stage2.start,
+                    stage2.end(),
+                    HourlyVolume::new,
+                );
+                (vp, d0, d2)
+            })
+            .collect(),
+    }
+}
+
+/// Assemble §9 from a finished engine pass.
+pub fn finish(plan: Plan, out: &mut EngineOutput) -> Sec9 {
+    let base = &FIG3_WEEKS[0];
+    let stage2 = &FIG3_WEEKS[2];
+    let stats = |volume: &HourlyVolume, week: &AnalysisWeek| {
+        let series: Vec<u64> = volume
+            .hourly_series(week.start, week.end())
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        let peak = series.iter().copied().max().unwrap_or(0) as f64;
+        let mean = series.iter().sum::<u64>() as f64 / series.len().max(1) as f64;
+        let valley = series.iter().copied().filter(|&v| v > 0).min().unwrap_or(0) as f64;
+        (peak, mean, valley)
+    };
     let mut rows = Vec::new();
-    for vp in VantagePoint::CORE_FOUR {
-        let stats = |week: &lockdown_scenario::calendar::AnalysisWeek| {
-            let volume = volume_over(ctx, vp, week.start, week.end());
-            let series: Vec<u64> = volume
-                .hourly_series(week.start, week.end())
-                .into_iter()
-                .map(|(_, v)| v)
-                .collect();
-            let peak = series.iter().copied().max().unwrap_or(0) as f64;
-            let mean = series.iter().sum::<u64>() as f64 / series.len().max(1) as f64;
-            let valley = series
-                .iter()
-                .copied()
-                .filter(|&v| v > 0)
-                .min()
-                .unwrap_or(0) as f64;
-            (peak, mean, valley)
-        };
-        let (p0, m0, v0) = stats(base);
-        let (p2, m2, v2) = stats(stage2);
+    for (vp, d0, d2) in plan.rows {
+        let (p0, m0, v0) = stats(&out.take(d0), base);
+        let (p2, m2, v2) = stats(&out.take(d2), stage2);
         rows.push(PeakValley {
             vantage: vp,
             peak_growth: p2 / p0.max(1.0),
@@ -67,6 +94,13 @@ pub fn run(ctx: &Context) -> Sec9 {
         });
     }
     Sec9 { rows }
+}
+
+/// Run the §9 peak/valley decomposition standalone.
+pub fn run(ctx: &Context) -> Sec9 {
+    let mut eplan = EnginePlan::new();
+    let p = plan(&mut eplan);
+    finish(p, &mut engine::run(ctx, eplan))
 }
 
 impl Sec9 {

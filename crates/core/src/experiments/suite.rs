@@ -1,0 +1,162 @@
+//! The whole figure suite as ONE engine pass.
+//!
+//! Every driver contributes its demands to a single [`EnginePlan`]; the
+//! engine generates each distinct `(stream, date, hour)` cell exactly once
+//! and fans it out to every subscribed consumer. The per-figure `run()`
+//! wrappers remain for standalone use; this module is what the CLI's
+//! `figures` command uses when the full suite is requested.
+
+use crate::context::Context;
+use crate::engine::{self, EnginePlan, EngineStats};
+use crate::experiments::{
+    fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, tables,
+};
+use lockdown_topology::vantage::VantagePoint;
+
+/// Every figure and table of the paper, produced by one engine pass.
+pub struct Suite {
+    /// Table 1 — application-classification filters.
+    pub table1: tables::Table1,
+    /// Fig. 1 — weekly traffic across vantage points.
+    pub fig1: fig1::Fig1,
+    /// Fig. 2a — the three days' diurnal profiles.
+    pub fig2a: fig2::Fig2a,
+    /// Fig. 2b — ISP-CE day classification.
+    pub fig2b: fig2::Fig2bc,
+    /// Fig. 2c — IXP-CE day classification.
+    pub fig2c: fig2::Fig2bc,
+    /// Fig. 3a — ISP-CE hourly volumes for the four analysis weeks.
+    pub fig3a: fig3::Fig3a,
+    /// Fig. 3b — the three IXPs' workday/weekend profiles.
+    pub fig3b: fig3::Fig3b,
+    /// Fig. 4 — hypergiant vs. other-AS growth.
+    pub fig4: fig4::Fig4,
+    /// Fig. 5 — IXP port-utilization ECDFs.
+    pub fig5: fig5::Fig5,
+    /// Fig. 6 — per-AS total vs. residential shifts.
+    pub fig6: fig6::Fig6,
+    /// §3.4 — remote-work AS ratio groups.
+    pub sec34: sec3_4::Sec34,
+    /// Fig. 7a — top ports at ISP-CE.
+    pub fig7_isp: fig7::Fig7,
+    /// Fig. 7b — top ports at IXP-CE.
+    pub fig7_ixp: fig7::Fig7,
+    /// Fig. 8 — gaming at IXP-SE.
+    pub fig8: fig8::Fig8,
+    /// Fig. 9 — application-class heatmaps, core-four order.
+    pub fig9: Vec<fig9::Fig9>,
+    /// Fig. 10 — VPN: port- vs. domain-identified.
+    pub fig10: fig10::Fig10,
+    /// Figs. 11–12 and §7 — the EDU network.
+    pub edu: fig11_12::EduFigures,
+    /// §9 — peak vs. valley growth decomposition.
+    pub sec9: sec9::Sec9,
+    /// What the shared pass did (dedup story included).
+    pub stats: EngineStats,
+}
+
+/// Run the full suite through one shared engine pass.
+pub fn run_all(ctx: &Context) -> Suite {
+    let mut plan = EnginePlan::new();
+    let p1 = fig1::plan(&mut plan);
+    let p2a = fig2::plan_2a(&mut plan);
+    let p2b = fig2::plan_2bc(&mut plan, VantagePoint::IspCe);
+    let p2c = fig2::plan_2bc(&mut plan, VantagePoint::IxpCe);
+    let p3a = fig3::plan_3a(&mut plan);
+    let p3b = fig3::plan_3b(&mut plan);
+    let p4 = fig4::plan(&mut plan);
+    let p5 = fig5::plan(&mut plan);
+    let p6 = fig6::plan(&mut plan);
+    let p34 = sec3_4::plan(&mut plan);
+    let p7_isp = fig7::plan(&mut plan, VantagePoint::IspCe);
+    let p7_ixp = fig7::plan(&mut plan, VantagePoint::IxpCe);
+    let p8 = fig8::plan(&mut plan, &ctx.registry);
+    let p9: Vec<fig9::Plan> = VantagePoint::CORE_FOUR
+        .into_iter()
+        .map(|vp| fig9::plan(&mut plan, &ctx.registry, vp))
+        .collect();
+    let p10 = fig10::plan(&mut plan, ctx);
+    let pedu = fig11_12::plan(&mut plan, &ctx.registry);
+    let p9s = sec9::plan(&mut plan);
+
+    let mut out = engine::run(ctx, plan);
+
+    Suite {
+        table1: tables::table1(ctx),
+        fig1: fig1::finish(p1, &mut out),
+        fig2a: fig2::finish_2a(p2a, &mut out),
+        fig2b: fig2::finish_2bc(p2b, &mut out),
+        fig2c: fig2::finish_2bc(p2c, &mut out),
+        fig3a: fig3::finish_3a(p3a, &mut out),
+        fig3b: fig3::finish_3b(p3b, &mut out),
+        fig4: fig4::finish(p4, &mut out),
+        fig5: fig5::finish(ctx, p5, &mut out),
+        fig6: fig6::finish(ctx, p6, &mut out),
+        sec34: sec3_4::finish(p34, &mut out),
+        fig7_isp: fig7::finish(p7_isp, &mut out),
+        fig7_ixp: fig7::finish(p7_ixp, &mut out),
+        fig8: fig8::finish(p8, &mut out),
+        fig9: p9.into_iter().map(|p| fig9::finish(p, &mut out)).collect(),
+        fig10: fig10::finish(p10, &mut out),
+        edu: fig11_12::finish(pedu, &mut out),
+        sec9: sec9::finish(p9s, &mut out),
+        stats: out.stats(),
+    }
+}
+
+impl Suite {
+    /// Rendered sections in the CLI's print order (Table 2 first — it is
+    /// registry-static and needs no trace).
+    pub fn renders(&self) -> Vec<String> {
+        let mut out = vec![tables::table2(), self.table1.render()];
+        out.push(self.fig1.render());
+        out.push(self.fig2a.render());
+        out.push(self.fig2b.render());
+        out.push(self.fig2c.render());
+        out.push(self.fig3a.render());
+        out.push(self.fig3b.render());
+        out.push(self.fig4.render());
+        out.push(self.fig5.render());
+        out.push(self.fig6.render());
+        out.push(self.sec34.render());
+        out.push(self.fig7_isp.render());
+        out.push(self.fig7_ixp.render());
+        out.push(self.fig8.render());
+        out.extend(self.fig9.iter().map(|f| f.render()));
+        out.push(self.fig10.render());
+        out.push(self.edu.render());
+        out.push(self.sec9.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Fidelity;
+
+    #[test]
+    fn one_pass_deduplicates_overlapping_windows() {
+        let ctx = Context::new(Fidelity::Test);
+        let suite = run_all(&ctx);
+        // The acceptance criterion: overlapping (stream, date, hour) cells
+        // are generated exactly once — strictly fewer than the per-figure
+        // total — while every figure still assembles.
+        assert!(
+            suite.stats.cells_generated < suite.stats.cells_demanded,
+            "dedup must collapse overlap: {} vs {}",
+            suite.stats.cells_generated,
+            suite.stats.cells_demanded
+        );
+        assert!(
+            suite.stats.dedup_ratio() > 1.5,
+            "ratio {:.2}",
+            suite.stats.dedup_ratio()
+        );
+        let sections = suite.renders();
+        assert_eq!(sections.len(), 2 + 16 + 4); // tables + figures + 4 heatmaps
+        for s in &sections {
+            assert!(!s.is_empty());
+        }
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod context;
+pub mod engine;
 pub mod experiments;
 pub mod report;
 

@@ -143,7 +143,13 @@ fn tld_for(region: Region, rng: &mut StdRng) -> &'static str {
 fn slug(name: &str) -> String {
     name.to_ascii_lowercase()
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '-' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
         .collect()
 }
 
@@ -167,9 +173,21 @@ pub fn synthesize(registry: &Registry, seed: u64) -> Corpus {
     ];
     const CHAFF_LABELS: [&str; 6] = ["portal", "git", "shop", "vps1", "mail2", "intranet"];
 
-    let all = SourceSet { ct_logs: true, fdns: true, toplist: false };
-    let ct_only = SourceSet { ct_logs: true, fdns: false, toplist: false };
-    let fdns_only = SourceSet { ct_logs: false, fdns: true, toplist: false };
+    let all = SourceSet {
+        ct_logs: true,
+        fdns: true,
+        toplist: false,
+    };
+    let ct_only = SourceSet {
+        ct_logs: true,
+        fdns: false,
+        toplist: false,
+    };
+    let fdns_only = SourceSet {
+        ct_logs: false,
+        fdns: true,
+        toplist: false,
+    };
 
     let orgs: Vec<_> = registry
         .ases()
@@ -193,7 +211,11 @@ pub fn synthesize(registry: &Registry, seed: u64) -> Corpus {
         // Apex often shares the www address.
         db.insert(reg_dom.parse().expect("valid"), www_ip, fdns_only);
         let mail_ip = registry.host_addr(org.asn, 1).expect("org has prefixes");
-        db.insert(format!("mail.{reg_dom}").parse().expect("valid"), mail_ip, all);
+        db.insert(
+            format!("mail.{reg_dom}").parse().expect("valid"),
+            mail_ip,
+            all,
+        );
 
         // Chaff hosts, including the vps decoy.
         for label in CHAFF_LABELS {
@@ -203,7 +225,11 @@ pub fn synthesize(registry: &Registry, seed: u64) -> Corpus {
             let ip = registry
                 .host_addr(org.asn, rng.gen_range(2..50))
                 .expect("org has prefixes");
-            db.insert(format!("{label}.{reg_dom}").parse().expect("valid"), ip, ct_only);
+            db.insert(
+                format!("{label}.{reg_dom}").parse().expect("valid"),
+                ip,
+                ct_only,
+            );
         }
 
         // VPN gateways for most organizations.
@@ -253,20 +279,36 @@ pub fn synthesize(registry: &Registry, seed: u64) -> Corpus {
         }
         // The provider's website shares nothing with the PoPs.
         let www_ip = registry.host_addr(h.asn, 7).expect("hoster has prefixes");
-        db.insert(format!("www.{reg_dom}").parse().expect("valid"), www_ip, all);
+        db.insert(
+            format!("www.{reg_dom}").parse().expect("valid"),
+            www_ip,
+            all,
+        );
     }
 
     // Popular unrelated domains (toplist flavour).
-    for (i, name) in ["search-hub", "video-tube", "news-wire", "social-hive", "wiki-market"]
-        .iter()
-        .enumerate()
+    for (i, name) in [
+        "search-hub",
+        "video-tube",
+        "news-wire",
+        "social-hive",
+        "wiki-market",
+    ]
+    .iter()
+    .enumerate()
     {
         let hg = &registry.ases()[i % 15]; // hypergiants lead the registry
-        let ip = registry.host_addr(hg.asn, 3 + i as u64).expect("hg has prefixes");
+        let ip = registry
+            .host_addr(hg.asn, 3 + i as u64)
+            .expect("hg has prefixes");
         db.insert(
             format!("www.{name}.com").parse().expect("valid"),
             ip,
-            SourceSet { ct_logs: true, fdns: true, toplist: true },
+            SourceSet {
+                ct_logs: true,
+                fdns: true,
+                toplist: true,
+            },
         );
     }
 
@@ -307,12 +349,11 @@ mod tests {
     fn gateways_resolve_in_db() {
         let c = corpus();
         // Every non-shared gateway IP appears under some *vpn* name.
-        let vpn_ips: BTreeSet<Ipv4Addr> = c
-            .db
-            .iter()
-            .filter(|(d, _)| d.has_vpn_label())
-            .flat_map(|(_, e)| e.addrs.iter().copied())
-            .collect();
+        let vpn_ips: BTreeSet<Ipv4Addr> =
+            c.db.iter()
+                .filter(|(d, _)| d.has_vpn_label())
+                .flat_map(|(_, e)| e.addrs.iter().copied())
+                .collect();
         for ip in c.truth.discoverable() {
             assert!(vpn_ips.contains(&ip), "gateway {ip} unlisted");
         }

@@ -47,7 +47,9 @@ impl DomainName {
         for l in &labels {
             if l.is_empty()
                 || l.len() > 63
-                || !l.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+                || !l
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
             {
                 return Err(ParseDomainError(labels.join(".")));
             }

@@ -140,7 +140,11 @@ mod tests {
         let kept = id.vpn_ips.len();
         assert!(kept < would_be, "elimination removed nothing");
         assert_eq!(would_be - kept, id.eliminated_ips.len());
-        assert!(corpus.truth.shared_with_www.iter().all(|ip| id.eliminated_ips.contains(ip)));
+        assert!(corpus
+            .truth
+            .shared_with_www
+            .iter()
+            .all(|ip| id.eliminated_ips.contains(ip)));
     }
 
     #[test]
@@ -148,13 +152,21 @@ mod tests {
         // The paper's example verbatim: companyvpn3.example.com and
         // www.example.com sharing an address → eliminated.
         let mut db = DnsDb::new();
-        let s = SourceSet { ct_logs: true, fdns: false, toplist: false };
+        let s = SourceSet {
+            ct_logs: true,
+            fdns: false,
+            toplist: false,
+        };
         let shared: std::net::Ipv4Addr = "192.0.2.1".parse().unwrap();
         let dedicated: std::net::Ipv4Addr = "192.0.2.2".parse().unwrap();
         db.insert("companyvpn3.example.com".parse().unwrap(), shared, s);
         db.insert("www.example.com".parse().unwrap(), shared, s);
         db.insert("vpn.other.org".parse().unwrap(), dedicated, s);
-        db.insert("www.other.org".parse().unwrap(), "192.0.2.3".parse().unwrap(), s);
+        db.insert(
+            "www.other.org".parse().unwrap(),
+            "192.0.2.3".parse().unwrap(),
+            s,
+        );
 
         let id = identify_vpn_ips(&db);
         assert!(!id.is_vpn_ip(shared), "shared IP must be eliminated");

@@ -116,10 +116,13 @@ impl Exporter {
 
     /// The sampling announcement this exporter sends, if sampling.
     pub fn sampling_info(&self) -> Option<SamplingInfo> {
-        self.config.sampling.filter(|&r| r > 1).map(|rate| SamplingInfo {
-            interval: rate,
-            algorithm: 1, // deterministic hash-based selection
-        })
+        self.config
+            .sampling
+            .filter(|&r| r > 1)
+            .map(|rate| SamplingInfo {
+                interval: rate,
+                algorithm: 1, // deterministic hash-based selection
+            })
     }
 
     /// The template this exporter announces (templated formats).
@@ -171,7 +174,9 @@ impl Exporter {
     fn template_due(&self) -> bool {
         self.packets_emitted == 0
             || (self.config.template_refresh > 0
-                && self.packets_emitted.is_multiple_of(self.config.template_refresh))
+                && self
+                    .packets_emitted
+                    .is_multiple_of(self.config.template_refresh))
     }
 
     fn emit(&mut self, now: Timestamp) -> Vec<u8> {
@@ -288,7 +293,10 @@ mod tests {
         let (h0, _) = v5::decode(&pkts[0]).unwrap();
         let (h1, _) = v5::decode(&pkts[1]).unwrap();
         let (h2, _) = v5::decode(&pkts[2]).unwrap();
-        assert_eq!((h0.flow_sequence, h1.flow_sequence, h2.flow_sequence), (0, 5, 10));
+        assert_eq!(
+            (h0.flow_sequence, h1.flow_sequence, h2.flow_sequence),
+            (0, 5, 10)
+        );
     }
 
     #[test]

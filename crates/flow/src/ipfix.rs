@@ -47,7 +47,15 @@ pub fn encode(
     sequence: u32,
     domain_id: u32,
 ) -> Vec<u8> {
-    encode_full(records, template, None, data_template, export_time, sequence, domain_id)
+    encode_full(
+        records,
+        template,
+        None,
+        data_template,
+        export_time,
+        sequence,
+        domain_id,
+    )
 }
 
 /// [`encode`] plus an optional in-band sampling announcement (options
@@ -332,11 +340,13 @@ mod tests {
     fn roundtrip() {
         let export = Date::new(2020, 4, 23).at_hour(12);
         let t = Template::standard_ipfix(500);
-        let recs: Vec<_> = (0..3).map(|i| {
-            let mut r = sample(export.add_secs(i));
-            r.end = r.start.add_secs(60);
-            r
-        }).collect();
+        let recs: Vec<_> = (0..3)
+            .map(|i| {
+                let mut r = sample(export.add_secs(i));
+                r.end = r.start.add_secs(60);
+                r
+            })
+            .collect();
         let msg = encode(&recs, Some(&t), &t, export, 42, 99);
         let mut cache = TemplateCache::new();
         let (hdr, out) = decode(&msg, &mut cache).unwrap();

@@ -84,21 +84,66 @@ impl Template {
         Template::new(
             id,
             vec![
-                FieldSpec { field_type: IPV4_SRC_ADDR, length: 4 },
-                FieldSpec { field_type: IPV4_DST_ADDR, length: 4 },
-                FieldSpec { field_type: L4_SRC_PORT, length: 2 },
-                FieldSpec { field_type: L4_DST_PORT, length: 2 },
-                FieldSpec { field_type: PROTOCOL, length: 1 },
-                FieldSpec { field_type: TCP_FLAGS, length: 1 },
-                FieldSpec { field_type: INPUT_SNMP, length: 2 },
-                FieldSpec { field_type: OUTPUT_SNMP, length: 2 },
-                FieldSpec { field_type: IN_BYTES, length: 8 },
-                FieldSpec { field_type: IN_PKTS, length: 8 },
-                FieldSpec { field_type: FIRST_SWITCHED, length: 4 },
-                FieldSpec { field_type: LAST_SWITCHED, length: 4 },
-                FieldSpec { field_type: SRC_AS, length: 4 },
-                FieldSpec { field_type: DST_AS, length: 4 },
-                FieldSpec { field_type: DIRECTION, length: 1 },
+                FieldSpec {
+                    field_type: IPV4_SRC_ADDR,
+                    length: 4,
+                },
+                FieldSpec {
+                    field_type: IPV4_DST_ADDR,
+                    length: 4,
+                },
+                FieldSpec {
+                    field_type: L4_SRC_PORT,
+                    length: 2,
+                },
+                FieldSpec {
+                    field_type: L4_DST_PORT,
+                    length: 2,
+                },
+                FieldSpec {
+                    field_type: PROTOCOL,
+                    length: 1,
+                },
+                FieldSpec {
+                    field_type: TCP_FLAGS,
+                    length: 1,
+                },
+                FieldSpec {
+                    field_type: INPUT_SNMP,
+                    length: 2,
+                },
+                FieldSpec {
+                    field_type: OUTPUT_SNMP,
+                    length: 2,
+                },
+                FieldSpec {
+                    field_type: IN_BYTES,
+                    length: 8,
+                },
+                FieldSpec {
+                    field_type: IN_PKTS,
+                    length: 8,
+                },
+                FieldSpec {
+                    field_type: FIRST_SWITCHED,
+                    length: 4,
+                },
+                FieldSpec {
+                    field_type: LAST_SWITCHED,
+                    length: 4,
+                },
+                FieldSpec {
+                    field_type: SRC_AS,
+                    length: 4,
+                },
+                FieldSpec {
+                    field_type: DST_AS,
+                    length: 4,
+                },
+                FieldSpec {
+                    field_type: DIRECTION,
+                    length: 1,
+                },
             ],
         )
         .expect("standard template is valid")
@@ -111,21 +156,66 @@ impl Template {
         Template::new(
             id,
             vec![
-                FieldSpec { field_type: IPV4_SRC_ADDR, length: 4 },
-                FieldSpec { field_type: IPV4_DST_ADDR, length: 4 },
-                FieldSpec { field_type: L4_SRC_PORT, length: 2 },
-                FieldSpec { field_type: L4_DST_PORT, length: 2 },
-                FieldSpec { field_type: PROTOCOL, length: 1 },
-                FieldSpec { field_type: TCP_FLAGS, length: 1 },
-                FieldSpec { field_type: INPUT_SNMP, length: 2 },
-                FieldSpec { field_type: OUTPUT_SNMP, length: 2 },
-                FieldSpec { field_type: IN_BYTES, length: 8 },
-                FieldSpec { field_type: IN_PKTS, length: 8 },
-                FieldSpec { field_type: FLOW_START_SECONDS, length: 4 },
-                FieldSpec { field_type: FLOW_END_SECONDS, length: 4 },
-                FieldSpec { field_type: SRC_AS, length: 4 },
-                FieldSpec { field_type: DST_AS, length: 4 },
-                FieldSpec { field_type: DIRECTION, length: 1 },
+                FieldSpec {
+                    field_type: IPV4_SRC_ADDR,
+                    length: 4,
+                },
+                FieldSpec {
+                    field_type: IPV4_DST_ADDR,
+                    length: 4,
+                },
+                FieldSpec {
+                    field_type: L4_SRC_PORT,
+                    length: 2,
+                },
+                FieldSpec {
+                    field_type: L4_DST_PORT,
+                    length: 2,
+                },
+                FieldSpec {
+                    field_type: PROTOCOL,
+                    length: 1,
+                },
+                FieldSpec {
+                    field_type: TCP_FLAGS,
+                    length: 1,
+                },
+                FieldSpec {
+                    field_type: INPUT_SNMP,
+                    length: 2,
+                },
+                FieldSpec {
+                    field_type: OUTPUT_SNMP,
+                    length: 2,
+                },
+                FieldSpec {
+                    field_type: IN_BYTES,
+                    length: 8,
+                },
+                FieldSpec {
+                    field_type: IN_PKTS,
+                    length: 8,
+                },
+                FieldSpec {
+                    field_type: FLOW_START_SECONDS,
+                    length: 4,
+                },
+                FieldSpec {
+                    field_type: FLOW_END_SECONDS,
+                    length: 4,
+                },
+                FieldSpec {
+                    field_type: SRC_AS,
+                    length: 4,
+                },
+                FieldSpec {
+                    field_type: DST_AS,
+                    length: 4,
+                },
+                FieldSpec {
+                    field_type: DIRECTION,
+                    length: 1,
+                },
             ],
         )
         .expect("standard template is valid")
@@ -138,15 +228,32 @@ mod tests {
 
     #[test]
     fn template_validation() {
-        assert!(Template::new(255, vec![FieldSpec { field_type: 1, length: 4 }]).is_err());
+        assert!(Template::new(
+            255,
+            vec![FieldSpec {
+                field_type: 1,
+                length: 4
+            }]
+        )
+        .is_err());
         assert!(Template::new(256, vec![]).is_err());
-        assert!(Template::new(256, vec![FieldSpec { field_type: 1, length: 4 }]).is_ok());
+        assert!(Template::new(
+            256,
+            vec![FieldSpec {
+                field_type: 1,
+                length: 4
+            }]
+        )
+        .is_ok());
     }
 
     #[test]
     fn standard_template_lengths() {
         let t = Template::standard_v9(300);
-        assert_eq!(t.record_len(), 4 + 4 + 2 + 2 + 1 + 1 + 2 + 2 + 8 + 8 + 4 + 4 + 4 + 4 + 1);
+        assert_eq!(
+            t.record_len(),
+            4 + 4 + 2 + 2 + 1 + 1 + 2 + 2 + 8 + 8 + 4 + 4 + 4 + 4 + 1
+        );
         let t = Template::standard_ipfix(300);
         assert_eq!(t.record_len(), 51);
     }

@@ -176,8 +176,14 @@ mod tests {
     fn template_without_sampling_yields_none() {
         let t = OptionsTemplate {
             id: 300,
-            scope_fields: vec![FieldSpec { field_type: SCOPE_SYSTEM, length: 4 }],
-            option_fields: vec![FieldSpec { field_type: 99, length: 2 }],
+            scope_fields: vec![FieldSpec {
+                field_type: SCOPE_SYSTEM,
+                length: 4,
+            }],
+            option_fields: vec![FieldSpec {
+                field_type: 99,
+                length: 2,
+            }],
         };
         let bytes = [0, 0, 0, 1, 0, 5];
         let mut c = Cursor::new(&bytes);

@@ -161,8 +161,7 @@ pub fn check(buf: &[u8]) -> WireResult<V5Header> {
 pub fn decode(buf: &[u8]) -> WireResult<(V5Header, Vec<FlowRecord>)> {
     let header = check(buf)?;
     let mut c = Cursor::new(&buf[HEADER_LEN..]);
-    let boot_unix_ms =
-        u64::from(header.unix_secs) * 1000 - u64::from(header.sys_uptime_ms);
+    let boot_unix_ms = u64::from(header.unix_secs) * 1000 - u64::from(header.sys_uptime_ms);
     let mut records = Vec::with_capacity(header.count as usize);
     for _ in 0..header.count {
         let src_addr = Ipv4Addr::from(c.read_u32("srcaddr")?);

@@ -351,7 +351,11 @@ pub fn decode(buf: &[u8], cache: &mut TemplateCache) -> WireResult<(V9Header, Ve
             }
             id => {
                 return Err(WireError::BadField {
-                    what: if id < 256 { "reserved flowset id" } else { "flowset id" },
+                    what: if id < 256 {
+                        "reserved flowset id"
+                    } else {
+                        "flowset id"
+                    },
                 })
             }
         }
@@ -599,7 +603,11 @@ mod tests {
         r.start = Timestamp(export.unix() - 10);
         r.end = Timestamp(export.unix() - 2);
         let pkt = encode(&[r], None, &t, export, boot, 0, 0);
-        assert_eq!((pkt.len() - HEADER_LEN) % 4, 0, "flowset must be 32-bit aligned");
+        assert_eq!(
+            (pkt.len() - HEADER_LEN) % 4,
+            0,
+            "flowset must be 32-bit aligned"
+        );
         let mut cache = TemplateCache::new();
         cache.insert(t);
         let (_, recs) = decode(&pkt, &mut cache).unwrap();
@@ -637,7 +645,10 @@ mod tests {
         cache.insert(Template::standard_v9(300));
         let shorter = Template::new(
             300,
-            vec![FieldSpec { field_type: field::IN_BYTES, length: 4 }],
+            vec![FieldSpec {
+                field_type: field::IN_BYTES,
+                length: 4,
+            }],
         )
         .unwrap();
         cache.insert(shorter.clone());

@@ -151,7 +151,10 @@ mod tests {
     fn display() {
         assert_eq!(IpProtocol::Tcp.to_string(), "TCP");
         assert_eq!(IpProtocol::Other(132).to_string(), "proto132");
-        assert_eq!(TcpFlags(TcpFlags::SYN | TcpFlags::ACK).to_string(), ".A..S.");
+        assert_eq!(
+            TcpFlags(TcpFlags::SYN | TcpFlags::ACK).to_string(),
+            ".A..S."
+        );
     }
 
     #[test]

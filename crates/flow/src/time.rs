@@ -272,11 +272,7 @@ fn civil_from_days(z: i64) -> (i32, u8, u8) {
     let mp = (5 * doy + 2) / 153; // [0, 11]
     let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
     let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
-    (
-        (y + i64::from(m <= 2)) as i32,
-        m,
-        d,
-    )
+    ((y + i64::from(m <= 2)) as i32, m, d)
 }
 
 #[cfg(test)]
@@ -351,8 +347,13 @@ mod tests {
         let d = Date::new(2020, 2, 27);
         assert_eq!(d.add_days(3), Date::new(2020, 3, 1)); // leap February
         assert_eq!(d.add_days(-27), Date::new(2020, 1, 31));
-        assert_eq!(Date::new(2020, 1, 1).days_until(Date::new(2020, 5, 11)), 131);
-        let count = Date::new(2020, 2, 28).range_inclusive(Date::new(2020, 5, 8)).count();
+        assert_eq!(
+            Date::new(2020, 1, 1).days_until(Date::new(2020, 5, 11)),
+            131
+        );
+        let count = Date::new(2020, 2, 28)
+            .range_inclusive(Date::new(2020, 5, 8))
+            .count();
         assert_eq!(count, 71); // EDU capture window: "72 days" per the paper counts both endpoints loosely
     }
 

@@ -205,10 +205,7 @@ mod tests {
         w.push(t0, &[7; 100]).unwrap();
         let bytes = w.finish();
         let mut r = TraceReader::open(&bytes[..bytes.len() - 10]).unwrap();
-        assert!(matches!(
-            r.next_record(),
-            Err(WireError::Truncated { .. })
-        ));
+        assert!(matches!(r.next_record(), Err(WireError::Truncated { .. })));
     }
 
     #[test]

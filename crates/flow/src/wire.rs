@@ -204,7 +204,10 @@ mod tests {
         let mut c = Cursor::new(&buf);
         assert_eq!(c.read_uint(3, "x").unwrap(), 0x00AB_CDEF);
         let mut c = Cursor::new(&buf);
-        assert!(matches!(c.read_uint(0, "x"), Err(WireError::BadLength { .. })));
+        assert!(matches!(
+            c.read_uint(0, "x"),
+            Err(WireError::BadLength { .. })
+        ));
     }
 
     #[test]

@@ -32,27 +32,32 @@ fn arb_record(export_unix: u64) -> impl Strategy<Value = FlowRecord> {
             0u32..65_000, // dst as
         ),
     )
-        .prop_map(move |((sa, da, sp, dp, proto, back, dur, bytes, pkts), (flags, inif, outif, sas, das))| {
-            let start = Timestamp::from_unix(export_unix - back - dur);
-            FlowRecord::builder(
-                FlowKey {
-                    src_addr: Ipv4Addr::from(sa),
-                    dst_addr: Ipv4Addr::from(da),
-                    src_port: sp,
-                    dst_port: dp,
-                    protocol: IpProtocol::from_number(proto),
-                },
-                start,
-            )
-            .end(start.add_secs(dur))
-            .bytes(bytes)
-            .packets(pkts)
-            .tcp_flags(TcpFlags(flags))
-            .interfaces(inif, outif)
-            .asns(sas, das)
-            .direction(Direction::Egress)
-            .build()
-        })
+        .prop_map(
+            move |(
+                (sa, da, sp, dp, proto, back, dur, bytes, pkts),
+                (flags, inif, outif, sas, das),
+            )| {
+                let start = Timestamp::from_unix(export_unix - back - dur);
+                FlowRecord::builder(
+                    FlowKey {
+                        src_addr: Ipv4Addr::from(sa),
+                        dst_addr: Ipv4Addr::from(da),
+                        src_port: sp,
+                        dst_port: dp,
+                        protocol: IpProtocol::from_number(proto),
+                    },
+                    start,
+                )
+                .end(start.add_secs(dur))
+                .bytes(bytes)
+                .packets(pkts)
+                .tcp_flags(TcpFlags(flags))
+                .interfaces(inif, outif)
+                .asns(sas, das)
+                .direction(Direction::Egress)
+                .build()
+            },
+        )
 }
 
 const EXPORT_UNIX: u64 = 1_585_000_000; // 2020-03-23, within the study window
@@ -162,8 +167,8 @@ proptest! {
 }
 
 mod tracefile_props {
-    use lockdown_flow::tracefile::{TraceReader, TraceWriter};
     use lockdown_flow::time::Timestamp;
+    use lockdown_flow::tracefile::{TraceReader, TraceWriter};
     use proptest::prelude::*;
 
     proptest! {

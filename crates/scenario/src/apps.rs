@@ -25,12 +25,18 @@ pub struct PortSig {
 impl PortSig {
     /// TCP port shorthand.
     pub const fn tcp(port: u16) -> PortSig {
-        PortSig { protocol: IpProtocol::Tcp, port }
+        PortSig {
+            protocol: IpProtocol::Tcp,
+            port,
+        }
     }
 
     /// UDP port shorthand.
     pub const fn udp(port: u16) -> PortSig {
-        PortSig { protocol: IpProtocol::Udp, port }
+        PortSig {
+            protocol: IpProtocol::Udp,
+            port,
+        }
     }
 }
 
@@ -166,8 +172,14 @@ impl AppClass {
             PortSig::tcp(1723),
         ];
         const VPN_S2S: &[PortSig] = &[
-            PortSig { protocol: IpProtocol::Gre, port: 0 },
-            PortSig { protocol: IpProtocol::Esp, port: 0 },
+            PortSig {
+                protocol: IpProtocol::Gre,
+                port: 0,
+            },
+            PortSig {
+                protocol: IpProtocol::Esp,
+                port: 0,
+            },
         ];
         const CF_LB: &[PortSig] = &[PortSig::udp(2408)];
         const UNKNOWN: &[PortSig] = &[PortSig::tcp(25461)];
@@ -244,7 +256,11 @@ impl AppClass {
             AppClass::RemoteDesktop => &[AsCategory::Enterprise, AsCategory::CloudProvider],
             AppClass::Ssh => &[AsCategory::CloudProvider, AsCategory::Enterprise],
             AppClass::MusicStreaming => &[AsCategory::MusicStreaming],
-            AppClass::Other => &[AsCategory::Hosting, AsCategory::Transit, AsCategory::Enterprise],
+            AppClass::Other => &[
+                AsCategory::Hosting,
+                AsCategory::Transit,
+                AsCategory::Enterprise,
+            ],
         }
     }
 
@@ -256,7 +272,7 @@ impl AppClass {
             AppClass::Web => 0.72,
             AppClass::Vod => 0.75,
             AppClass::SocialMedia => 0.85,
-            AppClass::Cdn => 0.35, // Table 1 CDNs are the non-HG ones
+            AppClass::Cdn => 0.35,     // Table 1 CDNs are the non-HG ones
             AppClass::WebConf => 0.45, // Teams/Skype (MS) vs Zoom
             AppClass::Messaging => 0.40,
             AppClass::Email => 0.30,
@@ -292,8 +308,8 @@ impl AppClass {
             AppClass::Gaming => &[8_075, 16_509], // Xbox Live, Amazon-hosted games
             // Everything else draws from the full Table 2 list.
             _ => &[
-                714, 16_509, 32_934, 15_169, 20_940, 10_310, 2_906, 6_939, 16_276, 22_822,
-                8_075, 13_414, 46_489, 13_335, 15_133,
+                714, 16_509, 32_934, 15_169, 20_940, 10_310, 2_906, 6_939, 16_276, 22_822, 8_075,
+                13_414, 46_489, 13_335, 15_133,
             ],
         }
     }
@@ -339,32 +355,71 @@ impl fmt::Display for AppClass {
 /// Steam, consoles, major titles).
 pub const GAMING_PORTS: &[PortSig] = &[
     // Steam & Source engine
-    PortSig::udp(27015), PortSig::tcp(27015), PortSig::udp(27016), PortSig::udp(27017),
-    PortSig::udp(27018), PortSig::udp(27019), PortSig::udp(27020), PortSig::udp(27031),
-    PortSig::udp(27036), PortSig::tcp(27036), PortSig::udp(4380),
+    PortSig::udp(27015),
+    PortSig::tcp(27015),
+    PortSig::udp(27016),
+    PortSig::udp(27017),
+    PortSig::udp(27018),
+    PortSig::udp(27019),
+    PortSig::udp(27020),
+    PortSig::udp(27031),
+    PortSig::udp(27036),
+    PortSig::tcp(27036),
+    PortSig::udp(4380),
     // Xbox Live / PSN
-    PortSig::udp(3074), PortSig::tcp(3074), PortSig::udp(3075), PortSig::udp(3076),
-    PortSig::udp(3478), PortSig::udp(3479), PortSig::tcp(3480), PortSig::udp(9308),
+    PortSig::udp(3074),
+    PortSig::tcp(3074),
+    PortSig::udp(3075),
+    PortSig::udp(3076),
+    PortSig::udp(3478),
+    PortSig::udp(3479),
+    PortSig::tcp(3480),
+    PortSig::udp(9308),
     // Riot (League of Legends; referenced in Table 1's sources)
-    PortSig::udp(5000), PortSig::udp(5100), PortSig::udp(5200), PortSig::udp(5300),
-    PortSig::udp(5500), PortSig::tcp(5222), PortSig::tcp(5223), PortSig::tcp(2099),
-    PortSig::tcp(8393), PortSig::tcp(8400),
+    PortSig::udp(5000),
+    PortSig::udp(5100),
+    PortSig::udp(5200),
+    PortSig::udp(5300),
+    PortSig::udp(5500),
+    PortSig::tcp(5222),
+    PortSig::tcp(5223),
+    PortSig::tcp(2099),
+    PortSig::tcp(8393),
+    PortSig::tcp(8400),
     // Blizzard
-    PortSig::tcp(1119), PortSig::udp(1119), PortSig::udp(6113), PortSig::tcp(6113),
-    PortSig::tcp(3724), PortSig::udp(3724),
+    PortSig::tcp(1119),
+    PortSig::udp(1119),
+    PortSig::udp(6113),
+    PortSig::tcp(6113),
+    PortSig::tcp(3724),
+    PortSig::udp(3724),
     // Fortnite / Epic
-    PortSig::udp(9000), PortSig::udp(9001), PortSig::udp(9002), PortSig::udp(5795),
-    PortSig::udp(5796), PortSig::udp(5797),
+    PortSig::udp(9000),
+    PortSig::udp(9001),
+    PortSig::udp(9002),
+    PortSig::udp(5795),
+    PortSig::udp(5796),
+    PortSig::udp(5797),
     // Minecraft / misc
-    PortSig::tcp(25565), PortSig::udp(19132), PortSig::udp(19133),
+    PortSig::tcp(25565),
+    PortSig::udp(19132),
+    PortSig::udp(19133),
     // Cloud gaming (Stadia/GeForce Now style RTP ranges)
-    PortSig::udp(44700), PortSig::udp(44800), PortSig::udp(44810), PortSig::tcp(49005),
+    PortSig::udp(44700),
+    PortSig::udp(44800),
+    PortSig::udp(44810),
+    PortSig::tcp(49005),
     PortSig::udp(49006),
     // Voice for gaming (Discord/TeamSpeak/Mumble)
-    PortSig::udp(50000), PortSig::udp(9987), PortSig::tcp(30033), PortSig::udp(64738),
+    PortSig::udp(50000),
+    PortSig::udp(9987),
+    PortSig::tcp(30033),
+    PortSig::udp(64738),
     PortSig::tcp(64738),
     // Classic shooters
-    PortSig::udp(27960), PortSig::udp(28960), PortSig::udp(7777),
+    PortSig::udp(27960),
+    PortSig::udp(28960),
+    PortSig::udp(7777),
 ];
 
 /// Port pool for the long tail of unclassified traffic.
@@ -426,7 +481,11 @@ mod tests {
         assert_eq!(PortSig::tcp(443).to_string(), "TCP/443");
         assert_eq!(PortSig::udp(4500).to_string(), "UDP/4500");
         assert_eq!(
-            PortSig { protocol: IpProtocol::Gre, port: 0 }.to_string(),
+            PortSig {
+                protocol: IpProtocol::Gre,
+                port: 0
+            }
+            .to_string(),
             "GRE"
         );
     }

@@ -106,46 +106,179 @@ impl AnalysisWeek {
 /// the ISP run Thu–Wed starting Feb 19 (a Wednesday); we anchor each week
 /// at the paper's first named day.
 pub const FIG3_WEEKS: [AnalysisWeek; 4] = [
-    AnalysisWeek { label: "base", start: Date { year: 2020, month: 2, day: 19 } },
-    AnalysisWeek { label: "stage1", start: Date { year: 2020, month: 3, day: 18 } },
-    AnalysisWeek { label: "stage2", start: Date { year: 2020, month: 4, day: 22 } },
-    AnalysisWeek { label: "stage3", start: Date { year: 2020, month: 5, day: 10 } },
+    AnalysisWeek {
+        label: "base",
+        start: Date {
+            year: 2020,
+            month: 2,
+            day: 19,
+        },
+    },
+    AnalysisWeek {
+        label: "stage1",
+        start: Date {
+            year: 2020,
+            month: 3,
+            day: 18,
+        },
+    },
+    AnalysisWeek {
+        label: "stage2",
+        start: Date {
+            year: 2020,
+            month: 4,
+            day: 22,
+        },
+    },
+    AnalysisWeek {
+        label: "stage3",
+        start: Date {
+            year: 2020,
+            month: 5,
+            day: 10,
+        },
+    },
 ];
 
 /// §4 port-analysis weeks at the ISP-CE: Feb 20–26, Mar 19–25, Apr 9–15.
 pub const PORTS_ISP_WEEKS: [AnalysisWeek; 3] = [
-    AnalysisWeek { label: "february", start: Date { year: 2020, month: 2, day: 20 } },
-    AnalysisWeek { label: "march", start: Date { year: 2020, month: 3, day: 19 } },
-    AnalysisWeek { label: "april", start: Date { year: 2020, month: 4, day: 9 } },
+    AnalysisWeek {
+        label: "february",
+        start: Date {
+            year: 2020,
+            month: 2,
+            day: 20,
+        },
+    },
+    AnalysisWeek {
+        label: "march",
+        start: Date {
+            year: 2020,
+            month: 3,
+            day: 19,
+        },
+    },
+    AnalysisWeek {
+        label: "april",
+        start: Date {
+            year: 2020,
+            month: 4,
+            day: 9,
+        },
+    },
 ];
 
 /// §4/§5 weeks at the IXPs: Feb 20–26, Mar 19–25 (§5 uses Mar 12), Apr 23–29.
 pub const PORTS_IXP_WEEKS: [AnalysisWeek; 3] = [
-    AnalysisWeek { label: "february", start: Date { year: 2020, month: 2, day: 20 } },
-    AnalysisWeek { label: "march", start: Date { year: 2020, month: 3, day: 19 } },
-    AnalysisWeek { label: "april", start: Date { year: 2020, month: 4, day: 23 } },
+    AnalysisWeek {
+        label: "february",
+        start: Date {
+            year: 2020,
+            month: 2,
+            day: 20,
+        },
+    },
+    AnalysisWeek {
+        label: "march",
+        start: Date {
+            year: 2020,
+            month: 3,
+            day: 19,
+        },
+    },
+    AnalysisWeek {
+        label: "april",
+        start: Date {
+            year: 2020,
+            month: 4,
+            day: 23,
+        },
+    },
 ];
 
 /// §5 application-class weeks for the IXPs: "Feb 20, Mar 12, Apr 23".
 pub const APPCLASS_IXP_WEEKS: [AnalysisWeek; 3] = [
-    AnalysisWeek { label: "base", start: Date { year: 2020, month: 2, day: 20 } },
-    AnalysisWeek { label: "stage1", start: Date { year: 2020, month: 3, day: 12 } },
-    AnalysisWeek { label: "stage2", start: Date { year: 2020, month: 4, day: 23 } },
+    AnalysisWeek {
+        label: "base",
+        start: Date {
+            year: 2020,
+            month: 2,
+            day: 20,
+        },
+    },
+    AnalysisWeek {
+        label: "stage1",
+        start: Date {
+            year: 2020,
+            month: 3,
+            day: 12,
+        },
+    },
+    AnalysisWeek {
+        label: "stage2",
+        start: Date {
+            year: 2020,
+            month: 4,
+            day: 23,
+        },
+    },
 ];
 
 /// §5 application-class weeks for the ISP: "Feb 20, Mar 19, Apr 9".
 pub const APPCLASS_ISP_WEEKS: [AnalysisWeek; 3] = [
-    AnalysisWeek { label: "base", start: Date { year: 2020, month: 2, day: 20 } },
-    AnalysisWeek { label: "stage1", start: Date { year: 2020, month: 3, day: 19 } },
-    AnalysisWeek { label: "stage2", start: Date { year: 2020, month: 4, day: 9 } },
+    AnalysisWeek {
+        label: "base",
+        start: Date {
+            year: 2020,
+            month: 2,
+            day: 20,
+        },
+    },
+    AnalysisWeek {
+        label: "stage1",
+        start: Date {
+            year: 2020,
+            month: 3,
+            day: 19,
+        },
+    },
+    AnalysisWeek {
+        label: "stage2",
+        start: Date {
+            year: 2020,
+            month: 4,
+            day: 9,
+        },
+    },
 ];
 
 /// §7 EDU weeks: baseline Feb 27–Mar 4, transition Mar 12–18,
 /// online-lecturing Apr 16–22.
 pub const EDU_WEEKS: [AnalysisWeek; 3] = [
-    AnalysisWeek { label: "base", start: Date { year: 2020, month: 2, day: 27 } },
-    AnalysisWeek { label: "transition", start: Date { year: 2020, month: 3, day: 12 } },
-    AnalysisWeek { label: "online-lecturing", start: Date { year: 2020, month: 4, day: 16 } },
+    AnalysisWeek {
+        label: "base",
+        start: Date {
+            year: 2020,
+            month: 2,
+            day: 27,
+        },
+    },
+    AnalysisWeek {
+        label: "transition",
+        start: Date {
+            year: 2020,
+            month: 3,
+            day: 12,
+        },
+    },
+    AnalysisWeek {
+        label: "online-lecturing",
+        start: Date {
+            year: 2020,
+            month: 4,
+            day: 16,
+        },
+    },
 ];
 
 #[cfg(test)]

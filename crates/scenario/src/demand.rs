@@ -153,7 +153,11 @@ impl DemandModel {
             AppClass::Quic => {
                 // The morning boost is the families-at-home effect: a
                 // lockdown-workday phenomenon.
-                let morning = if workday && (8..13).contains(&hour) { 1.0 } else { 0.0 };
+                let morning = if workday && (8..13).contains(&hour) {
+                    1.0
+                } else {
+                    0.0
+                };
                 match kind {
                     VantageKind::Isp => 1.0 + i * (0.40 + 0.45 * morning),
                     _ => 1.0 + 0.50 * i,
@@ -368,9 +372,7 @@ pub fn weekend_level(app: AppClass) -> f64 {
     use AppClass::*;
     match app {
         Vod | Gaming | TvStreaming | SocialMedia | MusicStreaming => 1.30,
-        Email | VpnUser | VpnTls | WebConf | CollabWork | RemoteDesktop | Educational | Ssh => {
-            0.40
-        }
+        Email | VpnUser | VpnTls | WebConf | CollabWork | RemoteDesktop | Educational | Ssh => 0.40,
         VpnSiteToSite => 0.55,
         _ => 0.95,
     }
@@ -380,10 +382,7 @@ pub fn weekend_level(app: AppClass) -> f64 {
 /// Weights are normalized so shares sum to 1 per vantage point.
 pub fn app_share(vp: VantagePoint, app: AppClass) -> f64 {
     let weights = share_weights(vp.kind());
-    let total: f64 = AppClass::ALL
-        .iter()
-        .map(|&a| raw_weight(weights, a))
-        .sum();
+    let total: f64 = AppClass::ALL.iter().map(|&a| raw_weight(weights, a)).sum();
     raw_weight(weights, app) / total
 }
 
@@ -541,7 +540,10 @@ mod tests {
 
     /// Mean daily volume of a vantage point on a date.
     fn daily(m: &DemandModel, vp: VantagePoint, date: Date) -> f64 {
-        (0..24).map(|h| m.total_volume_gbps(vp, date, h)).sum::<f64>() / 24.0
+        (0..24)
+            .map(|h| m.total_volume_gbps(vp, date, h))
+            .sum::<f64>()
+            / 24.0
     }
 
     /// Weekly mean centred on a Wednesday.
@@ -576,7 +578,10 @@ mod tests {
         .iter()
         .map(|&a| app_share(VantagePoint::IspCe, a))
         .sum();
-        assert!(isp_web > 0.60 && isp_web < 0.80, "ISP web-port share {isp_web}");
+        assert!(
+            isp_web > 0.60 && isp_web < 0.80,
+            "ISP web-port share {isp_web}"
+        );
     }
 
     #[test]
@@ -594,7 +599,10 @@ mod tests {
         // …and relaxes to ~6% by mid-May.
         let stage3 = weekly(&m, VantagePoint::IspCe, Date::new(2020, 5, 13));
         let late = stage3 / base - 1.0;
-        assert!(late < growth * 0.75, "ISP growth must decay: {late} vs {growth}");
+        assert!(
+            late < growth * 0.75,
+            "ISP growth must decay: {late} vs {growth}"
+        );
     }
 
     #[test]
@@ -618,7 +626,10 @@ mod tests {
         let g_mar = march / base - 1.0;
         let g_apr = april / base - 1.0;
         assert!(g_mar < 0.12, "US March growth should be small: {g_mar}");
-        assert!(g_apr > g_mar + 0.03, "US April must exceed March: {g_apr} vs {g_mar}");
+        assert!(
+            g_apr > g_mar + 0.03,
+            "US April must exceed March: {g_apr} vs {g_mar}"
+        );
     }
 
     #[test]
@@ -629,16 +640,30 @@ mod tests {
         assert!(apr < base, "mobile traffic should dip");
         let rbase = weekly(&m, VantagePoint::RoamingIpx, Date::new(2020, 2, 19));
         let rapr = weekly(&m, VantagePoint::RoamingIpx, Date::new(2020, 4, 1));
-        assert!(rapr / rbase < 0.75, "roaming should collapse: {}", rapr / rbase);
+        assert!(
+            rapr / rbase < 0.75,
+            "roaming should collapse: {}",
+            rapr / rbase
+        );
     }
 
     #[test]
     fn webconf_exceeds_200_percent_in_business_hours() {
         let m = model();
-        let g = m.growth(VantagePoint::IxpCe, AppClass::WebConf, Date::new(2020, 4, 1), 11);
+        let g = m.growth(
+            VantagePoint::IxpCe,
+            AppClass::WebConf,
+            Date::new(2020, 4, 1),
+            11,
+        );
         assert!(g > 3.0, "Webconf growth {g} must exceed 200%");
         // Weekend growth at IXP-CE is much smaller.
-        let gw = m.growth(VantagePoint::IxpCe, AppClass::WebConf, Date::new(2020, 4, 4), 11);
+        let gw = m.growth(
+            VantagePoint::IxpCe,
+            AppClass::WebConf,
+            Date::new(2020, 4, 4),
+            11,
+        );
         assert!(gw < g / 2.0);
     }
 
@@ -650,8 +675,14 @@ mod tests {
         let us_msg = m.growth(VantagePoint::IxpUs, AppClass::Messaging, d, 11);
         let eu_mail = m.growth(VantagePoint::IxpCe, AppClass::Email, d, 11);
         let us_mail = m.growth(VantagePoint::IxpUs, AppClass::Email, d, 11);
-        assert!(eu_msg > 3.0 && us_msg < 1.0, "messaging: EU {eu_msg}, US {us_msg}");
-        assert!(us_mail > 2.0 && eu_mail < 1.8, "email: EU {eu_mail}, US {us_mail}");
+        assert!(
+            eu_msg > 3.0 && us_msg < 1.0,
+            "messaging: EU {eu_msg}, US {us_msg}"
+        );
+        assert!(
+            us_mail > 2.0 && eu_mail < 1.8,
+            "email: EU {eu_mail}, US {us_mail}"
+        );
     }
 
     #[test]
@@ -661,7 +692,10 @@ mod tests {
         let d_post = Date::new(2020, 5, 13);
         assert_eq!(event_factor(VantagePoint::IxpCe, AppClass::Vod, d_pre), 1.0);
         assert!(event_factor(VantagePoint::IxpCe, AppClass::Vod, d_in) < 1.0);
-        assert_eq!(event_factor(VantagePoint::IxpCe, AppClass::Vod, d_post), 1.0);
+        assert_eq!(
+            event_factor(VantagePoint::IxpCe, AppClass::Vod, d_post),
+            1.0
+        );
         // US streams were not degraded.
         assert_eq!(event_factor(VantagePoint::IxpUs, AppClass::Vod, d_in), 1.0);
     }
@@ -672,7 +706,11 @@ mod tests {
         assert!(event_factor(VantagePoint::IxpSe, AppClass::Gaming, d) < 0.2);
         assert_eq!(event_factor(VantagePoint::IxpCe, AppClass::Gaming, d), 1.0);
         assert_eq!(
-            event_factor(VantagePoint::IxpSe, AppClass::Gaming, Date::new(2020, 3, 20)),
+            event_factor(
+                VantagePoint::IxpSe,
+                AppClass::Gaming,
+                Date::new(2020, 3, 20)
+            ),
             1.0
         );
     }
@@ -680,8 +718,18 @@ mod tests {
     #[test]
     fn social_media_pulse_decays() {
         let m = model();
-        let g_early = m.growth(VantagePoint::IspCe, AppClass::SocialMedia, Date::new(2020, 3, 24), 20);
-        let g_late = m.growth(VantagePoint::IspCe, AppClass::SocialMedia, Date::new(2020, 4, 28), 20);
+        let g_early = m.growth(
+            VantagePoint::IspCe,
+            AppClass::SocialMedia,
+            Date::new(2020, 3, 24),
+            20,
+        );
+        let g_late = m.growth(
+            VantagePoint::IspCe,
+            AppClass::SocialMedia,
+            Date::new(2020, 4, 28),
+            20,
+        );
         assert!(g_early > 1.4, "stage-1 social growth {g_early}");
         assert!(g_late < g_early, "social pulse must decay");
         assert!(g_late > 1.05, "some growth persists");
@@ -708,12 +756,35 @@ mod tests {
     fn diurnal_morphs_to_weekend_like() {
         let m = model();
         // Pre-lockdown workday at 10:00: low. Lockdown workday: high.
-        let pre = m.diurnal_weight(VantagePoint::IspCe, AppClass::Web, Date::new(2020, 2, 19), 10);
-        let post = m.diurnal_weight(VantagePoint::IspCe, AppClass::Web, Date::new(2020, 3, 25), 10);
-        assert!(post > 1.3 * pre, "morning weight must rise: {pre} -> {post}");
+        let pre = m.diurnal_weight(
+            VantagePoint::IspCe,
+            AppClass::Web,
+            Date::new(2020, 2, 19),
+            10,
+        );
+        let post = m.diurnal_weight(
+            VantagePoint::IspCe,
+            AppClass::Web,
+            Date::new(2020, 3, 25),
+            10,
+        );
+        assert!(
+            post > 1.3 * pre,
+            "morning weight must rise: {pre} -> {post}"
+        );
         // Evening peaks comparable.
-        let pre_e = m.diurnal_weight(VantagePoint::IspCe, AppClass::Web, Date::new(2020, 2, 19), 21);
-        let post_e = m.diurnal_weight(VantagePoint::IspCe, AppClass::Web, Date::new(2020, 3, 25), 21);
+        let pre_e = m.diurnal_weight(
+            VantagePoint::IspCe,
+            AppClass::Web,
+            Date::new(2020, 2, 19),
+            21,
+        );
+        let post_e = m.diurnal_weight(
+            VantagePoint::IspCe,
+            AppClass::Web,
+            Date::new(2020, 3, 25),
+            21,
+        );
         // Shapes are mean-normalized, so the evening weight of the flatter
         // lockdown profile sits a bit below the workday one; Fig. 2a's
         // "roughly the same volume during evening" comes from growth ×
@@ -725,7 +796,11 @@ mod tests {
     fn volume_positive_and_finite() {
         let m = model();
         for vp in VantagePoint::ALL {
-            for d in [Date::new(2020, 1, 10), Date::new(2020, 3, 25), Date::new(2020, 5, 15)] {
+            for d in [
+                Date::new(2020, 1, 10),
+                Date::new(2020, 3, 25),
+                Date::new(2020, 5, 15),
+            ] {
                 for h in [0u8, 6, 12, 18, 23] {
                     let v = m.total_volume_gbps(vp, d, h);
                     assert!(v.is_finite() && v > 0.0, "{vp} {d:?} {h}: {v}");

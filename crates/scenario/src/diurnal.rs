@@ -42,29 +42,37 @@ fn template(profile: DiurnalProfile) -> [f64; 24] {
     match profile {
         // Hours:            0    1    2    3    4    5    6    7    8    9   10   11   12   13   14   15   16   17   18   19   20   21   22   23
         DiurnalProfile::ResidentialWorkday => [
-                            0.45, 0.32, 0.25, 0.22, 0.20, 0.22, 0.30, 0.42, 0.52, 0.58, 0.62, 0.66, 0.68, 0.66, 0.68, 0.72, 0.82, 0.98, 1.18, 1.42, 1.62, 1.68, 1.40, 0.90,
+            0.45, 0.32, 0.25, 0.22, 0.20, 0.22, 0.30, 0.42, 0.52, 0.58, 0.62, 0.66, 0.68, 0.66,
+            0.68, 0.72, 0.82, 0.98, 1.18, 1.42, 1.62, 1.68, 1.40, 0.90,
         ],
         DiurnalProfile::ResidentialWeekend => [
-                            0.55, 0.40, 0.30, 0.25, 0.22, 0.22, 0.26, 0.36, 0.55, 0.85, 1.05, 1.15, 1.18, 1.12, 1.10, 1.12, 1.18, 1.25, 1.35, 1.50, 1.62, 1.65, 1.40, 0.95,
+            0.55, 0.40, 0.30, 0.25, 0.22, 0.22, 0.26, 0.36, 0.55, 0.85, 1.05, 1.15, 1.18, 1.12,
+            1.10, 1.12, 1.18, 1.25, 1.35, 1.50, 1.62, 1.65, 1.40, 0.95,
         ],
         DiurnalProfile::ResidentialLockdown => [
-                            0.55, 0.40, 0.30, 0.25, 0.22, 0.24, 0.30, 0.48, 0.80, 1.08, 1.22, 1.26, 1.15, 1.20, 1.25, 1.28, 1.30, 1.32, 1.38, 1.50, 1.62, 1.66, 1.42, 0.98,
+            0.55, 0.40, 0.30, 0.25, 0.22, 0.24, 0.30, 0.48, 0.80, 1.08, 1.22, 1.26, 1.15, 1.20,
+            1.25, 1.28, 1.30, 1.32, 1.38, 1.50, 1.62, 1.66, 1.42, 0.98,
         ],
         DiurnalProfile::BusinessHours => [
-                            0.25, 0.20, 0.18, 0.18, 0.18, 0.22, 0.35, 0.65, 1.20, 1.75, 1.90, 1.85, 1.45, 1.65, 1.85, 1.80, 1.60, 1.25, 0.85, 0.60, 0.50, 0.45, 0.38, 0.30,
+            0.25, 0.20, 0.18, 0.18, 0.18, 0.22, 0.35, 0.65, 1.20, 1.75, 1.90, 1.85, 1.45, 1.65,
+            1.85, 1.80, 1.60, 1.25, 0.85, 0.60, 0.50, 0.45, 0.38, 0.30,
         ],
         DiurnalProfile::Campus => [
-                            0.12, 0.10, 0.08, 0.08, 0.08, 0.10, 0.25, 0.70, 1.40, 1.95, 2.10, 2.05, 1.70, 1.80, 2.00, 1.95, 1.75, 1.45, 1.05, 0.70, 0.45, 0.30, 0.20, 0.15,
+            0.12, 0.10, 0.08, 0.08, 0.08, 0.10, 0.25, 0.70, 1.40, 1.95, 2.10, 2.05, 1.70, 1.80,
+            2.00, 1.95, 1.75, 1.45, 1.05, 0.70, 0.45, 0.30, 0.20, 0.15,
         ],
         DiurnalProfile::EveningEntertainment => [
-                            0.50, 0.32, 0.22, 0.18, 0.15, 0.15, 0.18, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.75, 0.78, 0.85, 1.00, 1.25, 1.60, 2.00, 2.30, 2.25, 1.75, 1.00,
+            0.50, 0.32, 0.22, 0.18, 0.15, 0.15, 0.18, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.75,
+            0.78, 0.85, 1.00, 1.25, 1.60, 2.00, 2.30, 2.25, 1.75, 1.00,
         ],
         DiurnalProfile::GamingEvening => [
-                            0.60, 0.40, 0.25, 0.18, 0.15, 0.15, 0.18, 0.25, 0.40, 0.55, 0.70, 0.85, 0.95, 1.00, 1.10, 1.25, 1.50, 1.75, 1.95, 2.05, 2.00, 1.80, 1.40, 0.90,
+            0.60, 0.40, 0.25, 0.18, 0.15, 0.15, 0.18, 0.25, 0.40, 0.55, 0.70, 0.85, 0.95, 1.00,
+            1.10, 1.25, 1.50, 1.75, 1.95, 2.05, 2.00, 1.80, 1.40, 0.90,
         ],
         DiurnalProfile::Flat => [1.0; 24],
         DiurnalProfile::OverseasNight => [
-                            1.90, 1.95, 2.00, 2.10, 2.10, 1.95, 1.70, 1.30, 0.80, 0.50, 0.40, 0.35, 0.35, 0.40, 0.45, 0.50, 0.60, 0.80, 1.00, 1.15, 1.25, 1.35, 1.55, 1.75,
+            1.90, 1.95, 2.00, 2.10, 2.10, 1.95, 1.70, 1.30, 0.80, 0.50, 0.40, 0.35, 0.35, 0.40,
+            0.45, 0.50, 0.60, 0.80, 1.00, 1.15, 1.25, 1.35, 1.55, 1.75,
         ],
     }
 }

@@ -368,9 +368,21 @@ mod tests {
         let base = Date::new(2020, 2, 27);
         let online = Date::new(2020, 4, 23);
         let g = |c: EduClass| m.daily_connections(c, online) / m.daily_connections(c, base);
-        assert!(g(EduClass::SpotifyOut) < 0.30, "Spotify {}", g(EduClass::SpotifyOut));
-        assert!(g(EduClass::PushNotifOut) < 0.50, "push {}", g(EduClass::PushNotifOut));
-        assert!(g(EduClass::WebOut) < 0.65, "web out {}", g(EduClass::WebOut));
+        assert!(
+            g(EduClass::SpotifyOut) < 0.30,
+            "Spotify {}",
+            g(EduClass::SpotifyOut)
+        );
+        assert!(
+            g(EduClass::PushNotifOut) < 0.50,
+            "push {}",
+            g(EduClass::PushNotifOut)
+        );
+        assert!(
+            g(EduClass::WebOut) < 0.65,
+            "web out {}",
+            g(EduClass::WebOut)
+        );
     }
 
     #[test]
@@ -391,7 +403,8 @@ mod tests {
         // levels.
         let m = model();
         let pre_weekend = m.daily_connections(EduClass::HypergiantWebOut, Date::new(2020, 2, 29));
-        let online_workday = m.daily_connections(EduClass::HypergiantWebOut, Date::new(2020, 4, 21));
+        let online_workday =
+            m.daily_connections(EduClass::HypergiantWebOut, Date::new(2020, 4, 21));
         assert!(online_workday < pre_weekend);
         let q_pre = m.daily_connections(EduClass::QuicOut, Date::new(2020, 2, 29));
         let q_post = m.daily_connections(EduClass::QuicOut, Date::new(2020, 4, 21));

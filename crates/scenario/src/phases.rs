@@ -143,7 +143,10 @@ mod tests {
         let t = RegionTimeline::for_region(Region::CentralEurope);
         assert_eq!(t.phase(Date::new(2020, 1, 15)), LockdownPhase::PreCovid);
         assert_eq!(t.phase(Date::new(2020, 2, 10)), LockdownPhase::Outbreak);
-        assert_eq!(t.phase(Date::new(2020, 3, 10)), LockdownPhase::InitialResponse);
+        assert_eq!(
+            t.phase(Date::new(2020, 3, 10)),
+            LockdownPhase::InitialResponse
+        );
         assert_eq!(t.phase(Date::new(2020, 3, 25)), LockdownPhase::Lockdown);
         assert_eq!(t.phase(Date::new(2020, 5, 1)), LockdownPhase::Relaxation);
     }

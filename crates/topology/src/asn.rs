@@ -143,7 +143,11 @@ pub enum Region {
 
 impl Region {
     /// All regions.
-    pub const ALL: [Region; 3] = [Region::CentralEurope, Region::SouthernEurope, Region::UsEast];
+    pub const ALL: [Region; 3] = [
+        Region::CentralEurope,
+        Region::SouthernEurope,
+        Region::UsEast,
+    ];
 }
 
 impl fmt::Display for Region {

@@ -18,21 +18,66 @@ pub struct Hypergiant {
 
 /// Table 2, verbatim.
 pub const HYPERGIANTS: [Hypergiant; 15] = [
-    Hypergiant { name: "Apple Inc", asn: Asn(714) },
-    Hypergiant { name: "Amazon.com", asn: Asn(16509) },
-    Hypergiant { name: "Facebook", asn: Asn(32934) },
-    Hypergiant { name: "Google Inc.", asn: Asn(15169) },
-    Hypergiant { name: "Akamai Technologies", asn: Asn(20940) },
-    Hypergiant { name: "Yahoo!", asn: Asn(10310) },
-    Hypergiant { name: "Netflix", asn: Asn(2906) },
-    Hypergiant { name: "Hurricane Electric", asn: Asn(6939) },
-    Hypergiant { name: "OVH", asn: Asn(16276) },
-    Hypergiant { name: "Limelight Networks Global", asn: Asn(22822) },
-    Hypergiant { name: "Microsoft", asn: Asn(8075) },
-    Hypergiant { name: "Twitter, Inc.", asn: Asn(13414) },
-    Hypergiant { name: "Twitch", asn: Asn(46489) },
-    Hypergiant { name: "Cloudflare", asn: Asn(13335) },
-    Hypergiant { name: "Verizon Digital Media Services", asn: Asn(15133) },
+    Hypergiant {
+        name: "Apple Inc",
+        asn: Asn(714),
+    },
+    Hypergiant {
+        name: "Amazon.com",
+        asn: Asn(16509),
+    },
+    Hypergiant {
+        name: "Facebook",
+        asn: Asn(32934),
+    },
+    Hypergiant {
+        name: "Google Inc.",
+        asn: Asn(15169),
+    },
+    Hypergiant {
+        name: "Akamai Technologies",
+        asn: Asn(20940),
+    },
+    Hypergiant {
+        name: "Yahoo!",
+        asn: Asn(10310),
+    },
+    Hypergiant {
+        name: "Netflix",
+        asn: Asn(2906),
+    },
+    Hypergiant {
+        name: "Hurricane Electric",
+        asn: Asn(6939),
+    },
+    Hypergiant {
+        name: "OVH",
+        asn: Asn(16276),
+    },
+    Hypergiant {
+        name: "Limelight Networks Global",
+        asn: Asn(22822),
+    },
+    Hypergiant {
+        name: "Microsoft",
+        asn: Asn(8075),
+    },
+    Hypergiant {
+        name: "Twitter, Inc.",
+        asn: Asn(13414),
+    },
+    Hypergiant {
+        name: "Twitch",
+        asn: Asn(46489),
+    },
+    Hypergiant {
+        name: "Cloudflare",
+        asn: Asn(13335),
+    },
+    Hypergiant {
+        name: "Verizon Digital Media Services",
+        asn: Asn(15133),
+    },
 ];
 
 /// Whether an ASN is one of the paper's 15 hypergiants.

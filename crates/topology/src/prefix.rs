@@ -25,7 +25,11 @@ impl Ipv4Prefix {
     pub fn new(addr: Ipv4Addr, len: u8) -> Ipv4Prefix {
         assert!(len <= 32, "prefix length out of range: {len}");
         let raw = u32::from(addr);
-        let masked = if len == 0 { 0 } else { raw & (u32::MAX << (32 - len)) };
+        let masked = if len == 0 {
+            0
+        } else {
+            raw & (u32::MAX << (32 - len))
+        };
         Ipv4Prefix { addr: masked, len }
     }
 

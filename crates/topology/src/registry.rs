@@ -64,9 +64,27 @@ impl Registry {
         }
 
         // The vantage-point networks themselves.
-        b.add(ISP_CE_ASN, "ISP-CE Broadband", AsCategory::EyeballIsp, Region::CentralEurope, 16);
-        b.add(EDU_ASN, "EDU Metropolitan Research Network", AsCategory::Educational, Region::SouthernEurope, 4);
-        b.add(MOBILE_ASN, "Mobile-CE Wireless", AsCategory::MobileOperator, Region::CentralEurope, 8);
+        b.add(
+            ISP_CE_ASN,
+            "ISP-CE Broadband",
+            AsCategory::EyeballIsp,
+            Region::CentralEurope,
+            16,
+        );
+        b.add(
+            EDU_ASN,
+            "EDU Metropolitan Research Network",
+            AsCategory::Educational,
+            Region::SouthernEurope,
+            4,
+        );
+        b.add(
+            MOBILE_ASN,
+            "Mobile-CE Wireless",
+            AsCategory::MobileOperator,
+            Region::CentralEurope,
+            8,
+        );
 
         // Eyeball ISPs per region (ISP-CE already accounts for one CE slot).
         for region in Region::ALL {
@@ -96,7 +114,13 @@ impl Registry {
             b.add_auto(name, AsCategory::TvBroadcaster, Region::CentralEurope, 2);
         }
         // Gaming: 5 providers.
-        for name in ["PlayNet", "GameCloud", "FragServ", "LootBox Interactive", "MMO-Hosting"] {
+        for name in [
+            "PlayNet",
+            "GameCloud",
+            "FragServ",
+            "LootBox Interactive",
+            "MMO-Hosting",
+        ] {
             b.add_auto(name, AsCategory::GamingProvider, Region::UsEast, 3);
         }
         // Social media: 4 (Facebook/Twitter are hypergiants; these are the
@@ -126,17 +150,39 @@ impl Registry {
         }
         // Conferencing: Zoom-like provider (Table 1 Webconf lists 1 ASN;
         // Microsoft Teams/Skype traffic is attributed to AS8075 above).
-        b.add(ZOOM_ASN, "ZoomRTC", AsCategory::ConferencingProvider, Region::UsEast, 3);
+        b.add(
+            ZOOM_ASN,
+            "ZoomRTC",
+            AsCategory::ConferencingProvider,
+            Region::UsEast,
+            3,
+        );
         // Messaging: 3 providers (Table 1 messaging uses ports + these).
         for name in ["MsgExpress", "PingMe", "SecureChat"] {
-            b.add_auto(name, AsCategory::MessagingProvider, Region::CentralEurope, 2);
+            b.add_auto(
+                name,
+                AsCategory::MessagingProvider,
+                Region::CentralEurope,
+                2,
+            );
         }
         // Music streaming: Spotify, by its real ASN (§7, Appendix B).
-        b.add(SPOTIFY_ASN, "Spotify", AsCategory::MusicStreaming, Region::CentralEurope, 2);
+        b.add(
+            SPOTIFY_ASN,
+            "Spotify",
+            AsCategory::MusicStreaming,
+            Region::CentralEurope,
+            2,
+        );
 
         // Cloud providers used by enterprises for remote work.
         for i in 0..8 {
-            b.add_auto(&format!("Cloud-{i}"), AsCategory::CloudProvider, Region::UsEast, 4);
+            b.add_auto(
+                &format!("Cloud-{i}"),
+                AsCategory::CloudProvider,
+                Region::UsEast,
+                4,
+            );
         }
         // Enterprises: the §3.4 remote-work scatter needs a population of
         // company ASes with their own address space.
@@ -146,16 +192,31 @@ impl Registry {
                 1 => Region::SouthernEurope,
                 _ => Region::UsEast,
             };
-            b.add_auto(&format!("Enterprise-{i}"), AsCategory::Enterprise, region, 1);
+            b.add_auto(
+                &format!("Enterprise-{i}"),
+                AsCategory::Enterprise,
+                region,
+                1,
+            );
         }
         // Hosting companies (the unknown TCP/25461 port of §4 resolves to
         // "prefixes owned by hosting companies").
         for i in 0..6 {
-            b.add_auto(&format!("Hosting-{i}"), AsCategory::Hosting, Region::CentralEurope, 2);
+            b.add_auto(
+                &format!("Hosting-{i}"),
+                AsCategory::Hosting,
+                Region::CentralEurope,
+                2,
+            );
         }
         // Transit carriers.
         for i in 0..5 {
-            b.add_auto(&format!("Transit-{i}"), AsCategory::Transit, Region::UsEast, 2);
+            b.add_auto(
+                &format!("Transit-{i}"),
+                AsCategory::Transit,
+                Region::UsEast,
+                2,
+            );
         }
 
         b.finish()
@@ -314,7 +375,10 @@ mod tests {
         let r = Registry::synthesize();
         assert_eq!(r.get(ISP_CE_ASN).unwrap().category, AsCategory::EyeballIsp);
         assert_eq!(r.get(EDU_ASN).unwrap().category, AsCategory::Educational);
-        assert_eq!(r.get(MOBILE_ASN).unwrap().category, AsCategory::MobileOperator);
+        assert_eq!(
+            r.get(MOBILE_ASN).unwrap().category,
+            AsCategory::MobileOperator
+        );
         assert_eq!(r.get(SPOTIFY_ASN).unwrap().name, "Spotify");
         assert!(r.get(Asn(15_169)).is_some()); // Google from Table 2
     }

@@ -27,7 +27,10 @@ pub enum VantageKind {
 }
 
 /// One of the paper's vantage points.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The ordering follows the paper's presentation order (`ALL`); the trace
+/// engine relies on it to enumerate generation cells deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum VantagePoint {
     /// Large Central-European ISP, >15M fixed lines ("L-ISP"/"ISP-CE").
     IspCe,

@@ -33,14 +33,19 @@ fn class_signature(class: EduClass, rng: &mut StdRng) -> (IpProtocol, u16) {
         EduClass::QuicOut => (IpProtocol::Udp, 443),
         EduClass::EmailIn => (
             IpProtocol::Tcp,
-            *[993u16, 25, 587, 143, 465, 995, 110].choose(rng).expect("non-empty"),
+            *[993u16, 25, 587, 143, 465, 995, 110]
+                .choose(rng)
+                .expect("non-empty"),
         ),
         EduClass::VpnIn => {
             if rng.gen_bool(0.15) {
                 // Some institutional VPN rides ESP (Appendix B lists it).
                 (IpProtocol::Esp, 0)
             } else {
-                (IpProtocol::Udp, *[4500u16, 500, 1194].choose(rng).expect("non-empty"))
+                (
+                    IpProtocol::Udp,
+                    *[4500u16, 500, 1194].choose(rng).expect("non-empty"),
+                )
             }
         }
         EduClass::RemoteDesktopIn => (
@@ -48,7 +53,10 @@ fn class_signature(class: EduClass, rng: &mut StdRng) -> (IpProtocol, u16) {
             *[3389u16, 1494, 5938].choose(rng).expect("non-empty"),
         ),
         EduClass::SshIn => (IpProtocol::Tcp, 22),
-        EduClass::PushNotifOut => (IpProtocol::Tcp, *[5223u16, 5228].choose(rng).expect("non-empty")),
+        EduClass::PushNotifOut => (
+            IpProtocol::Tcp,
+            *[5223u16, 5228].choose(rng).expect("non-empty"),
+        ),
         EduClass::SpotifyOut => (IpProtocol::Tcp, 4070),
     }
 }
@@ -216,7 +224,11 @@ impl<'a> EduGenerator<'a> {
                     FlowKey {
                         src_addr: ext_ip,
                         dst_addr: edu_ip,
-                        src_port: if protocol.has_ports() { rng.gen_range(32_768..61_000) } else { 0 },
+                        src_port: if protocol.has_ports() {
+                            rng.gen_range(32_768..61_000)
+                        } else {
+                            0
+                        },
                         dst_port: if protocol.has_ports() { server_port } else { 0 },
                         protocol,
                     },
@@ -253,7 +265,11 @@ impl<'a> EduGenerator<'a> {
                     FlowKey {
                         src_addr: campus_ip,
                         dst_addr: dst_ip,
-                        src_port: if protocol.has_ports() { rng.gen_range(32_768..61_000) } else { 0 },
+                        src_port: if protocol.has_ports() {
+                            rng.gen_range(32_768..61_000)
+                        } else {
+                            0
+                        },
                         dst_port: if protocol.has_ports() { server_port } else { 0 },
                         protocol,
                     },
@@ -287,7 +303,11 @@ impl<'a> EduGenerator<'a> {
         for _ in 0..n {
             let start = hour_start.add_secs(rng.gen_range(0..3_600));
             let protocol = if rng.gen_bool(0.8) {
-                if rng.gen_bool(0.5) { IpProtocol::Udp } else { IpProtocol::Tcp }
+                if rng.gen_bool(0.5) {
+                    IpProtocol::Udp
+                } else {
+                    IpProtocol::Tcp
+                }
             } else {
                 IpProtocol::Other(rng.gen_range(90..130))
             };
@@ -296,14 +316,26 @@ impl<'a> EduGenerator<'a> {
                 .host_addr(EDU_ASN, 1_000 + rng.gen_range(0..8_000))
                 .expect("EDU prefixes");
             let peer = Ipv4Addr::from(rng.gen_range(0x0B00_0000u32..0x5F00_0000));
-            let (src, dst) = if rng.gen_bool(0.5) { (edu_ip, peer) } else { (peer, edu_ip) };
+            let (src, dst) = if rng.gen_bool(0.5) {
+                (edu_ip, peer)
+            } else {
+                (peer, edu_ip)
+            };
             out.push(
                 FlowRecord::builder(
                     FlowKey {
                         src_addr: src,
                         dst_addr: dst,
-                        src_port: if protocol.has_ports() { rng.gen_range(20_000..65_000) } else { 0 },
-                        dst_port: if protocol.has_ports() { rng.gen_range(20_000..65_000) } else { 0 },
+                        src_port: if protocol.has_ports() {
+                            rng.gen_range(20_000..65_000)
+                        } else {
+                            0
+                        },
+                        dst_port: if protocol.has_ports() {
+                            rng.gen_range(20_000..65_000)
+                        } else {
+                            0
+                        },
                         protocol,
                     },
                     start,
@@ -368,7 +400,10 @@ mod tests {
         let (r, cfg) = gen();
         let g = EduGenerator::new(&r, cfg);
         let flows = day_flows(&g, Date::new(2020, 3, 3));
-        let unknown = flows.iter().filter(|f| f.direction == Direction::Unknown).count();
+        let unknown = flows
+            .iter()
+            .filter(|f| f.direction == Direction::Unknown)
+            .count();
         let share = unknown as f64 / flows.len() as f64;
         assert!(
             (0.33..0.45).contains(&share),
@@ -463,9 +498,16 @@ mod tests {
                 })
                 .count()
         };
-        let pre: usize = (0..7).map(|w| overseas_at_3am(Date::new(2020, 2, 20).add_days(w))).sum();
-        let post: usize = (0..7).map(|w| overseas_at_3am(Date::new(2020, 4, 16).add_days(w))).sum();
-        assert!(post > pre, "overseas night access must rise: {pre} -> {post}");
+        let pre: usize = (0..7)
+            .map(|w| overseas_at_3am(Date::new(2020, 2, 20).add_days(w)))
+            .sum();
+        let post: usize = (0..7)
+            .map(|w| overseas_at_3am(Date::new(2020, 4, 16).add_days(w)))
+            .sum();
+        assert!(
+            post > pre,
+            "overseas night access must rise: {pre} -> {post}"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::config::GeneratorConfig;
 use crate::picker::{as_jitter, Picker};
+use crate::plan::{Cell, Stream, TracePlan};
 use crate::sizes;
 use lockdown_dns::corpus::Corpus;
 use lockdown_flow::protocol::{IpProtocol, TcpFlags};
@@ -122,7 +123,11 @@ impl<'a> TrafficGenerator<'a> {
             } else {
                 0
             };
-            let server_port = if sig.protocol.has_ports() { sig.port } else { 0 };
+            let server_port = if sig.protocol.has_ports() {
+                sig.port
+            } else {
+                0
+            };
 
             // Downstream (server → client) dominates; symmetric classes
             // flip a fair coin, others send 1 in 8 flows upstream.
@@ -214,21 +219,38 @@ impl<'a> TrafficGenerator<'a> {
         out
     }
 
+    /// Generate one plan cell into `out` (cleared first). Handles the
+    /// streams this generator owns; [`Stream::Edu`] cells belong to
+    /// [`crate::edu_gen::EduGenerator`] and panic here — route them
+    /// through [`crate::plan::TraceEmitter`] instead.
+    pub fn generate_cell(&self, cell: Cell, out: &mut Vec<FlowRecord>) {
+        out.clear();
+        match cell.stream {
+            Stream::Vantage(vp) => {
+                for app in AppClass::ALL {
+                    self.generate_hour_class(vp, app, cell.date, cell.hour, out);
+                }
+            }
+            Stream::IspTransit => {
+                out.extend(self.generate_isp_transit_hour(cell.date, cell.hour));
+            }
+            Stream::Edu => panic!("EDU cells are generated by EduGenerator"),
+        }
+    }
+
     /// Visit every hour of a date range with a fresh flow batch, without
     /// materializing the whole trace (the Fig. 1/2 sweeps cover 140 days).
+    /// Thin wrapper over a single-demand [`TracePlan`].
     pub fn for_each_hour<F>(&self, vp: VantagePoint, start: Date, end: Date, mut f: F)
     where
         F: FnMut(Date, u8, &[FlowRecord]),
     {
+        let mut plan = TracePlan::new();
+        plan.demand(Stream::Vantage(vp), start, end);
         let mut buf = Vec::new();
-        for date in start.range_inclusive(end) {
-            for hour in 0..24 {
-                buf.clear();
-                for app in AppClass::ALL {
-                    self.generate_hour_class(vp, app, date, hour, &mut buf);
-                }
-                f(date, hour, &buf);
-            }
+        for cell in plan.cells() {
+            self.generate_cell(cell, &mut buf);
+            f(cell.date, cell.hour, &buf);
         }
     }
 
@@ -244,9 +266,7 @@ impl<'a> TrafficGenerator<'a> {
         let mut rng = self.cell_rng(VantagePoint::IspCe, None, date, hour);
         let mut out = Vec::new();
         let registry = self.picker.registry();
-        let i = self
-            .demand
-            .effective_intensity(VantagePoint::IspCe, date);
+        let i = self.demand.effective_intensity(VantagePoint::IspCe, date);
         let dt = lockdown_scenario::calendar::day_type(
             date,
             lockdown_topology::asn::Region::CentralEurope,
@@ -335,7 +355,9 @@ impl<'a> TrafficGenerator<'a> {
                 let p = partners[rng.gen_range(0..partners.len())];
                 (
                     p,
-                    registry.host_addr(p, rng.gen_range(0..64)).expect("prefixes"),
+                    registry
+                        .host_addr(p, rng.gen_range(0..64))
+                        .expect("prefixes"),
                 )
             };
             let start = hour_start.add_secs(rng.gen_range(0..3_600));
@@ -432,8 +454,14 @@ mod tests {
         let g = TrafficGenerator::new(&r, &c, GeneratorConfig::with_seed(3));
         let flows = g.generate_hour(VantagePoint::IxpSe, Date::new(2020, 4, 1), 15);
         for f in &flows {
-            assert_eq!(r.lookup(f.key.src_addr), Some(lockdown_topology::asn::Asn(f.src_as)));
-            assert_eq!(r.lookup(f.key.dst_addr), Some(lockdown_topology::asn::Asn(f.dst_as)));
+            assert_eq!(
+                r.lookup(f.key.src_addr),
+                Some(lockdown_topology::asn::Asn(f.src_as))
+            );
+            assert_eq!(
+                r.lookup(f.key.dst_addr),
+                Some(lockdown_topology::asn::Asn(f.dst_as))
+            );
             if !f.key.protocol.has_ports() {
                 assert_eq!((f.key.src_port, f.key.dst_port), (0, 0));
             }
@@ -463,10 +491,20 @@ mod tests {
         let (r, c) = setup();
         let g = TrafficGenerator::new(&r, &c, GeneratorConfig::high_resolution(6));
         let mut out = Vec::new();
-        g.generate_hour_class(VantagePoint::IxpCe, AppClass::VpnTls, Date::new(2020, 3, 25), 11, &mut out);
+        g.generate_hour_class(
+            VantagePoint::IxpCe,
+            AppClass::VpnTls,
+            Date::new(2020, 3, 25),
+            11,
+            &mut out,
+        );
         assert!(!out.is_empty());
         for f in &out {
-            let gw = if f.key.src_port == 443 { f.key.src_addr } else { f.key.dst_addr };
+            let gw = if f.key.src_port == 443 {
+                f.key.src_addr
+            } else {
+                f.key.dst_addr
+            };
             assert!(
                 c.truth.gateways.contains_key(&gw),
                 "VpnTls endpoint {gw} is not a gateway"

@@ -18,6 +18,8 @@
 //! * [`generate`] — the main generator plus the ISP transit view (§3.4);
 //! * [`parallel`] — crossbeam-scoped parallel sweeps, bit-identical to the
 //!   sequential output thanks to cell seeding;
+//! * [`plan`] — deduplicated generation plans shared across consumers
+//!   (the substrate of the single-pass trace engine);
 //! * [`edu_gen`] — the §7 educational-network generator.
 
 #![forbid(unsafe_code)]
@@ -28,6 +30,7 @@ pub mod edu_gen;
 pub mod generate;
 pub mod parallel;
 pub mod picker;
+pub mod plan;
 pub mod sizes;
 
 /// Convenient glob-import surface.
@@ -37,4 +40,5 @@ pub mod prelude {
     pub use crate::generate::{TrafficGenerator, BYTES_PER_GBPS_HOUR};
     pub use crate::parallel::default_workers;
     pub use crate::picker::{as_jitter, Picker};
+    pub use crate::plan::{Cell, FlowSink, Stream, TraceEmitter, TracePlan};
 }

@@ -7,6 +7,7 @@
 //! CPU-bound fan-out uses scoped threads (crossbeam), not async.
 
 use crate::generate::TrafficGenerator;
+use crate::plan::{Stream, TracePlan};
 use lockdown_flow::record::FlowRecord;
 use lockdown_flow::time::Date;
 use lockdown_topology::vantage::VantagePoint;
@@ -44,33 +45,36 @@ impl TrafficGenerator<'_> {
         Fold: Fn(&mut Acc, Date, u8, &[FlowRecord]) + Sync,
         Merge: Fn(Acc, Acc) -> Acc,
     {
+        let mut plan = TracePlan::new();
+        plan.demand(Stream::Vantage(vp), start, end);
+        let cells = plan.cells();
         let total_days = start.days_until(end) + 1;
         let workers = workers.max(1).min(total_days.max(1) as usize);
         if workers == 1 {
             let mut acc = make_acc();
-            self.for_each_hour(vp, start, end, |d, h, flows| fold(&mut acc, d, h, flows));
+            let mut buf = Vec::new();
+            for cell in &cells {
+                self.generate_cell(*cell, &mut buf);
+                fold(&mut acc, cell.date, cell.hour, &buf);
+            }
             return acc;
         }
-        let chunk = (total_days as usize).div_ceil(workers);
+        let chunk = cells.len().div_ceil(workers);
         let mut results: Vec<Option<Acc>> = Vec::new();
         for _ in 0..workers {
             results.push(None);
         }
         crossbeam::thread::scope(|scope| {
-            for (w, slot) in results.iter_mut().enumerate() {
-                let first = start.add_days((w * chunk) as i64);
-                if first > end {
-                    break;
-                }
-                let last_candidate = first.add_days(chunk as i64 - 1);
-                let last = if last_candidate > end { end } else { last_candidate };
+            for (slot, chunk_cells) in results.iter_mut().zip(cells.chunks(chunk)) {
                 let fold = &fold;
                 let make_acc = &make_acc;
                 scope.spawn(move |_| {
                     let mut acc = make_acc();
-                    self.for_each_hour(vp, first, last, |d, h, flows| {
-                        fold(&mut acc, d, h, flows)
-                    });
+                    let mut buf = Vec::new();
+                    for cell in chunk_cells {
+                        self.generate_cell(*cell, &mut buf);
+                        fold(&mut acc, cell.date, cell.hour, &buf);
+                    }
                     *slot = Some(acc);
                 });
             }

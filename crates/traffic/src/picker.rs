@@ -137,8 +137,11 @@ impl<'a> Picker<'a> {
                 let region = if rng.gen_bool(0.8) {
                     vp.region()
                 } else {
-                    [Region::CentralEurope, Region::SouthernEurope, Region::UsEast]
-                        [rng.gen_range(0..3)]
+                    [
+                        Region::CentralEurope,
+                        Region::SouthernEurope,
+                        Region::UsEast,
+                    ][rng.gen_range(0..3)]
                 };
                 let pool = self
                     .eyeballs_by_region
@@ -226,7 +229,10 @@ mod tests {
         let hg_gaming = (0..n)
             .filter(|_| is_hypergiant(p.server(AppClass::Gaming, &mut rng).0))
             .count();
-        assert!((hg_gaming as f64) < 0.25 * n as f64, "{hg_gaming}/{n} gaming HG");
+        assert!(
+            (hg_gaming as f64) < 0.25 * n as f64,
+            "{hg_gaming}/{n} gaming HG"
+        );
     }
 
     #[test]
@@ -240,7 +246,11 @@ mod tests {
             assert_eq!(asn, ISP_CE_ASN);
             distinct.insert(ip);
         }
-        assert!(distinct.len() <= 50, "{} uniques from a pool of 50", distinct.len());
+        assert!(
+            distinct.len() <= 50,
+            "{} uniques from a pool of 50",
+            distinct.len()
+        );
         assert!(distinct.len() > 40);
     }
 

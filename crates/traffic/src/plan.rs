@@ -1,0 +1,296 @@
+//! Shared generation plan: deduplicated trace cells across demands.
+//!
+//! The figure drivers overlap heavily in the trace slices they consume —
+//! Fig. 1/2 alone cover 120+ days that Figs. 3–10 re-cover week by week.
+//! A [`TracePlan`] collects every requested `(stream, window)` demand,
+//! merges the overlaps, and enumerates each distinct generation cell
+//! exactly once. A [`TraceEmitter`] then materializes any cell on demand;
+//! because every cell is independently seeded, the deduplicated enumeration
+//! is bit-identical to per-figure regeneration.
+
+use crate::config::GeneratorConfig;
+use crate::edu_gen::EduGenerator;
+use crate::generate::TrafficGenerator;
+use lockdown_dns::corpus::Corpus;
+use lockdown_flow::record::FlowRecord;
+use lockdown_flow::time::Date;
+use lockdown_topology::registry::Registry;
+use lockdown_topology::vantage::VantagePoint;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One of the generator's independent flow streams.
+///
+/// Regular vantage points share one generator; the ISP transit view (§3.4)
+/// and the EDU network (§7) are separately modelled streams with their own
+/// seeding, so they are distinct cells even on overlapping dates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stream {
+    /// The standard per-vantage-point trace.
+    Vantage(VantagePoint),
+    /// ISP-CE including transit (per-AS residential + B2B flows).
+    IspTransit,
+    /// The educational metropolitan network's directional trace.
+    Edu,
+}
+
+impl Stream {
+    /// Short label for stats and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stream::Vantage(vp) => vp.label(),
+            Stream::IspTransit => "ISP-CE (transit)",
+            Stream::Edu => "EDU (directional)",
+        }
+    }
+}
+
+/// One deduplicated generation cell: a single hour of a single stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cell {
+    /// Which flow stream the cell belongs to.
+    pub stream: Stream,
+    /// The cell's date.
+    pub date: Date,
+    /// The cell's hour of day, `0..24`.
+    pub hour: u8,
+}
+
+/// A consumer of emitted cell batches.
+///
+/// Implemented for closures so `emit_cell(cell, &mut |c, flows| …)` works.
+pub trait FlowSink {
+    /// Receive one cell's complete flow batch.
+    fn accept(&mut self, cell: Cell, flows: &[FlowRecord]);
+}
+
+impl<F: FnMut(Cell, &[FlowRecord])> FlowSink for F {
+    fn accept(&mut self, cell: Cell, flows: &[FlowRecord]) {
+        self(cell, flows)
+    }
+}
+
+/// The union of requested `(stream, window)` demands.
+///
+/// Demands are recorded verbatim (so the dedup ratio can be reported) and
+/// merged into per-stream date sets; [`TracePlan::cells`] enumerates each
+/// distinct cell exactly once, in a deterministic order (stream, date,
+/// hour).
+#[derive(Debug, Clone, Default)]
+pub struct TracePlan {
+    demands: Vec<(Stream, Date, Date)>,
+    dates: BTreeMap<Stream, BTreeSet<Date>>,
+}
+
+impl TracePlan {
+    /// An empty plan.
+    pub fn new() -> TracePlan {
+        TracePlan::default()
+    }
+
+    /// Demand an inclusive date window of one stream.
+    pub fn demand(&mut self, stream: Stream, start: Date, end: Date) {
+        self.demands.push((stream, start, end));
+        let dates = self.dates.entry(stream).or_default();
+        for date in start.range_inclusive(end) {
+            dates.insert(date);
+        }
+    }
+
+    /// The raw demands, in insertion order.
+    pub fn demands(&self) -> &[(Stream, Date, Date)] {
+        &self.demands
+    }
+
+    /// Total cells requested across all demands, counting overlap
+    /// multiplicity — what per-figure regeneration would materialize.
+    pub fn cells_demanded(&self) -> u64 {
+        self.demands
+            .iter()
+            .map(|&(_, start, end)| (start.days_until(end) + 1) as u64 * 24)
+            .sum()
+    }
+
+    /// Number of distinct cells the plan will generate.
+    pub fn cell_count(&self) -> u64 {
+        self.dates.values().map(|d| d.len() as u64 * 24).sum()
+    }
+
+    /// Whether no demands have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.demands.is_empty()
+    }
+
+    /// Enumerate every distinct cell exactly once, ordered by
+    /// `(stream, date, hour)`.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut out = Vec::with_capacity(self.cell_count() as usize);
+        for (&stream, dates) in &self.dates {
+            for &date in dates {
+                for hour in 0..24 {
+                    out.push(Cell { stream, date, hour });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Materializes any [`Cell`] of any stream. Cheap to construct; all
+/// methods take `&self`, so one emitter can be shared across worker
+/// threads.
+#[derive(Debug)]
+pub struct TraceEmitter<'a> {
+    vantage: TrafficGenerator<'a>,
+    edu: EduGenerator<'a>,
+}
+
+impl<'a> TraceEmitter<'a> {
+    /// Build an emitter over a registry and DNS corpus.
+    pub fn new(registry: &'a Registry, corpus: &'a Corpus, config: GeneratorConfig) -> Self {
+        TraceEmitter {
+            vantage: TrafficGenerator::new(registry, corpus, config),
+            edu: EduGenerator::new(registry, config),
+        }
+    }
+
+    /// The vantage-point generator backing non-EDU streams.
+    pub fn generator(&self) -> &TrafficGenerator<'a> {
+        &self.vantage
+    }
+
+    /// The EDU generator backing [`Stream::Edu`].
+    pub fn edu_generator(&self) -> &EduGenerator<'a> {
+        &self.edu
+    }
+
+    /// Generate one cell's flows into `out` (cleared first).
+    pub fn generate_cell(&self, cell: Cell, out: &mut Vec<FlowRecord>) {
+        match cell.stream {
+            Stream::Edu => {
+                out.clear();
+                out.extend(self.edu.generate_hour(cell.date, cell.hour));
+            }
+            _ => self.vantage.generate_cell(cell, out),
+        }
+    }
+
+    /// Generate one cell and hand the batch to a sink.
+    pub fn emit_cell(&self, cell: Cell, sink: &mut dyn FlowSink) {
+        let mut buf = Vec::new();
+        self.generate_cell(cell, &mut buf);
+        sink.accept(cell, &buf);
+    }
+
+    /// Emit every distinct cell of a plan, reusing one buffer.
+    pub fn emit_plan(&self, plan: &TracePlan, sink: &mut dyn FlowSink) {
+        let mut buf = Vec::new();
+        for cell in plan.cells() {
+            self.generate_cell(cell, &mut buf);
+            sink.accept(cell, &buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockdown_dns::corpus::synthesize;
+
+    fn plan_basic() -> TracePlan {
+        let mut plan = TracePlan::new();
+        plan.demand(
+            Stream::Vantage(VantagePoint::IspCe),
+            Date::new(2020, 2, 1),
+            Date::new(2020, 2, 10),
+        );
+        plan.demand(
+            Stream::Vantage(VantagePoint::IspCe),
+            Date::new(2020, 2, 5),
+            Date::new(2020, 2, 14),
+        );
+        plan
+    }
+
+    #[test]
+    fn overlapping_demands_dedupe() {
+        let plan = plan_basic();
+        assert_eq!(plan.cells_demanded(), 20 * 24);
+        assert_eq!(plan.cell_count(), 14 * 24);
+        let cells = plan.cells();
+        assert_eq!(cells.len(), 14 * 24);
+        // No duplicates, sorted order.
+        let mut sorted = cells.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, cells);
+    }
+
+    #[test]
+    fn distinct_streams_do_not_merge() {
+        let mut plan = TracePlan::new();
+        let d = Date::new(2020, 3, 1);
+        plan.demand(Stream::Vantage(VantagePoint::IspCe), d, d);
+        plan.demand(Stream::IspTransit, d, d);
+        plan.demand(Stream::Edu, d, d);
+        assert_eq!(plan.cell_count(), 3 * 24);
+    }
+
+    #[test]
+    fn emitter_matches_standalone_generators() {
+        let registry = Registry::synthesize();
+        let corpus = synthesize(&registry, 7);
+        let config = GeneratorConfig::coarse(11);
+        let emitter = TraceEmitter::new(&registry, &corpus, config);
+        let generator = TrafficGenerator::new(&registry, &corpus, config);
+        let edu = EduGenerator::new(&registry, config);
+        let date = Date::new(2020, 3, 2);
+
+        let mut buf = Vec::new();
+        emitter.generate_cell(
+            Cell {
+                stream: Stream::Vantage(VantagePoint::IxpCe),
+                date,
+                hour: 9,
+            },
+            &mut buf,
+        );
+        assert_eq!(buf, generator.generate_hour(VantagePoint::IxpCe, date, 9));
+
+        emitter.generate_cell(
+            Cell {
+                stream: Stream::IspTransit,
+                date,
+                hour: 9,
+            },
+            &mut buf,
+        );
+        assert_eq!(buf, generator.generate_isp_transit_hour(date, 9));
+
+        emitter.generate_cell(
+            Cell {
+                stream: Stream::Edu,
+                date,
+                hour: 9,
+            },
+            &mut buf,
+        );
+        assert_eq!(buf, edu.generate_hour(date, 9));
+    }
+
+    #[test]
+    fn emit_plan_visits_each_cell_once() {
+        let registry = Registry::synthesize();
+        let corpus = synthesize(&registry, 7);
+        let emitter = TraceEmitter::new(&registry, &corpus, GeneratorConfig::coarse(3));
+        let mut plan = TracePlan::new();
+        let d = Date::new(2020, 2, 3);
+        plan.demand(Stream::Vantage(VantagePoint::IxpSe), d, d);
+        plan.demand(Stream::Vantage(VantagePoint::IxpSe), d, d);
+        let mut seen = Vec::new();
+        emitter.emit_plan(&plan, &mut |cell: Cell, _flows: &[FlowRecord]| {
+            seen.push(cell);
+        });
+        assert_eq!(seen.len(), 24);
+        assert_eq!(plan.cells(), seen);
+    }
+}

@@ -112,7 +112,10 @@ mod tests {
         for bytes in [1u64, 1_500, 1_000_000] {
             let p = packets_for(&mut rng, bytes);
             assert!(p >= 1);
-            assert!(p <= bytes.max(1), "more packets than bytes: {p} for {bytes}");
+            assert!(
+                p <= bytes.max(1),
+                "more packets than bytes: {p} for {bytes}"
+            );
         }
     }
 

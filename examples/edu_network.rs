@@ -40,7 +40,10 @@ fn main() {
     let day_report = |label: &str, d: Date| {
         let vol = analysis.ingress.daily_total(d) + analysis.egress.daily_total(d);
         let ratio = analysis.in_out_ratio(d).unwrap_or(f64::NAN);
-        println!("  {label} ({}): volume {vol:>15} B, in/out ratio {ratio:>5.1}", d.iso());
+        println!(
+            "  {label} ({}): volume {vol:>15} B, in/out ratio {ratio:>5.1}",
+            d.iso()
+        );
     };
     println!("\nvolume & direction:");
     day_report("base Tuesday      ", Date::new(2020, 3, 3));
@@ -94,6 +97,9 @@ fn main() {
             Date::new(2020, 4, 16),
             Date::new(2020, 4, 22),
         );
-        println!("  {label}: {:>+6.0}%", (online / base.max(1.0) - 1.0) * 100.0);
+        println!(
+            "  {label}: {:>+6.0}%",
+            (online / base.max(1.0) - 1.0) * 100.0
+        );
     }
 }

@@ -52,7 +52,11 @@ fn main() {
                     t.row([
                         w.to_string(),
                         part.label().to_string(),
-                        if hg { "hypergiant".into() } else { "other".to_string() },
+                        if hg {
+                            "hypergiant".into()
+                        } else {
+                            "other".to_string()
+                        },
                         format!("{v:.4}"),
                     ]);
                 }

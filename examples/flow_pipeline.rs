@@ -18,12 +18,20 @@ fn main() {
     let generator = ctx.generator();
     let date = Date::new(2020, 3, 25);
     let flows = generator.generate_hour(VantagePoint::IxpCe, date, 12);
-    println!("sample: {} flows from IXP-CE, {} 12:00", flows.len(), date.iso());
+    println!(
+        "sample: {} flows from IXP-CE, {} 12:00",
+        flows.len(),
+        date.iso()
+    );
 
     // Encode the same batch in all three formats.
     let boot = date.midnight();
     let now = date.at_hour(13);
-    for format in [ExportFormat::NetflowV5, ExportFormat::NetflowV9, ExportFormat::Ipfix] {
+    for format in [
+        ExportFormat::NetflowV5,
+        ExportFormat::NetflowV9,
+        ExportFormat::Ipfix,
+    ] {
         let mut exporter = Exporter::new(ExporterConfig::new(format, boot));
         let pkts = exporter.export_all(&flows, now);
         let bytes: usize = pkts.iter().map(Vec::len).sum();

@@ -21,7 +21,10 @@ fn main() {
     let id = identify_vpn_ips(&ctx.corpus.db);
     println!("§6 domain-based VPN identification");
     println!("  corpus size:          {} names", ctx.corpus.db.len());
-    println!("  *vpn* candidates:     {} domains", id.candidate_domains.len());
+    println!(
+        "  *vpn* candidates:     {} domains",
+        id.candidate_domains.len()
+    );
     println!("  candidate addresses:  {}", id.raw_candidate_ips.len());
     println!(
         "  eliminated (www-shared): {} — the conservative step",

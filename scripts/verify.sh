@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything CI runs, runnable locally.
+#
+#   scripts/verify.sh          # full gate
+#   scripts/verify.sh --quick  # skip the release build (lints + tests)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo build --release --workspace"
+    cargo build --release --workspace
+fi
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

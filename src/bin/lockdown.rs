@@ -14,7 +14,8 @@
 
 use lockdown::analysis::prelude::*;
 use lockdown::core::experiments::{
-    fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, tables,
+    fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, suite,
+    tables,
 };
 use lockdown::core::{Context, Fidelity};
 use lockdown::dns::vpn::identify_vpn_ips;
@@ -117,6 +118,17 @@ fn cmd_figures(rest: &[String]) -> Result<(), String> {
     let want = |n: &str| all || names.iter().any(|x| x.as_str() == n);
 
     let ctx = Context::new(fidelity);
+    if all {
+        // The full suite goes through ONE engine pass: every overlapping
+        // (stream, date, hour) cell is generated exactly once and fanned
+        // out to all consumers.
+        let suite = suite::run_all(&ctx);
+        for section in suite.renders() {
+            println!("{section}");
+        }
+        println!("{}", suite.stats.summary());
+        return Ok(());
+    }
     if want("table2") {
         println!("{}", tables::table2());
     }
@@ -208,7 +220,9 @@ fn cmd_capture(rest: &[String]) -> Result<(), String> {
     let ctx = Context::new(Fidelity::Standard);
     let flows = if vantage == VantagePoint::Edu {
         let generator = ctx.edu_generator();
-        (0..24).flat_map(|h| generator.generate_hour(date, h)).collect()
+        (0..24)
+            .flat_map(|h| generator.generate_hour(date, h))
+            .collect()
     } else {
         ctx.generator().generate_day(vantage, date)
     };
@@ -226,9 +240,7 @@ fn cmd_capture(rest: &[String]) -> Result<(), String> {
         .unwrap_or(date.at_hour(23))
         .add_secs(1);
     for pkt in exporter.export_all(&flows, export_time) {
-        writer
-            .push(export_time, &pkt)
-            .map_err(|e| e.to_string())?;
+        writer.push(export_time, &pkt).map_err(|e| e.to_string())?;
     }
     let datagrams = writer.len();
     let bytes = writer.finish();
@@ -266,7 +278,10 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     let records = collector.records();
     let total: u64 = records.iter().map(|r| r.bytes).sum();
     let first = records.iter().map(|r| r.start).min().expect("non-empty");
-    println!("total volume: {total} bytes, first flow {}", first.date().iso());
+    println!(
+        "total volume: {total} bytes, first flow {}",
+        first.date().iso()
+    );
 
     let mut profile = PortProfile::new();
     // Region only affects weekday labels in the profile; Central Europe is
@@ -279,7 +294,11 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
 
     let ctx = Context::new(Fidelity::Standard);
     let vpn = VpnClassifier::new(ctx.vpn_candidate_ips());
-    let port_vpn: u64 = records.iter().filter(|r| is_port_vpn(r)).map(|r| r.bytes).sum();
+    let port_vpn: u64 = records
+        .iter()
+        .filter(|r| is_port_vpn(r))
+        .map(|r| r.bytes)
+        .sum();
     let dom_vpn: u64 = records
         .iter()
         .filter(|r| vpn.is_domain_vpn(r))

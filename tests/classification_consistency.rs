@@ -93,7 +93,10 @@ fn unclassified_classes_stay_unclassified() {
         }
     }
     // Google-terminated QUIC (the majority) stays unclassified.
-    let unclassified = quic.iter().filter(|f| classifier.classify(f).is_none()).count();
+    let unclassified = quic
+        .iter()
+        .filter(|f| classifier.classify(f).is_none())
+        .count();
     assert!(
         unclassified as f64 > 0.35 * quic.len() as f64,
         "too little QUIC left unclassified: {unclassified}/{}",
@@ -121,8 +124,8 @@ fn web_traffic_not_misread_as_vpn() {
     let ctx = ctx();
     let vpn = VpnClassifier::new(ctx.vpn_candidate_ips());
     let flows = class_hour(&ctx, VantagePoint::IxpCe, AppClass::Web);
-    let false_pos = flows.iter().filter(|f| vpn.is_domain_vpn(f)).count() as f64
-        / flows.len().max(1) as f64;
+    let false_pos =
+        flows.iter().filter(|f| vpn.is_domain_vpn(f)).count() as f64 / flows.len().max(1) as f64;
     assert!(false_pos < 0.02, "web misread as VPN: {false_pos:.3}");
 }
 

@@ -92,9 +92,33 @@ fn capture_validates_arguments() {
     for bad in [
         vec!["capture", "--date", "2020-03-17", "--out", "/tmp/x"],
         vec!["capture", "--vantage", "IXP-CE", "--out", "/tmp/x"],
-        vec!["capture", "--vantage", "NOPE", "--date", "2020-03-17", "--out", "/tmp/x"],
-        vec!["capture", "--vantage", "IXP-CE", "--date", "2020-13-01", "--out", "/tmp/x"],
-        vec!["capture", "--vantage", "IXP-CE", "--date", "2020-02-30", "--out", "/tmp/x"],
+        vec![
+            "capture",
+            "--vantage",
+            "NOPE",
+            "--date",
+            "2020-03-17",
+            "--out",
+            "/tmp/x",
+        ],
+        vec![
+            "capture",
+            "--vantage",
+            "IXP-CE",
+            "--date",
+            "2020-13-01",
+            "--out",
+            "/tmp/x",
+        ],
+        vec![
+            "capture",
+            "--vantage",
+            "IXP-CE",
+            "--date",
+            "2020-02-30",
+            "--out",
+            "/tmp/x",
+        ],
     ] {
         let out = bin().args(&bad).output().expect("spawn");
         assert!(!out.status.success(), "should fail: {bad:?}");
@@ -107,7 +131,11 @@ fn analyze_rejects_garbage() {
     std::fs::create_dir_all(&dir).expect("tmp dir");
     let path = dir.join("garbage.lkdn");
     std::fs::write(&path, b"this is not a trace").expect("write");
-    let out = bin().args(["analyze", "--trace"]).arg(&path).output().expect("spawn");
+    let out = bin()
+        .args(["analyze", "--trace"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
     assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -85,7 +85,11 @@ fn all_generated_addresses_attributable() {
     // whole AS-level analysis rests on.
     let ctx = ctx();
     let generator = ctx.generator();
-    for vp in [VantagePoint::IspCe, VantagePoint::IxpSe, VantagePoint::MobileCe] {
+    for vp in [
+        VantagePoint::IspCe,
+        VantagePoint::IxpSe,
+        VantagePoint::MobileCe,
+    ] {
         for f in generator.generate_hour(vp, Date::new(2020, 4, 1), 20) {
             assert_eq!(
                 ctx.registry.lookup(f.key.src_addr).map(|a| a.0),
