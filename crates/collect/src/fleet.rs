@@ -1,0 +1,309 @@
+//! Per-stream exporter fleets.
+//!
+//! One engine cell's flows are partitioned across `N` exporters — distinct
+//! observation domains, boot times and template-refresh cadences — exactly
+//! as a vantage point with several border routers would export them.
+//! Partitioning is a stable FNV-1a hash of the flow key, so a flow always
+//! leaves through the same exporter regardless of batch boundaries.
+//!
+//! The fleet also applies the profile's scheduled restarts: after every
+//! `restart_every` datagrams an exporter reboots, resetting its uptime base
+//! and re-announcing its template on the next datagram (sequence numbers
+//! survive the reboot; collectors spot the boot-epoch shift instead).
+
+use lockdown_flow::prelude::*;
+
+/// One datagram leaving the fleet, tagged with its observation domain and
+/// ground-truth record count (the tag models the exporter's source socket,
+/// which real collectors use to demultiplex v5 streams that carry no
+/// domain id in the header).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDatagram {
+    /// Observation domain / source id of the emitting exporter.
+    pub domain: u32,
+    /// Ground-truth flow records inside this datagram.
+    pub records: u32,
+    /// Encoded datagram bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Ground truth about one cell's export session, used to close collector
+/// sessions and to validate loss estimates.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FleetTruth {
+    /// Records pushed through the fleet (equals the cell's flow count).
+    pub sent_records: u64,
+    /// Datagrams emitted.
+    pub datagrams: u64,
+    /// Scheduled restarts applied.
+    pub restarts: u64,
+    /// Final sequence counter per observation domain, in domain order.
+    /// The unit matches the format: flows (v5), packets (v9), records
+    /// (IPFIX).
+    pub final_seqs: Vec<(u32, u64)>,
+}
+
+/// Configuration for one cell's exporter fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Export format for every member.
+    pub format: ExportFormat,
+    /// Number of exporters the cell's flows are partitioned across.
+    pub exporters: usize,
+    /// Records per datagram (v5 caps this at its packet maximum).
+    pub batch_size: usize,
+    /// Base template-refresh cadence; member `i` refreshes every
+    /// `base + i` datagrams so the fleet's cadences are distinct.
+    pub template_refresh: u32,
+    /// Restart each member after this many datagrams (0 = never).
+    pub restart_every: u32,
+}
+
+struct Member {
+    exporter: Exporter,
+    domain: u32,
+    pushed_since_emit: u32,
+    datagrams_emitted: u32,
+    restarts: u64,
+}
+
+/// A fleet of exporters serving one engine cell.
+pub struct ExporterFleet {
+    members: Vec<Member>,
+    restart_every: u32,
+}
+
+/// Stable FNV-1a hash of a flow key, used to pick the exporting member.
+fn key_hash(key: &FlowKey) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for b in key.src_addr.octets() {
+        eat(b);
+    }
+    for b in key.dst_addr.octets() {
+        eat(b);
+    }
+    for b in key.src_port.to_be_bytes() {
+        eat(b);
+    }
+    for b in key.dst_port.to_be_bytes() {
+        eat(b);
+    }
+    eat(key.protocol.number());
+    // FNV's multiply only carries entropy upward, so the low bits (which
+    // `% n` consumes) mix poorly; finish with an avalanche (murmur3 fmix64).
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^ (h >> 33)
+}
+
+impl ExporterFleet {
+    /// Build the fleet for one cell of `stream_wire_id`, booting member `i`
+    /// at `boot_base - (i + 1) hours` so uptimes are distinct.
+    pub fn new(cfg: FleetConfig, stream_wire_id: u32, boot_base: Timestamp) -> ExporterFleet {
+        assert!(cfg.exporters >= 1, "fleet needs at least one exporter");
+        assert!(
+            cfg.exporters < 256,
+            "domain space allots 256 ids per stream"
+        );
+        let members = (0..cfg.exporters)
+            .map(|i| {
+                let domain = stream_wire_id * 256 + i as u32;
+                let boot =
+                    Timestamp::from_unix(boot_base.unix().saturating_sub((i as u64 + 1) * 3_600));
+                let mut ecfg = ExporterConfig::new(cfg.format, boot);
+                ecfg.domain_id = domain;
+                // v5 packets hold at most MAX_RECORDS records; other formats
+                // take the requested batch as-is.
+                ecfg.batch_size = match cfg.format {
+                    ExportFormat::NetflowV5 => cfg
+                        .batch_size
+                        .clamp(1, lockdown_flow::netflow::v5::MAX_RECORDS),
+                    _ => cfg.batch_size.max(1),
+                };
+                if cfg.template_refresh > 0 {
+                    ecfg.template_refresh = cfg.template_refresh + i as u32;
+                } else {
+                    ecfg.template_refresh = 0;
+                }
+                Member {
+                    exporter: Exporter::new(ecfg),
+                    domain,
+                    pushed_since_emit: 0,
+                    datagrams_emitted: 0,
+                    restarts: 0,
+                }
+            })
+            .collect();
+        ExporterFleet {
+            members,
+            restart_every: cfg.restart_every,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the fleet is empty (it never is; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Export one cell's flows, returning the emitted datagrams (members in
+    /// domain order, each member's datagrams in emission order) plus the
+    /// session ground truth.
+    pub fn export_cell(
+        &mut self,
+        flows: &[FlowRecord],
+        now: Timestamp,
+    ) -> (Vec<WireDatagram>, FleetTruth) {
+        let n = self.members.len();
+        let mut partitions: Vec<Vec<FlowRecord>> = vec![Vec::new(); n];
+        for f in flows {
+            partitions[(key_hash(&f.key) % n as u64) as usize].push(*f);
+        }
+
+        let mut out = Vec::new();
+        let mut truth = FleetTruth {
+            sent_records: flows.len() as u64,
+            ..FleetTruth::default()
+        };
+        for (member, part) in self.members.iter_mut().zip(partitions) {
+            for r in part {
+                member.pushed_since_emit += 1;
+                if let Some(bytes) = member.exporter.push(r, now) {
+                    Self::emit(member, bytes, now, self.restart_every, &mut out);
+                }
+            }
+            if let Some(bytes) = member.exporter.flush(now) {
+                Self::emit(member, bytes, now, self.restart_every, &mut out);
+            }
+            truth.restarts += member.restarts;
+            truth
+                .final_seqs
+                .push((member.domain, u64::from(member.exporter.sequence())));
+        }
+        truth.datagrams = out.len() as u64;
+        (out, truth)
+    }
+
+    fn emit(
+        member: &mut Member,
+        bytes: Vec<u8>,
+        now: Timestamp,
+        restart_every: u32,
+        out: &mut Vec<WireDatagram>,
+    ) {
+        out.push(WireDatagram {
+            domain: member.domain,
+            records: member.pushed_since_emit,
+            bytes,
+        });
+        member.pushed_since_emit = 0;
+        member.datagrams_emitted += 1;
+        if restart_every > 0 && member.datagrams_emitted.is_multiple_of(restart_every) {
+            member.exporter.restart(now);
+            member.restarts += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockdown_flow::protocol::IpProtocol;
+    use std::net::Ipv4Addr;
+
+    fn flows(n: u32, t: Timestamp) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|i| {
+                FlowRecord::builder(
+                    FlowKey {
+                        src_addr: Ipv4Addr::from(0x0A00_0000 | i),
+                        dst_addr: Ipv4Addr::new(198, 51, 100, 9),
+                        src_port: (1024 + i % 40_000) as u16,
+                        dst_port: 443,
+                        protocol: IpProtocol::Tcp,
+                    },
+                    t,
+                )
+                .end(t.add_secs(30))
+                .bytes(1_000 + u64::from(i))
+                .packets(5)
+                .build()
+            })
+            .collect()
+    }
+
+    fn cfg(format: ExportFormat) -> FleetConfig {
+        FleetConfig {
+            format,
+            exporters: 4,
+            batch_size: 16,
+            template_refresh: 4,
+            restart_every: 0,
+        }
+    }
+
+    #[test]
+    fn partition_is_stable_and_complete() {
+        let t = Date::new(2020, 3, 25).at_hour(10);
+        let input = flows(200, t);
+        let now = t.add_hours(1);
+        let run = |input: &[FlowRecord]| {
+            let mut fleet = ExporterFleet::new(cfg(ExportFormat::Ipfix), 3, t);
+            fleet.export_cell(input, now)
+        };
+        let (dgs_a, truth_a) = run(&input);
+        let (dgs_b, truth_b) = run(&input);
+        assert_eq!(dgs_a, dgs_b, "export must be deterministic");
+        assert_eq!(truth_a, truth_b);
+        assert_eq!(truth_a.sent_records, 200);
+        let per_dg: u64 = dgs_a.iter().map(|d| u64::from(d.records)).sum();
+        assert_eq!(per_dg, 200, "record tags must cover every flow");
+        // All four domains participate for a 200-flow cell.
+        let mut domains: Vec<u32> = dgs_a.iter().map(|d| d.domain).collect();
+        domains.dedup();
+        assert_eq!(domains, vec![768, 769, 770, 771]);
+    }
+
+    #[test]
+    fn final_sequences_count_format_units() {
+        let t = Date::new(2020, 3, 25).at_hour(10);
+        let input = flows(100, t);
+        let now = t.add_hours(1);
+        // IPFIX counts records: per-domain finals sum to the flow count.
+        let mut fleet = ExporterFleet::new(cfg(ExportFormat::Ipfix), 1, t);
+        let (_, truth) = fleet.export_cell(&input, now);
+        assert_eq!(truth.final_seqs.iter().map(|&(_, s)| s).sum::<u64>(), 100);
+        // v9 counts packets: finals sum to the datagram count.
+        let mut fleet = ExporterFleet::new(cfg(ExportFormat::NetflowV9), 1, t);
+        let (dgs, truth) = fleet.export_cell(&input, now);
+        assert_eq!(
+            truth.final_seqs.iter().map(|&(_, s)| s).sum::<u64>(),
+            dgs.len() as u64
+        );
+    }
+
+    #[test]
+    fn restarts_fire_on_schedule() {
+        let t = Date::new(2020, 3, 25).at_hour(10);
+        let input = flows(160, t);
+        let now = t.add_hours(1);
+        let mut c = cfg(ExportFormat::Ipfix);
+        c.exporters = 1;
+        c.restart_every = 3;
+        let mut fleet = ExporterFleet::new(c, 3, t);
+        let (dgs, truth) = fleet.export_cell(&input, now);
+        // 160 flows / batch 16 = 10 datagrams; restarts after #3, #6, #9.
+        assert_eq!(dgs.len(), 10);
+        assert_eq!(truth.restarts, 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! Minimal splitmix64 generator for deterministic fault schedules.
+//!
+//! The collection plane deliberately carries its own tiny PRNG instead of
+//! depending on `rand`: fault schedules are part of the deterministic-output
+//! contract ("same seed + same profile = same figures"), so they must not
+//! drift with an external crate's stream implementation.
+
+/// Splitmix64 state.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    pub(crate) fn new(seed: u64) -> SplitMix {
+        SplitMix { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Hash a tuple of values into one seed by folding them through splitmix64.
+pub(crate) fn mix(parts: &[u64]) -> u64 {
+    let mut acc = 0x51_7C_C1_B7_27_22_0A_95u64;
+    for &p in parts {
+        acc = SplitMix::new(acc ^ p).next_u64();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(SplitMix::new(42), |r, _| Some(r.next_u64()))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(SplitMix::new(42), |r, _| Some(r.next_u64()))
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(SplitMix::new(43), |r, _| Some(r.next_u64()))
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mix_separates_argument_positions() {
+        assert_ne!(mix(&[1, 2]), mix(&[2, 1]));
+        assert_ne!(mix(&[0, 0]), mix(&[0]));
+    }
+
+    #[test]
+    fn unit_draws_stay_in_range() {
+        let mut r = SplitMix::new(7);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

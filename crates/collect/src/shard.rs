@@ -1,0 +1,512 @@
+//! Sequence-tracking collector shards.
+//!
+//! Each shard wraps a [`Collector`] and adds what the base collector lacks:
+//! per-source sequence accounting. NetFlow v5 sequence numbers count
+//! *flows*, v9 counts *packets*, and IPFIX counts *data records* — the
+//! tracker works in whichever unit the format defines and reports gaps,
+//! duplicates and estimated record loss per observation domain.
+//!
+//! Datagrams that cannot be decoded yet (data sets before the template) are
+//! buffered and replayed once a template arrives, so transient reordering
+//! costs nothing. At session close, units still missing are converted into
+//! an estimated record loss, and — when enabled — the accepted records are
+//! renormalized so downstream aggregates degrade proportionally with loss
+//! instead of silently undercounting.
+
+use lockdown_flow::netflow::v9;
+use lockdown_flow::prelude::*;
+
+use crate::fleet::WireDatagram;
+use std::collections::BTreeMap;
+
+/// What a format's sequence numbers count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SequenceUnits {
+    /// v5: the header sequence counts exported flows.
+    Flows,
+    /// v9: the header sequence counts exported packets.
+    Packets,
+    /// IPFIX: the header sequence counts exported data records.
+    Records,
+}
+
+impl SequenceUnits {
+    /// The unit a format's sequence field advances in.
+    pub fn for_format(format: ExportFormat) -> SequenceUnits {
+        match format {
+            ExportFormat::NetflowV5 => SequenceUnits::Flows,
+            ExportFormat::NetflowV9 => SequenceUnits::Packets,
+            ExportFormat::Ipfix => SequenceUnits::Records,
+        }
+    }
+}
+
+/// Outcome of presenting one datagram's sequence range to the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observation {
+    /// In-order (or past a gap): accepted, advancing the session.
+    New,
+    /// Filled part of a previously missing range: accepted late.
+    Late,
+    /// Entirely inside already-accepted space: rejected as a duplicate.
+    Duplicate,
+    /// Partially overlaps accepted space: rejected as inconsistent.
+    Anomaly,
+}
+
+/// Per-domain sequence accounting over half-open unit ranges.
+///
+/// Sessions start at sequence 0 (fresh exporters); `observe` classifies
+/// each datagram's `[seq, seq + units)` range and `close` converts the
+/// exporter's final counter into a trailing gap if datagrams at the tail
+/// never arrived.
+#[derive(Debug, Default)]
+pub struct SequenceTracker {
+    expected: u64,
+    missing: BTreeMap<u64, u64>,
+    gap_events: u64,
+}
+
+impl SequenceTracker {
+    /// A tracker expecting a session that starts at sequence 0.
+    pub fn new() -> SequenceTracker {
+        SequenceTracker::default()
+    }
+
+    /// Classify a datagram covering `[seq, seq + units)`.
+    pub fn observe(&mut self, seq: u64, units: u64) -> Observation {
+        let end = seq + units;
+        if seq == self.expected {
+            self.expected = end;
+            return Observation::New;
+        }
+        if seq > self.expected {
+            // Something in between never arrived (yet): open a gap.
+            self.gap_events += 1;
+            self.missing.insert(self.expected, seq);
+            self.expected = end;
+            return Observation::New;
+        }
+        // seq < expected: late fill, duplicate, or inconsistency.
+        if end > self.expected {
+            return Observation::Anomaly;
+        }
+        if let Some((&s, &e)) = self.missing.range(..=seq).next_back() {
+            if seq >= s && end <= e && units > 0 {
+                self.missing.remove(&s);
+                if s < seq {
+                    self.missing.insert(s, seq);
+                }
+                if end < e {
+                    self.missing.insert(end, e);
+                }
+                return Observation::Late;
+            }
+        }
+        // Ranges are disjoint and sorted, so checking the last range that
+        // starts before `end` suffices for overlap detection.
+        let overlaps = self
+            .missing
+            .range(..end)
+            .next_back()
+            .is_some_and(|(&s, &e)| e > seq && s < end);
+        if overlaps {
+            Observation::Anomaly
+        } else {
+            Observation::Duplicate
+        }
+    }
+
+    /// Close the session against the exporter's final sequence counter,
+    /// opening a trailing gap for any tail units that never arrived.
+    pub fn close(&mut self, final_units: u64) {
+        if final_units > self.expected {
+            self.gap_events += 1;
+            self.missing.insert(self.expected, final_units);
+            self.expected = final_units;
+        }
+    }
+
+    /// Units currently missing (gaps minus late fills).
+    pub fn missing_units(&self) -> u64 {
+        self.missing
+            .values()
+            .zip(self.missing.keys())
+            .map(|(e, s)| e - s)
+            .sum()
+    }
+
+    /// Gap events observed, including gaps later filled by late arrivals.
+    pub fn gap_events(&self) -> u64 {
+        self.gap_events
+    }
+}
+
+/// Counter totals across everything a shard (or shard set) has seen.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTotals {
+    /// Datagrams presented.
+    pub datagrams: u64,
+    /// Structurally malformed datagrams rejected.
+    pub malformed: u64,
+    /// Data sets skipped because their template was unknown (first arrival
+    /// only; replay attempts are not re-counted).
+    pub missing_template_sets: u64,
+    /// Datagrams buffered awaiting a template.
+    pub buffered: u64,
+    /// Duplicate datagrams rejected by sequence tracking.
+    pub duplicates: u64,
+    /// Sequence anomalies rejected (partial overlap with accepted space).
+    pub anomalies: u64,
+    /// Exporter restarts detected from boot-epoch shifts (v9 only).
+    pub restarts_detected: u64,
+    /// Sequence-gap events (counted at session close, transient included).
+    pub sequence_gaps: u64,
+    /// Records accepted.
+    pub records_accepted: u64,
+    /// Estimated records lost, from missing units at session close.
+    pub records_lost_est: u64,
+    /// Records whose counters were scaled by loss-aware renormalization.
+    pub records_renormalized: u64,
+}
+
+impl ShardTotals {
+    fn merge(&mut self, other: &ShardTotals) {
+        self.datagrams += other.datagrams;
+        self.malformed += other.malformed;
+        self.missing_template_sets += other.missing_template_sets;
+        self.buffered += other.buffered;
+        self.duplicates += other.duplicates;
+        self.anomalies += other.anomalies;
+        self.restarts_detected += other.restarts_detected;
+        self.sequence_gaps += other.sequence_gaps;
+        self.records_accepted += other.records_accepted;
+        self.records_lost_est += other.records_lost_est;
+        self.records_renormalized += other.records_renormalized;
+    }
+}
+
+/// Exporters whose boot epoch moves forward by more than this are treated
+/// as restarted (small forward drift is just export-clock jitter).
+const RESTART_EPOCH_TOLERANCE_MS: u64 = 1_500;
+
+#[derive(Debug, Default)]
+struct DomainSession {
+    tracker: SequenceTracker,
+    records: Vec<FlowRecord>,
+    units_accepted: u64,
+    pending: Vec<(u64, Vec<u8>)>,
+    last_epoch_ms: Option<u64>,
+}
+
+/// One collector shard: a [`Collector`] extended with per-domain sequence
+/// tracking, restart detection, replay buffering and loss estimation.
+#[derive(Debug, Default)]
+pub struct CollectorShard {
+    units: Option<SequenceUnits>,
+    inner: Collector,
+    sessions: BTreeMap<u32, DomainSession>,
+    totals: ShardTotals,
+}
+
+fn accept_into(
+    session: &mut DomainSession,
+    totals: &mut ShardTotals,
+    seq: u64,
+    units: u64,
+    recs: Vec<FlowRecord>,
+) -> Observation {
+    let obs = session.tracker.observe(seq, units);
+    match obs {
+        Observation::New | Observation::Late => {
+            session.units_accepted += units;
+            totals.records_accepted += recs.len() as u64;
+            session.records.extend(recs);
+        }
+        Observation::Duplicate => totals.duplicates += 1,
+        Observation::Anomaly => totals.anomalies += 1,
+    }
+    obs
+}
+
+impl CollectorShard {
+    /// A shard expecting datagrams of `format`.
+    pub fn new(format: ExportFormat) -> CollectorShard {
+        CollectorShard {
+            units: Some(SequenceUnits::for_format(format)),
+            ..CollectorShard::default()
+        }
+    }
+
+    fn units_of(&self, records: u64) -> u64 {
+        match self.units.unwrap_or(SequenceUnits::Records) {
+            SequenceUnits::Flows | SequenceUnits::Records => records,
+            SequenceUnits::Packets => 1,
+        }
+    }
+
+    /// Ingest one delivered datagram.
+    pub fn ingest(&mut self, dg: &WireDatagram) {
+        self.totals.datagrams += 1;
+        let domain = dg.domain;
+
+        // v9 restart detection must run *before* decoding: the stale
+        // template cache is flushed so the restart packet's fresh template
+        // announcement is learned cleanly.
+        if self.units == Some(SequenceUnits::Packets) {
+            if let Ok(hdr) = v9::check(&dg.bytes) {
+                let epoch =
+                    (u64::from(hdr.unix_secs) * 1000).saturating_sub(u64::from(hdr.sys_uptime_ms));
+                let session = self.sessions.entry(domain).or_default();
+                match session.last_epoch_ms {
+                    Some(prev) if epoch > prev + RESTART_EPOCH_TOLERANCE_MS => {
+                        session.last_epoch_ms = Some(epoch);
+                        self.inner.forget_domain(domain);
+                        self.totals.restarts_detected += 1;
+                    }
+                    Some(prev) if epoch > prev => session.last_epoch_ms = Some(epoch),
+                    Some(_) => {}
+                    None => session.last_epoch_ms = Some(epoch),
+                }
+            }
+        }
+
+        let report = self.inner.ingest_detailed(&dg.bytes);
+        let recs = self.inner.take_records();
+        if !report.ok {
+            self.totals.malformed += 1;
+            return;
+        }
+        let seq = u64::from(report.sequence.unwrap_or(0));
+        if report.missed_sets > 0 {
+            self.totals.missing_template_sets += u64::from(report.missed_sets);
+            if recs.is_empty() {
+                // Nothing decodable yet: buffer the raw datagram and retry
+                // once a template arrives. The tracker is left untouched —
+                // if the datagram is never resolved, its sequence range
+                // surfaces as a gap and is counted as loss.
+                let session = self.sessions.entry(domain).or_default();
+                session.pending.push((seq, dg.bytes.clone()));
+                self.totals.buffered += 1;
+                return;
+            }
+            // Mixed datagram: accept the decodable sets. The skipped sets'
+            // units surface as a sequence gap at the next datagram, so the
+            // lost-record estimate still covers them.
+        }
+        let units = self.units_of(recs.len() as u64);
+        let session = self.sessions.entry(domain).or_default();
+        accept_into(session, &mut self.totals, seq, units, recs);
+        self.try_replay(domain);
+    }
+
+    /// Retry buffered datagrams for `domain` until no further progress;
+    /// each success may itself carry templates that unlock the next.
+    fn try_replay(&mut self, domain: u32) {
+        loop {
+            let Some(session) = self.sessions.get_mut(&domain) else {
+                return;
+            };
+            if session.pending.is_empty() {
+                return;
+            }
+            let mut pending = std::mem::take(&mut session.pending);
+            pending.sort_by_key(|&(seq, _)| seq);
+            let mut keep = Vec::with_capacity(pending.len());
+            let mut progressed = false;
+            for (seq, bytes) in pending {
+                let report = self.inner.ingest_detailed(&bytes);
+                let recs = self.inner.take_records();
+                if report.ok && (report.missed_sets == 0 || !recs.is_empty()) {
+                    let units = self.units_of(recs.len() as u64);
+                    let session = self.sessions.entry(domain).or_default();
+                    accept_into(session, &mut self.totals, seq, units, recs);
+                    progressed = true;
+                } else {
+                    keep.push((seq, bytes));
+                }
+            }
+            let session = self.sessions.entry(domain).or_default();
+            session.pending.extend(keep);
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// Close one domain's session against the exporter's final sequence
+    /// counter, returning the accepted (possibly renormalized) records.
+    pub fn close_domain(
+        &mut self,
+        domain: u32,
+        final_units: u64,
+        renormalize: bool,
+    ) -> Vec<FlowRecord> {
+        let mut session = self.sessions.remove(&domain).unwrap_or_default();
+        // Buffered datagrams that never found their template are abandoned;
+        // their ranges stay missing and count as loss.
+        session.pending.clear();
+        session.tracker.close(final_units);
+        self.totals.sequence_gaps += session.tracker.gap_events();
+        let missing = session.tracker.missing_units();
+        let accepted_records = session.records.len() as u64;
+        let est_lost = match self.units.unwrap_or(SequenceUnits::Records) {
+            SequenceUnits::Flows | SequenceUnits::Records => missing,
+            // v9 units are packets: scale by the mean records per accepted
+            // packet, falling back to one record per packet if nothing was
+            // accepted.
+            SequenceUnits::Packets if session.units_accepted > 0 => {
+                (missing * accepted_records + session.units_accepted / 2) / session.units_accepted
+            }
+            SequenceUnits::Packets => missing,
+        };
+        self.totals.records_lost_est += est_lost;
+        if renormalize && est_lost > 0 && accepted_records > 0 {
+            let total = u128::from(accepted_records + est_lost);
+            let accepted = u128::from(accepted_records);
+            let cap = u128::from(u64::MAX);
+            for r in &mut session.records {
+                let b = (u128::from(r.bytes) * total / accepted).min(cap) as u64;
+                let p = (u128::from(r.packets) * total / accepted).min(cap) as u64;
+                if b != r.bytes || p != r.packets {
+                    self.totals.records_renormalized += 1;
+                }
+                r.bytes = b;
+                r.packets = p;
+            }
+        }
+        session.records
+    }
+
+    /// Counter totals so far (loss estimates appear after `close_domain`).
+    pub fn totals(&self) -> ShardTotals {
+        self.totals
+    }
+}
+
+/// A set of shards with datagrams routed by observation domain.
+#[derive(Debug)]
+pub struct ShardSet {
+    shards: Vec<CollectorShard>,
+}
+
+impl ShardSet {
+    /// `count` shards expecting `format` datagrams.
+    pub fn new(count: usize, format: ExportFormat) -> ShardSet {
+        assert!(count >= 1, "need at least one shard");
+        ShardSet {
+            shards: (0..count).map(|_| CollectorShard::new(format)).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the set has no shards (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    fn route(&mut self, domain: u32) -> &mut CollectorShard {
+        let n = self.shards.len();
+        &mut self.shards[domain as usize % n]
+    }
+
+    /// Route one delivered datagram to its shard.
+    pub fn ingest(&mut self, dg: &WireDatagram) {
+        self.route(dg.domain).ingest(dg);
+    }
+
+    /// Close every session against the fleet's final sequence counters.
+    /// Records come back grouped by ascending domain, each domain's records
+    /// in acceptance order — an ordering independent of the shard count.
+    pub fn close(&mut self, final_seqs: &[(u32, u64)], renormalize: bool) -> Vec<FlowRecord> {
+        let mut sorted = final_seqs.to_vec();
+        sorted.sort_unstable();
+        let mut out = Vec::new();
+        for (domain, final_units) in sorted {
+            out.extend(
+                self.route(domain)
+                    .close_domain(domain, final_units, renormalize),
+            );
+        }
+        out
+    }
+
+    /// Summed counter totals across all shards.
+    pub fn totals(&self) -> ShardTotals {
+        let mut t = ShardTotals::default();
+        for s in &self.shards {
+            t.merge(&s.totals());
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_in_order_session_has_no_gaps() {
+        let mut t = SequenceTracker::new();
+        assert_eq!(t.observe(0, 10), Observation::New);
+        assert_eq!(t.observe(10, 10), Observation::New);
+        assert_eq!(t.observe(20, 5), Observation::New);
+        t.close(25);
+        assert_eq!(t.missing_units(), 0);
+        assert_eq!(t.gap_events(), 0);
+    }
+
+    #[test]
+    fn tracker_gap_then_late_fill() {
+        let mut t = SequenceTracker::new();
+        assert_eq!(t.observe(0, 10), Observation::New);
+        // Datagram [10, 20) delayed; [20, 30) arrives first.
+        assert_eq!(t.observe(20, 10), Observation::New);
+        assert_eq!(t.missing_units(), 10);
+        assert_eq!(t.observe(10, 10), Observation::Late);
+        assert_eq!(t.missing_units(), 0);
+        t.close(30);
+        assert_eq!(t.missing_units(), 0);
+        // The transient gap is still recorded as an event.
+        assert_eq!(t.gap_events(), 1);
+    }
+
+    #[test]
+    fn tracker_partial_fill_splits_range() {
+        let mut t = SequenceTracker::new();
+        assert_eq!(t.observe(0, 5), Observation::New);
+        assert_eq!(t.observe(30, 5), Observation::New);
+        // Fill the middle of the [5, 30) hole.
+        assert_eq!(t.observe(10, 5), Observation::Late);
+        assert_eq!(t.missing_units(), 20);
+        assert_eq!(t.observe(5, 5), Observation::Late);
+        assert_eq!(t.observe(15, 15), Observation::Late);
+        assert_eq!(t.missing_units(), 0);
+    }
+
+    #[test]
+    fn tracker_duplicates_and_anomalies() {
+        let mut t = SequenceTracker::new();
+        assert_eq!(t.observe(0, 10), Observation::New);
+        assert_eq!(t.observe(0, 10), Observation::Duplicate);
+        assert_eq!(t.observe(3, 4), Observation::Duplicate);
+        // Extends beyond what was ever sent at this point.
+        assert_eq!(t.observe(5, 10), Observation::Anomaly);
+        // Straddles accepted space and a gap.
+        assert_eq!(t.observe(20, 10), Observation::New);
+        assert_eq!(t.observe(8, 4), Observation::Anomaly);
+    }
+
+    #[test]
+    fn tracker_close_counts_tail_loss() {
+        let mut t = SequenceTracker::new();
+        assert_eq!(t.observe(0, 10), Observation::New);
+        t.close(40);
+        assert_eq!(t.missing_units(), 30);
+        assert_eq!(t.gap_events(), 1);
+    }
+}

@@ -17,12 +17,14 @@
 
 use crate::context::Context;
 use lockdown_analysis::consumer::FlowConsumer;
+use lockdown_collect::{CollectMetrics, CollectionPlane, WireConfig};
 use lockdown_flow::record::FlowRecord;
 use lockdown_flow::time::Date;
 use lockdown_traffic::parallel::default_workers;
 use lockdown_traffic::plan::{Cell, Stream, TraceEmitter, TracePlan};
 use std::any::Any;
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 /// Object-safe face of [`FlowConsumer`] used inside the engine.
 trait AnyConsumer: Send {
@@ -88,12 +90,28 @@ impl<C> Copy for Demand<C> {}
 pub struct EnginePlan {
     trace: TracePlan,
     subs: Vec<Subscription>,
+    wire: Option<WireConfig>,
 }
 
 impl EnginePlan {
     /// An empty plan.
     pub fn new() -> EnginePlan {
         EnginePlan::default()
+    }
+
+    /// Route every generated cell through the wire-mode collection plane
+    /// (export → faulty transport → sequence-tracking collect) before
+    /// fan-out. With [`lockdown_collect::FaultProfile::zero`] the delivered
+    /// records are exactly the generated ones, so figure output is
+    /// byte-identical to an unwired run.
+    pub fn with_wire(&mut self, cfg: WireConfig) -> &mut EnginePlan {
+        self.wire = Some(cfg);
+        self
+    }
+
+    /// The wire configuration, if wire mode is enabled.
+    pub fn wire_config(&self) -> Option<&WireConfig> {
+        self.wire.as_ref()
     }
 
     /// Subscribe a consumer to an inclusive date window of one stream.
@@ -177,6 +195,7 @@ impl EngineStats {
 pub struct EngineOutput {
     consumers: Vec<Option<Box<dyn AnyConsumer>>>,
     stats: EngineStats,
+    wire_metrics: Option<Arc<CollectMetrics>>,
 }
 
 impl EngineOutput {
@@ -197,6 +216,11 @@ impl EngineOutput {
     pub fn stats(&self) -> EngineStats {
         self.stats
     }
+
+    /// Wire-plane metrics, present when the plan ran in wire mode.
+    pub fn wire_metrics(&self) -> Option<&Arc<CollectMetrics>> {
+        self.wire_metrics.as_ref()
+    }
 }
 
 /// Run a plan with the default worker count.
@@ -207,8 +231,12 @@ pub fn run(ctx: &Context, plan: EnginePlan) -> EngineOutput {
 /// Run a plan with an explicit worker count. Output is bit-identical for
 /// any count (see module docs).
 pub fn run_with_workers(ctx: &Context, plan: EnginePlan, workers: usize) -> EngineOutput {
-    let EnginePlan { trace, subs } = plan;
+    let EnginePlan { trace, subs, wire } = plan;
     let emitter = TraceEmitter::new(&ctx.registry, &ctx.corpus, ctx.config);
+    // Wire mode: each cell's flows cross the export → transport → collect
+    // plane before fan-out. The plane is per-cell seeded, so the delivered
+    // batch is the same whichever worker processes the cell.
+    let plane = wire.map(CollectionPlane::new);
     let cells = trace.cells();
     let workers = workers.max(1).min(cells.len().max(1));
     let mut merged: Vec<Box<dyn AnyConsumer>> = subs.iter().map(|s| (s.factory)()).collect();
@@ -219,9 +247,17 @@ pub fn run_with_workers(ctx: &Context, plan: EnginePlan, workers: usize) -> Engi
         for &cell in &cells {
             emitter.generate_cell(cell, &mut buf);
             flows_emitted += buf.len() as u64;
+            let wired;
+            let batch: &[FlowRecord] = match &plane {
+                Some(pl) => {
+                    wired = pl.process_cell(cell, &buf);
+                    &wired
+                }
+                None => &buf,
+            };
             for (sub, consumer) in subs.iter().zip(merged.iter_mut()) {
                 if sub.covers(cell) {
-                    consumer.observe_batch(&buf);
+                    consumer.observe_batch(batch);
                 }
             }
         }
@@ -233,6 +269,7 @@ pub fn run_with_workers(ctx: &Context, plan: EnginePlan, workers: usize) -> Engi
             for (slot, chunk_cells) in results.iter_mut().zip(cells.chunks(chunk)) {
                 let emitter = &emitter;
                 let subs = &subs;
+                let plane = &plane;
                 scope.spawn(move |_| {
                     let mut local: Vec<Box<dyn AnyConsumer>> =
                         subs.iter().map(|s| (s.factory)()).collect();
@@ -241,9 +278,17 @@ pub fn run_with_workers(ctx: &Context, plan: EnginePlan, workers: usize) -> Engi
                     for &cell in chunk_cells {
                         emitter.generate_cell(cell, &mut buf);
                         flows += buf.len() as u64;
+                        let wired;
+                        let batch: &[FlowRecord] = match plane {
+                            Some(pl) => {
+                                wired = pl.process_cell(cell, &buf);
+                                &wired
+                            }
+                            None => &buf,
+                        };
                         for (sub, consumer) in subs.iter().zip(local.iter_mut()) {
                             if sub.covers(cell) {
-                                consumer.observe_batch(&buf);
+                                consumer.observe_batch(batch);
                             }
                         }
                     }
@@ -269,6 +314,7 @@ pub fn run_with_workers(ctx: &Context, plan: EnginePlan, workers: usize) -> Engi
             workers,
         },
         consumers: merged.into_iter().map(Some).collect(),
+        wire_metrics: plane.map(|p| p.metrics()),
     }
 }
 

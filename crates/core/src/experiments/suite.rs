@@ -11,7 +11,9 @@ use crate::engine::{self, EnginePlan, EngineStats};
 use crate::experiments::{
     fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, tables,
 };
+use lockdown_collect::{CollectMetrics, WireConfig};
 use lockdown_topology::vantage::VantagePoint;
+use std::sync::Arc;
 
 /// Every figure and table of the paper, produced by one engine pass.
 pub struct Suite {
@@ -53,11 +55,22 @@ pub struct Suite {
     pub sec9: sec9::Sec9,
     /// What the shared pass did (dedup story included).
     pub stats: EngineStats,
+    /// Wire-plane metrics, present when the pass ran in wire mode.
+    pub wire_metrics: Option<Arc<CollectMetrics>>,
 }
 
 /// Run the full suite through one shared engine pass.
 pub fn run_all(ctx: &Context) -> Suite {
+    run_all_with(ctx, None)
+}
+
+/// Run the full suite, optionally routing every cell through the wire-mode
+/// collection plane (export → faulty transport → collect) before fan-out.
+pub fn run_all_with(ctx: &Context, wire: Option<WireConfig>) -> Suite {
     let mut plan = EnginePlan::new();
+    if let Some(cfg) = wire {
+        plan.with_wire(cfg);
+    }
     let p1 = fig1::plan(&mut plan);
     let p2a = fig2::plan_2a(&mut plan);
     let p2b = fig2::plan_2bc(&mut plan, VantagePoint::IspCe);
@@ -101,6 +114,7 @@ pub fn run_all(ctx: &Context) -> Suite {
         edu: fig11_12::finish(pedu, &mut out),
         sec9: sec9::finish(p9s, &mut out),
         stats: out.stats(),
+        wire_metrics: out.wire_metrics().cloned(),
     }
 }
 

@@ -6,8 +6,9 @@
 //! accumulates normalized [`FlowRecord`]s plus collection statistics.
 //!
 //! A collector that starts mid-stream will see v9/IPFIX data sets before
-//! the next template refresh arrives; those packets are counted in
-//! [`CollectorStats::missing_template`] and dropped, matching deployed
+//! the next template refresh arrives; each such data set is counted in
+//! [`CollectorStats::missing_template`] and skipped, while records from the
+//! datagram's other, decodable sets are still accepted — matching deployed
 //! collector behaviour.
 
 use crate::ipfix;
@@ -20,21 +21,42 @@ use std::collections::HashMap;
 /// Counters describing what a collector has seen.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CollectorStats {
-    /// Datagrams accepted and fully decoded.
+    /// Structurally valid datagrams accepted (possibly with some data sets
+    /// skipped for lack of a template).
     pub packets_ok: u64,
     /// Flow records extracted.
     pub records: u64,
-    /// Datagrams dropped because a data set referenced an unseen template.
+    /// Data sets skipped because they referenced an unseen template, counted
+    /// once per skipped set; the datagram's other sets still decode.
     pub missing_template: u64,
     /// Datagrams dropped as malformed.
     pub malformed: u64,
-    /// Records whose counters were renormalized by an announced sampling
-    /// interval.
+    /// Records whose counters were actually adjusted by an announced
+    /// sampling interval (saturated no-op scalings are not counted).
     pub renormalized: u64,
 }
 
-/// Scale sampled counters by the exporter's announced interval; returns
-/// how many records were adjusted.
+/// Per-datagram outcome of [`Collector::ingest_detailed`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Whether the datagram was structurally valid and counted as accepted.
+    pub ok: bool,
+    /// Records contributed by this datagram.
+    pub records: usize,
+    /// Data sets skipped because their template was unknown.
+    pub missed_sets: u32,
+    /// Header sequence number (all three formats carry one).
+    pub sequence: Option<u32>,
+    /// Observation domain / source id from the header (v9 and IPFIX only).
+    pub domain: Option<u32>,
+    /// Exporter boot epoch in Unix milliseconds, derived from the header's
+    /// uptime base (v5 and v9 only); shifts indicate an exporter restart.
+    pub boot_epoch_ms: Option<u64>,
+}
+
+/// Scale sampled counters by the exporter's announced interval; returns how
+/// many records were actually adjusted. A record whose counters are already
+/// saturated at `u64::MAX` (or are zero) is left unchanged and not counted.
 fn renormalize(
     records: &mut [FlowRecord],
     sampling: Option<crate::netflow::options::SamplingInfo>,
@@ -43,11 +65,17 @@ fn renormalize(
     if info.interval <= 1 {
         return 0;
     }
+    let mut adjusted = 0;
     for r in records.iter_mut() {
-        r.bytes = r.bytes.saturating_mul(u64::from(info.interval));
-        r.packets = r.packets.saturating_mul(u64::from(info.interval));
+        let bytes = r.bytes.saturating_mul(u64::from(info.interval));
+        let packets = r.packets.saturating_mul(u64::from(info.interval));
+        if bytes != r.bytes || packets != r.packets {
+            adjusted += 1;
+        }
+        r.bytes = bytes;
+        r.packets = packets;
     }
-    records.len() as u64
+    adjusted
 }
 
 /// A multi-format flow collector.
@@ -69,22 +97,42 @@ impl Collector {
 
     /// Ingest one datagram. Returns how many records it contributed.
     pub fn ingest(&mut self, datagram: &[u8]) -> usize {
+        self.ingest_detailed(datagram).records
+    }
+
+    /// Ingest one datagram, reporting per-datagram detail (header sequence,
+    /// observation domain, skipped sets) for sequence-tracking collectors.
+    pub fn ingest_detailed(&mut self, datagram: &[u8]) -> IngestReport {
+        let mut report = IngestReport::default();
         let mut c = Cursor::new(datagram);
         let version = match c.read_u16("version sniff") {
             Ok(v) => v,
             Err(_) => {
                 self.stats.malformed += 1;
-                return 0;
+                return report;
             }
         };
         let result = match version {
-            v5::VERSION => v5::decode(datagram).map(|(_, recs)| recs),
+            v5::VERSION => v5::decode(datagram).map(|(hdr, recs)| {
+                report.sequence = Some(hdr.flow_sequence);
+                report.boot_epoch_ms = Some(
+                    (u64::from(hdr.unix_secs) * 1000).saturating_sub(u64::from(hdr.sys_uptime_ms)),
+                );
+                recs
+            }),
             v9::VERSION => match v9::check(datagram) {
                 Ok(hdr) => {
                     let cache = self.v9_templates.entry(hdr.source_id).or_default();
-                    v9::decode(datagram, cache)
-                        .map(|(_, recs)| (recs, cache.sampling()))
-                        .map(|(mut recs, sampling)| {
+                    v9::decode_tolerant(datagram, cache)
+                        .map(|(hdr, recs, skipped)| (hdr, recs, skipped, cache.sampling()))
+                        .map(|(hdr, mut recs, skipped, sampling)| {
+                            report.sequence = Some(hdr.sequence);
+                            report.domain = Some(hdr.source_id);
+                            report.boot_epoch_ms = Some(
+                                (u64::from(hdr.unix_secs) * 1000)
+                                    .saturating_sub(u64::from(hdr.sys_uptime_ms)),
+                            );
+                            report.missed_sets = skipped.count;
                             self.stats.renormalized += renormalize(&mut recs, sampling);
                             recs
                         })
@@ -94,9 +142,12 @@ impl Collector {
             ipfix::VERSION => match ipfix::check(datagram) {
                 Ok(hdr) => {
                     let cache = self.ipfix_templates.entry(hdr.domain_id).or_default();
-                    ipfix::decode(datagram, cache)
-                        .map(|(_, recs)| (recs, cache.sampling()))
-                        .map(|(mut recs, sampling)| {
+                    ipfix::decode_tolerant(datagram, cache)
+                        .map(|(hdr, recs, skipped)| (hdr, recs, skipped, cache.sampling()))
+                        .map(|(hdr, mut recs, skipped, sampling)| {
+                            report.sequence = Some(hdr.sequence);
+                            report.domain = Some(hdr.domain_id);
+                            report.missed_sets = skipped.count;
                             self.stats.renormalized += renormalize(&mut recs, sampling);
                             recs
                         })
@@ -107,21 +158,27 @@ impl Collector {
         };
         match result {
             Ok(recs) => {
-                let n = recs.len();
+                report.ok = true;
+                report.records = recs.len();
                 self.stats.packets_ok += 1;
-                self.stats.records += n as u64;
+                self.stats.records += recs.len() as u64;
+                self.stats.missing_template += u64::from(report.missed_sets);
                 self.records.extend(recs);
-                n
-            }
-            Err(WireError::UnknownTemplate { .. }) => {
-                self.stats.missing_template += 1;
-                0
             }
             Err(_) => {
                 self.stats.malformed += 1;
-                0
             }
         }
+        report
+    }
+
+    /// Forget all template and sampling state learned for one observation
+    /// domain / source id, forcing a re-learn from the next template set.
+    /// Sequence-tracking collectors call this when they detect an exporter
+    /// restart (boot-epoch shift).
+    pub fn forget_domain(&mut self, domain: u32) {
+        self.v9_templates.remove(&domain);
+        self.ipfix_templates.remove(&domain);
     }
 
     /// Ingest a batch of datagrams.
@@ -223,9 +280,89 @@ mod tests {
         // Join after the first (template-bearing) packet.
         let mut collector = Collector::new();
         let n = collector.ingest_all(pkts[1..].iter().map(|p| p.as_slice()));
-        // Packets 1, 2 dropped (no template); 3 carries a refresh; 3..6 decode.
+        // Packets 1, 2 each skip their data set (no template); 3 carries a
+        // refresh; 3..6 decode. All five packets are structurally valid.
         assert_eq!(collector.stats().missing_template, 2);
+        assert_eq!(collector.stats().packets_ok, 5);
         assert_eq!(n, 30);
+    }
+
+    #[test]
+    fn partial_datagram_keeps_decodable_sets() {
+        let boot = Date::new(2020, 3, 18).midnight();
+        let now = boot.add_hours(6);
+        // Two exporters share a domain but use different template ids; each
+        // emits a template-bearing first packet and a data-only second one.
+        let mk = |template_id: u16| {
+            let mut cfg = ExporterConfig::new(ExportFormat::Ipfix, boot);
+            cfg.domain_id = 7;
+            cfg.template_id = template_id;
+            cfg.template_refresh = 0;
+            Exporter::new(cfg)
+        };
+        let mut x = mk(256);
+        let mut y = mk(300);
+        let x1 = x.export_all(&records(3, now), now.add_secs(1));
+        let x2 = x.export_all(&records(3, now), now.add_secs(2));
+        let y2 = {
+            let _ = y.export_all(&records(2, now), now.add_secs(1));
+            y.export_all(&records(4, now), now.add_secs(2))
+        };
+
+        // Splice x2's and y2's sets into one message so one datagram carries
+        // a decodable data set (template 256) and an unknown one (300).
+        let mut spliced = x2[0].clone();
+        spliced.extend_from_slice(&y2[0][super::ipfix::HEADER_LEN..]);
+        let total = spliced.len() as u16;
+        spliced[2..4].copy_from_slice(&total.to_be_bytes());
+
+        let mut collector = Collector::new();
+        collector.ingest_all(x1.iter().map(|p| p.as_slice()));
+        let report = collector.ingest_detailed(&spliced);
+        // The set with a known template still decodes; the unknown one is
+        // counted once, and the datagram itself is accepted.
+        assert!(report.ok);
+        assert_eq!(report.records, 3);
+        assert_eq!(report.missed_sets, 1);
+        assert_eq!(collector.stats().missing_template, 1);
+        assert_eq!(collector.stats().records, 6);
+        assert_eq!(collector.stats().malformed, 0);
+    }
+
+    #[test]
+    fn renormalize_counts_only_adjusted_records() {
+        use crate::netflow::options::SamplingInfo;
+        let t = Date::new(2020, 3, 18).midnight();
+        let mut recs = records(1, t);
+        // Saturated counters: scaling is a no-op, so the record must not be
+        // reported as renormalized.
+        let mut saturated = records(1, t).remove(0);
+        saturated.bytes = u64::MAX;
+        saturated.packets = u64::MAX;
+        recs.push(saturated);
+        // Zero counters scale to zero: also a no-op.
+        let mut zero = records(1, t).remove(0);
+        zero.bytes = 0;
+        zero.packets = 0;
+        recs.push(zero);
+
+        let info = SamplingInfo {
+            interval: 1000,
+            algorithm: 1,
+        };
+        let adjusted = super::renormalize(&mut recs, Some(info));
+        assert_eq!(adjusted, 1);
+        assert_eq!(recs[0].bytes, 500_000);
+        assert_eq!(recs[1].bytes, u64::MAX);
+        assert_eq!(recs[2].bytes, 0);
+
+        // interval <= 1 and absent sampling info adjust nothing.
+        assert_eq!(super::renormalize(&mut recs, None), 0);
+        let unsampled = SamplingInfo {
+            interval: 1,
+            algorithm: 1,
+        };
+        assert_eq!(super::renormalize(&mut recs, Some(unsampled)), 0);
     }
 
     #[test]

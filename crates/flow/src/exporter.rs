@@ -130,6 +130,28 @@ impl Exporter {
         &self.template
     }
 
+    /// The exporter's configuration.
+    pub fn config(&self) -> &ExporterConfig {
+        &self.config
+    }
+
+    /// Current sequence counter: the value the *next* datagram's header will
+    /// carry. After the final flush this equals the total units sent
+    /// (flows for v5, packets for v9, records for IPFIX).
+    pub fn sequence(&self) -> u32 {
+        self.sequence
+    }
+
+    /// Simulate an exporter restart at `boot_time`: the uptime base resets
+    /// and the next datagram re-announces the template (as a freshly booted
+    /// device would). The sequence counter is preserved — restart-induced
+    /// sequence resets are out of scope; collectors detect the restart from
+    /// the boot-epoch shift instead. Buffered records survive the restart.
+    pub fn restart(&mut self, boot_time: Timestamp) {
+        self.config.boot_time = boot_time;
+        self.packets_emitted = 0;
+    }
+
     /// Queue a record; returns a datagram when a full batch is ready.
     /// Under sampled export, unselected flows are silently dropped with
     /// their counters *unscaled* — renormalization is the collector's job,

@@ -10,7 +10,7 @@
 //! timestamps, so no uptime conversion is involved.
 
 use crate::netflow::options::{parse_options_record, validate, OptionsTemplate, SamplingInfo};
-use crate::netflow::v9::{decode_record, TemplateCache};
+use crate::netflow::v9::{decode_record, SkippedSets, TemplateCache};
 use crate::netflow::{FieldSpec, Template};
 use crate::record::FlowRecord;
 use crate::time::Timestamp;
@@ -211,10 +211,33 @@ pub fn check(buf: &[u8]) -> WireResult<IpfixHeader> {
 
 /// Decode one IPFIX message, updating `cache` with any templates and
 /// decoding data sets whose template is known.
+///
+/// Data sets referencing unknown templates fail the whole message with
+/// [`WireError::UnknownTemplate`]; use [`decode_tolerant`] to keep the
+/// records from the message's other sets.
 pub fn decode(buf: &[u8], cache: &mut TemplateCache) -> WireResult<(IpfixHeader, Vec<FlowRecord>)> {
+    let (header, records, skipped) = decode_tolerant(buf, cache)?;
+    if let Some(id) = skipped.first_id {
+        return Err(WireError::UnknownTemplate { id });
+    }
+    Ok((header, records))
+}
+
+/// Decode one IPFIX message, skipping (rather than failing on) data sets
+/// whose template is unknown.
+///
+/// Templates learned from earlier sets in the same message apply to later
+/// ones, so an unknown template only costs the sets that reference it.
+/// Structural errors (truncation, bad lengths, reserved ids) still fail the
+/// whole message.
+pub fn decode_tolerant(
+    buf: &[u8],
+    cache: &mut TemplateCache,
+) -> WireResult<(IpfixHeader, Vec<FlowRecord>, SkippedSets)> {
     let header = check(buf)?;
     let mut c = Cursor::new(&buf[HEADER_LEN..header.length as usize]);
     let mut records = Vec::new();
+    let mut skipped = SkippedSets::default();
     while c.remaining() >= 4 {
         let set_id = c.read_u16("set id")?;
         let set_len = c.read_u16("set length")? as usize;
@@ -282,10 +305,10 @@ pub fn decode(buf: &[u8], cache: &mut TemplateCache) -> WireResult<(IpfixHeader,
                     }
                     continue;
                 }
-                let template = cache
-                    .get(id)
-                    .ok_or(WireError::UnknownTemplate { id })?
-                    .clone();
+                let Some(template) = cache.get(id).cloned() else {
+                    skipped.note(id);
+                    continue;
+                };
                 let rec_len = template.record_len();
                 if rec_len == 0 {
                     return Err(WireError::BadLength {
@@ -306,7 +329,7 @@ pub fn decode(buf: &[u8], cache: &mut TemplateCache) -> WireResult<(IpfixHeader,
             }
         }
     }
-    Ok((header, records))
+    Ok((header, records, skipped))
 }
 
 #[cfg(test)]

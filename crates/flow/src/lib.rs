@@ -72,7 +72,7 @@ pub mod wire;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::anon::Anonymizer;
-    pub use crate::collector::{Collector, CollectorStats};
+    pub use crate::collector::{Collector, CollectorStats, IngestReport};
     pub use crate::exporter::{ExportFormat, Exporter, ExporterConfig};
     pub use crate::netflow::{FieldSpec, Template};
     pub use crate::protocol::{IpProtocol, TcpFlags};

@@ -308,17 +308,55 @@ pub fn check(buf: &[u8]) -> WireResult<V9Header> {
     })
 }
 
+/// Data sets skipped during a tolerant decode because their template had not
+/// been seen yet. Shared by the v9 and IPFIX decoders.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SkippedSets {
+    /// Number of data sets skipped in this datagram.
+    pub count: u32,
+    /// Template id of the first skipped set, for error reporting.
+    pub first_id: Option<u16>,
+}
+
+impl SkippedSets {
+    /// Record one skipped data set referencing template `id`.
+    pub fn note(&mut self, id: u16) {
+        self.count += 1;
+        self.first_id.get_or_insert(id);
+    }
+}
+
 /// Decode a v9 packet, updating `cache` with any templates found and
 /// decoding data FlowSets whose template is known.
 ///
 /// Data FlowSets referencing unknown templates produce
-/// [`WireError::UnknownTemplate`]; a tolerant collector may choose to retry
-/// after the next template refresh (see [`crate::collector`]).
+/// [`WireError::UnknownTemplate`]; a tolerant collector should use
+/// [`decode_tolerant`] instead to keep the records from the datagram's other
+/// FlowSets (see [`crate::collector`]).
 pub fn decode(buf: &[u8], cache: &mut TemplateCache) -> WireResult<(V9Header, Vec<FlowRecord>)> {
+    let (header, records, skipped) = decode_tolerant(buf, cache)?;
+    if let Some(id) = skipped.first_id {
+        return Err(WireError::UnknownTemplate { id });
+    }
+    Ok((header, records))
+}
+
+/// Decode a v9 packet, skipping (rather than failing on) data FlowSets whose
+/// template is unknown.
+///
+/// Templates learned from earlier FlowSets in the same datagram apply to
+/// later ones, so an unknown template only costs the sets that reference it.
+/// Structural errors (truncation, bad lengths, reserved ids) still fail the
+/// whole datagram.
+pub fn decode_tolerant(
+    buf: &[u8],
+    cache: &mut TemplateCache,
+) -> WireResult<(V9Header, Vec<FlowRecord>, SkippedSets)> {
     let header = check(buf)?;
     let boot_unix_ms = u64::from(header.unix_secs) * 1000 - u64::from(header.sys_uptime_ms);
     let mut c = Cursor::new(&buf[HEADER_LEN..]);
     let mut records = Vec::new();
+    let mut skipped = SkippedSets::default();
     while c.remaining() >= 4 {
         let set_id = c.read_u16("flowset id")?;
         let set_len = c.read_u16("flowset length")? as usize;
@@ -343,10 +381,10 @@ pub fn decode(buf: &[u8], cache: &mut TemplateCache) -> WireResult<(V9Header, Ve
                     }
                     continue;
                 }
-                let template = cache
-                    .get(id)
-                    .ok_or(WireError::UnknownTemplate { id })?
-                    .clone();
+                let Some(template) = cache.get(id).cloned() else {
+                    skipped.note(id);
+                    continue;
+                };
                 decode_data_flowset(&mut body, &template, boot_unix_ms, &mut records)?;
             }
             id => {
@@ -360,7 +398,7 @@ pub fn decode(buf: &[u8], cache: &mut TemplateCache) -> WireResult<(V9Header, Ve
             }
         }
     }
-    Ok((header, records))
+    Ok((header, records, skipped))
 }
 
 fn decode_template_flowset(c: &mut Cursor<'_>, cache: &mut TemplateCache) -> WireResult<()> {

@@ -42,6 +42,22 @@ impl Stream {
             Stream::Edu => "EDU (directional)",
         }
     }
+
+    /// Stable small integer identifying this stream on the wire, used to
+    /// derive observation-domain ids and per-cell fault seeds in wire mode.
+    /// Values are part of the deterministic-output contract: do not reorder.
+    pub fn wire_id(self) -> u32 {
+        match self {
+            Stream::Vantage(vp) => {
+                1 + VantagePoint::ALL
+                    .iter()
+                    .position(|&v| v == vp)
+                    .expect("vantage point missing from ALL") as u32
+            }
+            Stream::IspTransit => 62,
+            Stream::Edu => 63,
+        }
+    }
 }
 
 /// One deduplicated generation cell: a single hour of a single stream.

@@ -23,4 +23,17 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+if [[ $quick -eq 0 ]]; then
+    echo "==> bench smoke (cargo bench -- --test)"
+    cargo bench -p lockdown-bench -- --test
+
+    echo "==> wire-mode zero-fault equality"
+    plain=$(mktemp)
+    wired=$(mktemp)
+    trap 'rm -f "$plain" "$wired"' EXIT
+    ./target/release/lockdown figures --fidelity test > "$plain"
+    ./target/release/lockdown figures --fidelity test --wire > "$wired" 2> /dev/null
+    diff -u "$plain" "$wired"
+fi
+
 echo "verify: OK"

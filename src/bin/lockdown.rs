@@ -1,7 +1,8 @@
 //! `lockdown` — command-line front end to the reproduction.
 //!
 //! ```text
-//! lockdown figures [--fidelity test|standard|high] [NAME...]
+//! lockdown figures [--fidelity test|standard|high] [--wire] [--loss P] [--reorder P] [--dup P] [--restart N] [NAME...]
+//! lockdown collect [--fidelity test|standard|high] [--loss P] [--reorder P] [--dup P] [--restart N]
 //! lockdown registry
 //! lockdown capture --vantage IXP-CE --date 2020-03-25 --out day.lkdn [--format ipfix|v9|v5] [--sample N]
 //! lockdown analyze --trace day.lkdn
@@ -13,6 +14,7 @@
 //! small); every subcommand prints human-oriented tables.
 
 use lockdown::analysis::prelude::*;
+use lockdown::collect::{FaultProfile, WireConfig};
 use lockdown::core::experiments::{
     fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, suite,
     tables,
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "figures" => cmd_figures(rest),
+        "collect" => cmd_collect(rest),
         "registry" => cmd_registry(),
         "capture" => cmd_capture(rest),
         "analyze" => cmd_analyze(rest),
@@ -58,8 +61,17 @@ lockdown — reproduce 'The Lockdown Effect' (IMC 2020) from synthetic flows
 
 USAGE:
   lockdown figures [--fidelity test|standard|high] [NAME...]
+                   [--wire] [--loss P] [--reorder P] [--dup P] [--restart N]
       Render figures/tables (default: all). Names: fig1 fig2 fig3 fig4
       fig5 fig6 fig7 fig8 fig9 fig10 edu sec3.4 sec9 table1 table2
+      --wire routes the full suite through the export -> faulty transport
+      -> collect plane (zero faults keep output byte-identical) and prints
+      the metrics snapshot to stderr. P are probabilities in [0,1); N is
+      an exporter restart cadence in datagrams.
+  lockdown collect [--fidelity test|standard|high]
+                   [--loss P] [--reorder P] [--dup P] [--restart N]
+      Run the full suite in wire mode and print the Prometheus-style
+      metrics snapshot of the collection plane to stdout.
   lockdown registry
       Print the synthetic AS registry summary.
   lockdown capture --vantage <VP> --date YYYY-MM-DD --out FILE
@@ -76,6 +88,63 @@ fn flag(rest: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| rest.get(i + 1))
         .cloned()
+}
+
+/// Flags that consume the following argument as their value; everything
+/// else starting with `--` is boolean.
+const VALUE_FLAGS: &[&str] = &["--fidelity", "--loss", "--reorder", "--dup", "--restart"];
+
+/// Positional (non-flag) arguments: skips `--` flags and the value token
+/// following each value-taking flag.
+fn positionals(rest: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip_value = false;
+    for a in rest {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip_value = VALUE_FLAGS.contains(&a.as_str());
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn parse_fidelity(rest: &[String]) -> Result<Fidelity, String> {
+    match flag(rest, "--fidelity").as_deref() {
+        None | Some("standard") => Ok(Fidelity::Standard),
+        Some("test") => Ok(Fidelity::Test),
+        Some("high") => Ok(Fidelity::High),
+        Some(other) => Err(format!("unknown fidelity: {other}")),
+    }
+}
+
+fn parse_prob(rest: &[String], name: &str) -> Result<f64, String> {
+    match flag(rest, name) {
+        None => Ok(0.0),
+        Some(s) => {
+            let p: f64 = s.parse().map_err(|_| format!("bad {name}: {s}"))?;
+            if !(0.0..1.0).contains(&p) {
+                return Err(format!("{name} must be in [0,1): {s}"));
+            }
+            Ok(p)
+        }
+    }
+}
+
+/// The fault profile described by `--loss/--reorder/--dup/--restart`.
+fn parse_faults(rest: &[String]) -> Result<FaultProfile, String> {
+    let mut faults = FaultProfile::zero();
+    faults.loss = parse_prob(rest, "--loss")?;
+    faults.reorder = parse_prob(rest, "--reorder")?;
+    faults.duplicate = parse_prob(rest, "--dup")?;
+    if let Some(s) = flag(rest, "--restart") {
+        faults.restart_every = s.parse().map_err(|_| format!("bad --restart: {s}"))?;
+    }
+    Ok(faults)
 }
 
 fn parse_date(s: &str) -> Result<Date, String> {
@@ -103,30 +172,39 @@ fn parse_vantage(s: &str) -> Result<VantagePoint, String> {
 }
 
 fn cmd_figures(rest: &[String]) -> Result<(), String> {
-    let fidelity = match flag(rest, "--fidelity").as_deref() {
-        None | Some("standard") => Fidelity::Standard,
-        Some("test") => Fidelity::Test,
-        Some("high") => Fidelity::High,
-        Some(other) => return Err(format!("unknown fidelity: {other}")),
+    let fidelity = parse_fidelity(rest)?;
+    let faults = parse_faults(rest)?;
+    let wire = if rest.iter().any(|a| a == "--wire") {
+        Some(WireConfig::new().with_faults(faults))
+    } else {
+        if !faults.is_zero() {
+            return Err("fault flags (--loss/--reorder/--dup/--restart) require --wire".into());
+        }
+        None
     };
-    let names: Vec<&String> = rest
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| flag(rest, "--fidelity").as_ref() != Some(*a))
-        .collect();
+    let names = positionals(rest);
     let all = names.is_empty();
     let want = |n: &str| all || names.iter().any(|x| x.as_str() == n);
+    if wire.is_some() && !all {
+        return Err("--wire applies to the full suite; drop the figure names".into());
+    }
 
     let ctx = Context::new(fidelity);
     if all {
         // The full suite goes through ONE engine pass: every overlapping
         // (stream, date, hour) cell is generated exactly once and fanned
-        // out to all consumers.
-        let suite = suite::run_all(&ctx);
+        // out to all consumers. In wire mode every cell additionally
+        // crosses the export -> transport -> collect plane first; stdout
+        // stays byte-identical at zero faults, and the plane's metrics
+        // snapshot goes to stderr.
+        let suite = suite::run_all_with(&ctx, wire);
         for section in suite.renders() {
             println!("{section}");
         }
         println!("{}", suite.stats.summary());
+        if let Some(metrics) = &suite.wire_metrics {
+            eprint!("{}", metrics.render());
+        }
         return Ok(());
     }
     if want("table2") {
@@ -180,6 +258,19 @@ fn cmd_figures(rest: &[String]) -> Result<(), String> {
     if want("sec9") {
         println!("{}", sec9::run(&ctx).render());
     }
+    Ok(())
+}
+
+fn cmd_collect(rest: &[String]) -> Result<(), String> {
+    let fidelity = parse_fidelity(rest)?;
+    let faults = parse_faults(rest)?;
+    let ctx = Context::new(fidelity);
+    let suite = suite::run_all_with(&ctx, Some(WireConfig::new().with_faults(faults)));
+    let metrics = suite
+        .wire_metrics
+        .as_ref()
+        .expect("wire mode always carries metrics");
+    print!("{}", metrics.render());
     Ok(())
 }
 

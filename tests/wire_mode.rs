@@ -1,0 +1,123 @@
+//! Wire-mode acceptance: the export → faulty transport → collect plane
+//! keeps figure output byte-identical at zero faults, accounts losses
+//! against transport ground truth, and stays deterministic across runs
+//! and worker counts.
+
+use lockdown::analysis::timeseries::HourlyVolume;
+use lockdown::collect::{FaultProfile, WireConfig};
+use lockdown::core::engine::{self, EnginePlan};
+use lockdown::core::experiments::suite;
+use lockdown::core::{Context, Fidelity};
+use lockdown::flow::exporter::ExportFormat;
+use lockdown::flow::time::Date;
+use lockdown::topology::vantage::VantagePoint;
+use lockdown::traffic::plan::Stream;
+
+fn metric(render: &str, name: &str) -> u64 {
+    render
+        .lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing from snapshot"))
+}
+
+/// One small engine pass (two days, one vantage point) in wire mode.
+fn wired_pass(
+    cfg: WireConfig,
+    workers: usize,
+) -> (Vec<(lockdown::flow::time::Timestamp, u64)>, String) {
+    let ctx = Context::with_seed(Fidelity::Test, 9);
+    let d1 = Date::new(2020, 3, 23);
+    let d2 = Date::new(2020, 3, 24);
+    let mut plan = EnginePlan::new();
+    plan.with_wire(cfg);
+    let h = plan.subscribe(
+        Stream::Vantage(VantagePoint::IxpCe),
+        d1,
+        d2,
+        HourlyVolume::new,
+    );
+    let mut out = engine::run_with_workers(&ctx, plan, workers);
+    let metrics = out
+        .wire_metrics()
+        .expect("wire mode carries metrics")
+        .render();
+    (out.take(h).hourly_series(d1, d2), metrics)
+}
+
+#[test]
+fn zero_fault_wire_suite_is_byte_identical() {
+    let ctx = Context::new(Fidelity::Test);
+    let plain = suite::run_all(&ctx);
+    let wired = suite::run_all_with(&ctx, Some(WireConfig::new()));
+    assert_eq!(
+        plain.renders(),
+        wired.renders(),
+        "zero-fault wire mode must not change any figure"
+    );
+    assert_eq!(plain.stats, wired.stats);
+    let metrics = wired.wire_metrics.expect("wire metrics present").render();
+    assert_eq!(metric(&metrics, "transport_datagrams_dropped_total"), 0);
+    assert_eq!(metric(&metrics, "collector_records_lost_est_total"), 0);
+    assert_eq!(
+        metric(&metrics, "engine_flows_wired_total"),
+        metric(&metrics, "engine_flows_delivered_total"),
+        "zero faults deliver every flow"
+    );
+}
+
+#[test]
+fn est_lost_matches_transport_ground_truth() {
+    // v5 has no templates, so every delivered datagram decodes: the only
+    // record loss is transport drops, and sequence accounting must agree
+    // with the transport's ground truth to within 1%.
+    let mut cfg = WireConfig::new().with_faults(FaultProfile {
+        loss: 0.12,
+        duplicate: 0.05,
+        reorder: 0.08,
+        restart_every: 0,
+    });
+    cfg.format = ExportFormat::NetflowV5;
+    cfg.seed = 41;
+    cfg.renormalize = false;
+    let (_, metrics) = wired_pass(cfg, 2);
+    let truth = metric(&metrics, "transport_records_dropped_total");
+    let est = metric(&metrics, "collector_records_lost_est_total");
+    assert!(truth > 0, "profile must actually drop records");
+    let err = (est as f64 - truth as f64).abs() / truth as f64;
+    assert!(err <= 0.01, "est {est} vs truth {truth} (err {err:.4})");
+    assert!(metric(&metrics, "collector_sequence_gaps_total") > 0);
+    assert!(metric(&metrics, "collector_duplicates_rejected_total") > 0);
+}
+
+#[test]
+fn wire_mode_is_deterministic_across_runs_and_workers() {
+    let mut cfg = WireConfig::new().with_faults(FaultProfile {
+        loss: 0.1,
+        duplicate: 0.04,
+        reorder: 0.06,
+        restart_every: 8,
+    });
+    cfg.seed = 7;
+    let (series1, metrics1) = wired_pass(cfg, 1);
+    for workers in [2usize, 3, 8] {
+        let (series, metrics) = wired_pass(cfg, workers);
+        assert_eq!(series1, series, "series diverged at workers={workers}");
+        assert_eq!(metrics1, metrics, "metrics diverged at workers={workers}");
+    }
+}
+
+#[test]
+fn metrics_snapshot_covers_every_layer() {
+    let (_, metrics) = wired_pass(WireConfig::new(), 2);
+    for family in [
+        "exporter_datagrams_total",
+        "exporter_fleet_size",
+        "transport_datagrams_delivered_total",
+        "collector_records_total",
+        "engine_cells_wired_total",
+    ] {
+        assert!(metrics.contains(family), "{family} missing:\n{metrics}");
+    }
+}
