@@ -8,7 +8,9 @@
 //! observation domains across shards scales ingest.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use lockdown_collect::{ExporterFleet, FleetConfig, ShardSet, WireConfig, WireDatagram};
+use lockdown_collect::{
+    DomainTruth, ExporterFleet, FleetConfig, ShardSet, WireConfig, WireDatagram,
+};
 use lockdown_core::experiments::suite;
 use lockdown_core::{Context, Fidelity};
 use lockdown_flow::exporter::ExportFormat;
@@ -21,9 +23,9 @@ fn ctx() -> &'static Context {
     CTX.get_or_init(|| Context::new(Fidelity::Standard))
 }
 
-/// Pre-encoded day: datagrams, per-domain final sequence counters for
+/// Pre-encoded day: datagrams, per-domain session ground truth for
 /// closing shard sessions, and the ground-truth record count.
-type WireDay = (Vec<WireDatagram>, Vec<(u32, u64)>, u64);
+type WireDay = (Vec<WireDatagram>, Vec<DomainTruth>, u64);
 
 /// One day of IXP-CE traffic exported by a 4-member fleet.
 fn day_on_the_wire() -> &'static WireDay {
@@ -44,12 +46,15 @@ fn day_on_the_wire() -> &'static WireDay {
                 batch_size: 64,
                 template_refresh: 8,
                 restart_every: 0,
+                initial_sequence: 0,
+                boot_age_secs: 0,
+                sampling: None,
             },
             1,
             date.midnight(),
         );
         let (dgs, truth) = fleet.export_cell(&flows, now);
-        (dgs, truth.final_seqs, truth.sent_records)
+        (dgs, truth.sessions, truth.sent_records)
     })
 }
 
@@ -64,7 +69,7 @@ fn bench_collect(c: &mut Criterion) {
     });
 
     // Ingest throughput vs. shard count on a fixed pre-encoded day.
-    let (dgs, final_seqs, sent) = day_on_the_wire();
+    let (dgs, sessions, sent) = day_on_the_wire();
     g.throughput(Throughput::Elements(*sent));
     for shards in [1usize, 2, 4, 8] {
         g.bench_function(format!("ingest_shards_{shards}"), |b| {
@@ -73,7 +78,7 @@ fn bench_collect(c: &mut Criterion) {
                 for d in dgs {
                     set.ingest(d);
                 }
-                set.close(final_seqs, true);
+                set.close(sessions, true);
                 set.totals()
             })
         });

@@ -23,8 +23,29 @@ pub struct WireDatagram {
     pub domain: u32,
     /// Ground-truth flow records inside this datagram.
     pub records: u32,
+    /// Ground-truth sum of the flow-record byte counters inside this
+    /// datagram (raw, pre-renormalization under sampled export).
+    pub flow_bytes: u64,
+    /// Ground-truth sum of the flow-record packet counters inside this
+    /// datagram (raw, pre-renormalization under sampled export).
+    pub flow_packets: u64,
     /// Encoded datagram bytes.
     pub bytes: Vec<u8>,
+}
+
+/// Ground truth about one observation domain's export session: where its
+/// sequence counter started on the wire and how many units it really sent.
+/// Collectors are closed against this — never against the wrapped u32
+/// counter alone, which aliases every 2^32 units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainTruth {
+    /// Observation domain / source id.
+    pub domain: u32,
+    /// Sequence value the first datagram carried (wire width).
+    pub first_seq: u32,
+    /// Unwrapped total sequence units the domain sent: flows (v5),
+    /// packets (v9), records (IPFIX).
+    pub units_sent: u64,
 }
 
 /// Ground truth about one cell's export session, used to close collector
@@ -33,14 +54,15 @@ pub struct WireDatagram {
 pub struct FleetTruth {
     /// Records pushed through the fleet (equals the cell's flow count).
     pub sent_records: u64,
+    /// Records the in-band samplers dropped before the wire (0 unless the
+    /// fleet exports sampled).
+    pub sampled_out: u64,
     /// Datagrams emitted.
     pub datagrams: u64,
     /// Scheduled restarts applied.
     pub restarts: u64,
-    /// Final sequence counter per observation domain, in domain order.
-    /// The unit matches the format: flows (v5), packets (v9), records
-    /// (IPFIX).
-    pub final_seqs: Vec<(u32, u64)>,
+    /// Per-domain session ground truth, in domain order.
+    pub sessions: Vec<DomainTruth>,
 }
 
 /// Configuration for one cell's exporter fleet.
@@ -57,12 +79,25 @@ pub struct FleetConfig {
     pub template_refresh: u32,
     /// Restart each member after this many datagrams (0 = never).
     pub restart_every: u32,
+    /// Sequence value every member's first datagram carries. Non-zero
+    /// values model long-lived exporters joined mid-session, including
+    /// counters about to wrap the u32 wire field.
+    pub initial_sequence: u32,
+    /// Extra seconds added to every member's boot age. Large values push
+    /// the uptime clock past its 2^32 ms wrap (~49.7 days), exercising the
+    /// wrap-aware timestamp path end to end.
+    pub boot_age_secs: u64,
+    /// In-band 1-in-N sampling for every member (v9/IPFIX only);
+    /// `None`/1 exports everything.
+    pub sampling: Option<u32>,
 }
 
 struct Member {
     exporter: Exporter,
     domain: u32,
     pushed_since_emit: u32,
+    bytes_since_emit: u64,
+    packets_since_emit: u64,
     datagrams_emitted: u32,
     restarts: u64,
 }
@@ -114,10 +149,15 @@ impl ExporterFleet {
         let members = (0..cfg.exporters)
             .map(|i| {
                 let domain = stream_wire_id * 256 + i as u32;
-                let boot =
-                    Timestamp::from_unix(boot_base.unix().saturating_sub((i as u64 + 1) * 3_600));
+                let boot = Timestamp::from_unix(
+                    boot_base
+                        .unix()
+                        .saturating_sub((i as u64 + 1) * 3_600 + cfg.boot_age_secs),
+                );
                 let mut ecfg = ExporterConfig::new(cfg.format, boot);
                 ecfg.domain_id = domain;
+                ecfg.initial_sequence = cfg.initial_sequence;
+                ecfg.sampling = cfg.sampling;
                 // v5 packets hold at most MAX_RECORDS records; other formats
                 // take the requested batch as-is.
                 ecfg.batch_size = match cfg.format {
@@ -135,6 +175,8 @@ impl ExporterFleet {
                     exporter: Exporter::new(ecfg),
                     domain,
                     pushed_since_emit: 0,
+                    bytes_since_emit: 0,
+                    packets_since_emit: 0,
                     datagrams_emitted: 0,
                     restarts: 0,
                 }
@@ -177,8 +219,16 @@ impl ExporterFleet {
         };
         for (member, part) in self.members.iter_mut().zip(partitions) {
             for r in part {
-                member.pushed_since_emit += 1;
-                if let Some(bytes) = member.exporter.push(r, now) {
+                let sampled_before = member.exporter.sampled_out();
+                let emitted = member.exporter.push(r, now);
+                if member.exporter.sampled_out() == sampled_before {
+                    // Selected for export: the record will appear in a
+                    // datagram, so it belongs in the ground-truth tags.
+                    member.pushed_since_emit += 1;
+                    member.bytes_since_emit += r.bytes;
+                    member.packets_since_emit += r.packets;
+                }
+                if let Some(bytes) = emitted {
                     Self::emit(member, bytes, now, self.restart_every, &mut out);
                 }
             }
@@ -186,9 +236,12 @@ impl ExporterFleet {
                 Self::emit(member, bytes, now, self.restart_every, &mut out);
             }
             truth.restarts += member.restarts;
-            truth
-                .final_seqs
-                .push((member.domain, u64::from(member.exporter.sequence())));
+            truth.sampled_out += member.exporter.sampled_out();
+            truth.sessions.push(DomainTruth {
+                domain: member.domain,
+                first_seq: member.exporter.initial_sequence(),
+                units_sent: member.exporter.units_sent(),
+            });
         }
         truth.datagrams = out.len() as u64;
         (out, truth)
@@ -204,9 +257,13 @@ impl ExporterFleet {
         out.push(WireDatagram {
             domain: member.domain,
             records: member.pushed_since_emit,
+            flow_bytes: member.bytes_since_emit,
+            flow_packets: member.packets_since_emit,
             bytes,
         });
         member.pushed_since_emit = 0;
+        member.bytes_since_emit = 0;
+        member.packets_since_emit = 0;
         member.datagrams_emitted += 1;
         if restart_every > 0 && member.datagrams_emitted.is_multiple_of(restart_every) {
             member.exporter.restart(now);
@@ -249,6 +306,9 @@ mod tests {
             batch_size: 16,
             template_refresh: 4,
             restart_every: 0,
+            initial_sequence: 0,
+            boot_age_secs: 0,
+            sampling: None,
         }
     }
 
@@ -268,6 +328,11 @@ mod tests {
         assert_eq!(truth_a.sent_records, 200);
         let per_dg: u64 = dgs_a.iter().map(|d| u64::from(d.records)).sum();
         assert_eq!(per_dg, 200, "record tags must cover every flow");
+        let tag_bytes: u64 = dgs_a.iter().map(|d| d.flow_bytes).sum();
+        let true_bytes: u64 = input.iter().map(|f| f.bytes).sum();
+        assert_eq!(tag_bytes, true_bytes, "byte tags must cover every flow");
+        let tag_packets: u64 = dgs_a.iter().map(|d| d.flow_packets).sum();
+        assert_eq!(tag_packets, 200 * 5, "packet tags must cover every flow");
         // All four domains participate for a 200-flow cell.
         let mut domains: Vec<u32> = dgs_a.iter().map(|d| d.domain).collect();
         domains.dedup();
@@ -275,21 +340,41 @@ mod tests {
     }
 
     #[test]
-    fn final_sequences_count_format_units() {
+    fn session_truth_counts_format_units() {
         let t = Date::new(2020, 3, 25).at_hour(10);
         let input = flows(100, t);
         let now = t.add_hours(1);
-        // IPFIX counts records: per-domain finals sum to the flow count.
+        // IPFIX counts records: per-domain unit totals sum to the flow count.
         let mut fleet = ExporterFleet::new(cfg(ExportFormat::Ipfix), 1, t);
         let (_, truth) = fleet.export_cell(&input, now);
-        assert_eq!(truth.final_seqs.iter().map(|&(_, s)| s).sum::<u64>(), 100);
-        // v9 counts packets: finals sum to the datagram count.
+        assert_eq!(
+            truth.sessions.iter().map(|s| s.units_sent).sum::<u64>(),
+            100
+        );
+        // v9 counts packets: unit totals sum to the datagram count.
         let mut fleet = ExporterFleet::new(cfg(ExportFormat::NetflowV9), 1, t);
         let (dgs, truth) = fleet.export_cell(&input, now);
         assert_eq!(
-            truth.final_seqs.iter().map(|&(_, s)| s).sum::<u64>(),
+            truth.sessions.iter().map(|s| s.units_sent).sum::<u64>(),
             dgs.len() as u64
         );
+        assert!(truth.sessions.iter().all(|s| s.first_seq == 0));
+    }
+
+    #[test]
+    fn session_truth_survives_sequence_wrap() {
+        let t = Date::new(2020, 3, 25).at_hour(10);
+        let input = flows(100, t);
+        let now = t.add_hours(1);
+        let mut c = cfg(ExportFormat::Ipfix);
+        c.exporters = 1;
+        c.initial_sequence = u32::MAX - 40;
+        let mut fleet = ExporterFleet::new(c, 1, t);
+        let (_, truth) = fleet.export_cell(&input, now);
+        // The u32 wire counter wraps mid-session; the truth does not.
+        assert_eq!(truth.sessions.len(), 1);
+        assert_eq!(truth.sessions[0].first_seq, u32::MAX - 40);
+        assert_eq!(truth.sessions[0].units_sent, 100);
     }
 
     #[test]

@@ -31,7 +31,8 @@ use std::sync::Arc;
 use lockdown_flow::prelude::*;
 use lockdown_traffic::plan::Cell;
 
-pub use fleet::{ExporterFleet, FleetConfig, FleetTruth, WireDatagram};
+pub use fleet::{DomainTruth, ExporterFleet, FleetConfig, FleetTruth, WireDatagram};
+pub use lockdown_audit as audit;
 pub use metrics::{CollectMetrics, Metric, MetricKind, MetricsRegistry};
 pub use shard::{
     CollectorShard, Observation, SequenceTracker, SequenceUnits, ShardSet, ShardTotals,
@@ -65,6 +66,18 @@ pub struct WireConfig {
     /// Scale accepted records by estimated loss at session close so
     /// aggregates degrade proportionally instead of silently.
     pub renormalize: bool,
+    /// Thread a conservation-audit ledger through every stage and verify
+    /// the pipeline's conservation identities at the end of the run.
+    pub audit: bool,
+    /// Sequence value every exporter's first datagram carries. Non-zero
+    /// values model long-lived exporters whose u32 counters sit anywhere,
+    /// including just below the wrap.
+    pub initial_sequence: u32,
+    /// Extra seconds of boot age for every exporter; values above ~4.3M
+    /// push the uptime clock past its 2^32 ms wrap.
+    pub boot_age_secs: u64,
+    /// In-band 1-in-N sampling at the exporters (`None`/1 exports all).
+    pub sampling: Option<u32>,
 }
 
 impl WireConfig {
@@ -80,12 +93,22 @@ impl WireConfig {
             faults: FaultProfile::zero(),
             seed: 0,
             renormalize: true,
+            audit: false,
+            initial_sequence: 0,
+            boot_age_secs: 0,
+            sampling: None,
         }
     }
 
     /// Same configuration with a different fault profile.
     pub fn with_faults(mut self, faults: FaultProfile) -> WireConfig {
         self.faults = faults.clamped();
+        self
+    }
+
+    /// Same configuration with conservation auditing switched on or off.
+    pub fn with_audit(mut self, audit: bool) -> WireConfig {
+        self.audit = audit;
         self
     }
 }
@@ -106,14 +129,35 @@ impl Default for WireConfig {
 pub struct CollectionPlane {
     cfg: WireConfig,
     metrics: Arc<CollectMetrics>,
+    ledger: Option<Arc<lockdown_audit::Ledger>>,
+}
+
+/// The audit key of one engine cell.
+fn cell_key(cell: &Cell) -> lockdown_audit::CellKey {
+    lockdown_audit::CellKey {
+        wire_id: cell.stream.wire_id(),
+        day_number: cell.date.day_number(),
+        hour: cell.hour,
+    }
+}
+
+/// Record/byte/packet volume of a record slice.
+fn volume(records: &[FlowRecord]) -> lockdown_audit::Counts {
+    lockdown_audit::Counts {
+        records: records.len() as u64,
+        bytes: records.iter().map(|r| r.bytes).sum(),
+        packets: records.iter().map(|r| r.packets).sum(),
+    }
 }
 
 impl CollectionPlane {
-    /// A plane with a fresh metrics registry.
+    /// A plane with a fresh metrics registry (and, when the configuration
+    /// asks for auditing, a fresh conservation ledger).
     pub fn new(cfg: WireConfig) -> CollectionPlane {
         CollectionPlane {
-            cfg,
             metrics: CollectMetrics::new(),
+            ledger: cfg.audit.then(|| Arc::new(lockdown_audit::Ledger::new())),
+            cfg,
         }
     }
 
@@ -125,6 +169,32 @@ impl CollectionPlane {
     /// Shared handle to the plane's metrics.
     pub fn metrics(&self) -> Arc<CollectMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// Shared handle to the conservation ledger, if auditing is on.
+    pub fn ledger(&self) -> Option<Arc<lockdown_audit::Ledger>> {
+        self.ledger.clone()
+    }
+
+    /// Post what the analysis layer actually consumed for one cell. Called
+    /// by the engine after [`CollectionPlane::process_cell`], closing the
+    /// last link of the conservation chain. No-op without auditing.
+    pub fn note_consumed(&self, cell: &Cell, records: &[FlowRecord]) {
+        if let Some(ledger) = &self.ledger {
+            let consumed = volume(records);
+            ledger.record(cell_key(cell), |c| c.consumed.add(consumed));
+        }
+    }
+
+    /// Audit every cell ledger and return the report (None without
+    /// auditing). Also mirrors the outcome into the `audit_*` metrics.
+    pub fn audit_report(&self) -> Option<lockdown_audit::Report> {
+        let report = self.ledger.as_ref()?.report();
+        self.metrics.audit_cells.set_max(report.cells);
+        self.metrics
+            .audit_violations
+            .set_max(report.violations.len() as u64);
+        Some(report)
     }
 
     /// Push one engine cell's flows through the wire and return what the
@@ -158,6 +228,9 @@ impl CollectionPlane {
                 batch_size: self.cfg.batch_size,
                 template_refresh: self.cfg.template_refresh,
                 restart_every: self.cfg.faults.restart_every,
+                initial_sequence: self.cfg.initial_sequence,
+                boot_age_secs: self.cfg.boot_age_secs,
+                sampling: self.cfg.sampling,
             },
             sid,
             hour_start,
@@ -168,6 +241,18 @@ impl CollectionPlane {
         m.exporter_records.add(truth.sent_records);
         m.exporter_restarts.add(truth.restarts);
         m.exporter_fleet_size.set_max(fleet.len() as u64);
+
+        // Snapshot the export-side ground truth before the transport takes
+        // ownership of the datagrams.
+        let wire_truth = self.ledger.is_some().then(|| {
+            let exported = lockdown_audit::Counts {
+                records: datagrams.iter().map(|d| u64::from(d.records)).sum(),
+                bytes: datagrams.iter().map(|d| d.flow_bytes).sum(),
+                packets: datagrams.iter().map(|d| d.flow_packets).sum(),
+            };
+            let units: u64 = truth.sessions.iter().map(|s| s.units_sent).sum();
+            (exported, datagrams.len() as u64, units)
+        });
 
         let transport = Transport::new(self.cfg.faults, cell_seed ^ TRANSPORT_SALT);
         let (delivered, tr) = transport.deliver(datagrams);
@@ -181,7 +266,7 @@ impl CollectionPlane {
         for dg in &delivered {
             shards.ingest(dg);
         }
-        let records = shards.close(&truth.final_seqs, self.cfg.renormalize);
+        let records = shards.close(&truth.sessions, self.cfg.renormalize);
         let t = shards.totals();
         m.collector_datagrams.add(t.datagrams);
         m.collector_records.add(t.records_accepted);
@@ -196,6 +281,47 @@ impl CollectionPlane {
         m.collector_records_renormalized.add(t.records_renormalized);
         m.collector_shards.set_max(self.cfg.shards as u64);
         m.engine_flows_delivered.add(records.len() as u64);
+
+        if let Some(ledger) = &self.ledger {
+            let (exported, offered, export_units) =
+                wire_truth.expect("wire truth snapshot exists when auditing");
+            let generated = volume(flows);
+            let units_exact = SequenceUnits::for_format(self.cfg.format) != SequenceUnits::Packets;
+            let sampling = self.cfg.sampling.is_some_and(|r| r > 1);
+            ledger.record(cell_key(&cell), |c| {
+                c.generated.add(generated);
+                c.sampled_out += truth.sampled_out;
+                c.exported.add(exported);
+                c.export_units += export_units;
+                c.offered_datagrams += offered;
+                c.delivered_datagrams += tr.delivered;
+                c.dropped_datagrams += tr.dropped_datagrams;
+                c.dropped.add(lockdown_audit::Counts {
+                    records: tr.dropped_records,
+                    bytes: tr.dropped_bytes,
+                    packets: tr.dropped_packets,
+                });
+                c.duplicated_datagrams += tr.duplicated;
+                c.duplicated_records += tr.duplicated_records;
+                c.accepted.add(lockdown_audit::Counts {
+                    records: t.records_accepted,
+                    bytes: t.bytes_accepted,
+                    packets: t.packets_accepted,
+                });
+                c.rejected_duplicate += t.records_duplicate;
+                c.rejected_anomalous += t.records_anomalous;
+                c.rejected_malformed += t.records_malformed;
+                c.undecoded += t.records_undecoded;
+                c.abandoned_records += t.records_abandoned;
+                c.abandoned_units += t.units_abandoned;
+                c.est_lost += t.records_lost_est;
+                c.renorm_bytes_added += t.renorm_bytes_added;
+                c.renorm_packets_added += t.renorm_packets_added;
+                c.renorm_clipped += t.renorm_clipped;
+                c.units_exact = units_exact;
+                c.sampling = sampling;
+            });
+        }
         records
     }
 }

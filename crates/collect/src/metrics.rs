@@ -198,6 +198,11 @@ pub struct CollectMetrics {
     pub engine_flows_wired: Arc<Metric>,
     /// Flow records delivered back to the engine after collection.
     pub engine_flows_delivered: Arc<Metric>,
+    /// Cells covered by the conservation audit (gauge; 0 when auditing
+    /// is off).
+    pub audit_cells: Arc<Metric>,
+    /// Conservation-identity violations found by the audit (gauge).
+    pub audit_violations: Arc<Metric>,
 }
 
 impl CollectMetrics {
@@ -277,6 +282,11 @@ impl CollectMetrics {
             engine_flows_delivered: r.counter(
                 "engine_flows_delivered_total",
                 "Records delivered back to the engine",
+            ),
+            audit_cells: r.gauge("audit_cells", "Cells covered by the conservation audit"),
+            audit_violations: r.gauge(
+                "audit_violations",
+                "Conservation-identity violations found by the audit",
             ),
             registry: r,
         })

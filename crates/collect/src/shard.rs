@@ -16,7 +16,7 @@
 use lockdown_flow::netflow::v9;
 use lockdown_flow::prelude::*;
 
-use crate::fleet::WireDatagram;
+use crate::fleet::{DomainTruth, WireDatagram};
 use std::collections::BTreeMap;
 
 /// What a format's sequence numbers count.
@@ -54,48 +54,115 @@ pub enum Observation {
     Anomaly,
 }
 
-/// Per-domain sequence accounting over half-open unit ranges.
+/// Unwrapped position the first observed wire sequence `s` is pinned to:
+/// `ANCHOR + s`. Keeping positions congruent to wire sequences mod 2^32
+/// lets [`SequenceTracker::unwrap_near`] work directly on the low 32 bits,
+/// and the 2^32 headroom means below-anchor arrivals (reordered session
+/// heads, even just behind a wrap) never underflow position space.
+const ANCHOR: u64 = 1 << 32;
+
+/// Serial-number arithmetic window: a wire sequence within 2^31 ahead of
+/// the reference is "forward", otherwise it is "behind" (RFC 1982 style).
+const HALF_WRAP: u64 = 1 << 31;
+
+/// Per-domain sequence accounting over half-open unit ranges, in the
+/// native u32 width of the wire counter.
 ///
-/// Sessions start at sequence 0 (fresh exporters); `observe` classifies
-/// each datagram's `[seq, seq + units)` range and `close` converts the
-/// exporter's final counter into a trailing gap if datagrams at the tail
-/// never arrived.
+/// NetFlow/IPFIX sequence fields are 32-bit and wrap: a long-lived
+/// exporter rolls from `u32::MAX - 10` to `5` as ordinary continuity, not
+/// a four-billion-unit gap. The tracker therefore unwraps each observed
+/// sequence into a monotone u64 *position* space using serial-number
+/// arithmetic around the running session state, anchored at the first
+/// datagram seen (exporters join mid-count; sessions do not start at 0).
+/// `observe` classifies each datagram's `[seq, seq + units)` range and
+/// `close` reconciles the session against the exporter's ground truth —
+/// its first wire sequence and unwrapped unit total — converting unseen
+/// head/tail ranges into gaps.
 #[derive(Debug, Default)]
 pub struct SequenceTracker {
-    expected: u64,
+    /// Position one past the highest accepted unit; `None` until anchored.
+    expected: Option<u64>,
+    /// Lowest accepted position (the session floor).
+    low: u64,
     missing: BTreeMap<u64, u64>,
     gap_events: u64,
 }
 
 impl SequenceTracker {
-    /// A tracker expecting a session that starts at sequence 0.
+    /// A tracker that will anchor on the first sequence it observes.
     pub fn new() -> SequenceTracker {
         SequenceTracker::default()
     }
 
-    /// Classify a datagram covering `[seq, seq + units)`.
-    pub fn observe(&mut self, seq: u64, units: u64) -> Observation {
-        let end = seq + units;
-        if seq == self.expected {
-            self.expected = end;
+    /// Resolve wire sequence `seq` to the unwrapped position nearest
+    /// `reference`: forward if within 2^31 ahead, otherwise behind.
+    /// `reference` is always `>= HALF_WRAP` (positions are anchored at
+    /// [`ANCHOR`] and only ever lowered by `< 2^31`), so the backward
+    /// branch cannot underflow.
+    fn unwrap_near(reference: u64, seq: u32) -> u64 {
+        let forward = u64::from(seq.wrapping_sub(reference as u32));
+        if forward < HALF_WRAP {
+            reference + forward
+        } else {
+            reference - u64::from((reference as u32).wrapping_sub(seq))
+        }
+    }
+
+    /// Unwrapped position `seq` would resolve to right now (anchoring
+    /// rule applied if the tracker is fresh). Used to order replay queues
+    /// consistently across a wrap.
+    pub fn position_hint(&self, seq: u32) -> u64 {
+        match self.expected {
+            Some(e) => Self::unwrap_near(e, seq),
+            None => ANCHOR + u64::from(seq),
+        }
+    }
+
+    /// Classify a datagram covering `[seq, seq + units)` in wire width.
+    pub fn observe(&mut self, seq: u32, units: u64) -> Observation {
+        let Some(expected) = self.expected else {
+            let pos = ANCHOR + u64::from(seq);
+            self.low = pos;
+            self.expected = Some(pos + units);
+            return Observation::New;
+        };
+        let pos = Self::unwrap_near(expected, seq);
+        let end = pos + units;
+        if pos == expected {
+            self.expected = Some(end);
             return Observation::New;
         }
-        if seq > self.expected {
+        if pos > expected {
             // Something in between never arrived (yet): open a gap.
             self.gap_events += 1;
-            self.missing.insert(self.expected, seq);
-            self.expected = end;
+            self.missing.insert(expected, pos);
+            self.expected = Some(end);
             return Observation::New;
         }
-        // seq < expected: late fill, duplicate, or inconsistency.
-        if end > self.expected {
+        // pos < expected: before the anchor, a late fill, a duplicate, or
+        // an inconsistency.
+        if pos < self.low {
+            if end <= self.low {
+                // The session head arrived after a later datagram (e.g. an
+                // adjacent reorder of the first two): accept it below the
+                // floor, leaving any space in between as a gap.
+                self.gap_events += 1;
+                if end < self.low {
+                    self.missing.insert(end, self.low);
+                }
+                self.low = pos;
+                return Observation::New;
+            }
             return Observation::Anomaly;
         }
-        if let Some((&s, &e)) = self.missing.range(..=seq).next_back() {
-            if seq >= s && end <= e && units > 0 {
+        if end > expected {
+            return Observation::Anomaly;
+        }
+        if let Some((&s, &e)) = self.missing.range(..=pos).next_back() {
+            if pos >= s && end <= e && units > 0 {
                 self.missing.remove(&s);
-                if s < seq {
-                    self.missing.insert(s, seq);
+                if s < pos {
+                    self.missing.insert(s, pos);
                 }
                 if end < e {
                     self.missing.insert(end, e);
@@ -109,7 +176,7 @@ impl SequenceTracker {
             .missing
             .range(..end)
             .next_back()
-            .is_some_and(|(&s, &e)| e > seq && s < end);
+            .is_some_and(|(&s, &e)| e > pos && s < end);
         if overlaps {
             Observation::Anomaly
         } else {
@@ -117,13 +184,33 @@ impl SequenceTracker {
         }
     }
 
-    /// Close the session against the exporter's final sequence counter,
-    /// opening a trailing gap for any tail units that never arrived.
-    pub fn close(&mut self, final_units: u64) {
-        if final_units > self.expected {
+    /// Close the session against the exporter's ground truth: the wire
+    /// sequence its first datagram carried and the unwrapped number of
+    /// units it sent in total. Units before the anchor (lost session
+    /// heads) and after the highest acceptance (lost tails) become gaps.
+    /// If nothing was ever observed, the whole session is missing.
+    pub fn close(&mut self, first_seq: u32, units_sent: u64) {
+        let Some(expected) = self.expected else {
+            if units_sent > 0 {
+                let start = ANCHOR + u64::from(first_seq);
+                self.gap_events += 1;
+                self.missing.insert(start, start + units_sent);
+                self.low = start;
+                self.expected = Some(start + units_sent);
+            }
+            return;
+        };
+        let start = Self::unwrap_near(self.low, first_seq);
+        if start < self.low {
             self.gap_events += 1;
-            self.missing.insert(self.expected, final_units);
-            self.expected = final_units;
+            self.missing.insert(start, self.low);
+            self.low = start;
+        }
+        let fin = start + units_sent;
+        if fin > expected {
+            self.gap_events += 1;
+            self.missing.insert(expected, fin);
+            self.expected = Some(fin);
         }
     }
 
@@ -164,10 +251,37 @@ pub struct ShardTotals {
     pub sequence_gaps: u64,
     /// Records accepted.
     pub records_accepted: u64,
+    /// Flow-record byte counters accepted (pre loss-renormalization).
+    pub bytes_accepted: u64,
+    /// Flow-record packet counters accepted (pre loss-renormalization).
+    pub packets_accepted: u64,
+    /// Ground-truth records (datagram tags) inside duplicate-rejected
+    /// datagrams.
+    pub records_duplicate: u64,
+    /// Ground-truth records inside anomaly-rejected datagrams.
+    pub records_anomalous: u64,
+    /// Ground-truth records inside malformed datagrams.
+    pub records_malformed: u64,
+    /// Ground-truth records in accepted datagrams whose sets could not be
+    /// decoded (template-missing shortfall inside mixed datagrams).
+    pub records_undecoded: u64,
+    /// Ground-truth records in buffered datagrams abandoned at close
+    /// (their template never arrived).
+    pub records_abandoned: u64,
+    /// Distinct sequence units abandoned at close (duplicates of the same
+    /// buffered datagram counted once — the unit of loss accounting).
+    pub units_abandoned: u64,
     /// Estimated records lost, from missing units at session close.
     pub records_lost_est: u64,
     /// Records whose counters were scaled by loss-aware renormalization.
     pub records_renormalized: u64,
+    /// Bytes added to accepted records by loss-aware renormalization.
+    pub renorm_bytes_added: u64,
+    /// Packets added to accepted records by loss-aware renormalization.
+    pub renorm_packets_added: u64,
+    /// Records whose renormalized counters clipped at the `u64::MAX`
+    /// clamp (totals below them are a lower bound).
+    pub renorm_clipped: u64,
 }
 
 impl ShardTotals {
@@ -181,8 +295,19 @@ impl ShardTotals {
         self.restarts_detected += other.restarts_detected;
         self.sequence_gaps += other.sequence_gaps;
         self.records_accepted += other.records_accepted;
+        self.bytes_accepted += other.bytes_accepted;
+        self.packets_accepted += other.packets_accepted;
+        self.records_duplicate += other.records_duplicate;
+        self.records_anomalous += other.records_anomalous;
+        self.records_malformed += other.records_malformed;
+        self.records_undecoded += other.records_undecoded;
+        self.records_abandoned += other.records_abandoned;
+        self.units_abandoned += other.units_abandoned;
         self.records_lost_est += other.records_lost_est;
         self.records_renormalized += other.records_renormalized;
+        self.renorm_bytes_added += other.renorm_bytes_added;
+        self.renorm_packets_added += other.renorm_packets_added;
+        self.renorm_clipped += other.renorm_clipped;
     }
 }
 
@@ -195,7 +320,9 @@ struct DomainSession {
     tracker: SequenceTracker,
     records: Vec<FlowRecord>,
     units_accepted: u64,
-    pending: Vec<(u64, Vec<u8>)>,
+    /// Buffered undecodable datagrams: (wire sequence, ground-truth record
+    /// tag, raw bytes).
+    pending: Vec<(u32, u32, Vec<u8>)>,
     last_epoch_ms: Option<u64>,
 }
 
@@ -212,8 +339,9 @@ pub struct CollectorShard {
 fn accept_into(
     session: &mut DomainSession,
     totals: &mut ShardTotals,
-    seq: u64,
+    seq: u32,
     units: u64,
+    record_tag: u32,
     recs: Vec<FlowRecord>,
 ) -> Observation {
     let obs = session.tracker.observe(seq, units);
@@ -221,10 +349,22 @@ fn accept_into(
         Observation::New | Observation::Late => {
             session.units_accepted += units;
             totals.records_accepted += recs.len() as u64;
+            totals.bytes_accepted += recs.iter().map(|r| r.bytes).sum::<u64>();
+            totals.packets_accepted += recs.iter().map(|r| r.packets).sum::<u64>();
+            // Mixed datagrams (some sets decodable, some template-less)
+            // accept fewer records than the ground-truth tag says they
+            // carry; the shortfall is accounted, not silently dropped.
+            totals.records_undecoded += u64::from(record_tag).saturating_sub(recs.len() as u64);
             session.records.extend(recs);
         }
-        Observation::Duplicate => totals.duplicates += 1,
-        Observation::Anomaly => totals.anomalies += 1,
+        Observation::Duplicate => {
+            totals.duplicates += 1;
+            totals.records_duplicate += u64::from(record_tag);
+        }
+        Observation::Anomaly => {
+            totals.anomalies += 1;
+            totals.records_anomalous += u64::from(record_tag);
+        }
     }
     obs
 }
@@ -252,7 +392,14 @@ impl CollectorShard {
 
         // v9 restart detection must run *before* decoding: the stale
         // template cache is flushed so the restart packet's fresh template
-        // announcement is learned cleanly.
+        // announcement is learned cleanly. The boot-epoch estimate
+        // `unix_ms - uptime_ms` is computed from the u32-ms uptime field,
+        // so when the uptime clock wraps (every ~49.7 days) the estimate
+        // jumps forward by exactly 2^32 ms even though the exporter never
+        // rebooted. A jump congruent to a multiple of 2^32 ms (within the
+        // export-clock jitter tolerance) is therefore a *wrap*, not a
+        // restart — conflating the two flushes a perfectly good template
+        // cache and miscounts a restart.
         if self.units == Some(SequenceUnits::Packets) {
             if let Ok(hdr) = v9::check(&dg.bytes) {
                 let epoch =
@@ -261,8 +408,14 @@ impl CollectorShard {
                 match session.last_epoch_ms {
                     Some(prev) if epoch > prev + RESTART_EPOCH_TOLERANCE_MS => {
                         session.last_epoch_ms = Some(epoch);
-                        self.inner.forget_domain(domain);
-                        self.totals.restarts_detected += 1;
+                        let jump = epoch - prev;
+                        let rem = jump % (1u64 << 32);
+                        let near_wrap_multiple = rem <= RESTART_EPOCH_TOLERANCE_MS
+                            || (1u64 << 32) - rem <= RESTART_EPOCH_TOLERANCE_MS;
+                        if !near_wrap_multiple {
+                            self.inner.forget_domain(domain);
+                            self.totals.restarts_detected += 1;
+                        }
                     }
                     Some(prev) if epoch > prev => session.last_epoch_ms = Some(epoch),
                     Some(_) => {}
@@ -275,9 +428,10 @@ impl CollectorShard {
         let recs = self.inner.take_records();
         if !report.ok {
             self.totals.malformed += 1;
+            self.totals.records_malformed += u64::from(dg.records);
             return;
         }
-        let seq = u64::from(report.sequence.unwrap_or(0));
+        let seq = report.sequence.unwrap_or(0);
         if report.missed_sets > 0 {
             self.totals.missing_template_sets += u64::from(report.missed_sets);
             if recs.is_empty() {
@@ -286,7 +440,7 @@ impl CollectorShard {
                 // if the datagram is never resolved, its sequence range
                 // surfaces as a gap and is counted as loss.
                 let session = self.sessions.entry(domain).or_default();
-                session.pending.push((seq, dg.bytes.clone()));
+                session.pending.push((seq, dg.records, dg.bytes.clone()));
                 self.totals.buffered += 1;
                 return;
             }
@@ -296,7 +450,7 @@ impl CollectorShard {
         }
         let units = self.units_of(recs.len() as u64);
         let session = self.sessions.entry(domain).or_default();
-        accept_into(session, &mut self.totals, seq, units, recs);
+        accept_into(session, &mut self.totals, seq, units, dg.records, recs);
         self.try_replay(domain);
     }
 
@@ -311,19 +465,21 @@ impl CollectorShard {
                 return;
             }
             let mut pending = std::mem::take(&mut session.pending);
-            pending.sort_by_key(|&(seq, _)| seq);
+            // Replay in session order; raw u32 order would be wrong for a
+            // queue straddling the sequence wrap.
+            pending.sort_by_key(|&(seq, _, _)| session.tracker.position_hint(seq));
             let mut keep = Vec::with_capacity(pending.len());
             let mut progressed = false;
-            for (seq, bytes) in pending {
+            for (seq, record_tag, bytes) in pending {
                 let report = self.inner.ingest_detailed(&bytes);
                 let recs = self.inner.take_records();
                 if report.ok && (report.missed_sets == 0 || !recs.is_empty()) {
                     let units = self.units_of(recs.len() as u64);
                     let session = self.sessions.entry(domain).or_default();
-                    accept_into(session, &mut self.totals, seq, units, recs);
+                    accept_into(session, &mut self.totals, seq, units, record_tag, recs);
                     progressed = true;
                 } else {
-                    keep.push((seq, bytes));
+                    keep.push((seq, record_tag, bytes));
                 }
             }
             let session = self.sessions.entry(domain).or_default();
@@ -334,19 +490,24 @@ impl CollectorShard {
         }
     }
 
-    /// Close one domain's session against the exporter's final sequence
-    /// counter, returning the accepted (possibly renormalized) records.
-    pub fn close_domain(
-        &mut self,
-        domain: u32,
-        final_units: u64,
-        renormalize: bool,
-    ) -> Vec<FlowRecord> {
-        let mut session = self.sessions.remove(&domain).unwrap_or_default();
+    /// Close one domain's session against the exporter's ground truth
+    /// (first wire sequence and unwrapped units sent), returning the
+    /// accepted (possibly renormalized) records.
+    pub fn close_domain(&mut self, truth: &DomainTruth, renormalize: bool) -> Vec<FlowRecord> {
+        let mut session = self.sessions.remove(&truth.domain).unwrap_or_default();
         // Buffered datagrams that never found their template are abandoned;
-        // their ranges stay missing and count as loss.
-        session.pending.clear();
-        session.tracker.close(final_units);
+        // their ranges stay missing and count as loss. Records are counted
+        // per datagram; units once per distinct sequence, so a duplicated
+        // then abandoned datagram is not double-counted as loss.
+        let mut abandoned: BTreeMap<u32, u32> = BTreeMap::new();
+        for (seq, record_tag, _) in session.pending.drain(..) {
+            self.totals.records_abandoned += u64::from(record_tag);
+            abandoned.entry(seq).or_insert(record_tag);
+        }
+        for (_, record_tag) in abandoned {
+            self.totals.units_abandoned += self.units_of(u64::from(record_tag));
+        }
+        session.tracker.close(truth.first_seq, truth.units_sent);
         self.totals.sequence_gaps += session.tracker.gap_events();
         let missing = session.tracker.missing_units();
         let accepted_records = session.records.len() as u64;
@@ -366,11 +527,18 @@ impl CollectorShard {
             let accepted = u128::from(accepted_records);
             let cap = u128::from(u64::MAX);
             for r in &mut session.records {
-                let b = (u128::from(r.bytes) * total / accepted).min(cap) as u64;
-                let p = (u128::from(r.packets) * total / accepted).min(cap) as u64;
+                let bw = u128::from(r.bytes) * total / accepted;
+                let pw = u128::from(r.packets) * total / accepted;
+                if bw > cap || pw > cap {
+                    self.totals.renorm_clipped += 1;
+                }
+                let b = bw.min(cap) as u64;
+                let p = pw.min(cap) as u64;
                 if b != r.bytes || p != r.packets {
                     self.totals.records_renormalized += 1;
                 }
+                self.totals.renorm_bytes_added += b - r.bytes;
+                self.totals.renorm_packets_added += p - r.packets;
                 r.bytes = b;
                 r.packets = p;
             }
@@ -419,18 +587,15 @@ impl ShardSet {
         self.route(dg.domain).ingest(dg);
     }
 
-    /// Close every session against the fleet's final sequence counters.
+    /// Close every session against the fleet's per-domain ground truth.
     /// Records come back grouped by ascending domain, each domain's records
     /// in acceptance order — an ordering independent of the shard count.
-    pub fn close(&mut self, final_seqs: &[(u32, u64)], renormalize: bool) -> Vec<FlowRecord> {
-        let mut sorted = final_seqs.to_vec();
-        sorted.sort_unstable();
+    pub fn close(&mut self, sessions: &[DomainTruth], renormalize: bool) -> Vec<FlowRecord> {
+        let mut sorted = sessions.to_vec();
+        sorted.sort_unstable_by_key(|s| s.domain);
         let mut out = Vec::new();
-        for (domain, final_units) in sorted {
-            out.extend(
-                self.route(domain)
-                    .close_domain(domain, final_units, renormalize),
-            );
+        for truth in &sorted {
+            out.extend(self.route(truth.domain).close_domain(truth, renormalize));
         }
         out
     }
@@ -455,7 +620,7 @@ mod tests {
         assert_eq!(t.observe(0, 10), Observation::New);
         assert_eq!(t.observe(10, 10), Observation::New);
         assert_eq!(t.observe(20, 5), Observation::New);
-        t.close(25);
+        t.close(0, 25);
         assert_eq!(t.missing_units(), 0);
         assert_eq!(t.gap_events(), 0);
     }
@@ -469,7 +634,7 @@ mod tests {
         assert_eq!(t.missing_units(), 10);
         assert_eq!(t.observe(10, 10), Observation::Late);
         assert_eq!(t.missing_units(), 0);
-        t.close(30);
+        t.close(0, 30);
         assert_eq!(t.missing_units(), 0);
         // The transient gap is still recorded as an event.
         assert_eq!(t.gap_events(), 1);
@@ -505,8 +670,102 @@ mod tests {
     fn tracker_close_counts_tail_loss() {
         let mut t = SequenceTracker::new();
         assert_eq!(t.observe(0, 10), Observation::New);
-        t.close(40);
+        t.close(0, 40);
         assert_eq!(t.missing_units(), 30);
+        assert_eq!(t.gap_events(), 1);
+    }
+
+    #[test]
+    fn tracker_anchors_at_first_sequence_not_zero() {
+        // Exporters joined mid-count do not start at 0: the range before
+        // the ground-truth first sequence is not loss.
+        let mut t = SequenceTracker::new();
+        assert_eq!(t.observe(1_000_000, 10), Observation::New);
+        assert_eq!(t.observe(1_000_010, 10), Observation::New);
+        t.close(1_000_000, 20);
+        assert_eq!(t.missing_units(), 0);
+        assert_eq!(t.gap_events(), 0);
+    }
+
+    #[test]
+    fn tracker_wrap_is_continuity_not_a_gap() {
+        // seq u32::MAX - 10 then the post-wrap successor is ordinary
+        // continuity — the pre-fix tracker saw a ~4-billion-unit gap here.
+        let mut t = SequenceTracker::new();
+        assert_eq!(t.observe(u32::MAX - 10, 11), Observation::New);
+        assert_eq!(t.observe(0, 5), Observation::New);
+        assert_eq!(t.observe(5, 5), Observation::New);
+        t.close(u32::MAX - 10, 21);
+        assert_eq!(t.missing_units(), 0);
+        assert_eq!(t.gap_events(), 0);
+    }
+
+    #[test]
+    fn tracker_gap_and_late_fill_across_the_wrap() {
+        let mut t = SequenceTracker::new();
+        assert_eq!(t.observe(u32::MAX - 5, 2), Observation::New);
+        // The wrap-straddling datagram [MAX-3, 6) is delayed.
+        assert_eq!(t.observe(6, 4), Observation::New);
+        assert_eq!(t.missing_units(), 10);
+        assert_eq!(t.observe(u32::MAX - 3, 10), Observation::Late);
+        assert_eq!(t.missing_units(), 0);
+        t.close(u32::MAX - 5, 16);
+        assert_eq!(t.missing_units(), 0);
+        assert_eq!(t.gap_events(), 1);
+    }
+
+    #[test]
+    fn tracker_duplicate_across_the_wrap() {
+        let mut t = SequenceTracker::new();
+        assert_eq!(t.observe(u32::MAX - 10, 11), Observation::New);
+        assert_eq!(t.observe(0, 5), Observation::New);
+        assert_eq!(t.observe(u32::MAX - 10, 11), Observation::Duplicate);
+        assert_eq!(t.observe(0, 5), Observation::Duplicate);
+        // Straddling accepted space and beyond is still anomalous.
+        assert_eq!(t.observe(2, 10), Observation::Anomaly);
+    }
+
+    #[test]
+    fn tracker_close_counts_losses_around_the_wrap() {
+        // Head datagram [MAX-10, 5) lost: only the post-wrap one arrives.
+        let mut t = SequenceTracker::new();
+        assert_eq!(t.observe(4, 10), Observation::New);
+        t.close(u32::MAX - 10, 25);
+        assert_eq!(t.missing_units(), 15, "lost head straddling the wrap");
+        assert_eq!(t.gap_events(), 1);
+
+        // Tail lost across the wrap.
+        let mut t = SequenceTracker::new();
+        assert_eq!(t.observe(u32::MAX - 10, 5), Observation::New);
+        t.close(u32::MAX - 10, 40);
+        assert_eq!(t.missing_units(), 35, "lost tail straddling the wrap");
+    }
+
+    #[test]
+    fn tracker_reordered_head_is_accepted_below_the_anchor() {
+        // Adjacent reorder swaps the first two datagrams; the true head
+        // arrives second and lands below the anchor.
+        let mut t = SequenceTracker::new();
+        assert_eq!(t.observe(10, 10), Observation::New);
+        assert_eq!(t.observe(0, 10), Observation::New);
+        t.close(0, 20);
+        assert_eq!(t.missing_units(), 0);
+        // The swap shows up as a (filled) gap event, same as before.
+        assert_eq!(t.gap_events(), 1);
+
+        // Same shape straddling the wrap.
+        let mut t = SequenceTracker::new();
+        assert_eq!(t.observe(2, 10), Observation::New);
+        assert_eq!(t.observe(u32::MAX - 7, 10), Observation::New);
+        t.close(u32::MAX - 7, 20);
+        assert_eq!(t.missing_units(), 0);
+    }
+
+    #[test]
+    fn tracker_nothing_observed_is_all_loss() {
+        let mut t = SequenceTracker::new();
+        t.close(u32::MAX - 3, 17);
+        assert_eq!(t.missing_units(), 17);
         assert_eq!(t.gap_events(), 1);
     }
 }

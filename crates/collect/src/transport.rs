@@ -79,8 +79,15 @@ pub struct TransportReport {
     pub dropped_datagrams: u64,
     /// Flow records inside dropped datagrams — the exact loss ground truth.
     pub dropped_records: u64,
+    /// Flow-record byte counters inside dropped datagrams.
+    pub dropped_bytes: u64,
+    /// Flow-record packet counters inside dropped datagrams.
+    pub dropped_packets: u64,
     /// Duplicates injected.
     pub duplicated: u64,
+    /// Flow records inside injected duplicates — what a collector that
+    /// failed to deduplicate would double-count.
+    pub duplicated_records: u64,
     /// Adjacent swaps applied.
     pub reordered: u64,
 }
@@ -110,12 +117,15 @@ impl Transport {
             if self.profile.loss > 0.0 && self.rng.next_f64() < self.profile.loss {
                 report.dropped_datagrams += 1;
                 report.dropped_records += u64::from(dg.records);
+                report.dropped_bytes += dg.flow_bytes;
+                report.dropped_packets += dg.flow_packets;
                 continue;
             }
             let duplicate =
                 self.profile.duplicate > 0.0 && self.rng.next_f64() < self.profile.duplicate;
             if duplicate {
                 report.duplicated += 1;
+                report.duplicated_records += u64::from(dg.records);
                 out.push(dg.clone());
             }
             out.push(dg);
@@ -142,6 +152,8 @@ mod tests {
             .map(|i| WireDatagram {
                 domain: 1,
                 records: 10,
+                flow_bytes: 1_000,
+                flow_packets: 20,
                 bytes: vec![i as u8; 4],
             })
             .collect()
@@ -185,6 +197,9 @@ mod tests {
         let (out, report) = Transport::new(profile, 3).deliver(dgs(500));
         // Every datagram carries 10 records; ground truth must be exact.
         assert_eq!(report.dropped_records, report.dropped_datagrams * 10);
+        assert_eq!(report.dropped_bytes, report.dropped_datagrams * 1_000);
+        assert_eq!(report.dropped_packets, report.dropped_datagrams * 20);
+        assert_eq!(report.duplicated_records, report.duplicated * 10);
         assert!(report.dropped_datagrams > 0, "seeded loss should fire");
         assert_eq!(
             out.len() as u64,

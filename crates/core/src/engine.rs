@@ -196,6 +196,7 @@ pub struct EngineOutput {
     consumers: Vec<Option<Box<dyn AnyConsumer>>>,
     stats: EngineStats,
     wire_metrics: Option<Arc<CollectMetrics>>,
+    audit: Option<lockdown_audit::Report>,
 }
 
 impl EngineOutput {
@@ -220,6 +221,12 @@ impl EngineOutput {
     /// Wire-plane metrics, present when the plan ran in wire mode.
     pub fn wire_metrics(&self) -> Option<&Arc<CollectMetrics>> {
         self.wire_metrics.as_ref()
+    }
+
+    /// Conservation-audit report, present when the plan ran in wire mode
+    /// with auditing enabled.
+    pub fn audit(&self) -> Option<&lockdown_audit::Report> {
+        self.audit.as_ref()
     }
 }
 
@@ -255,6 +262,9 @@ pub fn run_with_workers(ctx: &Context, plan: EnginePlan, workers: usize) -> Engi
                 }
                 None => &buf,
             };
+            if let Some(pl) = &plane {
+                pl.note_consumed(&cell, batch);
+            }
             for (sub, consumer) in subs.iter().zip(merged.iter_mut()) {
                 if sub.covers(cell) {
                     consumer.observe_batch(batch);
@@ -286,6 +296,9 @@ pub fn run_with_workers(ctx: &Context, plan: EnginePlan, workers: usize) -> Engi
                             }
                             None => &buf,
                         };
+                        if let Some(pl) = plane {
+                            pl.note_consumed(&cell, batch);
+                        }
                         for (sub, consumer) in subs.iter().zip(local.iter_mut()) {
                             if sub.covers(cell) {
                                 consumer.observe_batch(batch);
@@ -314,6 +327,7 @@ pub fn run_with_workers(ctx: &Context, plan: EnginePlan, workers: usize) -> Engi
             workers,
         },
         consumers: merged.into_iter().map(Some).collect(),
+        audit: plane.as_ref().and_then(|p| p.audit_report()),
         wire_metrics: plane.map(|p| p.metrics()),
     }
 }

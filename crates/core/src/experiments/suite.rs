@@ -57,6 +57,9 @@ pub struct Suite {
     pub stats: EngineStats,
     /// Wire-plane metrics, present when the pass ran in wire mode.
     pub wire_metrics: Option<Arc<CollectMetrics>>,
+    /// Conservation-audit report, present when the pass ran in wire mode
+    /// with `WireConfig::audit` set.
+    pub audit: Option<lockdown_audit::Report>,
 }
 
 /// Run the full suite through one shared engine pass.
@@ -115,6 +118,7 @@ pub fn run_all_with(ctx: &Context, wire: Option<WireConfig>) -> Suite {
         sec9: sec9::finish(p9s, &mut out),
         stats: out.stats(),
         wire_metrics: out.wire_metrics().cloned(),
+        audit: out.audit().cloned(),
     }
 }
 

@@ -34,6 +34,9 @@ pub struct CollectorStats {
     /// Records whose counters were actually adjusted by an announced
     /// sampling interval (saturated no-op scalings are not counted).
     pub renormalized: u64,
+    /// Records whose counters clipped at `u64::MAX` while renormalizing:
+    /// downstream byte/packet totals are a lower bound for these.
+    pub renorm_clipped: u64,
 }
 
 /// Per-datagram outcome of [`Collector::ingest_detailed`].
@@ -54,28 +57,30 @@ pub struct IngestReport {
     pub boot_epoch_ms: Option<u64>,
 }
 
-/// Scale sampled counters by the exporter's announced interval; returns how
-/// many records were actually adjusted. A record whose counters are already
-/// saturated at `u64::MAX` (or are zero) is left unchanged and not counted.
+/// Scale sampled counters by the exporter's announced interval, exactly in
+/// u128 arithmetic clamped at `u64::MAX`. Returns `(adjusted, clipped)`:
+/// how many records actually changed, and how many clipped at the clamp
+/// (including already-saturated records whose scaling was a no-op) — the
+/// clip count is what tells conservation audits the totals stopped being
+/// exact, which a saturating multiply would hide.
 fn renormalize(
     records: &mut [FlowRecord],
     sampling: Option<crate::netflow::options::SamplingInfo>,
-) -> u64 {
-    let Some(info) = sampling else { return 0 };
+) -> (u64, u64) {
+    let Some(info) = sampling else { return (0, 0) };
     if info.interval <= 1 {
-        return 0;
+        return (0, 0);
     }
     let mut adjusted = 0;
+    let mut clipped = 0;
     for r in records.iter_mut() {
-        let bytes = r.bytes.saturating_mul(u64::from(info.interval));
-        let packets = r.packets.saturating_mul(u64::from(info.interval));
-        if bytes != r.bytes || packets != r.packets {
+        let before = (r.bytes, r.packets);
+        clipped += u64::from(crate::sampling::scale_counters(r, info.interval));
+        if (r.bytes, r.packets) != before {
             adjusted += 1;
         }
-        r.bytes = bytes;
-        r.packets = packets;
     }
-    adjusted
+    (adjusted, clipped)
 }
 
 /// A multi-format flow collector.
@@ -133,7 +138,9 @@ impl Collector {
                                     .saturating_sub(u64::from(hdr.sys_uptime_ms)),
                             );
                             report.missed_sets = skipped.count;
-                            self.stats.renormalized += renormalize(&mut recs, sampling);
+                            let (adjusted, clipped) = renormalize(&mut recs, sampling);
+                            self.stats.renormalized += adjusted;
+                            self.stats.renorm_clipped += clipped;
                             recs
                         })
                 }
@@ -148,7 +155,9 @@ impl Collector {
                             report.sequence = Some(hdr.sequence);
                             report.domain = Some(hdr.domain_id);
                             report.missed_sets = skipped.count;
-                            self.stats.renormalized += renormalize(&mut recs, sampling);
+                            let (adjusted, clipped) = renormalize(&mut recs, sampling);
+                            self.stats.renormalized += adjusted;
+                            self.stats.renorm_clipped += clipped;
                             recs
                         })
                 }
@@ -350,19 +359,41 @@ mod tests {
             interval: 1000,
             algorithm: 1,
         };
-        let adjusted = super::renormalize(&mut recs, Some(info));
+        let (adjusted, clipped) = super::renormalize(&mut recs, Some(info));
         assert_eq!(adjusted, 1);
+        // The saturated record's no-op scaling is no longer silent: it is
+        // reported as clipped so conservation checks know totals drifted.
+        assert_eq!(clipped, 1);
         assert_eq!(recs[0].bytes, 500_000);
         assert_eq!(recs[1].bytes, u64::MAX);
         assert_eq!(recs[2].bytes, 0);
 
         // interval <= 1 and absent sampling info adjust nothing.
-        assert_eq!(super::renormalize(&mut recs, None), 0);
+        assert_eq!(super::renormalize(&mut recs, None), (0, 0));
         let unsampled = SamplingInfo {
             interval: 1,
             algorithm: 1,
         };
-        assert_eq!(super::renormalize(&mut recs, Some(unsampled)), 0);
+        assert_eq!(super::renormalize(&mut recs, Some(unsampled)), (0, 0));
+    }
+
+    #[test]
+    fn renormalize_is_exact_in_wide_arithmetic() {
+        use crate::netflow::options::SamplingInfo;
+        let t = Date::new(2020, 3, 18).midnight();
+        // bytes * interval overflows u64 but fits u128: the scaled value
+        // must clamp (and be counted), not wrap or lose low bits.
+        let mut recs = records(1, t);
+        recs[0].bytes = u64::MAX / 2 + 1;
+        recs[0].packets = 10;
+        let info = SamplingInfo {
+            interval: 4,
+            algorithm: 1,
+        };
+        let (adjusted, clipped) = super::renormalize(&mut recs, Some(info));
+        assert_eq!((adjusted, clipped), (1, 1));
+        assert_eq!(recs[0].bytes, u64::MAX);
+        assert_eq!(recs[0].packets, 40, "unclipped counter scales exactly");
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct ExporterConfig {
     /// announced in-band via an options template (v9/IPFIX only; the
     /// collector renormalizes). `None`/1 exports everything.
     pub sampling: Option<u32>,
+    /// Header sequence counter value of the first datagram. Long-lived
+    /// exporters carry arbitrary counter positions — including ones about
+    /// to wrap the u32 field — so collectors must never assume sessions
+    /// start at zero.
+    pub initial_sequence: u32,
 }
 
 impl ExporterConfig {
@@ -63,6 +68,7 @@ impl ExporterConfig {
             domain_id: 0,
             template_id: 256,
             sampling: None,
+            initial_sequence: 0,
         }
     }
 }
@@ -75,7 +81,14 @@ pub struct Exporter {
     options_template: OptionsTemplate,
     sampler: Option<FlowSampler>,
     /// v5: flows exported; v9: packets emitted; IPFIX: data records emitted.
+    /// Wraps at u32 like the wire field it feeds.
     sequence: u32,
+    /// Unwrapped total of sequence units emitted since construction — the
+    /// ground truth collectors are validated against (the wire counter
+    /// above is this value mod 2^32, offset by `initial_sequence`).
+    units_sent: u64,
+    /// Flows offered but not selected by the sampler.
+    sampled_out: u64,
     packets_emitted: u32,
     pending: Vec<FlowRecord>,
 }
@@ -103,12 +116,15 @@ impl Exporter {
             _ => None,
         };
         let options_template = OptionsTemplate::sampling(config.template_id + 1);
+        let sequence = config.initial_sequence;
         Exporter {
             config,
             template,
             options_template,
             sampler,
-            sequence: 0,
+            sequence,
+            units_sent: 0,
+            sampled_out: 0,
             packets_emitted: 0,
             pending: Vec::new(),
         }
@@ -136,10 +152,28 @@ impl Exporter {
     }
 
     /// Current sequence counter: the value the *next* datagram's header will
-    /// carry. After the final flush this equals the total units sent
-    /// (flows for v5, packets for v9, records for IPFIX).
+    /// carry. This is the wire-width (wrapping u32) counter; for the total
+    /// units actually sent, use [`Exporter::units_sent`].
     pub fn sequence(&self) -> u32 {
         self.sequence
+    }
+
+    /// The sequence value the *first* datagram carried (from the config).
+    pub fn initial_sequence(&self) -> u32 {
+        self.config.initial_sequence
+    }
+
+    /// Unwrapped total sequence units emitted so far (flows for v5,
+    /// packets for v9, records for IPFIX). Unlike [`Exporter::sequence`],
+    /// this never wraps and does not include `initial_sequence`.
+    pub fn units_sent(&self) -> u64 {
+        self.units_sent
+    }
+
+    /// Flows offered via [`Exporter::push`] that the in-band sampler
+    /// rejected (and which therefore never reached the wire).
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out
     }
 
     /// Simulate an exporter restart at `boot_time`: the uptime base resets
@@ -159,6 +193,7 @@ impl Exporter {
     pub fn push(&mut self, record: FlowRecord, now: Timestamp) -> Option<Vec<u8>> {
         if let Some(sampler) = &self.sampler {
             if !sampler.selects(&record) {
+                self.sampled_out += 1;
                 return None;
             }
         }
@@ -207,6 +242,7 @@ impl Exporter {
             ExportFormat::NetflowV5 => {
                 let pkt = v5::encode(&batch, now, self.config.boot_time, self.sequence);
                 self.sequence = self.sequence.wrapping_add(batch.len() as u32);
+                self.units_sent += batch.len() as u64;
                 pkt
             }
             ExportFormat::NetflowV9 => {
@@ -228,6 +264,7 @@ impl Exporter {
                     self.config.domain_id,
                 );
                 self.sequence = self.sequence.wrapping_add(1); // v9: per packet
+                self.units_sent += 1;
                 pkt
             }
             ExportFormat::Ipfix => {
@@ -248,6 +285,7 @@ impl Exporter {
                     self.config.domain_id,
                 );
                 self.sequence = self.sequence.wrapping_add(batch.len() as u32);
+                self.units_sent += batch.len() as u64;
                 pkt
             }
         };
@@ -350,5 +388,25 @@ mod tests {
     fn flush_on_empty_is_none() {
         let (mut e, now) = mk(ExportFormat::Ipfix, 4, 1);
         assert!(e.flush(now).is_none());
+    }
+
+    #[test]
+    fn initial_sequence_carries_and_wraps() {
+        let boot = Date::new(2020, 2, 1).midnight();
+        let mut cfg = ExporterConfig::new(ExportFormat::Ipfix, boot);
+        cfg.batch_size = 4;
+        cfg.template_refresh = 1;
+        cfg.initial_sequence = u32::MAX - 2;
+        let mut e = Exporter::new(cfg);
+        let now = boot.add_hours(24);
+        let recs: Vec<_> = (0..8).map(|i| record(i, now)).collect();
+        let pkts = e.export_all(&recs, now.add_secs(1));
+        let mut cache = v9::TemplateCache::new();
+        let (h0, _) = ipfix::decode(&pkts[0], &mut cache).unwrap();
+        let (h1, _) = ipfix::decode(&pkts[1], &mut cache).unwrap();
+        // The wire counter wraps at u32; the unwrapped tally does not.
+        assert_eq!((h0.sequence, h1.sequence), (u32::MAX - 2, 1));
+        assert_eq!(e.units_sent(), 8);
+        assert_eq!(e.sequence(), 5);
     }
 }

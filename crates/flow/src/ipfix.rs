@@ -10,7 +10,7 @@
 //! timestamps, so no uptime conversion is involved.
 
 use crate::netflow::options::{parse_options_record, validate, OptionsTemplate, SamplingInfo};
-use crate::netflow::v9::{decode_record, SkippedSets, TemplateCache};
+use crate::netflow::v9::{decode_record, SkippedSets, TemplateCache, TimeAnchor};
 use crate::netflow::{FieldSpec, Template};
 use crate::record::FlowRecord;
 use crate::time::Timestamp;
@@ -235,6 +235,13 @@ pub fn decode_tolerant(
     cache: &mut TemplateCache,
 ) -> WireResult<(IpfixHeader, Vec<FlowRecord>, SkippedSets)> {
     let header = check(buf)?;
+    // IPFIX has no uptime clock; the anchor carries the absolute export
+    // time with a zero uptime base, so any (non-standard) uptime-relative
+    // field a template might carry still resolves against the export time.
+    let anchor = TimeAnchor {
+        export_unix_ms: u64::from(header.export_time) * 1000,
+        uptime_ms: 0,
+    };
     let mut c = Cursor::new(&buf[HEADER_LEN..header.length as usize]);
     let mut records = Vec::new();
     let mut skipped = SkippedSets::default();
@@ -317,9 +324,7 @@ pub fn decode_tolerant(
                     });
                 }
                 while body.remaining() >= rec_len {
-                    // boot time 0: the standard IPFIX template uses absolute
-                    // timestamps, so no uptime base is needed.
-                    records.push(decode_record(&mut body, &template, 0)?);
+                    records.push(decode_record(&mut body, &template, anchor)?);
                 }
             }
             _ => {

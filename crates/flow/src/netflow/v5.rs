@@ -13,7 +13,7 @@
 
 use crate::protocol::{IpProtocol, TcpFlags};
 use crate::record::{Direction, FlowKey, FlowRecord};
-use crate::time::Timestamp;
+use crate::time::{uptime, Timestamp};
 use crate::wire::{Cursor, PutBe, WireError, WireResult};
 use std::net::Ipv4Addr;
 
@@ -65,11 +65,15 @@ pub fn encode(
         records.len()
     );
     assert!(export_time >= boot_time, "export before boot");
-    let uptime_ms = (export_time.unix() - boot_time.unix()) * 1000;
+    // The uptime clock is modular: routers stay up past the ~49.7-day u32
+    // wrap, so all uptime fields are encoded mod 2^32 and decoded against
+    // the export-time anchor (see `time::uptime`).
+    let boot_ms = boot_time.unix() * 1000;
+    let export_ms = export_time.unix() * 1000;
     let mut buf = Vec::with_capacity(HEADER_LEN + records.len() * RECORD_LEN);
     buf.put_u16_be(VERSION);
     buf.put_u16_be(records.len() as u16);
-    buf.put_u32_be(uptime_ms as u32);
+    buf.put_u32_be(uptime::to_wire(export_ms, boot_ms));
     buf.put_u32_be(export_time.unix() as u32);
     buf.put_u32_be(0); // unix nanoseconds: generator works at 1 s granularity
     buf.put_u32_be(flow_sequence);
@@ -79,13 +83,9 @@ pub fn encode(
 
     for r in records {
         // Clamp timestamps into [boot, export]: exporters can emit records
-        // for flows still in progress, and collectors see clock skew; the
-        // uptime encoding must never underflow.
-        let rel_ms = |t: crate::time::Timestamp| {
-            uptime_ms.saturating_sub(export_time.unix().saturating_sub(t.unix()) * 1000)
-        };
-        let first_ms = rel_ms(r.start);
-        let last_ms = rel_ms(r.end);
+        // for flows still in progress, and collectors see clock skew.
+        let first_ms = uptime::record_field(r.start.unix() * 1000, boot_ms, export_ms);
+        let last_ms = uptime::record_field(r.end.unix() * 1000, boot_ms, export_ms);
         buf.put_u32_be(u32::from(r.key.src_addr));
         buf.put_u32_be(u32::from(r.key.dst_addr));
         buf.put_u32_be(0); // next hop: not modelled
@@ -96,8 +96,8 @@ pub fn encode(
         // corrupt counts silently).
         buf.put_u32_be(u32::try_from(r.packets).unwrap_or(u32::MAX));
         buf.put_u32_be(u32::try_from(r.bytes).unwrap_or(u32::MAX));
-        buf.put_u32_be(first_ms as u32);
-        buf.put_u32_be(last_ms as u32);
+        buf.put_u32_be(first_ms);
+        buf.put_u32_be(last_ms);
         buf.put_u16_be(r.key.src_port);
         buf.put_u16_be(r.key.dst_port);
         buf.put_u8_be(0); // pad1
@@ -161,7 +161,11 @@ pub fn check(buf: &[u8]) -> WireResult<V5Header> {
 pub fn decode(buf: &[u8]) -> WireResult<(V5Header, Vec<FlowRecord>)> {
     let header = check(buf)?;
     let mut c = Cursor::new(&buf[HEADER_LEN..]);
-    let boot_unix_ms = u64::from(header.unix_secs) * 1000 - u64::from(header.sys_uptime_ms);
+    // Never reconstruct a boot time by subtracting the (wrapped) uptime
+    // from the export clock: it underflows for young exporters and lands
+    // ~49.7 days off once the uptime clock has wrapped. Uptime fields are
+    // resolved against the export-time anchor instead.
+    let export_ms = u64::from(header.unix_secs) * 1000;
     let mut records = Vec::with_capacity(header.count as usize);
     for _ in 0..header.count {
         let src_addr = Ipv4Addr::from(c.read_u32("srcaddr")?);
@@ -171,8 +175,8 @@ pub fn decode(buf: &[u8]) -> WireResult<(V5Header, Vec<FlowRecord>)> {
         let output_if = c.read_u16("output")?;
         let packets = u64::from(c.read_u32("dPkts")?);
         let bytes = u64::from(c.read_u32("dOctets")?);
-        let first_ms = u64::from(c.read_u32("first")?);
-        let last_ms = u64::from(c.read_u32("last")?);
+        let first_ms = c.read_u32("first")?;
+        let last_ms = c.read_u32("last")?;
         let src_port = c.read_u16("srcport")?;
         let dst_port = c.read_u16("dstport")?;
         c.skip(1, "pad1")?;
@@ -183,8 +187,12 @@ pub fn decode(buf: &[u8]) -> WireResult<(V5Header, Vec<FlowRecord>)> {
         let dst_as = u32::from(c.read_u16("dst_as")?);
         c.skip(4, "masks+pad2")?;
 
-        let start = Timestamp::from_unix((boot_unix_ms + first_ms) / 1000);
-        let end = Timestamp::from_unix((boot_unix_ms + last_ms) / 1000);
+        let start = Timestamp::from_unix(
+            uptime::from_wire(first_ms, header.sys_uptime_ms, export_ms) / 1000,
+        );
+        let end = Timestamp::from_unix(
+            uptime::from_wire(last_ms, header.sys_uptime_ms, export_ms) / 1000,
+        );
         if end < start {
             return Err(WireError::BadField {
                 what: "v5 record: flow ends before it starts",
@@ -339,5 +347,45 @@ mod tests {
         assert_eq!(hdr.count, 0);
         assert_eq!(hdr.flow_sequence, 77);
         assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn uptime_wrap_straddling_flow_roundtrips() {
+        // Boot the router ~49.7 days before the export so the u32 uptime
+        // clock wraps between the flow's start and the export instant. The
+        // pre-fix decoder reconstructed boot = export - wrapped_uptime and
+        // placed such starts ~49.7 days in the future, then rejected the
+        // record as "ends before it starts".
+        let boot = Date::new(2020, 1, 1).midnight();
+        let wrap_secs = uptime::WRAP_MS / 1000; // 4_294_967 s
+        let export = boot.add_secs(wrap_secs + 10); // uptime just wrapped
+        let mut r = sample_record(export);
+        r.start = Timestamp(export.unix() - 30); // before the wrap point
+        r.end = Timestamp(export.unix() - 5); // after the wrap point
+        let pkt = encode(&[r], export, boot, 0);
+        let (hdr, out) = decode(&pkt).unwrap();
+        assert!(
+            u64::from(hdr.sys_uptime_ms) < 20_000,
+            "uptime field must have wrapped, got {}",
+            hdr.sys_uptime_ms
+        );
+        assert_eq!(out[0].start, r.start);
+        assert_eq!(out[0].end, r.end);
+    }
+
+    #[test]
+    fn multi_wrap_uptime_decodes_exactly() {
+        // An exporter up for > 2 wrap periods: decode stays exact because
+        // it is anchored to the export time, not a reconstructed boot.
+        let boot = Date::new(2019, 6, 1).midnight();
+        let wrap_secs = uptime::WRAP_MS / 1000;
+        let export = boot.add_secs(2 * wrap_secs + 500_000);
+        let mut r = sample_record(export);
+        r.start = Timestamp(export.unix() - 120);
+        r.end = Timestamp(export.unix() - 60);
+        let pkt = encode(&[r], export, boot, 3);
+        let (_, out) = decode(&pkt).unwrap();
+        assert_eq!(out[0].start, r.start);
+        assert_eq!(out[0].end, r.end);
     }
 }

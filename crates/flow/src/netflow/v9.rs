@@ -10,10 +10,25 @@ use super::options::{parse_options_record, validate, OptionsTemplate, SamplingIn
 use super::{field, FieldSpec, Template};
 use crate::protocol::{IpProtocol, TcpFlags};
 use crate::record::{Direction, FlowKey, FlowRecord};
-use crate::time::Timestamp;
+use crate::time::{uptime, Timestamp};
 use crate::wire::{Cursor, PutBe, WireError, WireResult};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+
+/// Export-time anchor for resolving uptime-relative timestamp fields.
+///
+/// Both values come from the packet header being decoded; wrapped
+/// `FIRST_SWITCHED`/`LAST_SWITCHED` fields are resolved against them via
+/// [`uptime::from_wire`], never against a reconstructed boot time (which
+/// goes wrong once the u32 uptime clock wraps). Decoders for formats with
+/// absolute timestamps (IPFIX) pass an anchor with `uptime_ms == 0`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TimeAnchor {
+    /// Export time from the header, in Unix milliseconds.
+    pub export_unix_ms: u64,
+    /// `SysUptime` from the header (wrapped u32 milliseconds).
+    pub uptime_ms: u32,
+}
 
 /// Protocol version constant.
 pub const VERSION: u16 = 9;
@@ -136,13 +151,15 @@ pub fn encode_full(
     source_id: u32,
 ) -> Vec<u8> {
     assert!(export_time >= boot_time, "export before boot");
-    let uptime_ms = (export_time.unix() - boot_time.unix()) * 1000;
+    // Modular uptime encoding: see `time::uptime` for the wrap semantics.
+    let boot_ms = boot_time.unix() * 1000;
+    let export_ms = export_time.unix() * 1000;
     let mut buf = Vec::new();
     let record_count =
         records.len() + usize::from(template.is_some()) + if sampling.is_some() { 2 } else { 0 };
     buf.put_u16_be(VERSION);
     buf.put_u16_be(record_count as u16);
-    buf.put_u32_be(uptime_ms as u32);
+    buf.put_u32_be(uptime::to_wire(export_ms, boot_ms));
     buf.put_u32_be(export_time.unix() as u32);
     buf.put_u32_be(sequence);
     buf.put_u32_be(source_id);
@@ -155,7 +172,7 @@ pub fn encode_full(
         encode_options_data_flowset(&mut buf, ot, info, source_id);
     }
     if !records.is_empty() {
-        encode_data_flowset(&mut buf, records, data_template, export_time, uptime_ms);
+        encode_data_flowset(&mut buf, records, data_template, boot_ms, export_ms);
     }
     buf
 }
@@ -225,8 +242,8 @@ fn encode_data_flowset(
     buf: &mut Vec<u8>,
     records: &[FlowRecord],
     template: &Template,
-    export_time: Timestamp,
-    uptime_ms: u64,
+    boot_ms: u64,
+    export_ms: u64,
 ) {
     let raw_len = 4 + records.len() * template.record_len();
     let padding = (4 - raw_len % 4) % 4; // FlowSets are 32-bit aligned
@@ -234,7 +251,7 @@ fn encode_data_flowset(
     buf.put_u16_be((raw_len + padding) as u16);
     for r in records {
         for f in &template.fields {
-            encode_field(buf, r, f, export_time, uptime_ms);
+            encode_field(buf, r, f, boot_ms, export_ms);
         }
     }
     for _ in 0..padding {
@@ -243,16 +260,10 @@ fn encode_data_flowset(
 }
 
 /// Encode one field of one record according to its spec.
-fn encode_field(
-    buf: &mut Vec<u8>,
-    r: &FlowRecord,
-    spec: &FieldSpec,
-    export_time: Timestamp,
-    uptime_ms: u64,
-) {
+fn encode_field(buf: &mut Vec<u8>, r: &FlowRecord, spec: &FieldSpec, boot_ms: u64, export_ms: u64) {
     use field::*;
     let rel_ms = |t: Timestamp| -> u64 {
-        uptime_ms.saturating_sub(export_time.unix().saturating_sub(t.unix()) * 1000)
+        u64::from(uptime::record_field(t.unix() * 1000, boot_ms, export_ms))
     };
     let value: u64 = match spec.field_type {
         IPV4_SRC_ADDR => u64::from(u32::from(r.key.src_addr)),
@@ -353,7 +364,10 @@ pub fn decode_tolerant(
     cache: &mut TemplateCache,
 ) -> WireResult<(V9Header, Vec<FlowRecord>, SkippedSets)> {
     let header = check(buf)?;
-    let boot_unix_ms = u64::from(header.unix_secs) * 1000 - u64::from(header.sys_uptime_ms);
+    let anchor = TimeAnchor {
+        export_unix_ms: u64::from(header.unix_secs) * 1000,
+        uptime_ms: header.sys_uptime_ms,
+    };
     let mut c = Cursor::new(&buf[HEADER_LEN..]);
     let mut records = Vec::new();
     let mut skipped = SkippedSets::default();
@@ -385,7 +399,7 @@ pub fn decode_tolerant(
                     skipped.note(id);
                     continue;
                 };
-                decode_data_flowset(&mut body, &template, boot_unix_ms, &mut records)?;
+                decode_data_flowset(&mut body, &template, anchor, &mut records)?;
             }
             id => {
                 return Err(WireError::BadField {
@@ -464,7 +478,7 @@ fn decode_options_template_flowset(
 fn decode_data_flowset(
     c: &mut Cursor<'_>,
     template: &Template,
-    boot_unix_ms: u64,
+    anchor: TimeAnchor,
     out: &mut Vec<FlowRecord>,
 ) -> WireResult<()> {
     let rec_len = template.record_len();
@@ -475,7 +489,7 @@ fn decode_data_flowset(
         });
     }
     while c.remaining() >= rec_len {
-        out.push(decode_record(c, template, boot_unix_ms)?);
+        out.push(decode_record(c, template, anchor)?);
     }
     // Whatever is left (< rec_len) is alignment padding.
     Ok(())
@@ -487,7 +501,7 @@ fn decode_data_flowset(
 pub(crate) fn decode_record(
     c: &mut Cursor<'_>,
     template: &Template,
-    boot_unix_ms: u64,
+    anchor: TimeAnchor,
 ) -> WireResult<FlowRecord> {
     use field::*;
     let mut src_addr = Ipv4Addr::UNSPECIFIED;
@@ -514,8 +528,16 @@ pub(crate) fn decode_record(
             OUTPUT_SNMP => output_if = v as u16,
             IN_BYTES => bytes = v,
             IN_PKTS => packets = v,
-            FIRST_SWITCHED => start = Timestamp((boot_unix_ms + v) / 1000),
-            LAST_SWITCHED => end = Timestamp((boot_unix_ms + v) / 1000),
+            FIRST_SWITCHED => {
+                start = Timestamp(
+                    uptime::from_wire(v as u32, anchor.uptime_ms, anchor.export_unix_ms) / 1000,
+                )
+            }
+            LAST_SWITCHED => {
+                end = Timestamp(
+                    uptime::from_wire(v as u32, anchor.uptime_ms, anchor.export_unix_ms) / 1000,
+                )
+            }
             FLOW_START_SECONDS => start = Timestamp(v),
             FLOW_END_SECONDS => end = Timestamp(v),
             SRC_AS => src_as = v as u32,
@@ -675,6 +697,32 @@ mod tests {
         let pkt = encode(&[r], Some(&t), &t, export, boot, 0, 0);
         let mut cache = TemplateCache::new();
         assert!(decode(&pkt[..pkt.len() - 5], &mut cache).is_err());
+    }
+
+    #[test]
+    fn uptime_wrap_straddling_flow_roundtrips() {
+        // The exporter has been up just past one u32-ms wrap: FIRST/LAST
+        // SWITCHED fields straddling the wrap must decode monotonically
+        // against the export-time anchor. The pre-fix decoder derived
+        // boot = export - wrapped_uptime and rejected these records.
+        let boot = Date::new(2020, 1, 1).midnight();
+        let wrap_secs = uptime::WRAP_MS / 1000;
+        let export = boot.add_secs(wrap_secs + 10);
+        let t = Template::standard_v9(300);
+        let mut r = sample(export, 1);
+        r.start = Timestamp(export.unix() - 30); // before the wrap
+        r.end = Timestamp(export.unix() - 5); // after the wrap
+        let pkt = encode(&[r], Some(&t), &t, export, boot, 0, 1);
+        let hdr = check(&pkt).unwrap();
+        assert!(
+            u64::from(hdr.sys_uptime_ms) < 20_000,
+            "uptime field must have wrapped, got {}",
+            hdr.sys_uptime_ms
+        );
+        let mut cache = TemplateCache::new();
+        let (_, out) = decode(&pkt, &mut cache).unwrap();
+        assert_eq!(out[0].start, r.start);
+        assert_eq!(out[0].end, r.end);
     }
 
     #[test]

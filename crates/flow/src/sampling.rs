@@ -14,6 +14,21 @@
 
 use crate::record::FlowRecord;
 
+/// Scale a record's byte/packet counters by `factor`, exactly, in u128
+/// arithmetic, clamping at `u64::MAX`. Returns `true` when either counter
+/// clipped at the clamp — callers account clipped records explicitly so
+/// volume conservation checks know the totals are a lower bound rather
+/// than silently drifting.
+pub fn scale_counters(record: &mut FlowRecord, factor: u32) -> bool {
+    let cap = u128::from(u64::MAX);
+    let bytes = u128::from(record.bytes) * u128::from(factor);
+    let packets = u128::from(record.packets) * u128::from(factor);
+    let clipped = bytes > cap || packets > cap;
+    record.bytes = bytes.min(cap) as u64;
+    record.packets = packets.min(cap) as u64;
+    clipped
+}
+
 /// Deterministic 1-in-N flow sampler with counter renormalization.
 #[derive(Debug, Clone, Copy)]
 pub struct FlowSampler {
@@ -58,20 +73,40 @@ impl FlowSampler {
     }
 
     /// Sample one record: `None` if dropped; otherwise the record with
-    /// byte/packet counters scaled by the rate (saturating).
+    /// byte/packet counters scaled by the rate, exactly in u128, clamped
+    /// at `u64::MAX` (see [`scale_counters`]).
     pub fn sample(&self, record: &FlowRecord) -> Option<FlowRecord> {
+        self.sample_counted(record).map(|(out, _)| out)
+    }
+
+    /// [`FlowSampler::sample`], also reporting whether a counter clipped
+    /// at the `u64::MAX` clamp during renormalization.
+    pub fn sample_counted(&self, record: &FlowRecord) -> Option<(FlowRecord, bool)> {
         if !self.selects(record) {
             return None;
         }
         let mut out = *record;
-        out.bytes = out.bytes.saturating_mul(u64::from(self.rate));
-        out.packets = out.packets.saturating_mul(u64::from(self.rate));
-        Some(out)
+        let clipped = scale_counters(&mut out, self.rate);
+        Some((out, clipped))
     }
 
     /// Sample a batch.
     pub fn sample_all(&self, records: &[FlowRecord]) -> Vec<FlowRecord> {
         records.iter().filter_map(|r| self.sample(r)).collect()
+    }
+
+    /// Sample a batch, also counting records whose counters clipped.
+    pub fn sample_all_counted(&self, records: &[FlowRecord]) -> (Vec<FlowRecord>, u64) {
+        let mut clipped = 0u64;
+        let out = records
+            .iter()
+            .filter_map(|r| self.sample_counted(r))
+            .map(|(r, c)| {
+                clipped += u64::from(c);
+                r
+            })
+            .collect();
+        (out, clipped)
     }
 }
 
@@ -158,5 +193,36 @@ mod tests {
     #[should_panic(expected = "rate must be >= 1")]
     fn zero_rate_rejected() {
         FlowSampler::new(0, 1);
+    }
+
+    #[test]
+    fn scaling_is_exact_and_clips_are_counted() {
+        let t = Date::new(2020, 3, 25).at_hour(12);
+        let mut near_max = records(1)[0];
+        near_max.start = t; // fixed key/start
+        near_max.bytes = u64::MAX / 2;
+        near_max.packets = 3;
+        // A factor of 2 is exact; 3 clips bytes at the clamp.
+        let mut a = near_max;
+        assert!(!scale_counters(&mut a, 2));
+        assert_eq!(a.bytes, (u64::MAX / 2) * 2);
+        assert_eq!(a.packets, 6);
+        let mut b = near_max;
+        assert!(scale_counters(&mut b, 3));
+        assert_eq!(b.bytes, u64::MAX, "clipped at the clamp, not wrapped");
+        assert_eq!(b.packets, 9, "unclipped counter still scales exactly");
+    }
+
+    #[test]
+    fn sample_all_counted_reports_clips() {
+        let mut recs = records(64);
+        for r in &mut recs {
+            r.bytes = u64::MAX / 4;
+        }
+        let s = FlowSampler::new(8, 3);
+        let (kept, clipped) = s.sample_all_counted(&recs);
+        assert!(!kept.is_empty());
+        assert_eq!(clipped, kept.len() as u64, "every kept record clips at x8");
+        assert!(kept.iter().all(|r| r.bytes == u64::MAX));
     }
 }

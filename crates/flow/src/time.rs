@@ -275,6 +275,73 @@ fn civil_from_days(z: i64) -> (i32, u8, u8) {
     ((y + i64::from(m <= 2)) as i32, m, d)
 }
 
+/// Wrap-aware arithmetic for the NetFlow `SysUptime` clock.
+///
+/// v5/v9 headers carry the exporter's uptime as u32 *milliseconds*, which
+/// wraps every `2^32` ms — about 49.7 days. Routers routinely stay up far
+/// longer, so encoders must treat the field as modular and decoders must
+/// never reconstruct a "boot time" by subtracting the wrapped field from the
+/// export clock: timestamps that straddle a wrap would land ~49.7 days in
+/// the future (and flows spanning the wrap would appear to end before they
+/// start). Instead, every decode resolves a field against the *export-time
+/// anchor* carried in the same header, using serial-number (RFC 1982 style)
+/// disambiguation within half a wrap period.
+pub mod uptime {
+    /// The uptime clock's period: `2^32` ms, about 49.7 days.
+    pub const WRAP_MS: u64 = 1 << 32;
+    /// Half the wrap period. Offsets within this window are unambiguous
+    /// under serial-number comparison.
+    pub const HALF_WRAP_MS: u64 = 1 << 31;
+
+    /// Encode an absolute Unix-millisecond instant as the wrapped u32
+    /// uptime of an exporter booted at `boot_unix_ms`. Pure modular
+    /// arithmetic: instants before boot wrap backwards, which decodes
+    /// correctly as long as they stay within half a wrap of the anchor.
+    pub fn to_wire(unix_ms: u64, boot_unix_ms: u64) -> u32 {
+        unix_ms.wrapping_sub(boot_unix_ms) as u32
+    }
+
+    /// Wire uptime for a record timestamp, clamped into `[boot, export]`
+    /// before wrapping: exporters emit records for flows still in progress
+    /// (clamped to the export instant) and may see pre-boot timestamps
+    /// under clock skew (clamped to boot), and the encoding must stay
+    /// within half a wrap of the export anchor to decode unambiguously.
+    pub fn record_field(unix_ms: u64, boot_unix_ms: u64, export_unix_ms: u64) -> u32 {
+        debug_assert!(boot_unix_ms <= export_unix_ms, "export before boot");
+        to_wire(unix_ms.clamp(boot_unix_ms, export_unix_ms), boot_unix_ms)
+    }
+
+    /// Decode a wrapped uptime `field` back to absolute Unix milliseconds
+    /// against the export-time anchor `(export_uptime_ms, export_unix_ms)`
+    /// taken from the same packet header. Fields up to [`HALF_WRAP_MS`]
+    /// behind the anchor resolve into the past — across any number of
+    /// wraps — and fields ahead of it resolve (slightly) into the future,
+    /// covering exporter clock skew.
+    pub fn from_wire(field: u32, export_uptime_ms: u32, export_unix_ms: u64) -> u64 {
+        let behind = u64::from(export_uptime_ms.wrapping_sub(field));
+        if behind <= HALF_WRAP_MS {
+            export_unix_ms.saturating_sub(behind)
+        } else {
+            export_unix_ms + u64::from(field.wrapping_sub(export_uptime_ms))
+        }
+    }
+
+    /// Checked variant of [`from_wire`]: `None` when the resolved instant
+    /// would precede the Unix epoch (only possible with a corrupt anchor).
+    pub fn checked_from_wire(
+        field: u32,
+        export_uptime_ms: u32,
+        export_unix_ms: u64,
+    ) -> Option<u64> {
+        let behind = u64::from(export_uptime_ms.wrapping_sub(field));
+        if behind <= HALF_WRAP_MS {
+            export_unix_ms.checked_sub(behind)
+        } else {
+            export_unix_ms.checked_add(u64::from(field.wrapping_sub(export_uptime_ms)))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,5 +433,75 @@ mod tests {
     #[should_panic(expected = "day out of range")]
     fn invalid_date_panics() {
         Date::new(2019, 2, 29);
+    }
+
+    #[test]
+    fn uptime_roundtrip_within_first_epoch() {
+        let boot_ms = Date::new(2020, 2, 1).midnight().unix() * 1000;
+        let export_ms = boot_ms + 5 * 3_600 * 1000;
+        let export_field = uptime::to_wire(export_ms, boot_ms);
+        for t in [boot_ms, boot_ms + 1, export_ms - 60_000, export_ms] {
+            let field = uptime::to_wire(t, boot_ms);
+            assert_eq!(uptime::from_wire(field, export_field, export_ms), t);
+        }
+    }
+
+    #[test]
+    fn uptime_roundtrip_across_the_wrap() {
+        // Boot ~49.7 days before export so the uptime clock wraps between
+        // a flow's start and the export instant.
+        let boot_ms = Date::new(2020, 2, 1).midnight().unix() * 1000;
+        let export_ms = boot_ms + uptime::WRAP_MS + 5_000; // just past the wrap
+        let export_field = uptime::to_wire(export_ms, boot_ms);
+        assert_eq!(u64::from(export_field), 5_000, "uptime field has wrapped");
+        // A flow that started 1 s *before* the wrap decodes monotonically.
+        let start_ms = boot_ms + uptime::WRAP_MS - 1_000;
+        let field = uptime::to_wire(start_ms, boot_ms);
+        assert_eq!(uptime::from_wire(field, export_field, export_ms), start_ms);
+        // And one just after it.
+        let after_ms = boot_ms + uptime::WRAP_MS + 1_000;
+        let field = uptime::to_wire(after_ms, boot_ms);
+        assert_eq!(uptime::from_wire(field, export_field, export_ms), after_ms);
+    }
+
+    #[test]
+    fn uptime_resolves_multi_wrap_uptimes() {
+        // An exporter up for several wrap periods: fields still resolve
+        // exactly because decoding is anchor-relative, not boot-relative.
+        let boot_ms = Date::new(2015, 1, 1).midnight().unix() * 1000;
+        let export_ms = boot_ms + 3 * uptime::WRAP_MS + 123_456;
+        let export_field = uptime::to_wire(export_ms, boot_ms);
+        let t = export_ms - 3_599_000; // an hour-old flow
+        let field = uptime::to_wire(t, boot_ms);
+        assert_eq!(uptime::from_wire(field, export_field, export_ms), t);
+    }
+
+    #[test]
+    fn uptime_record_field_clamps_into_window() {
+        let boot_ms = 1_000_000;
+        let export_ms = boot_ms + 10_000;
+        // Before boot clamps to boot (field 0), after export to export.
+        assert_eq!(uptime::record_field(0, boot_ms, export_ms), 0);
+        assert_eq!(
+            uptime::record_field(export_ms + 5_000, boot_ms, export_ms),
+            uptime::to_wire(export_ms, boot_ms)
+        );
+    }
+
+    #[test]
+    fn uptime_future_skew_resolves_forward() {
+        // A field slightly *ahead* of the export anchor (exporter clock
+        // skew) resolves into the future instead of 49.7 days back.
+        let export_ms = 1_700_000_000_000;
+        let export_field = 50_000u32;
+        let field = export_field + 2_000;
+        assert_eq!(
+            uptime::from_wire(field, export_field, export_ms),
+            export_ms + 2_000
+        );
+        assert_eq!(
+            uptime::checked_from_wire(field, export_field, export_ms),
+            Some(export_ms + 2_000)
+        );
     }
 }

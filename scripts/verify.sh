@@ -27,13 +27,22 @@ if [[ $quick -eq 0 ]]; then
     echo "==> bench smoke (cargo bench -- --test)"
     cargo bench -p lockdown-bench -- --test
 
-    echo "==> wire-mode zero-fault equality"
+    echo "==> wire-mode zero-fault equality (audited)"
     plain=$(mktemp)
     wired=$(mktemp)
     trap 'rm -f "$plain" "$wired"' EXIT
     ./target/release/lockdown figures --fidelity test > "$plain"
-    ./target/release/lockdown figures --fidelity test --wire > "$wired" 2> /dev/null
+    # --audit makes a conservation violation a hard failure (non-zero exit)
+    # on top of the byte-identity diff; the report lands in the artifact.
+    mkdir -p target/audit
+    ./target/release/lockdown figures --fidelity test --wire --audit \
+        > "$wired" 2> target/audit/zero-fault.txt
     diff -u "$plain" "$wired"
+
+    echo "==> wire-mode faulted audit balance"
+    ./target/release/lockdown collect --fidelity test --audit \
+        --loss 0.1 --dup 0.04 --reorder 0.05 --restart 6 \
+        2> target/audit/faulted.txt > /dev/null
 fi
 
 echo "verify: OK"

@@ -1,8 +1,8 @@
 //! `lockdown` — command-line front end to the reproduction.
 //!
 //! ```text
-//! lockdown figures [--fidelity test|standard|high] [--wire] [--loss P] [--reorder P] [--dup P] [--restart N] [NAME...]
-//! lockdown collect [--fidelity test|standard|high] [--loss P] [--reorder P] [--dup P] [--restart N]
+//! lockdown figures [--fidelity test|standard|high] [--wire] [--audit] [--loss P] [--reorder P] [--dup P] [--restart N] [NAME...]
+//! lockdown collect [--fidelity test|standard|high] [--audit] [--loss P] [--reorder P] [--dup P] [--restart N]
 //! lockdown registry
 //! lockdown capture --vantage IXP-CE --date 2020-03-25 --out day.lkdn [--format ipfix|v9|v5] [--sample N]
 //! lockdown analyze --trace day.lkdn
@@ -61,17 +61,21 @@ lockdown — reproduce 'The Lockdown Effect' (IMC 2020) from synthetic flows
 
 USAGE:
   lockdown figures [--fidelity test|standard|high] [NAME...]
-                   [--wire] [--loss P] [--reorder P] [--dup P] [--restart N]
+                   [--wire] [--audit]
+                   [--loss P] [--reorder P] [--dup P] [--restart N]
       Render figures/tables (default: all). Names: fig1 fig2 fig3 fig4
       fig5 fig6 fig7 fig8 fig9 fig10 edu sec3.4 sec9 table1 table2
       --wire routes the full suite through the export -> faulty transport
       -> collect plane (zero faults keep output byte-identical) and prints
       the metrics snapshot to stderr. P are probabilities in [0,1); N is
-      an exporter restart cadence in datagrams.
-  lockdown collect [--fidelity test|standard|high]
+      an exporter restart cadence in datagrams. --audit (requires --wire)
+      threads a conservation ledger through every stage, prints the audit
+      report to stderr and fails the run on any violated identity.
+  lockdown collect [--fidelity test|standard|high] [--audit]
                    [--loss P] [--reorder P] [--dup P] [--restart N]
       Run the full suite in wire mode and print the Prometheus-style
-      metrics snapshot of the collection plane to stdout.
+      metrics snapshot of the collection plane to stdout. --audit appends
+      the conservation report to stderr and fails on violations.
   lockdown registry
       Print the synthetic AS registry summary.
   lockdown capture --vantage <VP> --date YYYY-MM-DD --out FILE
@@ -174,11 +178,15 @@ fn parse_vantage(s: &str) -> Result<VantagePoint, String> {
 fn cmd_figures(rest: &[String]) -> Result<(), String> {
     let fidelity = parse_fidelity(rest)?;
     let faults = parse_faults(rest)?;
+    let audit = rest.iter().any(|a| a == "--audit");
     let wire = if rest.iter().any(|a| a == "--wire") {
-        Some(WireConfig::new().with_faults(faults))
+        Some(WireConfig::new().with_faults(faults).with_audit(audit))
     } else {
         if !faults.is_zero() {
             return Err("fault flags (--loss/--reorder/--dup/--restart) require --wire".into());
+        }
+        if audit {
+            return Err("--audit requires --wire".into());
         }
         None
     };
@@ -205,6 +213,7 @@ fn cmd_figures(rest: &[String]) -> Result<(), String> {
         if let Some(metrics) = &suite.wire_metrics {
             eprint!("{}", metrics.render());
         }
+        check_audit(&suite)?;
         return Ok(());
     }
     if want("table2") {
@@ -264,14 +273,33 @@ fn cmd_figures(rest: &[String]) -> Result<(), String> {
 fn cmd_collect(rest: &[String]) -> Result<(), String> {
     let fidelity = parse_fidelity(rest)?;
     let faults = parse_faults(rest)?;
+    let audit = rest.iter().any(|a| a == "--audit");
     let ctx = Context::new(fidelity);
-    let suite = suite::run_all_with(&ctx, Some(WireConfig::new().with_faults(faults)));
+    let cfg = WireConfig::new().with_faults(faults).with_audit(audit);
+    let suite = suite::run_all_with(&ctx, Some(cfg));
     let metrics = suite
         .wire_metrics
         .as_ref()
         .expect("wire mode always carries metrics");
     print!("{}", metrics.render());
-    Ok(())
+    check_audit(&suite)
+}
+
+/// Print the conservation-audit report (stderr) and fail the command if
+/// any identity was violated. No-op when auditing was off.
+fn check_audit(suite: &suite::Suite) -> Result<(), String> {
+    let Some(report) = &suite.audit else {
+        return Ok(());
+    };
+    eprint!("{}", report.render());
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "conservation audit failed: {} violations",
+            report.violations.len()
+        ))
+    }
 }
 
 fn cmd_registry() -> Result<(), String> {

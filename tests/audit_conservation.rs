@@ -1,0 +1,236 @@
+//! Conservation-audit harness: the ledger must balance *exactly* for any
+//! fault schedule, sampling rate, restart cadence, and — critically — any
+//! starting position of the exporters' u32 sequence counters and uptime
+//! clocks, including positions that wrap mid-session.
+//!
+//! Every run here threads the audit ledger through the whole
+//! export → transport → collect → consume path and asserts that not a
+//! single conservation identity is violated: whatever the pipeline loses
+//! it must account for, and whatever it accounts for it must have lost.
+
+use lockdown::collect::{audit, CollectionPlane, FaultProfile, WireConfig};
+use lockdown::flow::prelude::*;
+use lockdown::flow::protocol::IpProtocol;
+use lockdown::topology::vantage::VantagePoint;
+use lockdown::traffic::plan::{Cell, Stream};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use std::sync::OnceLock;
+
+/// Just under the u32-ms uptime wrap (~49.71 days), in seconds: exporters
+/// booted this long ago cross the wrap during the exported hour.
+const NEAR_UPTIME_WRAP_SECS: u64 = (u32::MAX as u64) / 1000 - 1_800;
+
+fn cell() -> Cell {
+    Cell {
+        stream: Stream::Vantage(VantagePoint::IxpCe),
+        date: Date::new(2020, 3, 25),
+        hour: 14,
+    }
+}
+
+/// A deterministic synthetic cell of `n` flows (shared across cases).
+fn flows() -> &'static Vec<FlowRecord> {
+    static FLOWS: OnceLock<Vec<FlowRecord>> = OnceLock::new();
+    FLOWS.get_or_init(|| {
+        let t = Date::new(2020, 3, 25).at_hour(14);
+        (0..900u32)
+            .map(|i| {
+                FlowRecord::builder(
+                    FlowKey {
+                        src_addr: Ipv4Addr::from(0xC000_0200 | (i % 241)),
+                        dst_addr: Ipv4Addr::from(0x0A02_0000 | (i / 5)),
+                        src_port: (1024 + i % 48_000) as u16,
+                        dst_port: if i % 3 == 0 { 443 } else { 80 },
+                        protocol: if i % 5 == 0 {
+                            IpProtocol::Udp
+                        } else {
+                            IpProtocol::Tcp
+                        },
+                    },
+                    t.add_secs(u64::from(i % 3_200)),
+                )
+                .end(t.add_secs(u64::from(i % 3_200) + 55))
+                .bytes(1_200 + u64::from(i) * 13)
+                .packets(2 + u64::from(i % 70))
+                .build()
+            })
+            .collect()
+    })
+}
+
+/// Push the shared cell through an audited plane and return the audit
+/// report plus what came out the far end.
+fn run_audited(mut cfg: WireConfig) -> (Vec<FlowRecord>, audit::Report) {
+    cfg.audit = true;
+    let plane = CollectionPlane::new(cfg);
+    let out = plane.process_cell(cell(), flows());
+    plane.note_consumed(&cell(), &out);
+    let report = plane.audit_report().expect("auditing is on");
+    (out, report)
+}
+
+#[test]
+fn zero_faults_are_clean_for_every_format_even_across_both_wraps() {
+    for format in [
+        ExportFormat::NetflowV5,
+        ExportFormat::NetflowV9,
+        ExportFormat::Ipfix,
+    ] {
+        let mut cfg = WireConfig::new();
+        cfg.format = format;
+        // Start the sequence counters 17 units below the wrap and the
+        // uptime clocks just below the 2^32 ms wrap: both wrap mid-cell.
+        cfg.initial_sequence = u32::MAX - 17;
+        cfg.boot_age_secs = NEAR_UPTIME_WRAP_SECS;
+        let (out, report) = run_audited(cfg);
+        assert_eq!(out.len(), flows().len(), "{format:?}");
+        assert!(
+            report.is_clean(),
+            "{format:?} violated conservation:\n{}",
+            report.render()
+        );
+        assert_eq!(report.cells, 1);
+        assert_eq!(report.totals.generated.records, flows().len() as u64);
+        assert_eq!(report.totals.est_lost, 0, "{format:?}");
+    }
+}
+
+#[test]
+fn faulted_runs_balance_exactly_against_transport_ground_truth() {
+    let mut cfg = WireConfig::new();
+    // Template in every datagram: nothing buffers, so the only loss is
+    // transport drops and the audit's loss-exactness identity pins the
+    // estimate to the ground truth with zero tolerance.
+    cfg.template_refresh = 1;
+    cfg.seed = 23;
+    cfg.initial_sequence = u32::MAX - 100;
+    cfg.faults = FaultProfile {
+        loss: 0.15,
+        duplicate: 0.08,
+        reorder: 0.1,
+        restart_every: 0,
+    };
+    let (out, report) = run_audited(cfg);
+    assert!(report.is_clean(), "{}", report.render());
+    let t = &report.totals;
+    assert!(t.dropped_records > 0, "seeded loss should fire");
+    assert_eq!(t.est_lost, t.dropped_records);
+    assert_eq!(t.accepted.records + t.est_lost, t.generated.records);
+    assert_eq!(out.len() as u64, t.accepted.records);
+}
+
+#[test]
+fn v9_restarts_near_the_uptime_wrap_stay_conservative() {
+    // The hardest disambiguation: scheduled restarts *and* an uptime clock
+    // that wraps mid-session. Mistaking the wrap for a restart flushes
+    // collector state and loses records; mistaking a restart for a wrap
+    // corrupts timestamps. Either way a conservation identity breaks.
+    let mut cfg = WireConfig::new();
+    cfg.format = ExportFormat::NetflowV9;
+    cfg.exporters = 2;
+    cfg.boot_age_secs = NEAR_UPTIME_WRAP_SECS;
+    cfg.faults = FaultProfile {
+        loss: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+        restart_every: 3,
+    };
+    let (out, report) = run_audited(cfg);
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(out.len(), flows().len(), "no faults: nothing may be lost");
+    assert_eq!(report.totals.est_lost, 0);
+}
+
+#[test]
+fn sampled_export_balances_in_record_space() {
+    let mut cfg = WireConfig::new();
+    cfg.template_refresh = 1;
+    cfg.sampling = Some(4);
+    cfg.seed = 31;
+    cfg.faults = FaultProfile {
+        loss: 0.1,
+        duplicate: 0.0,
+        reorder: 0.0,
+        restart_every: 0,
+    };
+    let (_, report) = run_audited(cfg);
+    assert!(report.is_clean(), "{}", report.render());
+    let t = &report.totals;
+    assert!(t.sampled_out > 0, "1-in-4 sampling must drop records");
+    assert_eq!(
+        t.accepted.records + t.est_lost + t.sampled_out,
+        t.generated.records
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole property: for ANY combination of format, fault
+    /// schedule, restart cadence, sampling rate, template cadence, fleet
+    /// shape, and wrap-crossing sequence/uptime starting offsets, the
+    /// ledger balances exactly — every conservation identity holds.
+    fn any_schedule_balances_the_ledger(
+        format_pick in 0u8..3,
+        loss in prop_oneof![Just(0.0f64), 0.0..0.35f64],
+        duplicate in prop_oneof![Just(0.0f64), 0.0..0.2f64],
+        reorder in prop_oneof![Just(0.0f64), 0.0..0.2f64],
+        restart_every in prop_oneof![Just(0u32), 2u32..8],
+        template_refresh in prop_oneof![Just(0u32), Just(1u32), 2u32..10],
+        sample in prop_oneof![Just(1u32), 2u32..8],
+        exporters in 1usize..5,
+        shards in 1usize..5,
+        batch in 8usize..80,
+        renormalize in any::<bool>(),
+        initial_sequence in prop_oneof![
+            Just(0u32),
+            (u32::MAX - 2_000)..=u32::MAX,
+            any::<u32>(),
+        ],
+        boot_age in prop_oneof![
+            Just(0u64),
+            Just(NEAR_UPTIME_WRAP_SECS),
+            0u64..(200 * 86_400),
+        ],
+        seed in any::<u64>(),
+    ) {
+        let format = match format_pick {
+            0 => ExportFormat::NetflowV5,
+            1 => ExportFormat::NetflowV9,
+            _ => ExportFormat::Ipfix,
+        };
+        // v5 carries no in-band sampling announcement; sampling requires
+        // a template-bearing format.
+        let sampling = (sample > 1 && format != ExportFormat::NetflowV5)
+            .then_some(sample);
+        let mut cfg = WireConfig::new().with_faults(FaultProfile {
+            loss,
+            duplicate,
+            reorder,
+            restart_every,
+        });
+        cfg.format = format;
+        cfg.exporters = exporters;
+        cfg.shards = shards;
+        cfg.batch_size = batch;
+        // The sampling announcement rides the options template; keep it in
+        // every datagram so a lossy schedule cannot leave scaling unknown.
+        cfg.template_refresh = if sampling.is_some() { 1 } else { template_refresh };
+        cfg.sampling = sampling;
+        cfg.renormalize = renormalize;
+        cfg.initial_sequence = initial_sequence;
+        cfg.boot_age_secs = boot_age;
+        cfg.seed = seed;
+
+        let (out, report) = run_audited(cfg);
+        prop_assert!(report.is_clean(), "ledger imbalance:\n{}", report.render());
+        prop_assert_eq!(out.len() as u64, report.totals.accepted.records);
+        // Nothing generated may vanish unaccounted, whatever the schedule.
+        let t = &report.totals;
+        prop_assert!(
+            t.accepted.records + t.est_lost + t.sampled_out + t.abandoned_records
+                >= t.generated.records.saturating_sub(t.dropped_records),
+        );
+    }
+}

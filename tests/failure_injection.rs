@@ -19,24 +19,33 @@ use std::sync::OnceLock;
 
 const BATCH: usize = 40;
 
-fn datagrams(template_refresh: u32) -> (Vec<FlowRecord>, Vec<Vec<u8>>) {
-    let ctx = Context::new(Fidelity::Test);
-    let generator = ctx.generator();
+/// One Test-fidelity day of flows, generated once.
+fn flows_once() -> &'static Vec<FlowRecord> {
+    static FLOWS: OnceLock<Vec<FlowRecord>> = OnceLock::new();
+    FLOWS.get_or_init(|| {
+        let ctx = Context::new(Fidelity::Test);
+        ctx.generator()
+            .generate_day(VantagePoint::IxpCe, Date::new(2020, 3, 25))
+    })
+}
+
+/// Export the shared day with the given refresh cadence and starting
+/// sequence. Non-zero starts model long-lived exporters, including
+/// counters about to wrap the u32 wire field.
+fn export(template_refresh: u32, initial_sequence: u32) -> Vec<Vec<u8>> {
     let date = Date::new(2020, 3, 25);
-    let flows = generator.generate_day(VantagePoint::IxpCe, date);
-    let boot = date.midnight();
-    let mut cfg = ExporterConfig::new(ExportFormat::Ipfix, boot);
+    let mut cfg = ExporterConfig::new(ExportFormat::Ipfix, date.midnight());
     cfg.batch_size = BATCH;
     cfg.template_refresh = template_refresh;
+    cfg.initial_sequence = initial_sequence;
     let mut exporter = Exporter::new(cfg);
-    let pkts = exporter.export_all(&flows, date.at_hour(23).add_secs(3_599));
-    (flows, pkts)
+    exporter.export_all(flows_once(), date.at_hour(23).add_secs(3_599))
 }
 
 /// The day's export with a template in every datagram, generated once.
-fn self_describing() -> &'static (Vec<FlowRecord>, Vec<Vec<u8>>) {
-    static DATA: OnceLock<(Vec<FlowRecord>, Vec<Vec<u8>>)> = OnceLock::new();
-    DATA.get_or_init(|| datagrams(1))
+fn self_describing() -> &'static Vec<Vec<u8>> {
+    static PKTS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    PKTS.get_or_init(|| export(1, 0))
 }
 
 /// Exact records inside datagram `i` of `n` when `total` flows were
@@ -51,7 +60,7 @@ fn records_in(i: usize, n: usize, total: usize) -> usize {
 
 #[test]
 fn datagram_loss_drops_exactly_the_lost_batches() {
-    let (flows, pkts) = self_describing();
+    let (flows, pkts) = (flows_once(), self_describing());
     let mut rng = StdRng::seed_from_u64(1);
     let keep: Vec<bool> = pkts.iter().map(|_| rng.gen_bool(0.8)).collect();
     let kept: Vec<&Vec<u8>> = pkts
@@ -86,7 +95,7 @@ fn datagram_loss_drops_exactly_the_lost_batches() {
 
 #[test]
 fn reordering_is_harmless_once_template_known() {
-    let (flows, pkts) = self_describing();
+    let (flows, pkts) = (flows_once(), self_describing());
     let mut pkts = pkts.clone();
     let mut rng = StdRng::seed_from_u64(2);
     pkts.shuffle(&mut rng);
@@ -103,7 +112,7 @@ fn losing_template_packets_costs_exactly_the_refresh_window() {
     // leaves datagrams 1–3 undecodable (their data sets are skipped and
     // counted per set); datagram 4 re-announces and everything after
     // decodes. The damage is exactly the refresh window.
-    let (flows, pkts) = datagrams(4);
+    let (flows, pkts) = (flows_once(), export(4, 0));
     let mut collector = Collector::new();
     collector.ingest_all(pkts.iter().skip(1).map(|p| p.as_slice()));
     let lost = flows.len() - collector.stats().records as usize;
@@ -117,7 +126,7 @@ fn losing_template_packets_costs_exactly_the_refresh_window() {
 
 #[test]
 fn corruption_never_panics_and_is_counted() {
-    let (_, pkts) = self_describing();
+    let pkts = self_describing();
     let mut rng = StdRng::seed_from_u64(3);
     let mut collector = Collector::new();
     let mut corrupted = 0u64;
@@ -144,7 +153,7 @@ fn corruption_never_panics_and_is_counted() {
 
 #[test]
 fn truncated_tails_rejected_cleanly() {
-    let (_, pkts) = self_describing();
+    let pkts = self_describing();
     let mut collector = Collector::new();
     for p in pkts.iter().take(20) {
         for cut in [1usize, 7, p.len() / 2] {
@@ -162,12 +171,26 @@ proptest! {
 
     /// Any drop/duplicate/reorder schedule leaves the accepted records a
     /// sub-multiset of what was sent: faults lose data, they never invent
-    /// or mutate it.
+    /// or mutate it. The exporter's starting sequence is fuzzed across the
+    /// whole u32 range — including values a few datagrams below the wrap —
+    /// because wrapped sequence headers must never corrupt decoding.
     fn fault_schedules_never_corrupt_accepted_records(
         actions in prop::collection::vec(0u8..3u8, 0..600usize),
         shuffle_seed in any::<u64>(),
+        initial_sequence in prop_oneof![
+            Just(0u32),
+            (u32::MAX - 5_000)..=u32::MAX,
+            any::<u32>(),
+        ],
     ) {
-        let (flows, pkts) = self_describing();
+        let flows = flows_once();
+        let exported;
+        let pkts = if initial_sequence == 0 {
+            self_describing()
+        } else {
+            exported = export(1, initial_sequence);
+            &exported
+        };
         // 0 = deliver, 1 = drop, 2 = duplicate; missing tail delivers.
         let mut wire: Vec<&[u8]> = Vec::new();
         for (i, p) in pkts.iter().enumerate() {

@@ -50,14 +50,23 @@ fn wired_pass(
 fn zero_fault_wire_suite_is_byte_identical() {
     let ctx = Context::new(Fidelity::Test);
     let plain = suite::run_all(&ctx);
-    let wired = suite::run_all_with(&ctx, Some(WireConfig::new()));
+    let wired = suite::run_all_with(&ctx, Some(WireConfig::new().with_audit(true)));
     assert_eq!(
         plain.renders(),
         wired.renders(),
         "zero-fault wire mode must not change any figure"
     );
     assert_eq!(plain.stats, wired.stats);
+    let audit = wired.audit.as_ref().expect("audit requested");
+    assert!(
+        audit.is_clean(),
+        "zero-fault suite violated conservation:\n{}",
+        audit.render()
+    );
+    assert!(audit.cells > 0, "audit must have covered the pass");
     let metrics = wired.wire_metrics.expect("wire metrics present").render();
+    assert_eq!(metric(&metrics, "audit_violations"), 0);
+    assert!(metric(&metrics, "audit_cells") > 0);
     assert_eq!(metric(&metrics, "transport_datagrams_dropped_total"), 0);
     assert_eq!(metric(&metrics, "collector_records_lost_est_total"), 0);
     assert_eq!(
@@ -117,7 +126,54 @@ fn metrics_snapshot_covers_every_layer() {
         "transport_datagrams_delivered_total",
         "collector_records_total",
         "engine_cells_wired_total",
+        "audit_cells",
+        "audit_violations",
     ] {
         assert!(metrics.contains(family), "{family} missing:\n{metrics}");
     }
+}
+
+#[test]
+fn faulted_suite_audit_balances_across_workers() {
+    // A full engine pass with faults, wrap-adjacent sequence counters, and
+    // multiple workers posting to the shared ledger concurrently: every
+    // per-cell conservation identity must still balance exactly.
+    let mut cfg = WireConfig::new().with_faults(FaultProfile {
+        loss: 0.1,
+        duplicate: 0.05,
+        reorder: 0.06,
+        restart_every: 6,
+    });
+    cfg.template_refresh = 1;
+    cfg.seed = 13;
+    cfg.audit = true;
+    cfg.initial_sequence = u32::MAX - 200;
+    let ctx = Context::with_seed(Fidelity::Test, 9);
+    let d1 = Date::new(2020, 3, 23);
+    let d2 = Date::new(2020, 3, 24);
+    let mut plan = EnginePlan::new();
+    plan.with_wire(cfg);
+    let h = plan.subscribe(
+        Stream::Vantage(VantagePoint::IxpCe),
+        d1,
+        d2,
+        HourlyVolume::new,
+    );
+    let mut out = engine::run_with_workers(&ctx, plan, 4);
+    let audit = out.audit().cloned().expect("audit requested");
+    assert!(audit.is_clean(), "{}", audit.render());
+    assert_eq!(audit.cells, 2 * 24, "one ledger cell per engine cell");
+    let t = &audit.totals;
+    assert!(t.dropped_records > 0, "faults must have fired");
+    // The fleet staggers template cadence per member (base + i), so under
+    // loss some members can lose their *last* template announcement and
+    // abandon the buffered tail at close. IPFIX loss accounting is still
+    // exact: every estimated-lost record is a transport drop, an abandoned
+    // buffer unit, or an undecodable set — nothing more, nothing less.
+    assert_eq!(
+        t.est_lost,
+        t.dropped_records + t.abandoned_units + t.undecoded,
+        "IPFIX loss estimate decomposes exactly into accounted causes"
+    );
+    let _ = out.take(h);
 }
