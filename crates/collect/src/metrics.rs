@@ -133,15 +133,22 @@ impl MetricsRegistry {
     /// Render a Prometheus-style text snapshot, sorted by metric name so the
     /// output is stable regardless of registration order.
     pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Append this registry's snapshot to `out`. Lets callers that hold
+    /// several registries (the wire plane's plus the archive store's)
+    /// compose one combined snapshot.
+    pub fn render_into(&self, out: &mut String) {
         let mut sorted: Vec<&Arc<Metric>> = self.metrics.iter().collect();
         sorted.sort_by_key(|m| m.name);
-        let mut out = String::new();
         for m in sorted {
             out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
             out.push_str(&format!("# TYPE {} {}\n", m.name, m.kind.as_str()));
             out.push_str(&format!("{} {}\n", m.name, m.get()));
         }
-        out
     }
 }
 

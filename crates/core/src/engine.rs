@@ -20,10 +20,15 @@ use lockdown_analysis::consumer::FlowConsumer;
 use lockdown_collect::{CollectMetrics, CollectionPlane, WireConfig};
 use lockdown_flow::record::FlowRecord;
 use lockdown_flow::time::Date;
+use lockdown_store::{
+    ArchiveReader, ArchiveWriter, SegmentScan, StoreError, StoreKey, StoreMetrics,
+};
 use lockdown_traffic::parallel::default_workers;
 use lockdown_traffic::plan::{Cell, Stream, TraceEmitter, TracePlan};
 use std::any::Any;
 use std::marker::PhantomData;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Object-safe face of [`FlowConsumer`] used inside the engine.
@@ -32,9 +37,6 @@ trait AnyConsumer: Send {
     fn merge_box(&mut self, other: Box<dyn AnyConsumer>);
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
 }
-
-/// One worker's partial state: its consumer column plus its flow count.
-type WorkerPartial = (Vec<Box<dyn AnyConsumer>>, u64);
 
 struct Erased<C>(C);
 
@@ -91,6 +93,7 @@ pub struct EnginePlan {
     trace: TracePlan,
     subs: Vec<Subscription>,
     wire: Option<WireConfig>,
+    archive: Option<PathBuf>,
 }
 
 impl EnginePlan {
@@ -112,6 +115,24 @@ impl EnginePlan {
     /// The wire configuration, if wire mode is enabled.
     pub fn wire_config(&self) -> Option<&WireConfig> {
         self.wire.as_ref()
+    }
+
+    /// Attach a columnar archive directory to the pass. A manifest keyed to
+    /// the same `(seed, scenario)` generation and covering every demanded
+    /// cell makes the pass *warm*: cells are decoded from segments instead
+    /// of generated, byte-identically. Anything else — no manifest, a stale
+    /// key, missing cells — makes the pass *cold*: cells are generated as
+    /// usual and spilled so the next run replays. Archived passes must run
+    /// through [`try_run`]/[`try_run_with_workers`] to surface I/O and
+    /// corruption errors instead of panicking.
+    pub fn with_archive(&mut self, dir: impl Into<PathBuf>) -> &mut EnginePlan {
+        self.archive = Some(dir.into());
+        self
+    }
+
+    /// The archive directory, if one is attached.
+    pub fn archive_dir(&self) -> Option<&std::path::Path> {
+        self.archive.as_deref()
     }
 
     /// Subscribe a consumer to an inclusive date window of one stream.
@@ -161,9 +182,12 @@ pub struct EngineStats {
     /// Cells requested across all demands, counting overlap multiplicity
     /// — what per-figure regeneration would materialize.
     pub cells_demanded: u64,
-    /// Distinct cells actually generated (each exactly once).
+    /// Distinct cells actually generated (each exactly once). Zero on a
+    /// warm archived pass — the proof that replay did no generation.
     pub cells_generated: u64,
-    /// Flow records emitted across all generated cells.
+    /// Distinct cells decoded from an archive instead of generated.
+    pub cells_replayed: u64,
+    /// Flow records fanned out across all cells, generated or replayed.
     pub flows_emitted: u64,
     /// Worker threads used.
     pub workers: usize,
@@ -173,16 +197,17 @@ impl EngineStats {
     /// How many times over per-figure regeneration would have re-made the
     /// average cell.
     pub fn dedup_ratio(&self) -> f64 {
-        self.cells_demanded as f64 / self.cells_generated.max(1) as f64
+        self.cells_demanded as f64 / (self.cells_generated + self.cells_replayed).max(1) as f64
     }
 
     /// One-line human-readable summary (the CLI prints this after a full
     /// suite run).
     pub fn summary(&self) -> String {
         format!(
-            "engine: {} demands, {} cells generated once (vs {} demanded, dedup x{:.2}), {} flows, {} workers",
+            "engine: {} demands, {} cells generated once + {} replayed (vs {} demanded, dedup x{:.2}), {} flows, {} workers",
             self.demands,
             self.cells_generated,
+            self.cells_replayed,
             self.cells_demanded,
             self.dedup_ratio(),
             self.flows_emitted,
@@ -197,6 +222,7 @@ pub struct EngineOutput {
     stats: EngineStats,
     wire_metrics: Option<Arc<CollectMetrics>>,
     audit: Option<lockdown_audit::Report>,
+    store_metrics: Option<Arc<StoreMetrics>>,
 }
 
 impl EngineOutput {
@@ -228,31 +254,126 @@ impl EngineOutput {
     pub fn audit(&self) -> Option<&lockdown_audit::Report> {
         self.audit.as_ref()
     }
+
+    /// Store metrics, present when the plan ran with an archive attached
+    /// (counts spills on a cold pass, reads and pruning on a warm one).
+    pub fn store_metrics(&self) -> Option<&Arc<StoreMetrics>> {
+        self.store_metrics.as_ref()
+    }
 }
 
-/// Run a plan with the default worker count.
+/// Run a plan with the default worker count. Panics on archive errors —
+/// use [`try_run`] for archived plans.
 pub fn run(ctx: &Context, plan: EnginePlan) -> EngineOutput {
     run_with_workers(ctx, plan, default_workers())
 }
 
 /// Run a plan with an explicit worker count. Output is bit-identical for
-/// any count (see module docs).
+/// any count (see module docs). Panics on archive errors — an archive-free
+/// plan cannot fail.
 pub fn run_with_workers(ctx: &Context, plan: EnginePlan, workers: usize) -> EngineOutput {
-    let EnginePlan { trace, subs, wire } = plan;
+    try_run_with_workers(ctx, plan, workers)
+        .unwrap_or_else(|e| panic!("archived engine pass failed: {e}"))
+}
+
+/// Fallible run with the default worker count, for archived plans.
+pub fn try_run(ctx: &Context, plan: EnginePlan) -> Result<EngineOutput, StoreError> {
+    try_run_with_workers(ctx, plan, default_workers())
+}
+
+/// One worker's tallies alongside its consumer column.
+struct Partial {
+    consumers: Vec<Box<dyn AnyConsumer>>,
+    flows: u64,
+    generated: u64,
+    replayed: u64,
+}
+
+/// Fill `buf` with one cell's flows from the archive scan (warm) or the
+/// emitter (cold, spilling if a writer is attached). Returns whether the
+/// cell was replayed.
+fn fill_cell(
+    cell: Cell,
+    emitter: &TraceEmitter,
+    scan: Option<&SegmentScan>,
+    writer: Option<&ArchiveWriter>,
+    buf: &mut Vec<FlowRecord>,
+) -> Result<bool, StoreError> {
+    match scan {
+        Some(sc) => {
+            *buf = sc.read_cell(cell)?;
+            Ok(true)
+        }
+        None => {
+            emitter.generate_cell(cell, buf);
+            if let Some(w) = writer {
+                w.spill(cell, buf)?;
+            }
+            Ok(false)
+        }
+    }
+}
+
+/// Run a plan with an explicit worker count, surfacing archive errors.
+/// Output is bit-identical for any count (see module docs) and for warm
+/// vs. cold archive passes (`tests/archive_replay.rs`).
+pub fn try_run_with_workers(
+    ctx: &Context,
+    plan: EnginePlan,
+    workers: usize,
+) -> Result<EngineOutput, StoreError> {
+    let EnginePlan {
+        trace,
+        subs,
+        wire,
+        archive,
+    } = plan;
     let emitter = TraceEmitter::new(&ctx.registry, &ctx.corpus, ctx.config);
     // Wire mode: each cell's flows cross the export → transport → collect
     // plane before fan-out. The plane is per-cell seeded, so the delivered
     // batch is the same whichever worker processes the cell.
     let plane = wire.map(CollectionPlane::new);
     let cells = trace.cells();
+
+    // Archive resolution: replay only from a manifest of the same
+    // generation (seed + scenario — the plan hash may differ, a superset
+    // archive serves a subset plan with pruning) that covers every
+    // demanded cell. Everything else is regenerated and respilled.
+    let store_metrics = archive.as_ref().map(|_| StoreMetrics::new());
+    let mut reader: Option<ArchiveReader> = None;
+    let mut writer: Option<ArchiveWriter> = None;
+    if let (Some(dir), Some(metrics)) = (&archive, &store_metrics) {
+        let key = StoreKey {
+            seed: ctx.config.seed,
+            scenario_hash: ctx.config.scenario_hash(),
+            plan_hash: trace.plan_hash(),
+        };
+        match ArchiveReader::open(dir, Arc::clone(metrics))? {
+            Some(r) if r.key().same_generation(&key) && r.covers(cells.iter()) => {
+                reader = Some(r);
+            }
+            _ => writer = Some(ArchiveWriter::create(dir, key, Arc::clone(metrics))?),
+        }
+    }
+    let scan = match (&reader, &store_metrics) {
+        (Some(r), Some(m)) => Some(SegmentScan::new(r, cells.iter().copied(), m)),
+        _ => None,
+    };
+
     let workers = workers.max(1).min(cells.len().max(1));
     let mut merged: Vec<Box<dyn AnyConsumer>> = subs.iter().map(|s| (s.factory)()).collect();
     let mut flows_emitted = 0u64;
+    let mut cells_generated = 0u64;
+    let mut cells_replayed = 0u64;
 
     if workers == 1 {
         let mut buf = Vec::new();
         for &cell in &cells {
-            emitter.generate_cell(cell, &mut buf);
+            if fill_cell(cell, &emitter, scan.as_ref(), writer.as_ref(), &mut buf)? {
+                cells_replayed += 1;
+            } else {
+                cells_generated += 1;
+            }
             flows_emitted += buf.len() as u64;
             let wired;
             let batch: &[FlowRecord] = match &plane {
@@ -273,21 +394,38 @@ pub fn run_with_workers(ctx: &Context, plan: EnginePlan, workers: usize) -> Engi
         }
     } else {
         let chunk = cells.len().div_ceil(workers);
-        let mut results: Vec<Option<WorkerPartial>> = Vec::new();
+        let mut results: Vec<Option<Result<Partial, StoreError>>> = Vec::new();
         results.resize_with(workers, || None);
+        // First archive error wins; the flag stops the other workers at
+        // their next cell so a corrupt segment aborts the pass promptly.
+        let stop = AtomicBool::new(false);
         crossbeam::thread::scope(|scope| {
             for (slot, chunk_cells) in results.iter_mut().zip(cells.chunks(chunk)) {
                 let emitter = &emitter;
                 let subs = &subs;
                 let plane = &plane;
+                let scan = scan.as_ref();
+                let writer = writer.as_ref();
+                let stop = &stop;
                 scope.spawn(move |_| {
                     let mut local: Vec<Box<dyn AnyConsumer>> =
                         subs.iter().map(|s| (s.factory)()).collect();
                     let mut buf = Vec::new();
-                    let mut flows = 0u64;
+                    let mut tallies = (0u64, 0u64, 0u64); // flows, generated, replayed
                     for &cell in chunk_cells {
-                        emitter.generate_cell(cell, &mut buf);
-                        flows += buf.len() as u64;
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        match fill_cell(cell, emitter, scan, writer, &mut buf) {
+                            Ok(true) => tallies.2 += 1,
+                            Ok(false) => tallies.1 += 1,
+                            Err(e) => {
+                                stop.store(true, Ordering::Relaxed);
+                                *slot = Some(Err(e));
+                                return;
+                            }
+                        }
+                        tallies.0 += buf.len() as u64;
                         let wired;
                         let batch: &[FlowRecord] = match plane {
                             Some(pl) => {
@@ -305,31 +443,47 @@ pub fn run_with_workers(ctx: &Context, plan: EnginePlan, workers: usize) -> Engi
                             }
                         }
                     }
-                    *slot = Some((local, flows));
+                    *slot = Some(Ok(Partial {
+                        consumers: local,
+                        flows: tallies.0,
+                        generated: tallies.1,
+                        replayed: tallies.2,
+                    }));
                 });
             }
         })
         .expect("engine workers do not panic");
-        for (local, flows) in results.into_iter().flatten() {
-            flows_emitted += flows;
-            for (m, l) in merged.iter_mut().zip(local) {
+        for partial in results.into_iter().flatten() {
+            let partial = partial?;
+            flows_emitted += partial.flows;
+            cells_generated += partial.generated;
+            cells_replayed += partial.replayed;
+            for (m, l) in merged.iter_mut().zip(partial.consumers) {
                 m.merge_box(l);
             }
         }
     }
 
-    EngineOutput {
+    // Publish the manifest only after every cell spilled cleanly; a pass
+    // that errored above leaves the archive manifest-less (= absent).
+    if let Some(w) = &writer {
+        w.finish()?;
+    }
+
+    Ok(EngineOutput {
         stats: EngineStats {
             demands: merged.len(),
             cells_demanded: trace.cells_demanded(),
-            cells_generated: cells.len() as u64,
+            cells_generated,
+            cells_replayed,
             flows_emitted,
             workers,
         },
         consumers: merged.into_iter().map(Some).collect(),
         audit: plane.as_ref().and_then(|p| p.audit_report()),
         wire_metrics: plane.map(|p| p.metrics()),
-    }
+        store_metrics,
+    })
 }
 
 #[cfg(test)]

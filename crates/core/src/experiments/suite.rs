@@ -7,12 +7,14 @@
 //! `figures` command uses when the full suite is requested.
 
 use crate::context::Context;
-use crate::engine::{self, EnginePlan, EngineStats};
+use crate::engine::{self, EngineOutput, EnginePlan, EngineStats};
 use crate::experiments::{
     fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, tables,
 };
 use lockdown_collect::{CollectMetrics, WireConfig};
+use lockdown_store::{StoreError, StoreMetrics};
 use lockdown_topology::vantage::VantagePoint;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Every figure and table of the paper, produced by one engine pass.
@@ -60,6 +62,87 @@ pub struct Suite {
     /// Conservation-audit report, present when the pass ran in wire mode
     /// with `WireConfig::audit` set.
     pub audit: Option<lockdown_audit::Report>,
+    /// Store metrics, present when the pass ran against an archive.
+    pub store_metrics: Option<Arc<StoreMetrics>>,
+}
+
+/// Every figure's demand handles, pending redemption after the pass.
+struct Plans {
+    p1: fig1::Plan,
+    p2a: fig2::Plan2a,
+    p2b: fig2::Plan2bc,
+    p2c: fig2::Plan2bc,
+    p3a: fig3::Plan3a,
+    p3b: fig3::Plan3b,
+    p4: fig4::Plan,
+    p5: fig5::Plan,
+    p6: fig6::Plan,
+    p34: sec3_4::Plan,
+    p7_isp: fig7::Plan,
+    p7_ixp: fig7::Plan,
+    p8: fig8::Plan,
+    p9: Vec<fig9::Plan>,
+    p10: fig10::Plan,
+    pedu: fig11_12::Plan,
+    p9s: sec9::Plan,
+}
+
+/// Subscribe every figure driver to one shared plan.
+fn build_plan(ctx: &Context, plan: &mut EnginePlan) -> Plans {
+    Plans {
+        p1: fig1::plan(plan),
+        p2a: fig2::plan_2a(plan),
+        p2b: fig2::plan_2bc(plan, VantagePoint::IspCe),
+        p2c: fig2::plan_2bc(plan, VantagePoint::IxpCe),
+        p3a: fig3::plan_3a(plan),
+        p3b: fig3::plan_3b(plan),
+        p4: fig4::plan(plan),
+        p5: fig5::plan(plan),
+        p6: fig6::plan(plan),
+        p34: sec3_4::plan(plan),
+        p7_isp: fig7::plan(plan, VantagePoint::IspCe),
+        p7_ixp: fig7::plan(plan, VantagePoint::IxpCe),
+        p8: fig8::plan(plan, &ctx.registry),
+        p9: VantagePoint::CORE_FOUR
+            .into_iter()
+            .map(|vp| fig9::plan(plan, &ctx.registry, vp))
+            .collect(),
+        p10: fig10::plan(plan, ctx),
+        pedu: fig11_12::plan(plan, &ctx.registry),
+        p9s: sec9::plan(plan),
+    }
+}
+
+/// Redeem every demand against the pass output and assemble the suite.
+fn assemble(ctx: &Context, plans: Plans, mut out: EngineOutput) -> Suite {
+    Suite {
+        table1: tables::table1(ctx),
+        fig1: fig1::finish(plans.p1, &mut out),
+        fig2a: fig2::finish_2a(plans.p2a, &mut out),
+        fig2b: fig2::finish_2bc(plans.p2b, &mut out),
+        fig2c: fig2::finish_2bc(plans.p2c, &mut out),
+        fig3a: fig3::finish_3a(plans.p3a, &mut out),
+        fig3b: fig3::finish_3b(plans.p3b, &mut out),
+        fig4: fig4::finish(plans.p4, &mut out),
+        fig5: fig5::finish(ctx, plans.p5, &mut out),
+        fig6: fig6::finish(ctx, plans.p6, &mut out),
+        sec34: sec3_4::finish(plans.p34, &mut out),
+        fig7_isp: fig7::finish(plans.p7_isp, &mut out),
+        fig7_ixp: fig7::finish(plans.p7_ixp, &mut out),
+        fig8: fig8::finish(plans.p8, &mut out),
+        fig9: plans
+            .p9
+            .into_iter()
+            .map(|p| fig9::finish(p, &mut out))
+            .collect(),
+        fig10: fig10::finish(plans.p10, &mut out),
+        edu: fig11_12::finish(plans.pedu, &mut out),
+        sec9: sec9::finish(plans.p9s, &mut out),
+        stats: out.stats(),
+        wire_metrics: out.wire_metrics().cloned(),
+        audit: out.audit().cloned(),
+        store_metrics: out.store_metrics().cloned(),
+    }
 }
 
 /// Run the full suite through one shared engine pass.
@@ -74,52 +157,29 @@ pub fn run_all_with(ctx: &Context, wire: Option<WireConfig>) -> Suite {
     if let Some(cfg) = wire {
         plan.with_wire(cfg);
     }
-    let p1 = fig1::plan(&mut plan);
-    let p2a = fig2::plan_2a(&mut plan);
-    let p2b = fig2::plan_2bc(&mut plan, VantagePoint::IspCe);
-    let p2c = fig2::plan_2bc(&mut plan, VantagePoint::IxpCe);
-    let p3a = fig3::plan_3a(&mut plan);
-    let p3b = fig3::plan_3b(&mut plan);
-    let p4 = fig4::plan(&mut plan);
-    let p5 = fig5::plan(&mut plan);
-    let p6 = fig6::plan(&mut plan);
-    let p34 = sec3_4::plan(&mut plan);
-    let p7_isp = fig7::plan(&mut plan, VantagePoint::IspCe);
-    let p7_ixp = fig7::plan(&mut plan, VantagePoint::IxpCe);
-    let p8 = fig8::plan(&mut plan, &ctx.registry);
-    let p9: Vec<fig9::Plan> = VantagePoint::CORE_FOUR
-        .into_iter()
-        .map(|vp| fig9::plan(&mut plan, &ctx.registry, vp))
-        .collect();
-    let p10 = fig10::plan(&mut plan, ctx);
-    let pedu = fig11_12::plan(&mut plan, &ctx.registry);
-    let p9s = sec9::plan(&mut plan);
+    let plans = build_plan(ctx, &mut plan);
+    let out = engine::run(ctx, plan);
+    assemble(ctx, plans, out)
+}
 
-    let mut out = engine::run(ctx, plan);
-
-    Suite {
-        table1: tables::table1(ctx),
-        fig1: fig1::finish(p1, &mut out),
-        fig2a: fig2::finish_2a(p2a, &mut out),
-        fig2b: fig2::finish_2bc(p2b, &mut out),
-        fig2c: fig2::finish_2bc(p2c, &mut out),
-        fig3a: fig3::finish_3a(p3a, &mut out),
-        fig3b: fig3::finish_3b(p3b, &mut out),
-        fig4: fig4::finish(p4, &mut out),
-        fig5: fig5::finish(ctx, p5, &mut out),
-        fig6: fig6::finish(ctx, p6, &mut out),
-        sec34: sec3_4::finish(p34, &mut out),
-        fig7_isp: fig7::finish(p7_isp, &mut out),
-        fig7_ixp: fig7::finish(p7_ixp, &mut out),
-        fig8: fig8::finish(p8, &mut out),
-        fig9: p9.into_iter().map(|p| fig9::finish(p, &mut out)).collect(),
-        fig10: fig10::finish(p10, &mut out),
-        edu: fig11_12::finish(pedu, &mut out),
-        sec9: sec9::finish(p9s, &mut out),
-        stats: out.stats(),
-        wire_metrics: out.wire_metrics().cloned(),
-        audit: out.audit().cloned(),
+/// Run the full suite against a columnar archive: warm (replay every cell
+/// from segments, zero generation) when `dir` holds a covering manifest of
+/// the same generation, cold (generate and spill) otherwise. Output is
+/// byte-identical either way; archive I/O or corruption surfaces as an
+/// error naming the offending file.
+pub fn run_all_archived(
+    ctx: &Context,
+    wire: Option<WireConfig>,
+    dir: &Path,
+) -> Result<Suite, StoreError> {
+    let mut plan = EnginePlan::new();
+    if let Some(cfg) = wire {
+        plan.with_wire(cfg);
     }
+    plan.with_archive(dir);
+    let plans = build_plan(ctx, &mut plan);
+    let out = engine::try_run(ctx, plan)?;
+    Ok(assemble(ctx, plans, out))
 }
 
 impl Suite {

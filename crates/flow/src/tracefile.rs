@@ -24,6 +24,40 @@ pub const MAGIC: [u8; 4] = *b"LKDN";
 pub const VERSION: u16 = 1;
 /// Header length in bytes.
 pub const HEADER_LEN: usize = 8;
+
+/// Append the workspace's shared 8-byte container header
+/// (`magic | version u16 | flags u16`) used by every on-disk format —
+/// trace files here and the columnar archive's segments and manifest in
+/// `lockdown-store`.
+pub fn write_container_header(buf: &mut Vec<u8>, magic: [u8; 4], version: u16, flags: u16) {
+    buf.extend_from_slice(&magic);
+    buf.extend_from_slice(&version.to_be_bytes());
+    buf.extend_from_slice(&flags.to_be_bytes());
+}
+
+/// Validate the shared container header at the cursor, returning the flags
+/// word. Rejects a foreign magic and any version other than `version`, so
+/// every container format fails fast on the wrong file kind.
+pub fn read_container_header(
+    cursor: &mut Cursor<'_>,
+    magic: [u8; 4],
+    version: u16,
+) -> WireResult<u16> {
+    let found = cursor.read_bytes(4, "container magic")?;
+    if found != magic {
+        return Err(WireError::BadField {
+            what: "container magic",
+        });
+    }
+    let v = cursor.read_u16("container version")?;
+    if v != version {
+        return Err(WireError::BadVersion {
+            expected: version,
+            found: v,
+        });
+    }
+    cursor.read_u16("container flags")
+}
 /// Per-record framing overhead.
 pub const RECORD_OVERHEAD: usize = 12;
 /// Sanity cap on datagram size (64 KiB, the UDP maximum).
@@ -40,9 +74,7 @@ impl TraceWriter {
     /// Start a new trace.
     pub fn new() -> TraceWriter {
         let mut buf = Vec::with_capacity(4_096);
-        buf.extend_from_slice(&MAGIC);
-        buf.extend_from_slice(&VERSION.to_be_bytes());
-        buf.extend_from_slice(&0u16.to_be_bytes()); // flags: reserved
+        write_container_header(&mut buf, MAGIC, VERSION, 0); // flags: reserved
         TraceWriter { buf, count: 0 }
     }
 
@@ -97,20 +129,7 @@ impl<'a> TraceReader<'a> {
     /// Open a trace, validating the header.
     pub fn open(bytes: &'a [u8]) -> WireResult<TraceReader<'a>> {
         let mut cursor = Cursor::new(bytes);
-        let magic = cursor.read_bytes(4, "trace magic")?;
-        if magic != MAGIC {
-            return Err(WireError::BadField {
-                what: "trace magic",
-            });
-        }
-        let version = cursor.read_u16("trace version")?;
-        if version != VERSION {
-            return Err(WireError::BadVersion {
-                expected: VERSION,
-                found: version,
-            });
-        }
-        cursor.read_u16("trace flags")?;
+        read_container_header(&mut cursor, MAGIC, VERSION)?;
         Ok(TraceReader { cursor })
     }
 
@@ -213,6 +232,26 @@ mod tests {
         let t0 = Date::new(2020, 3, 25).at_hour(12);
         let mut w = TraceWriter::new();
         assert!(w.push(t0, &vec![0; MAX_DATAGRAM + 1]).is_err());
+    }
+
+    #[test]
+    fn shared_header_helper_roundtrips_flags() {
+        let mut buf = Vec::new();
+        write_container_header(&mut buf, *b"TEST", 3, 0xBEEF);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(read_container_header(&mut c, *b"TEST", 3).unwrap(), 0xBEEF);
+        assert_eq!(c.remaining(), 0);
+        // Foreign magic and wrong version are both rejected.
+        let mut c = Cursor::new(&buf);
+        assert!(matches!(
+            read_container_header(&mut c, *b"NOPE", 3),
+            Err(WireError::BadField { .. })
+        ));
+        let mut c = Cursor::new(&buf);
+        assert!(matches!(
+            read_container_header(&mut c, *b"TEST", 4),
+            Err(WireError::BadVersion { .. })
+        ));
     }
 
     #[test]

@@ -64,11 +64,40 @@ impl GeneratorConfig {
             min_flows: 1,
         }
     }
+
+    /// Stable fingerprint of every knob that shapes generated traffic
+    /// *except* the seed (archives key on the seed separately). Two
+    /// configurations hash equal exactly when they would emit identical
+    /// cells for identical seeds, so an archive written at one fidelity is
+    /// never replayed into a run at another.
+    pub fn scenario_hash(&self) -> u64 {
+        crate::plan::fold_hash([
+            self.flows_per_gbps.to_bits(),
+            self.users_per_gbps.to_bits(),
+            self.min_flows as u64,
+        ])
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scenario_hash_ignores_seed_but_not_scaling() {
+        assert_eq!(
+            GeneratorConfig::coarse(1).scenario_hash(),
+            GeneratorConfig::coarse(99).scenario_hash()
+        );
+        assert_ne!(
+            GeneratorConfig::coarse(1).scenario_hash(),
+            GeneratorConfig::with_seed(1).scenario_hash()
+        );
+        assert_ne!(
+            GeneratorConfig::with_seed(1).scenario_hash(),
+            GeneratorConfig::high_resolution(1).scenario_hash()
+        );
+    }
 
     #[test]
     fn presets_ordered_by_resolution() {

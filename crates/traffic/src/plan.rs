@@ -58,6 +58,35 @@ impl Stream {
             Stream::Edu => 63,
         }
     }
+
+    /// Inverse of [`Stream::wire_id`]: `None` for ids no stream carries.
+    /// Archive manifests persist streams by wire id, so reopening one has
+    /// to map the ids back.
+    pub fn from_wire_id(id: u32) -> Option<Stream> {
+        match id {
+            62 => Some(Stream::IspTransit),
+            63 => Some(Stream::Edu),
+            _ => VantagePoint::ALL
+                .get(id.checked_sub(1)? as usize)
+                .map(|&vp| Stream::Vantage(vp)),
+        }
+    }
+}
+
+/// Fold `parts` into one stable 64-bit hash (splitmix64 chaining). Not a
+/// general hasher — just enough to fingerprint plans and generator
+/// configurations for archive-staleness checks, with a fixed algorithm so
+/// fingerprints stay comparable across builds.
+pub(crate) fn fold_hash(parts: impl IntoIterator<Item = u64>) -> u64 {
+    let mut acc = 0x243F_6A88_85A3_08D3u64; // pi digits, nothing up the sleeve
+    for p in parts {
+        let mut z = acc ^ p;
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        acc = z ^ (z >> 31);
+    }
+    acc
 }
 
 /// One deduplicated generation cell: a single hour of a single stream.
@@ -134,6 +163,19 @@ impl TracePlan {
     /// Whether no demands have been recorded.
     pub fn is_empty(&self) -> bool {
         self.demands.is_empty()
+    }
+
+    /// Stable fingerprint of the deduplicated cell set. Two plans hash
+    /// equal exactly when they generate the same cells, regardless of how
+    /// their demands overlapped; archives record it so a replay knows the
+    /// stored segments came from the same plan shape.
+    pub fn plan_hash(&self) -> u64 {
+        fold_hash(self.dates.iter().flat_map(|(stream, dates)| {
+            let id = u64::from(stream.wire_id());
+            dates
+                .iter()
+                .map(move |d| fold_hash([id, d.day_number() as u64]))
+        }))
     }
 
     /// Enumerate every distinct cell exactly once, ordered by
@@ -239,6 +281,49 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted, cells);
+    }
+
+    #[test]
+    fn wire_id_roundtrips_and_rejects_unknown() {
+        for stream in VantagePoint::ALL
+            .into_iter()
+            .map(Stream::Vantage)
+            .chain([Stream::IspTransit, Stream::Edu])
+        {
+            assert_eq!(Stream::from_wire_id(stream.wire_id()), Some(stream));
+        }
+        assert_eq!(Stream::from_wire_id(0), None);
+        assert_eq!(Stream::from_wire_id(40), None);
+        assert_eq!(Stream::from_wire_id(u32::MAX), None);
+    }
+
+    #[test]
+    fn plan_hash_tracks_the_cell_set_not_the_demands() {
+        let a = plan_basic();
+        // A differently-overlapped route to the same cell set.
+        let mut b = TracePlan::new();
+        b.demand(
+            Stream::Vantage(VantagePoint::IspCe),
+            Date::new(2020, 2, 1),
+            Date::new(2020, 2, 14),
+        );
+        b.demand(
+            Stream::Vantage(VantagePoint::IspCe),
+            Date::new(2020, 2, 3),
+            Date::new(2020, 2, 3),
+        );
+        assert_eq!(a.plan_hash(), b.plan_hash());
+        // One extra day or a different stream changes the fingerprint.
+        let mut c = plan_basic();
+        c.demand(
+            Stream::Vantage(VantagePoint::IspCe),
+            Date::new(2020, 2, 15),
+            Date::new(2020, 2, 15),
+        );
+        assert_ne!(a.plan_hash(), c.plan_hash());
+        let mut d = TracePlan::new();
+        d.demand(Stream::Edu, Date::new(2020, 2, 1), Date::new(2020, 2, 14));
+        assert_ne!(a.plan_hash(), d.plan_hash());
     }
 
     #[test]

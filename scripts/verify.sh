@@ -30,7 +30,7 @@ if [[ $quick -eq 0 ]]; then
     echo "==> wire-mode zero-fault equality (audited)"
     plain=$(mktemp)
     wired=$(mktemp)
-    trap 'rm -f "$plain" "$wired"' EXIT
+    trap 'rm -f "$plain" "$wired" "${cold:-}" "${warm:-}"; rm -rf "${arch:-}"' EXIT
     ./target/release/lockdown figures --fidelity test > "$plain"
     # --audit makes a conservation violation a hard failure (non-zero exit)
     # on top of the byte-identity diff; the report lands in the artifact.
@@ -43,6 +43,25 @@ if [[ $quick -eq 0 ]]; then
     ./target/release/lockdown collect --fidelity test --audit \
         --loss 0.1 --dup 0.04 --reorder 0.05 --restart 6 \
         2> target/audit/faulted.txt > /dev/null
+
+    echo "==> archive cold/warm byte-identity"
+    arch=$(mktemp -d)
+    cold=$(mktemp)
+    warm=$(mktemp)
+    mkdir -p target/store
+    ./target/release/lockdown figures --fidelity test --archive "$arch" \
+        > "$cold" 2> target/store/cold-stderr.txt
+    ./target/release/lockdown figures --fidelity test --archive "$arch" \
+        > "$warm" 2> target/store/warm-stderr.txt
+    # The whole point of the store: replay must be byte-identical to
+    # generation, and must generate nothing.
+    diff -u "$cold" "$warm"
+    grep -q "0 cells generated once" target/store/warm-stderr.txt
+    diff -u "$plain" "$warm"
+    ./target/release/lockdown store verify --archive "$arch" \
+        > target/store/verify-report.txt
+    cp "$arch/manifest.lks" target/store/manifest.lks
+    rm -rf "$arch" "$cold" "$warm"
 fi
 
 echo "verify: OK"

@@ -22,9 +22,11 @@ use lockdown::core::experiments::{
 use lockdown::core::{Context, Fidelity};
 use lockdown::dns::vpn::identify_vpn_ips;
 use lockdown::flow::prelude::*;
+use lockdown::store::{ArchiveReader, StoreMetrics};
 use lockdown::topology::vantage::VantagePoint;
 use lockdown_flow::time::Date;
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "figures" => cmd_figures(rest),
         "collect" => cmd_collect(rest),
+        "store" => cmd_store(rest),
         "registry" => cmd_registry(),
         "capture" => cmd_capture(rest),
         "analyze" => cmd_analyze(rest),
@@ -61,7 +64,7 @@ lockdown — reproduce 'The Lockdown Effect' (IMC 2020) from synthetic flows
 
 USAGE:
   lockdown figures [--fidelity test|standard|high] [NAME...]
-                   [--wire] [--audit]
+                   [--wire] [--audit] [--archive DIR]
                    [--loss P] [--reorder P] [--dup P] [--restart N]
       Render figures/tables (default: all). Names: fig1 fig2 fig3 fig4
       fig5 fig6 fig7 fig8 fig9 fig10 edu sec3.4 sec9 table1 table2
@@ -71,6 +74,15 @@ USAGE:
       an exporter restart cadence in datagrams. --audit (requires --wire)
       threads a conservation ledger through every stage, prints the audit
       report to stderr and fails the run on any violated identity.
+      --archive DIR runs the full suite against a columnar cell archive:
+      cold (generate + spill segments) when DIR has no covering manifest
+      for this seed/scenario, warm (replay, zero generation) when it does.
+      Figure output is byte-identical either way; the store metrics
+      snapshot goes to stderr.
+  lockdown store inspect|verify|gc --archive DIR
+      inspect: print the manifest key and per-segment zone maps.
+      verify:  re-read and CRC-check every segment; non-zero on failure.
+      gc:      delete segment files the manifest does not reference.
   lockdown collect [--fidelity test|standard|high] [--audit]
                    [--loss P] [--reorder P] [--dup P] [--restart N]
       Run the full suite in wire mode and print the Prometheus-style
@@ -96,7 +108,34 @@ fn flag(rest: &[String], name: &str) -> Option<String> {
 
 /// Flags that consume the following argument as their value; everything
 /// else starting with `--` is boolean.
-const VALUE_FLAGS: &[&str] = &["--fidelity", "--loss", "--reorder", "--dup", "--restart"];
+const VALUE_FLAGS: &[&str] = &[
+    "--fidelity",
+    "--loss",
+    "--reorder",
+    "--dup",
+    "--restart",
+    "--archive",
+];
+
+/// Reject any `--flag` the subcommand does not define: a typo must fail
+/// loudly (with the usage text) instead of silently doing the default.
+fn check_flags(rest: &[String], value: &[&str], boolean: &[&str]) -> Result<(), String> {
+    let mut skip_value = false;
+    for a in rest {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            if value.contains(&a.as_str()) {
+                skip_value = true;
+            } else if !boolean.contains(&a.as_str()) {
+                return Err(format!("unknown flag: {a}\n\n{USAGE}"));
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Positional (non-flag) arguments: skips `--` flags and the value token
 /// following each value-taking flag.
@@ -176,6 +215,18 @@ fn parse_vantage(s: &str) -> Result<VantagePoint, String> {
 }
 
 fn cmd_figures(rest: &[String]) -> Result<(), String> {
+    check_flags(
+        rest,
+        &[
+            "--fidelity",
+            "--loss",
+            "--reorder",
+            "--dup",
+            "--restart",
+            "--archive",
+        ],
+        &["--wire", "--audit"],
+    )?;
     let fidelity = parse_fidelity(rest)?;
     let faults = parse_faults(rest)?;
     let audit = rest.iter().any(|a| a == "--audit");
@@ -190,11 +241,15 @@ fn cmd_figures(rest: &[String]) -> Result<(), String> {
         }
         None
     };
+    let archive = flag(rest, "--archive");
     let names = positionals(rest);
     let all = names.is_empty();
     let want = |n: &str| all || names.iter().any(|x| x.as_str() == n);
     if wire.is_some() && !all {
         return Err("--wire applies to the full suite; drop the figure names".into());
+    }
+    if archive.is_some() && !all {
+        return Err("--archive applies to the full suite; drop the figure names".into());
     }
 
     let ctx = Context::new(fidelity);
@@ -204,12 +259,23 @@ fn cmd_figures(rest: &[String]) -> Result<(), String> {
         // out to all consumers. In wire mode every cell additionally
         // crosses the export -> transport -> collect plane first; stdout
         // stays byte-identical at zero faults, and the plane's metrics
-        // snapshot goes to stderr.
-        let suite = suite::run_all_with(&ctx, wire);
+        // snapshot goes to stderr. With --archive the cells come from (or
+        // go to) the columnar store — stdout is byte-identical cold vs.
+        // warm, which is why the engine summary and every metrics
+        // snapshot go to stderr.
+        let suite = match &archive {
+            Some(dir) => {
+                suite::run_all_archived(&ctx, wire, Path::new(dir)).map_err(|e| e.to_string())?
+            }
+            None => suite::run_all_with(&ctx, wire),
+        };
         for section in suite.renders() {
             println!("{section}");
         }
-        println!("{}", suite.stats.summary());
+        eprintln!("{}", suite.stats.summary());
+        if let Some(metrics) = &suite.store_metrics {
+            eprint!("{}", metrics.render());
+        }
         if let Some(metrics) = &suite.wire_metrics {
             eprint!("{}", metrics.render());
         }
@@ -271,6 +337,11 @@ fn cmd_figures(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_collect(rest: &[String]) -> Result<(), String> {
+    check_flags(
+        rest,
+        &["--fidelity", "--loss", "--reorder", "--dup", "--restart"],
+        &["--audit"],
+    )?;
     let fidelity = parse_fidelity(rest)?;
     let faults = parse_faults(rest)?;
     let audit = rest.iter().any(|a| a == "--audit");
@@ -283,6 +354,73 @@ fn cmd_collect(rest: &[String]) -> Result<(), String> {
         .expect("wire mode always carries metrics");
     print!("{}", metrics.render());
     check_audit(&suite)
+}
+
+fn cmd_store(rest: &[String]) -> Result<(), String> {
+    check_flags(rest, &["--archive"], &[])?;
+    let actions = positionals(rest);
+    let action = match actions.as_slice() {
+        [one] => one.as_str(),
+        _ => return Err("store needs exactly one action: inspect | verify | gc".into()),
+    };
+    let dir = flag(rest, "--archive").ok_or("--archive DIR required")?;
+    let metrics = StoreMetrics::new();
+    let reader = ArchiveReader::open(Path::new(&dir), metrics)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| format!("no archive manifest in {dir}"))?;
+    let key = reader.key();
+    match action {
+        "inspect" => {
+            println!(
+                "archive {dir}: seed {:#x}, scenario {:#018x}, plan {:#018x}, {} segments",
+                key.seed,
+                key.scenario_hash,
+                key.plan_hash,
+                reader.segment_count()
+            );
+            for meta in reader.segments() {
+                let stream = meta.cell.stream.label();
+                println!(
+                    "  {:<24} {} {:>9} records {:>10} bytes  [{} .. {}]",
+                    lockdown::store::segment_file_name(meta.cell),
+                    stream,
+                    meta.records,
+                    meta.file_len,
+                    meta.min_start,
+                    meta.max_end,
+                );
+            }
+            Ok(())
+        }
+        "verify" => {
+            let report = reader.verify();
+            println!(
+                "verified {}: {} segments, {} records, {} bytes, {} failures",
+                dir,
+                report.segments,
+                report.records,
+                report.bytes,
+                report.failures.len()
+            );
+            for f in &report.failures {
+                println!("  FAIL {f}");
+            }
+            if report.ok() {
+                Ok(())
+            } else {
+                Err(format!("{} corrupt segments", report.failures.len()))
+            }
+        }
+        "gc" => {
+            let removed = reader.gc().map_err(|e| e.to_string())?;
+            println!("gc {}: removed {} orphan files", dir, removed.len());
+            for name in &removed {
+                println!("  {name}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown store action: {other}\n\n{USAGE}")),
+    }
 }
 
 /// Print the conservation-audit report (stderr) and fail the command if

@@ -5,5 +5,6 @@ pub use lockdown_core as core;
 pub use lockdown_dns as dns;
 pub use lockdown_flow as flow;
 pub use lockdown_scenario as scenario;
+pub use lockdown_store as store;
 pub use lockdown_topology as topology;
 pub use lockdown_traffic as traffic;

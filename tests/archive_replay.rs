@@ -1,0 +1,269 @@
+//! Cold vs. warm archive equivalence: an engine pass that replays cells
+//! from a columnar archive must be byte-identical to the pass that
+//! generated (and spilled) them — per consumer, for the full figure
+//! suite, in wire mode, and across worker counts — while doing zero flow
+//! generation. Staleness (different seed) and corruption (flipped byte)
+//! must be detected, not silently absorbed.
+
+use lockdown::core::engine::{self, EnginePlan};
+use lockdown::core::experiments::suite;
+use lockdown::core::{Context, Fidelity};
+use lockdown::store::StoreError;
+use lockdown_analysis::consumer::FlowConsumer;
+use lockdown_collect::WireConfig;
+use lockdown_flow::record::FlowRecord;
+use lockdown_flow::time::Date;
+use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
+use std::path::{Path, PathBuf};
+
+/// Engine consumer that keeps raw flows sorted into canonical order, so
+/// equality is insensitive to worker scheduling.
+struct SortedFlows {
+    flows: Vec<FlowRecord>,
+}
+
+impl FlowConsumer for SortedFlows {
+    fn observe(&mut self, record: &FlowRecord) {
+        self.flows.push(*record);
+    }
+
+    fn merge(&mut self, mut other: Self) {
+        self.flows.append(&mut other.flows);
+    }
+}
+
+impl SortedFlows {
+    fn sorted(mut self) -> Vec<FlowRecord> {
+        self.flows.sort_by_key(|f| {
+            (
+                f.start,
+                f.end,
+                f.key.src_addr,
+                f.key.dst_addr,
+                f.key.src_port,
+                f.key.dst_port,
+            )
+        });
+        self.flows
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lockdown-replay-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One `(vantage, window)` pass, optionally archived; returns the sorted
+/// flows and the pass stats.
+fn pass(
+    ctx: &Context,
+    vp: VantagePoint,
+    start: Date,
+    end: Date,
+    archive: Option<&Path>,
+    wire: bool,
+    workers: usize,
+) -> (
+    Vec<FlowRecord>,
+    engine::EngineStats,
+    Option<(u64, u64, u64)>,
+) {
+    let mut plan = EnginePlan::new();
+    if wire {
+        plan.with_wire(WireConfig::new());
+    }
+    if let Some(dir) = archive {
+        plan.with_archive(dir);
+    }
+    let d = plan.subscribe(Stream::Vantage(vp), start, end, || SortedFlows {
+        flows: Vec::new(),
+    });
+    let mut out = engine::try_run_with_workers(ctx, plan, workers).expect("pass succeeds");
+    let store = out.store_metrics().map(|m| {
+        (
+            m.segments_written.get(),
+            m.segments_read.get(),
+            m.segments_pruned.get(),
+        )
+    });
+    let stats = out.stats();
+    (out.take(d).sorted(), stats, store)
+}
+
+#[test]
+fn warm_replay_is_byte_identical_and_generates_nothing() {
+    let ctx = Context::with_seed(Fidelity::Test, 41);
+    let dir = tmp_dir("identity");
+    let (d1, d2) = (Date::new(2020, 3, 9), Date::new(2020, 3, 11));
+    let vp = VantagePoint::IxpSe;
+
+    let (plain, _, none) = pass(&ctx, vp, d1, d2, None, false, 2);
+    assert!(none.is_none(), "no archive, no store metrics");
+
+    let (cold, cold_stats, cold_store) = pass(&ctx, vp, d1, d2, Some(&dir), false, 2);
+    let (written, read, _) = cold_store.expect("archived pass carries store metrics");
+    assert_eq!(cold_stats.cells_generated, 3 * 24);
+    assert_eq!(cold_stats.cells_replayed, 0);
+    assert_eq!(written, 3 * 24);
+    assert_eq!(read, 0);
+
+    let (warm, warm_stats, warm_store) = pass(&ctx, vp, d1, d2, Some(&dir), false, 2);
+    let (written, read, _) = warm_store.expect("archived pass carries store metrics");
+    // The acceptance criterion: replay does ZERO generation...
+    assert_eq!(warm_stats.cells_generated, 0);
+    assert_eq!(warm_stats.cells_replayed, 3 * 24);
+    assert_eq!(written, 0);
+    assert_eq!(read, 3 * 24);
+    // ...and the flows are bit-identical to both the cold spill and the
+    // archive-free baseline.
+    assert_eq!(warm, cold);
+    assert_eq!(warm, plain);
+    assert_eq!(warm_stats.flows_emitted, cold_stats.flows_emitted);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_replay_is_worker_count_invariant() {
+    let ctx = Context::with_seed(Fidelity::Test, 43);
+    let dir = tmp_dir("workers");
+    let (d1, d2) = (Date::new(2020, 2, 17), Date::new(2020, 2, 19));
+    let vp = VantagePoint::IspCe;
+    let (cold, _, _) = pass(&ctx, vp, d1, d2, Some(&dir), false, 1);
+    for workers in [1usize, 2, 5] {
+        let (warm, stats, _) = pass(&ctx, vp, d1, d2, Some(&dir), false, workers);
+        assert_eq!(stats.cells_generated, 0, "workers={workers}");
+        assert_eq!(warm, cold, "workers={workers}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn superset_archive_serves_subset_plan_with_pruning() {
+    let ctx = Context::with_seed(Fidelity::Test, 47);
+    let dir = tmp_dir("prune");
+    let vp = VantagePoint::IxpCe;
+    let (d1, d4) = (Date::new(2020, 3, 2), Date::new(2020, 3, 5));
+    pass(&ctx, vp, d1, d4, Some(&dir), false, 2);
+
+    // A narrower demand replays from the same archive: the plan hash
+    // differs, but the generation key (seed + scenario) matches.
+    let d2 = Date::new(2020, 3, 3);
+    let (subset_warm, stats, store) = pass(&ctx, vp, d1, d2, Some(&dir), false, 2);
+    let (_, read, pruned) = store.expect("store metrics");
+    assert_eq!(stats.cells_generated, 0, "subset must replay, not respill");
+    assert_eq!(stats.cells_replayed, 2 * 24);
+    assert_eq!(read, 2 * 24);
+    assert_eq!(pruned, 2 * 24, "the other two days' segments are pruned");
+
+    let (subset_plain, _, _) = pass(&ctx, vp, d1, d2, None, false, 2);
+    assert_eq!(subset_warm, subset_plain);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_seed_invalidates_and_respills() {
+    let dir = tmp_dir("stale");
+    let (d1, d2) = (Date::new(2020, 3, 23), Date::new(2020, 3, 24));
+    let vp = VantagePoint::IxpUs;
+    let a = Context::with_seed(Fidelity::Test, 1);
+    pass(&a, vp, d1, d2, Some(&dir), false, 2);
+
+    // Different seed → different generation: the archive must NOT be
+    // replayed (that would resurrect seed-1 flows under seed 2).
+    let b = Context::with_seed(Fidelity::Test, 2);
+    let (cold_b, stats, _) = pass(&b, vp, d1, d2, Some(&dir), false, 2);
+    assert_eq!(stats.cells_replayed, 0, "stale archive must not replay");
+    assert_eq!(stats.cells_generated, 2 * 24);
+    let (plain_b, _, _) = pass(&b, vp, d1, d2, None, false, 2);
+    assert_eq!(cold_b, plain_b);
+
+    // And the respill re-keyed the archive: seed 2 now replays warm.
+    let (warm_b, stats, _) = pass(&b, vp, d1, d2, Some(&dir), false, 2);
+    assert_eq!(stats.cells_generated, 0);
+    assert_eq!(warm_b, plain_b);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_segment_aborts_the_pass_naming_the_segment() {
+    let ctx = Context::with_seed(Fidelity::Test, 53);
+    let dir = tmp_dir("corrupt");
+    let (d1, d2) = (Date::new(2020, 4, 6), Date::new(2020, 4, 7));
+    let vp = VantagePoint::MobileCe;
+    pass(&ctx, vp, d1, d2, Some(&dir), false, 2);
+
+    // Flip one byte in one spilled segment.
+    let seg_dir = dir.join("segments");
+    let mut names: Vec<_> = std::fs::read_dir(&seg_dir)
+        .expect("segments dir")
+        .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+        .collect();
+    names.sort();
+    let victim = names[names.len() / 2].clone();
+    let victim_path = seg_dir.join(&victim);
+    let mut bytes = std::fs::read(&victim_path).expect("read segment");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&victim_path, &bytes).expect("rewrite segment");
+
+    let mut plan = EnginePlan::new();
+    plan.with_archive(&dir);
+    plan.subscribe(Stream::Vantage(vp), d1, d2, || SortedFlows {
+        flows: Vec::new(),
+    });
+    match engine::try_run_with_workers(&ctx, plan, 2) {
+        Ok(_) => panic!("corrupt archive must abort the pass"),
+        Err(StoreError::Corrupt { segment, .. }) => {
+            assert_eq!(segment, victim, "error names the corrupt segment");
+        }
+        Err(other) => panic!("wrong error class: {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wire_mode_cold_and_warm_agree() {
+    let ctx = Context::with_seed(Fidelity::Test, 59);
+    let dir = tmp_dir("wire");
+    let (d1, d2) = (Date::new(2020, 3, 16), Date::new(2020, 3, 17));
+    let vp = VantagePoint::IspCe;
+    // Archive stores *generated* cells; the wire plane runs on top of the
+    // replayed batch, so zero-fault wire output must match cold exactly.
+    let (cold, _, _) = pass(&ctx, vp, d1, d2, Some(&dir), true, 2);
+    let (warm, stats, _) = pass(&ctx, vp, d1, d2, Some(&dir), true, 2);
+    assert_eq!(stats.cells_generated, 0);
+    assert_eq!(warm, cold);
+    let (plain, _, _) = pass(&ctx, vp, d1, d2, None, true, 2);
+    assert_eq!(warm, plain);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_suite_renders_identically_cold_and_warm() {
+    let ctx = Context::new(Fidelity::Test);
+    let dir = tmp_dir("suite");
+
+    let baseline = suite::run_all(&ctx);
+    let cold = suite::run_all_archived(&ctx, None, &dir).expect("cold suite");
+    assert!(cold.stats.cells_generated > 0);
+    assert_eq!(cold.stats.cells_replayed, 0);
+
+    let warm = suite::run_all_archived(&ctx, None, &dir).expect("warm suite");
+    assert_eq!(
+        warm.stats.cells_generated, 0,
+        "warm suite generates nothing"
+    );
+    assert_eq!(warm.stats.cells_replayed, cold.stats.cells_generated);
+
+    // The tentpole acceptance: rendered figure output is byte-identical
+    // across no-archive, cold, and warm paths.
+    let b = baseline.renders();
+    let c = cold.renders();
+    let w = warm.renders();
+    assert_eq!(b, c);
+    assert_eq!(c, w);
+    let _ = std::fs::remove_dir_all(&dir);
+}

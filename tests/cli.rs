@@ -139,3 +139,46 @@ fn analyze_rejects_garbage() {
     assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn figures_rejects_unknown_flags_with_usage() {
+    let out = bin()
+        .args(["figures", "--fidelity", "test", "--frobnicate"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "unknown flag must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag: --frobnicate"), "{err}");
+    assert!(err.contains("USAGE"), "usage text must follow: {err}");
+}
+
+#[test]
+fn collect_rejects_unknown_flags_with_usage() {
+    // --wire is valid for `figures` but meaningless for `collect` (which
+    // is always wired) — it must be rejected, not silently ignored.
+    let out = bin()
+        .args(["collect", "--fidelity", "test", "--wire"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "unknown flag must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag: --wire"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn store_subcommand_validates_input() {
+    let out = bin().args(["store", "inspect"]).output().expect("spawn");
+    assert!(!out.status.success(), "--archive is required");
+
+    let dir = std::env::temp_dir().join(format!("lockdown-cli-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let out = bin()
+        .args(["store", "verify", "--archive"])
+        .arg(&dir)
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "manifest-less dir is not an archive");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no archive manifest"));
+    std::fs::remove_dir_all(&dir).ok();
+}
