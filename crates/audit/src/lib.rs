@@ -126,6 +126,11 @@ pub struct CellLedger {
     /// Whether in-band sampling (rate > 1) was active — byte/packet
     /// volumes are then unbiased estimates, not identities.
     pub sampling: bool,
+    /// Whether the supervisor quarantined this cell: it exhausted its
+    /// retry budget and never delivered. A quarantined cell is a
+    /// first-class conservation outcome — its only obligation is that
+    /// nothing was consumed downstream.
+    pub quarantined: bool,
 }
 
 /// One failed conservation identity in one cell.
@@ -153,6 +158,19 @@ impl CellLedger {
                 });
             }
         };
+
+        // A quarantined cell never delivered: whatever partial attempts
+        // posted, the stage-to-stage identities do not apply. The one
+        // thing that must still hold is that analysis consumed nothing.
+        if self.quarantined {
+            check(
+                "quarantine-unconsumed",
+                self.consumed.records,
+                0,
+                "records consumed from a quarantined cell",
+            );
+            return out;
+        }
 
         // (1) Exporter: what reaches the wire is what was generated minus
         // what the sampler dropped.
@@ -312,6 +330,8 @@ pub struct Totals {
     pub undecoded: u64,
     /// Renormalized records whose counters clipped at `u64::MAX`.
     pub renorm_clipped: u64,
+    /// Cells the supervisor quarantined (retry budget exhausted).
+    pub quarantined_cells: u64,
 }
 
 /// Outcome of auditing a whole run: per-cell violations plus totals.
@@ -362,6 +382,9 @@ impl Report {
             "  consumed {} records / {} bytes / {} packets",
             t.consumed.records, t.consumed.bytes, t.consumed.packets
         );
+        if t.quarantined_cells > 0 {
+            let _ = writeln!(s, "  quarantined {} cells", t.quarantined_cells);
+        }
         const MAX_LINES: usize = 50;
         for v in self.violations.iter().take(MAX_LINES) {
             let _ = writeln!(
@@ -431,6 +454,7 @@ impl Ledger {
             t.abandoned_units += cell.abandoned_units;
             t.undecoded += cell.undecoded;
             t.renorm_clipped += cell.renorm_clipped;
+            t.quarantined_cells += u64::from(cell.quarantined);
         }
         report.violations.sort();
         report
@@ -565,6 +589,37 @@ mod tests {
         assert!(text.contains("conservation audit: 2 cells"));
         assert!(text.contains("VIOLATION"));
         assert!(text.contains("fault-free-bytes"));
+    }
+
+    #[test]
+    fn quarantine_is_a_first_class_outcome() {
+        // A cell that panicked mid-pipeline posts wildly unbalanced
+        // stages; quarantine waives every identity except "nothing was
+        // consumed downstream".
+        let mut c = balanced();
+        c.accepted = Counts::default();
+        c.consumed = Counts::default();
+        c.quarantined = true;
+        assert!(c.violations(key()).is_empty(), "{:?}", c.violations(key()));
+
+        // Consuming from a quarantined cell is the one thing that still
+        // trips the auditor.
+        c.consumed.records = 5;
+        let v = c.violations(key());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].identity, "quarantine-unconsumed");
+
+        let ledger = Ledger::new();
+        ledger.record(key(), |cl| {
+            *cl = balanced();
+            cl.accepted = Counts::default();
+            cl.consumed = Counts::default();
+            cl.quarantined = true;
+        });
+        let report = ledger.report();
+        assert!(report.is_clean());
+        assert_eq!(report.totals.quarantined_cells, 1);
+        assert!(report.render().contains("quarantined 1 cells"));
     }
 
     #[test]

@@ -67,7 +67,9 @@ fn bench_engine(c: &mut Criterion) {
                     Date::new(2020, 3, 31),
                     HourlyVolume::new,
                 );
-                engine::run_with_workers(ctx(), plan, workers).take(d)
+                engine::run_with_workers(ctx(), plan, workers)
+                    .expect("pass succeeds")
+                    .take(d)
             })
         });
     }

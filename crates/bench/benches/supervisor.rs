@@ -1,0 +1,73 @@
+//! Supervised execution: what panic isolation costs when nothing fails.
+//!
+//! The supervisor's claim in numbers: wrapping every cell in
+//! `catch_unwind` plus the chaos decision must be measurement-noise on a
+//! clean pass (`supervised_zero_chaos` vs. `unsupervised`), and a pass
+//! that retries its way through injected panics stays within its budget
+//! (`chaos_retries` — backoff 0, so the cost shown is pure re-execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lockdown_analysis::timeseries::HourlyVolume;
+use lockdown_chaos::ChaosConfig;
+use lockdown_core::engine::{self, EnginePlan};
+use lockdown_core::{Context, Fidelity};
+use lockdown_flow::time::Date;
+use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::Stream;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(|| Context::new(Fidelity::Standard))
+}
+
+/// One week of ISP-CE through the engine, optionally supervised.
+fn week_pass(chaos: Option<ChaosConfig>, workers: usize) -> u64 {
+    let mut plan = EnginePlan::new();
+    if let Some(cfg) = chaos {
+        plan.with_supervisor(cfg);
+    }
+    let d = plan.subscribe(
+        Stream::Vantage(VantagePoint::IspCe),
+        Date::new(2020, 3, 16),
+        Date::new(2020, 3, 22),
+        HourlyVolume::new,
+    );
+    let mut out = engine::run_with_workers(ctx(), plan, workers).expect("pass");
+    let stats = out.stats();
+    let _ = out.take(d);
+    stats.flows_emitted
+}
+
+fn bench_supervisor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supervisor");
+    group.sample_size(10);
+
+    group.bench_function("unsupervised", |b| b.iter(|| week_pass(None, 1)));
+
+    group.bench_function("supervised_zero_chaos", |b| {
+        b.iter(|| week_pass(Some(ChaosConfig::zero()), 1))
+    });
+
+    // ~30% of attempts panic; budget 3 keeps quarantine rare (~2.7% of
+    // cells), so the bench shows retry cost, not missing work.
+    let chaos = ChaosConfig {
+        seed: 7,
+        panic: 0.3,
+        attempts: 3,
+        backoff_base_ms: 0,
+        backoff_cap_ms: 0,
+        ..ChaosConfig::zero()
+    };
+    group.bench_function("chaos_retries", |b| b.iter(|| week_pass(Some(chaos), 1)));
+
+    for workers in [2usize, 4] {
+        group.bench_function(format!("chaos_retries_workers_{workers}"), |b| {
+            b.iter(|| week_pass(Some(chaos), workers))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_supervisor);
+criterion_main!(benches);

@@ -1,0 +1,372 @@
+//! Deterministic chaos injection for the engine supervisor.
+//!
+//! A production measurement plane survives worker panics, torn segment
+//! writes, full disks and stalled exporters. To *test* that survival the
+//! failures have to be reproducible: this crate turns a seed and a cell
+//! identity into a fault schedule that is a pure function of
+//! `(seed, cell, attempt)` — never of the worker thread, the wall clock or
+//! the iteration order. Two runs of the same plan under the same
+//! [`ChaosConfig`] inject exactly the same faults into exactly the same
+//! cells, whatever the worker count, which is what makes a quarantine set
+//! assertable in tests and CI.
+//!
+//! The crate is dependency-free (like `lockdown-audit`) so every layer —
+//! engine, store, CLI — can consume it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Splitmix64 chaining over the parts — the same fingerprint construction
+/// the trace plan uses, duplicated here so the crate stays dependency-free
+/// and fault schedules stay stable across builds.
+fn fold_hash(parts: impl IntoIterator<Item = u64>) -> u64 {
+    let mut acc = 0x243F_6A88_85A3_08D3u64;
+    for p in parts {
+        let mut z = acc ^ p;
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        acc = z ^ (z >> 31);
+    }
+    acc
+}
+
+/// Map a hash to a uniform draw in `[0, 1)` using the top 53 bits.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Domain separators so the four fault families never correlate.
+const PANIC_SALT: u64 = 0x7061_6E69_6321_2121; // "panic!!!"
+const TORN_SALT: u64 = 0x746F_726E_5F77_7274; // "torn_wrt"
+const ENOSPC_SALT: u64 = 0x656E_6F73_7063_2121; // "enospc!!"
+const STALL_SALT: u64 = 0x7374_616C_6C5F_7878; // "stall_xx"
+const JITTER_SALT: u64 = 0x6A69_7474_6572_2121; // "jitter!!"
+
+/// Payload of an injected worker panic. Carried through
+/// `std::panic::panic_any` so the supervisor's panic hook can tell
+/// scheduled chaos (silenced) from a genuine bug (reported as usual).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedPanic {
+    /// Wire id of the stream whose cell panicked.
+    pub wire_id: u32,
+    /// Day number of the cell's date.
+    pub day_number: i64,
+    /// Hour of day.
+    pub hour: u8,
+    /// Which attempt the panic was scheduled for.
+    pub attempt: u32,
+}
+
+/// A scheduled fault on the segment-spill path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The segment file is written short (a torn write), then the spill
+    /// reports an I/O error — what a kill -9 mid-`write` leaves behind.
+    Torn,
+    /// The spill fails up front with a simulated "no space left on
+    /// device"; nothing is written.
+    Enospc,
+}
+
+/// Everything scheduled for one `(cell, attempt)` slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellChaos {
+    /// Panic the worker at the top of the attempt.
+    pub panic: bool,
+    /// Fault the segment spill (cold archived passes only).
+    pub write: Option<WriteFault>,
+    /// Stall the exporter fleet past its timeout (wire mode only).
+    pub stall: bool,
+}
+
+impl CellChaos {
+    /// Whether this slot injects nothing.
+    pub fn is_clean(&self) -> bool {
+        !self.panic && self.write.is_none() && !self.stall
+    }
+}
+
+/// The chaos surface: per-fault probabilities plus the supervisor's retry
+/// budget and backoff policy, all parseable from one CLI spec string.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Root seed of every fault schedule.
+    pub seed: u64,
+    /// Per-(cell, attempt) probability of an injected worker panic.
+    pub panic: f64,
+    /// Per-(cell, attempt) probability of a torn segment write.
+    pub torn: f64,
+    /// Per-(cell, attempt) probability of a simulated ENOSPC on spill.
+    pub enospc: f64,
+    /// Per-(cell, attempt) probability of an exporter stall timeout.
+    pub stall: f64,
+    /// Per-cell attempt budget (minimum 1); a cell that fails every
+    /// attempt is quarantined.
+    pub attempts: u32,
+    /// Base backoff delay before retry `n` (milliseconds, doubled per
+    /// attempt).
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff delay (milliseconds).
+    pub backoff_cap_ms: u64,
+}
+
+impl ChaosConfig {
+    /// No injected faults, default budget and backoff: supervision
+    /// (panic isolation, retries, checkpoint/resume) without chaos.
+    pub fn zero() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            panic: 0.0,
+            torn: 0.0,
+            enospc: 0.0,
+            stall: 0.0,
+            attempts: 3,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1_000,
+        }
+    }
+
+    /// Whether every fault probability is zero (the schedule never fires).
+    pub fn is_zero(&self) -> bool {
+        self.panic == 0.0 && self.torn == 0.0 && self.enospc == 0.0 && self.stall == 0.0
+    }
+
+    /// Parse a CLI spec like
+    /// `seed=7,panic=0.05,torn=0.02,enospc=0.01,stall=0.03,attempts=2,backoff=1,cap=50`.
+    /// Every key is optional; unknown keys and out-of-range values are
+    /// rejected loudly.
+    pub fn parse(spec: &str) -> Result<ChaosConfig, String> {
+        let mut cfg = ChaosConfig::zero();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad chaos spec item (want key=value): {part}"))?;
+            let prob = |what: &str| -> Result<f64, String> {
+                let p: f64 = value.parse().map_err(|_| format!("bad {what}: {value}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("{what} must be in [0,1]: {value}"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => cfg.seed = value.parse().map_err(|_| format!("bad seed: {value}"))?,
+                "panic" => cfg.panic = prob("panic probability")?,
+                "torn" => cfg.torn = prob("torn-write probability")?,
+                "enospc" => cfg.enospc = prob("enospc probability")?,
+                "stall" => cfg.stall = prob("stall probability")?,
+                "attempts" => {
+                    cfg.attempts = value
+                        .parse()
+                        .map_err(|_| format!("bad attempts: {value}"))?;
+                    if cfg.attempts == 0 {
+                        return Err("attempts must be at least 1".into());
+                    }
+                }
+                "backoff" => {
+                    cfg.backoff_base_ms = value
+                        .parse()
+                        .map_err(|_| format!("bad backoff (ms): {value}"))?
+                }
+                "cap" => {
+                    cfg.backoff_cap_ms = value
+                        .parse()
+                        .map_err(|_| format!("bad backoff cap (ms): {value}"))?
+                }
+                other => return Err(format!("unknown chaos key: {other}")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// The seeded fault schedule. Decisions are a pure function of
+/// `(config seed, wire_id, day_number, hour, attempt)` — evaluating them
+/// twice, in any order, from any thread, gives the same answer.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosInjector {
+    cfg: ChaosConfig,
+}
+
+impl ChaosInjector {
+    /// An injector for one configuration.
+    pub fn new(cfg: ChaosConfig) -> ChaosInjector {
+        ChaosInjector { cfg }
+    }
+
+    /// The configuration the schedule is drawn from.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    fn draw(&self, salt: u64, wire_id: u32, day_number: i64, hour: u8, attempt: u32) -> f64 {
+        unit(fold_hash([
+            self.cfg.seed,
+            salt,
+            u64::from(wire_id),
+            day_number as u64,
+            u64::from(hour),
+            u64::from(attempt),
+        ]))
+    }
+
+    /// The faults scheduled for one `(cell, attempt)` slot. Torn and
+    /// ENOSPC are mutually exclusive (a write fails one way at a time);
+    /// torn is drawn first.
+    pub fn decide(&self, wire_id: u32, day_number: i64, hour: u8, attempt: u32) -> CellChaos {
+        if self.cfg.is_zero() {
+            return CellChaos::default();
+        }
+        let write = if self.draw(TORN_SALT, wire_id, day_number, hour, attempt) < self.cfg.torn {
+            Some(WriteFault::Torn)
+        } else if self.draw(ENOSPC_SALT, wire_id, day_number, hour, attempt) < self.cfg.enospc {
+            Some(WriteFault::Enospc)
+        } else {
+            None
+        };
+        CellChaos {
+            panic: self.draw(PANIC_SALT, wire_id, day_number, hour, attempt) < self.cfg.panic,
+            write,
+            stall: self.draw(STALL_SALT, wire_id, day_number, hour, attempt) < self.cfg.stall,
+        }
+    }
+
+    /// Deterministic bounded exponential backoff before retry `attempt`
+    /// (1-based): `min(cap, base << (attempt-1))` plus seeded jitter in
+    /// `[0, base)`. Milliseconds. Zero base means no delay at all.
+    pub fn backoff_ms(&self, wire_id: u32, day_number: i64, hour: u8, attempt: u32) -> u64 {
+        let base = self.cfg.backoff_base_ms;
+        if base == 0 {
+            return 0;
+        }
+        let shift = attempt.saturating_sub(1).min(16);
+        let exp = base
+            .saturating_mul(1u64 << shift)
+            .min(self.cfg.backoff_cap_ms);
+        let jitter = fold_hash([
+            self.cfg.seed,
+            JITTER_SALT,
+            u64::from(wire_id),
+            day_number as u64,
+            u64::from(hour),
+            u64::from(attempt),
+        ]) % base;
+        exp.saturating_add(jitter).min(self.cfg.backoff_cap_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_config_never_fires() {
+        let inj = ChaosInjector::new(ChaosConfig::zero());
+        for attempt in 0..4 {
+            for hour in 0..24 {
+                assert!(inj.decide(3, 18_341, hour, attempt).is_clean());
+            }
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips_every_knob() {
+        let cfg = ChaosConfig::parse(
+            "seed=42,panic=0.1,torn=0.05,enospc=0.02,stall=0.03,attempts=2,backoff=1,cap=50",
+        )
+        .unwrap();
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.panic, 0.1);
+        assert_eq!(cfg.torn, 0.05);
+        assert_eq!(cfg.enospc, 0.02);
+        assert_eq!(cfg.stall, 0.03);
+        assert_eq!(cfg.attempts, 2);
+        assert_eq!(cfg.backoff_base_ms, 1);
+        assert_eq!(cfg.backoff_cap_ms, 50);
+        assert!(!cfg.is_zero());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        for bad in [
+            "panic",
+            "panic=1.5",
+            "panic=-0.1",
+            "attempts=0",
+            "frobnicate=1",
+            "seed=x",
+        ] {
+            assert!(ChaosConfig::parse(bad).is_err(), "should reject: {bad}");
+        }
+        // The empty spec is the zero config with supervision on.
+        assert!(ChaosConfig::parse("").unwrap().is_zero());
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_cell_and_attempt() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            panic: 0.3,
+            torn: 0.2,
+            enospc: 0.2,
+            stall: 0.3,
+            ..ChaosConfig::zero()
+        };
+        let a = ChaosInjector::new(cfg);
+        let b = ChaosInjector::new(cfg);
+        let mut fired = 0;
+        for hour in 0..24 {
+            for attempt in 0..3 {
+                let d = a.decide(5, 18_400, hour, attempt);
+                assert_eq!(d, b.decide(5, 18_400, hour, attempt));
+                if !d.is_clean() {
+                    fired += 1;
+                }
+            }
+        }
+        assert!(fired > 0, "a 30% schedule over 72 slots must fire");
+        // A different seed gives a different schedule.
+        let other = ChaosInjector::new(ChaosConfig { seed: 8, ..cfg });
+        let same = (0..24).all(|h| a.decide(5, 18_400, h, 0) == other.decide(5, 18_400, h, 0));
+        assert!(!same, "seed must matter");
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_monotone_in_expectation() {
+        let cfg = ChaosConfig {
+            backoff_base_ms: 10,
+            backoff_cap_ms: 100,
+            ..ChaosConfig::zero()
+        };
+        let inj = ChaosInjector::new(cfg);
+        for attempt in 1..12 {
+            let d = inj.backoff_ms(1, 18_341, 3, attempt);
+            assert!(d <= 100, "cap must bound every delay, got {d}");
+            assert_eq!(d, inj.backoff_ms(1, 18_341, 3, attempt), "deterministic");
+        }
+        // Zero base means no sleeping at all (the test configuration).
+        let fast = ChaosInjector::new(ChaosConfig {
+            backoff_base_ms: 0,
+            ..ChaosConfig::zero()
+        });
+        assert_eq!(fast.backoff_ms(1, 18_341, 3, 5), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Empirical fault rates track the configured probabilities: the
+        /// schedule is a real Bernoulli draw, not a degenerate constant.
+        fn rates_track_probabilities(seed in any::<u64>(), p in 0.05f64..0.95) {
+            let cfg = ChaosConfig { seed, panic: p, ..ChaosConfig::zero() };
+            let inj = ChaosInjector::new(cfg);
+            let n = 2_000u32;
+            let fired = (0..n)
+                .filter(|&i| inj.decide(i % 7, i64::from(i / 7), (i % 24) as u8, i % 3).panic)
+                .count() as f64;
+            let rate = fired / f64::from(n);
+            prop_assert!((rate - p).abs() < 0.08, "rate {rate:.3} vs p {p:.3}");
+        }
+    }
+}

@@ -186,6 +186,24 @@ impl CollectionPlane {
         }
     }
 
+    /// Record an injected exporter stall for one cell: the fleet timed
+    /// out before delivering, so the attempt is abandoned and the
+    /// supervisor retries. Only the stall counter moves — conservation
+    /// stages are posted by the (later, successful) attempt.
+    pub fn note_stalled(&self, _cell: &Cell) {
+        self.metrics.exporter_stalls.inc();
+    }
+
+    /// Mark one cell quarantined in the conservation ledger: it exhausted
+    /// its attempt budget and never delivered, so the auditor must not
+    /// hold it to the usual conservation identities. No-op without
+    /// auditing.
+    pub fn note_quarantined(&self, cell: &Cell) {
+        if let Some(ledger) = &self.ledger {
+            ledger.record(cell_key(cell), |c| c.quarantined = true);
+        }
+    }
+
     /// Audit every cell ledger and return the report (None without
     /// auditing). Also mirrors the outcome into the `audit_*` metrics.
     pub fn audit_report(&self) -> Option<lockdown_audit::Report> {

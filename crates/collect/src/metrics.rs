@@ -205,6 +205,9 @@ pub struct CollectMetrics {
     pub engine_flows_wired: Arc<Metric>,
     /// Flow records delivered back to the engine after collection.
     pub engine_flows_delivered: Arc<Metric>,
+    /// Injected exporter stall timeouts (the chaos surface; the attempt
+    /// is abandoned and the supervisor retries the cell).
+    pub exporter_stalls: Arc<Metric>,
     /// Cells covered by the conservation audit (gauge; 0 when auditing
     /// is off).
     pub audit_cells: Arc<Metric>,
@@ -289,6 +292,10 @@ impl CollectMetrics {
             engine_flows_delivered: r.counter(
                 "engine_flows_delivered_total",
                 "Records delivered back to the engine",
+            ),
+            exporter_stalls: r.counter(
+                "exporter_stalls_total",
+                "Injected exporter stall timeouts (attempt abandoned and retried)",
             ),
             audit_cells: r.gauge("audit_cells", "Cells covered by the conservation audit"),
             audit_violations: r.gauge(

@@ -16,16 +16,20 @@
 //! the old per-figure regeneration. `tests/determinism.rs` asserts both.
 
 use crate::context::Context;
+use crate::supervisor::{AttemptError, DegradedReport, Supervisor, SupervisorMetrics};
 use lockdown_analysis::consumer::FlowConsumer;
+use lockdown_chaos::{ChaosConfig, InjectedPanic, WriteFault};
 use lockdown_collect::{CollectMetrics, CollectionPlane, WireConfig};
 use lockdown_flow::record::FlowRecord;
 use lockdown_flow::time::Date;
 use lockdown_store::{
-    ArchiveReader, ArchiveWriter, SegmentScan, StoreError, StoreKey, StoreMetrics,
+    ArchiveReader, ArchiveWriter, SegmentMeta, SegmentScan, SpillFault, StoreError, StoreKey,
+    StoreMetrics,
 };
 use lockdown_traffic::parallel::default_workers;
 use lockdown_traffic::plan::{Cell, Stream, TraceEmitter, TracePlan};
 use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
 use std::marker::PhantomData;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -46,6 +50,9 @@ impl<C: FlowConsumer + Send + 'static> AnyConsumer for Erased<C> {
     }
 
     fn merge_box(&mut self, other: Box<dyn AnyConsumer>) {
+        // Unreachable by construction: partials are merged strictly by
+        // subscription index, and each index has exactly one concrete
+        // consumer type (enforced at `subscribe` time by the factory).
         let other = other
             .into_any()
             .downcast::<Erased<C>>()
@@ -62,6 +69,9 @@ struct Subscription {
     stream: Stream,
     start: Date,
     end: Date,
+    /// Figure label from [`EnginePlan::scoped`]; attributes quarantined
+    /// cells to the figures they starve in the degraded-mode report.
+    label: Option<String>,
     factory: Box<dyn Fn() -> Box<dyn AnyConsumer> + Send + Sync>,
 }
 
@@ -94,6 +104,8 @@ pub struct EnginePlan {
     subs: Vec<Subscription>,
     wire: Option<WireConfig>,
     archive: Option<PathBuf>,
+    supervisor: Option<ChaosConfig>,
+    scope: Option<String>,
 }
 
 impl EnginePlan {
@@ -135,6 +147,33 @@ impl EnginePlan {
         self.archive.as_deref()
     }
 
+    /// Attach a supervisor: each cell slot runs under panic isolation
+    /// with seeded retries, budget-exhausted cells are quarantined
+    /// instead of fatal, archived passes checkpoint a resume journal, and
+    /// the configured chaos schedule (if any) injects deterministic
+    /// faults. [`ChaosConfig::zero`] gives supervision without chaos —
+    /// and a zero-chaos supervised pass is byte-identical to a plain one.
+    pub fn with_supervisor(&mut self, cfg: ChaosConfig) -> &mut EnginePlan {
+        self.supervisor = Some(cfg);
+        self
+    }
+
+    /// The supervisor configuration, if supervision is enabled.
+    pub fn supervisor_config(&self) -> Option<&ChaosConfig> {
+        self.supervisor.as_ref()
+    }
+
+    /// Run `f` with every subscription it records labeled `label` (the
+    /// figure being planned). Labels drive the degraded-mode report's
+    /// "affected figures" attribution; unlabeled subscriptions are
+    /// reported under `unlabeled`.
+    pub fn scoped<R>(&mut self, label: &str, f: impl FnOnce(&mut EnginePlan) -> R) -> R {
+        let prev = self.scope.replace(label.to_string());
+        let out = f(self);
+        self.scope = prev;
+        out
+    }
+
     /// Subscribe a consumer to an inclusive date window of one stream.
     /// `factory` builds one fresh consumer per worker; partials are merged
     /// in worker order after the pass.
@@ -155,6 +194,7 @@ impl EnginePlan {
             stream,
             start,
             end,
+            label: self.scope.clone(),
             factory: Box::new(move || Box::new(Erased(factory()))),
         });
         Demand {
@@ -186,7 +226,17 @@ pub struct EngineStats {
     /// warm archived pass — the proof that replay did no generation.
     pub cells_generated: u64,
     /// Distinct cells decoded from an archive instead of generated.
+    /// Includes resumed cells — replay is replay, whether the index that
+    /// named the segment was a manifest or a journal.
     pub cells_replayed: u64,
+    /// Of the replayed cells, how many were adopted from a checkpoint
+    /// journal left by an interrupted pass (supervised passes only).
+    pub cells_resumed: u64,
+    /// Cells the supervisor quarantined after exhausting their attempt
+    /// budget. Always zero without a supervisor.
+    pub cells_quarantined: u64,
+    /// Cell attempts beyond the first (supervised passes only).
+    pub retries: u64,
     /// Flow records fanned out across all cells, generated or replayed.
     pub flows_emitted: u64,
     /// Worker threads used.
@@ -201,9 +251,11 @@ impl EngineStats {
     }
 
     /// One-line human-readable summary (the CLI prints this after a full
-    /// suite run).
+    /// suite run). The base format is stable — supervised-only outcomes
+    /// (resume, quarantine, retries) are appended only when nonzero so
+    /// plain passes render exactly as before.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "engine: {} demands, {} cells generated once + {} replayed (vs {} demanded, dedup x{:.2}), {} flows, {} workers",
             self.demands,
             self.cells_generated,
@@ -212,9 +264,41 @@ impl EngineStats {
             self.dedup_ratio(),
             self.flows_emitted,
             self.workers,
-        )
+        );
+        if self.cells_resumed > 0 {
+            s.push_str(&format!(", {} resumed", self.cells_resumed));
+        }
+        if self.cells_quarantined > 0 || self.retries > 0 {
+            s.push_str(&format!(
+                ", {} quarantined ({} retries)",
+                self.cells_quarantined, self.retries
+            ));
+        }
+        s
     }
 }
+
+/// Why [`EngineOutput::try_take`] could not redeem a demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TakeError {
+    /// The demand was already taken from this output.
+    AlreadyTaken,
+    /// The demand's type parameter does not match the consumer the
+    /// subscription actually built (a handle redeemed against the wrong
+    /// output, or transmuted indices).
+    TypeMismatch,
+}
+
+impl std::fmt::Display for TakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TakeError::AlreadyTaken => write!(f, "demand already taken from this engine output"),
+            TakeError::TypeMismatch => write!(f, "demand type does not match its subscription"),
+        }
+    }
+}
+
+impl std::error::Error for TakeError {}
 
 /// Merged consumer states of one engine pass, redeemable by [`Demand`].
 pub struct EngineOutput {
@@ -223,20 +307,40 @@ pub struct EngineOutput {
     wire_metrics: Option<Arc<CollectMetrics>>,
     audit: Option<lockdown_audit::Report>,
     store_metrics: Option<Arc<StoreMetrics>>,
+    supervisor_metrics: Option<Arc<SupervisorMetrics>>,
+    degraded: Option<DegradedReport>,
 }
 
 impl EngineOutput {
-    /// Take the merged consumer of one subscription (each demand can be
-    /// taken once).
-    pub fn take<C: FlowConsumer + Send + 'static>(&mut self, demand: Demand<C>) -> C {
-        let boxed = self.consumers[demand.idx]
-            .take()
-            .expect("each demand is taken exactly once");
+    /// Take the merged consumer of one subscription, reporting a typed
+    /// error for the two reachable misuses (double-take, wrong-type
+    /// redemption) instead of panicking.
+    pub fn try_take<C: FlowConsumer + Send + 'static>(
+        &mut self,
+        demand: Demand<C>,
+    ) -> Result<C, TakeError> {
+        let slot = self
+            .consumers
+            .get_mut(demand.idx)
+            .ok_or(TakeError::TypeMismatch)?;
+        let boxed = slot.take().ok_or(TakeError::AlreadyTaken)?;
+        // A failed downcast consumes the slot: erasure is one-way, so a
+        // wrong-typed probe cannot restore the consumer. That is fine —
+        // both reachable misuses are programming errors the caller should
+        // surface, not probe-and-recover paths.
         boxed
             .into_any()
             .downcast::<Erased<C>>()
-            .expect("demand type matches its subscription")
-            .0
+            .map(|erased| erased.0)
+            .map_err(|_| TakeError::TypeMismatch)
+    }
+
+    /// Take the merged consumer of one subscription (each demand can be
+    /// taken once). Panics on misuse — use [`EngineOutput::try_take`] for
+    /// the typed-error form.
+    pub fn take<C: FlowConsumer + Send + 'static>(&mut self, demand: Demand<C>) -> C {
+        self.try_take(demand)
+            .unwrap_or_else(|e| panic!("engine demand redemption failed: {e}"))
     }
 
     /// The pass's statistics.
@@ -260,64 +364,272 @@ impl EngineOutput {
     pub fn store_metrics(&self) -> Option<&Arc<StoreMetrics>> {
         self.store_metrics.as_ref()
     }
+
+    /// Supervisor metrics, present when the plan ran supervised.
+    pub fn supervisor_metrics(&self) -> Option<&Arc<SupervisorMetrics>> {
+        self.supervisor_metrics.as_ref()
+    }
+
+    /// The degraded-mode report, present when a supervised pass
+    /// quarantined at least one cell. `None` means the pass is complete.
+    pub fn degraded(&self) -> Option<&DegradedReport> {
+        self.degraded.as_ref()
+    }
 }
 
-/// Run a plan with the default worker count. Panics on archive errors —
-/// use [`try_run`] for archived plans.
-pub fn run(ctx: &Context, plan: EnginePlan) -> EngineOutput {
+/// Run a plan with the default worker count. An archive-free,
+/// unsupervised plan cannot actually fail; archived plans surface I/O and
+/// corruption errors here instead of panicking.
+pub fn run(ctx: &Context, plan: EnginePlan) -> Result<EngineOutput, StoreError> {
     run_with_workers(ctx, plan, default_workers())
 }
 
-/// Run a plan with an explicit worker count. Output is bit-identical for
-/// any count (see module docs). Panics on archive errors — an archive-free
-/// plan cannot fail.
-pub fn run_with_workers(ctx: &Context, plan: EnginePlan, workers: usize) -> EngineOutput {
-    try_run_with_workers(ctx, plan, workers)
-        .unwrap_or_else(|e| panic!("archived engine pass failed: {e}"))
-}
-
-/// Fallible run with the default worker count, for archived plans.
+/// Fallible run with the default worker count. Alias of [`run`], kept for
+/// call sites that want the archived-pass intent in the name.
 pub fn try_run(ctx: &Context, plan: EnginePlan) -> Result<EngineOutput, StoreError> {
-    try_run_with_workers(ctx, plan, default_workers())
+    run_with_workers(ctx, plan, default_workers())
 }
 
 /// One worker's tallies alongside its consumer column.
 struct Partial {
     consumers: Vec<Box<dyn AnyConsumer>>,
+    tallies: Tallies,
+}
+
+/// Per-worker cell accounting.
+#[derive(Debug, Default, Clone, Copy)]
+struct Tallies {
     flows: u64,
     generated: u64,
     replayed: u64,
+    resumed: u64,
 }
 
-/// Fill `buf` with one cell's flows from the archive scan (warm) or the
-/// emitter (cold, spilling if a writer is attached). Returns whether the
-/// cell was replayed.
-fn fill_cell(
-    cell: Cell,
-    emitter: &TraceEmitter,
-    scan: Option<&SegmentScan>,
-    writer: Option<&ArchiveWriter>,
-    buf: &mut Vec<FlowRecord>,
-) -> Result<bool, StoreError> {
-    match scan {
-        Some(sc) => {
-            *buf = sc.read_cell(cell)?;
-            Ok(true)
-        }
-        None => {
-            emitter.generate_cell(cell, buf);
-            if let Some(w) = writer {
-                w.spill(cell, buf)?;
+/// How one cell's records were obtained.
+enum CellFill {
+    Generated,
+    Replayed,
+    Resumed,
+}
+
+/// Render a caught panic payload for the quarantine record.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(p) = payload.downcast_ref::<InjectedPanic>() {
+        format!("injected worker panic (attempt {})", p.attempt)
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Everything one engine pass shares across workers to execute a cell:
+/// generation, replay, resume, the wire plane and (optionally) the
+/// supervisor. Both the sequential and the threaded paths run cells
+/// through [`CellRunner::process`], so supervised semantics cannot drift
+/// between worker counts.
+struct CellRunner<'a> {
+    emitter: &'a TraceEmitter<'a>,
+    scan: Option<&'a SegmentScan<'a>>,
+    writer: Option<&'a ArchiveWriter>,
+    adopted: &'a BTreeMap<Cell, SegmentMeta>,
+    plane: Option<&'a CollectionPlane>,
+    supervisor: Option<&'a Supervisor>,
+    store_metrics: Option<&'a Arc<StoreMetrics>>,
+    subs: &'a [Subscription],
+}
+
+impl CellRunner<'_> {
+    /// Unsupervised fill: exactly the pre-supervisor semantics — first
+    /// error aborts the pass, archive corruption included.
+    fn fill_plain(&self, cell: Cell, buf: &mut Vec<FlowRecord>) -> Result<CellFill, StoreError> {
+        match self.scan {
+            Some(sc) => {
+                *buf = sc.read_cell(cell)?;
+                Ok(CellFill::Replayed)
             }
-            Ok(false)
+            None => {
+                self.emitter.generate_cell(cell, buf);
+                if let Some(w) = self.writer {
+                    w.spill(cell, buf)?;
+                }
+                Ok(CellFill::Generated)
+            }
         }
+    }
+
+    /// One supervised attempt. Every injected failure point precedes the
+    /// cell's wire processing and ledger posts, so a retried attempt
+    /// leaves no partial side effects behind.
+    fn fill_attempt(
+        &self,
+        sup: &Supervisor,
+        cell: Cell,
+        attempt: u32,
+        force_generate: bool,
+        buf: &mut Vec<FlowRecord>,
+    ) -> Result<CellFill, AttemptError> {
+        let chaos = sup.decide(cell, attempt);
+        if chaos.panic {
+            std::panic::panic_any(sup.injected_panic(cell, attempt));
+        }
+        let fill = 'fill: {
+            if !force_generate {
+                if let Some(sc) = self.scan {
+                    // Warm replay. Corruption downgrades from hard abort
+                    // to regenerate-that-cell; a cell genuinely absent
+                    // from the archive stays fatal (retrying cannot make
+                    // it appear).
+                    match sc.read_cell(cell) {
+                        Ok(records) => {
+                            *buf = records;
+                            break 'fill CellFill::Replayed;
+                        }
+                        Err(e @ StoreError::Missing { .. }) => return Err(AttemptError::Store(e)),
+                        Err(_) => sup.metrics().replay_corruptions.inc(),
+                    }
+                } else if let (Some(w), Some(meta)) = (self.writer, self.adopted.get(&cell)) {
+                    // Cold resume: adopt the journaled segment. A failed
+                    // integrity check self-heals by regenerating inline.
+                    match w.read_adopted(meta) {
+                        Ok(records) => {
+                            *buf = records;
+                            break 'fill CellFill::Resumed;
+                        }
+                        Err(_) => {
+                            if let Some(m) = self.store_metrics {
+                                m.resume_rejected.inc();
+                            }
+                        }
+                    }
+                }
+            }
+            self.emitter.generate_cell(cell, buf);
+            if let Some(w) = self.writer {
+                let fault = chaos.write.map(|f| match f {
+                    WriteFault::Torn => SpillFault::Torn,
+                    WriteFault::Enospc => SpillFault::Enospc,
+                });
+                if fault.is_some() {
+                    sup.metrics().write_faults.inc();
+                }
+                w.spill_with_fault(cell, buf, fault)
+                    .map_err(AttemptError::Store)?;
+            }
+            CellFill::Generated
+        };
+        if self.plane.is_some() && chaos.stall {
+            // The exporter fleet timed out before delivering anything:
+            // the attempt is abandoned before any conservation post.
+            if let Some(pl) = self.plane {
+                pl.note_stalled(&cell);
+            }
+            sup.metrics().stalls.inc();
+            return Err(AttemptError::Stall);
+        }
+        Ok(fill)
+    }
+
+    /// The supervised attempt loop: catch panics, back off, retry, and
+    /// quarantine once the budget is spent. `Ok(None)` means quarantined.
+    fn fill_supervised(
+        &self,
+        sup: &Supervisor,
+        cell: Cell,
+        buf: &mut Vec<FlowRecord>,
+    ) -> Result<Option<CellFill>, StoreError> {
+        let budget = sup.attempts();
+        let mut force_generate = false;
+        let mut last_error = String::new();
+        for attempt in 1..=budget {
+            if attempt > 1 {
+                sup.backoff(cell, attempt - 1);
+            }
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.fill_attempt(sup, cell, attempt, force_generate, buf)
+            }));
+            let err = match caught {
+                Ok(Ok(fill)) => return Ok(Some(fill)),
+                Ok(Err(e)) => e,
+                Err(payload) => {
+                    sup.metrics().panics_caught.inc();
+                    AttemptError::Panic(panic_message(payload))
+                }
+            };
+            if let Some(fatal) = err.fatal() {
+                return Err(fatal.clone());
+            }
+            // Whatever the failure left behind (a torn file, a half
+            // filled buffer), the next attempt regenerates from scratch
+            // rather than trusting on-disk state.
+            force_generate = true;
+            last_error = err.render();
+        }
+        // Budget exhausted: quarantine. The archive must not claim the
+        // cell, and the auditor records the outcome as a first-class
+        // conservation stage instead of a violation.
+        if let Some(w) = self.writer {
+            let _ = w.remove(cell);
+        }
+        if let Some(pl) = self.plane {
+            pl.note_quarantined(&cell);
+        }
+        sup.quarantine(cell, budget, last_error);
+        Ok(None)
+    }
+
+    /// Run one cell end to end: fill (plain or supervised), wire
+    /// processing, conservation posts, and fan-out to covering
+    /// subscriptions. Quarantined cells skip everything downstream.
+    fn process(
+        &self,
+        cell: Cell,
+        buf: &mut Vec<FlowRecord>,
+        consumers: &mut [Box<dyn AnyConsumer>],
+        tallies: &mut Tallies,
+    ) -> Result<(), StoreError> {
+        let fill = match self.supervisor {
+            Some(sup) => match self.fill_supervised(sup, cell, buf)? {
+                Some(fill) => fill,
+                None => return Ok(()),
+            },
+            None => self.fill_plain(cell, buf)?,
+        };
+        match fill {
+            CellFill::Generated => tallies.generated += 1,
+            CellFill::Replayed => tallies.replayed += 1,
+            CellFill::Resumed => {
+                tallies.replayed += 1;
+                tallies.resumed += 1;
+            }
+        }
+        tallies.flows += buf.len() as u64;
+        let wired;
+        let batch: &[FlowRecord] = match self.plane {
+            Some(pl) => {
+                wired = pl.process_cell(cell, buf);
+                &wired
+            }
+            None => buf,
+        };
+        if let Some(pl) = self.plane {
+            pl.note_consumed(&cell, batch);
+        }
+        for (sub, consumer) in self.subs.iter().zip(consumers.iter_mut()) {
+            if sub.covers(cell) {
+                consumer.observe_batch(batch);
+            }
+        }
+        Ok(())
     }
 }
 
 /// Run a plan with an explicit worker count, surfacing archive errors.
 /// Output is bit-identical for any count (see module docs) and for warm
 /// vs. cold archive passes (`tests/archive_replay.rs`).
-pub fn try_run_with_workers(
+pub fn run_with_workers(
     ctx: &Context,
     plan: EnginePlan,
     workers: usize,
@@ -327,6 +639,8 @@ pub fn try_run_with_workers(
         subs,
         wire,
         archive,
+        supervisor: supervisor_cfg,
+        scope: _,
     } = plan;
     let emitter = TraceEmitter::new(&ctx.registry, &ctx.corpus, ctx.config);
     // Wire mode: each cell's flows cross the export → transport → collect
@@ -334,23 +648,42 @@ pub fn try_run_with_workers(
     // batch is the same whichever worker processes the cell.
     let plane = wire.map(CollectionPlane::new);
     let cells = trace.cells();
+    let supervisor = supervisor_cfg.map(Supervisor::new);
 
     // Archive resolution: replay only from a manifest of the same
     // generation (seed + scenario — the plan hash may differ, a superset
     // archive serves a subset plan with pruning) that covers every
-    // demanded cell. Everything else is regenerated and respilled.
+    // demanded cell. Everything else is regenerated and respilled —
+    // except under supervision, where a journal or partially covering
+    // manifest of the same generation is *adopted* so the pass
+    // regenerates only what is actually missing (checkpoint/resume), and
+    // a corrupt manifest downgrades from hard abort to regeneration.
     let store_metrics = archive.as_ref().map(|_| StoreMetrics::new());
     let mut reader: Option<ArchiveReader> = None;
     let mut writer: Option<ArchiveWriter> = None;
+    let mut adopted: BTreeMap<Cell, SegmentMeta> = BTreeMap::new();
     if let (Some(dir), Some(metrics)) = (&archive, &store_metrics) {
         let key = StoreKey {
             seed: ctx.config.seed,
             scenario_hash: ctx.config.scenario_hash(),
             plan_hash: trace.plan_hash(),
         };
-        match ArchiveReader::open(dir, Arc::clone(metrics))? {
+        let opened = match ArchiveReader::open(dir, Arc::clone(metrics)) {
+            Ok(r) => r,
+            Err(StoreError::Corrupt { .. }) if supervisor.is_some() => {
+                metrics.resume_rejected.inc();
+                None
+            }
+            Err(e) => return Err(e),
+        };
+        match opened {
             Some(r) if r.key().same_generation(&key) && r.covers(cells.iter()) => {
                 reader = Some(r);
+            }
+            _ if supervisor.is_some() => {
+                let (w, a) = ArchiveWriter::create_or_resume(dir, key, Arc::clone(metrics))?;
+                writer = Some(w);
+                adopted = a;
             }
             _ => writer = Some(ArchiveWriter::create(dir, key, Arc::clone(metrics))?),
         }
@@ -362,92 +695,54 @@ pub fn try_run_with_workers(
 
     let workers = workers.max(1).min(cells.len().max(1));
     let mut merged: Vec<Box<dyn AnyConsumer>> = subs.iter().map(|s| (s.factory)()).collect();
-    let mut flows_emitted = 0u64;
-    let mut cells_generated = 0u64;
-    let mut cells_replayed = 0u64;
+    let mut tallies = Tallies::default();
+    let runner = CellRunner {
+        emitter: &emitter,
+        scan: scan.as_ref(),
+        writer: writer.as_ref(),
+        adopted: &adopted,
+        plane: plane.as_ref(),
+        supervisor: supervisor.as_ref(),
+        store_metrics: store_metrics.as_ref(),
+        subs: &subs,
+    };
 
     if workers == 1 {
         let mut buf = Vec::new();
         for &cell in &cells {
-            if fill_cell(cell, &emitter, scan.as_ref(), writer.as_ref(), &mut buf)? {
-                cells_replayed += 1;
-            } else {
-                cells_generated += 1;
-            }
-            flows_emitted += buf.len() as u64;
-            let wired;
-            let batch: &[FlowRecord] = match &plane {
-                Some(pl) => {
-                    wired = pl.process_cell(cell, &buf);
-                    &wired
-                }
-                None => &buf,
-            };
-            if let Some(pl) = &plane {
-                pl.note_consumed(&cell, batch);
-            }
-            for (sub, consumer) in subs.iter().zip(merged.iter_mut()) {
-                if sub.covers(cell) {
-                    consumer.observe_batch(batch);
-                }
-            }
+            runner.process(cell, &mut buf, &mut merged, &mut tallies)?;
         }
     } else {
         let chunk = cells.len().div_ceil(workers);
         let mut results: Vec<Option<Result<Partial, StoreError>>> = Vec::new();
         results.resize_with(workers, || None);
-        // First archive error wins; the flag stops the other workers at
-        // their next cell so a corrupt segment aborts the pass promptly.
+        // First fatal error wins; the flag stops the other workers at
+        // their next cell so (say) a demanded-but-absent segment aborts
+        // the pass promptly. Supervised retriable failures never set it.
         let stop = AtomicBool::new(false);
         crossbeam::thread::scope(|scope| {
             for (slot, chunk_cells) in results.iter_mut().zip(cells.chunks(chunk)) {
-                let emitter = &emitter;
+                let runner = &runner;
                 let subs = &subs;
-                let plane = &plane;
-                let scan = scan.as_ref();
-                let writer = writer.as_ref();
                 let stop = &stop;
                 scope.spawn(move |_| {
                     let mut local: Vec<Box<dyn AnyConsumer>> =
                         subs.iter().map(|s| (s.factory)()).collect();
                     let mut buf = Vec::new();
-                    let mut tallies = (0u64, 0u64, 0u64); // flows, generated, replayed
+                    let mut tallies = Tallies::default();
                     for &cell in chunk_cells {
                         if stop.load(Ordering::Relaxed) {
                             return;
                         }
-                        match fill_cell(cell, emitter, scan, writer, &mut buf) {
-                            Ok(true) => tallies.2 += 1,
-                            Ok(false) => tallies.1 += 1,
-                            Err(e) => {
-                                stop.store(true, Ordering::Relaxed);
-                                *slot = Some(Err(e));
-                                return;
-                            }
-                        }
-                        tallies.0 += buf.len() as u64;
-                        let wired;
-                        let batch: &[FlowRecord] = match plane {
-                            Some(pl) => {
-                                wired = pl.process_cell(cell, &buf);
-                                &wired
-                            }
-                            None => &buf,
-                        };
-                        if let Some(pl) = plane {
-                            pl.note_consumed(&cell, batch);
-                        }
-                        for (sub, consumer) in subs.iter().zip(local.iter_mut()) {
-                            if sub.covers(cell) {
-                                consumer.observe_batch(batch);
-                            }
+                        if let Err(e) = runner.process(cell, &mut buf, &mut local, &mut tallies) {
+                            stop.store(true, Ordering::Relaxed);
+                            *slot = Some(Err(e));
+                            return;
                         }
                     }
                     *slot = Some(Ok(Partial {
                         consumers: local,
-                        flows: tallies.0,
-                        generated: tallies.1,
-                        replayed: tallies.2,
+                        tallies,
                     }));
                 });
             }
@@ -455,35 +750,93 @@ pub fn try_run_with_workers(
         .expect("engine workers do not panic");
         for partial in results.into_iter().flatten() {
             let partial = partial?;
-            flows_emitted += partial.flows;
-            cells_generated += partial.generated;
-            cells_replayed += partial.replayed;
+            tallies.flows += partial.tallies.flows;
+            tallies.generated += partial.tallies.generated;
+            tallies.replayed += partial.tallies.replayed;
+            tallies.resumed += partial.tallies.resumed;
             for (m, l) in merged.iter_mut().zip(partial.consumers) {
                 m.merge_box(l);
             }
         }
     }
 
-    // Publish the manifest only after every cell spilled cleanly; a pass
-    // that errored above leaves the archive manifest-less (= absent).
+    // A complete pass publishes the manifest; a degraded pass (any
+    // quarantined cell) must not claim completeness, so it checkpoints
+    // the journal instead, leaving the archive resumable. A pass that
+    // errored fatally above leaves the archive manifest-less (= absent).
+    let quarantined = supervisor
+        .as_ref()
+        .map(|s| s.quarantined())
+        .unwrap_or_default();
     if let Some(w) = &writer {
-        w.finish()?;
+        if quarantined.is_empty() {
+            w.finish()?;
+        } else {
+            w.checkpoint()?;
+        }
     }
+
+    let (degraded, supervisor_metrics) = match &supervisor {
+        Some(sup) => {
+            let metrics = sup.metrics();
+            metrics.resumed_cells.set_max(tallies.resumed);
+            let mut affected: BTreeMap<String, u64> = BTreeMap::new();
+            for q in &quarantined {
+                let mut seen = BTreeSet::new();
+                for sub in &subs {
+                    if sub.covers(q.cell) {
+                        let label = sub.label.clone().unwrap_or_else(|| "unlabeled".to_string());
+                        if seen.insert(label.clone()) {
+                            *affected.entry(label).or_default() += 1;
+                        }
+                    }
+                }
+            }
+            let report = DegradedReport {
+                quarantined,
+                affected: affected.into_iter().collect(),
+                retries: metrics.retries.get(),
+            };
+            (report.is_degraded().then_some(report), Some(metrics))
+        }
+        None => (None, None),
+    };
 
     Ok(EngineOutput {
         stats: EngineStats {
             demands: merged.len(),
             cells_demanded: trace.cells_demanded(),
-            cells_generated,
-            cells_replayed,
-            flows_emitted,
+            cells_generated: tallies.generated,
+            cells_replayed: tallies.replayed,
+            cells_resumed: tallies.resumed,
+            cells_quarantined: degraded
+                .as_ref()
+                .map(|d| d.quarantined.len() as u64)
+                .unwrap_or(0),
+            retries: supervisor_metrics
+                .as_ref()
+                .map(|m| m.retries.get())
+                .unwrap_or(0),
+            flows_emitted: tallies.flows,
             workers,
         },
         consumers: merged.into_iter().map(Some).collect(),
         audit: plane.as_ref().and_then(|p| p.audit_report()),
         wire_metrics: plane.map(|p| p.metrics()),
         store_metrics,
+        supervisor_metrics,
+        degraded,
     })
+}
+
+/// Alias of [`run_with_workers`], kept for call sites that want the
+/// archived-pass intent in the name.
+pub fn try_run_with_workers(
+    ctx: &Context,
+    plan: EnginePlan,
+    workers: usize,
+) -> Result<EngineOutput, StoreError> {
+    run_with_workers(ctx, plan, workers)
 }
 
 #[cfg(test)]
@@ -502,7 +855,7 @@ mod tests {
         let d2 = Date::new(2020, 2, 6);
         let a = plan.subscribe(Stream::Vantage(vp), d1, d2, HourlyVolume::new);
         let b = plan.subscribe(Stream::Vantage(vp), d1, d1, HourlyVolume::new);
-        let mut out = run_with_workers(&ctx, plan, 2);
+        let mut out = run_with_workers(&ctx, plan, 2).expect("archive-free pass cannot fail");
         let stats = out.stats();
         // 4 + 1 days demanded, 4 distinct days generated.
         assert_eq!(stats.cells_demanded, 5 * 24);
@@ -527,7 +880,8 @@ mod tests {
                 d2,
                 HourlyVolume::new,
             );
-            let mut out = run_with_workers(&ctx, plan, workers);
+            let mut out =
+                run_with_workers(&ctx, plan, workers).expect("archive-free pass cannot fail");
             let series = out.take(h).hourly_series(d1, d2);
             match &reference {
                 None => reference = Some(series),

@@ -142,7 +142,10 @@ pub fn finish(plan: Plan, out: &mut EngineOutput) -> Fig10 {
 pub fn run(ctx: &Context) -> Fig10 {
     let mut eplan = EnginePlan::new();
     let p = plan(&mut eplan, ctx);
-    finish(p, &mut engine::run(ctx, eplan))
+    finish(
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl Fig10 {

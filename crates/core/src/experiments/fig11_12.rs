@@ -225,7 +225,10 @@ pub fn finish(plan: Plan, out: &mut EngineOutput) -> EduFigures {
 pub fn run(ctx: &Context) -> EduFigures {
     let mut eplan = EnginePlan::new();
     let p = plan(&mut eplan, &ctx.registry);
-    finish(p, &mut engine::run(ctx, eplan))
+    finish(
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl EduFigures {

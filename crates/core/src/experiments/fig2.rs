@@ -105,7 +105,10 @@ pub fn finish_2a(plan: Plan2a, out: &mut EngineOutput) -> Fig2a {
 pub fn run_2a(ctx: &Context) -> Fig2a {
     let mut eplan = EnginePlan::new();
     let p = plan_2a(&mut eplan);
-    finish_2a(p, &mut engine::run(ctx, eplan))
+    finish_2a(
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl Fig2a {
@@ -169,7 +172,10 @@ pub fn finish_2bc(plan: Plan2bc, out: &mut EngineOutput) -> Fig2bc {
 pub fn run_2bc(ctx: &Context, vantage: VantagePoint) -> Fig2bc {
     let mut eplan = EnginePlan::new();
     let p = plan_2bc(&mut eplan, vantage);
-    finish_2bc(p, &mut engine::run(ctx, eplan))
+    finish_2bc(
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl Fig2bc {

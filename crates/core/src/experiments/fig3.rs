@@ -75,7 +75,10 @@ pub fn finish_3a(plan: Plan3a, out: &mut EngineOutput) -> Fig3a {
 pub fn run_3a(ctx: &Context) -> Fig3a {
     let mut eplan = EnginePlan::new();
     let p = plan_3a(&mut eplan);
-    finish_3a(p, &mut engine::run(ctx, eplan))
+    finish_3a(
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl Fig3a {
@@ -235,7 +238,10 @@ pub fn finish_3b(plan: Plan3b, out: &mut EngineOutput) -> Fig3b {
 pub fn run_3b(ctx: &Context) -> Fig3b {
     let mut eplan = EnginePlan::new();
     let p = plan_3b(&mut eplan);
-    finish_3b(p, &mut engine::run(ctx, eplan))
+    finish_3b(
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl Fig3b {

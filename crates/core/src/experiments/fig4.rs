@@ -63,7 +63,10 @@ pub fn finish(plan: Plan, out: &mut EngineOutput) -> Fig4 {
 pub fn run(ctx: &Context) -> Fig4 {
     let mut eplan = EnginePlan::new();
     let p = plan(&mut eplan);
-    finish(p, &mut engine::run(ctx, eplan))
+    finish(
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl Fig4 {

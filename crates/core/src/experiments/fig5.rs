@@ -92,7 +92,11 @@ pub fn finish(ctx: &Context, plan: Plan, out: &mut EngineOutput) -> Fig5 {
 pub fn run(ctx: &Context) -> Fig5 {
     let mut eplan = EnginePlan::new();
     let p = plan(&mut eplan);
-    finish(ctx, p, &mut engine::run(ctx, eplan))
+    finish(
+        ctx,
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl Fig5 {

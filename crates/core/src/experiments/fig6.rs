@@ -124,7 +124,11 @@ pub fn finish(ctx: &Context, plan: Plan, out: &mut EngineOutput) -> Fig6 {
 pub fn run(ctx: &Context) -> Fig6 {
     let mut eplan = EnginePlan::new();
     let p = plan(&mut eplan);
-    finish(ctx, p, &mut engine::run(ctx, eplan))
+    finish(
+        ctx,
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl Fig6 {

@@ -87,7 +87,10 @@ pub fn finish(plan: Plan, out: &mut EngineOutput) -> Fig7 {
 pub fn run(ctx: &Context, vantage: VantagePoint) -> Fig7 {
     let mut eplan = EnginePlan::new();
     let p = plan(&mut eplan, vantage);
-    finish(p, &mut engine::run(ctx, eplan))
+    finish(
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl Fig7 {

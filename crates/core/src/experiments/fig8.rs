@@ -121,7 +121,10 @@ pub fn finish(plan: Plan, out: &mut EngineOutput) -> Fig8 {
 pub fn run(ctx: &Context) -> Fig8 {
     let mut eplan = EnginePlan::new();
     let p = plan(&mut eplan, &ctx.registry);
-    finish(p, &mut engine::run(ctx, eplan))
+    finish(
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl Fig8 {

@@ -77,7 +77,10 @@ pub fn finish(plan: Plan, out: &mut EngineOutput) -> Fig9 {
 pub fn run(ctx: &Context, vantage: VantagePoint) -> Fig9 {
     let mut eplan = EnginePlan::new();
     let p = plan(&mut eplan, &ctx.registry, vantage);
-    finish(p, &mut engine::run(ctx, eplan))
+    finish(
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl Fig9 {

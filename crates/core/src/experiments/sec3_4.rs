@@ -126,7 +126,10 @@ pub fn finish(plan: Plan, out: &mut EngineOutput) -> Sec34 {
 pub fn run(ctx: &Context) -> Sec34 {
     let mut eplan = EnginePlan::new();
     let p = plan(&mut eplan);
-    finish(p, &mut engine::run(ctx, eplan))
+    finish(
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl Sec34 {

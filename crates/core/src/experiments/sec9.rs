@@ -100,7 +100,10 @@ pub fn finish(plan: Plan, out: &mut EngineOutput) -> Sec9 {
 pub fn run(ctx: &Context) -> Sec9 {
     let mut eplan = EnginePlan::new();
     let p = plan(&mut eplan);
-    finish(p, &mut engine::run(ctx, eplan))
+    finish(
+        p,
+        &mut engine::run(ctx, eplan).expect("archive-free engine pass cannot fail"),
+    )
 }
 
 impl Sec9 {

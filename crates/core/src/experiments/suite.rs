@@ -11,10 +11,12 @@ use crate::engine::{self, EngineOutput, EnginePlan, EngineStats};
 use crate::experiments::{
     fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, tables,
 };
+use crate::supervisor::{DegradedReport, SupervisorMetrics};
+use lockdown_chaos::ChaosConfig;
 use lockdown_collect::{CollectMetrics, WireConfig};
 use lockdown_store::{StoreError, StoreMetrics};
 use lockdown_topology::vantage::VantagePoint;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Every figure and table of the paper, produced by one engine pass.
@@ -64,6 +66,25 @@ pub struct Suite {
     pub audit: Option<lockdown_audit::Report>,
     /// Store metrics, present when the pass ran against an archive.
     pub store_metrics: Option<Arc<StoreMetrics>>,
+    /// Supervisor metrics, present when the pass ran supervised.
+    pub supervisor_metrics: Option<Arc<SupervisorMetrics>>,
+    /// Degraded-mode report, present when a supervised pass quarantined
+    /// at least one cell. Affected figures are annotated in `renders()`.
+    pub degraded: Option<DegradedReport>,
+}
+
+/// How to run the suite: wire plane, archive, and chaos supervision are
+/// all optional and compose.
+#[derive(Default)]
+pub struct SuiteOptions {
+    /// Route every cell through the wire-mode collection plane.
+    pub wire: Option<WireConfig>,
+    /// Spill/replay cells against a columnar archive at this directory.
+    pub archive: Option<PathBuf>,
+    /// Supervise the pass: panic isolation, retries, quarantine, and —
+    /// with an archive — checkpoint/resume. `ChaosConfig::zero()` (all
+    /// rates 0) supervises without injecting any faults.
+    pub chaos: Option<ChaosConfig>,
 }
 
 /// Every figure's demand handles, pending redemption after the pass.
@@ -87,29 +108,34 @@ struct Plans {
     p9s: sec9::Plan,
 }
 
-/// Subscribe every figure driver to one shared plan.
+/// Subscribe every figure driver to one shared plan, labelling each
+/// driver's subscriptions so a degraded pass can name affected figures.
 fn build_plan(ctx: &Context, plan: &mut EnginePlan) -> Plans {
     Plans {
-        p1: fig1::plan(plan),
-        p2a: fig2::plan_2a(plan),
-        p2b: fig2::plan_2bc(plan, VantagePoint::IspCe),
-        p2c: fig2::plan_2bc(plan, VantagePoint::IxpCe),
-        p3a: fig3::plan_3a(plan),
-        p3b: fig3::plan_3b(plan),
-        p4: fig4::plan(plan),
-        p5: fig5::plan(plan),
-        p6: fig6::plan(plan),
-        p34: sec3_4::plan(plan),
-        p7_isp: fig7::plan(plan, VantagePoint::IspCe),
-        p7_ixp: fig7::plan(plan, VantagePoint::IxpCe),
-        p8: fig8::plan(plan, &ctx.registry),
+        p1: plan.scoped("fig1", fig1::plan),
+        p2a: plan.scoped("fig2a", fig2::plan_2a),
+        p2b: plan.scoped("fig2b", |p| fig2::plan_2bc(p, VantagePoint::IspCe)),
+        p2c: plan.scoped("fig2c", |p| fig2::plan_2bc(p, VantagePoint::IxpCe)),
+        p3a: plan.scoped("fig3a", fig3::plan_3a),
+        p3b: plan.scoped("fig3b", fig3::plan_3b),
+        p4: plan.scoped("fig4", fig4::plan),
+        p5: plan.scoped("fig5", fig5::plan),
+        p6: plan.scoped("fig6", fig6::plan),
+        p34: plan.scoped("sec3.4", sec3_4::plan),
+        p7_isp: plan.scoped("fig7a", |p| fig7::plan(p, VantagePoint::IspCe)),
+        p7_ixp: plan.scoped("fig7b", |p| fig7::plan(p, VantagePoint::IxpCe)),
+        p8: plan.scoped("fig8", |p| fig8::plan(p, &ctx.registry)),
         p9: VantagePoint::CORE_FOUR
             .into_iter()
-            .map(|vp| fig9::plan(plan, &ctx.registry, vp))
+            .map(|vp| {
+                plan.scoped(&format!("fig9:{}", vp.label()), |p| {
+                    fig9::plan(p, &ctx.registry, vp)
+                })
+            })
             .collect(),
-        p10: fig10::plan(plan, ctx),
-        pedu: fig11_12::plan(plan, &ctx.registry),
-        p9s: sec9::plan(plan),
+        p10: plan.scoped("fig10", |p| fig10::plan(p, ctx)),
+        pedu: plan.scoped("fig11-12", |p| fig11_12::plan(p, &ctx.registry)),
+        p9s: plan.scoped("sec9", sec9::plan),
     }
 }
 
@@ -142,6 +168,8 @@ fn assemble(ctx: &Context, plans: Plans, mut out: EngineOutput) -> Suite {
         wire_metrics: out.wire_metrics().cloned(),
         audit: out.audit().cloned(),
         store_metrics: out.store_metrics().cloned(),
+        supervisor_metrics: out.supervisor_metrics().cloned(),
+        degraded: out.degraded().cloned(),
     }
 }
 
@@ -153,13 +181,14 @@ pub fn run_all(ctx: &Context) -> Suite {
 /// Run the full suite, optionally routing every cell through the wire-mode
 /// collection plane (export → faulty transport → collect) before fan-out.
 pub fn run_all_with(ctx: &Context, wire: Option<WireConfig>) -> Suite {
-    let mut plan = EnginePlan::new();
-    if let Some(cfg) = wire {
-        plan.with_wire(cfg);
-    }
-    let plans = build_plan(ctx, &mut plan);
-    let out = engine::run(ctx, plan);
-    assemble(ctx, plans, out)
+    run_all_opts(
+        ctx,
+        SuiteOptions {
+            wire,
+            ..SuiteOptions::default()
+        },
+    )
+    .expect("archive-free engine pass cannot fail")
 }
 
 /// Run the full suite against a columnar archive: warm (replay every cell
@@ -172,39 +201,83 @@ pub fn run_all_archived(
     wire: Option<WireConfig>,
     dir: &Path,
 ) -> Result<Suite, StoreError> {
+    run_all_opts(
+        ctx,
+        SuiteOptions {
+            wire,
+            archive: Some(dir.to_path_buf()),
+            chaos: None,
+        },
+    )
+}
+
+/// Run the full suite with the full option set: wire plane, archive, and
+/// chaos supervision all compose. With `chaos` set the pass never aborts
+/// on retriable faults — exhausted cells are quarantined and reported in
+/// `Suite::degraded` instead, and figures compute from partial data.
+pub fn run_all_opts(ctx: &Context, opts: SuiteOptions) -> Result<Suite, StoreError> {
     let mut plan = EnginePlan::new();
-    if let Some(cfg) = wire {
+    if let Some(cfg) = opts.wire {
         plan.with_wire(cfg);
     }
-    plan.with_archive(dir);
+    if let Some(dir) = &opts.archive {
+        plan.with_archive(dir);
+    }
+    if let Some(cfg) = opts.chaos {
+        plan.with_supervisor(cfg);
+    }
     let plans = build_plan(ctx, &mut plan);
-    let out = engine::try_run(ctx, plan)?;
+    let out = engine::run(ctx, plan)?;
     Ok(assemble(ctx, plans, out))
 }
 
 impl Suite {
     /// Rendered sections in the CLI's print order (Table 2 first — it is
-    /// registry-static and needs no trace).
+    /// registry-static and needs no trace). After a degraded pass, every
+    /// section whose figure lost quarantined cells carries a trailing
+    /// annotation naming how many, so partial data is never mistaken for
+    /// a complete reproduction.
     pub fn renders(&self) -> Vec<String> {
-        let mut out = vec![tables::table2(), self.table1.render()];
-        out.push(self.fig1.render());
-        out.push(self.fig2a.render());
-        out.push(self.fig2b.render());
-        out.push(self.fig2c.render());
-        out.push(self.fig3a.render());
-        out.push(self.fig3b.render());
-        out.push(self.fig4.render());
-        out.push(self.fig5.render());
-        out.push(self.fig6.render());
-        out.push(self.sec34.render());
-        out.push(self.fig7_isp.render());
-        out.push(self.fig7_ixp.render());
-        out.push(self.fig8.render());
-        out.extend(self.fig9.iter().map(|f| f.render()));
-        out.push(self.fig10.render());
-        out.push(self.edu.render());
-        out.push(self.sec9.render());
-        out
+        let mut labelled: Vec<(Option<String>, String)> = vec![
+            (None, tables::table2()),
+            (None, self.table1.render()),
+            (Some("fig1".into()), self.fig1.render()),
+            (Some("fig2a".into()), self.fig2a.render()),
+            (Some("fig2b".into()), self.fig2b.render()),
+            (Some("fig2c".into()), self.fig2c.render()),
+            (Some("fig3a".into()), self.fig3a.render()),
+            (Some("fig3b".into()), self.fig3b.render()),
+            (Some("fig4".into()), self.fig4.render()),
+            (Some("fig5".into()), self.fig5.render()),
+            (Some("fig6".into()), self.fig6.render()),
+            (Some("sec3.4".into()), self.sec34.render()),
+            (Some("fig7a".into()), self.fig7_isp.render()),
+            (Some("fig7b".into()), self.fig7_ixp.render()),
+            (Some("fig8".into()), self.fig8.render()),
+        ];
+        labelled.extend(
+            VantagePoint::CORE_FOUR
+                .into_iter()
+                .zip(self.fig9.iter())
+                .map(|(vp, f)| (Some(format!("fig9:{}", vp.label())), f.render())),
+        );
+        labelled.push((Some("fig10".into()), self.fig10.render()));
+        labelled.push((Some("fig11-12".into()), self.edu.render()));
+        labelled.push((Some("sec9".into()), self.sec9.render()));
+
+        labelled
+            .into_iter()
+            .map(|(label, mut section)| {
+                if let (Some(label), Some(d)) = (label, &self.degraded) {
+                    if let Some((_, n)) = d.affected.iter().find(|(l, _)| *l == label) {
+                        section.push_str(&format!(
+                            "\n[degraded: {n} cell(s) quarantined — computed from partial data]"
+                        ));
+                    }
+                }
+                section
+            })
+            .collect()
     }
 }
 

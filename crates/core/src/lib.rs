@@ -12,5 +12,6 @@ pub mod context;
 pub mod engine;
 pub mod experiments;
 pub mod report;
+pub mod supervisor;
 
 pub use context::{Context, Fidelity};

@@ -1,0 +1,376 @@
+//! Supervised cell execution: panic isolation, retries, quarantine.
+//!
+//! The engine's default contract is all-or-nothing — a worker panic or a
+//! flipped archive byte kills the whole pass. That is the wrong shape for
+//! a measurement plane that runs for months: real exporters stall, disks
+//! fill, and a single bad hour must not take down a week of figures. With
+//! a [`Supervisor`] attached (via
+//! [`EnginePlan::with_supervisor`](crate::engine::EnginePlan::with_supervisor)),
+//! each cell attempt runs inside `catch_unwind`; failures are classified
+//! retriable (panics, stalls, I/O, corruption) or fatal (a demanded cell
+//! genuinely missing), retried under seeded bounded-exponential backoff,
+//! and — once the per-cell attempt budget is exhausted — **quarantined**:
+//! the pass completes without the cell, the suite renders a degraded-mode
+//! report naming it, and the conservation auditor records the quarantine
+//! as a first-class outcome instead of a violation.
+//!
+//! All fault *scheduling* lives in [`lockdown_chaos`] and is a pure
+//! function of `(seed, cell, attempt)`, so the quarantine set of a chaos
+//! run is identical across repeat runs and worker counts — which is what
+//! the failure-injection tests assert.
+
+use lockdown_chaos::{CellChaos, ChaosConfig, ChaosInjector, InjectedPanic};
+use lockdown_collect::metrics::{Metric, MetricsRegistry};
+use lockdown_traffic::plan::Cell;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, Once};
+
+pub use lockdown_chaos::{ChaosConfig as SupervisorConfig, WriteFault};
+
+/// The `supervisor_*` metrics family, on the same Prometheus-style
+/// registry as the wire and store families.
+#[derive(Debug)]
+pub struct SupervisorMetrics {
+    registry: MetricsRegistry,
+    /// Cell attempts beyond the first (each one follows a backoff delay).
+    pub retries: Arc<Metric>,
+    /// Total milliseconds of backoff delay served before retries.
+    pub backoff_ms: Arc<Metric>,
+    /// Worker panics caught by cell isolation (injected or genuine).
+    pub panics_caught: Arc<Metric>,
+    /// Injected segment-write faults (torn writes and ENOSPC).
+    pub write_faults: Arc<Metric>,
+    /// Injected exporter stall timeouts.
+    pub stalls: Arc<Metric>,
+    /// Archived segments that failed integrity checks and were
+    /// regenerated instead of aborting the pass.
+    pub replay_corruptions: Arc<Metric>,
+    /// Cells quarantined after exhausting their attempt budget (gauge).
+    pub quarantined_cells: Arc<Metric>,
+    /// Cells adopted from a checkpoint journal instead of regenerated
+    /// (gauge).
+    pub resumed_cells: Arc<Metric>,
+}
+
+impl SupervisorMetrics {
+    /// Build the metric set inside a fresh registry.
+    pub fn new() -> Arc<SupervisorMetrics> {
+        let mut r = MetricsRegistry::new();
+        Arc::new(SupervisorMetrics {
+            retries: r.counter("supervisor_retries_total", "Cell attempts beyond the first"),
+            backoff_ms: r.counter(
+                "supervisor_backoff_ms_total",
+                "Milliseconds of backoff delay before retries",
+            ),
+            panics_caught: r.counter(
+                "supervisor_panics_caught_total",
+                "Worker panics caught by cell isolation",
+            ),
+            write_faults: r.counter(
+                "supervisor_write_faults_total",
+                "Injected segment-write faults (torn writes and ENOSPC)",
+            ),
+            stalls: r.counter(
+                "supervisor_stalls_total",
+                "Injected exporter stall timeouts",
+            ),
+            replay_corruptions: r.counter(
+                "supervisor_replay_corruptions_total",
+                "Corrupt archived segments regenerated instead of aborting",
+            ),
+            quarantined_cells: r.gauge(
+                "supervisor_quarantined_cells",
+                "Cells quarantined after exhausting their attempt budget",
+            ),
+            resumed_cells: r.gauge(
+                "supervisor_resumed_cells",
+                "Cells adopted from a checkpoint journal instead of regenerated",
+            ),
+            registry: r,
+        })
+    }
+
+    /// The underlying registry (for lookups and snapshot composition).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Prometheus-style text snapshot of the `supervisor_*` family.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}
+
+/// One cell the supervisor gave up on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedCell {
+    /// The missing `(stream, date, hour)` cell.
+    pub cell: Cell,
+    /// Attempts spent before giving up.
+    pub attempts: u32,
+    /// The last attempt's failure, rendered.
+    pub error: String,
+}
+
+/// What a degraded pass is missing: the quarantine set plus which figures
+/// it touches. Attached to the suite output so CI can tell "clean",
+/// "degraded" and "failed" apart (the CLI exits 3 on degraded).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradedReport {
+    /// Quarantined cells in `(stream, date, hour)` order.
+    pub quarantined: Vec<QuarantinedCell>,
+    /// Figure labels affected, with the count of quarantined cells inside
+    /// each one's subscription windows. Sorted by label.
+    pub affected: Vec<(String, u64)>,
+    /// Total retries the pass performed (including ones that recovered).
+    pub retries: u64,
+}
+
+impl DegradedReport {
+    /// Whether anything is actually missing.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// Human-readable degraded-mode report, deterministic for a given
+    /// quarantine set.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "DEGRADED PASS: {} cells quarantined, {} retries",
+            self.quarantined.len(),
+            self.retries
+        );
+        for q in &self.quarantined {
+            let _ = writeln!(
+                s,
+                "  quarantined [wire {} day {} hour {:02}] after {} attempts: {}",
+                q.cell.stream.wire_id(),
+                q.cell.date.day_number(),
+                q.cell.hour,
+                q.attempts,
+                q.error
+            );
+        }
+        for (label, cells) in &self.affected {
+            let _ = writeln!(s, "  affected figure {label}: {cells} missing cells");
+        }
+        s
+    }
+}
+
+/// Install (once, process-wide) a panic hook that silences scheduled
+/// chaos panics — their payload is [`InjectedPanic`] — and forwards
+/// everything else to the previous hook. Without this, a chaos run's
+/// stderr drowns in backtraces for panics the supervisor is about to
+/// catch on purpose.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// How one cell attempt failed (internal classification surface).
+#[derive(Debug)]
+pub(crate) enum AttemptError {
+    /// The attempt panicked (injected or genuine) and was caught.
+    Panic(String),
+    /// The store layer failed (I/O, corruption).
+    Store(lockdown_store::StoreError),
+    /// The exporter fleet stalled past its timeout (injected).
+    Stall,
+}
+
+impl AttemptError {
+    /// Fatal errors abort the pass even under supervision: retrying
+    /// cannot make a demanded-but-unarchived cell appear.
+    pub(crate) fn fatal(&self) -> Option<&lockdown_store::StoreError> {
+        match self {
+            AttemptError::Store(e @ lockdown_store::StoreError::Missing { .. }) => Some(e),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn render(&self) -> String {
+        match self {
+            AttemptError::Panic(msg) => format!("panic: {msg}"),
+            AttemptError::Store(e) => e.to_string(),
+            AttemptError::Stall => "exporter stall timeout (injected)".to_string(),
+        }
+    }
+}
+
+/// The supervised-execution control surface one engine pass shares across
+/// its workers: the seeded fault schedule, the retry budget, the
+/// `supervisor_*` metrics, and the quarantine list.
+#[derive(Debug)]
+pub struct Supervisor {
+    injector: ChaosInjector,
+    metrics: Arc<SupervisorMetrics>,
+    quarantined: Mutex<Vec<QuarantinedCell>>,
+}
+
+impl Supervisor {
+    /// A supervisor for one pass. A [`ChaosConfig::zero`] configuration
+    /// gives supervision — panic isolation, retries, checkpoint/resume —
+    /// without any injected faults.
+    pub fn new(cfg: ChaosConfig) -> Supervisor {
+        install_quiet_panic_hook();
+        Supervisor {
+            injector: ChaosInjector::new(cfg),
+            metrics: SupervisorMetrics::new(),
+            quarantined: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configuration driving this supervisor.
+    pub fn config(&self) -> &ChaosConfig {
+        self.injector.config()
+    }
+
+    /// Shared handle to the `supervisor_*` metrics.
+    pub fn metrics(&self) -> Arc<SupervisorMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Per-cell attempt budget.
+    pub(crate) fn attempts(&self) -> u32 {
+        self.config().attempts.max(1)
+    }
+
+    /// The fault schedule for one `(cell, attempt)` slot.
+    pub(crate) fn decide(&self, cell: Cell, attempt: u32) -> CellChaos {
+        self.injector.decide(
+            cell.stream.wire_id(),
+            cell.date.day_number(),
+            cell.hour,
+            attempt,
+        )
+    }
+
+    /// Serve the deterministic backoff delay before retry `attempt` and
+    /// account it. Returns the delay in milliseconds.
+    pub(crate) fn backoff(&self, cell: Cell, attempt: u32) -> u64 {
+        let ms = self.injector.backoff_ms(
+            cell.stream.wire_id(),
+            cell.date.day_number(),
+            cell.hour,
+            attempt,
+        );
+        self.metrics.retries.inc();
+        self.metrics.backoff_ms.add(ms);
+        if ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        ms
+    }
+
+    /// Build the injected panic payload for one `(cell, attempt)` slot.
+    pub(crate) fn injected_panic(&self, cell: Cell, attempt: u32) -> InjectedPanic {
+        InjectedPanic {
+            wire_id: cell.stream.wire_id(),
+            day_number: cell.date.day_number(),
+            hour: cell.hour,
+            attempt,
+        }
+    }
+
+    /// Record a cell that exhausted its budget.
+    pub(crate) fn quarantine(&self, cell: Cell, attempts: u32, error: String) {
+        self.quarantined
+            .lock()
+            .expect("quarantine list lock")
+            .push(QuarantinedCell {
+                cell,
+                attempts,
+                error,
+            });
+        self.metrics
+            .quarantined_cells
+            .set_max(self.quarantined.lock().expect("quarantine list lock").len() as u64);
+    }
+
+    /// The quarantine set so far, sorted by cell.
+    pub(crate) fn quarantined(&self) -> Vec<QuarantinedCell> {
+        let mut q = self
+            .quarantined
+            .lock()
+            .expect("quarantine list lock")
+            .clone();
+        q.sort_by_key(|q| q.cell);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockdown_flow::time::Date;
+    use lockdown_topology::vantage::VantagePoint;
+    use lockdown_traffic::plan::Stream;
+
+    fn cell(hour: u8) -> Cell {
+        Cell {
+            stream: Stream::Vantage(VantagePoint::IspCe),
+            date: Date::new(2020, 3, 25),
+            hour,
+        }
+    }
+
+    #[test]
+    fn zero_config_supervisor_schedules_nothing() {
+        let s = Supervisor::new(ChaosConfig::zero());
+        for h in 0..24 {
+            assert!(s.decide(cell(h), 0).is_clean());
+        }
+        assert_eq!(s.metrics.retries.get(), 0);
+    }
+
+    #[test]
+    fn quarantine_set_is_sorted_and_counted() {
+        let s = Supervisor::new(ChaosConfig::zero());
+        s.quarantine(cell(9), 3, "panic: injected".into());
+        s.quarantine(cell(2), 3, "torn write".into());
+        let q = s.quarantined();
+        assert_eq!(q.len(), 2);
+        assert!(q[0].cell.hour < q[1].cell.hour, "sorted by cell");
+        assert_eq!(s.metrics.quarantined_cells.get(), 2);
+    }
+
+    #[test]
+    fn degraded_report_renders_cells_and_figures() {
+        let report = DegradedReport {
+            quarantined: vec![QuarantinedCell {
+                cell: cell(14),
+                attempts: 3,
+                error: "panic: injected".into(),
+            }],
+            affected: vec![("fig3".into(), 1)],
+            retries: 5,
+        };
+        assert!(report.is_degraded());
+        let text = report.render();
+        assert!(text.contains("DEGRADED PASS: 1 cells quarantined, 5 retries"));
+        assert!(text.contains("hour 14"));
+        assert!(text.contains("affected figure fig3: 1 missing cells"));
+        assert!(!DegradedReport::default().is_degraded());
+    }
+
+    #[test]
+    fn metrics_render_the_supervisor_family() {
+        let m = SupervisorMetrics::new();
+        m.retries.add(4);
+        m.backoff_ms.add(120);
+        let text = m.render();
+        assert!(text.contains("supervisor_retries_total 4"));
+        assert!(text.contains("supervisor_backoff_ms_total 120"));
+        assert!(text.contains("# TYPE supervisor_quarantined_cells gauge"));
+    }
+}

@@ -23,7 +23,8 @@ pub mod scan;
 pub mod segment;
 
 pub use archive::{
-    segment_file_name, ArchiveReader, ArchiveWriter, SegmentMeta, StoreKey, VerifyReport,
+    gc_dir, segment_file_name, ArchiveReader, ArchiveWriter, GcReport, SegmentMeta, SpillFault,
+    StoreKey, VerifyReport, JOURNAL_NAME, MANIFEST_NAME, SEGMENTS_DIR,
 };
 pub use metrics::StoreMetrics;
 pub use scan::{OwnedSegmentScan, SegmentScan};

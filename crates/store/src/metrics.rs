@@ -27,6 +27,12 @@ pub struct StoreMetrics {
     pub segments_pruned: Arc<Metric>,
     /// Segments rejected for CRC or structural corruption.
     pub crc_failures: Arc<Metric>,
+    /// Segments adopted from a journal or stale manifest during resume.
+    pub segments_resumed: Arc<Metric>,
+    /// Resume candidates rejected (corrupt index, missing or short file).
+    pub resume_rejected: Arc<Metric>,
+    /// Journal snapshots published (automatic and explicit checkpoints).
+    pub journal_checkpoints: Arc<Metric>,
 }
 
 impl StoreMetrics {
@@ -53,6 +59,18 @@ impl StoreMetrics {
             crc_failures: r.counter(
                 "store_crc_failures_total",
                 "Segments rejected for CRC or structural corruption",
+            ),
+            segments_resumed: r.counter(
+                "store_segments_resumed_total",
+                "Segments adopted from a journal or stale manifest during resume",
+            ),
+            resume_rejected: r.counter(
+                "store_resume_rejected_total",
+                "Resume candidates rejected (corrupt index, missing or short file)",
+            ),
+            journal_checkpoints: r.counter(
+                "store_journal_checkpoints_total",
+                "Journal snapshots published",
             ),
             registry: r,
         })

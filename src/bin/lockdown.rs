@@ -14,6 +14,7 @@
 //! small); every subcommand prints human-oriented tables.
 
 use lockdown::analysis::prelude::*;
+use lockdown::chaos::ChaosConfig;
 use lockdown::collect::{FaultProfile, WireConfig};
 use lockdown::core::experiments::{
     fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, suite,
@@ -22,12 +23,16 @@ use lockdown::core::experiments::{
 use lockdown::core::{Context, Fidelity};
 use lockdown::dns::vpn::identify_vpn_ips;
 use lockdown::flow::prelude::*;
-use lockdown::store::{ArchiveReader, StoreMetrics};
+use lockdown::store::{gc_dir, ArchiveReader, StoreMetrics};
 use lockdown::topology::vantage::VantagePoint;
 use lockdown_flow::time::Date;
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
+
+/// Documented exit code for a degraded (quarantined-cells) suite pass:
+/// the run completed and rendered every figure, but from partial data.
+const EXIT_DEGRADED: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,19 +44,19 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "figures" => cmd_figures(rest),
         "collect" => cmd_collect(rest),
-        "store" => cmd_store(rest),
-        "registry" => cmd_registry(),
-        "capture" => cmd_capture(rest),
-        "analyze" => cmd_analyze(rest),
-        "vpn-scan" => cmd_vpn_scan(),
+        "store" => cmd_store(rest).map(|()| ExitCode::SUCCESS),
+        "registry" => cmd_registry().map(|()| ExitCode::SUCCESS),
+        "capture" => cmd_capture(rest).map(|()| ExitCode::SUCCESS),
+        "analyze" => cmd_analyze(rest).map(|()| ExitCode::SUCCESS),
+        "vpn-scan" => cmd_vpn_scan().map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command: {other}\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
@@ -64,7 +69,7 @@ lockdown — reproduce 'The Lockdown Effect' (IMC 2020) from synthetic flows
 
 USAGE:
   lockdown figures [--fidelity test|standard|high] [NAME...]
-                   [--wire] [--audit] [--archive DIR]
+                   [--wire] [--audit] [--archive DIR] [--chaos SPEC]
                    [--loss P] [--reorder P] [--dup P] [--restart N]
       Render figures/tables (default: all). Names: fig1 fig2 fig3 fig4
       fig5 fig6 fig7 fig8 fig9 fig10 edu sec3.4 sec9 table1 table2
@@ -79,15 +84,32 @@ USAGE:
       for this seed/scenario, warm (replay, zero generation) when it does.
       Figure output is byte-identical either way; the store metrics
       snapshot goes to stderr.
-  lockdown store inspect|verify|gc --archive DIR
+      --chaos SPEC supervises the pass: worker panics, torn/failed
+      segment writes and exporter stalls are caught and retried with
+      seeded backoff; cells whose attempt budget runs out are quarantined
+      and the suite completes degraded (exit code 3) with a report naming
+      every missing cell. SPEC is comma-separated key=value pairs:
+      seed=N panic=P torn=P enospc=P stall=P attempts=N backoff=MS
+      cap=MS (all optional; probabilities in [0,1]). 'seed=0' alone
+      supervises without injecting faults — with --archive that enables
+      checkpoint/resume of a killed pass.
+  lockdown store inspect|verify|gc --archive DIR [--dry-run]
       inspect: print the manifest key and per-segment zone maps.
       verify:  re-read and CRC-check every segment; non-zero on failure.
-      gc:      delete segment files the manifest does not reference.
+      gc:      delete segment files neither the manifest nor the resume
+               journal references; works on manifest-less (killed)
+               archives. --dry-run lists orphans without deleting.
   lockdown collect [--fidelity test|standard|high] [--audit]
                    [--loss P] [--reorder P] [--dup P] [--restart N]
+                   [--chaos SPEC]
       Run the full suite in wire mode and print the Prometheus-style
       metrics snapshot of the collection plane to stdout. --audit appends
-      the conservation report to stderr and fails on violations.
+      the conservation report to stderr and fails on violations. --chaos
+      supervises the pass as in figures (degraded runs exit 3).
+
+EXIT CODES:
+  0  success      1  error      3  degraded (quarantined cells; figures
+                                   rendered from partial data)
   lockdown registry
       Print the synthetic AS registry summary.
   lockdown capture --vantage <VP> --date YYYY-MM-DD --out FILE
@@ -115,6 +137,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--dup",
     "--restart",
     "--archive",
+    "--chaos",
 ];
 
 /// Reject any `--flag` the subcommand does not define: a typo must fail
@@ -214,7 +237,32 @@ fn parse_vantage(s: &str) -> Result<VantagePoint, String> {
         .ok_or_else(|| format!("unknown vantage point: {s}"))
 }
 
-fn cmd_figures(rest: &[String]) -> Result<(), String> {
+/// The supervisor/chaos configuration described by `--chaos SPEC`.
+fn parse_chaos(rest: &[String]) -> Result<Option<ChaosConfig>, String> {
+    match flag(rest, "--chaos") {
+        None => Ok(None),
+        Some(spec) => ChaosConfig::parse(&spec)
+            .map(Some)
+            .map_err(|e| format!("bad --chaos spec: {e}")),
+    }
+}
+
+/// Print a degraded pass's report and supervisor metrics (stderr) and map
+/// it to the documented exit code; clean supervised passes exit 0.
+fn degraded_exit(suite: &suite::Suite) -> ExitCode {
+    if let Some(metrics) = &suite.supervisor_metrics {
+        eprint!("{}", metrics.render());
+    }
+    match &suite.degraded {
+        Some(report) => {
+            eprint!("{}", report.render());
+            ExitCode::from(EXIT_DEGRADED)
+        }
+        None => ExitCode::SUCCESS,
+    }
+}
+
+fn cmd_figures(rest: &[String]) -> Result<ExitCode, String> {
     check_flags(
         rest,
         &[
@@ -224,6 +272,7 @@ fn cmd_figures(rest: &[String]) -> Result<(), String> {
             "--dup",
             "--restart",
             "--archive",
+            "--chaos",
         ],
         &["--wire", "--audit"],
     )?;
@@ -242,6 +291,7 @@ fn cmd_figures(rest: &[String]) -> Result<(), String> {
         None
     };
     let archive = flag(rest, "--archive");
+    let chaos = parse_chaos(rest)?;
     let names = positionals(rest);
     let all = names.is_empty();
     let want = |n: &str| all || names.iter().any(|x| x.as_str() == n);
@@ -250,6 +300,9 @@ fn cmd_figures(rest: &[String]) -> Result<(), String> {
     }
     if archive.is_some() && !all {
         return Err("--archive applies to the full suite; drop the figure names".into());
+    }
+    if chaos.is_some() && !all {
+        return Err("--chaos applies to the full suite; drop the figure names".into());
     }
 
     let ctx = Context::new(fidelity);
@@ -262,13 +315,18 @@ fn cmd_figures(rest: &[String]) -> Result<(), String> {
         // snapshot goes to stderr. With --archive the cells come from (or
         // go to) the columnar store — stdout is byte-identical cold vs.
         // warm, which is why the engine summary and every metrics
-        // snapshot go to stderr.
-        let suite = match &archive {
-            Some(dir) => {
-                suite::run_all_archived(&ctx, wire, Path::new(dir)).map_err(|e| e.to_string())?
-            }
-            None => suite::run_all_with(&ctx, wire),
-        };
+        // snapshot go to stderr. With --chaos the pass is supervised:
+        // quarantined cells degrade (not abort) the run, and the degraded
+        // report plus supervisor metrics also go to stderr.
+        let suite = suite::run_all_opts(
+            &ctx,
+            suite::SuiteOptions {
+                wire,
+                archive: archive.as_ref().map(|d| Path::new(d).to_path_buf()),
+                chaos,
+            },
+        )
+        .map_err(|e| e.to_string())?;
         for section in suite.renders() {
             println!("{section}");
         }
@@ -280,7 +338,7 @@ fn cmd_figures(rest: &[String]) -> Result<(), String> {
             eprint!("{}", metrics.render());
         }
         check_audit(&suite)?;
-        return Ok(());
+        return Ok(degraded_exit(&suite));
     }
     if want("table2") {
         println!("{}", tables::table2());
@@ -333,37 +391,78 @@ fn cmd_figures(rest: &[String]) -> Result<(), String> {
     if want("sec9") {
         println!("{}", sec9::run(&ctx).render());
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_collect(rest: &[String]) -> Result<(), String> {
+fn cmd_collect(rest: &[String]) -> Result<ExitCode, String> {
     check_flags(
         rest,
-        &["--fidelity", "--loss", "--reorder", "--dup", "--restart"],
+        &[
+            "--fidelity",
+            "--loss",
+            "--reorder",
+            "--dup",
+            "--restart",
+            "--chaos",
+        ],
         &["--audit"],
     )?;
     let fidelity = parse_fidelity(rest)?;
     let faults = parse_faults(rest)?;
     let audit = rest.iter().any(|a| a == "--audit");
+    let chaos = parse_chaos(rest)?;
     let ctx = Context::new(fidelity);
     let cfg = WireConfig::new().with_faults(faults).with_audit(audit);
-    let suite = suite::run_all_with(&ctx, Some(cfg));
+    let suite = suite::run_all_opts(
+        &ctx,
+        suite::SuiteOptions {
+            wire: Some(cfg),
+            archive: None,
+            chaos,
+        },
+    )
+    .map_err(|e| e.to_string())?;
     let metrics = suite
         .wire_metrics
         .as_ref()
         .expect("wire mode always carries metrics");
     print!("{}", metrics.render());
-    check_audit(&suite)
+    check_audit(&suite)?;
+    Ok(degraded_exit(&suite))
 }
 
 fn cmd_store(rest: &[String]) -> Result<(), String> {
-    check_flags(rest, &["--archive"], &[])?;
+    check_flags(rest, &["--archive"], &["--dry-run"])?;
     let actions = positionals(rest);
     let action = match actions.as_slice() {
         [one] => one.as_str(),
         _ => return Err("store needs exactly one action: inspect | verify | gc".into()),
     };
     let dir = flag(rest, "--archive").ok_or("--archive DIR required")?;
+    if action == "gc" {
+        // gc must work on a manifest-less archive (a killed pass leaves
+        // only a journal, or neither index), so it does not open a reader.
+        let dry_run = rest.iter().any(|a| a == "--dry-run");
+        let report = gc_dir(Path::new(&dir), dry_run).map_err(|e| e.to_string())?;
+        let verb = if report.dry_run {
+            "would remove"
+        } else {
+            "removed"
+        };
+        println!(
+            "gc {}: {verb} {} orphan files, kept {} live segments",
+            dir,
+            report.removed.len(),
+            report.kept
+        );
+        for name in &report.removed {
+            println!("  {name}");
+        }
+        return Ok(());
+    }
+    if rest.iter().any(|a| a == "--dry-run") {
+        return Err("--dry-run only applies to gc".into());
+    }
     let metrics = StoreMetrics::new();
     let reader = ArchiveReader::open(Path::new(&dir), metrics)
         .map_err(|e| e.to_string())?
@@ -410,14 +509,6 @@ fn cmd_store(rest: &[String]) -> Result<(), String> {
             } else {
                 Err(format!("{} corrupt segments", report.failures.len()))
             }
-        }
-        "gc" => {
-            let removed = reader.gc().map_err(|e| e.to_string())?;
-            println!("gc {}: removed {} orphan files", dir, removed.len());
-            for name in &removed {
-                println!("  {name}");
-            }
-            Ok(())
         }
         other => Err(format!("unknown store action: {other}\n\n{USAGE}")),
     }

@@ -1,5 +1,6 @@
 //! Umbrella crate re-exporting the whole `lockdown` workspace.
 pub use lockdown_analysis as analysis;
+pub use lockdown_chaos as chaos;
 pub use lockdown_collect as collect;
 pub use lockdown_core as core;
 pub use lockdown_dns as dns;

@@ -182,3 +182,109 @@ fn store_subcommand_validates_input() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("no archive manifest"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn figures_under_chaos_exits_degraded_with_report() {
+    // High panic rate + 1 attempt quarantines deterministically; the run
+    // must still render every figure and exit with the documented
+    // degraded code 3 (not 0, not the generic failure 1).
+    let out = bin()
+        .args([
+            "figures",
+            "--fidelity",
+            "test",
+            "--chaos",
+            "seed=7,panic=0.9,attempts=1,backoff=0",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(3), "degraded exit code");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Fig. 1"), "figures still render");
+    assert!(
+        text.contains("[degraded:"),
+        "affected sections carry the partial-data annotation"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("DEGRADED PASS"), "{err}");
+    assert!(err.contains("quarantined [wire"), "{err}");
+    assert!(err.contains("supervisor_quarantined_cells"), "{err}");
+}
+
+#[test]
+fn figures_zero_chaos_supervision_exits_clean() {
+    let out = bin()
+        .args(["figures", "--fidelity", "test", "--chaos", "seed=0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "zero chaos is a clean pass");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("supervisor_retries_total 0"), "{err}");
+    assert!(!err.contains("DEGRADED"), "{err}");
+}
+
+#[test]
+fn figures_rejects_bad_chaos_specs() {
+    for bad in [
+        "panic=1.5",
+        "attempts=0",
+        "frobnicate=1",
+        "panic",
+        "seed=notanumber",
+    ] {
+        let out = bin()
+            .args(["figures", "--fidelity", "test", "--chaos", bad])
+            .output()
+            .expect("spawn");
+        assert_eq!(out.status.code(), Some(1), "should fail: {bad}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("bad --chaos spec"),
+            "{bad}"
+        );
+    }
+}
+
+#[test]
+fn store_gc_dry_run_previews_without_deleting() {
+    let dir = std::env::temp_dir().join(format!("lockdown-cli-gc-{}", std::process::id()));
+    let seg_dir = dir.join("segments");
+    std::fs::create_dir_all(&seg_dir).expect("tmp dir");
+    // A manifest-less archive (as a kill -9 leaves behind): every segment
+    // is an orphan, and gc must work without a manifest.
+    let orphan = seg_dir.join("seg-1-18262-00.lks");
+    std::fs::write(&orphan, b"leftover").expect("write orphan");
+
+    let out = bin()
+        .args(["store", "gc", "--archive"])
+        .arg(&dir)
+        .arg("--dry-run")
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("would remove 1"), "{text}");
+    assert!(orphan.exists(), "dry run must not delete");
+
+    let out = bin()
+        .args(["store", "gc", "--archive"])
+        .arg(&dir)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("removed 1"));
+    assert!(!orphan.exists(), "real gc deletes the orphan");
+
+    // --dry-run is gc-only.
+    let out = bin()
+        .args(["store", "inspect", "--archive"])
+        .arg(&dir)
+        .arg("--dry-run")
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

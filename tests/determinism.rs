@@ -84,7 +84,7 @@ fn engine_matches_direct_generation() {
 
     let mut plan = EnginePlan::new();
     let d = plan.subscribe(Stream::Vantage(vp), start, end, HourlyVolume::new);
-    let engine_volume = engine::run(&ctx, plan).take(d);
+    let engine_volume = engine::run(&ctx, plan).expect("pass succeeds").take(d);
 
     assert_eq!(
         direct.hourly_series(start, end),
@@ -105,7 +105,7 @@ fn engine_output_independent_of_worker_count() {
             HourlyVolume::new,
         );
         let transit = plan.subscribe(Stream::IspTransit, start, end, HourlyVolume::new);
-        let mut out = engine::run_with_workers(&ctx, plan, workers);
+        let mut out = engine::run_with_workers(&ctx, plan, workers).expect("pass succeeds");
         (
             out.take(volume).hourly_series(start, end),
             out.take(transit).hourly_series(start, end),
@@ -144,7 +144,7 @@ fn engine_generates_overlapping_cells_exactly_once() {
         Date::new(2020, 2, 7),
         HourlyVolume::new,
     );
-    let mut out = engine::run(&ctx, plan);
+    let mut out = engine::run(&ctx, plan).expect("pass succeeds");
     let stats = out.stats();
     // Union: Feb 1–10 = 10 days. Demanded: 7 + 6 + 1 = 14 days.
     assert_eq!(stats.cells_generated, 10 * 24);

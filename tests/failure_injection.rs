@@ -226,3 +226,168 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Supervised engine: chaos-injected worker faults, quarantine, resume.
+// ---------------------------------------------------------------------------
+
+use lockdown::chaos::{ChaosConfig, ChaosInjector};
+use lockdown::core::engine::{self, EnginePlan};
+use lockdown::store::{JOURNAL_NAME, MANIFEST_NAME, SEGMENTS_DIR};
+use lockdown_analysis::timeseries::HourlyVolume;
+use lockdown_traffic::plan::Stream;
+use std::path::PathBuf;
+
+fn chaos_tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lockdown-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A supervised pass with zero fault rates is the plain pass: same
+/// consumer bytes, no quarantine, no retries — supervision must be free
+/// when chaos is off.
+#[test]
+fn zero_chaos_supervised_pass_matches_baseline() {
+    let ctx = Context::new(Fidelity::Test);
+    let vp = VantagePoint::IspCe;
+    let (d1, d2) = (Date::new(2020, 3, 16), Date::new(2020, 3, 18));
+
+    let mut base_plan = EnginePlan::new();
+    let bd = base_plan.subscribe(Stream::Vantage(vp), d1, d2, HourlyVolume::new);
+    let mut base = engine::run(&ctx, base_plan).expect("baseline pass succeeds");
+
+    let mut sup_plan = EnginePlan::new();
+    sup_plan.with_supervisor(ChaosConfig::zero());
+    let sd = sup_plan.subscribe(Stream::Vantage(vp), d1, d2, HourlyVolume::new);
+    let mut sup = engine::run(&ctx, sup_plan).expect("supervised pass succeeds");
+
+    let sup_stats = sup.stats();
+    assert_eq!(sup_stats.cells_quarantined, 0);
+    assert_eq!(sup_stats.retries, 0);
+    assert!(sup.degraded().is_none());
+    assert_eq!(
+        base.take(bd).hourly_series(d1, d2),
+        sup.take(sd).hourly_series(d1, d2),
+    );
+}
+
+/// A supervised archived pass killed mid-publication resumes from the
+/// journal: only the missing cells are regenerated and the output is
+/// identical to the uninterrupted pass.
+#[test]
+fn killed_archived_pass_resumes_from_journal() {
+    let ctx = Context::with_seed(Fidelity::Test, 63);
+    let dir = chaos_tmp_dir("resume");
+    let vp = VantagePoint::IxpSe;
+    let (d1, d2) = (Date::new(2020, 3, 9), Date::new(2020, 3, 10));
+
+    let cold = |supervised: bool| {
+        let mut plan = EnginePlan::new();
+        if supervised {
+            plan.with_supervisor(ChaosConfig::zero());
+        }
+        plan.with_archive(&dir);
+        let d = plan.subscribe(Stream::Vantage(vp), d1, d2, HourlyVolume::new);
+        let mut out = engine::run(&ctx, plan).expect("pass succeeds");
+        let stats = out.stats();
+        (out.take(d).hourly_series(d1, d2), stats)
+    };
+
+    let (reference, cold_stats) = cold(false);
+    let total = cold_stats.cells_generated;
+    assert_eq!(total, 2 * 24);
+
+    // Simulate a kill between the last checkpoint and manifest
+    // publication: the journal holds what the manifest held, and some
+    // trailing segments never hit the disk. The journal encoding IS the
+    // manifest encoding, so a rename builds the crash state exactly.
+    std::fs::rename(dir.join(MANIFEST_NAME), dir.join(JOURNAL_NAME)).expect("fake the kill");
+    let seg_dir = dir.join(SEGMENTS_DIR);
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(&seg_dir)
+        .expect("segments dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    segs.sort();
+    let killed = 5usize;
+    for path in segs.iter().take(killed) {
+        std::fs::remove_file(path).expect("drop a completed segment");
+    }
+
+    let (resumed, warm_stats) = cold(true);
+    assert_eq!(resumed, reference, "resume must not change the figures");
+    assert_eq!(warm_stats.cells_resumed, total - killed as u64);
+    assert_eq!(warm_stats.cells_generated, killed as u64);
+    // The resumed pass completed, so the manifest is republished and a
+    // plain warm replay generates nothing.
+    let (replayed, warm2) = cold(false);
+    assert_eq!(replayed, reference);
+    assert_eq!(warm2.cells_generated, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The quarantine set is a pure function of the chaos schedule: it
+    /// equals the prediction computed from `ChaosInjector` alone (a cell
+    /// is quarantined iff every attempt in its budget draws a panic) and
+    /// it is identical across worker counts.
+    fn quarantine_set_is_deterministic_and_predicted(
+        chaos_seed in any::<u64>(),
+        panic_pct in 30u32..90,
+        attempts in 1u32..4,
+    ) {
+        let ctx = Context::with_seed(Fidelity::Test, 11);
+        let vp = VantagePoint::IxpSe;
+        let (d1, d2) = (Date::new(2020, 3, 2), Date::new(2020, 3, 3));
+        let cfg = ChaosConfig {
+            seed: chaos_seed,
+            panic: f64::from(panic_pct) / 100.0,
+            attempts,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            ..ChaosConfig::zero()
+        };
+
+        let injector = ChaosInjector::new(cfg);
+        let mut predicted: Vec<(i64, u8)> = Vec::new();
+        for date in d1.range_inclusive(d2) {
+            for hour in 0..24u8 {
+                let all_panic = (1..=attempts).all(|a| {
+                    injector
+                        .decide(Stream::Vantage(vp).wire_id(), date.day_number(), hour, a)
+                        .panic
+                });
+                if all_panic {
+                    predicted.push((date.day_number(), hour));
+                }
+            }
+        }
+
+        for workers in [1usize, 2, 5] {
+            let mut plan = EnginePlan::new();
+            plan.with_supervisor(cfg);
+            let d = plan.subscribe(Stream::Vantage(vp), d1, d2, HourlyVolume::new);
+            let mut out = engine::run_with_workers(&ctx, plan, workers)
+                .expect("supervised pass never aborts on injected panics");
+            let quarantined: Vec<(i64, u8)> = out
+                .degraded()
+                .map(|r| {
+                    r.quarantined
+                        .iter()
+                        .map(|q| (q.cell.date.day_number(), q.cell.hour))
+                        .collect()
+                })
+                .unwrap_or_default();
+            prop_assert_eq!(
+                &quarantined, &predicted,
+                "workers={} seed={} panic={} attempts={}",
+                workers, chaos_seed, cfg.panic, attempts
+            );
+            prop_assert_eq!(out.stats().cells_quarantined as usize, predicted.len());
+            // Quarantined cells contribute nothing; all other cells are intact.
+            let _ = out.take(d);
+        }
+    }
+}

@@ -58,7 +58,10 @@ fn engine_day(ctx: &Context, vp: VantagePoint, date: Date) -> Vec<FlowRecord> {
     let d = plan.subscribe(Stream::Vantage(vp), date, date, || CollectFlows {
         flows: Vec::new(),
     });
-    engine::run_with_workers(ctx, plan, 1).take(d).flows
+    engine::run_with_workers(ctx, plan, 1)
+        .expect("pass succeeds")
+        .take(d)
+        .flows
 }
 
 /// Export timestamp strictly after every flow in the day (EDU-style flows
@@ -76,7 +79,7 @@ fn arb_inputs() -> impl Strategy<Value = (usize, VantagePoint, Date)> {
     (
         0..SEEDS.len(),
         prop::sample::select(VantagePoint::CORE_FOUR.to_vec()),
-        prop_oneof![Just(2u8), Just(3), Just(4)],
+        prop_oneof![Just(2u8), Just(3u8), Just(4u8)],
         1u8..=28,
     )
         .prop_map(|(seed_idx, vp, month, day)| (seed_idx, vp, Date::new(2020, month, day)))

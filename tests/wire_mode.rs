@@ -38,7 +38,7 @@ fn wired_pass(
         d2,
         HourlyVolume::new,
     );
-    let mut out = engine::run_with_workers(&ctx, plan, workers);
+    let mut out = engine::run_with_workers(&ctx, plan, workers).expect("pass succeeds");
     let metrics = out
         .wire_metrics()
         .expect("wire mode carries metrics")
@@ -159,7 +159,7 @@ fn faulted_suite_audit_balances_across_workers() {
         d2,
         HourlyVolume::new,
     );
-    let mut out = engine::run_with_workers(&ctx, plan, 4);
+    let mut out = engine::run_with_workers(&ctx, plan, 4).expect("pass succeeds");
     let audit = out.audit().cloned().expect("audit requested");
     assert!(audit.is_clean(), "{}", audit.render());
     assert_eq!(audit.cells, 2 * 24, "one ledger cell per engine cell");
