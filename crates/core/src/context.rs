@@ -1,14 +1,17 @@
 //! Shared experiment context: one registry, DNS corpus and generator pair
-//! that every figure reproduction runs against.
+//! that every figure reproduction runs against, under one scenario.
 
 use lockdown_dns::corpus::{synthesize, Corpus};
 use lockdown_dns::vpn::identify_vpn_ips;
+use lockdown_scenario::measures::ScenarioSpec;
 use lockdown_topology::registry::Registry;
 use lockdown_traffic::config::GeneratorConfig;
 use lockdown_traffic::edu_gen::EduGenerator;
 use lockdown_traffic::generate::TrafficGenerator;
+use lockdown_traffic::plan::fold_hash;
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// How much synthetic data an experiment run generates.
 ///
@@ -45,6 +48,9 @@ pub struct Context {
     pub corpus: Corpus,
     /// Generator configuration in use.
     pub config: GeneratorConfig,
+    /// The scenario every generator interprets. Shared (`Arc`) so a
+    /// matrix run can fan one context out into per-scenario lanes.
+    pub scenario: Arc<ScenarioSpec>,
 }
 
 impl Context {
@@ -53,25 +59,44 @@ impl Context {
         Context::with_seed(fidelity, 0x10CD_2020)
     }
 
-    /// Build a context with an explicit seed.
+    /// Build a context with an explicit seed, under the built-in COVID
+    /// spring-2020 scenario.
     pub fn with_seed(fidelity: Fidelity, seed: u64) -> Context {
+        Context::with_scenario(fidelity, seed, ScenarioSpec::covid_spring_2020())
+    }
+
+    /// Build a context under an explicit scenario. With
+    /// [`ScenarioSpec::covid_spring_2020`] this is byte-identical to
+    /// [`Context::with_seed`].
+    pub fn with_scenario(fidelity: Fidelity, seed: u64, scenario: ScenarioSpec) -> Context {
         let registry = Registry::synthesize();
         let corpus = synthesize(&registry, seed);
         Context {
             registry,
             corpus,
             config: fidelity.config(seed),
+            scenario: Arc::new(scenario),
         }
     }
 
-    /// A trace generator borrowing this context.
+    /// A trace generator borrowing this context, interpreting its
+    /// scenario.
     pub fn generator(&self) -> TrafficGenerator<'_> {
-        TrafficGenerator::new(&self.registry, &self.corpus, self.config)
+        TrafficGenerator::with_scenario(&self.registry, &self.corpus, self.config, &self.scenario)
     }
 
-    /// An EDU generator borrowing this context.
+    /// An EDU generator borrowing this context, interpreting its
+    /// scenario.
     pub fn edu_generator(&self) -> EduGenerator<'_> {
-        EduGenerator::new(&self.registry, self.config)
+        EduGenerator::with_scenario(&self.registry, self.config, &self.scenario)
+    }
+
+    /// Stable fingerprint of everything non-seed that shapes generated
+    /// traffic: the generator scaling knobs *and* the scenario's
+    /// behavioural content. Archives key their manifests on it, so a
+    /// store written under one scenario is never replayed into another.
+    pub fn scenario_hash(&self) -> u64 {
+        fold_hash([self.config.scenario_hash(), self.scenario.fingerprint()])
     }
 
     /// The §6 candidate VPN endpoint set, derived from the corpus the way
@@ -100,5 +125,26 @@ mod tests {
         let h = Fidelity::High.config(1);
         assert!(t.flows_per_gbps < s.flows_per_gbps);
         assert!(s.flows_per_gbps < h.flows_per_gbps);
+    }
+
+    #[test]
+    fn scenario_hash_tracks_spec_behaviour() {
+        let a = Context::new(Fidelity::Test);
+        let b = Context::with_scenario(
+            Fidelity::Test,
+            0x10CD_2020,
+            ScenarioSpec::covid_spring_2020(),
+        );
+        assert_eq!(a.scenario_hash(), b.scenario_hash());
+
+        let mut renamed = ScenarioSpec::covid_spring_2020();
+        renamed.name = "renamed".into();
+        let c = Context::with_scenario(Fidelity::Test, 0x10CD_2020, renamed);
+        assert_eq!(a.scenario_hash(), c.scenario_hash(), "names are cosmetic");
+
+        let mut tweaked = ScenarioSpec::covid_spring_2020();
+        tweaked.baseline.organic_weekly = 1.01;
+        let d = Context::with_scenario(Fidelity::Test, 0x10CD_2020, tweaked);
+        assert_ne!(a.scenario_hash(), d.scenario_hash());
     }
 }

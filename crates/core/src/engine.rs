@@ -35,8 +35,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// Object-safe face of [`FlowConsumer`] used inside the engine.
-trait AnyConsumer: Send {
+/// Object-safe face of [`FlowConsumer`] used inside the engine (and the
+/// multi-scenario matrix built on top of it).
+pub(crate) trait AnyConsumer: Send {
     fn observe_batch(&mut self, records: &[FlowRecord]);
     fn merge_box(&mut self, other: Box<dyn AnyConsumer>);
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
@@ -65,7 +66,7 @@ impl<C: FlowConsumer + Send + 'static> AnyConsumer for Erased<C> {
     }
 }
 
-struct Subscription {
+pub(crate) struct Subscription {
     stream: Stream,
     start: Date,
     end: Date,
@@ -76,8 +77,12 @@ struct Subscription {
 }
 
 impl Subscription {
-    fn covers(&self, cell: Cell) -> bool {
+    pub(crate) fn covers(&self, cell: Cell) -> bool {
         self.stream == cell.stream && self.start <= cell.date && cell.date <= self.end
+    }
+
+    pub(crate) fn build(&self) -> Box<dyn AnyConsumer> {
+        (self.factory)()
     }
 }
 
@@ -208,6 +213,13 @@ impl EnginePlan {
         self.subs.len()
     }
 
+    /// Decompose into the deduplicated trace plan and the subscription
+    /// list, dropping the (matrix-unsupported) wire/archive/chaos options
+    /// — the multi-scenario matrix drives cells itself.
+    pub(crate) fn into_trace_and_subs(self) -> (TracePlan, Vec<Subscription>) {
+        (self.trace, self.subs)
+    }
+
     /// Whether nothing has been subscribed.
     pub fn is_empty(&self) -> bool {
         self.subs.is_empty()
@@ -312,6 +324,24 @@ pub struct EngineOutput {
 }
 
 impl EngineOutput {
+    /// Assemble an output from externally merged consumers (the matrix
+    /// path). Wire, audit and supervisor artefacts do not apply there.
+    pub(crate) fn from_consumers(
+        consumers: Vec<Box<dyn AnyConsumer>>,
+        stats: EngineStats,
+        store_metrics: Option<Arc<StoreMetrics>>,
+    ) -> EngineOutput {
+        EngineOutput {
+            consumers: consumers.into_iter().map(Some).collect(),
+            stats,
+            wire_metrics: None,
+            audit: None,
+            store_metrics,
+            supervisor_metrics: None,
+            degraded: None,
+        }
+    }
+
     /// Take the merged consumer of one subscription, reporting a typed
     /// error for the two reachable misuses (double-take, wrong-type
     /// redemption) instead of panicking.
@@ -642,7 +672,7 @@ pub fn run_with_workers(
         supervisor: supervisor_cfg,
         scope: _,
     } = plan;
-    let emitter = TraceEmitter::new(&ctx.registry, &ctx.corpus, ctx.config);
+    let emitter = TraceEmitter::with_scenario(&ctx.registry, &ctx.corpus, ctx.config, &ctx.scenario);
     // Wire mode: each cell's flows cross the export → transport → collect
     // plane before fan-out. The plane is per-cell seeded, so the delivered
     // batch is the same whichever worker processes the cell.
@@ -665,7 +695,7 @@ pub fn run_with_workers(
     if let (Some(dir), Some(metrics)) = (&archive, &store_metrics) {
         let key = StoreKey {
             seed: ctx.config.seed,
-            scenario_hash: ctx.config.scenario_hash(),
+            scenario_hash: ctx.scenario_hash(),
             plan_hash: trace.plan_hash(),
         };
         let opened = match ArchiveReader::open(dir, Arc::clone(metrics)) {

@@ -88,7 +88,7 @@ pub struct SuiteOptions {
 }
 
 /// Every figure's demand handles, pending redemption after the pass.
-struct Plans {
+pub(crate) struct Plans {
     p1: fig1::Plan,
     p2a: fig2::Plan2a,
     p2b: fig2::Plan2bc,
@@ -110,7 +110,7 @@ struct Plans {
 
 /// Subscribe every figure driver to one shared plan, labelling each
 /// driver's subscriptions so a degraded pass can name affected figures.
-fn build_plan(ctx: &Context, plan: &mut EnginePlan) -> Plans {
+pub(crate) fn build_plan(ctx: &Context, plan: &mut EnginePlan) -> Plans {
     Plans {
         p1: plan.scoped("fig1", fig1::plan),
         p2a: plan.scoped("fig2a", fig2::plan_2a),
@@ -140,7 +140,7 @@ fn build_plan(ctx: &Context, plan: &mut EnginePlan) -> Plans {
 }
 
 /// Redeem every demand against the pass output and assemble the suite.
-fn assemble(ctx: &Context, plans: Plans, mut out: EngineOutput) -> Suite {
+pub(crate) fn assemble(ctx: &Context, plans: Plans, mut out: EngineOutput) -> Suite {
     Suite {
         table1: tables::table1(ctx),
         fig1: fig1::finish(plans.p1, &mut out),

@@ -11,7 +11,9 @@
 pub mod context;
 pub mod engine;
 pub mod experiments;
+pub mod matrix;
 pub mod report;
 pub mod supervisor;
 
 pub use context::{Context, Fidelity};
+pub use matrix::{run_matrix, MatrixOptions, MatrixRun, MatrixScenario, MatrixStats, ScenarioRun};

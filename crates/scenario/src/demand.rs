@@ -23,16 +23,21 @@
 use crate::apps::AppClass;
 use crate::calendar::{day_type, DayType};
 use crate::diurnal::{blend, shape, DiurnalProfile};
+use crate::measures::{MeasureEvent, ScenarioSpec};
 use crate::phases::RegionTimeline;
 use lockdown_flow::time::Date;
 use lockdown_topology::asn::Region;
 use lockdown_topology::vantage::{VantageKind, VantagePoint};
 
-/// The demand model. Stateless aside from the regional timelines; cheap to
-/// construct and `Copy`-free on purpose (benches construct one per run).
+/// The demand model: an interpreter over one scenario's timelines, events
+/// and baseline drift. Cheap to construct and `Copy`-free on purpose
+/// (benches construct one per run).
 #[derive(Debug, Clone)]
 pub struct DemandModel {
     timelines: [RegionTimeline; 3],
+    events: Vec<MeasureEvent>,
+    organic_anchor: Date,
+    organic_weekly: f64,
 }
 
 impl Default for DemandModel {
@@ -42,14 +47,18 @@ impl Default for DemandModel {
 }
 
 impl DemandModel {
-    /// Build the standard model with the paper's regional timelines.
+    /// Build the standard model with the paper's shipped calibration.
     pub fn new() -> DemandModel {
+        DemandModel::from_spec(&ScenarioSpec::covid_spring_2020())
+    }
+
+    /// Build a model interpreting an arbitrary scenario.
+    pub fn from_spec(spec: &ScenarioSpec) -> DemandModel {
         DemandModel {
-            timelines: [
-                RegionTimeline::for_region(Region::CentralEurope),
-                RegionTimeline::for_region(Region::SouthernEurope),
-                RegionTimeline::for_region(Region::UsEast),
-            ],
+            timelines: spec.timelines(),
+            events: spec.events.clone(),
+            organic_anchor: spec.baseline.organic_anchor,
+            organic_weekly: spec.baseline.organic_weekly,
         }
     }
 
@@ -80,7 +89,7 @@ impl DemandModel {
             VantageKind::Isp | VantageKind::Mobile | VantageKind::Roaming | VantageKind::Edu => {
                 if date >= tl.relaxation {
                     let days = tl.relaxation.days_until(date) as f64;
-                    i * (1.0 - 0.70 * (days / 28.0).min(1.0))
+                    i * (1.0 - tl.curve.reversion * (days / tl.curve.reversion_days).min(1.0))
                 } else {
                     i
                 }
@@ -103,8 +112,26 @@ impl DemandModel {
             * self.diurnal_weight(vp, app, date, hour)
             * self.growth(vp, app, date, hour)
             * self.vantage_factor(vp, date)
-            * organic_growth(date)
-            * event_factor(vp, app, date)
+            * self.organic_factor(date)
+            * self.event_factor(vp, app, date)
+    }
+
+    /// Combined multiplier of the scenario's discrete events on this
+    /// (vantage, class, date) — events multiply in file order.
+    pub fn event_factor(&self, vp: VantagePoint, app: AppClass, date: Date) -> f64 {
+        let mut f = 1.0;
+        for e in &self.events {
+            if e.applies(vp, app, date) {
+                f *= e.factor;
+            }
+        }
+        f
+    }
+
+    /// The scenario's organic week-over-week baseline drift.
+    pub fn organic_factor(&self, date: Date) -> f64 {
+        let weeks = self.organic_anchor.days_until(date) as f64 / 7.0;
+        self.organic_weekly.powf(weeks)
     }
 
     /// Expected total volume (all classes) in Gbps.
@@ -325,42 +352,22 @@ impl DemandModel {
     }
 }
 
-/// EU streaming resolution reduction (Mar 19 on) and its partial lift
-/// (May 12, §1); plus the IXP-SE gaming-provider outage in the first
-/// lockdown week (Fig. 8: "the accounted volume plunges for two days").
+/// The shipped calibration's event factor: the EU streaming resolution
+/// reduction (Mar 19 on) and its partial lift (May 12, §1); the pre-Mar-9
+/// conferencing pre-adoption discount; and the IXP-SE gaming-provider
+/// outage in the first lockdown week (Fig. 8: "the accounted volume
+/// plunges for two days"). The events themselves are data — see
+/// [`ScenarioSpec::covid_spring_2020`]; this free function evaluates them
+/// for the shipped scenario (tests use it as a fixed reference).
 pub fn event_factor(vp: VantagePoint, app: AppClass, date: Date) -> f64 {
-    let mut f = 1.0;
-    let eu = vp.region() != Region::UsEast;
-    // §4: Zoom "became commonly used in Europe only with the lockdown";
-    // the ISP's February conferencing baseline is pre-adoption.
-    if app == AppClass::WebConf
-        && vp.kind() == lockdown_topology::vantage::VantageKind::Isp
-        && eu
-        && date < Date::new(2020, 3, 9)
-    {
-        f *= 0.55;
-    }
-    if eu
-        && matches!(app, AppClass::Vod | AppClass::Quic)
-        && date >= Date::new(2020, 3, 19)
-        && date < Date::new(2020, 5, 12)
-    {
-        f *= 0.88; // SD instead of HD for the big streamers
-    }
-    if vp == VantagePoint::IxpSe
-        && app == AppClass::Gaming
-        && (date == Date::new(2020, 3, 16) || date == Date::new(2020, 3, 17))
-    {
-        f *= 0.15; // major gaming provider outage
-    }
-    f
+    DemandModel::new().event_factor(vp, app, date)
 }
 
-/// Mild organic week-over-week growth (Fig. 1 shows a drifting baseline
-/// even before the outbreak; annual Internet growth is ~30%, §9).
+/// The shipped calibration's mild organic week-over-week growth (Fig. 1
+/// shows a drifting baseline even before the outbreak; annual Internet
+/// growth is ~30%, §9).
 pub fn organic_growth(date: Date) -> f64 {
-    let weeks = Date::new(2020, 1, 15).days_until(date) as f64 / 7.0;
-    1.0035f64.powf(weeks)
+    DemandModel::new().organic_factor(date)
 }
 
 /// Weekend volume level of a class relative to its workday level.

@@ -20,7 +20,6 @@ use crate::calendar::{day_type, DayType};
 use crate::diurnal::{shape, DiurnalProfile};
 use crate::phases::RegionTimeline;
 use lockdown_flow::time::Date;
-use lockdown_topology::asn::Region;
 use serde::{Deserialize, Serialize};
 
 /// Traffic classes tracked in the §7 connection-level analysis
@@ -128,12 +127,19 @@ impl EduClass {
     }
 }
 
-/// The EDU behavioural model.
+/// The EDU behavioural model: an interpreter over a scenario's
+/// educational-system measures.
 #[derive(Debug, Clone)]
 pub struct EduModel {
     timeline: RegionTimeline,
     /// Campus closure date: Mar 11 (announced Mar 9, §7).
     pub closure: Date,
+    /// Campus-presence loss per day after the closure.
+    winddown_per_day: f64,
+    /// Skeleton-crew presence floor.
+    presence_floor: f64,
+    /// Days for teaching to move fully online.
+    remote_ramp_days: f64,
 }
 
 impl Default for EduModel {
@@ -145,9 +151,17 @@ impl Default for EduModel {
 impl EduModel {
     /// Standard model (Southern-Europe timeline, Mar 11 closure).
     pub fn new() -> EduModel {
+        EduModel::from_spec(&crate::measures::ScenarioSpec::covid_spring_2020())
+    }
+
+    /// Build a model interpreting an arbitrary scenario's `[edu]` block.
+    pub fn from_spec(spec: &crate::measures::ScenarioSpec) -> EduModel {
         EduModel {
-            timeline: RegionTimeline::for_region(Region::SouthernEurope),
-            closure: Date::new(2020, 3, 11),
+            timeline: spec.region(spec.edu.region).timeline(),
+            closure: spec.edu.closure,
+            winddown_per_day: spec.edu.winddown_per_day,
+            presence_floor: spec.edu.presence_floor,
+            remote_ramp_days: spec.edu.remote_ramp_days,
         }
     }
 
@@ -157,19 +171,19 @@ impl EduModel {
         if date < self.closure {
             1.0
         } else {
-            // Sharp three-day wind-down to a 7% skeleton crew.
+            // Sharp wind-down to the skeleton crew.
             let days = self.closure.days_until(date) as f64;
-            (1.0 - 0.31 * days).max(0.07)
+            (1.0 - self.winddown_per_day * days).max(self.presence_floor)
         }
     }
 
     /// Remote-activity factor: 0 before closure, ramping to 1 as teaching
-    /// moves online over roughly two weeks.
+    /// moves online over the ramp window.
     pub fn remote_activity(&self, date: Date) -> f64 {
         if date < self.closure {
             0.0
         } else {
-            (self.closure.days_until(date) as f64 / 14.0).min(1.0)
+            (self.closure.days_until(date) as f64 / self.remote_ramp_days).min(1.0)
         }
     }
 
@@ -180,7 +194,7 @@ impl EduModel {
     /// Egress is content served out of the universities, which grows with
     /// remote access.
     pub fn volume_gbps(&self, date: Date, hour: u8) -> (f64, f64) {
-        let dt = day_type(date, Region::SouthernEurope);
+        let dt = day_type(date, self.timeline.region);
         let presence = self.campus_presence(date);
         let remote = self.remote_activity(date);
 
@@ -226,7 +240,7 @@ impl EduModel {
     /// Expected daily connection count for one class (Fig. 12's unit,
     /// before normalization to Feb 27).
     pub fn daily_connections(&self, class: EduClass, date: Date) -> f64 {
-        let dt = day_type(date, Region::SouthernEurope);
+        let dt = day_type(date, self.timeline.region);
         let base = class.base_daily_connections();
         // Weekends always ran at a fraction of workday activity.
         let weekend_scale = if dt.is_weekend_like() { 0.45 } else { 1.0 };

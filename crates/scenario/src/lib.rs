@@ -22,7 +22,12 @@
 //!   gaming outage) and vantage-level factors (mobile dip, roaming
 //!   collapse);
 //! * [`edu`] — the §7 educational-network model: campus presence, remote
-//!   activity, per-class connection growth (VPN 4.8×, SSH 9.1×, …).
+//!   activity, per-class connection growth (VPN 4.8×, SSH 9.1×, …);
+//! * [`measures`] — the scenario DSL: declarative dated measures and
+//!   events that the phase/demand/edu interpreters evaluate, with the
+//!   spring-2020 calibration shipped as both a built-in and
+//!   `scenarios/covid-spring-2020.toml`;
+//! * [`toml`] — the in-crate TOML subset parser scenario files use.
 //!
 //! Calibration numbers flow *only* through generated traffic: the analysis
 //! crate never reads this model, so reproducing a figure means the pipeline
@@ -36,7 +41,9 @@ pub mod calendar;
 pub mod demand;
 pub mod diurnal;
 pub mod edu;
+pub mod measures;
 pub mod phases;
+pub mod toml;
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -48,5 +55,8 @@ pub mod prelude {
     pub use crate::demand::{app_share, event_factor, organic_growth, DemandModel};
     pub use crate::diurnal::{blend, peak_hour, shape, DiurnalProfile};
     pub use crate::edu::{EduClass, EduModel};
-    pub use crate::phases::{LockdownPhase, RegionTimeline};
+    pub use crate::measures::{
+        BaselineSpec, EduSpec, MeasureEvent, RegionMeasures, ScenarioSpec, SpecError,
+    };
+    pub use crate::phases::{IntensityCurve, LockdownPhase, RegionTimeline};
 }

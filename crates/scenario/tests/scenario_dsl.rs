@@ -1,0 +1,94 @@
+//! The shipped scenario files are the source of truth for the DSL:
+//! `scenarios/covid-spring-2020.toml` must parse to exactly the built-in
+//! calibration (the byte-identity safety rail rests on this), and
+//! malformed measure files must be rejected with an error naming the
+//! offending line.
+
+use lockdown_scenario::measures::ScenarioSpec;
+
+fn shipped(name: &str) -> String {
+    let path = format!("{}/../../scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+#[test]
+fn shipped_covid_file_is_the_builtin_calibration() {
+    let parsed = ScenarioSpec::parse_toml(&shipped("covid-spring-2020.toml"))
+        .expect("shipped reference scenario parses");
+    let builtin = ScenarioSpec::covid_spring_2020();
+    assert_eq!(parsed, builtin, "shipped TOML drifted from the builtin");
+    assert_eq!(parsed.fingerprint(), builtin.fingerprint());
+}
+
+#[test]
+fn shipped_covid_file_roundtrips_through_render() {
+    let parsed = ScenarioSpec::parse_toml(&shipped("covid-spring-2020.toml")).expect("parses");
+    let rendered = parsed.to_toml();
+    let reparsed = ScenarioSpec::parse_toml(&rendered).expect("rendering parses back");
+    assert_eq!(parsed, reparsed);
+}
+
+#[test]
+fn shipped_outage_file_is_a_distinct_valid_scenario() {
+    let outage = ScenarioSpec::parse_toml(&shipped("hypergiant-outage.toml"))
+        .expect("shipped counterfactual scenario parses");
+    let builtin = ScenarioSpec::covid_spring_2020();
+    assert_ne!(
+        outage.fingerprint(),
+        builtin.fingerprint(),
+        "the counterfactual must be behaviourally distinct"
+    );
+    assert!(outage.events.iter().any(|e| e.name == "hypergiant-cdn-outage"));
+}
+
+/// The builtin, rendered, with one line rewritten — for malformed-input
+/// probes that stay valid TOML.
+fn rendered_with(from: &str, to: &str) -> String {
+    let base = ScenarioSpec::covid_spring_2020().to_toml();
+    assert!(base.contains(from), "probe anchor {from:?} not in rendering");
+    base.replacen(from, to, 1)
+}
+
+#[test]
+fn overlapping_measure_dates_are_rejected_with_a_line() {
+    // Move central-europe's stay-at-home before its restrictions date.
+    let text = rendered_with("date = 2020-03-16\nfrom = 0.4", "date = 2020-03-01\nfrom = 0.4");
+    let err = ScenarioSpec::parse_toml(&text).expect_err("out-of-order measures must not parse");
+    assert!(
+        err.message.contains("overlapping measure dates"),
+        "unexpected message: {}",
+        err.message
+    );
+    assert!(err.line > 0, "error must name a source line");
+    assert!(err.to_string().starts_with(&format!("line {}:", err.line)));
+}
+
+#[test]
+fn fractions_outside_unit_interval_are_rejected_with_a_line() {
+    let text = rendered_with("release = 0.55", "release = 1.55");
+    let err = ScenarioSpec::parse_toml(&text).expect_err("release > 1 must not parse");
+    assert!(
+        err.message.contains("outside [0, 1]"),
+        "unexpected message: {}",
+        err.message
+    );
+    let line_no = err.line;
+    assert!(line_no > 0);
+    let named = text.lines().nth(line_no - 1).expect("line exists");
+    assert!(
+        named.contains("release = 1.55"),
+        "error line {line_no} should be the bad entry, got {named:?}"
+    );
+}
+
+#[test]
+fn unknown_application_class_is_rejected_with_a_line() {
+    let text = rendered_with("classes = [\"gaming\"]", "classes = [\"gamign\"]");
+    let err = ScenarioSpec::parse_toml(&text).expect_err("typo'd class must not parse");
+    assert!(
+        err.message.contains("unknown application class"),
+        "unexpected message: {}",
+        err.message
+    );
+    assert!(err.line > 0);
+}

@@ -23,8 +23,8 @@ pub mod scan;
 pub mod segment;
 
 pub use archive::{
-    gc_dir, segment_file_name, ArchiveReader, ArchiveWriter, GcReport, SegmentMeta, SpillFault,
-    StoreKey, VerifyReport, JOURNAL_NAME, MANIFEST_NAME, SEGMENTS_DIR,
+    gc_dir, scenario_subdir, segment_file_name, ArchiveReader, ArchiveWriter, GcReport,
+    SegmentMeta, SpillFault, StoreKey, VerifyReport, JOURNAL_NAME, MANIFEST_NAME, SEGMENTS_DIR,
 };
 pub use metrics::StoreMetrics;
 pub use scan::{OwnedSegmentScan, SegmentScan};

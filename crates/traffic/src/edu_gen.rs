@@ -13,6 +13,7 @@ use lockdown_flow::record::{Direction, FlowKey, FlowRecord};
 use lockdown_flow::time::Date;
 use lockdown_scenario::diurnal::{shape, DiurnalProfile};
 use lockdown_scenario::edu::{EduClass, EduModel};
+use lockdown_scenario::measures::ScenarioSpec;
 use lockdown_topology::asn::{AsCategory, Asn, Region};
 use lockdown_topology::registry::{Registry, EDU_ASN, SPOTIFY_ASN};
 use rand::prelude::*;
@@ -74,8 +75,29 @@ pub struct EduGenerator<'a> {
 }
 
 impl<'a> EduGenerator<'a> {
-    /// Build an EDU generator over the shared registry.
+    /// Build an EDU generator over the shared registry, calibrated to the
+    /// built-in COVID spring-2020 scenario.
     pub fn new(registry: &'a Registry, config: GeneratorConfig) -> EduGenerator<'a> {
+        EduGenerator::with_model(registry, config, EduModel::new())
+    }
+
+    /// Build an EDU generator whose model interprets `spec` instead of
+    /// the built-in calibration. With
+    /// [`ScenarioSpec::covid_spring_2020`] this is byte-identical to
+    /// [`EduGenerator::new`].
+    pub fn with_scenario(
+        registry: &'a Registry,
+        config: GeneratorConfig,
+        spec: &ScenarioSpec,
+    ) -> EduGenerator<'a> {
+        EduGenerator::with_model(registry, config, EduModel::from_spec(spec))
+    }
+
+    fn with_model(
+        registry: &'a Registry,
+        config: GeneratorConfig,
+        model: EduModel,
+    ) -> EduGenerator<'a> {
         let eyeballs = |region: Region| -> Vec<Asn> {
             registry
                 .in_region(region)
@@ -85,7 +107,7 @@ impl<'a> EduGenerator<'a> {
         };
         EduGenerator {
             registry,
-            model: EduModel::new(),
+            model,
             config,
             national_eyeballs: eyeballs(Region::SouthernEurope),
             // The paper's overseas students connect from Latin America and

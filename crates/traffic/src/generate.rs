@@ -18,6 +18,7 @@ use lockdown_flow::record::{Direction, FlowKey, FlowRecord};
 use lockdown_flow::time::Date;
 use lockdown_scenario::apps::AppClass;
 use lockdown_scenario::demand::DemandModel;
+use lockdown_scenario::measures::ScenarioSpec;
 use lockdown_topology::asn::AsCategory;
 use lockdown_topology::registry::{Registry, ISP_CE_ASN};
 use lockdown_topology::vantage::{VantageKind, VantagePoint};
@@ -52,11 +53,29 @@ pub struct TrafficGenerator<'a> {
 }
 
 impl<'a> TrafficGenerator<'a> {
-    /// Build a generator over a registry and DNS corpus.
+    /// Build a generator over a registry and DNS corpus, calibrated to the
+    /// built-in COVID spring-2020 scenario.
     pub fn new(registry: &'a Registry, corpus: &'a Corpus, config: GeneratorConfig) -> Self {
         TrafficGenerator {
             picker: Picker::new(registry, corpus),
             demand: DemandModel::new(),
+            config,
+        }
+    }
+
+    /// Build a generator whose demand model interprets `spec` instead of
+    /// the built-in calibration. With
+    /// [`ScenarioSpec::covid_spring_2020`] this is byte-identical to
+    /// [`TrafficGenerator::new`].
+    pub fn with_scenario(
+        registry: &'a Registry,
+        corpus: &'a Corpus,
+        config: GeneratorConfig,
+        spec: &ScenarioSpec,
+    ) -> Self {
+        TrafficGenerator {
+            picker: Picker::new(registry, corpus),
+            demand: DemandModel::from_spec(spec),
             config,
         }
     }

@@ -14,6 +14,7 @@ use crate::generate::TrafficGenerator;
 use lockdown_dns::corpus::Corpus;
 use lockdown_flow::record::FlowRecord;
 use lockdown_flow::time::Date;
+use lockdown_scenario::measures::ScenarioSpec;
 use lockdown_topology::registry::Registry;
 use lockdown_topology::vantage::VantagePoint;
 use std::collections::{BTreeMap, BTreeSet};
@@ -74,10 +75,10 @@ impl Stream {
 }
 
 /// Fold `parts` into one stable 64-bit hash (splitmix64 chaining). Not a
-/// general hasher — just enough to fingerprint plans and generator
-/// configurations for archive-staleness checks, with a fixed algorithm so
-/// fingerprints stay comparable across builds.
-pub(crate) fn fold_hash(parts: impl IntoIterator<Item = u64>) -> u64 {
+/// general hasher — just enough to fingerprint plans, generator
+/// configurations and scenario specs for archive-staleness checks, with a
+/// fixed algorithm so fingerprints stay comparable across builds.
+pub fn fold_hash(parts: impl IntoIterator<Item = u64>) -> u64 {
     let mut acc = 0x243F_6A88_85A3_08D3u64; // pi digits, nothing up the sleeve
     for p in parts {
         let mut z = acc ^ p;
@@ -203,11 +204,28 @@ pub struct TraceEmitter<'a> {
 }
 
 impl<'a> TraceEmitter<'a> {
-    /// Build an emitter over a registry and DNS corpus.
+    /// Build an emitter over a registry and DNS corpus, calibrated to the
+    /// built-in COVID spring-2020 scenario.
     pub fn new(registry: &'a Registry, corpus: &'a Corpus, config: GeneratorConfig) -> Self {
         TraceEmitter {
             vantage: TrafficGenerator::new(registry, corpus, config),
             edu: EduGenerator::new(registry, config),
+        }
+    }
+
+    /// Build an emitter whose demand and EDU models interpret `spec`
+    /// instead of the built-in calibration. With
+    /// [`ScenarioSpec::covid_spring_2020`] this is byte-identical to
+    /// [`TraceEmitter::new`].
+    pub fn with_scenario(
+        registry: &'a Registry,
+        corpus: &'a Corpus,
+        config: GeneratorConfig,
+        spec: &ScenarioSpec,
+    ) -> Self {
+        TraceEmitter {
+            vantage: TrafficGenerator::with_scenario(registry, corpus, config, spec),
+            edu: EduGenerator::with_scenario(registry, config, spec),
         }
     }
 

@@ -62,6 +62,38 @@ if [[ $quick -eq 0 ]]; then
         > target/store/verify-report.txt
     cp "$arch/manifest.lks" target/store/manifest.lks
 
+    echo "==> scenario DSL golden byte-identity (shipped TOML == builtin)"
+    scen=$(mktemp)
+    ./target/release/lockdown figures --fidelity test \
+        --scenario scenarios/covid-spring-2020.toml > "$scen"
+    diff -u "$plain" "$scen"
+    rm -f "$scen"
+
+    echo "==> 2-scenario matrix: one shared generation pass"
+    mkdir -p target/matrix
+    ./target/release/lockdown scenarios --matrix \
+        scenarios/covid-spring-2020.toml scenarios/hypergiant-outage.toml \
+        --fidelity test --out target/matrix 2> target/matrix/stderr.txt
+    # The matrix must generate exactly as many distinct cells as the
+    # single-scenario pass above (from the cold archive run's summary).
+    single_cells=$(grep -oE "[0-9]+ cells generated once" \
+        target/store/cold-stderr.txt | grep -oE "[0-9]+")
+    grep -q "matrix: 2 scenarios, $single_cells cells generated once (shared pass)" \
+        target/matrix/stderr.txt
+    # Lane 0 (the reference calibration) is byte-identical to a plain run;
+    # the counterfactual lane must actually diverge.
+    diff -u "$plain" target/matrix/00-covid-spring-2020.txt
+    if cmp -s target/matrix/00-covid-spring-2020.txt \
+        target/matrix/01-hypergiant-outage.txt; then
+        echo "matrix lanes must differ" >&2
+        exit 1
+    fi
+    grep -q "sections differ" target/matrix/stderr.txt
+
+    echo "==> engine bench numbers (BENCH_engine.json)"
+    cargo run --release -q -p lockdown-bench --bin engine_json > BENCH_engine.json
+    cat BENCH_engine.json
+
     echo "==> chaos smoke: zero-chaos supervision is byte-identical"
     mkdir -p target/chaos
     supervised=$(mktemp)

@@ -1,8 +1,9 @@
 //! `lockdown` — command-line front end to the reproduction.
 //!
 //! ```text
-//! lockdown figures [--fidelity test|standard|high] [--wire] [--audit] [--loss P] [--reorder P] [--dup P] [--restart N] [NAME...]
-//! lockdown collect [--fidelity test|standard|high] [--audit] [--loss P] [--reorder P] [--dup P] [--restart N]
+//! lockdown figures [--fidelity test|standard|high] [--scenario FILE] [--wire] [--audit] [--loss P] [--reorder P] [--dup P] [--restart N] [NAME...]
+//! lockdown collect [--fidelity test|standard|high] [--scenario FILE] [--audit] [--loss P] [--reorder P] [--dup P] [--restart N]
+//! lockdown scenarios list|show FILE|--matrix FILE... [--out DIR]
 //! lockdown registry
 //! lockdown capture --vantage IXP-CE --date 2020-03-25 --out day.lkdn [--format ipfix|v9|v5] [--sample N]
 //! lockdown analyze --trace day.lkdn
@@ -20,8 +21,9 @@ use lockdown::core::experiments::{
     fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, suite,
     tables,
 };
-use lockdown::core::{Context, Fidelity};
+use lockdown::core::{run_matrix, Context, Fidelity, MatrixOptions, MatrixScenario};
 use lockdown::dns::vpn::identify_vpn_ips;
+use lockdown::scenario::measures::ScenarioSpec;
 use lockdown::flow::prelude::*;
 use lockdown::store::{gc_dir, ArchiveReader, StoreMetrics};
 use lockdown::topology::vantage::VantagePoint;
@@ -44,6 +46,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "figures" => cmd_figures(rest),
         "collect" => cmd_collect(rest),
+        "scenarios" => cmd_scenarios(rest).map(|()| ExitCode::SUCCESS),
         "store" => cmd_store(rest).map(|()| ExitCode::SUCCESS),
         "registry" => cmd_registry().map(|()| ExitCode::SUCCESS),
         "capture" => cmd_capture(rest).map(|()| ExitCode::SUCCESS),
@@ -69,10 +72,14 @@ lockdown — reproduce 'The Lockdown Effect' (IMC 2020) from synthetic flows
 
 USAGE:
   lockdown figures [--fidelity test|standard|high] [NAME...]
-                   [--wire] [--audit] [--archive DIR] [--chaos SPEC]
+                   [--scenario FILE] [--wire] [--audit] [--archive DIR]
+                   [--chaos SPEC]
                    [--loss P] [--reorder P] [--dup P] [--restart N]
       Render figures/tables (default: all). Names: fig1 fig2 fig3 fig4
       fig5 fig6 fig7 fig8 fig9 fig10 edu sec3.4 sec9 table1 table2
+      --scenario FILE interprets the given scenario measure file (TOML)
+      instead of the built-in COVID spring-2020 calibration; see
+      'lockdown scenarios' and scenarios/*.toml.
       --wire routes the full suite through the export -> faulty transport
       -> collect plane (zero faults keep output byte-identical) and prints
       the metrics snapshot to stderr. P are probabilities in [0,1); N is
@@ -99,17 +106,37 @@ USAGE:
       gc:      delete segment files neither the manifest nor the resume
                journal references; works on manifest-less (killed)
                archives. --dry-run lists orphans without deleting.
+  lockdown scenarios list [--dir DIR]
+      List the scenario measure files under DIR (default: scenarios/)
+      with name, regions, events and behavioural fingerprint.
+  lockdown scenarios show FILE
+      Parse and validate FILE, then print its normalized rendering
+      (the exact form 'parse -> render' round-trips).
+  lockdown scenarios --matrix FILE... [--fidelity test|standard|high]
+                     [--archive DIR] [--out DIR]
+      Sweep N scenario files through the full figure suite in ONE
+      engine pass: the shared cell set is enumerated once and each
+      cell is materialized per scenario lane — vs. running the suite N
+      times. Per-scenario output goes to OUT/NN-label.txt (--out) or
+      stdout under '=== scenario:' headers; the matrix summary and a
+      per-scenario diff report vs. the first file go to stderr. With
+      --archive DIR each lane replays from / spills to its own
+      subdirectory of DIR.
   lockdown collect [--fidelity test|standard|high] [--audit]
+                   [--scenario FILE]
                    [--loss P] [--reorder P] [--dup P] [--restart N]
                    [--chaos SPEC]
       Run the full suite in wire mode and print the Prometheus-style
       metrics snapshot of the collection plane to stdout. --audit appends
       the conservation report to stderr and fails on violations. --chaos
       supervises the pass as in figures (degraded runs exit 3).
+      --scenario swaps the calibration as in figures.
 
 EXIT CODES:
-  0  success      1  error      3  degraded (quarantined cells; figures
-                                   rendered from partial data)
+  0  success      1  error (incl. unknown flag/command or a scenario
+                            file that fails to parse or validate)
+                  3  degraded (quarantined cells; figures rendered from
+                               partial data)
   lockdown registry
       Print the synthetic AS registry summary.
   lockdown capture --vantage <VP> --date YYYY-MM-DD --out FILE
@@ -138,6 +165,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--restart",
     "--archive",
     "--chaos",
+    "--scenario",
+    "--dir",
+    "--out",
 ];
 
 /// Reject any `--flag` the subcommand does not define: a typo must fail
@@ -237,6 +267,23 @@ fn parse_vantage(s: &str) -> Result<VantagePoint, String> {
         .ok_or_else(|| format!("unknown vantage point: {s}"))
 }
 
+/// Load and validate one scenario measure file; errors carry the path
+/// and (for spec errors) the offending line.
+fn load_scenario(path: &str) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    ScenarioSpec::parse_toml(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The context described by `--fidelity` and (optionally) `--scenario`;
+/// without the latter, the built-in COVID spring-2020 calibration.
+fn parse_context(rest: &[String]) -> Result<Context, String> {
+    let fidelity = parse_fidelity(rest)?;
+    Ok(match flag(rest, "--scenario") {
+        None => Context::new(fidelity),
+        Some(path) => Context::with_scenario(fidelity, 0x10CD_2020, load_scenario(&path)?),
+    })
+}
+
 /// The supervisor/chaos configuration described by `--chaos SPEC`.
 fn parse_chaos(rest: &[String]) -> Result<Option<ChaosConfig>, String> {
     match flag(rest, "--chaos") {
@@ -273,10 +320,10 @@ fn cmd_figures(rest: &[String]) -> Result<ExitCode, String> {
             "--restart",
             "--archive",
             "--chaos",
+            "--scenario",
         ],
         &["--wire", "--audit"],
     )?;
-    let fidelity = parse_fidelity(rest)?;
     let faults = parse_faults(rest)?;
     let audit = rest.iter().any(|a| a == "--audit");
     let wire = if rest.iter().any(|a| a == "--wire") {
@@ -305,7 +352,7 @@ fn cmd_figures(rest: &[String]) -> Result<ExitCode, String> {
         return Err("--chaos applies to the full suite; drop the figure names".into());
     }
 
-    let ctx = Context::new(fidelity);
+    let ctx = parse_context(rest)?;
     if all {
         // The full suite goes through ONE engine pass: every overlapping
         // (stream, date, hour) cell is generated exactly once and fanned
@@ -404,14 +451,14 @@ fn cmd_collect(rest: &[String]) -> Result<ExitCode, String> {
             "--dup",
             "--restart",
             "--chaos",
+            "--scenario",
         ],
         &["--audit"],
     )?;
-    let fidelity = parse_fidelity(rest)?;
     let faults = parse_faults(rest)?;
     let audit = rest.iter().any(|a| a == "--audit");
     let chaos = parse_chaos(rest)?;
-    let ctx = Context::new(fidelity);
+    let ctx = parse_context(rest)?;
     let cfg = WireConfig::new().with_faults(faults).with_audit(audit);
     let suite = suite::run_all_opts(
         &ctx,
@@ -429,6 +476,121 @@ fn cmd_collect(rest: &[String]) -> Result<ExitCode, String> {
     print!("{}", metrics.render());
     check_audit(&suite)?;
     Ok(degraded_exit(&suite))
+}
+
+fn cmd_scenarios(rest: &[String]) -> Result<(), String> {
+    check_flags(
+        rest,
+        &["--fidelity", "--archive", "--dir", "--out"],
+        &["--matrix"],
+    )?;
+    if rest.iter().any(|a| a == "--matrix") {
+        return cmd_scenarios_matrix(rest);
+    }
+    let pos = positionals(rest);
+    match pos.split_first().map(|(a, files)| (a.as_str(), files)) {
+        Some(("list", [])) => {
+            let dir = flag(rest, "--dir").unwrap_or_else(|| "scenarios".to_string());
+            let mut files: Vec<_> = std::fs::read_dir(&dir)
+                .map_err(|e| format!("reading {dir}: {e}"))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+                .collect();
+            files.sort();
+            if files.is_empty() {
+                println!("no scenario files (*.toml) in {dir}");
+                return Ok(());
+            }
+            for path in files {
+                let shown = path.display().to_string();
+                match load_scenario(&shown) {
+                    Ok(spec) => println!(
+                        "{shown}\n  {} ({:#018x}): {} regions, {} events — {}",
+                        spec.name,
+                        spec.fingerprint(),
+                        spec.regions.len(),
+                        spec.events.len(),
+                        spec.description,
+                    ),
+                    Err(e) => println!("{shown}\n  INVALID: {e}"),
+                }
+            }
+            Ok(())
+        }
+        Some(("show", [file])) => {
+            let spec = load_scenario(file)?;
+            print!("{}", spec.to_toml());
+            eprintln!(
+                "scenario {}: fingerprint {:#018x}, {} regions, {} events",
+                spec.name,
+                spec.fingerprint(),
+                spec.regions.len(),
+                spec.events.len(),
+            );
+            Ok(())
+        }
+        _ => Err(format!(
+            "scenarios needs an action: list | show FILE | --matrix FILE...\n\n{USAGE}"
+        )),
+    }
+}
+
+/// `scenarios --matrix`: run N scenario files through one shared engine
+/// pass and emit per-scenario figure suites plus a diff report.
+fn cmd_scenarios_matrix(rest: &[String]) -> Result<(), String> {
+    let files = positionals(rest);
+    if files.is_empty() {
+        return Err("scenarios --matrix needs at least one scenario file".into());
+    }
+    let mut scenarios = Vec::with_capacity(files.len());
+    for file in &files {
+        let spec = load_scenario(file)?;
+        let label = Path::new(file.as_str())
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| spec.name.clone());
+        scenarios.push(MatrixScenario { label, spec });
+    }
+    let ctx = Context::new(parse_fidelity(rest)?);
+    let opts = MatrixOptions {
+        archive: flag(rest, "--archive").map(|d| Path::new(&d).to_path_buf()),
+        workers: 0,
+    };
+    let run = run_matrix(&ctx, scenarios, opts).map_err(|e| e.to_string())?;
+
+    // Per-scenario output: files under --out (each byte-identical to a
+    // plain single-scenario `figures` run of that spec), or stdout under
+    // scenario headers. Summaries and the diff report go to stderr.
+    match flag(rest, "--out") {
+        Some(out_dir) => {
+            std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+            for (i, sr) in run.runs.iter().enumerate() {
+                let path = Path::new(&out_dir).join(format!("{i:02}-{}.txt", sr.label));
+                let mut text = String::new();
+                for section in sr.suite.renders() {
+                    text.push_str(&section);
+                    text.push('\n');
+                }
+                std::fs::write(&path, text)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                eprintln!("wrote {} ({})", path.display(), sr.suite.stats.summary());
+            }
+        }
+        None => {
+            for sr in &run.runs {
+                println!("=== scenario: {} ({:#018x}) ===", sr.label, sr.fingerprint);
+                for section in sr.suite.renders() {
+                    println!("{section}");
+                }
+                eprintln!("{}: {}", sr.label, sr.suite.stats.summary());
+            }
+        }
+    }
+    eprintln!("{}", run.stats.summary());
+    if run.runs.len() > 1 {
+        eprint!("{}", run.diff_report());
+    }
+    Ok(())
 }
 
 fn cmd_store(rest: &[String]) -> Result<(), String> {

@@ -245,6 +245,126 @@ fn figures_rejects_bad_chaos_specs() {
 }
 
 #[test]
+fn scenarios_rejects_unknown_flags_with_usage() {
+    let out = bin()
+        .args(["scenarios", "list", "--frobnicate"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "unknown flag must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag: --frobnicate"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn scenarios_requires_an_action() {
+    let out = bin().arg("scenarios").output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("list | show FILE | --matrix"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn scenarios_list_and_show_shipped_files() {
+    let out = bin().args(["scenarios", "list"]).output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("covid-spring-2020"), "{text}");
+    assert!(text.contains("hypergiant-outage"), "{text}");
+    assert!(!text.contains("INVALID"), "shipped files must parse: {text}");
+
+    let out = bin()
+        .args(["scenarios", "show", "scenarios/covid-spring-2020.toml"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[scenario]"), "{text}");
+    assert!(text.contains("name = \"covid-spring-2020\""), "{text}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("fingerprint"),
+        "summary goes to stderr"
+    );
+}
+
+#[test]
+fn figures_rejects_bad_scenario_files() {
+    let out = bin()
+        .args([
+            "figures",
+            "--fidelity",
+            "test",
+            "--scenario",
+            "/nonexistent/nope.toml",
+            "table2",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nope.toml"));
+
+    // A malformed measure file must fail with the offending line named.
+    let dir = std::env::temp_dir().join(format!("lockdown-cli-scn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let bad = dir.join("bad.toml");
+    let text = std::fs::read_to_string("scenarios/covid-spring-2020.toml")
+        .expect("shipped file")
+        .replace("release = 0.55", "release = 7.0");
+    std::fs::write(&bad, text).expect("write");
+    let out = bin()
+        .args(["figures", "--fidelity", "test", "--scenario"])
+        .arg(&bad)
+        .arg("table2")
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line "), "error must name a line: {err}");
+    assert!(err.contains("outside [0, 1]"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scenarios_matrix_sweeps_in_one_pass() {
+    let dir = std::env::temp_dir().join(format!("lockdown-cli-matrix-{}", std::process::id()));
+    let out_dir = dir.join("out");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let out = bin()
+        .args([
+            "scenarios",
+            "--matrix",
+            "scenarios/covid-spring-2020.toml",
+            "scenarios/hypergiant-outage.toml",
+            "--fidelity",
+            "test",
+            "--out",
+        ])
+        .arg(&out_dir)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("matrix: 2 scenarios"), "{err}");
+    assert!(err.contains("cells generated once (shared pass)"), "{err}");
+    assert!(err.contains("sections differ"), "{err}");
+
+    let covid = std::fs::read(out_dir.join("00-covid-spring-2020.txt")).expect("lane 0 output");
+    let outage = std::fs::read(out_dir.join("01-hypergiant-outage.txt")).expect("lane 1 output");
+    assert!(!covid.is_empty());
+    assert_ne!(covid, outage, "per-scenario outputs must differ");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn store_gc_dry_run_previews_without_deleting() {
     let dir = std::env::temp_dir().join(format!("lockdown-cli-gc-{}", std::process::id()));
     let seg_dir = dir.join("segments");
