@@ -1,0 +1,95 @@
+//! Emit machine-readable columnar-store numbers as JSON (hand-formatted
+//! — no serialization dependency): the cold path (generate + encode +
+//! spill every suite cell) against the warm path (decode + replay the
+//! same cells from the manifest), each as wall-clock, bytes/sec and
+//! segments/sec. `scripts/verify.sh` writes the output to
+//! `BENCH_store.json` at the repo root.
+//!
+//! Usage: `cargo run --release -p lockdown-bench --bin store_json
+//! [--fidelity test|standard]` (prints to stdout).
+
+use lockdown_core::experiments::suite;
+use lockdown_core::{Context, Fidelity};
+use std::time::Instant;
+
+fn main() {
+    let fidelity = match std::env::args().nth(2).as_deref() {
+        Some("standard") => Fidelity::Standard,
+        _ => Fidelity::Test,
+    };
+    let fidelity_name = match fidelity {
+        Fidelity::Test => "test",
+        Fidelity::Standard => "standard",
+        Fidelity::High => "high",
+    };
+    let dir = std::env::temp_dir().join(format!("lockdown-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = || suite::SuiteOptions {
+        wire: None,
+        archive: Some(dir.clone()),
+        chaos: None,
+    };
+
+    // Warm-up pass without the archive (page-in and allocator effects
+    // should not land on the cold timing).
+    let _ = suite::run_all(&Context::new(fidelity));
+
+    // Cold: no covering manifest, so every cell is generated, encoded
+    // and spilled as a segment.
+    let t = Instant::now();
+    let ctx = Context::new(fidelity);
+    let cold = suite::run_all_opts(&ctx, opts()).expect("cold archived pass");
+    let cold_secs = t.elapsed().as_secs_f64();
+    let cold_store = cold.store_metrics.as_ref().expect("archived pass metrics");
+    let segments_written = cold_store.segments_written.get();
+    let bytes_written = cold_store.bytes_written.get();
+    let records_written = cold_store.records_written.get();
+
+    // Warm: the manifest now covers the plan, so the same pass decodes
+    // and replays — zero generation.
+    let t = Instant::now();
+    let warm = suite::run_all_opts(&ctx, opts()).expect("warm archived pass");
+    let warm_secs = t.elapsed().as_secs_f64();
+    let warm_store = warm.store_metrics.as_ref().expect("archived pass metrics");
+    let segments_read = warm_store.segments_read.get();
+    let bytes_read = warm_store.bytes_read.get();
+    let records_read = warm_store.records_read.get();
+    assert_eq!(
+        warm.stats.cells_generated, 0,
+        "warm pass must replay, not regenerate"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!("{{");
+    println!("  \"fidelity\": \"{fidelity_name}\",");
+    println!("  \"cold_spill_secs\": {cold_secs:.4},");
+    println!("  \"cold_segments_written\": {segments_written},");
+    println!("  \"cold_bytes_written\": {bytes_written},");
+    println!("  \"cold_records_written\": {records_written},");
+    println!(
+        "  \"cold_write_bytes_per_sec\": {:.0},",
+        bytes_written as f64 / cold_secs.max(1e-9)
+    );
+    println!(
+        "  \"cold_segments_per_sec\": {:.1},",
+        segments_written as f64 / cold_secs.max(1e-9)
+    );
+    println!("  \"warm_replay_secs\": {warm_secs:.4},");
+    println!("  \"warm_segments_read\": {segments_read},");
+    println!("  \"warm_bytes_read\": {bytes_read},");
+    println!("  \"warm_records_read\": {records_read},");
+    println!(
+        "  \"warm_read_bytes_per_sec\": {:.0},",
+        bytes_read as f64 / warm_secs.max(1e-9)
+    );
+    println!(
+        "  \"warm_segments_per_sec\": {:.1},",
+        segments_read as f64 / warm_secs.max(1e-9)
+    );
+    println!(
+        "  \"warm_speedup_vs_cold\": {:.3}",
+        cold_secs / warm_secs.max(1e-9)
+    );
+    println!("}}");
+}

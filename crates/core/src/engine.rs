@@ -672,7 +672,8 @@ pub fn run_with_workers(
         supervisor: supervisor_cfg,
         scope: _,
     } = plan;
-    let emitter = TraceEmitter::with_scenario(&ctx.registry, &ctx.corpus, ctx.config, &ctx.scenario);
+    let emitter =
+        TraceEmitter::with_scenario(&ctx.registry, &ctx.corpus, ctx.config, &ctx.scenario);
     // Wire mode: each cell's flows cross the export → transport → collect
     // plane before fan-out. The plane is per-cell seeded, so the delivered
     // batch is the same whichever worker processes the cell.

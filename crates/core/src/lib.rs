@@ -13,6 +13,7 @@ pub mod engine;
 pub mod experiments;
 pub mod matrix;
 pub mod report;
+pub mod serve;
 pub mod supervisor;
 
 pub use context::{Context, Fidelity};

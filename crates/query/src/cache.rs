@@ -1,0 +1,189 @@
+//! Byte-budgeted LRU of decoded segments.
+//!
+//! Decoding a segment (varint columns → `Vec<FlowRecord>`) dominates
+//! query cost once pushdown has pruned the rest; dashboards re-ask the
+//! same windows constantly. The cache holds decoded batches behind
+//! `Arc` (readers share, eviction never invalidates an in-flight
+//! reference) under a byte budget charged at `records ×
+//! size_of::<FlowRecord>()`. Recency is a monotone tick per entry —
+//! eviction removes the smallest tick until the budget holds.
+
+use crate::metrics::QueryMetrics;
+use lockdown_flow::record::FlowRecord;
+use lockdown_traffic::plan::Cell;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+struct Entry {
+    records: Arc<Vec<FlowRecord>>,
+    bytes: u64,
+    tick: u64,
+}
+
+struct Inner {
+    map: HashMap<Cell, Entry>,
+    used: u64,
+    tick: u64,
+}
+
+/// A shared LRU of decoded segments under a byte budget.
+pub struct SegmentCache {
+    inner: Mutex<Inner>,
+    budget: u64,
+    metrics: Arc<QueryMetrics>,
+}
+
+/// Cost of one cached record.
+fn record_cost() -> u64 {
+    std::mem::size_of::<FlowRecord>() as u64
+}
+
+impl SegmentCache {
+    /// A cache holding at most `budget_bytes` of decoded records.
+    pub fn new(budget_bytes: u64, metrics: Arc<QueryMetrics>) -> SegmentCache {
+        SegmentCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                used: 0,
+                tick: 0,
+            }),
+            budget: budget_bytes,
+            metrics,
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Look one cell up, refreshing its recency. Counts a hit or miss.
+    pub fn get(&self, cell: Cell) -> Option<Arc<Vec<FlowRecord>>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&cell) {
+            Some(e) => {
+                e.tick = tick;
+                self.metrics.cache_hits.inc();
+                Some(Arc::clone(&e.records))
+            }
+            None => {
+                self.metrics.cache_misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Whether one cell is currently cached, without touching recency or
+    /// the hit/miss counters (used for pruning decisions, not reads).
+    pub fn contains(&self, cell: Cell) -> bool {
+        self.inner
+            .lock()
+            .expect("cache lock")
+            .map
+            .contains_key(&cell)
+    }
+
+    /// Insert one decoded cell, evicting least-recently-used entries
+    /// until the budget holds. A batch larger than the whole budget is
+    /// still served (the `Arc` is returned) but not retained.
+    pub fn insert(&self, cell: Cell, records: Arc<Vec<FlowRecord>>) {
+        let bytes = records.len() as u64 * record_cost();
+        let mut inner = self.inner.lock().expect("cache lock");
+        if bytes > self.budget {
+            return;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(
+            cell,
+            Entry {
+                records,
+                bytes,
+                tick,
+            },
+        ) {
+            inner.used -= old.bytes;
+        }
+        inner.used += bytes;
+        while inner.used > self.budget {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(&c, _)| c)
+                .expect("over budget implies non-empty");
+            let evicted = inner.map.remove(&oldest).expect("just found");
+            inner.used -= evicted.bytes;
+            self.metrics.cache_evictions.inc();
+        }
+        self.metrics.cache_bytes.set(inner.used);
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockdown_flow::record::FlowKey;
+    use lockdown_flow::time::Date;
+    use lockdown_topology::vantage::VantagePoint;
+    use lockdown_traffic::plan::Stream;
+    use std::net::Ipv4Addr;
+
+    fn cell(hour: u8) -> Cell {
+        Cell {
+            stream: Stream::Vantage(VantagePoint::IspCe),
+            date: Date::new(2020, 3, 25),
+            hour,
+        }
+    }
+
+    fn batch(n: usize) -> Arc<Vec<FlowRecord>> {
+        let key = FlowKey {
+            src_addr: Ipv4Addr::new(10, 0, 0, 1),
+            dst_addr: Ipv4Addr::new(10, 0, 0, 2),
+            src_port: 1,
+            dst_port: 2,
+            protocol: lockdown_flow::protocol::IpProtocol::Udp,
+        };
+        Arc::new(vec![
+            FlowRecord::builder(
+                key,
+                Date::new(2020, 3, 25).midnight()
+            )
+            .build();
+            n
+        ])
+    }
+
+    #[test]
+    fn lru_evicts_oldest_under_byte_budget() {
+        let metrics = QueryMetrics::new();
+        // Budget: exactly two 10-record batches.
+        let cache = SegmentCache::new(20 * record_cost(), Arc::clone(&metrics));
+        cache.insert(cell(0), batch(10));
+        cache.insert(cell(1), batch(10));
+        assert!(cache.get(cell(0)).is_some()); // refresh 0 → 1 is LRU
+        cache.insert(cell(2), batch(10));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(cell(1)).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(cell(0)).is_some());
+        assert!(cache.get(cell(2)).is_some());
+        assert_eq!(metrics.cache_evictions.get(), 1);
+        assert_eq!(metrics.cache_bytes.get(), 20 * record_cost());
+        // Oversized batches are never retained.
+        cache.insert(cell(3), batch(100));
+        assert!(cache.get(cell(3)).is_none());
+    }
+}

@@ -1,0 +1,446 @@
+//! A small hand-rolled HTTP/1.1 server over `std::net::TcpListener`.
+//!
+//! Scope: exactly what the query plane needs. GET only, keep-alive
+//! connections, `Content-Length` on every response, a bounded number of
+//! concurrent connections (one small-stack thread each — beyond the
+//! bound, new connections get an immediate 503), and graceful shutdown:
+//! [`Server::shutdown`] stops accepting, lets in-flight requests finish,
+//! and joins the accept loop. A malformed request gets a 400 and a
+//! closed connection; a panicking handler gets a 500 — the server
+//! thread survives both.
+
+use crate::metrics::QueryMetrics;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One parsed GET request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (only `GET` reaches a handler).
+    pub method: String,
+    /// Percent-decoded path, e.g. `/figures/fig9:ISP-CE`.
+    pub path: String,
+    /// Percent-decoded query pairs in order of appearance.
+    pub query: Vec<(String, String)>,
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response (the `/metrics` exposition format).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error":"..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            format!("{{\"error\":\"{}\"}}", crate::json::escape(message)),
+        )
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// The request handler: shared across connection threads.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// Percent-decode one URL component (`%XX` and `+` → space).
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hex = std::str::from_utf8(hex).ok()?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Parse the request line + headers of one HTTP/1.x request. Returns the
+/// request and whether the client asked to close the connection.
+fn parse_request(head: &str) -> Option<(Request, bool)> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    if !raw_path.starts_with('/') {
+        return None;
+    }
+    let path = percent_decode(raw_path)?;
+    let mut query = Vec::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+    let mut close = version == "HTTP/1.0";
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("connection") {
+                close = value.trim().eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    Some((
+        Request {
+            method,
+            path,
+            query,
+        },
+        close,
+    ))
+}
+
+const MAX_HEAD: usize = 8 * 1024;
+const POLL: Duration = Duration::from_millis(100);
+
+fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        resp.status,
+        status_reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// Serve one connection until EOF, a protocol error, `Connection:
+/// close`, or shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    handler: &Handler,
+    metrics: &QueryMetrics,
+    stop: &AtomicBool,
+) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Accumulate until a full header block (or give up).
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&buf) {
+                break pos;
+            }
+            if buf.len() > MAX_HEAD {
+                let _ = write_response(
+                    &mut stream,
+                    &Response::error(431, "headers too large"),
+                    true,
+                );
+                return;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return, // client closed between requests
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Idle poll tick: drain, but never strand a client
+                    // mid-request — only close when no bytes are pending.
+                    if stop.load(Ordering::Relaxed) && buf.is_empty() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        };
+        let head = match std::str::from_utf8(&buf[..head_end]) {
+            Ok(h) => h,
+            Err(_) => {
+                let _ = write_response(
+                    &mut stream,
+                    &Response::error(400, "malformed request"),
+                    true,
+                );
+                return;
+            }
+        };
+        metrics.requests.inc();
+        let started = Instant::now();
+        let (resp, close) = match parse_request(head) {
+            None => (Response::error(400, "malformed request"), true),
+            Some((req, _)) if req.method != "GET" => {
+                // A non-GET may carry a body this server never reads;
+                // closing keeps the stream from desyncing.
+                (Response::error(405, "only GET is served"), true)
+            }
+            Some((req, client_close)) => {
+                let resp = catch_unwind(AssertUnwindSafe(|| handler(&req)))
+                    .unwrap_or_else(|_| Response::error(500, "handler panicked"));
+                (resp, client_close)
+            }
+        };
+        let close = close || stop.load(Ordering::Relaxed);
+        metrics.observe_status(resp.status);
+        metrics.observe_latency_us(started.elapsed().as_micros() as u64);
+        if write_response(&mut stream, &resp, close).is_err() || close {
+            return;
+        }
+        // GET has no body: anything past the head is the next request.
+        buf.drain(..head_end + 4);
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A running server: accept loop plus per-connection threads.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start serving `listener` with at most `max_connections` concurrent
+    /// connections (the bound on the thread pool — connections beyond it
+    /// are answered 503 and closed without dispatch).
+    pub fn start(
+        listener: TcpListener,
+        max_connections: usize,
+        metrics: Arc<QueryMetrics>,
+        handler: Handler,
+    ) -> std::io::Result<Server> {
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept_stop = Arc::clone(&stop);
+        let accept_active = Arc::clone(&active);
+        let accept_thread = std::thread::Builder::new()
+            .name("query-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let mut stream = match conn {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    if accept_active.load(Ordering::Relaxed) >= max_connections {
+                        metrics.requests.inc();
+                        metrics.observe_status(503);
+                        let _ = write_response(
+                            &mut stream,
+                            &Response::error(503, "connection limit reached"),
+                            true,
+                        );
+                        continue;
+                    }
+                    accept_active.fetch_add(1, Ordering::Relaxed);
+                    let handler = Arc::clone(&handler);
+                    let metrics = Arc::clone(&metrics);
+                    let stop = Arc::clone(&accept_stop);
+                    let active = Arc::clone(&accept_active);
+                    let spawned = std::thread::Builder::new()
+                        .name("query-conn".into())
+                        .stack_size(512 * 1024)
+                        .spawn(move || {
+                            serve_connection(stream, &handler, &metrics, &stop);
+                            active.fetch_sub(1, Ordering::Relaxed);
+                        });
+                    if spawned.is_err() {
+                        accept_active.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            })?;
+        Ok(Server {
+            addr,
+            stop,
+            active,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with `--addr host:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish
+    /// (bounded by `drain` — idle keep-alive connections notice the stop
+    /// flag within one poll tick), and join the accept loop.
+    pub fn shutdown(mut self, drain: Duration) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let deadline = Instant::now() + drain;
+        while self.active.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_lines_and_queries() {
+        let (req, close) =
+            parse_request("GET /query?from=10&vantage=isp%2Dce&x=a+b HTTP/1.1\r\nHost: h\r\n")
+                .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/query");
+        assert_eq!(
+            req.query,
+            vec![
+                ("from".into(), "10".into()),
+                ("vantage".into(), "isp-ce".into()),
+                ("x".into(), "a b".into()),
+            ]
+        );
+        assert!(!close);
+        let (_, close) = parse_request("GET / HTTP/1.1\r\nConnection: close\r\n").unwrap();
+        assert!(close);
+        assert!(parse_request("FLY / TO/1.1\r\n").is_none());
+        assert!(parse_request("GET no-slash HTTP/1.1\r\n").is_none());
+    }
+
+    #[test]
+    fn server_smoke_keep_alive_and_shutdown() {
+        let metrics = QueryMetrics::new();
+        let handler: Handler = Arc::new(|req: &Request| {
+            if req.path == "/boom" {
+                panic!("handler exploded");
+            }
+            Response::json(200, format!("{{\"path\":\"{}\"}}", req.path))
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = Server::start(listener, 4, Arc::clone(&metrics), handler).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+
+        // Two requests on one connection (keep-alive).
+        for path in ["/a", "/b"] {
+            s.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                .unwrap();
+            let resp = read_response(&mut s);
+            assert!(resp.contains("200 OK"), "{resp}");
+            assert!(resp.contains(&format!("{{\"path\":\"{path}\"}}")));
+        }
+
+        // A panicking handler answers 500 and the server survives.
+        s.write_all(b"GET /boom HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        assert!(read_response(&mut s).contains("500"));
+        s.write_all(b"GET /after HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        assert!(read_response(&mut s).contains("200 OK"));
+
+        // Malformed request: 400, connection closed.
+        let mut bad = TcpStream::connect(server.addr()).unwrap();
+        bad.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        assert!(read_response(&mut bad).contains("400"));
+
+        assert_eq!(metrics.requests.get(), 5);
+        assert_eq!(metrics.responses_5xx.get(), 1);
+        server.shutdown(Duration::from_secs(2));
+    }
+
+    fn read_response(s: &mut TcpStream) -> String {
+        // Responses always carry Content-Length; read head, then body.
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        let head_end = loop {
+            if let Some(p) = find_head_end(&buf) {
+                break p;
+            }
+            let n = s.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed mid-response");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        while buf.len() < head_end + 4 + len {
+            let n = s.read(&mut chunk).unwrap();
+            assert!(n > 0);
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        String::from_utf8_lossy(&buf[..head_end + 4 + len]).to_string()
+    }
+}

@@ -427,11 +427,7 @@ impl ScenarioSpec {
             return spec_err(0, "organic-weekly-growth must be a positive number");
         }
         for region in Region::ALL {
-            let n = self
-                .regions
-                .iter()
-                .filter(|m| m.region == region)
-                .count();
+            let n = self.regions.iter().filter(|m| m.region == region).count();
             if n != 1 {
                 return spec_err(
                     0,
@@ -498,7 +494,11 @@ impl ScenarioSpec {
         let _ = writeln!(out, "name = {}", toml::quote(&self.name));
         let _ = writeln!(out, "description = {}", toml::quote(&self.description));
         let _ = writeln!(out, "\n[baseline]");
-        let _ = writeln!(out, "organic-anchor = {}", self.baseline.organic_anchor.iso());
+        let _ = writeln!(
+            out,
+            "organic-anchor = {}",
+            self.baseline.organic_anchor.iso()
+        );
         let _ = writeln!(
             out,
             "organic-weekly-growth = {}",
@@ -533,7 +533,11 @@ impl ScenarioSpec {
             let _ = writeln!(out, "reversion-days = {}", f(m.reversion_days));
         }
         let _ = writeln!(out, "\n[edu]");
-        let _ = writeln!(out, "region = {}", toml::quote(region_name(self.edu.region)));
+        let _ = writeln!(
+            out,
+            "region = {}",
+            toml::quote(region_name(self.edu.region))
+        );
         let _ = writeln!(out, "closure = {}", self.edu.closure.iso());
         let _ = writeln!(
             out,
@@ -561,13 +565,19 @@ impl ScenarioSpec {
             }
             let _ = writeln!(out, "factor = {}", toml::render_float(e.factor));
             if !e.classes.is_empty() {
-                let names: Vec<String> =
-                    e.classes.iter().map(|c| toml::quote(class_name(*c))).collect();
+                let names: Vec<String> = e
+                    .classes
+                    .iter()
+                    .map(|c| toml::quote(class_name(*c)))
+                    .collect();
                 let _ = writeln!(out, "classes = [{}]", names.join(", "));
             }
             if !e.regions.is_empty() {
-                let names: Vec<String> =
-                    e.regions.iter().map(|r| toml::quote(region_name(*r))).collect();
+                let names: Vec<String> = e
+                    .regions
+                    .iter()
+                    .map(|r| toml::quote(region_name(*r)))
+                    .collect();
                 let _ = writeln!(out, "regions = [{}]", names.join(", "));
             }
             if !e.kinds.is_empty() {
@@ -628,10 +638,7 @@ impl ScenarioSpec {
                     let rn = req_str(t, "name")?;
                     let region = parse_region(&rn, entry_line(t, "name"))?;
                     if regions.iter().any(|r| r.region == region) {
-                        return spec_err(
-                            t.line,
-                            format!("region {rn:?} defined twice"),
-                        );
+                        return spec_err(t.line, format!("region {rn:?} defined twice"));
                     }
                     reject_unknown(t, &["name"])?;
                     regions.push(RegionBuilder::new(region, t.line));
@@ -669,10 +676,7 @@ impl ScenarioSpec {
                     events.push(parse_event(t)?);
                 }
                 _ => {
-                    return spec_err(
-                        t.line,
-                        format!("unknown table: [{}]", t.path.join(".")),
-                    );
+                    return spec_err(t.line, format!("unknown table: [{}]", t.path.join(".")));
                 }
             }
         }
@@ -913,7 +917,10 @@ fn req_str(t: &Table, key: &str) -> Result<String, SpecError> {
     let e = req(t, key)?;
     match &e.value {
         Value::Str(s) => Ok(s.clone()),
-        v => spec_err(e.line, format!("{key} must be a string, got {}", v.type_name())),
+        v => spec_err(
+            e.line,
+            format!("{key} must be a string, got {}", v.type_name()),
+        ),
     }
 }
 
@@ -922,7 +929,10 @@ fn opt_str(t: &Table, key: &str) -> Result<Option<String>, SpecError> {
         None => Ok(None),
         Some(e) => match &e.value {
             Value::Str(s) => Ok(Some(s.clone())),
-            v => spec_err(e.line, format!("{key} must be a string, got {}", v.type_name())),
+            v => spec_err(
+                e.line,
+                format!("{key} must be a string, got {}", v.type_name()),
+            ),
         },
     }
 }
@@ -956,7 +966,10 @@ fn req_float(t: &Table, key: &str) -> Result<f64, SpecError> {
     match e.value {
         Value::Float(f) => Ok(f),
         Value::Int(i) => Ok(i as f64),
-        ref v => spec_err(e.line, format!("{key} must be a number, got {}", v.type_name())),
+        ref v => spec_err(
+            e.line,
+            format!("{key} must be a number, got {}", v.type_name()),
+        ),
     }
 }
 
@@ -976,9 +989,7 @@ fn str_array(t: &Table, key: &str) -> Result<Vec<(String, usize)>, SpecError> {
     match t.get(key) {
         None => Ok(Vec::new()),
         Some(e) => match &e.value {
-            Value::StrArray(items) => {
-                Ok(items.iter().map(|s| (s.clone(), e.line)).collect())
-            }
+            Value::StrArray(items) => Ok(items.iter().map(|s| (s.clone(), e.line)).collect()),
             v => spec_err(
                 e.line,
                 format!("{key} must be an array of strings, got {}", v.type_name()),
@@ -1092,8 +1103,7 @@ impl RegionBuilder {
             "awareness" => {
                 dup(self.awareness.is_some())?;
                 reject_unknown(t, &["kind", "date", "gain"])?;
-                self.awareness =
-                    Some((req_date(t, "date")?, req_fraction(t, "gain")?, date_line));
+                self.awareness = Some((req_date(t, "date")?, req_fraction(t, "gain")?, date_line));
             }
             "restrictions" => {
                 dup(self.restrictions.is_some())?;
@@ -1223,15 +1233,27 @@ mod tests {
         };
         // Pre-adoption conferencing: EU ISP only, before Mar 9.
         assert_eq!(
-            factor(VantagePoint::IspCe, AppClass::WebConf, Date::new(2020, 2, 1)),
+            factor(
+                VantagePoint::IspCe,
+                AppClass::WebConf,
+                Date::new(2020, 2, 1)
+            ),
             0.55
         );
         assert_eq!(
-            factor(VantagePoint::IxpCe, AppClass::WebConf, Date::new(2020, 2, 1)),
+            factor(
+                VantagePoint::IxpCe,
+                AppClass::WebConf,
+                Date::new(2020, 2, 1)
+            ),
             1.0
         );
         assert_eq!(
-            factor(VantagePoint::IspCe, AppClass::WebConf, Date::new(2020, 3, 9)),
+            factor(
+                VantagePoint::IspCe,
+                AppClass::WebConf,
+                Date::new(2020, 3, 9)
+            ),
             1.0
         );
         // Resolution reduction: EU VoD/QUIC, Mar 19 .. May 12.
@@ -1249,15 +1271,27 @@ mod tests {
         );
         // Gaming outage: IXP-SE, Mar 16–17 only.
         assert_eq!(
-            factor(VantagePoint::IxpSe, AppClass::Gaming, Date::new(2020, 3, 17)),
+            factor(
+                VantagePoint::IxpSe,
+                AppClass::Gaming,
+                Date::new(2020, 3, 17)
+            ),
             0.15
         );
         assert_eq!(
-            factor(VantagePoint::IxpSe, AppClass::Gaming, Date::new(2020, 3, 18)),
+            factor(
+                VantagePoint::IxpSe,
+                AppClass::Gaming,
+                Date::new(2020, 3, 18)
+            ),
             1.0
         );
         assert_eq!(
-            factor(VantagePoint::IxpCe, AppClass::Gaming, Date::new(2020, 3, 16)),
+            factor(
+                VantagePoint::IxpCe,
+                AppClass::Gaming,
+                Date::new(2020, 3, 16)
+            ),
             1.0
         );
     }
@@ -1297,11 +1331,7 @@ mod tests {
             "{}",
             err.message
         );
-        let offending = text
-            .lines()
-            .position(|l| l == "date = 2020-01-02")
-            .unwrap()
-            + 1;
+        let offending = text.lines().position(|l| l == "date = 2020-01-02").unwrap() + 1;
         assert_eq!(err.line, offending, "{err}");
     }
 

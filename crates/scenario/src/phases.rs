@@ -160,7 +160,8 @@ impl RegionTimeline {
                 // Decay from 1.0 toward the floor: much of the behaviour
                 // change persists within the study window.
                 let done = self.relaxation.days_until(date) as f64;
-                (1.0 - c.reopening_release * (done / c.reopening_days)).clamp(c.reopening_floor, 1.0)
+                (1.0 - c.reopening_release * (done / c.reopening_days))
+                    .clamp(c.reopening_floor, 1.0)
             }
         }
     }

@@ -284,7 +284,10 @@ pub fn parse(text: &str) -> Result<Document, ParseError> {
             });
             continue;
         }
-        if let Some(body) = line.strip_prefix('[').and_then(|rest| rest.strip_suffix(']')) {
+        if let Some(body) = line
+            .strip_prefix('[')
+            .and_then(|rest| rest.strip_suffix(']'))
+        {
             if let Some(t) = current.take() {
                 doc.tables.push(t);
             }
@@ -443,7 +446,10 @@ classes = []
     fn date_like_strings_must_be_valid() {
         assert!(parse("x = 2020-02-30").is_err());
         assert!(matches!(
-            parse("x = 2020-02-29").unwrap().tables[0].get("x").unwrap().value,
+            parse("x = 2020-02-29").unwrap().tables[0]
+                .get("x")
+                .unwrap()
+                .value,
             Value::Date(_)
         ));
     }

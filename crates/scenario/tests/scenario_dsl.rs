@@ -38,21 +38,30 @@ fn shipped_outage_file_is_a_distinct_valid_scenario() {
         builtin.fingerprint(),
         "the counterfactual must be behaviourally distinct"
     );
-    assert!(outage.events.iter().any(|e| e.name == "hypergiant-cdn-outage"));
+    assert!(outage
+        .events
+        .iter()
+        .any(|e| e.name == "hypergiant-cdn-outage"));
 }
 
 /// The builtin, rendered, with one line rewritten — for malformed-input
 /// probes that stay valid TOML.
 fn rendered_with(from: &str, to: &str) -> String {
     let base = ScenarioSpec::covid_spring_2020().to_toml();
-    assert!(base.contains(from), "probe anchor {from:?} not in rendering");
+    assert!(
+        base.contains(from),
+        "probe anchor {from:?} not in rendering"
+    );
     base.replacen(from, to, 1)
 }
 
 #[test]
 fn overlapping_measure_dates_are_rejected_with_a_line() {
     // Move central-europe's stay-at-home before its restrictions date.
-    let text = rendered_with("date = 2020-03-16\nfrom = 0.4", "date = 2020-03-01\nfrom = 0.4");
+    let text = rendered_with(
+        "date = 2020-03-16\nfrom = 0.4",
+        "date = 2020-03-01\nfrom = 0.4",
+    );
     let err = ScenarioSpec::parse_toml(&text).expect_err("out-of-order measures must not parse");
     assert!(
         err.message.contains("overlapping measure dates"),

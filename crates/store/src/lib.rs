@@ -27,8 +27,8 @@ pub use archive::{
     SegmentMeta, SpillFault, StoreKey, VerifyReport, JOURNAL_NAME, MANIFEST_NAME, SEGMENTS_DIR,
 };
 pub use metrics::StoreMetrics;
-pub use scan::{OwnedSegmentScan, SegmentScan};
-pub use segment::{SegmentFooter, ZoneMap};
+pub use scan::{OwnedSegmentScan, SegmentScan, TimeRange};
+pub use segment::{Column, SegmentFooter, ZoneMap};
 
 use std::fmt;
 

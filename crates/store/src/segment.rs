@@ -90,6 +90,15 @@ pub struct ZoneMap {
     pub max: u64,
 }
 
+impl ZoneMap {
+    /// Whether a point predicate `v` can match inside this zone. The
+    /// bounds are inclusive on both ends: a single-value column has
+    /// `min == max` and still admits exactly that value.
+    pub fn admits(&self, v: u64) -> bool {
+        self.min <= v && v <= self.max
+    }
+}
+
 /// The decoded footer: counts and zone maps.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentFooter {
@@ -101,6 +110,13 @@ pub struct SegmentFooter {
     pub max_end: u64,
     /// Per-column value ranges.
     pub zones: Vec<ZoneMap>,
+}
+
+impl SegmentFooter {
+    /// The zone map recorded for one column, if that column is zoned.
+    pub fn zone(&self, col: Column) -> Option<&ZoneMap> {
+        self.zones.iter().find(|z| z.col == col as u8)
+    }
 }
 
 /// Which columns get a zone map beyond the dedicated time range: the ones

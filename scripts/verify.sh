@@ -30,7 +30,7 @@ if [[ $quick -eq 0 ]]; then
     echo "==> wire-mode zero-fault equality (audited)"
     plain=$(mktemp)
     wired=$(mktemp)
-    trap 'rm -f "$plain" "$wired" "${cold:-}" "${warm:-}"; rm -rf "${arch:-}"' EXIT
+    trap 'kill "${serve_pid:-}" 2>/dev/null || true; rm -f "$plain" "$wired" "${cold:-}" "${warm:-}" "${qctl:-}"; rm -rf "${arch:-}"' EXIT
     ./target/release/lockdown figures --fidelity test > "$plain"
     # --audit makes a conservation violation a hard failure (non-zero exit)
     # on top of the byte-identity diff; the report lands in the artifact.
@@ -69,6 +69,47 @@ if [[ $quick -eq 0 ]]; then
     diff -u "$plain" "$scen"
     rm -f "$scen"
 
+    echo "==> query plane: serve + 1000-client loadgen gate (BENCH_query.json)"
+    mkdir -p target/query
+    cp "$plain" target/query/expected.txt
+    qctl=$(mktemp -u)
+    mkfifo "$qctl"
+    # The FIFO keeps serve's stdin open; closing fd 9 is the shutdown
+    # signal (stdin EOF), so a clean exit 0 proves graceful shutdown.
+    ./target/release/lockdown serve --fidelity test --archive "$arch" \
+        --addr 127.0.0.1:0 < "$qctl" > target/query/serve-stdout.txt \
+        2> target/query/serve-stderr.txt &
+    serve_pid=$!
+    exec 9> "$qctl"
+    for _ in $(seq 1 100); do
+        grep -q "serving on" target/query/serve-stdout.txt 2> /dev/null && break
+        sleep 0.1
+    done
+    qaddr=$(grep -m1 -oE "[0-9.]+:[0-9]+" target/query/serve-stdout.txt)
+    # --expect gates on byte-identity: every served figure must reassemble
+    # to the engine's own stdout, or loadgen exits 4 and set -e fails us.
+    ./target/release/lockdown loadgen --target "$qaddr" --clients 1000 \
+        --duration 2 --expect target/query/expected.txt > BENCH_query.json
+    cat BENCH_query.json
+    # Latency ceiling: p99 over 5s (release, test fidelity runs ~100x
+    # lower) means something is badly wrong, not merely slow CI.
+    p99=$(grep -oE '"p99_us": [0-9]+' BENCH_query.json | grep -oE "[0-9]+$")
+    [[ "$p99" -lt 5000000 ]] || {
+        echo "loadgen p99 ${p99}us over the 5s ceiling" >&2
+        exit 1
+    }
+    exec 9>&-
+    wait "$serve_pid"
+    serve_pid=
+    rm -f "$qctl"
+    # Pushdown must be observable in the served metrics snapshot.
+    pruned=$(grep -m1 -E "^query_segments_pruned_total" \
+        target/query/serve-stderr.txt | grep -oE "[0-9]+$")
+    [[ "$pruned" -gt 0 ]] || {
+        echo "query plane served without pruning any segment" >&2
+        exit 1
+    }
+
     echo "==> 2-scenario matrix: one shared generation pass"
     mkdir -p target/matrix
     ./target/release/lockdown scenarios --matrix \
@@ -93,6 +134,10 @@ if [[ $quick -eq 0 ]]; then
     echo "==> engine bench numbers (BENCH_engine.json)"
     cargo run --release -q -p lockdown-bench --bin engine_json > BENCH_engine.json
     cat BENCH_engine.json
+
+    echo "==> store bench numbers (BENCH_store.json)"
+    cargo run --release -q -p lockdown-bench --bin store_json > BENCH_store.json
+    cat BENCH_store.json
 
     echo "==> chaos smoke: zero-chaos supervision is byte-identical"
     mkdir -p target/chaos

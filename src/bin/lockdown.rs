@@ -7,6 +7,9 @@
 //! lockdown registry
 //! lockdown capture --vantage IXP-CE --date 2020-03-25 --out day.lkdn [--format ipfix|v9|v5] [--sample N]
 //! lockdown analyze --trace day.lkdn
+//! lockdown serve --archive DIR [--addr HOST:PORT] [--connections N] [--cache-mb MB]
+//! lockdown query --archive DIR [--from T] [--to T] [--vantage VP] [--class C] [--as N] [--port P] [--direction D]
+//! lockdown loadgen --target URL [--clients N] [--duration S] [--seed N] [--expect FILE]
 //! lockdown vpn-scan
 //! lockdown help
 //! ```
@@ -21,20 +24,35 @@ use lockdown::core::experiments::{
     fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, suite,
     tables,
 };
+use lockdown::core::serve::suite_plan_hash;
 use lockdown::core::{run_matrix, Context, Fidelity, MatrixOptions, MatrixScenario};
 use lockdown::dns::vpn::identify_vpn_ips;
-use lockdown::scenario::measures::ScenarioSpec;
 use lockdown::flow::prelude::*;
+use lockdown::query::{loadgen, LoadConfig, QueryEngine, QueryPlan, Server};
+use lockdown::scenario::measures::ScenarioSpec;
 use lockdown::store::{gc_dir, ArchiveReader, StoreMetrics};
 use lockdown::topology::vantage::VantagePoint;
 use lockdown_flow::time::Date;
 use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Documented exit code for a serve startup that could not bind its
+/// address (already in use, bad host): distinguishable from archive or
+/// flag errors so process managers can tell "port conflict" apart.
+const EXIT_BIND: u8 = 2;
 
 /// Documented exit code for a degraded (quarantined-cells) suite pass:
 /// the run completed and rendered every figure, but from partial data.
 const EXIT_DEGRADED: u8 = 3;
+
+/// Documented exit code for a load-generator verification failure: the
+/// server answered, but at least one served figure was not byte-identical
+/// to the expected engine output.
+const EXIT_MISMATCH: u8 = 4;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +69,9 @@ fn main() -> ExitCode {
         "registry" => cmd_registry().map(|()| ExitCode::SUCCESS),
         "capture" => cmd_capture(rest).map(|()| ExitCode::SUCCESS),
         "analyze" => cmd_analyze(rest).map(|()| ExitCode::SUCCESS),
+        "serve" => cmd_serve(rest),
+        "query" => cmd_query(rest).map(|()| ExitCode::SUCCESS),
+        "loadgen" => cmd_loadgen(rest),
         "vpn-scan" => cmd_vpn_scan().map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -132,11 +153,43 @@ USAGE:
       supervises the pass as in figures (degraded runs exit 3).
       --scenario swaps the calibration as in figures.
 
+  lockdown serve --archive DIR [--addr HOST:PORT] [--connections N]
+                 [--cache-mb MB] [--fidelity F] [--scenario FILE]
+      Serve the archive over HTTP/1.1: GET /figures (catalog),
+      /figures/<name> (one figure, byte-identical to the suite's
+      stdout section), /query?key=value&... (predicate-pushdown scan),
+      /metrics (query_* + store_* Prometheus families). --addr defaults
+      to 127.0.0.1:0; the bound address is the first stdout line
+      ('serving on HOST:PORT'). The server runs until stdin reaches
+      EOF, then drains in-flight requests and exits 0. --fidelity and
+      --scenario must describe the context the archive was built under
+      (checked against the manifest key at startup). --connections
+      bounds concurrent connections (default 2048, excess answered
+      503); --cache-mb budgets the decoded-segment cache (default 256).
+  lockdown query --archive DIR [--from T] [--to T] [--vantage VP]
+                 [--class C] [--as N] [--port P] [--direction D]
+                 [--cache-mb MB]
+      Run one predicate-pushdown query locally (no server) and print
+      the JSON result. T is unix seconds or YYYY-MM-DD; VP is a
+      vantage label, 'isp-transit' or 'edu-directional'; C is one of
+      webconf vod gaming social messaging email educational collab
+      cdn; D is ingress|egress|unknown.
+  lockdown loadgen --target HOST:PORT [--clients N] [--duration S]
+                   [--seed N] [--expect FILE]
+      Drive concurrent keep-alive clients (default 1000) at a running
+      serve instance with a seeded query mix for S seconds (default 5)
+      and print a JSON report (rps, p50/p99/p999 latency). --expect
+      FILE additionally fetches every served figure first and
+      byte-compares the reassembled catalog against FILE (the suite
+      stdout); any mismatch exits 4.
+
 EXIT CODES:
   0  success      1  error (incl. unknown flag/command or a scenario
                             file that fails to parse or validate)
+                  2  serve could not bind its address
                   3  degraded (quarantined cells; figures rendered from
                                partial data)
+                  4  loadgen served-vs-expected figure mismatch
   lockdown registry
       Print the synthetic AS registry summary.
   lockdown capture --vantage <VP> --date YYYY-MM-DD --out FILE
@@ -168,6 +221,21 @@ const VALUE_FLAGS: &[&str] = &[
     "--scenario",
     "--dir",
     "--out",
+    "--addr",
+    "--connections",
+    "--cache-mb",
+    "--from",
+    "--to",
+    "--vantage",
+    "--class",
+    "--as",
+    "--port",
+    "--direction",
+    "--target",
+    "--clients",
+    "--duration",
+    "--seed",
+    "--expect",
 ];
 
 /// Reject any `--flag` the subcommand does not define: a typo must fail
@@ -816,6 +884,160 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         .sum();
     println!("VPN bytes: port-identified {port_vpn}, domain-identified {dom_vpn}");
     Ok(())
+}
+
+/// Open the query engine over `--archive DIR` with the `--cache-mb`
+/// decoded-segment budget (default 256 MiB).
+fn open_query_engine(rest: &[String]) -> Result<QueryEngine, String> {
+    let dir = flag(rest, "--archive").ok_or("--archive DIR required")?;
+    let cache_bytes = match flag(rest, "--cache-mb") {
+        None => lockdown::query::engine::DEFAULT_CACHE_BYTES,
+        Some(s) => {
+            let mb: u64 = s.parse().map_err(|_| format!("bad --cache-mb: {s}"))?;
+            mb.saturating_mul(1024 * 1024)
+        }
+    };
+    QueryEngine::open(Path::new(&dir), cache_bytes)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| format!("no archive manifest in {dir}"))
+}
+
+fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
+    check_flags(
+        rest,
+        &[
+            "--archive",
+            "--addr",
+            "--connections",
+            "--cache-mb",
+            "--fidelity",
+            "--scenario",
+        ],
+        &[],
+    )?;
+    let addr = flag(rest, "--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    let connections: usize = match flag(rest, "--connections") {
+        None => 2048,
+        Some(s) => s.parse().map_err(|_| format!("bad --connections: {s}"))?,
+    };
+    // Bind before touching the archive: a port conflict must be
+    // diagnosable (exit 2) independently of archive health.
+    let listener = match std::net::TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: binding {addr}: {e}");
+            return Ok(ExitCode::from(EXIT_BIND));
+        }
+    };
+    let ctx = parse_context(rest)?;
+    let engine = open_query_engine(rest)?;
+    let key = engine.reader().key();
+    if key.seed != ctx.config.seed
+        || key.scenario_hash != ctx.scenario_hash()
+        || key.plan_hash != suite_plan_hash(&ctx)
+    {
+        return Err(format!(
+            "archive key mismatch: archive has seed {:#x} scenario {:#018x} plan {:#018x}, \
+             this context computes seed {:#x} scenario {:#018x} plan {:#018x} — \
+             pass the --fidelity/--scenario the archive was built with",
+            key.seed,
+            key.scenario_hash,
+            key.plan_hash,
+            ctx.config.seed,
+            ctx.scenario_hash(),
+            suite_plan_hash(&ctx),
+        ));
+    }
+    let engine = Arc::new(engine);
+    let metrics = Arc::clone(engine.metrics());
+    let handler = lockdown::app::build_handler(Arc::clone(&engine), Arc::new(ctx));
+    let server =
+        Server::start(listener, connections, metrics, handler).map_err(|e| e.to_string())?;
+    // The bound address is the first stdout line so a parent pipeline
+    // can scrape the ephemeral port.
+    println!("serving on {}", server.addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    // Run until stdin reaches EOF — the portable shutdown signal for a
+    // server whose lifetime a parent pipeline manages.
+    let mut sink = [0u8; 4096];
+    let mut stdin = std::io::stdin();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+    server.shutdown(Duration::from_secs(5));
+    eprint!("{}", engine.render_metrics());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_query(rest: &[String]) -> Result<(), String> {
+    check_flags(
+        rest,
+        &[
+            "--archive",
+            "--cache-mb",
+            "--from",
+            "--to",
+            "--vantage",
+            "--class",
+            "--as",
+            "--port",
+            "--direction",
+        ],
+        &[],
+    )?;
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for key in ["from", "to", "vantage", "class", "as", "port", "direction"] {
+        if let Some(v) = flag(rest, &format!("--{key}")) {
+            pairs.push((key.to_string(), v));
+        }
+    }
+    let plan = QueryPlan::parse(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))?;
+    let engine = open_query_engine(rest)?;
+    let out = engine.execute(&plan).map_err(|e| e.to_string())?;
+    println!("{}", out.render_json());
+    Ok(())
+}
+
+fn cmd_loadgen(rest: &[String]) -> Result<ExitCode, String> {
+    check_flags(
+        rest,
+        &["--target", "--clients", "--duration", "--seed", "--expect"],
+        &[],
+    )?;
+    let target = flag(rest, "--target").ok_or("--target HOST:PORT required")?;
+    let clients: usize = match flag(rest, "--clients") {
+        None => 1000,
+        Some(s) => s.parse().map_err(|_| format!("bad --clients: {s}"))?,
+    };
+    let duration_secs: f64 = match flag(rest, "--duration") {
+        None => 5.0,
+        Some(s) => s.parse().map_err(|_| format!("bad --duration: {s}"))?,
+    };
+    let seed: u64 = match flag(rest, "--seed") {
+        None => 0x10CD_2020,
+        Some(s) => s.parse().map_err(|_| format!("bad --seed: {s}"))?,
+    };
+    let expect = match flag(rest, "--expect") {
+        None => None,
+        Some(path) => {
+            Some(std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?)
+        }
+    };
+    let report = loadgen::run(&LoadConfig {
+        target,
+        clients,
+        duration_secs,
+        seed,
+        expect,
+    })?;
+    println!("{}", report.render_json());
+    if report.mismatches > 0 {
+        eprintln!(
+            "error: served figures diverge from the expected suite output \
+             ({} diverging lines across {} verified figures)",
+            report.mismatches, report.figures_verified
+        );
+        return Ok(ExitCode::from(EXIT_MISMATCH));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_vpn_scan() -> Result<(), String> {

@@ -1,10 +1,14 @@
-//! Umbrella crate re-exporting the whole `lockdown` workspace.
+//! Umbrella crate re-exporting the whole `lockdown` workspace, plus the
+//! HTTP application ([`app`]) shared by `lockdown serve` and the tests.
+pub mod app;
+
 pub use lockdown_analysis as analysis;
 pub use lockdown_chaos as chaos;
 pub use lockdown_collect as collect;
 pub use lockdown_core as core;
 pub use lockdown_dns as dns;
 pub use lockdown_flow as flow;
+pub use lockdown_query as query;
 pub use lockdown_scenario as scenario;
 pub use lockdown_store as store;
 pub use lockdown_topology as topology;

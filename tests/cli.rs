@@ -276,7 +276,10 @@ fn scenarios_list_and_show_shipped_files() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("covid-spring-2020"), "{text}");
     assert!(text.contains("hypergiant-outage"), "{text}");
-    assert!(!text.contains("INVALID"), "shipped files must parse: {text}");
+    assert!(
+        !text.contains("INVALID"),
+        "shipped files must parse: {text}"
+    );
 
     let out = bin()
         .args(["scenarios", "show", "scenarios/covid-spring-2020.toml"])
@@ -406,5 +409,118 @@ fn store_gc_dry_run_previews_without_deleting() {
         .output()
         .expect("spawn");
     assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_plane_subcommands_reject_unknown_flags_with_usage() {
+    for cmd in ["serve", "query", "loadgen"] {
+        let out = bin().args([cmd, "--frobnicate"]).output().expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{cmd}: unknown flag must exit 1"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("unknown flag: --frobnicate"), "{cmd}: {err}");
+        assert!(
+            err.contains("USAGE"),
+            "{cmd}: usage text must follow: {err}"
+        );
+    }
+}
+
+#[test]
+fn serve_bind_failure_exits_2() {
+    // Occupy a port, then ask serve to bind it. The bind happens before
+    // the archive is opened, so the (nonexistent) archive path is never
+    // the failure — the documented bind exit code 2 is.
+    let occupied = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = occupied.local_addr().expect("addr").to_string();
+    let out = bin()
+        .args(["serve", "--archive", "/nonexistent", "--addr", &addr])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "bind conflict must exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("binding"), "{err}");
+}
+
+#[test]
+fn serve_loadgen_roundtrip_and_mismatch_exit_4() {
+    use std::io::{BufRead, BufReader};
+
+    let dir = std::env::temp_dir().join(format!("lockdown-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let archive = dir.join("arch");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+
+    // Build the archive and capture the expected suite stdout.
+    let out = bin()
+        .args(["figures", "--fidelity", "test", "--archive"])
+        .arg(&archive)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let expected = dir.join("expected.txt");
+    std::fs::write(&expected, &out.stdout).expect("expected stdout");
+    let garbage = dir.join("garbage.txt");
+    std::fs::write(&garbage, b"not the suite\n").expect("garbage");
+
+    // Serve on an ephemeral port; keep stdin open to keep it running.
+    let mut serve = bin()
+        .args(["serve", "--fidelity", "test", "--archive"])
+        .arg(&archive)
+        .args(["--addr", "127.0.0.1:0"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let mut first_line = String::new();
+    BufReader::new(serve.stdout.take().expect("serve stdout"))
+        .read_line(&mut first_line)
+        .expect("read bound address");
+    let addr = first_line
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {first_line:?}"))
+        .to_string();
+
+    // Matching expectation: exit 0, zero mismatches reported.
+    let out = bin()
+        .args(["loadgen", "--target", &addr, "--clients", "2"])
+        .args(["--duration", "0", "--expect"])
+        .arg(&expected)
+        .output()
+        .expect("spawn loadgen");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("\"mismatches\": 0"), "{report}");
+
+    // Garbage expectation: the documented mismatch exit code 4.
+    let out = bin()
+        .args(["loadgen", "--target", &addr, "--clients", "0"])
+        .args(["--duration", "0", "--expect"])
+        .arg(&garbage)
+        .output()
+        .expect("spawn loadgen");
+    assert_eq!(out.status.code(), Some(4), "mismatch must exit 4");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("diverge"));
+
+    // Closing stdin is the shutdown signal: serve must exit 0.
+    drop(serve.stdin.take());
+    let status = serve.wait().expect("serve exits");
+    assert_eq!(status.code(), Some(0), "graceful shutdown exits 0");
+
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -77,7 +77,10 @@ fn matrix_shares_one_generation_pass_and_lane0_is_byte_identical() {
 
     // Per-lane stats stay meaningful: each lane saw every cell.
     for lane in &run.runs {
-        assert_eq!(lane.suite.stats.cells_generated, single.stats.cells_generated);
+        assert_eq!(
+            lane.suite.stats.cells_generated,
+            single.stats.cells_generated
+        );
         assert_eq!(lane.suite.stats.demands, single.stats.demands);
     }
 
@@ -112,7 +115,10 @@ fn matrix_archives_replay_per_lane() {
     let cold = run_matrix(&ctx, scenarios(), opts()).expect("cold matrix");
     assert!(cold.stats.cells_generated > 0);
     let warm = run_matrix(&ctx, scenarios(), opts()).expect("warm matrix");
-    assert_eq!(warm.stats.cells_generated, 0, "warm matrix must not generate");
+    assert_eq!(
+        warm.stats.cells_generated, 0,
+        "warm matrix must not generate"
+    );
     assert_eq!(warm.stats.cells_replayed, cold.stats.cells_generated);
 
     // Replay is byte-identical, per lane.
