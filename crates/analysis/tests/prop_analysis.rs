@@ -55,6 +55,7 @@ fn arb_record() -> impl Strategy<Value = FlowRecord> {
 proptest! {
     /// HourlyVolume is order-insensitive and merge equals bulk add.
     #[test]
+    #[test]
     fn hourly_volume_order_and_merge(records in prop::collection::vec(arb_record(), 0..80)) {
         let mut forward = HourlyVolume::new();
         forward.add_all(&records);
@@ -82,6 +83,7 @@ proptest! {
     /// ECDF is a valid CDF: monotone, 0 below min, 1 at max; quantile and
     /// fraction_le are mutually consistent.
     #[test]
+    #[test]
     fn ecdf_is_a_cdf(mut sample in prop::collection::vec(0.0f64..1e9, 1..200)) {
         let e = Ecdf::new(sample.clone());
         sample.sort_by(f64::total_cmp);
@@ -101,6 +103,7 @@ proptest! {
 
     /// normalize_by_min yields min 1.0 over positive entries and preserves
     /// ratios.
+    #[test]
     #[test]
     fn normalize_by_min_properties(values in prop::collection::vec(0u64..1_000_000, 1..60)) {
         match normalize_by_min(&values) {
@@ -123,6 +126,7 @@ proptest! {
 
     /// median is within [min, max] and permutation-invariant.
     #[test]
+    #[test]
     fn median_properties(mut values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
         let m = median(&values);
         let lo = values.iter().copied().fold(f64::MAX, f64::min);
@@ -134,6 +138,7 @@ proptest! {
 
     /// The Table 1 classifier is total (never panics) and deterministic.
     #[test]
+    #[test]
     fn classifier_total_and_deterministic(r in arb_record()) {
         let c = Classifier::from_registry(registry());
         let a = c.classify(&r);
@@ -143,6 +148,7 @@ proptest! {
 
     /// Service attribution never assigns an ephemeral-only flow a port key.
     #[test]
+    #[test]
     fn service_key_respects_ephemeral_rule(r in arb_record()) {
         if let Some(ServiceKey::Port(_, port)) = ServiceKey::of(&r) {
             prop_assert!(port < 32_768);
@@ -151,6 +157,7 @@ proptest! {
     }
 
     /// VPN port classification matches the §6 port list exactly.
+    #[test]
     #[test]
     fn vpn_port_rule(r in arb_record()) {
         let expected = match r.key.protocol {
@@ -165,6 +172,7 @@ proptest! {
 
     /// EDU classification and orientation are total and deterministic.
     #[test]
+    #[test]
     fn edu_classification_total(r in arb_record()) {
         let c1 = EduTrafficClass::of(&r);
         let c2 = EduTrafficClass::of(&r);
@@ -175,6 +183,7 @@ proptest! {
 
     /// Timestamp bucketing: a record lands in exactly the hour bin of its
     /// start time.
+    #[test]
     #[test]
     fn hour_bucketing(r in arb_record()) {
         let mut v = HourlyVolume::new();

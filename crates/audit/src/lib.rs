@@ -91,6 +91,19 @@ pub struct CellLedger {
     /// Record tags inside injected duplicates.
     pub duplicated_records: u64,
 
+    // --- socket edge (real-UDP transport only) ---
+    /// Whether the cell crossed real UDP sockets: the transport drop
+    /// ground truth is then a *decomposition* — every dropped datagram is
+    /// attributed to the kernel, a full shard queue, or a truncated read.
+    pub socket: bool,
+    /// Datagrams the kernel dropped before `recv` (sent minus received,
+    /// settled at cycle drain).
+    pub socket_kernel_dropped: u64,
+    /// Datagrams dropped at a full shard queue after being received.
+    pub socket_queue_dropped: u64,
+    /// Datagrams cut by the kernel at `recv` and discarded undecoded.
+    pub socket_truncated: u64,
+
     // --- collector shards ---
     /// Records (and volume) accepted, before loss renormalization.
     pub accepted: Counts,
@@ -203,6 +216,20 @@ impl CellLedger {
             self.offered_datagrams + self.duplicated_datagrams,
             "delivered + dropped vs offered + duplicated datagrams",
         );
+
+        // (2b) Socket edge: when the cell crossed real UDP sockets, every
+        // dropped datagram must be attributed to exactly one of the three
+        // drop sites — the kernel socket buffer, a full shard queue, or a
+        // truncated read. An unattributed drop means a datagram vanished
+        // at the wire edge without being counted anywhere.
+        if self.socket {
+            check(
+                "socket-conservation",
+                self.socket_kernel_dropped + self.socket_queue_dropped + self.socket_truncated,
+                self.dropped_datagrams,
+                "kernel + queue + truncated drops vs dropped datagrams",
+            );
+        }
 
         // (3) Collector: every delivered record tag lands in exactly one
         // bucket — accepted, undecodable, rejected, or abandoned.
@@ -332,6 +359,14 @@ pub struct Totals {
     pub renorm_clipped: u64,
     /// Cells the supervisor quarantined (retry budget exhausted).
     pub quarantined_cells: u64,
+    /// Cells that crossed real UDP sockets.
+    pub socket_cells: u64,
+    /// Datagrams the kernel dropped at the socket edge.
+    pub socket_kernel_dropped: u64,
+    /// Datagrams dropped at full shard queues.
+    pub socket_queue_dropped: u64,
+    /// Datagrams truncated at recv.
+    pub socket_truncated: u64,
 }
 
 /// Outcome of auditing a whole run: per-cell violations plus totals.
@@ -384,6 +419,13 @@ impl Report {
         );
         if t.quarantined_cells > 0 {
             let _ = writeln!(s, "  quarantined {} cells", t.quarantined_cells);
+        }
+        if t.socket_cells > 0 {
+            let _ = writeln!(
+                s,
+                "  socket edge: {} cells; drops {} kernel / {} queue / {} truncated",
+                t.socket_cells, t.socket_kernel_dropped, t.socket_queue_dropped, t.socket_truncated
+            );
         }
         const MAX_LINES: usize = 50;
         for v in self.violations.iter().take(MAX_LINES) {
@@ -455,6 +497,10 @@ impl Ledger {
             t.undecoded += cell.undecoded;
             t.renorm_clipped += cell.renorm_clipped;
             t.quarantined_cells += u64::from(cell.quarantined);
+            t.socket_cells += u64::from(cell.socket);
+            t.socket_kernel_dropped += cell.socket_kernel_dropped;
+            t.socket_queue_dropped += cell.socket_queue_dropped;
+            t.socket_truncated += cell.socket_truncated;
         }
         report.violations.sort();
         report
@@ -620,6 +666,51 @@ mod tests {
         assert!(report.is_clean());
         assert_eq!(report.totals.quarantined_cells, 1);
         assert!(report.render().contains("quarantined 1 cells"));
+    }
+
+    #[test]
+    fn socket_drops_must_decompose_exactly() {
+        // 2 of 4 datagrams dropped at the socket edge: 1 kernel + 1 queue.
+        let mut c = balanced();
+        c.socket = true;
+        c.delivered_datagrams = 2;
+        c.dropped_datagrams = 2;
+        c.socket_kernel_dropped = 1;
+        c.socket_queue_dropped = 1;
+        c.dropped = Counts {
+            records: 50,
+            bytes: 75_000,
+            packets: 350,
+        };
+        c.accepted = Counts {
+            records: 50,
+            bytes: 75_000,
+            packets: 350,
+        };
+        c.est_lost = 50;
+        c.consumed = c.accepted;
+        assert!(c.violations(key()).is_empty(), "{:?}", c.violations(key()));
+
+        // An unattributed drop (kernel count short by one) is a violation.
+        c.socket_kernel_dropped = 0;
+        let v = c.violations(key());
+        assert!(
+            v.iter().any(|v| v.identity == "socket-conservation"),
+            "{v:?}"
+        );
+
+        // The identity is waived entirely off the socket path.
+        c.socket = false;
+        assert!(c.violations(key()).is_empty());
+
+        let ledger = Ledger::new();
+        ledger.record(key(), |cl| {
+            *cl = balanced();
+            cl.socket = true;
+        });
+        let report = ledger.report();
+        assert_eq!(report.totals.socket_cells, 1);
+        assert!(report.render().contains("socket edge: 1 cells"));
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! Emit machine-readable socket-plane soak numbers as JSON (hand-formatted
+//! — no serialization dependency): flow records pushed through the
+//! real-UDP `collectd` daemon end-to-end (export encode → localhost UDP →
+//! receiver fan-out → shard decode → session close), with the conservation
+//! audit verdict and the drop decomposition. `scripts/verify.sh` writes
+//! the output to `BENCH_collect.json` at the repo root.
+//!
+//! Usage: `cargo run --release -p lockdown-bench --bin collect_json
+//! [records_per_cell [cells]]` (prints to stdout).
+
+use lockdown_collect::soak::{run, SoakConfig};
+
+fn main() {
+    let mut cfg = SoakConfig::new();
+    let mut args = std::env::args().skip(1);
+    if let Some(n) = args.next().and_then(|a| a.parse().ok()) {
+        cfg.records_per_cell = n;
+    }
+    if let Some(c) = args.next().and_then(|a| a.parse().ok()) {
+        cfg.cells = c;
+    }
+
+    // Warm-up cell: page-in, socket setup and allocator effects should
+    // not land on the timed run.
+    let mut warm = cfg;
+    warm.cells = 1;
+    warm.records_per_cell = cfg.records_per_cell.min(50_000);
+    run(&warm).expect("soak warm-up binds on localhost");
+
+    let out = run(&cfg).expect("soak binds on localhost");
+    println!("{}", out.render_json());
+}

@@ -358,6 +358,7 @@ mod tests {
 
         /// Empirical fault rates track the configured probabilities: the
         /// schedule is a real Bernoulli draw, not a degenerate constant.
+        #[test]
         fn rates_track_probabilities(seed in any::<u64>(), p in 0.05f64..0.95) {
             let cfg = ChaosConfig { seed, panic: p, ..ChaosConfig::zero() };
             let inj = ChaosInjector::new(cfg);

@@ -20,10 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod daemon;
 pub mod fleet;
 pub mod metrics;
+pub mod queue;
 mod rng;
 pub mod shard;
+pub mod soak;
+pub mod socket;
 pub mod transport;
 
 use std::sync::Arc;
@@ -31,12 +35,15 @@ use std::sync::Arc;
 use lockdown_flow::prelude::*;
 use lockdown_traffic::plan::Cell;
 
+pub use daemon::{Collectd, CollectdConfig, Cycle, ReceivedDatagram, SocketPlane};
 pub use fleet::{DomainTruth, ExporterFleet, FleetConfig, FleetTruth, WireDatagram};
 pub use lockdown_audit as audit;
 pub use metrics::{CollectMetrics, Metric, MetricKind, MetricsRegistry};
+pub use queue::BoundedQueue;
 pub use shard::{
     CollectorShard, Observation, SequenceTracker, SequenceUnits, ShardSet, ShardTotals,
 };
+pub use socket::{peek, Recv, RecvSocket, SendSocket, WirePeek, MAX_UDP_PAYLOAD, RECV_BUF_LEN};
 pub use transport::{FaultProfile, Transport, TransportReport};
 
 /// Domain separator so transport fault draws never correlate with any
@@ -133,7 +140,7 @@ pub struct CollectionPlane {
 }
 
 /// The audit key of one engine cell.
-fn cell_key(cell: &Cell) -> lockdown_audit::CellKey {
+pub(crate) fn cell_key(cell: &Cell) -> lockdown_audit::CellKey {
     lockdown_audit::CellKey {
         wire_id: cell.stream.wire_id(),
         day_number: cell.date.day_number(),
@@ -142,7 +149,7 @@ fn cell_key(cell: &Cell) -> lockdown_audit::CellKey {
 }
 
 /// Record/byte/packet volume of a record slice.
-fn volume(records: &[FlowRecord]) -> lockdown_audit::Counts {
+pub(crate) fn volume(records: &[FlowRecord]) -> lockdown_audit::Counts {
     lockdown_audit::Counts {
         records: records.len() as u64,
         bytes: records.iter().map(|r| r.bytes).sum(),

@@ -177,6 +177,25 @@ pub struct CollectMetrics {
     pub transport_datagrams_duplicated: Arc<Metric>,
     /// Adjacent datagram swaps applied in flight.
     pub transport_datagrams_reordered: Arc<Metric>,
+    /// Datagrams read off collectd's UDP sockets (truncated reads included).
+    pub socket_datagrams_received: Arc<Metric>,
+    /// Payload bytes read off collectd's UDP sockets.
+    pub socket_bytes_received: Arc<Metric>,
+    /// Datagrams cut by the kernel at recv (dropped at the socket, never
+    /// decoded; counted separately from queue drops).
+    pub socket_datagrams_truncated: Arc<Metric>,
+    /// Header-claimed records inside truncated datagrams.
+    pub socket_records_truncated: Arc<Metric>,
+    /// Datagrams the kernel dropped before recv (sent minus received,
+    /// settled at cycle drain).
+    pub socket_datagrams_kernel_dropped: Arc<Metric>,
+    /// Datagrams dropped at a full shard queue (dropped at the queue, not
+    /// the socket; backpressure made explicit).
+    pub queue_datagrams_dropped: Arc<Metric>,
+    /// Configured per-shard queue bound (gauge).
+    pub queue_capacity: Arc<Metric>,
+    /// Bound collectd receive sockets (gauge).
+    pub socket_receivers: Arc<Metric>,
     /// Datagrams presented to collector shards.
     pub collector_datagrams: Arc<Metric>,
     /// Flow records accepted by collector shards.
@@ -248,6 +267,32 @@ impl CollectMetrics {
                 "transport_datagrams_reordered_total",
                 "Adjacent datagram swaps applied",
             ),
+            socket_datagrams_received: r.counter(
+                "socket_datagrams_received_total",
+                "Datagrams read off collectd UDP sockets",
+            ),
+            socket_bytes_received: r.counter(
+                "socket_bytes_received_total",
+                "Payload bytes read off collectd UDP sockets",
+            ),
+            socket_datagrams_truncated: r.counter(
+                "socket_datagrams_truncated_total",
+                "Datagrams cut by the kernel at recv (never decoded)",
+            ),
+            socket_records_truncated: r.counter(
+                "socket_records_truncated_total",
+                "Header-claimed records inside truncated datagrams",
+            ),
+            socket_datagrams_kernel_dropped: r.counter(
+                "socket_datagrams_kernel_dropped_total",
+                "Datagrams dropped by the kernel before recv",
+            ),
+            queue_datagrams_dropped: r.counter(
+                "queue_datagrams_dropped_total",
+                "Datagrams dropped at a full shard queue",
+            ),
+            queue_capacity: r.gauge("queue_capacity", "Configured per-shard queue bound"),
+            socket_receivers: r.gauge("socket_receivers", "Bound collectd receive sockets"),
             collector_datagrams: r
                 .counter("collector_datagrams_total", "Datagrams presented to shards"),
             collector_records: r.counter("collector_records_total", "Records accepted by shards"),

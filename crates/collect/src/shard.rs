@@ -387,8 +387,23 @@ impl CollectorShard {
 
     /// Ingest one delivered datagram.
     pub fn ingest(&mut self, dg: &WireDatagram) {
+        self.ingest_impl(dg.domain, Some(dg.records), 0, &dg.bytes);
+    }
+
+    /// Ingest one datagram as received from a real socket.
+    ///
+    /// No ground-truth record tag rides along a real wire, so the tag is
+    /// derived from the datagram itself: the decoded record count when it
+    /// decodes, otherwise `claimed_records` from the header peek (exact
+    /// for v5, an upper bound for v9, 0 for IPFIX). On the zero-loss path
+    /// the derived tag equals the ground truth, so socket runs stay
+    /// byte- and ledger-identical to the in-process loopback transport.
+    pub fn ingest_bytes(&mut self, domain: u32, claimed_records: u32, bytes: &[u8]) {
+        self.ingest_impl(domain, None, claimed_records, bytes);
+    }
+
+    fn ingest_impl(&mut self, domain: u32, truth_tag: Option<u32>, claimed: u32, bytes: &[u8]) {
         self.totals.datagrams += 1;
-        let domain = dg.domain;
 
         // v9 restart detection must run *before* decoding: the stale
         // template cache is flushed so the restart packet's fresh template
@@ -401,7 +416,7 @@ impl CollectorShard {
         // restart — conflating the two flushes a perfectly good template
         // cache and miscounts a restart.
         if self.units == Some(SequenceUnits::Packets) {
-            if let Ok(hdr) = v9::check(&dg.bytes) {
+            if let Ok(hdr) = v9::check(bytes) {
                 let epoch =
                     (u64::from(hdr.unix_secs) * 1000).saturating_sub(u64::from(hdr.sys_uptime_ms));
                 let session = self.sessions.entry(domain).or_default();
@@ -424,11 +439,11 @@ impl CollectorShard {
             }
         }
 
-        let report = self.inner.ingest_detailed(&dg.bytes);
+        let report = self.inner.ingest_detailed(bytes);
         let recs = self.inner.take_records();
         if !report.ok {
             self.totals.malformed += 1;
-            self.totals.records_malformed += u64::from(dg.records);
+            self.totals.records_malformed += u64::from(truth_tag.unwrap_or(claimed));
             return;
         }
         let seq = report.sequence.unwrap_or(0);
@@ -440,7 +455,9 @@ impl CollectorShard {
                 // if the datagram is never resolved, its sequence range
                 // surfaces as a gap and is counted as loss.
                 let session = self.sessions.entry(domain).or_default();
-                session.pending.push((seq, dg.records, dg.bytes.clone()));
+                session
+                    .pending
+                    .push((seq, truth_tag.unwrap_or(claimed), bytes.to_vec()));
                 self.totals.buffered += 1;
                 return;
             }
@@ -449,8 +466,12 @@ impl CollectorShard {
             // lost-record estimate still covers them.
         }
         let units = self.units_of(recs.len() as u64);
+        // Wire-side tag: what actually decoded. Undecoded shortfall inside
+        // a mixed datagram is unknowable without ground truth; it surfaces
+        // through the sequence gap (est_lost) instead of `undecoded`.
+        let tag = truth_tag.unwrap_or(recs.len() as u32);
         let session = self.sessions.entry(domain).or_default();
-        accept_into(session, &mut self.totals, seq, units, dg.records, recs);
+        accept_into(session, &mut self.totals, seq, units, tag, recs);
         self.try_replay(domain);
     }
 
@@ -565,6 +586,15 @@ impl ShardSet {
         ShardSet {
             shards: (0..count).map(|_| CollectorShard::new(format)).collect(),
         }
+    }
+
+    /// A set over shards that already ingested elsewhere (the collection
+    /// daemon's workers own one shard each and hand them back at a cycle
+    /// barrier). Shard `i` must have seen exactly the domains with
+    /// `domain % len == i` — the same routing [`ShardSet::ingest`] applies.
+    pub fn from_shards(shards: Vec<CollectorShard>) -> ShardSet {
+        assert!(!shards.is_empty(), "need at least one shard");
+        ShardSet { shards }
     }
 
     /// Number of shards.

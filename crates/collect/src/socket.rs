@@ -1,0 +1,309 @@
+//! UDP socket edge of the collection daemon.
+//!
+//! Wraps `std::net::UdpSocket` with the two things a flow collector must
+//! get right at the wire edge:
+//!
+//! * **Truncation safety.** A UDP read into a too-small buffer silently
+//!   discards the datagram's tail; decoding the surviving prefix would
+//!   mis-parse records. [`RecvSocket::recv`] therefore reads into a
+//!   buffer strictly larger than the maximum UDP payload, and any read
+//!   that *fills* the buffer — only possible when the buffer is smaller
+//!   than the payload, i.e. the datagram was cut — is reported as
+//!   [`Recv::Truncated`] and never decoded. The truncated prefix still
+//!   carries the (intact) header, so the drop can be attributed to an
+//!   observation domain and a claimed record count.
+//! * **Header peeking.** Fan-out by observation domain must not wait for
+//!   template state: [`peek`] reads domain, sequence and the claimed
+//!   record count straight from the format header.
+//!
+//! `SO_RCVBUF` stays at the kernel default (no `setsockopt` without a
+//! libc dependency); senders that must not lose datagrams bound their
+//! in-flight window instead (see [`crate::daemon`]).
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::Duration;
+
+use lockdown_flow::ipfix;
+use lockdown_flow::netflow::{v5, v9};
+use lockdown_flow::prelude::*;
+
+/// Largest possible UDP payload (65535 minus IP and UDP headers).
+pub const MAX_UDP_PAYLOAD: usize = 65_507;
+
+/// Default receive buffer: strictly larger than [`MAX_UDP_PAYLOAD`], so a
+/// full-buffer read is impossible and truncation cannot go undetected.
+pub const RECV_BUF_LEN: usize = 65_536;
+
+/// How long a receiver blocks in one `recv` before checking for shutdown.
+pub const POLL: Duration = Duration::from_millis(25);
+
+/// Format-level header fields readable without template state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WirePeek {
+    /// Observation domain: v9 source id, IPFIX domain id, v5 engine
+    /// type/id pair (16 bits — see `v5::encode`).
+    pub domain: u32,
+    /// Wire sequence number.
+    pub sequence: u32,
+    /// Records the datagram claims to carry: exact for v5 (header count),
+    /// an upper bound for v9 (header count includes template records),
+    /// and 0 for IPFIX (no header count; the decoder learns it).
+    pub claimed_records: u32,
+}
+
+/// Peek `(domain, sequence, claimed records)` from a datagram header.
+/// `None` when the bytes do not parse as a `format` header.
+pub fn peek(format: ExportFormat, bytes: &[u8]) -> Option<WirePeek> {
+    match format {
+        ExportFormat::NetflowV5 => {
+            // check() validates the length arithmetic of the whole packet,
+            // which a truncated prefix fails; decode the fixed header
+            // fields directly so attribution survives truncation.
+            header_v5(bytes)
+        }
+        ExportFormat::NetflowV9 => v9::check(bytes).ok().map(|h| WirePeek {
+            domain: h.source_id,
+            sequence: h.sequence,
+            claimed_records: u32::from(h.count),
+        }),
+        ExportFormat::Ipfix => ipfix::check(bytes).ok().map(|h| WirePeek {
+            domain: h.domain_id,
+            sequence: h.sequence,
+            claimed_records: 0,
+        }),
+    }
+}
+
+/// v5 header fields from the fixed 24-byte prefix, without requiring the
+/// record payload to be present (truncation attribution needs this).
+fn header_v5(bytes: &[u8]) -> Option<WirePeek> {
+    if let Ok(h) = v5::check(bytes) {
+        return Some(WirePeek {
+            domain: (u32::from(h.engine_type) << 8) | u32::from(h.engine_id),
+            sequence: h.flow_sequence,
+            claimed_records: u32::from(h.count),
+        });
+    }
+    if bytes.len() < 24 || u16::from_be_bytes([bytes[0], bytes[1]]) != 5 {
+        return None;
+    }
+    Some(WirePeek {
+        domain: (u32::from(bytes[20]) << 8) | u32::from(bytes[21]),
+        sequence: u32::from_be_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]),
+        claimed_records: u32::from(u16::from_be_bytes([bytes[2], bytes[3]])),
+    })
+}
+
+/// One `recv` outcome.
+#[derive(Debug)]
+pub enum Recv {
+    /// A complete datagram.
+    Datagram(Vec<u8>),
+    /// A datagram that filled the receive buffer: its tail was cut by the
+    /// kernel, so only the (header-bearing) prefix is available and it
+    /// must not be decoded.
+    Truncated(Vec<u8>),
+    /// The poll interval elapsed with nothing to read.
+    TimedOut,
+}
+
+/// A bound, polling UDP receive socket.
+#[derive(Debug)]
+pub struct RecvSocket {
+    socket: UdpSocket,
+    buf: Vec<u8>,
+}
+
+impl RecvSocket {
+    /// Bind `addr` with the full-size (truncation-proof) receive buffer.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<RecvSocket> {
+        RecvSocket::bind_with_buffer(addr, RECV_BUF_LEN)
+    }
+
+    /// Bind with an explicit buffer length. Buffers smaller than
+    /// [`RECV_BUF_LEN`] make truncation *possible* — used by tests to
+    /// exercise the truncation path without crafting >64 KiB datagrams.
+    pub fn bind_with_buffer<A: ToSocketAddrs>(addr: A, buf_len: usize) -> io::Result<RecvSocket> {
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_read_timeout(Some(POLL))?;
+        Ok(RecvSocket {
+            socket,
+            buf: vec![0u8; buf_len.max(64)],
+        })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Receive one datagram, classifying truncation; blocks at most
+    /// [`POLL`]. Interrupted reads surface as [`Recv::TimedOut`] so the
+    /// caller's poll loop simply retries.
+    pub fn recv(&mut self) -> io::Result<Recv> {
+        match self.socket.recv(&mut self.buf) {
+            Ok(n) if n >= self.buf.len() => Ok(Recv::Truncated(self.buf[..n].to_vec())),
+            Ok(n) => Ok(Recv::Datagram(self.buf[..n].to_vec())),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                Ok(Recv::TimedOut)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// An unbound sending socket for exporter-side emission to a collectd.
+#[derive(Debug)]
+pub struct SendSocket {
+    socket: UdpSocket,
+}
+
+impl SendSocket {
+    /// An ephemeral local socket to send from.
+    pub fn open() -> io::Result<SendSocket> {
+        Ok(SendSocket {
+            socket: UdpSocket::bind("127.0.0.1:0")?,
+        })
+    }
+
+    /// Send one datagram to `target`.
+    pub fn send_to(&self, bytes: &[u8], target: SocketAddr) -> io::Result<()> {
+        let n = self.socket.send_to(bytes, target)?;
+        if n != bytes.len() {
+            return Err(io::Error::other(format!(
+                "short UDP send: {n} of {} bytes",
+                bytes.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_timeout() {
+        let mut rx = RecvSocket::bind("127.0.0.1:0").unwrap();
+        let addr = rx.local_addr().unwrap();
+        let tx = SendSocket::open().unwrap();
+        tx.send_to(b"hello", addr).unwrap();
+        loop {
+            match rx.recv().unwrap() {
+                Recv::Datagram(b) => {
+                    assert_eq!(b, b"hello");
+                    break;
+                }
+                Recv::TimedOut => continue,
+                Recv::Truncated(_) => panic!("full-size buffer cannot truncate"),
+            }
+        }
+        assert!(matches!(rx.recv().unwrap(), Recv::TimedOut));
+    }
+
+    #[test]
+    fn small_buffer_flags_truncation() {
+        let mut rx = RecvSocket::bind_with_buffer("127.0.0.1:0", 64).unwrap();
+        let addr = rx.local_addr().unwrap();
+        let tx = SendSocket::open().unwrap();
+        tx.send_to(&[0xAB; 300], addr).unwrap();
+        loop {
+            match rx.recv().unwrap() {
+                Recv::Truncated(prefix) => {
+                    assert_eq!(prefix.len(), 64);
+                    break;
+                }
+                Recv::TimedOut => continue,
+                Recv::Datagram(_) => panic!("300-byte datagram must truncate in a 64-byte buffer"),
+            }
+        }
+    }
+
+    #[test]
+    fn peeks_all_three_formats() {
+        use lockdown_flow::exporter::{Exporter, ExporterConfig};
+        use lockdown_flow::time::Date;
+        use std::net::Ipv4Addr;
+        let boot = Date::new(2020, 3, 25).midnight();
+        let start = boot.add_hours(1);
+        let record = FlowRecord::builder(
+            FlowKey {
+                src_addr: Ipv4Addr::new(203, 0, 113, 7),
+                dst_addr: Ipv4Addr::new(192, 0, 2, 1),
+                src_port: 55_000,
+                dst_port: 443,
+                protocol: IpProtocol::Tcp,
+            },
+            start,
+        )
+        .end(start.add_secs(12))
+        .bytes(90_000)
+        .packets(70)
+        .build();
+        for format in [
+            ExportFormat::NetflowV5,
+            ExportFormat::NetflowV9,
+            ExportFormat::Ipfix,
+        ] {
+            let mut cfg = ExporterConfig::new(format, boot);
+            cfg.domain_id = 0x0102;
+            cfg.initial_sequence = 7;
+            let mut ex = Exporter::new(cfg);
+            let pkts = ex.export_all(&[record], start.add_secs(60));
+            assert_eq!(pkts.len(), 1, "{format:?}: one record, one datagram");
+            let p = peek(format, &pkts[0]).expect("header must peek");
+            assert_eq!(p.domain, 0x0102, "{format:?} domain");
+            assert_eq!(p.sequence, 7, "{format:?} first-packet sequence");
+            match format {
+                // v5 header count is the exact record count.
+                ExportFormat::NetflowV5 => assert_eq!(p.claimed_records, 1),
+                // v9 header count includes template records: upper bound.
+                ExportFormat::NetflowV9 => assert!(p.claimed_records >= 1),
+                // IPFIX has no header count.
+                ExportFormat::Ipfix => assert_eq!(p.claimed_records, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn v5_peek_survives_truncation_to_header_prefix() {
+        use lockdown_flow::netflow::v5;
+        use lockdown_flow::time::Date;
+        use std::net::Ipv4Addr;
+        let boot = Date::new(2020, 3, 25).midnight();
+        let start = boot.add_hours(1);
+        let record = FlowRecord::builder(
+            FlowKey {
+                src_addr: Ipv4Addr::new(203, 0, 113, 7),
+                dst_addr: Ipv4Addr::new(192, 0, 2, 1),
+                src_port: 55_000,
+                dst_port: 443,
+                protocol: IpProtocol::Tcp,
+            },
+            start,
+        )
+        .end(start.add_secs(12))
+        .bytes(90_000)
+        .packets(70)
+        .build();
+        let pkt = v5::encode_with_engine(&[record, record], start.add_secs(60), boot, 41, 0x0304);
+        // A kernel-truncated read keeps only a prefix; the fixed header
+        // still attributes domain, sequence and claimed count.
+        let p = peek(ExportFormat::NetflowV5, &pkt[..32]).expect("prefix must peek");
+        assert_eq!(p.domain, 0x0304);
+        assert_eq!(p.sequence, 41);
+        assert_eq!(p.claimed_records, 2);
+        // But an intact decode of the full packet still works.
+        assert!(peek(ExportFormat::NetflowV5, &pkt).is_some());
+        assert!(peek(ExportFormat::NetflowV5, &[0u8; 10]).is_none());
+    }
+}

@@ -240,7 +240,16 @@ impl Exporter {
         let batch: Vec<FlowRecord> = self.pending.drain(..).collect();
         let pkt = match self.config.format {
             ExportFormat::NetflowV5 => {
-                let pkt = v5::encode(&batch, now, self.config.boot_time, self.sequence);
+                // v5 carries the observation domain in the engine bytes
+                // (16 bits) — the only place the format has for it. Wider
+                // domain ids would alias; exporter fleets keep ids small.
+                let pkt = v5::encode_with_engine(
+                    &batch,
+                    now,
+                    self.config.boot_time,
+                    self.sequence,
+                    self.config.domain_id as u16,
+                );
                 self.sequence = self.sequence.wrapping_add(batch.len() as u32);
                 self.units_sent += batch.len() as u64;
                 pkt

@@ -77,7 +77,7 @@ pub mod prelude {
     pub use crate::netflow::{FieldSpec, Template};
     pub use crate::protocol::{IpProtocol, TcpFlags};
     pub use crate::record::{Direction, FlowKey, FlowRecord};
-    pub use crate::sampling::FlowSampler;
+    pub use crate::sampling::{FlowSampler, ThresholdSampler};
     pub use crate::time::{Date, Timestamp, Weekday};
     pub use crate::tracefile::{TraceReader, TraceRecord, TraceWriter};
     pub use crate::wire::{WireError, WireResult};

@@ -59,6 +59,24 @@ pub fn encode(
     boot_time: Timestamp,
     flow_sequence: u32,
 ) -> Vec<u8> {
+    encode_with_engine(records, export_time, boot_time, flow_sequence, 0)
+}
+
+/// [`encode`] with an explicit engine type/id pair.
+///
+/// v5 has no observation-domain field, so the 16-bit domain travels in the
+/// engine bytes (type = high byte, id = low byte) — without it, datagrams
+/// from different exporters arriving on one real socket are
+/// indistinguishable and their interleaved sequence numbers read as
+/// phantom loss. The in-process transport never hit this because it
+/// carries the domain out of band next to the bytes.
+pub fn encode_with_engine(
+    records: &[FlowRecord],
+    export_time: Timestamp,
+    boot_time: Timestamp,
+    flow_sequence: u32,
+    engine: u16,
+) -> Vec<u8> {
     assert!(
         records.len() <= MAX_RECORDS,
         "v5 packet limited to {MAX_RECORDS} records, got {}",
@@ -77,8 +95,8 @@ pub fn encode(
     buf.put_u32_be(export_time.unix() as u32);
     buf.put_u32_be(0); // unix nanoseconds: generator works at 1 s granularity
     buf.put_u32_be(flow_sequence);
-    buf.put_u8_be(0); // engine type
-    buf.put_u8_be(0); // engine id
+    buf.put_u8_be((engine >> 8) as u8); // engine type: domain high byte
+    buf.put_u8_be(engine as u8); // engine id: domain low byte
     buf.put_u16_be(0); // sampling: unsampled
 
     for r in records {

@@ -29,6 +29,23 @@ pub fn scale_counters(record: &mut FlowRecord, factor: u32) -> bool {
     clipped
 }
 
+/// Deterministic per-flow hash over the key, start time and seed —
+/// shared by both samplers so selection is batch-boundary independent.
+fn flow_hash(seed: u64, record: &FlowRecord) -> u64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for part in [
+        u64::from(u32::from(record.key.src_addr)),
+        u64::from(u32::from(record.key.dst_addr)),
+        u64::from(record.key.src_port) << 16 | u64::from(record.key.dst_port),
+        u64::from(record.key.protocol.number()),
+        record.start.unix(),
+    ] {
+        z ^= part.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = z.rotate_left(27).wrapping_mul(0x94D0_49BB_1331_11EB);
+    }
+    z ^ (z >> 31)
+}
+
 /// Deterministic 1-in-N flow sampler with counter renormalization.
 #[derive(Debug, Clone, Copy)]
 pub struct FlowSampler {
@@ -57,19 +74,7 @@ impl FlowSampler {
         if self.rate == 1 {
             return true;
         }
-        let mut z = self.seed ^ 0x9E37_79B9_7F4A_7C15;
-        for part in [
-            u64::from(u32::from(record.key.src_addr)),
-            u64::from(u32::from(record.key.dst_addr)),
-            u64::from(record.key.src_port) << 16 | u64::from(record.key.dst_port),
-            u64::from(record.key.protocol.number()),
-            record.start.unix(),
-        ] {
-            z ^= part.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = z.rotate_left(27).wrapping_mul(0x94D0_49BB_1331_11EB);
-        }
-        z ^= z >> 31;
-        z.is_multiple_of(u64::from(self.rate))
+        flow_hash(self.seed, record).is_multiple_of(u64::from(self.rate))
     }
 
     /// Sample one record: `None` if dropped; otherwise the record with
@@ -107,6 +112,74 @@ impl FlowSampler {
             })
             .collect();
         (out, clipped)
+    }
+}
+
+/// Threshold ("smart") sampler: size-dependent flow sampling with
+/// Horvitz–Thompson renormalization.
+///
+/// Uniform 1-in-N flow sampling is an all-or-nothing draw per record, so
+/// its byte-volume variance grows with the *square* of flow size — on
+/// heavy-tailed flow-size distributions a single dropped elephant swings
+/// whole analysis buckets. The standard remedy in flow-export pipelines
+/// is threshold sampling (Duffield et al.): a flow of `b` bytes is always
+/// kept when `b >= z`, and otherwise survives with probability `b / z`
+/// renormalized to exactly `z` bytes. The byte estimator stays unbiased
+/// while any record's contribution to a volume sum is capped at
+/// `max(b, z)` — elephants are never dropped, so per-flow variance is
+/// bounded by `z·b` instead of `(N−1)·b²`.
+///
+/// Zero-byte records have survival probability zero and are never kept.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdSampler {
+    z: u64,
+    seed: u64,
+}
+
+impl ThresholdSampler {
+    /// Create a sampler with byte threshold `z >= 1`: flows at or above
+    /// `z` bytes are always kept, smaller flows survive with probability
+    /// `bytes / z`.
+    pub fn new(z: u64, seed: u64) -> ThresholdSampler {
+        assert!(z >= 1, "byte threshold must be >= 1");
+        ThresholdSampler { z, seed }
+    }
+
+    /// The byte threshold `z`.
+    pub fn threshold(&self) -> u64 {
+        self.z
+    }
+
+    /// Sample one record. Selection is the same deterministic hash of the
+    /// flow key and start time that [`FlowSampler`] uses, so it is
+    /// batch-boundary independent. A kept below-threshold record reports
+    /// exactly `z` bytes and its packet counter scaled by the same `z/b`
+    /// inverse-probability factor (rounded, floored at 1).
+    pub fn sample(&self, record: &FlowRecord) -> Option<FlowRecord> {
+        if record.bytes >= self.z {
+            return Some(*record);
+        }
+        if record.bytes == 0 {
+            return None;
+        }
+        // Keep iff u < b/z for u uniform on [0,1): compare u·z < b·2^64
+        // exactly in u128 (z and b both fit u64, no overflow).
+        let u = flow_hash(self.seed ^ 0xD6E8_FEB8_6659_FD93, record);
+        if u128::from(u) * u128::from(self.z) >= u128::from(record.bytes) << 64 {
+            return None;
+        }
+        let mut out = *record;
+        let scaled = (u128::from(record.packets) * u128::from(self.z)
+            + u128::from(record.bytes) / 2)
+            / u128::from(record.bytes);
+        out.packets = scaled.min(u128::from(u64::MAX)).max(1) as u64;
+        out.bytes = self.z;
+        Some(out)
+    }
+
+    /// Sample a batch.
+    pub fn sample_all(&self, records: &[FlowRecord]) -> Vec<FlowRecord> {
+        records.iter().filter_map(|r| self.sample(r)).collect()
     }
 }
 
@@ -211,6 +284,76 @@ mod tests {
         assert!(scale_counters(&mut b, 3));
         assert_eq!(b.bytes, u64::MAX, "clipped at the clamp, not wrapped");
         assert_eq!(b.packets, 9, "unclipped counter still scales exactly");
+    }
+
+    /// A heavy-tailed batch: many mice plus a few elephants that together
+    /// dominate the byte total — the regime where uniform flow sampling's
+    /// volume estimate falls apart.
+    fn heavy_tailed(n: u32) -> Vec<FlowRecord> {
+        let mut recs = records(n);
+        for (i, r) in recs.iter_mut().enumerate() {
+            r.bytes = if i % 100 == 0 { 50_000_000 } else { 10_000 };
+            r.packets = r.bytes / 1_000;
+        }
+        recs
+    }
+
+    #[test]
+    fn threshold_keeps_every_elephant() {
+        let recs = heavy_tailed(10_000);
+        let s = ThresholdSampler::new(1_000_000, 11);
+        let kept = s.sample_all(&recs);
+        // Above-threshold records pass through unchanged (50 MB); kept
+        // mice are renormalized to exactly z (1 MB).
+        let elephants_in = recs.iter().filter(|r| r.bytes > 1_000_000).count();
+        let elephants_out = kept.iter().filter(|r| r.bytes > 1_000_000).count();
+        assert_eq!(elephants_in, elephants_out, "no elephant may ever drop");
+        // Mice kept at p = 10_000 / 1_000_000 = 1%.
+        let mice = kept.len() - elephants_out;
+        assert!((50..400).contains(&mice), "kept {mice} of 9900 mice at 1%");
+    }
+
+    #[test]
+    fn threshold_byte_estimator_beats_uniform_on_heavy_tails() {
+        let recs = heavy_tailed(40_000);
+        let truth: u64 = recs.iter().map(|r| r.bytes).sum();
+        let smart: u64 = ThresholdSampler::new(1_000_000, 9)
+            .sample_all(&recs)
+            .iter()
+            .map(|r| r.bytes)
+            .sum();
+        let err = (smart as f64 - truth as f64).abs() / truth as f64;
+        assert!(err < 0.02, "threshold estimator error {err:.4}");
+    }
+
+    #[test]
+    fn threshold_renormalizes_kept_mice_to_z() {
+        let recs = heavy_tailed(10_000);
+        let s = ThresholdSampler::new(1_000_000, 11);
+        for r in s.sample_all(&recs) {
+            if r.bytes < 50_000_000 {
+                assert_eq!(r.bytes, 1_000_000, "kept mouse reports exactly z");
+                assert_eq!(r.packets, 1_000, "packets scaled by the same z/b");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_selection_is_batch_independent_and_skips_zero_bytes() {
+        let mut recs = records(1_000);
+        recs[7].bytes = 0;
+        let s = ThresholdSampler::new(10_000_000, 3);
+        let whole = s.sample_all(&recs);
+        let mut split = s.sample_all(&recs[..500]);
+        split.extend(s.sample_all(&recs[500..]));
+        assert_eq!(whole, split);
+        assert!(whole.iter().all(|r| r.bytes > 0), "zero-byte flows dropped");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be >= 1")]
+    fn zero_threshold_rejected() {
+        ThresholdSampler::new(0, 1);
     }
 
     #[test]

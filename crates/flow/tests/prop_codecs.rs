@@ -64,6 +64,7 @@ const EXPORT_UNIX: u64 = 1_585_000_000; // 2020-03-23, within the study window
 
 proptest! {
     #[test]
+    #[test]
     fn v5_roundtrip(records in prop::collection::vec(arb_record(EXPORT_UNIX), 0..=30)) {
         let export = Timestamp::from_unix(EXPORT_UNIX);
         let boot = Timestamp::from_unix(EXPORT_UNIX - 86_400);
@@ -83,6 +84,7 @@ proptest! {
     }
 
     #[test]
+    #[test]
     fn v9_roundtrip(records in prop::collection::vec(arb_record(EXPORT_UNIX), 0..80)) {
         let export = Timestamp::from_unix(EXPORT_UNIX);
         let boot = Timestamp::from_unix(EXPORT_UNIX - 86_400);
@@ -96,6 +98,7 @@ proptest! {
     }
 
     #[test]
+    #[test]
     fn ipfix_roundtrip(records in prop::collection::vec(arb_record(EXPORT_UNIX), 0..80)) {
         let export = Timestamp::from_unix(EXPORT_UNIX);
         let t = Template::standard_ipfix(256);
@@ -108,6 +111,7 @@ proptest! {
 
     /// Fuzz: the decoders must return an error, never panic, on junk.
     #[test]
+    #[test]
     fn decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
         let _ = v5::decode(&bytes);
         let mut cache = TemplateCache::new();
@@ -118,6 +122,7 @@ proptest! {
 
     /// Fuzz with a valid-looking v5 header prefix to reach deeper paths.
     #[test]
+    #[test]
     fn v5_header_fuzz(mut bytes in prop::collection::vec(any::<u8>(), 24..1500)) {
         bytes[0] = 0;
         bytes[1] = 5;
@@ -125,6 +130,7 @@ proptest! {
     }
 
     /// Fuzz with valid IPFIX version+length to exercise set walking.
+    #[test]
     #[test]
     fn ipfix_set_fuzz(mut bytes in prop::collection::vec(any::<u8>(), 16..1500)) {
         bytes[0] = 0;
@@ -138,6 +144,7 @@ proptest! {
 
     /// Anonymization is prefix-preserving for arbitrary address pairs.
     #[test]
+    #[test]
     fn anonymizer_prefix_preserving(key in any::<u64>(), a in any::<u32>(), b in any::<u32>()) {
         let anon = Anonymizer::new(key);
         let (ia, ib) = (Ipv4Addr::from(a), Ipv4Addr::from(b));
@@ -147,6 +154,7 @@ proptest! {
     }
 
     /// Exporter/collector composition loses no records for any batch size.
+    #[test]
     #[test]
     fn export_collect_identity(
         records in prop::collection::vec(arb_record(EXPORT_UNIX), 0..200),
@@ -174,6 +182,7 @@ mod tracefile_props {
     proptest! {
         /// Arbitrary datagram sequences round-trip through the container.
         #[test]
+        #[test]
         fn tracefile_roundtrip(
             payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..2_000), 0..30),
             t0 in 1_500_000_000u64..1_700_000_000,
@@ -190,6 +199,7 @@ mod tracefile_props {
 
         /// The reader never panics on arbitrary bytes.
         #[test]
+        #[test]
         fn tracefile_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4_096)) {
             if let Ok(reader) = TraceReader::open(&bytes) {
                 for record in reader {
@@ -202,6 +212,7 @@ mod tracefile_props {
 
         /// Truncating a valid trace anywhere yields an error or a clean
         /// prefix — never junk records beyond the cut.
+        #[test]
         #[test]
         fn tracefile_truncation_is_safe(
             payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..100), 1..10),

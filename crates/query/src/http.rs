@@ -207,10 +207,15 @@ fn serve_connection(
                 {
                     // Idle poll tick: drain, but never strand a client
                     // mid-request — only close when no bytes are pending.
+                    // Bytes already buffered (a slow writer mid-header)
+                    // stay put; the next tick keeps accumulating.
                     if stop.load(Ordering::Relaxed) && buf.is_empty() {
                         return;
                     }
                 }
+                // EINTR is not a dead connection: a signal landing on the
+                // poll read must not discard a half-received request.
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(_) => return,
             }
         };
@@ -414,6 +419,39 @@ mod tests {
 
         assert_eq!(metrics.requests.get(), 5);
         assert_eq!(metrics.responses_5xx.get(), 1);
+        server.shutdown(Duration::from_secs(2));
+    }
+
+    #[test]
+    fn slow_writer_straddling_poll_ticks_is_reassembled() {
+        // Trickle a request one byte at a time so the header spans many
+        // POLL read-timeout boundaries. Every timeout tick must leave the
+        // buffered prefix intact — the request is answered 200, not 400,
+        // and the connection stays usable afterwards.
+        let metrics = QueryMetrics::new();
+        let handler: Handler =
+            Arc::new(|req: &Request| Response::json(200, format!("{{\"path\":\"{}\"}}", req.path)));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = Server::start(listener, 2, Arc::clone(&metrics), handler).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+
+        let request = b"GET /slow HTTP/1.1\r\nHost: t\r\n\r\n";
+        // ~36 bytes * 20ms = ~720ms of writing against a 100ms poll: the
+        // head straddles at least six timeout ticks.
+        for &b in request.iter() {
+            s.write_all(&[b]).unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let resp = read_response(&mut s);
+        assert!(resp.contains("200 OK"), "slow writer got: {resp}");
+        assert!(resp.contains("{\"path\":\"/slow\"}"));
+
+        // The same connection still serves a fast request.
+        s.write_all(b"GET /fast HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        assert!(read_response(&mut s).contains("200 OK"));
+        assert_eq!(metrics.responses_4xx.get(), 0, "no spurious 400s");
         server.shutdown(Duration::from_secs(2));
     }
 

@@ -47,12 +47,19 @@ pub struct LoadReport {
     pub clients: usize,
     /// Wall-clock seconds of the load phase.
     pub secs: f64,
-    /// Requests completed (load phase).
+    /// HTTP exchanges completed during the load phase, 2xx or not.
     pub requests: u64,
-    /// Transport errors (reconnects) during the load phase.
+    /// Transport errors (connect/read/write failures): the exchange never
+    /// completed, so it contributes no status and no latency sample.
     pub errors: u64,
-    /// Requests with non-2xx status.
+    /// Completed exchanges with a non-2xx status (e.g. 503 backpressure
+    /// rejections). Excluded from the latency percentiles: an error
+    /// fast-path answers in microseconds and would deflate — or, behind a
+    /// saturated listener, inflate — p99 for real work.
     pub failed_status: u64,
+    /// Successful (2xx) exchanges — the population behind the latency
+    /// percentiles. `requests == latency_samples + failed_status`.
+    pub latency_samples: u64,
     /// Requests per second.
     pub rps: f64,
     /// Median request latency, microseconds.
@@ -71,12 +78,13 @@ impl LoadReport {
     /// Render as a JSON object (the `BENCH_query.json` payload).
     pub fn render_json(&self) -> String {
         format!(
-            "{{\n  \"clients\": {},\n  \"secs\": {:.3},\n  \"requests\": {},\n  \"errors\": {},\n  \"failed_status\": {},\n  \"rps\": {:.1},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \"p999_us\": {},\n  \"figures_verified\": {},\n  \"mismatches\": {}\n}}",
+            "{{\n  \"clients\": {},\n  \"secs\": {:.3},\n  \"requests\": {},\n  \"errors\": {},\n  \"failed_status\": {},\n  \"latency_samples\": {},\n  \"rps\": {:.1},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \"p999_us\": {},\n  \"figures_verified\": {},\n  \"mismatches\": {}\n}}",
             self.clients,
             self.secs,
             self.requests,
             self.errors,
             self.failed_status,
+            self.latency_samples,
             self.rps,
             self.p50_us,
             self.p99_us,
@@ -292,6 +300,7 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
             .stack_size(256 * 1024)
             .spawn(move || {
                 let mut latencies: Vec<u64> = Vec::new();
+                let mut completed: u64 = 0;
                 let mut conn = None;
                 while Instant::now() < deadline {
                     let c = match conn {
@@ -309,8 +318,14 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
                     let t = Instant::now();
                     match c.get(&authority, &path) {
                         Ok((status, _)) => {
-                            latencies.push(t.elapsed().as_micros() as u64);
-                            if !(200..300).contains(&status) {
+                            completed += 1;
+                            if (200..300).contains(&status) {
+                                // Only successful exchanges feed the
+                                // percentiles: a 503 fast-path answers in
+                                // microseconds and would skew the latency
+                                // distribution of real work.
+                                latencies.push(t.elapsed().as_micros() as u64);
+                            } else {
                                 failed.fetch_add(1, Ordering::Relaxed);
                                 // A 503 (connection limit) closes the
                                 // stream server-side; reconnect.
@@ -325,17 +340,21 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
                         }
                     }
                 }
-                latencies
+                (latencies, completed)
             })
             .map_err(|e| format!("spawning client {client}: {e}"))?;
         workers.push(worker);
     }
     let mut latencies: Vec<u64> = Vec::new();
+    let mut requests: u64 = 0;
     for w in workers {
-        latencies.extend(w.join().map_err(|_| "client thread panicked".to_string())?);
+        let (lat, completed) = w.join().map_err(|_| "client thread panicked".to_string())?;
+        latencies.extend(lat);
+        requests += completed;
     }
     report.secs = started.elapsed().as_secs_f64();
-    report.requests = latencies.len() as u64;
+    report.requests = requests;
+    report.latency_samples = latencies.len() as u64;
     report.errors = errors.load(Ordering::Relaxed);
     report.failed_status = failed.load(Ordering::Relaxed);
     report.rps = report.requests as f64 / report.secs.max(1e-9);

@@ -29,6 +29,7 @@ fn arb_app() -> impl Strategy<Value = AppClass> {
 proptest! {
     /// Demand is finite and non-negative for every cell in the window.
     #[test]
+    #[test]
     fn demand_finite_nonnegative(vp in arb_vantage(), app in arb_app(), d in arb_date(), h in 0u8..24) {
         let m = DemandModel::new();
         let v = m.volume_gbps(vp, app, d, h);
@@ -40,6 +41,7 @@ proptest! {
     /// nothing goes negative — the clamps the paper's ±[100, 200]% range
     /// presumes).
     #[test]
+    #[test]
     fn growth_bounded(vp in arb_vantage(), app in arb_app(), d in arb_date(), h in 0u8..24) {
         let m = DemandModel::new();
         let g = m.growth(vp, app, d, h);
@@ -49,6 +51,7 @@ proptest! {
 
     /// Intensity (raw and effective) stays in [0, 1], and effective never
     /// exceeds raw.
+    #[test]
     #[test]
     fn intensity_bounds(vp in arb_vantage(), d in arb_date()) {
         let m = DemandModel::new();
@@ -61,6 +64,7 @@ proptest! {
 
     /// Phase timelines are monotone: intensity never decreases before the
     /// relaxation date.
+    #[test]
     #[test]
     fn intensity_monotone_until_relaxation(
         region in prop::sample::select(Region::ALL.to_vec()),
@@ -75,6 +79,7 @@ proptest! {
 
     /// Day types partition every date (calendar totality).
     #[test]
+    #[test]
     fn day_types_total(d in arb_date(), region in prop::sample::select(Region::ALL.to_vec())) {
         let dt = day_type(d, region);
         // Weekends are weekend-typed or holiday-typed, never workdays.
@@ -84,6 +89,7 @@ proptest! {
     }
 
     /// Blending any two profiles stays within their pointwise envelope.
+    #[test]
     #[test]
     fn blend_envelope(t in 0.0f64..1.0, h in 0u8..24) {
         for (a, b) in [
@@ -99,6 +105,7 @@ proptest! {
 
     /// App shares form a probability distribution per vantage point.
     #[test]
+    #[test]
     fn shares_are_distribution(vp in arb_vantage()) {
         let sum: f64 = AppClass::ALL.iter().map(|&a| app_share(vp, a)).sum();
         prop_assert!((sum - 1.0).abs() < 1e-9);
@@ -109,6 +116,7 @@ proptest! {
 
     /// EDU model: volumes and connection counts are finite and positive,
     /// presence/remote stay in [0, 1].
+    #[test]
     #[test]
     fn edu_model_bounds(d in arb_date(), h in 0u8..24) {
         let m = EduModel::new();

@@ -15,6 +15,7 @@ proptest! {
     /// prefixes resolve to the *last* insert in the trie; feed the oracle
     /// deduplicated last-wins entries to match.
     #[test]
+    #[test]
     fn trie_matches_linear_oracle(
         prefixes in prop::collection::vec((arb_prefix(), any::<u32>()), 0..60),
         probes in prop::collection::vec(any::<u32>(), 0..100),
@@ -44,6 +45,7 @@ proptest! {
 
     /// contains() is consistent with nth_addr() and size().
     #[test]
+    #[test]
     fn prefix_membership(p in arb_prefix(), i in any::<u64>()) {
         let member = p.nth_addr(i);
         prop_assert!(p.contains(member));
@@ -58,6 +60,7 @@ proptest! {
 
     /// covers() is a partial order consistent with membership.
     #[test]
+    #[test]
     fn covers_transitivity(a in arb_prefix(), b in arb_prefix(), probe in any::<u32>()) {
         if a.covers(b) {
             let addr = Ipv4Addr::from(probe);
@@ -69,6 +72,7 @@ proptest! {
 
     /// Exact-match get() returns what was inserted (last wins).
     #[test]
+    #[test]
     fn get_returns_last_insert(p in arb_prefix(), v1 in any::<u32>(), v2 in any::<u32>()) {
         let mut t = LpmTable::new();
         t.insert(p, v1);
@@ -78,6 +82,7 @@ proptest! {
     }
 
     /// Lookup of an address inside an inserted prefix never returns None.
+    #[test]
     #[test]
     fn inserted_prefix_always_matches(p in arb_prefix(), v in any::<u32>(), i in any::<u64>()) {
         let mut t = LpmTable::new();

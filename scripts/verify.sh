@@ -196,6 +196,38 @@ if [[ $quick -eq 0 ]]; then
     grep -q "removed 1" target/chaos/gc-live.txt
     test ! -f "$arch/segments/seg-99-99999-23.lks"
 
+    echo "==> collectd smoke: stdin-EOF drain accounts a datagram"
+    mkdir -p target/collectd
+    coproc COLLECTD { ./target/release/lockdown collectd --sockets 1 \
+        2> target/collectd/metrics.txt; }
+    # Bash drops COLLECTD_PID once the coproc exits — save it while the
+    # daemon is still alive so the wait below can collect its status.
+    collectd_pid=$COLLECTD_PID
+    read -r listen_line <&"${COLLECTD[0]}"
+    caddr=${listen_line#listening on }
+    # Nudge one garbage datagram at the bound port (bash /dev/udp),
+    # then close stdin: the drain must account it as malformed.
+    echo -n "not a flow export" > "/dev/udp/${caddr%:*}/${caddr#*:}"
+    sleep 0.3
+    exec {COLLECTD[1]}>&-
+    summary=$(cat <&"${COLLECTD[0]}")
+    wait "$collectd_pid"
+    grep -q "1 datagrams received" <<< "$summary"
+    grep -q "1 malformed" <<< "$summary"
+    grep -q "socket_datagrams_received_total 1" target/collectd/metrics.txt
+
+    echo "==> collectd soak numbers (BENCH_collect.json)"
+    cargo run --release -q -p lockdown-bench --bin collect_json > BENCH_collect.json
+    cat BENCH_collect.json
+    grep -q '"audit_clean": true' BENCH_collect.json
+    # Throughput floor: the localhost soak must sustain a million flow
+    # records per second end-to-end (release build).
+    fps=$(grep -oE '"flows_per_sec": [0-9]+' BENCH_collect.json | grep -oE "[0-9]+$")
+    [[ "$fps" -ge 1000000 ]] || {
+        echo "collectd soak at ${fps} flows/s, below the 1M floor" >&2
+        exit 1
+    }
+
     rm -rf "$arch" "$cold" "$warm"
 fi
 

@@ -19,7 +19,8 @@
 
 use lockdown::analysis::prelude::*;
 use lockdown::chaos::ChaosConfig;
-use lockdown::collect::{FaultProfile, WireConfig};
+use lockdown::collect::soak::{self, SoakConfig};
+use lockdown::collect::{CollectMetrics, Collectd, CollectdConfig, FaultProfile, WireConfig};
 use lockdown::core::experiments::{
     fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, suite,
     tables,
@@ -40,9 +41,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Documented exit code for a serve startup that could not bind its
-/// address (already in use, bad host): distinguishable from archive or
-/// flag errors so process managers can tell "port conflict" apart.
+/// Documented exit code for a serve or collectd startup that could not
+/// bind a socket (already in use, bad host): distinguishable from
+/// archive or flag errors so process managers can tell "port conflict"
+/// apart.
 const EXIT_BIND: u8 = 2;
 
 /// Documented exit code for a degraded (quarantined-cells) suite pass:
@@ -64,6 +66,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "figures" => cmd_figures(rest),
         "collect" => cmd_collect(rest),
+        "collectd" => cmd_collectd(rest),
         "scenarios" => cmd_scenarios(rest).map(|()| ExitCode::SUCCESS),
         "store" => cmd_store(rest).map(|()| ExitCode::SUCCESS),
         "registry" => cmd_registry().map(|()| ExitCode::SUCCESS),
@@ -153,6 +156,26 @@ USAGE:
       supervises the pass as in figures (degraded runs exit 3).
       --scenario swaps the calibration as in figures.
 
+  lockdown collectd [--format ipfix|v9|v5] [--listen HOST:PORT]
+                    [--sockets N] [--shards N] [--queue N]
+      Run the real-socket collection daemon: bind N UDP sockets (exit 2
+      if any bind fails), decode NetFlow v5/v9 and IPFIX datagrams and
+      fan them out to collector shards through bounded queues. The bound
+      addresses are the first stdout lines ('listening on HOST:PORT',
+      one per socket). With --listen PORT != 0, socket i binds PORT+i.
+      The daemon runs until stdin reaches EOF, then drains the queues,
+      prints an ingest summary to stdout and the metrics snapshot to
+      stderr, and exits 0. Backpressure is explicit: datagrams dropped
+      at the kernel, at a full shard queue or by receive-buffer
+      truncation are counted separately (never silently).
+  lockdown collectd --soak [--cells N] [--records N] [--batch N]
+                    [--format ipfix|v9|v5] [--sockets N] [--shards N]
+                    [--queue N]
+      Localhost soak: export N records per cell through the daemon's
+      real UDP path with the conservation audit threaded through, and
+      print the JSON outcome (flows/sec, drop decomposition,
+      audit_clean). Non-clean audits exit 1.
+
   lockdown serve --archive DIR [--addr HOST:PORT] [--connections N]
                  [--cache-mb MB] [--fidelity F] [--scenario FILE]
       Serve the archive over HTTP/1.1: GET /figures (catalog),
@@ -184,9 +207,10 @@ USAGE:
       stdout); any mismatch exits 4.
 
 EXIT CODES:
-  0  success      1  error (incl. unknown flag/command or a scenario
-                            file that fails to parse or validate)
-                  2  serve could not bind its address
+  0  success      1  error (incl. unknown flag/command, a scenario
+                            file that fails to parse or validate, or a
+                            non-clean collectd --soak audit)
+                  2  serve/collectd could not bind a socket
                   3  degraded (quarantined cells; figures rendered from
                                partial data)
                   4  loadgen served-vs-expected figure mismatch
@@ -236,6 +260,14 @@ const VALUE_FLAGS: &[&str] = &[
     "--duration",
     "--seed",
     "--expect",
+    "--format",
+    "--listen",
+    "--sockets",
+    "--shards",
+    "--queue",
+    "--cells",
+    "--records",
+    "--batch",
 ];
 
 /// Reject any `--flag` the subcommand does not define: a typo must fail
@@ -546,6 +578,128 @@ fn cmd_collect(rest: &[String]) -> Result<ExitCode, String> {
     Ok(degraded_exit(&suite))
 }
 
+/// Parse an optional positive-integer flag with a default.
+fn parse_count(rest: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match flag(rest, name) {
+        None => Ok(default),
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("bad {name} (want a positive integer): {s}")),
+        },
+    }
+}
+
+fn parse_format(rest: &[String]) -> Result<ExportFormat, String> {
+    match flag(rest, "--format").as_deref() {
+        None | Some("ipfix") => Ok(ExportFormat::Ipfix),
+        Some("v9") => Ok(ExportFormat::NetflowV9),
+        Some("v5") => Ok(ExportFormat::NetflowV5),
+        Some(other) => Err(format!("unknown format: {other}")),
+    }
+}
+
+fn cmd_collectd(rest: &[String]) -> Result<ExitCode, String> {
+    check_flags(
+        rest,
+        &[
+            "--format",
+            "--listen",
+            "--sockets",
+            "--shards",
+            "--queue",
+            "--cells",
+            "--records",
+            "--batch",
+        ],
+        &["--soak"],
+    )?;
+    let format = parse_format(rest)?;
+    let sockets = parse_count(rest, "--sockets", 2)?;
+    let shards = parse_count(rest, "--shards", 4)?;
+    let queue_capacity = parse_count(rest, "--queue", 1_024)?;
+
+    if rest.iter().any(|a| a == "--soak") {
+        if flag(rest, "--listen").is_some() {
+            return Err("--listen does not apply to --soak (always localhost)".into());
+        }
+        let mut cfg = SoakConfig::new();
+        cfg.format = format;
+        cfg.sockets = sockets;
+        cfg.shards = shards;
+        cfg.queue_capacity = queue_capacity;
+        cfg.cells = parse_count(rest, "--cells", cfg.cells)?;
+        cfg.records_per_cell = parse_count(rest, "--records", cfg.records_per_cell)?;
+        cfg.batch_size = parse_count(rest, "--batch", cfg.batch_size)?;
+        let out = match soak::run(&cfg) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("error: binding soak sockets: {e}");
+                return Ok(ExitCode::from(EXIT_BIND));
+            }
+        };
+        println!("{}", out.render_json());
+        if !out.audit_clean {
+            return Err("soak conservation audit did not close".into());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    for soak_only in ["--cells", "--records", "--batch"] {
+        if flag(rest, soak_only).is_some() {
+            return Err(format!("{soak_only} only applies to --soak"));
+        }
+    }
+    let mut dcfg = CollectdConfig::new(format);
+    dcfg.sockets = sockets;
+    dcfg.shards = shards;
+    dcfg.queue_capacity = queue_capacity;
+    if let Some(addr) = flag(rest, "--listen") {
+        dcfg.listen = addr
+            .parse()
+            .map_err(|_| format!("bad --listen (want HOST:PORT): {addr}"))?;
+    }
+    let metrics = CollectMetrics::new();
+    // Bind before anything else: a port conflict must be diagnosable
+    // (exit 2, as for serve) independently of everything downstream.
+    let mut daemon = match Collectd::bind(&dcfg, Arc::clone(&metrics)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: binding {}: {e}", dcfg.listen);
+            return Ok(ExitCode::from(EXIT_BIND));
+        }
+    };
+    // The bound addresses are the first stdout lines so a parent
+    // pipeline can scrape the ephemeral ports.
+    for addr in daemon.addrs() {
+        println!("listening on {addr}");
+    }
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    // Run until stdin reaches EOF — the portable shutdown signal for a
+    // daemon whose lifetime a parent pipeline manages.
+    let mut sink = [0u8; 4096];
+    let mut stdin = std::io::stdin();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+
+    // Graceful drain: the cycle barrier flushes every queued datagram
+    // through its shard before the workers hand their state back.
+    let cycle = daemon.close_cycle();
+    daemon.shutdown();
+    let t = cycle.shards.totals();
+    println!(
+        "collectd: {} datagrams received ({} truncated), {} decoded, \
+         {} records accepted, {} malformed, {} queue-dropped",
+        cycle.socket_received,
+        cycle.truncated_datagrams,
+        t.datagrams,
+        t.records_accepted,
+        t.malformed,
+        cycle.queue_dropped,
+    );
+    eprint!("{}", metrics.render());
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_scenarios(rest: &[String]) -> Result<(), String> {
     check_flags(
         rest,
@@ -784,12 +938,7 @@ fn cmd_capture(rest: &[String]) -> Result<(), String> {
     let vantage = parse_vantage(&flag(rest, "--vantage").ok_or("--vantage required")?)?;
     let date = parse_date(&flag(rest, "--date").ok_or("--date required")?)?;
     let out = flag(rest, "--out").ok_or("--out required")?;
-    let format = match flag(rest, "--format").as_deref() {
-        None | Some("ipfix") => ExportFormat::Ipfix,
-        Some("v9") => ExportFormat::NetflowV9,
-        Some("v5") => ExportFormat::NetflowV5,
-        Some(other) => return Err(format!("unknown format: {other}")),
-    };
+    let format = parse_format(rest)?;
     let sample_rate: u32 = match flag(rest, "--sample") {
         None => 1,
         Some(s) => s.parse().map_err(|_| format!("bad sample rate: {s}"))?,

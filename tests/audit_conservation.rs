@@ -171,6 +171,7 @@ proptest! {
     /// schedule, restart cadence, sampling rate, template cadence, fleet
     /// shape, and wrap-crossing sequence/uptime starting offsets, the
     /// ledger balances exactly — every conservation identity holds.
+    #[test]
     fn any_schedule_balances_the_ledger(
         format_pick in 0u8..3,
         loss in prop_oneof![Just(0.0f64), 0.0..0.35f64],

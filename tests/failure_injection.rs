@@ -174,6 +174,7 @@ proptest! {
     /// or mutate it. The exporter's starting sequence is fuzzed across the
     /// whole u32 range — including values a few datagrams below the wrap —
     /// because wrapped sequence headers must never corrupt decoding.
+    #[test]
     fn fault_schedules_never_corrupt_accepted_records(
         actions in prop::collection::vec(0u8..3u8, 0..600usize),
         shuffle_seed in any::<u64>(),
@@ -224,6 +225,196 @@ proptest! {
                 r
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard sequence accounting: duplicates arriving after their gap was
+// counted must not double-credit the loss estimate.
+// ---------------------------------------------------------------------------
+
+use lockdown::collect::{CollectorShard, DomainTruth, WireDatagram};
+
+const SHARD_DOMAIN: u32 = 9;
+
+/// Wrap the self-describing export (or a fuzzed-sequence variant) in
+/// `WireDatagram`s carrying exact ground-truth record tags.
+fn wire_datagrams(pkts: &[Vec<u8>], total: usize) -> Vec<WireDatagram> {
+    pkts.iter()
+        .enumerate()
+        .map(|(i, bytes)| WireDatagram {
+            domain: SHARD_DOMAIN,
+            records: records_in(i, pkts.len(), total) as u32,
+            flow_bytes: 0,
+            flow_packets: 0,
+            bytes: bytes.clone(),
+        })
+        .collect()
+}
+
+#[test]
+fn duplicate_after_counted_gap_does_not_double_credit_loss() {
+    // Datagram 1 is dropped in place; by the time its copies show up at
+    // the tail, datagrams 2.. have forced the gap into the tracker. The
+    // first late copy fills the gap (no loss); the second is a duplicate.
+    // The historical failure mode: the gap stays credited to `est_lost`
+    // even though a copy eventually delivered — loss and duplicate both
+    // counted, breaking the ledger by one batch.
+    let flows = flows_once();
+    let pkts = self_describing();
+    let datagrams = wire_datagrams(pkts, flows.len());
+    assert!(datagrams.len() > 4, "need a few datagrams");
+
+    let mut shard = CollectorShard::new(ExportFormat::Ipfix);
+    for (i, dg) in datagrams.iter().enumerate() {
+        if i != 1 {
+            shard.ingest(dg);
+        }
+    }
+    shard.ingest(&datagrams[1]); // late copy: fills the counted gap
+    shard.ingest(&datagrams[1]); // true duplicate of the late copy
+
+    let out = shard.close_domain(
+        &DomainTruth {
+            domain: SHARD_DOMAIN,
+            first_seq: 0,
+            units_sent: flows.len() as u64,
+        },
+        false,
+    );
+    let t = shard.totals();
+    assert_eq!(out.len(), flows.len(), "every record delivered eventually");
+    assert_eq!(t.records_lost_est, 0, "a filled gap is not a loss");
+    assert_eq!(
+        t.records_duplicate,
+        u64::from(datagrams[1].records),
+        "exactly one copy is a duplicate"
+    );
+    assert_eq!(t.records_anomalous, 0);
+    assert_eq!(t.records_malformed, 0);
+    assert_eq!(t.records_undecoded, 0);
+    assert_eq!(t.records_abandoned, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any dup × reorder × gap schedule balances the shard ledger exactly
+    /// (IPFIX, template in every datagram, so sequence units are records
+    /// and nothing is an estimate):
+    ///   accepted == sent − never_delivered
+    ///   est_lost == never_delivered
+    ///   duplicates == extra delivered copies
+    /// with zero anomalous / malformed / undecoded / abandoned records.
+    /// "Never delivered" is per ground truth — a datagram whose only
+    /// surviving copy arrives late, after its gap was counted, was still
+    /// delivered.
+    #[test]
+    fn dup_reorder_gap_schedules_balance_exactly(
+        // 0 = deliver; 1 = drop; 2 = deliver + late dup;
+        // 3 = drop in place but deliver a late copy (dup-after-gap);
+        // 4 = deliver + two late dups.
+        actions in prop::collection::vec(0u8..5u8, 0..600usize),
+        swap_seed in any::<u64>(),
+        initial_sequence in prop_oneof![
+            Just(0u32),
+            (u32::MAX - 5_000)..=u32::MAX,
+            any::<u32>(),
+        ],
+    ) {
+        let flows = flows_once();
+        let exported;
+        let pkts = if initial_sequence == 0 {
+            self_describing()
+        } else {
+            exported = export(1, initial_sequence);
+            &exported
+        };
+        let datagrams = wire_datagrams(pkts, flows.len());
+
+        let mut in_place: Vec<usize> = Vec::new();
+        let mut late: Vec<usize> = Vec::new();
+        let mut copies = vec![0u32; datagrams.len()];
+        for (i, _) in datagrams.iter().enumerate() {
+            match actions.get(i).copied().unwrap_or(0) {
+                1 => {}
+                2 => {
+                    in_place.push(i);
+                    late.push(i);
+                }
+                3 => late.push(i),
+                4 => {
+                    in_place.push(i);
+                    late.push(i);
+                    late.push(i);
+                }
+                _ => in_place.push(i),
+            }
+        }
+        // Bounded reorder of the in-order stream: adjacent swaps, the
+        // same fault the transport injects.
+        let mut rng = StdRng::seed_from_u64(swap_seed);
+        let mut k = 0;
+        while k + 1 < in_place.len() {
+            if rng.gen_bool(0.3) {
+                in_place.swap(k, k + 1);
+                k += 2;
+            } else {
+                k += 1;
+            }
+        }
+        // Late copies arrive after everything in-place, interleaved
+        // arbitrarily among themselves: the strongest dup-after-gap
+        // schedule the loopback transport cannot produce.
+        late.shuffle(&mut rng);
+
+        let mut shard = CollectorShard::new(ExportFormat::Ipfix);
+        for &i in in_place.iter().chain(&late) {
+            copies[i] += 1;
+            shard.ingest(&datagrams[i]);
+        }
+        let out = shard.close_domain(
+            &DomainTruth {
+                domain: SHARD_DOMAIN,
+                first_seq: initial_sequence,
+                units_sent: flows.len() as u64,
+            },
+            false,
+        );
+        let t = shard.totals();
+
+        let never_delivered: u64 = copies
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == 0)
+            .map(|(i, _)| u64::from(datagrams[i].records))
+            .sum();
+        let extra_copies: u64 = copies
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 1)
+            .map(|(i, &c)| u64::from(c - 1) * u64::from(datagrams[i].records))
+            .sum();
+
+        prop_assert_eq!(t.records_accepted, flows.len() as u64 - never_delivered);
+        prop_assert_eq!(out.len() as u64, t.records_accepted);
+        prop_assert_eq!(
+            t.records_lost_est, never_delivered,
+            "loss must equal never-delivered ground truth (no double credit \
+             for gaps later filled by duplicates)"
+        );
+        prop_assert_eq!(t.records_duplicate, extra_copies);
+        prop_assert_eq!(t.records_anomalous, 0);
+        prop_assert_eq!(t.records_malformed, 0);
+        prop_assert_eq!(t.records_undecoded, 0);
+        prop_assert_eq!(t.records_abandoned, 0);
+        // Exact partition: every delivered tag landed in exactly one bucket.
+        let delivered_tags: u64 = copies
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| u64::from(c) * u64::from(datagrams[i].records))
+            .sum();
+        prop_assert_eq!(t.records_accepted + t.records_duplicate, delivered_tags);
     }
 }
 
@@ -333,6 +524,7 @@ proptest! {
     /// equals the prediction computed from `ChaosInjector` alone (a cell
     /// is quarantined iff every attempt in its budget draws a panic) and
     /// it is identical across worker counts.
+    #[test]
     fn quarantine_set_is_deterministic_and_predicted(
         chaos_seed in any::<u64>(),
         panic_pct in 30u32..90,

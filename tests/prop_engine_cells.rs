@@ -90,6 +90,7 @@ proptest! {
 
     /// Every engine-generated flow survives NetFlow v9 encode/decode.
     #[test]
+    #[test]
     fn engine_cells_roundtrip_v9(
         (seed_idx, vp, date) in arb_inputs(),
         chunk in 16usize..64,
@@ -107,6 +108,7 @@ proptest! {
     }
 
     /// Every engine-generated flow survives IPFIX encode/decode.
+    #[test]
     #[test]
     fn engine_cells_roundtrip_ipfix(
         (seed_idx, vp, date) in arb_inputs(),
@@ -127,6 +129,7 @@ proptest! {
     /// The whole capture pipeline — exporter, trace-file container,
     /// collector — is the identity on an engine-generated day, for any
     /// batch size and both templated wire formats.
+    #[test]
     #[test]
     fn engine_cells_through_exporter_and_tracefile(
         (seed_idx, vp, date) in arb_inputs(),

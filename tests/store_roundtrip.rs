@@ -61,6 +61,7 @@ proptest! {
     /// Engine cell → encode → decode is the identity on flow records and
     /// reports the exact record count in the footer.
     #[test]
+    #[test]
     fn engine_cells_roundtrip_through_segments(
         seed_idx in 0usize..SEEDS.len(),
         stream in any_stream(),
@@ -84,6 +85,7 @@ proptest! {
 
     /// Any single flipped byte is caught by the CRC (or a stricter check
     /// downstream of it) and the error names the segment being decoded.
+    #[test]
     #[test]
     fn flipped_byte_fails_decode_naming_the_segment(
         seed_idx in 0usize..SEEDS.len(),
