@@ -55,6 +55,19 @@ impl DayPart {
             DayPart::WeekendEvening => "Weekend: 17:00-24:00",
         }
     }
+
+    /// Shard-codec wire byte: index into [`DayPart::ALL`].
+    pub(crate) fn index(self) -> u8 {
+        DayPart::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("every variant is in ALL") as u8
+    }
+
+    /// Inverse of [`DayPart::index`].
+    pub(crate) fn from_index(i: u8) -> Option<DayPart> {
+        DayPart::ALL.get(i as usize).copied()
+    }
 }
 
 /// Streaming accumulator for the Fig. 4 hypergiant/other split:
@@ -125,6 +138,59 @@ impl HypergiantSplit {
         } else {
             self.get(week, part, hypergiant) as f64 / days as f64
         }
+    }
+
+    /// Shard-codec payload: byte bins, then day sets (each set sorted).
+    pub(crate) fn encode_split(&self, out: &mut Vec<u8>) {
+        crate::codec::put_u64(out, self.bins.len() as u64);
+        for ((week, part, hg), bytes) in &self.bins {
+            out.push(*week);
+            out.push(part.index());
+            crate::codec::put_bool(out, *hg);
+            crate::codec::put_u64(out, *bytes);
+        }
+        crate::codec::put_u64(out, self.days.len() as u64);
+        for ((week, part), days) in &self.days {
+            out.push(*week);
+            out.push(part.index());
+            let mut sorted: Vec<i64> = days.iter().copied().collect();
+            sorted.sort_unstable();
+            crate::codec::put_u64(out, sorted.len() as u64);
+            for d in sorted {
+                crate::codec::put_i64(out, d);
+            }
+        }
+    }
+
+    /// Decode a shard-codec payload and merge it (bins add, day sets
+    /// union).
+    pub(crate) fn merge_split(
+        &mut self,
+        r: &mut crate::codec::StateReader<'_>,
+    ) -> Result<(), crate::codec::CodecError> {
+        let read_part = |r: &mut crate::codec::StateReader<'_>| {
+            let i = r.u8("day part")?;
+            DayPart::from_index(i).ok_or_else(|| r.error(format!("unknown day part {i}")))
+        };
+        let n = r.len("split bins", 11)?;
+        for _ in 0..n {
+            let week = r.u8("week")?;
+            let part = read_part(r)?;
+            let hg = r.bool("hypergiant flag")?;
+            let bytes = r.u64("bin bytes")?;
+            *self.bins.entry((week, part, hg)).or_insert(0) += bytes;
+        }
+        let n = r.len("day sets", 10)?;
+        for _ in 0..n {
+            let week = r.u8("week")?;
+            let part = read_part(r)?;
+            let days = r.len("day set", 8)?;
+            let set = self.days.entry((week, part)).or_default();
+            for _ in 0..days {
+                set.insert(r.i64("day number")?);
+            }
+        }
+        Ok(())
     }
 
     /// Growth series over weeks for one group and day part, normalized by
@@ -213,6 +279,54 @@ impl AsDayTotals {
         }
         self.days_seen.0.extend(&other.days_seen.0);
         self.days_seen.1.extend(&other.days_seen.1);
+    }
+
+    /// Shard-codec payload: per-AS totals sorted by ASN, then the two
+    /// day-seen sets sorted. The region is *not* encoded — the receiving
+    /// consumer is factory-built with it.
+    pub(crate) fn encode_totals(&self, out: &mut Vec<u8>) {
+        let mut asns: Vec<u32> = self.totals.keys().copied().collect();
+        asns.sort_unstable();
+        crate::codec::put_u64(out, asns.len() as u64);
+        for asn in asns {
+            let (wd, we) = self.totals[&asn];
+            crate::codec::put_u32(out, asn);
+            crate::codec::put_u64(out, wd);
+            crate::codec::put_u64(out, we);
+        }
+        for set in [&self.days_seen.0, &self.days_seen.1] {
+            let mut sorted: Vec<i64> = set.iter().copied().collect();
+            sorted.sort_unstable();
+            crate::codec::put_u64(out, sorted.len() as u64);
+            for d in sorted {
+                crate::codec::put_i64(out, d);
+            }
+        }
+    }
+
+    /// Decode a shard-codec payload and merge it additively.
+    pub(crate) fn merge_totals(
+        &mut self,
+        r: &mut crate::codec::StateReader<'_>,
+    ) -> Result<(), crate::codec::CodecError> {
+        let n = r.len("AS totals", 20)?;
+        for _ in 0..n {
+            let asn = r.u32("asn")?;
+            let wd = r.u64("workday bytes")?;
+            let we = r.u64("weekend bytes")?;
+            let entry = self.totals.entry(asn).or_insert((0, 0));
+            entry.0 += wd;
+            entry.1 += we;
+        }
+        let wd_days = r.len("workday set", 8)?;
+        for _ in 0..wd_days {
+            self.days_seen.0.insert(r.i64("workday number")?);
+        }
+        let we_days = r.len("weekend set", 8)?;
+        for _ in 0..we_days {
+            self.days_seen.1.insert(r.i64("weekend day number")?);
+        }
+        Ok(())
     }
 
     /// Group an AS by its *per-day* workday/weekend ratio. `None` if the

@@ -1,0 +1,398 @@
+//! Versioned wire codec for consumer state.
+//!
+//! The shard subsystem moves partial [`FlowConsumer`] state between
+//! processes: a worker runs the engine over its cell slice, serializes
+//! each consumer's accumulator, and the coordinator deserializes and
+//! merges the partials through the same additive merge the in-process
+//! engine uses. The encoding therefore has exactly two jobs:
+//!
+//! * **Determinism.** The same state encodes to the same bytes whatever
+//!   the insertion order — hash maps and sets are emitted in sorted key
+//!   order — so a coordinator can compare or replay frames byte for byte.
+//! * **Loud failure.** Every frame carries a version, a consumer tag and
+//!   a CRC-32 trailer over everything before it. A single flipped byte
+//!   anywhere in the frame fails the CRC, and every decode error names
+//!   the consumer the *caller* expected (never the possibly-corrupt tag
+//!   byte inside the frame), so a mis-routed or damaged frame is
+//!   attributable from the error string alone.
+//!
+//! Constructor parameters — classifier handles, regions, eyeball ASNs,
+//! calibration dates — are deliberately *not* serialized: both sides of a
+//! shard run build identical engine plans, so the receiving consumer is
+//! factory-built with the right parameters and the frame carries only the
+//! mergeable accumulator state.
+
+use crate::consumer::FlowConsumer;
+use std::fmt;
+
+/// Current state-frame format version.
+pub const STATE_VERSION: u16 = 1;
+
+/// Fixed frame overhead: version (2) + tag (1) + payload length (4) +
+/// CRC-32 trailer (4).
+pub const FRAME_OVERHEAD: usize = 11;
+
+/// Stable identity of one consumer's serialized state: a tag byte on the
+/// wire plus the human-readable name decode errors carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsumerTag {
+    /// Tag byte recorded in the frame header.
+    pub id: u8,
+    /// Name used in error attribution.
+    pub name: &'static str,
+}
+
+/// [`crate::timeseries::HourlyVolume`] state.
+pub const TAG_HOURLY_VOLUME: ConsumerTag = ConsumerTag {
+    id: 1,
+    name: "HourlyVolume",
+};
+/// [`crate::edu::EduAnalysis`] state.
+pub const TAG_EDU_ANALYSIS: ConsumerTag = ConsumerTag {
+    id: 2,
+    name: "EduAnalysis",
+};
+/// [`crate::consumer::PortConsumer`] state.
+pub const TAG_PORT_CONSUMER: ConsumerTag = ConsumerTag {
+    id: 3,
+    name: "PortConsumer",
+};
+/// [`crate::consumer::HypergiantConsumer`] state.
+pub const TAG_HYPERGIANT_CONSUMER: ConsumerTag = ConsumerTag {
+    id: 4,
+    name: "HypergiantConsumer",
+};
+/// [`crate::consumer::AsTotalsConsumer`] state.
+pub const TAG_AS_TOTALS_CONSUMER: ConsumerTag = ConsumerTag {
+    id: 5,
+    name: "AsTotalsConsumer",
+};
+/// [`crate::consumer::HeatmapConsumer`] state.
+pub const TAG_HEATMAP_CONSUMER: ConsumerTag = ConsumerTag {
+    id: 6,
+    name: "HeatmapConsumer",
+};
+/// [`crate::consumer::ClassUsageConsumer`] state.
+pub const TAG_CLASS_USAGE_CONSUMER: ConsumerTag = ConsumerTag {
+    id: 7,
+    name: "ClassUsageConsumer",
+};
+/// [`crate::linkutil::AsHourly`] state.
+pub const TAG_AS_HOURLY: ConsumerTag = ConsumerTag {
+    id: 8,
+    name: "AsHourly",
+};
+/// `lockdown-core`'s Fig. 10 VPN week consumer state.
+pub const TAG_VPN_WEEK: ConsumerTag = ConsumerTag {
+    id: 9,
+    name: "VpnWeekConsumer",
+};
+/// `lockdown-core`'s §7 hourly-origins consumer state.
+pub const TAG_HOURLY_ORIGINS: ConsumerTag = ConsumerTag {
+    id: 10,
+    name: "OriginsConsumer",
+};
+/// Default tag for consumers that never cross a process boundary (the
+/// trait's default methods refuse to encode or decode).
+pub const TAG_UNSUPPORTED: ConsumerTag = ConsumerTag {
+    id: 0,
+    name: "unsupported",
+};
+
+/// Name of a known tag byte (`"unknown"` otherwise) — makes mis-routed
+/// frame errors attributable from both ends.
+pub fn tag_name(id: u8) -> &'static str {
+    [
+        TAG_HOURLY_VOLUME,
+        TAG_EDU_ANALYSIS,
+        TAG_PORT_CONSUMER,
+        TAG_HYPERGIANT_CONSUMER,
+        TAG_AS_TOTALS_CONSUMER,
+        TAG_HEATMAP_CONSUMER,
+        TAG_CLASS_USAGE_CONSUMER,
+        TAG_AS_HOURLY,
+        TAG_VPN_WEEK,
+        TAG_HOURLY_ORIGINS,
+    ]
+    .iter()
+    .find(|t| t.id == id)
+    .map(|t| t.name)
+    .unwrap_or("unknown")
+}
+
+/// A failed state decode, attributed to the consumer the caller expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Name of the consumer whose state was being decoded.
+    pub consumer: &'static str,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "consumer state [{}]: {}", self.consumer, self.detail)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Bitwise — state frames are
+/// small, and a table buys nothing here.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Append a `u16`, big-endian.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a `u32`, big-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a `u64`, big-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append an `i64`, big-endian two's complement.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a strict boolean byte (0 or 1).
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// Sequential reader over one frame's payload; every error it produces
+/// names the expected consumer.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    consumer: &'static str,
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// A reader over `buf`, attributing errors to `consumer`.
+    pub fn new(consumer: &'static str, buf: &'a [u8]) -> StateReader<'a> {
+        StateReader {
+            consumer,
+            buf,
+            pos: 0,
+        }
+    }
+
+    /// Build an error attributed to this reader's consumer.
+    pub fn error(&self, detail: impl Into<String>) -> CodecError {
+        CodecError {
+            consumer: self.consumer,
+            detail: detail.into(),
+        }
+    }
+
+    /// Unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(self.error(format!(
+                "truncated {what}: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8, CodecError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a big-endian `u16`.
+    pub fn u16(&mut self, what: &str) -> Result<u16, CodecError> {
+        Ok(u16::from_be_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32, CodecError> {
+        Ok(u32::from_be_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, CodecError> {
+        Ok(u64::from_be_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a big-endian `i64`.
+    pub fn i64(&mut self, what: &str) -> Result<i64, CodecError> {
+        Ok(i64::from_be_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a strict boolean byte (anything but 0/1 is corruption).
+    pub fn bool(&mut self, what: &str) -> Result<bool, CodecError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(self.error(format!("bad boolean {what}: {other}"))),
+        }
+    }
+
+    /// Read a `u64` length prefix, sanity-bounded by what the remaining
+    /// bytes could possibly hold (`min_entry` bytes per entry).
+    pub fn len(&mut self, what: &str, min_entry: usize) -> Result<usize, CodecError> {
+        let n = self.u64(what)?;
+        let cap = self.remaining() / min_entry.max(1);
+        if n as usize > cap {
+            return Err(self.error(format!(
+                "implausible {what}: {n} entries in {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
+    }
+}
+
+/// Serialize one consumer's state as a self-checking frame:
+/// `version ‖ tag ‖ payload-length ‖ payload ‖ CRC-32`.
+pub fn encode_frame<C: FlowConsumer + ?Sized>(consumer: &C) -> Vec<u8> {
+    let tag = consumer.state_tag();
+    let mut buf = Vec::with_capacity(64);
+    put_u16(&mut buf, STATE_VERSION);
+    buf.push(tag.id);
+    let len_at = buf.len();
+    put_u32(&mut buf, 0); // patched below
+    consumer.encode_state(&mut buf);
+    let payload_len = (buf.len() - len_at - 4) as u32;
+    buf[len_at..len_at + 4].copy_from_slice(&payload_len.to_be_bytes());
+    let crc = crc32(&buf);
+    put_u32(&mut buf, crc);
+    buf
+}
+
+/// Decode a state frame and merge it into `consumer`. The frame must
+/// carry `consumer`'s own tag — errors always name the consumer the
+/// caller expected, which survives corruption of the frame's tag byte.
+pub fn merge_frame<C: FlowConsumer + ?Sized>(
+    consumer: &mut C,
+    frame: &[u8],
+) -> Result<(), CodecError> {
+    let expected = consumer.state_tag();
+    let err = |detail: String| CodecError {
+        consumer: expected.name,
+        detail,
+    };
+    if frame.len() < FRAME_OVERHEAD {
+        return Err(err(format!(
+            "frame is {} bytes, shorter than header + CRC",
+            frame.len()
+        )));
+    }
+    let crc_at = frame.len() - 4;
+    let stored = u32::from_be_bytes(frame[crc_at..].try_into().expect("4 bytes"));
+    let actual = crc32(&frame[..crc_at]);
+    if stored != actual {
+        return Err(err(format!(
+            "state frame CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let version = u16::from_be_bytes(frame[0..2].try_into().expect("2 bytes"));
+    if version != STATE_VERSION {
+        return Err(err(format!(
+            "unsupported state version {version} (expected {STATE_VERSION})"
+        )));
+    }
+    let tag = frame[2];
+    if tag != expected.id {
+        return Err(err(format!(
+            "frame carries {} state (tag {tag}), expected {} (tag {})",
+            tag_name(tag),
+            expected.name,
+            expected.id
+        )));
+    }
+    let payload_len = u32::from_be_bytes(frame[3..7].try_into().expect("4 bytes")) as usize;
+    let payload = &frame[7..crc_at];
+    if payload.len() != payload_len {
+        return Err(err(format!(
+            "payload length {} does not match header claim {payload_len}",
+            payload.len()
+        )));
+    }
+    let mut r = StateReader::new(expected.name, payload);
+    consumer.merge_state(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(err(format!(
+            "{} trailing bytes after consumer state",
+            r.remaining()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::HourlyVolume;
+    use lockdown_flow::time::Date;
+
+    #[test]
+    fn crc_matches_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrips_and_any_flipped_byte_fails_named() {
+        let mut v = HourlyVolume::new();
+        v.add_bytes(Date::new(2020, 3, 25).at_hour(9), 1_234);
+        v.add_bytes(Date::new(2020, 3, 26).at_hour(0), 7);
+        let frame = encode_frame(&v);
+
+        let mut back = HourlyVolume::new();
+        merge_frame(&mut back, &frame).expect("clean frame decodes");
+        assert_eq!(back.get(Date::new(2020, 3, 25), 9), 1_234);
+
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            let mut sink = HourlyVolume::new();
+            let e =
+                merge_frame(&mut sink, &bad).expect_err("one flipped byte must fail the decode");
+            assert_eq!(e.consumer, "HourlyVolume", "flip at byte {i}: {e}");
+        }
+    }
+
+    #[test]
+    fn short_and_empty_frames_fail_named() {
+        let mut sink = HourlyVolume::new();
+        let e = merge_frame(&mut sink, &[]).unwrap_err();
+        assert_eq!(e.consumer, "HourlyVolume");
+        assert!(e.to_string().contains("HourlyVolume"), "{e}");
+    }
+}

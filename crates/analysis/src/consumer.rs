@@ -9,6 +9,7 @@
 
 use crate::appclass::{Classifier, HourUsage, PaperClass, WeekHeatmap};
 use crate::asgroup::{AsDayTotals, HypergiantSplit};
+use crate::codec::{self, CodecError, ConsumerTag, StateReader};
 use crate::edu::EduAnalysis;
 use crate::linkutil::AsHourly;
 use crate::ports::{PortProfile, EPHEMERAL_START};
@@ -41,6 +42,27 @@ pub trait FlowConsumer {
     fn merge(&mut self, other: Self)
     where
         Self: Sized;
+
+    /// Stable identity of this consumer's serialized state (the shard
+    /// codec's tag byte + the name decode errors carry). Consumers that
+    /// never cross a process boundary keep the default.
+    fn state_tag(&self) -> ConsumerTag {
+        codec::TAG_UNSUPPORTED
+    }
+
+    /// Append this consumer's mergeable state to `out` in the
+    /// deterministic payload encoding ([`codec::encode_frame`] adds the
+    /// version/tag/CRC framing). Constructor parameters are not encoded:
+    /// the receiving side factory-builds the consumer and merges.
+    fn encode_state(&self, _out: &mut Vec<u8>) {
+        unimplemented!("consumer does not implement the shard state codec")
+    }
+
+    /// Decode a peer's payload from `r` and merge it into `self` — the
+    /// cross-process analogue of [`FlowConsumer::merge`].
+    fn merge_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        Err(r.error("consumer does not implement the shard state codec"))
+    }
 }
 
 impl FlowConsumer for HourlyVolume {
@@ -51,6 +73,18 @@ impl FlowConsumer for HourlyVolume {
     fn merge(&mut self, other: Self) {
         HourlyVolume::merge(self, &other);
     }
+
+    fn state_tag(&self) -> ConsumerTag {
+        codec::TAG_HOURLY_VOLUME
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        self.encode_bins(out);
+    }
+
+    fn merge_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.merge_bins(r)
+    }
 }
 
 impl FlowConsumer for EduAnalysis {
@@ -60,6 +94,18 @@ impl FlowConsumer for EduAnalysis {
 
     fn merge(&mut self, other: Self) {
         EduAnalysis::merge(self, &other);
+    }
+
+    fn state_tag(&self) -> ConsumerTag {
+        codec::TAG_EDU_ANALYSIS
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        self.encode_payload(out);
+    }
+
+    fn merge_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.merge_payload(r)
     }
 }
 
@@ -88,6 +134,18 @@ impl FlowConsumer for PortConsumer {
 
     fn merge(&mut self, other: Self) {
         self.profile.merge(&other.profile);
+    }
+
+    fn state_tag(&self) -> ConsumerTag {
+        codec::TAG_PORT_CONSUMER
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        self.profile.encode_profile(out);
+    }
+
+    fn merge_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.profile.merge_profile(r)
     }
 }
 
@@ -118,6 +176,18 @@ impl FlowConsumer for HypergiantConsumer {
 
     fn merge(&mut self, other: Self) {
         self.split.merge(&other.split);
+    }
+
+    fn state_tag(&self) -> ConsumerTag {
+        codec::TAG_HYPERGIANT_CONSUMER
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        self.split.encode_split(out);
+    }
+
+    fn merge_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.split.merge_split(r)
     }
 }
 
@@ -161,6 +231,18 @@ impl FlowConsumer for AsTotalsConsumer {
     fn merge(&mut self, other: Self) {
         self.totals.merge(&other.totals);
     }
+
+    fn state_tag(&self) -> ConsumerTag {
+        codec::TAG_AS_TOTALS_CONSUMER
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        self.totals.encode_totals(out);
+    }
+
+    fn merge_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.totals.merge_totals(r)
+    }
 }
 
 /// One Fig. 9 [`WeekHeatmap`] fed flow-by-flow through a shared classifier.
@@ -188,6 +270,47 @@ impl FlowConsumer for HeatmapConsumer {
 
     fn merge(&mut self, other: Self) {
         self.heatmap.merge(&other.heatmap);
+    }
+
+    fn state_tag(&self) -> ConsumerTag {
+        codec::TAG_HEATMAP_CONSUMER
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        codec::put_i64(out, self.heatmap.start.day_number());
+        codec::put_u64(out, self.heatmap.grid.len() as u64);
+        for class_grid in &self.heatmap.grid {
+            for day in class_grid {
+                for v in day {
+                    codec::put_u64(out, *v);
+                }
+            }
+        }
+    }
+
+    fn merge_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        let day = r.i64("week start")?;
+        if day != self.heatmap.start.day_number() {
+            return Err(r.error(format!(
+                "week start {day} does not match this heatmap's start {}",
+                self.heatmap.start.day_number()
+            )));
+        }
+        let classes = r.u64("class count")?;
+        if classes as usize != self.heatmap.grid.len() {
+            return Err(r.error(format!(
+                "{classes} classes do not match this heatmap's {}",
+                self.heatmap.grid.len()
+            )));
+        }
+        for class_grid in &mut self.heatmap.grid {
+            for day in class_grid.iter_mut() {
+                for v in day.iter_mut() {
+                    *v += r.u64("cell bytes")?;
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -251,6 +374,47 @@ impl FlowConsumer for ClassUsageConsumer {
             bin.1.extend(ips);
         }
     }
+
+    fn state_tag(&self) -> ConsumerTag {
+        codec::TAG_CLASS_USAGE_CONSUMER
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        codec::put_u64(out, self.bins.len() as u64);
+        for ((day, hour), (bytes, ips)) in &self.bins {
+            codec::put_i64(out, *day);
+            out.push(*hour);
+            codec::put_u64(out, *bytes);
+            let mut sorted: Vec<u32> = ips.iter().map(|&ip| u32::from(ip)).collect();
+            sorted.sort_unstable();
+            codec::put_u64(out, sorted.len() as u64);
+            for ip in sorted {
+                codec::put_u32(out, ip);
+            }
+        }
+    }
+
+    fn merge_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        let n = r.len("usage bins", 25)?;
+        for _ in 0..n {
+            let day = r.i64("day number")?;
+            let hour = r.u8("hour")?;
+            if hour >= 24 {
+                return Err(r.error(format!("hour {hour} out of range")));
+            }
+            let bytes = r.u64("bin bytes")?;
+            let bin = self
+                .bins
+                .entry((day, hour))
+                .or_insert_with(|| (0, HashSet::new()));
+            bin.0 += bytes;
+            let ips = r.len("client set", 4)?;
+            for _ in 0..ips {
+                bin.1.insert(Ipv4Addr::from(r.u32("client address")?));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl FlowConsumer for AsHourly {
@@ -260,6 +424,18 @@ impl FlowConsumer for AsHourly {
 
     fn merge(&mut self, other: Self) {
         AsHourly::merge(self, &other);
+    }
+
+    fn state_tag(&self) -> ConsumerTag {
+        codec::TAG_AS_HOURLY
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        self.encode_hourly(out);
+    }
+
+    fn merge_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.merge_hourly(r)
     }
 }
 

@@ -235,6 +235,50 @@ impl EduAnalysis {
         self.undetermined += other.undetermined;
     }
 
+    /// Shard-codec payload: connection bins (class/orientation as indexes
+    /// into their `ALL` arrays), both volume series, then the counters.
+    pub(crate) fn encode_payload(&self, out: &mut Vec<u8>) {
+        crate::codec::put_u64(out, self.connections.len() as u64);
+        for ((day, class, orient), count) in &self.connections {
+            crate::codec::put_i64(out, *day);
+            out.push(class_index(*class));
+            out.push(orientation_index(*orient));
+            crate::codec::put_u64(out, *count);
+        }
+        self.ingress.encode_bins(out);
+        self.egress.encode_bins(out);
+        crate::codec::put_u64(out, self.flows);
+        crate::codec::put_u64(out, self.undetermined);
+    }
+
+    /// Decode a shard-codec payload and merge it additively.
+    pub(crate) fn merge_payload(
+        &mut self,
+        r: &mut crate::codec::StateReader<'_>,
+    ) -> Result<(), crate::codec::CodecError> {
+        let n = r.len("connection bins", 18)?;
+        for _ in 0..n {
+            let day = r.i64("day number")?;
+            let class = r.u8("traffic class")?;
+            let class = EduTrafficClass::ALL
+                .get(class as usize)
+                .copied()
+                .ok_or_else(|| r.error(format!("unknown traffic class {class}")))?;
+            let orient = r.u8("orientation")?;
+            let orient = ORIENTATIONS
+                .get(orient as usize)
+                .copied()
+                .ok_or_else(|| r.error(format!("unknown orientation {orient}")))?;
+            let count = r.u64("connections")?;
+            *self.connections.entry((day, class, orient)).or_insert(0) += count;
+        }
+        self.ingress.merge_bins(r)?;
+        self.egress.merge_bins(r)?;
+        self.flows += r.u64("flow count")?;
+        self.undetermined += r.u64("undetermined count")?;
+        Ok(())
+    }
+
     /// Daily connections for (class, orientation).
     pub fn daily_connections(
         &self,
@@ -311,6 +355,30 @@ impl EduAnalysis {
             .collect();
         crate::timeseries::median(&counts)
     }
+}
+
+/// Orientation wire order (shard codec).
+pub(crate) const ORIENTATIONS: [Orientation; 3] = [
+    Orientation::Incoming,
+    Orientation::Outgoing,
+    Orientation::Undetermined,
+];
+
+/// Shard-codec wire byte for a traffic class: index into
+/// [`EduTrafficClass::ALL`].
+pub(crate) fn class_index(class: EduTrafficClass) -> u8 {
+    EduTrafficClass::ALL
+        .iter()
+        .position(|&c| c == class)
+        .expect("every class is in ALL") as u8
+}
+
+/// Shard-codec wire byte for an orientation: index into [`ORIENTATIONS`].
+pub(crate) fn orientation_index(orient: Orientation) -> u8 {
+    ORIENTATIONS
+        .iter()
+        .position(|&o| o == orient)
+        .expect("every orientation is listed") as u8
 }
 
 #[cfg(test)]

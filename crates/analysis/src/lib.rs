@@ -16,13 +16,16 @@
 //!   heatmaps and Fig. 8 usage metrics;
 //! * [`vpn`] — §6's two VPN identification methods (Fig. 10);
 //! * [`edu`] — §7's directionality and connection-level analysis
-//!   (Figs. 11–12).
+//!   (Figs. 11–12);
+//! * [`codec`] — versioned, CRC-checked consumer-state frames for the
+//!   coordinator/worker shard subsystem.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod appclass;
 pub mod asgroup;
+pub mod codec;
 pub mod consumer;
 pub mod dayclass;
 pub mod ecdf;
@@ -41,6 +44,7 @@ pub mod prelude {
         residential_shift, shift_correlation, AsDayTotals, DayPart, HypergiantSplit,
         QuadrantCounts, RatioGroup, ResidentialShift,
     };
+    pub use crate::codec::{encode_frame, merge_frame, CodecError, ConsumerTag, StateReader};
     pub use crate::consumer::{
         AsTotalsConsumer, ClassUsageConsumer, FlowConsumer, HeatmapConsumer, HypergiantConsumer,
         PortConsumer,

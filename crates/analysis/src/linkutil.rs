@@ -88,6 +88,46 @@ impl AsHourly {
         }
     }
 
+    /// Shard-codec payload: the day number, then per-AS 24-hour rows
+    /// sorted by ASN.
+    pub(crate) fn encode_hourly(&self, out: &mut Vec<u8>) {
+        crate::codec::put_i64(out, self.date.day_number());
+        let mut asns: Vec<u32> = self.bins.keys().copied().collect();
+        asns.sort_unstable();
+        crate::codec::put_u64(out, asns.len() as u64);
+        for asn in asns {
+            crate::codec::put_u32(out, asn);
+            for b in &self.bins[&asn] {
+                crate::codec::put_u64(out, *b);
+            }
+        }
+    }
+
+    /// Decode a shard-codec payload and merge it additively. The encoded
+    /// day must match this accumulator's day (same-date invariant of
+    /// [`AsHourly::merge`]).
+    pub(crate) fn merge_hourly(
+        &mut self,
+        r: &mut crate::codec::StateReader<'_>,
+    ) -> Result<(), crate::codec::CodecError> {
+        let day = r.i64("day number")?;
+        if day != self.date.day_number() {
+            return Err(r.error(format!(
+                "day {day} does not match this accumulator's day {}",
+                self.date.day_number()
+            )));
+        }
+        let n = r.len("AS rows", 4 + 24 * 8)?;
+        for _ in 0..n {
+            let asn = r.u32("asn")?;
+            let row = self.bins.entry(asn).or_insert([0; 24]);
+            for slot in row.iter_mut() {
+                *slot += r.u64("hour bytes")?;
+            }
+        }
+        Ok(())
+    }
+
     /// Accumulate a batch of flows.
     pub fn from_flows(flows: &[FlowRecord], date: Date) -> AsHourly {
         let mut h = AsHourly::new(date);

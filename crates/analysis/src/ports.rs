@@ -158,6 +158,74 @@ impl PortProfile {
             selected as f64 / all as f64
         }
     }
+
+    /// Shard-codec payload: both maps in key order.
+    pub(crate) fn encode_profile(&self, out: &mut Vec<u8>) {
+        crate::codec::put_u64(out, self.bins.len() as u64);
+        for ((key, weekend, hour), bytes) in &self.bins {
+            put_service_key(out, *key);
+            crate::codec::put_bool(out, *weekend);
+            out.push(*hour);
+            crate::codec::put_u64(out, *bytes);
+        }
+        crate::codec::put_u64(out, self.totals.len() as u64);
+        for (key, bytes) in &self.totals {
+            put_service_key(out, *key);
+            crate::codec::put_u64(out, *bytes);
+        }
+    }
+
+    /// Decode a shard-codec payload and merge it additively.
+    pub(crate) fn merge_profile(
+        &mut self,
+        r: &mut crate::codec::StateReader<'_>,
+    ) -> Result<(), crate::codec::CodecError> {
+        // Smallest bins entry: 2-byte key + weekend + hour + 8-byte count.
+        let n = r.len("port bins", 12)?;
+        for _ in 0..n {
+            let key = read_service_key(r)?;
+            let weekend = r.bool("weekend flag")?;
+            let hour = r.u8("hour")?;
+            let bytes = r.u64("bin bytes")?;
+            if hour >= 24 {
+                return Err(r.error(format!("hour {hour} out of range")));
+            }
+            *self.bins.entry((key, weekend, hour)).or_insert(0) += bytes;
+        }
+        let n = r.len("port totals", 10)?;
+        for _ in 0..n {
+            let key = read_service_key(r)?;
+            let bytes = r.u64("total bytes")?;
+            *self.totals.entry(key).or_insert(0) += bytes;
+        }
+        Ok(())
+    }
+}
+
+/// [`ServiceKey`] wire form: variant byte 0 = `Port(proto, port)`,
+/// 1 = `Protocol(proto)`.
+fn put_service_key(out: &mut Vec<u8>, key: ServiceKey) {
+    match key {
+        ServiceKey::Port(proto, port) => {
+            out.push(0);
+            out.push(proto);
+            crate::codec::put_u16(out, port);
+        }
+        ServiceKey::Protocol(proto) => {
+            out.push(1);
+            out.push(proto);
+        }
+    }
+}
+
+fn read_service_key(
+    r: &mut crate::codec::StateReader<'_>,
+) -> Result<ServiceKey, crate::codec::CodecError> {
+    match r.u8("service key variant")? {
+        0 => Ok(ServiceKey::Port(r.u8("protocol")?, r.u16("port")?)),
+        1 => Ok(ServiceKey::Protocol(r.u8("protocol")?)),
+        other => Err(r.error(format!("unknown service key variant {other}"))),
+    }
 }
 
 /// Convenience constructors for the two ports Fig. 7 excludes.

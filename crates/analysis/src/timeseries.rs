@@ -111,6 +111,30 @@ impl HourlyVolume {
             *self.bins.entry(*t).or_insert(0) += b;
         }
     }
+
+    /// Shard-codec payload: bin count, then `(timestamp, bytes)` pairs in
+    /// key order (`BTreeMap` iteration is already sorted).
+    pub(crate) fn encode_bins(&self, out: &mut Vec<u8>) {
+        crate::codec::put_u64(out, self.bins.len() as u64);
+        for (t, b) in &self.bins {
+            crate::codec::put_u64(out, t.0);
+            crate::codec::put_u64(out, *b);
+        }
+    }
+
+    /// Decode a shard-codec payload and merge it additively.
+    pub(crate) fn merge_bins(
+        &mut self,
+        r: &mut crate::codec::StateReader<'_>,
+    ) -> Result<(), crate::codec::CodecError> {
+        let n = r.len("hour bins", 16)?;
+        for _ in 0..n {
+            let t = Timestamp(r.u64("bin timestamp")?);
+            let b = r.u64("bin bytes")?;
+            *self.bins.entry(t).or_insert(0) += b;
+        }
+        Ok(())
+    }
 }
 
 /// Normalize a series by a positive base value.

@@ -1,0 +1,221 @@
+//! Property tests for the consumer-state codec (the shard subsystem's
+//! serialization layer).
+//!
+//! Two properties, for every suite consumer in this crate:
+//!
+//! * **Merge equivalence.** Observing a flow batch split across two
+//!   consumers and merging the second into the first *through the codec*
+//!   (serialize → decode → merge) must produce exactly the state direct
+//!   in-process [`FlowConsumer::merge`] produces. Canonical-encoding byte
+//!   equality is the oracle — the codec sorts every map and set, so equal
+//!   states encode identically.
+//! * **Corruption detection.** Flipping any single byte of a frame must
+//!   fail the decode, and the error must name the consumer the decode was
+//!   *for* (CRC-32 detects all sub-32-bit burst errors, so a one-byte
+//!   flip can never slip through).
+
+use lockdown_analysis::appclass::{Classifier, PaperClass};
+use lockdown_analysis::codec::{encode_frame, merge_frame};
+use lockdown_analysis::consumer::{
+    AsTotalsConsumer, ClassUsageConsumer, FlowConsumer, HeatmapConsumer, HypergiantConsumer,
+    PortConsumer,
+};
+use lockdown_analysis::edu::EduAnalysis;
+use lockdown_analysis::linkutil::AsHourly;
+use lockdown_analysis::timeseries::HourlyVolume;
+use lockdown_flow::protocol::{IpProtocol, TcpFlags};
+use lockdown_flow::record::{Direction, FlowKey, FlowRecord};
+use lockdown_flow::time::Date;
+use lockdown_topology::asn::{Asn, Region};
+use lockdown_topology::registry::{Registry, EDU_ASN, SPOTIFY_ASN};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use std::sync::{Arc, OnceLock};
+
+/// Monday of the analysis week every generated flow lands in (heatmap and
+/// per-day consumers are anchored here).
+const BASE: Date = Date {
+    year: 2020,
+    month: 3,
+    day: 23,
+};
+
+fn classifier() -> Arc<Classifier> {
+    static C: OnceLock<Arc<Classifier>> = OnceLock::new();
+    Arc::clone(C.get_or_init(|| {
+        let registry = Registry::synthesize();
+        Arc::new(Classifier::from_registry(&registry))
+    }))
+}
+
+fn arb_flow() -> impl Strategy<Value = FlowRecord> {
+    let ports = vec![22u16, 80, 443, 993, 1_194, 3_389, 40_000, 50_000];
+    let asns = vec![0u32, 1, 2, 15_169, 64_496, EDU_ASN.0, SPOTIFY_ASN.0];
+    (
+        (0u64..7 * 86_400, 1u64..600, 1u64..1_000_000),
+        (
+            prop::sample::select(vec![
+                IpProtocol::Tcp,
+                IpProtocol::Udp,
+                IpProtocol::Esp,
+                IpProtocol::Gre,
+            ]),
+            prop::sample::select(ports.clone()),
+            prop::sample::select(ports),
+        ),
+        (
+            prop::sample::select(asns.clone()),
+            prop::sample::select(asns),
+            any::<u32>(),
+            any::<u32>(),
+        ),
+        prop::sample::select(vec![
+            Direction::Ingress,
+            Direction::Egress,
+            Direction::Unknown,
+        ]),
+    )
+        .prop_map(
+            |(
+                (secs, duration, bytes),
+                (proto, sport, dport),
+                (src_as, dst_as, src_ip, dst_ip),
+                direction,
+            )| {
+                let start = BASE.at_hour(0).add_secs(secs);
+                FlowRecord::builder(
+                    FlowKey {
+                        src_addr: Ipv4Addr::from(src_ip),
+                        dst_addr: Ipv4Addr::from(dst_ip),
+                        src_port: sport,
+                        dst_port: dport,
+                        protocol: proto,
+                    },
+                    start,
+                )
+                .end(start.add_secs(duration))
+                .bytes(bytes)
+                .packets(1 + bytes / 1_400)
+                .tcp_flags(TcpFlags::complete_connection())
+                .asns(src_as, dst_as)
+                .direction(direction)
+                .build()
+            },
+        )
+}
+
+/// Codec-mediated merge must equal direct in-process merge.
+fn check_merge_equivalence<C>(make: impl Fn() -> C, flows: &[FlowRecord], split: usize)
+where
+    C: FlowConsumer + Clone,
+{
+    let split = split.min(flows.len());
+    let mut a = make();
+    a.observe_all(&flows[..split]);
+    let mut b = make();
+    b.observe_all(&flows[split..]);
+
+    let mut direct = a.clone();
+    FlowConsumer::merge(&mut direct, b.clone());
+
+    let frame = encode_frame(&b);
+    let mut via_codec = a;
+    merge_frame(&mut via_codec, &frame).expect("clean frame must decode");
+
+    assert_eq!(
+        encode_frame(&direct),
+        encode_frame(&via_codec),
+        "codec merge diverged from direct merge for {}",
+        direct.state_tag().name
+    );
+}
+
+/// A one-byte flip anywhere in the frame must fail, naming the consumer.
+fn check_corruption_detected<C>(make: impl Fn() -> C, flows: &[FlowRecord], at: usize, mask: u8)
+where
+    C: FlowConsumer,
+{
+    let mut c = make();
+    c.observe_all(flows);
+    let mut frame = encode_frame(&c);
+    let at = at % frame.len();
+    frame[at] ^= mask;
+    let mut sink = make();
+    let err = merge_frame(&mut sink, &frame).expect_err("a flipped byte must fail the decode");
+    assert_eq!(
+        err.consumer,
+        sink.state_tag().name,
+        "error must name the expected consumer (flip at byte {at}): {err}"
+    );
+}
+
+proptest! {
+    #[test]
+    fn codec_merge_equals_direct_merge(
+        flows in prop::collection::vec(arb_flow(), 1..40),
+        split in 0usize..40,
+    ) {
+        let region = Region::CentralEurope;
+        check_merge_equivalence(HourlyVolume::new, &flows, split);
+        check_merge_equivalence(EduAnalysis::new, &flows, split);
+        check_merge_equivalence(|| PortConsumer::new(region), &flows, split);
+        check_merge_equivalence(
+            || HypergiantConsumer::new(region, Asn(64_496)),
+            &flows,
+            split,
+        );
+        check_merge_equivalence(|| AsTotalsConsumer::all(region), &flows, split);
+        check_merge_equivalence(
+            || AsTotalsConsumer::touching(region, Asn(64_496)),
+            &flows,
+            split,
+        );
+        check_merge_equivalence(|| HeatmapConsumer::new(classifier(), BASE), &flows, split);
+        check_merge_equivalence(
+            || ClassUsageConsumer::new(classifier(), PaperClass::Email),
+            &flows,
+            split,
+        );
+        check_merge_equivalence(|| AsHourly::new(BASE), &flows, split);
+    }
+
+    #[test]
+    fn one_flipped_byte_fails_with_consumer_named(
+        flows in prop::collection::vec(arb_flow(), 1..20),
+        at in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let region = Region::CentralEurope;
+        check_corruption_detected(HourlyVolume::new, &flows, at, mask);
+        check_corruption_detected(EduAnalysis::new, &flows, at, mask);
+        check_corruption_detected(|| PortConsumer::new(region), &flows, at, mask);
+        check_corruption_detected(
+            || HypergiantConsumer::new(region, Asn(64_496)),
+            &flows,
+            at,
+            mask,
+        );
+        check_corruption_detected(|| AsTotalsConsumer::all(region), &flows, at, mask);
+        check_corruption_detected(|| HeatmapConsumer::new(classifier(), BASE), &flows, at, mask);
+        check_corruption_detected(
+            || ClassUsageConsumer::new(classifier(), PaperClass::Email),
+            &flows,
+            at,
+            mask,
+        );
+        check_corruption_detected(|| AsHourly::new(BASE), &flows, at, mask);
+    }
+
+    /// A frame for one consumer must be rejected by every *other*
+    /// consumer, with the receiving (expected) consumer named.
+    #[test]
+    fn misrouted_frames_are_rejected(flows in prop::collection::vec(arb_flow(), 1..10)) {
+        let mut volume = HourlyVolume::new();
+        volume.observe_all(&flows);
+        let frame = encode_frame(&volume);
+        let mut edu = EduAnalysis::new();
+        let err = merge_frame(&mut edu, &frame).expect_err("wrong tag must be rejected");
+        prop_assert_eq!(err.consumer, "EduAnalysis");
+        prop_assert!(err.to_string().contains("HourlyVolume"), "{}", err);
+    }
+}

@@ -42,6 +42,8 @@ const TORN_SALT: u64 = 0x746F_726E_5F77_7274; // "torn_wrt"
 const ENOSPC_SALT: u64 = 0x656E_6F73_7063_2121; // "enospc!!"
 const STALL_SALT: u64 = 0x7374_616C_6C5F_7878; // "stall_xx"
 const JITTER_SALT: u64 = 0x6A69_7474_6572_2121; // "jitter!!"
+const WKILL_SALT: u64 = 0x776B_696C_6C21_2121; // "wkill!!!"
+const WSTALL_SALT: u64 = 0x7773_7461_6C6C_2121; // "wstall!!"
 
 /// Payload of an injected worker panic. Carried through
 /// `std::panic::panic_any` so the supervisor's panic hook can tell
@@ -87,6 +89,28 @@ impl CellChaos {
     }
 }
 
+/// Faults scheduled for one `(assignment range, attempt)` slot of a shard
+/// worker. Unlike [`CellChaos`] these are decided by the *coordinator* —
+/// the victim process cannot be trusted to fault itself once it is
+/// supposed to be dead — but the decision is still a pure function of
+/// `(seed, range, attempt)` so every coordinator replays the same faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerChaos {
+    /// Kill the worker process mid-range (SIGKILL semantics: no goodbye
+    /// frame, the TCP stream just dies).
+    pub kill: bool,
+    /// Stall the worker past the coordinator's heartbeat timeout; the
+    /// process stays alive but stops answering.
+    pub stall: bool,
+}
+
+impl WorkerChaos {
+    /// Whether this slot injects nothing.
+    pub fn is_clean(&self) -> bool {
+        !self.kill && !self.stall
+    }
+}
+
 /// The chaos surface: per-fault probabilities plus the supervisor's retry
 /// budget and backoff policy, all parseable from one CLI spec string.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,6 +125,10 @@ pub struct ChaosConfig {
     pub enospc: f64,
     /// Per-(cell, attempt) probability of an exporter stall timeout.
     pub stall: f64,
+    /// Per-(range, attempt) probability of a shard worker kill.
+    pub wkill: f64,
+    /// Per-(range, attempt) probability of a shard worker heartbeat stall.
+    pub wstall: f64,
     /// Per-cell attempt budget (minimum 1); a cell that fails every
     /// attempt is quarantined.
     pub attempts: u32,
@@ -121,6 +149,8 @@ impl ChaosConfig {
             torn: 0.0,
             enospc: 0.0,
             stall: 0.0,
+            wkill: 0.0,
+            wstall: 0.0,
             attempts: 3,
             backoff_base_ms: 10,
             backoff_cap_ms: 1_000,
@@ -129,11 +159,16 @@ impl ChaosConfig {
 
     /// Whether every fault probability is zero (the schedule never fires).
     pub fn is_zero(&self) -> bool {
-        self.panic == 0.0 && self.torn == 0.0 && self.enospc == 0.0 && self.stall == 0.0
+        self.panic == 0.0
+            && self.torn == 0.0
+            && self.enospc == 0.0
+            && self.stall == 0.0
+            && self.wkill == 0.0
+            && self.wstall == 0.0
     }
 
     /// Parse a CLI spec like
-    /// `seed=7,panic=0.05,torn=0.02,enospc=0.01,stall=0.03,attempts=2,backoff=1,cap=50`.
+    /// `seed=7,panic=0.05,torn=0.02,enospc=0.01,stall=0.03,wkill=0.1,wstall=0.1,attempts=2,backoff=1,cap=50`.
     /// Every key is optional; unknown keys and out-of-range values are
     /// rejected loudly.
     pub fn parse(spec: &str) -> Result<ChaosConfig, String> {
@@ -155,6 +190,8 @@ impl ChaosConfig {
                 "torn" => cfg.torn = prob("torn-write probability")?,
                 "enospc" => cfg.enospc = prob("enospc probability")?,
                 "stall" => cfg.stall = prob("stall probability")?,
+                "wkill" => cfg.wkill = prob("worker-kill probability")?,
+                "wstall" => cfg.wstall = prob("worker-stall probability")?,
                 "attempts" => {
                     cfg.attempts = value
                         .parse()
@@ -231,6 +268,34 @@ impl ChaosInjector {
         }
     }
 
+    /// The worker-level faults scheduled for one `(assignment, attempt)`
+    /// slot. The assignment is identified by its half-open cell-index
+    /// range `[range_start, range_end)` in the deterministic plan order,
+    /// so the schedule survives reassignment: when a range moves to
+    /// another worker on attempt 2, the fresh draw is keyed on the same
+    /// range and the new attempt number, never on which process runs it.
+    /// Kill and stall are mutually exclusive (kill is drawn first) — a
+    /// dead worker cannot also stall.
+    pub fn decide_worker(&self, range_start: u32, range_end: u32, attempt: u32) -> WorkerChaos {
+        if self.cfg.is_zero() {
+            return WorkerChaos::default();
+        }
+        let draw = |salt: u64| {
+            unit(fold_hash([
+                self.cfg.seed,
+                salt,
+                u64::from(range_start),
+                u64::from(range_end),
+                u64::from(attempt),
+            ]))
+        };
+        let kill = draw(WKILL_SALT) < self.cfg.wkill;
+        WorkerChaos {
+            kill,
+            stall: !kill && draw(WSTALL_SALT) < self.cfg.wstall,
+        }
+    }
+
     /// Deterministic bounded exponential backoff before retry `attempt`
     /// (1-based): `min(cap, base << (attempt-1))` plus seeded jitter in
     /// `[0, base)`. Milliseconds. Zero base means no delay at all.
@@ -273,7 +338,7 @@ mod tests {
     #[test]
     fn parse_roundtrips_every_knob() {
         let cfg = ChaosConfig::parse(
-            "seed=42,panic=0.1,torn=0.05,enospc=0.02,stall=0.03,attempts=2,backoff=1,cap=50",
+            "seed=42,panic=0.1,torn=0.05,enospc=0.02,stall=0.03,wkill=0.2,wstall=0.15,attempts=2,backoff=1,cap=50",
         )
         .unwrap();
         assert_eq!(cfg.seed, 42);
@@ -281,6 +346,8 @@ mod tests {
         assert_eq!(cfg.torn, 0.05);
         assert_eq!(cfg.enospc, 0.02);
         assert_eq!(cfg.stall, 0.03);
+        assert_eq!(cfg.wkill, 0.2);
+        assert_eq!(cfg.wstall, 0.15);
         assert_eq!(cfg.attempts, 2);
         assert_eq!(cfg.backoff_base_ms, 1);
         assert_eq!(cfg.backoff_cap_ms, 50);
@@ -330,6 +397,41 @@ mod tests {
         let other = ChaosInjector::new(ChaosConfig { seed: 8, ..cfg });
         let same = (0..24).all(|h| a.decide(5, 18_400, h, 0) == other.decide(5, 18_400, h, 0));
         assert!(!same, "seed must matter");
+    }
+
+    #[test]
+    fn worker_decisions_are_pure_and_keyed_on_range() {
+        let cfg = ChaosConfig {
+            seed: 11,
+            wkill: 0.4,
+            wstall: 0.4,
+            ..ChaosConfig::zero()
+        };
+        let a = ChaosInjector::new(cfg);
+        let b = ChaosInjector::new(cfg);
+        let mut kills = 0;
+        let mut stalls = 0;
+        for start in (0u32..200).step_by(10) {
+            for attempt in 0..3 {
+                let d = a.decide_worker(start, start + 10, attempt);
+                assert_eq!(d, b.decide_worker(start, start + 10, attempt), "pure");
+                assert!(!(d.kill && d.stall), "kill and stall are exclusive");
+                kills += u32::from(d.kill);
+                stalls += u32::from(d.stall);
+            }
+        }
+        assert!(kills > 0, "a 40% kill schedule over 60 slots must fire");
+        assert!(stalls > 0, "a 40% stall schedule over 60 slots must fire");
+        // The range bounds are part of the key: shifting the range end
+        // re-draws the schedule.
+        let shifted =
+            (0..40).any(|s| a.decide_worker(s, s + 10, 0) != a.decide_worker(s, s + 11, 0));
+        assert!(shifted, "range end must matter");
+        // Worker faults never leak into the per-cell schedule.
+        assert!(a.decide(3, 18_341, 7, 0).is_clean());
+        // And a zero config never kills anyone.
+        let calm = ChaosInjector::new(ChaosConfig::zero());
+        assert!(calm.decide_worker(0, 10, 0).is_clean());
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub struct CollectdConfig {
     /// Receive buffer length; [`RECV_BUF_LEN`] makes truncation
     /// impossible, smaller values (tests) make it observable.
     pub recv_buf_len: usize,
+    /// Kernel receive-buffer request (`SO_RCVBUF`) applied to every
+    /// socket at bind; `None` keeps the kernel default. The kernel clamps
+    /// the grant to `net.core.rmem_max` — the effective size lands in the
+    /// `socket_rcvbuf_bytes` gauge.
+    pub rcvbuf: Option<usize>,
     /// Address the first socket binds.
     pub listen: SocketAddr,
 }
@@ -92,6 +97,7 @@ impl CollectdConfig {
             shards: 4,
             queue_capacity: 1024,
             recv_buf_len: RECV_BUF_LEN,
+            rcvbuf: None,
             listen: SocketAddr::from(([127, 0, 0, 1], 0)),
         }
     }
@@ -208,6 +214,11 @@ impl Collectd {
                 addr.set_port(addr.port() + i as u16);
             }
             let sock = RecvSocket::bind_with_buffer(addr, cfg.recv_buf_len)?;
+            let granted = match cfg.rcvbuf {
+                Some(bytes) => sock.set_rcvbuf(bytes)?,
+                None => sock.rcvbuf().unwrap_or(0),
+            };
+            metrics.socket_rcvbuf_bytes.set_max(granted as u64);
             addrs.push(sock.local_addr()?);
             sockets.push(sock);
         }

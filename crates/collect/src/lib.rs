@@ -17,10 +17,14 @@
 //! generated ones, so wire-mode figures match in-process figures byte for
 //! byte.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the socket edge carries one scoped allowance for
+// the raw `setsockopt`/`getsockopt` FFI pair behind `SO_RCVBUF` tuning
+// (see `socket::sockopt`); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod daemon;
+pub mod export;
 pub mod fleet;
 pub mod metrics;
 pub mod queue;
@@ -36,6 +40,7 @@ use lockdown_flow::prelude::*;
 use lockdown_traffic::plan::Cell;
 
 pub use daemon::{Collectd, CollectdConfig, Cycle, ReceivedDatagram, SocketPlane};
+pub use export::{ExportConfig, ExportSummary};
 pub use fleet::{DomainTruth, ExporterFleet, FleetConfig, FleetTruth, WireDatagram};
 pub use lockdown_audit as audit;
 pub use metrics::{CollectMetrics, Metric, MetricKind, MetricsRegistry};

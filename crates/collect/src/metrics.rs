@@ -196,6 +196,9 @@ pub struct CollectMetrics {
     pub queue_capacity: Arc<Metric>,
     /// Bound collectd receive sockets (gauge).
     pub socket_receivers: Arc<Metric>,
+    /// Kernel-granted `SO_RCVBUF` per receive socket, in bytes (gauge;
+    /// the kernel default when no `--rcvbuf` tuning was requested).
+    pub socket_rcvbuf_bytes: Arc<Metric>,
     /// Datagrams presented to collector shards.
     pub collector_datagrams: Arc<Metric>,
     /// Flow records accepted by collector shards.
@@ -293,6 +296,10 @@ impl CollectMetrics {
             ),
             queue_capacity: r.gauge("queue_capacity", "Configured per-shard queue bound"),
             socket_receivers: r.gauge("socket_receivers", "Bound collectd receive sockets"),
+            socket_rcvbuf_bytes: r.gauge(
+                "socket_rcvbuf_bytes",
+                "Kernel-granted SO_RCVBUF per receive socket",
+            ),
             collector_datagrams: r
                 .counter("collector_datagrams_total", "Datagrams presented to shards"),
             collector_records: r.counter("collector_records_total", "Records accepted by shards"),

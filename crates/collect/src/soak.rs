@@ -41,6 +41,9 @@ pub struct SoakConfig {
     pub shards: usize,
     /// Bounded-queue capacity per shard.
     pub queue_capacity: usize,
+    /// Kernel receive-buffer request (`SO_RCVBUF`) for every daemon
+    /// socket; `None` keeps the kernel default.
+    pub rcvbuf: Option<usize>,
 }
 
 impl SoakConfig {
@@ -56,6 +59,7 @@ impl SoakConfig {
             sockets: 2,
             shards: 4,
             queue_capacity: 4_096,
+            rcvbuf: None,
         }
     }
 }
@@ -87,6 +91,8 @@ pub struct SoakOutcome {
     pub queue_dropped: u64,
     /// Datagrams truncated at the receive buffer.
     pub truncated: u64,
+    /// Kernel-granted `SO_RCVBUF` per daemon socket, in bytes.
+    pub rcvbuf_bytes: u64,
     /// End-to-end wall clock, export encode through session close.
     pub secs: f64,
     /// Whether every conservation identity closed.
@@ -123,6 +129,7 @@ impl SoakOutcome {
         s.push_str(&format!("  \"kernel_dropped\": {},\n", self.kernel_dropped));
         s.push_str(&format!("  \"queue_dropped\": {},\n", self.queue_dropped));
         s.push_str(&format!("  \"truncated\": {},\n", self.truncated));
+        s.push_str(&format!("  \"rcvbuf_bytes\": {},\n", self.rcvbuf_bytes));
         s.push_str(&format!("  \"secs\": {:.4},\n", self.secs));
         s.push_str(&format!(
             "  \"flows_per_sec\": {:.0},\n",
@@ -139,7 +146,9 @@ impl SoakOutcome {
 }
 
 /// Synthetic soak flows: deterministic, key-diverse, one hour wide.
-fn soak_flows(n: usize, hour: u8) -> Vec<FlowRecord> {
+/// Shared with [`crate::export`] so a separate exporter process pushes
+/// exactly the load the in-process soak does.
+pub(crate) fn soak_flows(n: usize, hour: u8) -> Vec<FlowRecord> {
     let t = Date::new(2020, 3, 25).at_hour(hour);
     (0..n as u32)
         .map(|i| {
@@ -179,6 +188,7 @@ pub fn run(cfg: &SoakConfig) -> io::Result<SoakOutcome> {
     dcfg.sockets = cfg.sockets;
     dcfg.shards = cfg.shards;
     dcfg.queue_capacity = cfg.queue_capacity;
+    dcfg.rcvbuf = cfg.rcvbuf;
 
     let mut plane = SocketPlane::new(wire, dcfg)?;
     let flows = soak_flows(cfg.records_per_cell, 12);
@@ -209,6 +219,7 @@ pub fn run(cfg: &SoakConfig) -> io::Result<SoakOutcome> {
         kernel_dropped: m.socket_datagrams_kernel_dropped.get(),
         queue_dropped: m.queue_datagrams_dropped.get(),
         truncated: m.socket_datagrams_truncated.get(),
+        rcvbuf_bytes: m.socket_rcvbuf_bytes.get(),
         secs,
         audit_clean: audit.is_clean(),
     })
@@ -235,5 +246,25 @@ mod tests {
         let json = out.render_json();
         assert!(json.contains("\"audit_clean\": true"));
         assert!(json.contains("\"records_sent\": 40000"));
+    }
+
+    /// With a generously tuned `SO_RCVBUF` the flow-controlled soak must
+    /// not lose a single datagram to the kernel: the buffer holds a full
+    /// send window with room to spare, so `kernel_dropped` settles at 0.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn generous_rcvbuf_soak_has_zero_kernel_drops() {
+        let mut cfg = SoakConfig::new();
+        cfg.cells = 2;
+        cfg.records_per_cell = 20_000;
+        cfg.rcvbuf = Some(4 << 20);
+        let out = run(&cfg).expect("soak binds on localhost");
+        assert!(out.rcvbuf_bytes > 0, "granted buffer is observable");
+        assert_eq!(
+            out.kernel_dropped, 0,
+            "generous kernel buffer leaves no room for kernel drops"
+        );
+        assert!(out.audit_clean, "soak audit must close");
+        assert!(out.render_json().contains("\"kernel_dropped\": 0"));
     }
 }

@@ -16,13 +16,118 @@
 //!   template state: [`peek`] reads domain, sequence and the claimed
 //!   record count straight from the format header.
 //!
-//! `SO_RCVBUF` stays at the kernel default (no `setsockopt` without a
-//! libc dependency); senders that must not lose datagrams bound their
-//! in-flight window instead (see [`crate::daemon`]).
+//! * **Kernel buffer tuning.** `SO_RCVBUF` defaults to the kernel's
+//!   `rmem_default`, which a burst of large datagrams overruns long
+//!   before the receiver thread falls behind. [`RecvSocket::set_rcvbuf`]
+//!   grows it through a raw `setsockopt` call (a two-symbol
+//!   `extern "C"` binding — no libc dependency) and reads the granted
+//!   size back, so callers see exactly what the kernel clamped them to
+//!   (`net.core.rmem_max`). Senders that must not lose datagrams still
+//!   bound their in-flight window (see [`crate::daemon`]); the buffer is
+//!   the margin for senders that cannot.
 
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::time::Duration;
+
+/// Raw `SO_RCVBUF` get/set on an already-bound socket.
+///
+/// `std::net` exposes no buffer-size API and the workspace links no libc
+/// crate, so the two syscall wrappers are declared directly: on Linux
+/// both live in the C runtime the binary is linked against anyway. The
+/// `unsafe` surface is exactly two FFI calls on stack-owned integers —
+/// no pointers outlive the call.
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod sockopt {
+    use std::ffi::{c_int, c_void};
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    /// `SOL_SOCKET` on Linux.
+    const SOL_SOCKET: c_int = 1;
+    /// `SO_RCVBUF` on Linux.
+    const SO_RCVBUF: c_int = 8;
+
+    extern "C" {
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *const c_void,
+            len: u32,
+        ) -> c_int;
+        fn getsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *mut c_void,
+            len: *mut u32,
+        ) -> c_int;
+    }
+
+    /// Request a receive buffer of `bytes`; returns what the kernel
+    /// granted (it doubles the request for bookkeeping overhead and
+    /// clamps it to `net.core.rmem_max`).
+    pub fn set_rcvbuf(sock: &impl AsRawFd, bytes: usize) -> io::Result<usize> {
+        let requested = bytes.min(c_int::MAX as usize) as c_int;
+        let len = std::mem::size_of::<c_int>() as u32;
+        let rc = unsafe {
+            setsockopt(
+                sock.as_raw_fd(),
+                SOL_SOCKET,
+                SO_RCVBUF,
+                (&requested as *const c_int).cast(),
+                len,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        rcvbuf(sock)
+    }
+
+    /// The socket's current receive-buffer size as the kernel reports it.
+    pub fn rcvbuf(sock: &impl AsRawFd) -> io::Result<usize> {
+        let mut value: c_int = 0;
+        let mut len = std::mem::size_of::<c_int>() as u32;
+        let rc = unsafe {
+            getsockopt(
+                sock.as_raw_fd(),
+                SOL_SOCKET,
+                SO_RCVBUF,
+                (&mut value as *mut c_int).cast(),
+                &mut len,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(value.max(0) as usize)
+    }
+}
+
+/// Non-Linux fallback: buffer tuning is a no-op request the caller sees
+/// as unsupported rather than silently ignored.
+#[cfg(not(target_os = "linux"))]
+mod sockopt {
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    pub fn set_rcvbuf(_sock: &impl AsRawFd, _bytes: usize) -> io::Result<usize> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_RCVBUF tuning is only wired up for Linux",
+        ))
+    }
+
+    pub fn rcvbuf(_sock: &impl AsRawFd) -> io::Result<usize> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_RCVBUF tuning is only wired up for Linux",
+        ))
+    }
+}
 
 use lockdown_flow::ipfix;
 use lockdown_flow::netflow::{v5, v9};
@@ -138,6 +243,19 @@ impl RecvSocket {
         self.socket.local_addr()
     }
 
+    /// Grow the kernel receive buffer (`SO_RCVBUF`) to `bytes`; returns
+    /// the size actually granted. The kernel doubles the request for its
+    /// own bookkeeping and clamps it to `net.core.rmem_max`, so the
+    /// return value is how callers learn the clamp bit.
+    pub fn set_rcvbuf(&self, bytes: usize) -> io::Result<usize> {
+        sockopt::set_rcvbuf(&self.socket, bytes)
+    }
+
+    /// The kernel receive-buffer size currently in effect.
+    pub fn rcvbuf(&self) -> io::Result<usize> {
+        sockopt::rcvbuf(&self.socket)
+    }
+
     /// Receive one datagram, classifying truncation; blocks at most
     /// [`POLL`]. Interrupted reads surface as [`Recv::TimedOut`] so the
     /// caller's poll loop simply retries.
@@ -208,6 +326,25 @@ mod tests {
             }
         }
         assert!(matches!(rx.recv().unwrap(), Recv::TimedOut));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn rcvbuf_request_is_granted_and_readable() {
+        let rx = RecvSocket::bind("127.0.0.1:0").unwrap();
+        let default = rx.rcvbuf().expect("getsockopt");
+        assert!(default > 0, "kernel always grants some buffer");
+        // A small request is always under rmem_max, so the grant must be
+        // at least the request (Linux doubles it).
+        let granted = rx.set_rcvbuf(64 * 1024).expect("setsockopt");
+        assert!(granted >= 64 * 1024, "granted {granted} for a 64 KiB ask");
+        assert_eq!(rx.rcvbuf().unwrap(), granted, "readback is stable");
+        // An absurd request is clamped, not an error.
+        let clamped = rx.set_rcvbuf(1 << 40).expect("clamped setsockopt");
+        assert!(
+            clamped >= granted,
+            "clamp never shrinks below a prior grant"
+        );
     }
 
     #[test]

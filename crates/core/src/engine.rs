@@ -16,7 +16,10 @@
 //! the old per-figure regeneration. `tests/determinism.rs` asserts both.
 
 use crate::context::Context;
-use crate::supervisor::{AttemptError, DegradedReport, Supervisor, SupervisorMetrics};
+use crate::supervisor::{
+    AttemptError, DegradedReport, QuarantinedCell, Supervisor, SupervisorMetrics,
+};
+use lockdown_analysis::codec::CodecError;
 use lockdown_analysis::consumer::FlowConsumer;
 use lockdown_chaos::{ChaosConfig, InjectedPanic, WriteFault};
 use lockdown_collect::{CollectMetrics, CollectionPlane, WireConfig};
@@ -41,6 +44,12 @@ pub(crate) trait AnyConsumer: Send {
     fn observe_batch(&mut self, records: &[FlowRecord]);
     fn merge_box(&mut self, other: Box<dyn AnyConsumer>);
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    /// Serialize this consumer's state as a self-checking codec frame
+    /// (the shard worker's side of the cross-process merge).
+    fn encode_state_frame(&self) -> Vec<u8>;
+    /// Decode a peer's frame and merge it into this consumer (the shard
+    /// coordinator's side).
+    fn merge_state_frame(&mut self, frame: &[u8]) -> Result<(), CodecError>;
 }
 
 struct Erased<C>(C);
@@ -63,6 +72,14 @@ impl<C: FlowConsumer + Send + 'static> AnyConsumer for Erased<C> {
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
+    }
+
+    fn encode_state_frame(&self) -> Vec<u8> {
+        lockdown_analysis::codec::encode_frame(&self.0)
+    }
+
+    fn merge_state_frame(&mut self, frame: &[u8]) -> Result<(), CodecError> {
+        lockdown_analysis::codec::merge_frame(&mut self.0, frame)
     }
 }
 
@@ -211,6 +228,14 @@ impl EnginePlan {
     /// Number of subscriptions recorded.
     pub fn demand_count(&self) -> usize {
         self.subs.len()
+    }
+
+    /// Fingerprint of the deduplicated cell plan. Two processes that
+    /// build the same subscriptions get the same hash — the shard
+    /// protocol's guard against running an assignment against a
+    /// differently built plan.
+    pub fn plan_hash(&self) -> u64 {
+        self.trace.plan_hash()
     }
 
     /// Decompose into the deduplicated trace plan and the subscription
@@ -870,6 +895,359 @@ pub fn try_run_with_workers(
     run_with_workers(ctx, plan, workers)
 }
 
+/// Everything one shard worker hands back after running a cell-index
+/// slice of a plan: serialized consumer states, cell accounting, the
+/// archive segment inventory it spilled, and any quarantined cells.
+#[derive(Debug, Default)]
+pub struct SliceOutcome {
+    /// One encoded state frame per subscription, in subscription order
+    /// (consumers whose windows miss the slice still contribute an empty
+    /// state — merging it is the identity).
+    pub states: Vec<Vec<u8>>,
+    /// Flow records fanned out across the slice's cells.
+    pub flows: u64,
+    /// Distinct cells generated.
+    pub generated: u64,
+    /// Distinct cells replayed from the archive.
+    pub replayed: u64,
+    /// Of the replayed cells, how many came from journal adoption.
+    pub resumed: u64,
+    /// Cell attempts beyond the first (supervised slices only).
+    pub retries: u64,
+    /// Segments this slice spilled (cold archived slices only); the
+    /// coordinator adopts these into the one published manifest.
+    pub segments: Vec<SegmentMeta>,
+    /// Cells the slice's supervisor quarantined.
+    pub quarantined: Vec<QuarantinedCell>,
+}
+
+/// Run one cell-index slice `[range.start, range.end)` of a plan's sorted
+/// cell list — the shard worker's half of a coordinated pass. Semantics
+/// match [`run_with_workers`] except:
+///
+/// * only the slice's cells execute, sequentially (worker *processes* are
+///   the parallelism, so a second thread pool inside each would fight the
+///   scheduler);
+/// * an archived cold slice spills through [`ArchiveWriter::attach`] —
+///   segment files only, never the manifest or journal, which belong to
+///   the coordinator;
+/// * nothing is published: the consumers come back as codec frames for
+///   [`ShardAssembler::absorb`] to merge.
+///
+/// The plan must be built identically on both sides (guarded by the plan
+/// hash in the shard protocol); wire mode does not cross the shard
+/// boundary.
+pub fn run_slice(
+    ctx: &Context,
+    plan: EnginePlan,
+    range: std::ops::Range<usize>,
+) -> Result<SliceOutcome, StoreError> {
+    let EnginePlan {
+        trace,
+        subs,
+        wire,
+        archive,
+        supervisor: supervisor_cfg,
+        scope: _,
+    } = plan;
+    assert!(
+        wire.is_none(),
+        "wire mode does not cross the shard boundary"
+    );
+    let emitter =
+        TraceEmitter::with_scenario(&ctx.registry, &ctx.corpus, ctx.config, &ctx.scenario);
+    let cells = trace.cells();
+    let start = range.start.min(cells.len());
+    let end = range.end.min(cells.len()).max(start);
+    let slice = &cells[start..end];
+    let supervisor = supervisor_cfg.map(Supervisor::new);
+
+    // Archive resolution mirrors the coordinator's: a same-generation
+    // manifest covering the slice means warm replay; anything else means
+    // the coordinator already invalidated the index and this slice spills
+    // fresh segments in attach (index-untouching) mode.
+    let store_metrics = archive.as_ref().map(|_| StoreMetrics::new());
+    let mut reader: Option<ArchiveReader> = None;
+    let mut writer: Option<ArchiveWriter> = None;
+    if let (Some(dir), Some(metrics)) = (&archive, &store_metrics) {
+        let key = StoreKey {
+            seed: ctx.config.seed,
+            scenario_hash: ctx.scenario_hash(),
+            plan_hash: trace.plan_hash(),
+        };
+        let opened = match ArchiveReader::open(dir, Arc::clone(metrics)) {
+            Ok(r) => r,
+            Err(StoreError::Corrupt { .. }) if supervisor.is_some() => {
+                metrics.resume_rejected.inc();
+                None
+            }
+            Err(e) => return Err(e),
+        };
+        match opened {
+            Some(r) if r.key().same_generation(&key) && r.covers(slice.iter()) => {
+                reader = Some(r);
+            }
+            _ => writer = Some(ArchiveWriter::attach(dir, key, Arc::clone(metrics))?),
+        }
+    }
+    let scan = match (&reader, &store_metrics) {
+        (Some(r), Some(m)) => Some(SegmentScan::new(r, slice.iter().copied(), m)),
+        _ => None,
+    };
+
+    let adopted = BTreeMap::new();
+    let mut consumers: Vec<Box<dyn AnyConsumer>> = subs.iter().map(|s| (s.factory)()).collect();
+    let mut tallies = Tallies::default();
+    let runner = CellRunner {
+        emitter: &emitter,
+        scan: scan.as_ref(),
+        writer: writer.as_ref(),
+        adopted: &adopted,
+        plane: None,
+        supervisor: supervisor.as_ref(),
+        store_metrics: store_metrics.as_ref(),
+        subs: &subs,
+    };
+    let mut buf = Vec::new();
+    for &cell in slice {
+        runner.process(cell, &mut buf, &mut consumers, &mut tallies)?;
+    }
+
+    Ok(SliceOutcome {
+        states: consumers.iter().map(|c| c.encode_state_frame()).collect(),
+        flows: tallies.flows,
+        generated: tallies.generated,
+        replayed: tallies.replayed,
+        resumed: tallies.resumed,
+        retries: supervisor
+            .as_ref()
+            .map(|s| s.metrics().retries.get())
+            .unwrap_or(0),
+        segments: writer.as_ref().map(|w| w.metas()).unwrap_or_default(),
+        quarantined: supervisor
+            .as_ref()
+            .map(|s| s.quarantined())
+            .unwrap_or_default(),
+    })
+}
+
+/// The shard coordinator's merge half: owns the archive index, merges
+/// worker [`SliceOutcome`]s through the consumer-state codec, and
+/// produces an [`EngineOutput`] indistinguishable from a single-process
+/// [`run_with_workers`] pass over the same plan.
+///
+/// Construction resolves the archive (warm manifest kept, anything else
+/// invalidated) *before* any worker opens it, so every worker sees a
+/// consistent warm/cold decision.
+pub struct ShardAssembler {
+    subs: Vec<Subscription>,
+    merged: Vec<Box<dyn AnyConsumer>>,
+    cells: Vec<Cell>,
+    plan_hash: u64,
+    cells_demanded: u64,
+    warm: bool,
+    writer: Option<ArchiveWriter>,
+    store_metrics: Option<Arc<StoreMetrics>>,
+    supervised: bool,
+    tallies: Tallies,
+    retries: u64,
+    quarantined: Vec<QuarantinedCell>,
+}
+
+impl ShardAssembler {
+    /// Prepare a coordinated pass: build the merge targets and resolve
+    /// the archive. Wire mode is not supported across the shard boundary.
+    pub fn new(ctx: &Context, plan: EnginePlan) -> Result<ShardAssembler, StoreError> {
+        let EnginePlan {
+            trace,
+            subs,
+            wire,
+            archive,
+            supervisor: supervisor_cfg,
+            scope: _,
+        } = plan;
+        assert!(
+            wire.is_none(),
+            "wire mode does not cross the shard boundary"
+        );
+        let cells = trace.cells();
+        let plan_hash = trace.plan_hash();
+        let cells_demanded = trace.cells_demanded();
+        let store_metrics = archive.as_ref().map(|_| StoreMetrics::new());
+        let mut warm = false;
+        let mut writer = None;
+        if let (Some(dir), Some(metrics)) = (&archive, &store_metrics) {
+            let key = StoreKey {
+                seed: ctx.config.seed,
+                scenario_hash: ctx.scenario_hash(),
+                plan_hash,
+            };
+            let opened = match ArchiveReader::open(dir, Arc::clone(metrics)) {
+                Ok(r) => r,
+                Err(StoreError::Corrupt { .. }) => {
+                    metrics.resume_rejected.inc();
+                    None
+                }
+                Err(e) => return Err(e),
+            };
+            match opened {
+                Some(r) if r.key().same_generation(&key) && r.covers(cells.iter()) => warm = true,
+                _ => writer = Some(ArchiveWriter::create(dir, key, Arc::clone(metrics))?),
+            }
+        }
+        let merged = subs.iter().map(|s| s.build()).collect();
+        Ok(ShardAssembler {
+            subs,
+            merged,
+            cells,
+            plan_hash,
+            cells_demanded,
+            warm,
+            writer,
+            store_metrics,
+            supervised: supervisor_cfg.is_some(),
+            tallies: Tallies::default(),
+            retries: 0,
+            quarantined: Vec::new(),
+        })
+    }
+
+    /// Fingerprint of the deduplicated cell plan; workers echo it back so
+    /// an assignment can never run against a differently built plan.
+    pub fn plan_hash(&self) -> u64 {
+        self.plan_hash
+    }
+
+    /// Number of cells in the sorted plan (the assignment index space).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the pass replays a warm archive (workers decode segments
+    /// instead of generating, and no segments come back to adopt).
+    pub fn is_warm(&self) -> bool {
+        self.warm
+    }
+
+    /// Merge one worker's slice into the coordinator state: consumer
+    /// frames through the codec, tallies additively, segments adopted
+    /// into the pending manifest. A frame that fails to decode is
+    /// surfaced as archive-grade corruption — the slice must be re-run,
+    /// not silently dropped.
+    pub fn absorb(&mut self, outcome: SliceOutcome) -> Result<(), StoreError> {
+        if outcome.states.len() != self.merged.len() {
+            return Err(StoreError::Corrupt {
+                segment: "consumer state".to_string(),
+                detail: format!(
+                    "worker returned {} states for {} subscriptions",
+                    outcome.states.len(),
+                    self.merged.len()
+                ),
+            });
+        }
+        for (consumer, frame) in self.merged.iter_mut().zip(&outcome.states) {
+            consumer
+                .merge_state_frame(frame)
+                .map_err(|e| StoreError::Corrupt {
+                    segment: "consumer state".to_string(),
+                    detail: e.to_string(),
+                })?;
+        }
+        self.tallies.flows += outcome.flows;
+        self.tallies.generated += outcome.generated;
+        self.tallies.replayed += outcome.replayed;
+        self.tallies.resumed += outcome.resumed;
+        self.retries += outcome.retries;
+        if let Some(w) = &self.writer {
+            for meta in outcome.segments {
+                w.adopt(meta)?;
+            }
+        }
+        self.quarantined.extend(outcome.quarantined);
+        Ok(())
+    }
+
+    /// Quarantine a whole assignment range: every replica of these cells
+    /// died. The archive must not claim any of them, and each cell is
+    /// reported exactly like a supervisor quarantine.
+    pub fn quarantine_range(&mut self, range: std::ops::Range<usize>, attempts: u32, error: &str) {
+        let start = range.start.min(self.cells.len());
+        let end = range.end.min(self.cells.len()).max(start);
+        for &cell in &self.cells[start..end] {
+            if let Some(w) = &self.writer {
+                let _ = w.remove(cell);
+            }
+            self.quarantined.push(QuarantinedCell {
+                cell,
+                attempts,
+                error: error.to_string(),
+            });
+        }
+    }
+
+    /// Publish and assemble: manifest on a clean pass, resumable journal
+    /// on a degraded one, and an [`EngineOutput`] carrying the merged
+    /// consumers, the combined stats and the degraded-mode report.
+    /// `workers` is recorded in the stats (worker processes, not threads).
+    pub fn finish(self, workers: usize) -> Result<EngineOutput, StoreError> {
+        let mut quarantined = self.quarantined;
+        quarantined.sort_by_key(|q| q.cell);
+        if let Some(w) = &self.writer {
+            if quarantined.is_empty() {
+                w.finish()?;
+            } else {
+                w.checkpoint()?;
+            }
+        }
+        let degraded = if quarantined.is_empty() {
+            None
+        } else {
+            let mut affected: BTreeMap<String, u64> = BTreeMap::new();
+            for q in &quarantined {
+                let mut seen = BTreeSet::new();
+                for sub in &self.subs {
+                    if sub.covers(q.cell) {
+                        let label = sub.label.clone().unwrap_or_else(|| "unlabeled".to_string());
+                        if seen.insert(label.clone()) {
+                            *affected.entry(label).or_default() += 1;
+                        }
+                    }
+                }
+            }
+            Some(DegradedReport {
+                quarantined: quarantined.clone(),
+                affected: affected.into_iter().collect(),
+                retries: self.retries,
+            })
+        };
+        Ok(EngineOutput {
+            stats: EngineStats {
+                demands: self.merged.len(),
+                cells_demanded: self.cells_demanded,
+                cells_generated: self.tallies.generated,
+                cells_replayed: self.tallies.replayed,
+                cells_resumed: self.tallies.resumed,
+                cells_quarantined: quarantined.len() as u64,
+                retries: self.retries,
+                flows_emitted: self.tallies.flows,
+                workers,
+            },
+            consumers: self.merged.into_iter().map(Some).collect(),
+            wire_metrics: None,
+            audit: None,
+            store_metrics: self.store_metrics,
+            supervisor_metrics: self.supervised.then(|| {
+                let m = SupervisorMetrics::new();
+                m.retries.add(self.retries);
+                m.quarantined_cells.set_max(quarantined.len() as u64);
+                m.resumed_cells.set_max(self.tallies.resumed);
+                m
+            }),
+            degraded,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -895,6 +1273,73 @@ mod tests {
         let first_day = out.take(b);
         assert_eq!(full.daily_total(d1), first_day.daily_total(d1));
         assert!(first_day.daily_total(d2) == 0, "window gates fan-out");
+    }
+
+    #[test]
+    fn sharded_slices_match_single_process() {
+        let ctx = Context::with_seed(Fidelity::Test, 9);
+        let d1 = Date::new(2020, 3, 9);
+        let d2 = Date::new(2020, 3, 12);
+        let build = |plan: &mut EnginePlan| {
+            plan.subscribe(
+                Stream::Vantage(VantagePoint::IxpSe),
+                d1,
+                d2,
+                HourlyVolume::new,
+            )
+        };
+        let mut plan = EnginePlan::new();
+        let h = build(&mut plan);
+        let mut reference = run_with_workers(&ctx, plan, 1).expect("archive-free pass cannot fail");
+        let series = reference.take(h).hourly_series(d1, d2);
+
+        // Three disjoint slices, each run through its own plan instance
+        // (as worker processes would), absorbed out of order.
+        let mut coord_plan = EnginePlan::new();
+        let ch = build(&mut coord_plan);
+        let mut asm = ShardAssembler::new(&ctx, coord_plan).expect("assembler");
+        let n = asm.cell_count();
+        assert_eq!(n, 4 * 24);
+        let cuts = [0, n / 3, 2 * n / 3, n];
+        let mut outcomes = Vec::new();
+        for w in 0..3 {
+            let mut p = EnginePlan::new();
+            build(&mut p);
+            outcomes.push(run_slice(&ctx, p, cuts[w]..cuts[w + 1]).expect("slice"));
+        }
+        outcomes.rotate_left(1);
+        for o in outcomes {
+            asm.absorb(o).expect("absorb");
+        }
+        let mut merged = asm.finish(3).expect("finish");
+        assert_eq!(merged.stats().cells_generated, (4 * 24) as u64);
+        assert!(merged.degraded().is_none());
+        assert_eq!(merged.take(ch).hourly_series(d1, d2), series);
+    }
+
+    #[test]
+    fn quarantined_ranges_degrade_the_assembled_pass() {
+        let ctx = Context::with_seed(Fidelity::Test, 9);
+        let d = Date::new(2020, 3, 9);
+        let mut plan = EnginePlan::new();
+        plan.with_supervisor(lockdown_chaos::ChaosConfig::zero());
+        plan.scoped("fig-x", |p| {
+            p.subscribe(
+                Stream::Vantage(VantagePoint::IxpSe),
+                d,
+                d,
+                HourlyVolume::new,
+            )
+        });
+        let mut asm = ShardAssembler::new(&ctx, plan).expect("assembler");
+        asm.quarantine_range(0..2, 3, "worker died (test)");
+        let out = asm.finish(2).expect("finish");
+        let report = out.degraded().expect("degraded");
+        assert_eq!(report.quarantined.len(), 2);
+        assert_eq!(report.affected, vec![("fig-x".to_string(), 2)]);
+        assert!(report
+            .render()
+            .contains("DEGRADED PASS: 2 cells quarantined"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use crate::context::Context;
 use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::TextTable;
+use lockdown_analysis::codec::{self, CodecError, ConsumerTag, StateReader};
 use lockdown_analysis::consumer::FlowConsumer;
 use lockdown_analysis::vpn::{VpnClassifier, VpnMethod};
 use lockdown_flow::record::FlowRecord;
@@ -90,6 +91,39 @@ impl FlowConsumer for VpnWeekConsumer {
             self.domain.workday[h] += other.domain.workday[h];
             self.domain.weekend[h] += other.domain.weekend[h];
         }
+    }
+
+    fn state_tag(&self) -> ConsumerTag {
+        codec::TAG_VPN_WEEK
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        // The classifier and region are constructor parameters; the
+        // mergeable state is the four fixed hourly series.
+        for series in [
+            &self.port.workday,
+            &self.port.weekend,
+            &self.domain.workday,
+            &self.domain.weekend,
+        ] {
+            for &v in series {
+                codec::put_u64(out, v);
+            }
+        }
+    }
+
+    fn merge_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        for series in [
+            &mut self.port.workday,
+            &mut self.port.weekend,
+            &mut self.domain.workday,
+            &mut self.domain.weekend,
+        ] {
+            for slot in series.iter_mut() {
+                *slot += r.u64("vpn hour bin")?;
+            }
+        }
+        Ok(())
     }
 }
 

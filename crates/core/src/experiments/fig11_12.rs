@@ -12,6 +12,7 @@
 use crate::context::Context;
 use crate::engine::{self, Demand, EngineOutput, EnginePlan};
 use crate::report::TextTable;
+use lockdown_analysis::codec::{self, CodecError, ConsumerTag, StateReader};
 use lockdown_analysis::consumer::FlowConsumer;
 use lockdown_analysis::edu::{orientation, EduAnalysis, EduTrafficClass, Orientation};
 use lockdown_flow::record::FlowRecord;
@@ -136,6 +137,29 @@ impl FlowConsumer for OriginsConsumer {
             self.national[h] += other.national[h];
             self.overseas[h] += other.overseas[h];
         }
+    }
+
+    fn state_tag(&self) -> ConsumerTag {
+        codec::TAG_HOURLY_ORIGINS
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        // The ASN sets are constructor parameters; only the two hourly
+        // series are mergeable state.
+        for series in [&self.national, &self.overseas] {
+            for &v in series {
+                codec::put_u64(out, v);
+            }
+        }
+    }
+
+    fn merge_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        for series in [&mut self.national, &mut self.overseas] {
+            for slot in series.iter_mut() {
+                *slot += r.u64("origins hour bin")?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -7,7 +7,7 @@
 //! `figures` command uses when the full suite is requested.
 
 use crate::context::Context;
-use crate::engine::{self, EngineOutput, EnginePlan, EngineStats};
+use crate::engine::{self, EngineOutput, EnginePlan, EngineStats, ShardAssembler, SliceOutcome};
 use crate::experiments::{
     fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, tables,
 };
@@ -229,6 +229,112 @@ pub fn run_all_opts(ctx: &Context, opts: SuiteOptions) -> Result<Suite, StoreErr
     let plans = build_plan(ctx, &mut plan);
     let out = engine::run(ctx, plan)?;
     Ok(assemble(ctx, plans, out))
+}
+
+/// How to run a *sharded* suite pass. Wire mode does not cross the shard
+/// boundary, so the option set is archive + chaos only. Both sides of a
+/// coordinated run — coordinator and every worker — must build from the
+/// same options (the plan hash guards the subscription set; archive and
+/// chaos must match by construction of the protocol's hello exchange).
+#[derive(Debug, Default, Clone)]
+pub struct ShardSuiteOptions {
+    /// Spill/replay cells against a columnar archive at this directory.
+    pub archive: Option<PathBuf>,
+    /// Supervise worker slices (and, via `wkill`/`wstall`, schedule
+    /// coordinator-side worker faults).
+    pub chaos: Option<ChaosConfig>,
+}
+
+fn shard_plan(ctx: &Context, opts: &ShardSuiteOptions) -> (EnginePlan, Plans) {
+    let mut plan = EnginePlan::new();
+    if let Some(dir) = &opts.archive {
+        plan.with_archive(dir);
+    }
+    if let Some(cfg) = opts.chaos {
+        plan.with_supervisor(cfg);
+    }
+    let plans = build_plan(ctx, &mut plan);
+    (plan, plans)
+}
+
+/// Fingerprint of the full-suite cell plan under these options (the
+/// subscriptions alone determine it). Workers echo this back so an
+/// assignment can never run against a differently built plan.
+pub fn suite_shard_plan_hash(ctx: &Context, opts: &ShardSuiteOptions) -> u64 {
+    shard_plan(ctx, opts).0.plan_hash()
+}
+
+/// Number of cells in the full-suite plan — the shard assignment index
+/// space.
+pub fn suite_shard_cell_count(ctx: &Context, opts: &ShardSuiteOptions) -> usize {
+    let (plan, _plans) = shard_plan(ctx, opts);
+    let (trace, _subs) = plan.into_trace_and_subs();
+    trace.cells().len()
+}
+
+/// Worker side of a sharded suite pass: run one cell-index slice of the
+/// full-suite plan and return the serialized consumer states, tallies and
+/// segment inventory for the coordinator to merge.
+pub fn run_suite_slice(
+    ctx: &Context,
+    opts: &ShardSuiteOptions,
+    range: std::ops::Range<usize>,
+) -> Result<SliceOutcome, StoreError> {
+    let (plan, _plans) = shard_plan(ctx, opts);
+    engine::run_slice(ctx, plan, range)
+}
+
+/// Coordinator side of a sharded suite pass: the engine's
+/// [`ShardAssembler`] plus the retained per-figure demand handles, so the
+/// merged consumer states assemble into a [`Suite`] exactly as a
+/// single-process pass would.
+pub struct SuiteAssembler {
+    plans: Plans,
+    asm: ShardAssembler,
+}
+
+impl SuiteAssembler {
+    /// Build the full-suite plan and prepare the coordinated pass
+    /// (resolving the archive before any worker opens it).
+    pub fn new(ctx: &Context, opts: &ShardSuiteOptions) -> Result<SuiteAssembler, StoreError> {
+        let (plan, plans) = shard_plan(ctx, opts);
+        Ok(SuiteAssembler {
+            plans,
+            asm: ShardAssembler::new(ctx, plan)?,
+        })
+    }
+
+    /// The plan fingerprint workers must echo.
+    pub fn plan_hash(&self) -> u64 {
+        self.asm.plan_hash()
+    }
+
+    /// Number of cells in the assignment index space.
+    pub fn cell_count(&self) -> usize {
+        self.asm.cell_count()
+    }
+
+    /// Whether the pass replays a warm archive.
+    pub fn is_warm(&self) -> bool {
+        self.asm.is_warm()
+    }
+
+    /// Merge one worker's completed slice.
+    pub fn absorb(&mut self, outcome: SliceOutcome) -> Result<(), StoreError> {
+        self.asm.absorb(outcome)
+    }
+
+    /// Give up on an assignment range every replica of which died.
+    pub fn quarantine_range(&mut self, range: std::ops::Range<usize>, attempts: u32, error: &str) {
+        self.asm.quarantine_range(range, attempts, error)
+    }
+
+    /// Publish the archive index and assemble the suite. `workers` is the
+    /// worker *process* count recorded in the stats.
+    pub fn finish(self, ctx: &Context, workers: usize) -> Result<Suite, StoreError> {
+        let out = self.asm.finish(workers)?;
+        Ok(assemble(ctx, self.plans, out))
+    }
 }
 
 impl Suite {

@@ -1,0 +1,480 @@
+//! The coordinator/worker wire protocol: length-prefixed frames.
+//!
+//! Same school as the HTTP plane and the collection daemon — explicit
+//! bytes over `std::net`, explicit limits, no serialization dependency.
+//! Every frame is
+//!
+//! ```text
+//! "LKSH" ‖ version u8 ‖ type u8 ‖ payload_len u32 BE ‖ payload
+//! ```
+//!
+//! and payload integers are big-endian via the analysis codec's
+//! primitives, so the consumer-state frames riding inside [`T_DONE`]
+//! use the very same byte conventions as their envelope.
+//!
+//! The conversation is strictly coordinator-driven:
+//!
+//! ```text
+//! coordinator                         worker
+//!   HELLO{identity}          ->
+//!                            <-  HELLO_ACK{identity, cells}
+//!   ASSIGN{range, attempt}   ->
+//!                            <-  HEARTBEAT  (every ~100 ms while busy)
+//!                            <-  DONE{slice outcome} | FAILED{message}
+//!   ...more ASSIGNs...
+//!   SHUTDOWN                 ->       (worker exits)
+//! ```
+//!
+//! Identity (seed, scenario hash, plan hash) is exchanged both ways and
+//! checked by the coordinator before any assignment: a worker built
+//! against a different scenario or fidelity must be rejected up front,
+//! not discovered as silently-wrong figures.
+
+use lockdown_analysis::codec::{self, StateReader};
+use lockdown_core::engine::SliceOutcome;
+use lockdown_core::supervisor::QuarantinedCell;
+use lockdown_flow::time::Date;
+use lockdown_store::SegmentMeta;
+use lockdown_topology::vantage::VantagePoint;
+use lockdown_traffic::plan::{Cell, Stream};
+use std::io::{ErrorKind, Read, Write};
+
+use crate::ShardError;
+
+/// Frame magic: every frame starts with these four bytes.
+pub const MAGIC: [u8; 4] = *b"LKSH";
+
+/// Protocol version byte; bumped on any incompatible frame change.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Hard ceiling on a frame payload. A full-suite slice outcome at high
+/// fidelity is a few MB of consumer state; 256 MiB is "corrupt peer",
+/// not "big slice".
+pub const MAX_PAYLOAD: u32 = 256 << 20;
+
+/// Coordinator → worker: identity announcement.
+pub const T_HELLO: u8 = 1;
+/// Worker → coordinator: identity echo plus cell count.
+pub const T_HELLO_ACK: u8 = 2;
+/// Coordinator → worker: run one cell-index range.
+pub const T_ASSIGN: u8 = 3;
+/// Worker → coordinator: still alive, still computing.
+pub const T_HEARTBEAT: u8 = 4;
+/// Worker → coordinator: the slice outcome (states, tallies, segments).
+pub const T_DONE: u8 = 5;
+/// Worker → coordinator: the slice failed but the worker is healthy.
+pub const T_FAILED: u8 = 6;
+/// Coordinator → worker: no more work; exit cleanly.
+pub const T_SHUTDOWN: u8 = 7;
+
+/// Bytes of frame header preceding the payload.
+pub const HEADER_LEN: usize = 4 + 1 + 1 + 4;
+
+/// Identity of one side of the shard conversation. Mirrors the archive
+/// manifest key: two processes with equal identities generate equal
+/// flows for equal cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Identity {
+    /// Generator seed.
+    pub seed: u64,
+    /// Scenario fingerprint (config + measure-file behaviour).
+    pub scenario_hash: u64,
+    /// Full-suite cell-plan fingerprint.
+    pub plan_hash: u64,
+    /// Cells in the full-suite plan — the assignment index space.
+    pub cells: u64,
+}
+
+/// One range assignment: run plan cells `start..end` (indices into the
+/// deduplicated sorted cell list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assign {
+    /// First cell index.
+    pub start: u32,
+    /// One past the last cell index.
+    pub end: u32,
+    /// Zero-based attempt number (for the worker's own fault schedule).
+    pub attempt: u32,
+    /// Chaos: die immediately instead of running (simulated crash).
+    pub kill: bool,
+    /// Chaos: go silent for this many milliseconds, then die. Zero
+    /// means no stall.
+    pub stall_ms: u32,
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD as usize,
+        "frame payload over limit: {}",
+        payload.len()
+    );
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4] = PROTO_VERSION;
+    header[5] = kind;
+    header[6..].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer hung up between messages); any other truncation
+/// or malformation is an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, ShardError> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ShardError::io("reading frame header", &e)),
+        }
+    }
+    let mut rest = [0u8; HEADER_LEN - 1];
+    r.read_exact(&mut rest)
+        .map_err(|e| ShardError::io("reading frame header", &e))?;
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first[0];
+    header[1..].copy_from_slice(&rest);
+    if header[..4] != MAGIC {
+        return Err(ShardError::Protocol(format!(
+            "bad frame magic {:02x?}",
+            &header[..4]
+        )));
+    }
+    if header[4] != PROTO_VERSION {
+        return Err(ShardError::Protocol(format!(
+            "protocol version {} (this build speaks {PROTO_VERSION})",
+            header[4]
+        )));
+    }
+    let kind = header[5];
+    let len = u32::from_be_bytes(header[6..].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(ShardError::Protocol(format!(
+            "frame payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| ShardError::io("reading frame payload", &e))?;
+    Ok(Some((kind, payload)))
+}
+
+fn reader<'a>(buf: &'a [u8]) -> StateReader<'a> {
+    StateReader::new("shard frame", buf)
+}
+
+fn proto_err(e: impl std::fmt::Display) -> ShardError {
+    ShardError::Protocol(e.to_string())
+}
+
+/// Encode an identity (HELLO / HELLO_ACK payload).
+pub fn encode_identity(id: &Identity) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    codec::put_u64(&mut out, id.seed);
+    codec::put_u64(&mut out, id.scenario_hash);
+    codec::put_u64(&mut out, id.plan_hash);
+    codec::put_u64(&mut out, id.cells);
+    out
+}
+
+/// Decode an identity.
+pub fn decode_identity(buf: &[u8]) -> Result<Identity, ShardError> {
+    let mut r = reader(buf);
+    Ok(Identity {
+        seed: r.u64("seed").map_err(proto_err)?,
+        scenario_hash: r.u64("scenario hash").map_err(proto_err)?,
+        plan_hash: r.u64("plan hash").map_err(proto_err)?,
+        cells: r.u64("cell count").map_err(proto_err)?,
+    })
+}
+
+/// Encode an assignment.
+pub fn encode_assign(a: &Assign) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17);
+    codec::put_u32(&mut out, a.start);
+    codec::put_u32(&mut out, a.end);
+    codec::put_u32(&mut out, a.attempt);
+    codec::put_bool(&mut out, a.kill);
+    codec::put_u32(&mut out, a.stall_ms);
+    out
+}
+
+/// Decode an assignment.
+pub fn decode_assign(buf: &[u8]) -> Result<Assign, ShardError> {
+    let mut r = reader(buf);
+    Ok(Assign {
+        start: r.u32("range start").map_err(proto_err)?,
+        end: r.u32("range end").map_err(proto_err)?,
+        attempt: r.u32("attempt").map_err(proto_err)?,
+        kill: r.bool("kill flag").map_err(proto_err)?,
+        stall_ms: r.u32("stall ms").map_err(proto_err)?,
+    })
+}
+
+/// Encode a FAILED message.
+pub fn encode_failed(message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + message.len());
+    put_str(&mut out, message);
+    out
+}
+
+/// Decode a FAILED message.
+pub fn decode_failed(buf: &[u8]) -> Result<String, ShardError> {
+    get_str(&mut reader(buf), "failure message")
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    codec::put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(r: &mut StateReader<'_>, what: &'static str) -> Result<String, ShardError> {
+    let len = r.u32(what).map_err(proto_err)? as usize;
+    let mut bytes = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        bytes.push(r.u8(what).map_err(proto_err)?);
+    }
+    String::from_utf8(bytes).map_err(|_| ShardError::Protocol(format!("{what} is not UTF-8")))
+}
+
+/// Stream → stable wire code. Indices 0..7 are `VantagePoint::ALL`
+/// order; the two non-vantage streams follow.
+fn stream_code(stream: Stream) -> u8 {
+    match stream {
+        Stream::Vantage(vp) => VantagePoint::ALL
+            .iter()
+            .position(|v| *v == vp)
+            .expect("every vantage point is in ALL") as u8,
+        Stream::IspTransit => VantagePoint::ALL.len() as u8,
+        Stream::Edu => VantagePoint::ALL.len() as u8 + 1,
+    }
+}
+
+fn stream_from_code(code: u8) -> Result<Stream, ShardError> {
+    let n = VantagePoint::ALL.len() as u8;
+    match code {
+        c if c < n => Ok(Stream::Vantage(VantagePoint::ALL[c as usize])),
+        c if c == n => Ok(Stream::IspTransit),
+        c if c == n + 1 => Ok(Stream::Edu),
+        other => Err(ShardError::Protocol(format!("unknown stream code {other}"))),
+    }
+}
+
+fn put_cell(out: &mut Vec<u8>, cell: Cell) {
+    out.push(stream_code(cell.stream));
+    codec::put_i64(out, cell.date.day_number());
+    out.push(cell.hour);
+}
+
+fn get_cell(r: &mut StateReader<'_>) -> Result<Cell, ShardError> {
+    let stream = stream_from_code(r.u8("stream code").map_err(proto_err)?)?;
+    let date = Date::from_day_number(r.i64("cell date").map_err(proto_err)?);
+    let hour = r.u8("cell hour").map_err(proto_err)?;
+    if hour >= 24 {
+        return Err(ShardError::Protocol(format!(
+            "cell hour {hour} out of range"
+        )));
+    }
+    Ok(Cell { stream, date, hour })
+}
+
+/// Encode a slice outcome (DONE payload).
+pub fn encode_outcome(o: &SliceOutcome) -> Vec<u8> {
+    let state_bytes: usize = o.states.iter().map(|s| s.len() + 4).sum();
+    let mut out = Vec::with_capacity(64 + state_bytes + o.segments.len() * 48);
+    codec::put_u64(&mut out, o.flows);
+    codec::put_u64(&mut out, o.generated);
+    codec::put_u64(&mut out, o.replayed);
+    codec::put_u64(&mut out, o.resumed);
+    codec::put_u64(&mut out, o.retries);
+    codec::put_u64(&mut out, o.states.len() as u64);
+    for state in &o.states {
+        codec::put_u32(&mut out, state.len() as u32);
+        out.extend_from_slice(state);
+    }
+    codec::put_u64(&mut out, o.segments.len() as u64);
+    for m in &o.segments {
+        put_cell(&mut out, m.cell);
+        codec::put_u64(&mut out, m.records);
+        codec::put_u64(&mut out, m.file_len);
+        codec::put_u32(&mut out, m.crc);
+        codec::put_u64(&mut out, m.min_start);
+        codec::put_u64(&mut out, m.max_end);
+    }
+    codec::put_u64(&mut out, o.quarantined.len() as u64);
+    for q in &o.quarantined {
+        put_cell(&mut out, q.cell);
+        codec::put_u32(&mut out, q.attempts);
+        put_str(&mut out, &q.error);
+    }
+    out
+}
+
+/// Decode a slice outcome.
+pub fn decode_outcome(buf: &[u8]) -> Result<SliceOutcome, ShardError> {
+    let mut r = reader(buf);
+    let mut o = SliceOutcome {
+        flows: r.u64("flow tally").map_err(proto_err)?,
+        generated: r.u64("generated tally").map_err(proto_err)?,
+        replayed: r.u64("replayed tally").map_err(proto_err)?,
+        resumed: r.u64("resumed tally").map_err(proto_err)?,
+        retries: r.u64("retry tally").map_err(proto_err)?,
+        ..SliceOutcome::default()
+    };
+    let n_states = r.len("consumer states", 4).map_err(proto_err)?;
+    for _ in 0..n_states {
+        let len = r.u32("state frame length").map_err(proto_err)? as usize;
+        let mut frame = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            frame.push(r.u8("state frame byte").map_err(proto_err)?);
+        }
+        o.states.push(frame);
+    }
+    let n_segments = r.len("segment inventory", 10 + 36).map_err(proto_err)?;
+    for _ in 0..n_segments {
+        let cell = get_cell(&mut r)?;
+        o.segments.push(SegmentMeta {
+            cell,
+            records: r.u64("segment records").map_err(proto_err)?,
+            file_len: r.u64("segment file length").map_err(proto_err)?,
+            crc: r.u32("segment crc").map_err(proto_err)?,
+            min_start: r.u64("segment min start").map_err(proto_err)?,
+            max_end: r.u64("segment max end").map_err(proto_err)?,
+        });
+    }
+    let n_quar = r.len("quarantine list", 10 + 8).map_err(proto_err)?;
+    for _ in 0..n_quar {
+        let cell = get_cell(&mut r)?;
+        let attempts = r.u32("quarantine attempts").map_err(proto_err)?;
+        let error = get_str(&mut r, "quarantine error")?;
+        o.quarantined.push(QuarantinedCell {
+            cell,
+            attempts,
+            error,
+        });
+    }
+    Ok(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_outcome() -> SliceOutcome {
+        SliceOutcome {
+            flows: 123_456,
+            generated: 96,
+            replayed: 3,
+            resumed: 1,
+            retries: 2,
+            states: vec![vec![1, 2, 3], Vec::new(), vec![0xff; 300]],
+            segments: vec![SegmentMeta {
+                cell: Cell {
+                    stream: Stream::Edu,
+                    date: Date::new(2020, 3, 25),
+                    hour: 13,
+                },
+                records: 42,
+                file_len: 1024,
+                crc: 0xdead_beef,
+                min_start: 7,
+                max_end: 9,
+            }],
+            quarantined: vec![QuarantinedCell {
+                cell: Cell {
+                    stream: Stream::Vantage(VantagePoint::IxpSe),
+                    date: Date::new(2020, 4, 1),
+                    hour: 0,
+                },
+                attempts: 3,
+                error: "worker died (heartbeat timeout)".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_byte_pipe() {
+        let mut wire = Vec::new();
+        let id = Identity {
+            seed: 0x10CD_2020,
+            scenario_hash: 7,
+            plan_hash: 9,
+            cells: 2640,
+        };
+        write_frame(&mut wire, T_HELLO, &encode_identity(&id)).unwrap();
+        let assign = Assign {
+            start: 10,
+            end: 20,
+            attempt: 1,
+            kill: false,
+            stall_ms: 0,
+        };
+        write_frame(&mut wire, T_ASSIGN, &encode_assign(&assign)).unwrap();
+        write_frame(&mut wire, T_DONE, &encode_outcome(&sample_outcome())).unwrap();
+        write_frame(&mut wire, T_SHUTDOWN, &[]).unwrap();
+
+        let mut r = &wire[..];
+        let (k, p) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(k, T_HELLO);
+        assert_eq!(decode_identity(&p).unwrap(), id);
+        let (k, p) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(k, T_ASSIGN);
+        assert_eq!(decode_assign(&p).unwrap(), assign);
+        let (k, p) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(k, T_DONE);
+        let got = decode_outcome(&p).unwrap();
+        let want = sample_outcome();
+        assert_eq!(got.states, want.states);
+        assert_eq!(got.segments, want.segments);
+        assert_eq!(got.flows, want.flows);
+        assert_eq!(got.quarantined.len(), 1);
+        assert_eq!(got.quarantined[0].error, want.quarantined[0].error);
+        let (k, p) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!((k, p.len()), (T_SHUTDOWN, 0));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn malformed_frames_are_named_not_crashed() {
+        // Bad magic.
+        let mut r = &b"NOPE\x01\x01\x00\x00\x00\x00"[..];
+        let err = read_frame(&mut r).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        // Wrong version.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, T_HEARTBEAT, &[]).unwrap();
+        wire[4] = 99;
+        let err = read_frame(&mut &wire[..]).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+        // Oversized payload claim.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, T_DONE, &[]).unwrap();
+        wire[6..10].copy_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut &wire[..]).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+        // Truncated payload: an error, not a silent None.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, T_DONE, &[1, 2, 3, 4]).unwrap();
+        wire.truncate(wire.len() - 2);
+        assert!(read_frame(&mut &wire[..]).is_err());
+        // Truncated outcome payload names the missing field.
+        let full = encode_outcome(&sample_outcome());
+        let err = decode_outcome(&full[..12]).unwrap_err();
+        assert!(err.to_string().contains("generated tally"), "{err}");
+    }
+
+    #[test]
+    fn every_stream_code_roundtrips() {
+        let mut streams: Vec<Stream> = VantagePoint::ALL.into_iter().map(Stream::Vantage).collect();
+        streams.push(Stream::IspTransit);
+        streams.push(Stream::Edu);
+        for s in streams {
+            assert_eq!(stream_from_code(stream_code(s)).unwrap(), s);
+        }
+        assert!(stream_from_code(200).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! The worker side: serve one coordinator connection.
+//!
+//! A worker is a single-purpose process: it binds a TCP listener,
+//! answers exactly one coordinator, and runs whatever cell ranges it is
+//! assigned through [`suite::run_suite_slice`] — sequentially, because
+//! worker *processes* are the parallelism of a coordinated pass. While
+//! a slice runs, a sidecar thread heartbeats every
+//! [`HEARTBEAT_MS`] milliseconds so the coordinator can tell "slow" from
+//! "dead" without guessing at cell runtimes.
+//!
+//! Injected faults arrive *in the assignment* (the coordinator draws
+//! them from the seeded schedule, keyed on the range, so they survive
+//! reassignment): `kill` drops the connection and reports
+//! [`WorkerExit::ChaosKilled`] — observationally identical to a crashed
+//! process; a stall goes silent for the requested window first.
+
+use lockdown_core::experiments::suite::{
+    self, suite_shard_cell_count, suite_shard_plan_hash, ShardSuiteOptions,
+};
+use lockdown_core::Context;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::proto::{self, Identity};
+use crate::ShardError;
+
+/// Heartbeat cadence while an assignment is running.
+pub const HEARTBEAT_MS: u64 = 100;
+
+/// Why `serve_worker` returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// The coordinator sent SHUTDOWN: clean end of a finished pass.
+    Shutdown,
+    /// The coordinator hung up without SHUTDOWN (it died, or abandoned
+    /// this worker after a timeout). Nothing left to serve.
+    Disconnected,
+    /// An injected fault terminated this worker mid-pass.
+    ChaosKilled,
+}
+
+/// The worker's own identity under `opts` — what it echoes in
+/// HELLO_ACK for the coordinator to verify.
+pub fn worker_identity(ctx: &Context, opts: &ShardSuiteOptions) -> Identity {
+    Identity {
+        seed: ctx.config.seed,
+        scenario_hash: ctx.scenario_hash(),
+        plan_hash: suite_shard_plan_hash(ctx, opts),
+        cells: suite_shard_cell_count(ctx, opts) as u64,
+    }
+}
+
+/// Accept one coordinator on `listener` and serve assignments until
+/// shutdown, disconnect or an injected kill.
+pub fn serve_worker(
+    ctx: &Context,
+    opts: &ShardSuiteOptions,
+    listener: TcpListener,
+) -> Result<WorkerExit, ShardError> {
+    let (stream, _peer) = listener
+        .accept()
+        .map_err(|e| ShardError::io("accepting coordinator connection", &e))?;
+    drop(listener); // one coordinator per worker; stop advertising
+    serve_connection(ctx, opts, stream)
+}
+
+/// Serve an already-accepted coordinator connection (the testable core
+/// of [`serve_worker`]).
+pub fn serve_connection(
+    ctx: &Context,
+    opts: &ShardSuiteOptions,
+    mut stream: TcpStream,
+) -> Result<WorkerExit, ShardError> {
+    // Heartbeats are tiny and latency-sensitive; don't batch them.
+    let _ = stream.set_nodelay(true);
+    let identity = worker_identity(ctx, opts);
+
+    match proto::read_frame(&mut stream)? {
+        Some((proto::T_HELLO, _payload)) => {
+            // The coordinator's identity is informational here — the
+            // *coordinator* enforces the match (it owns the merged
+            // output); the worker just announces honestly.
+            proto::write_frame(
+                &mut stream,
+                proto::T_HELLO_ACK,
+                &proto::encode_identity(&identity),
+            )
+            .map_err(|e| ShardError::io("sending hello ack", &e))?;
+        }
+        Some((kind, _)) => {
+            return Err(ShardError::Protocol(format!(
+                "expected HELLO, got frame type {kind}"
+            )))
+        }
+        None => return Ok(WorkerExit::Disconnected),
+    }
+
+    loop {
+        match proto::read_frame(&mut stream)? {
+            Some((proto::T_ASSIGN, payload)) => {
+                let assign = proto::decode_assign(&payload)?;
+                if assign.kill {
+                    // Simulated crash: vanish without a goodbye. The
+                    // coordinator sees EOF exactly as for a real death.
+                    return Ok(WorkerExit::ChaosKilled);
+                }
+                if assign.stall_ms > 0 {
+                    // Simulated wedge: silence past the coordinator's
+                    // heartbeat timeout, then die.
+                    std::thread::sleep(Duration::from_millis(u64::from(assign.stall_ms)));
+                    return Ok(WorkerExit::ChaosKilled);
+                }
+                run_assignment(ctx, opts, &mut stream, assign)?;
+            }
+            Some((proto::T_SHUTDOWN, _)) => return Ok(WorkerExit::Shutdown),
+            Some((kind, _)) => {
+                return Err(ShardError::Protocol(format!(
+                    "unexpected frame type {kind} while idle"
+                )))
+            }
+            None => return Ok(WorkerExit::Disconnected),
+        }
+    }
+}
+
+/// Run one assigned range with heartbeats, then report DONE or FAILED.
+fn run_assignment(
+    ctx: &Context,
+    opts: &ShardSuiteOptions,
+    stream: &mut TcpStream,
+    assign: proto::Assign,
+) -> Result<(), ShardError> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat_stream = stream
+        .try_clone()
+        .map_err(|e| ShardError::io("cloning stream for heartbeats", &e))?;
+    let beat_stop = Arc::clone(&stop);
+    let beats = std::thread::spawn(move || {
+        let mut s = beat_stream;
+        while !beat_stop.load(Ordering::Relaxed) {
+            if proto::write_frame(&mut s, proto::T_HEARTBEAT, &[]).is_err() {
+                // Coordinator gone; the main thread will find out when
+                // it tries to send the outcome.
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(HEARTBEAT_MS));
+        }
+    });
+
+    let result = suite::run_suite_slice(ctx, opts, assign.start as usize..assign.end as usize);
+
+    stop.store(true, Ordering::Relaxed);
+    beats.join().expect("heartbeat thread never panics");
+
+    match result {
+        Ok(outcome) => proto::write_frame(stream, proto::T_DONE, &proto::encode_outcome(&outcome))
+            .map_err(|e| ShardError::io("sending slice outcome", &e)),
+        Err(e) => {
+            // The slice failed but this process is healthy: report and
+            // stay in rotation — the coordinator charges the attempt.
+            proto::write_frame(
+                stream,
+                proto::T_FAILED,
+                &proto::encode_failed(&e.to_string()),
+            )
+            .map_err(|e| ShardError::io("sending slice failure", &e))
+        }
+    }
+}

@@ -20,7 +20,9 @@
 use lockdown::analysis::prelude::*;
 use lockdown::chaos::ChaosConfig;
 use lockdown::collect::soak::{self, SoakConfig};
-use lockdown::collect::{CollectMetrics, Collectd, CollectdConfig, FaultProfile, WireConfig};
+use lockdown::collect::{
+    export, CollectMetrics, Collectd, CollectdConfig, ExportConfig, FaultProfile, WireConfig,
+};
 use lockdown::core::experiments::{
     fig1, fig10, fig11_12, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec3_4, sec9, suite,
     tables,
@@ -31,6 +33,8 @@ use lockdown::dns::vpn::identify_vpn_ips;
 use lockdown::flow::prelude::*;
 use lockdown::query::{loadgen, LoadConfig, QueryEngine, QueryPlan, Server};
 use lockdown::scenario::measures::ScenarioSpec;
+use lockdown::shard::coord::{self, CoordOptions};
+use lockdown::shard::worker::serve_worker;
 use lockdown::store::{gc_dir, ArchiveReader, StoreMetrics};
 use lockdown::topology::vantage::VantagePoint;
 use lockdown_flow::time::Date;
@@ -65,8 +69,11 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "figures" => cmd_figures(rest),
+        "coordinate" => cmd_coordinate(rest),
+        "worker" => cmd_worker(rest),
         "collect" => cmd_collect(rest),
         "collectd" => cmd_collectd(rest),
+        "export" => cmd_export(rest),
         "scenarios" => cmd_scenarios(rest).map(|()| ExitCode::SUCCESS),
         "store" => cmd_store(rest).map(|()| ExitCode::SUCCESS),
         "registry" => cmd_registry().map(|()| ExitCode::SUCCESS),
@@ -124,6 +131,35 @@ USAGE:
       cap=MS (all optional; probabilities in [0,1]). 'seed=0' alone
       supervises without injecting faults — with --archive that enables
       checkpoint/resume of a killed pass.
+  lockdown coordinate (--workers N | --attach ADDR,ADDR,...)
+                      [--fidelity test|standard|high] [--scenario FILE]
+                      [--archive DIR] [--chaos SPEC]
+                      [--chunks N] [--timeout-ms MS]
+      Run the full figure suite sharded across worker processes and
+      merge their streamed consumer state: stdout is byte-identical to
+      'lockdown figures' under the same seed/scenario, whatever the
+      worker count. --workers N spawns N local 'lockdown worker'
+      processes on ephemeral ports (passing --fidelity/--scenario/
+      --archive/--chaos through); --attach connects to pre-started
+      workers instead — they must have been started with the same
+      flags (the identity handshake rejects a mismatch). With
+      --archive DIR workers spill segments into the shared directory
+      and the coordinator adopts them into ONE manifest, so a warm
+      re-run (any worker count) regenerates zero cells. --chaos adds
+      wkill=P / wstall=P: seeded worker kills and heartbeat stalls,
+      decided per (range, attempt) so the schedule survives
+      reassignment. A dead worker's range is retried on a live worker;
+      a range that outlives the attempt budget is quarantined and the
+      suite completes degraded (exit 3). --chunks sets work-queue
+      ranges per worker (default 4); --timeout-ms the heartbeat
+      timeout (default 2000).
+  lockdown worker [--listen HOST:PORT] [--fidelity test|standard|high]
+                  [--scenario FILE] [--archive DIR] [--chaos SPEC]
+      Run one shard worker: print 'listening on HOST:PORT' (first
+      stdout line), serve one coordinator connection, run assigned
+      cell ranges sequentially and stream serialized consumer state
+      back. Exits 0 when the coordinator shuts it down or hangs up;
+      exit 2 if the listen address cannot be bound.
   lockdown store inspect|verify|gc --archive DIR [--dry-run]
       inspect: print the manifest key and per-segment zone maps.
       verify:  re-read and CRC-check every segment; non-zero on failure.
@@ -158,6 +194,7 @@ USAGE:
 
   lockdown collectd [--format ipfix|v9|v5] [--listen HOST:PORT]
                     [--sockets N] [--shards N] [--queue N]
+                    [--rcvbuf BYTES]
       Run the real-socket collection daemon: bind N UDP sockets (exit 2
       if any bind fails), decode NetFlow v5/v9 and IPFIX datagrams and
       fan them out to collector shards through bounded queues. The bound
@@ -167,14 +204,28 @@ USAGE:
       prints an ingest summary to stdout and the metrics snapshot to
       stderr, and exits 0. Backpressure is explicit: datagrams dropped
       at the kernel, at a full shard queue or by receive-buffer
-      truncation are counted separately (never silently).
+      truncation are counted separately (never silently). --rcvbuf asks
+      the kernel for BYTES of SO_RCVBUF per socket (clamped to
+      net.core.rmem_max; the grant lands in the socket_rcvbuf_bytes
+      gauge) — headroom against kernel drops under bursty senders.
   lockdown collectd --soak [--cells N] [--records N] [--batch N]
                     [--format ipfix|v9|v5] [--sockets N] [--shards N]
-                    [--queue N]
+                    [--queue N] [--rcvbuf BYTES]
       Localhost soak: export N records per cell through the daemon's
       real UDP path with the conservation audit threaded through, and
       print the JSON outcome (flows/sec, drop decomposition,
-      audit_clean). Non-clean audits exit 1.
+      audit_clean). Non-clean audits exit 1. At a generous --rcvbuf the
+      kernel_dropped counter settles at 0.
+  lockdown export --target HOST:PORT[,HOST:PORT...]
+                  [--format ipfix|v9|v5] [--cells N] [--records N]
+                  [--batch N] [--exporters N]
+      Feed a running collectd from this (separate) process: encode N
+      synthetic flow records per cell through a real exporter fleet and
+      send the datagrams over UDP, domain d to target d % targets (the
+      daemon's 'listening on' lines, in order, so per-domain ordering
+      holds). Prints a one-line summary ('export: R records in D
+      datagrams ...') whose tallies reconcile against the daemon's
+      drain summary — conservation across a process boundary.
 
   lockdown serve --archive DIR [--addr HOST:PORT] [--connections N]
                  [--cache-mb MB] [--fidelity F] [--scenario FILE]
@@ -268,6 +319,12 @@ const VALUE_FLAGS: &[&str] = &[
     "--cells",
     "--records",
     "--batch",
+    "--rcvbuf",
+    "--exporters",
+    "--workers",
+    "--attach",
+    "--chunks",
+    "--timeout-ms",
 ];
 
 /// Reject any `--flag` the subcommand does not define: a typo must fail
@@ -541,6 +598,129 @@ fn cmd_figures(rest: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `coordinate`: the sharded full-suite pass. Stdout carries exactly
+/// what `figures` would print; scheduling and engine summaries go to
+/// stderr, and a degraded pass exits 3 like any supervised run.
+fn cmd_coordinate(rest: &[String]) -> Result<ExitCode, String> {
+    check_flags(
+        rest,
+        &[
+            "--workers",
+            "--attach",
+            "--fidelity",
+            "--scenario",
+            "--archive",
+            "--chaos",
+            "--chunks",
+            "--timeout-ms",
+        ],
+        &[],
+    )?;
+    let ctx = parse_context(rest)?;
+    let mut opts = CoordOptions::default();
+    opts.suite = suite::ShardSuiteOptions {
+        archive: flag(rest, "--archive").map(|d| Path::new(&d).to_path_buf()),
+        chaos: parse_chaos(rest)?,
+    };
+    opts.chunks_per_worker = parse_count(rest, "--chunks", opts.chunks_per_worker)?;
+    if let Some(ms) = flag(rest, "--timeout-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("bad --timeout-ms: {ms}"))
+            .and_then(|n: u64| {
+                if n > 0 {
+                    Ok(n)
+                } else {
+                    Err("bad --timeout-ms: 0".to_string())
+                }
+            })?;
+        opts.heartbeat_timeout = Duration::from_millis(ms);
+    }
+    let links = match (flag(rest, "--workers"), flag(rest, "--attach")) {
+        (Some(_), Some(_)) => {
+            return Err("--workers and --attach are mutually exclusive".into());
+        }
+        (None, None) => {
+            return Err("coordinate needs --workers N or --attach ADDR,...".into());
+        }
+        (Some(_), None) => {
+            let n = parse_count(rest, "--workers", 0)?;
+            let exe = std::env::current_exe().map_err(|e| format!("locating own binary: {e}"))?;
+            // Spawned workers must see the world exactly as the
+            // coordinator does; pass the context flags through.
+            let mut args = Vec::new();
+            for name in ["--fidelity", "--scenario", "--archive", "--chaos"] {
+                if let Some(v) = flag(rest, name) {
+                    args.push(name.to_string());
+                    args.push(v);
+                }
+            }
+            coord::spawn_workers(&exe, &args, n).map_err(|e| e.to_string())?
+        }
+        (None, Some(list)) => {
+            let addrs: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if addrs.is_empty() {
+                return Err("--attach needs at least one HOST:PORT".into());
+            }
+            coord::attach_workers(&addrs).map_err(|e| e.to_string())?
+        }
+    };
+    let out = coord::coordinate(&ctx, &opts, links).map_err(|e| e.to_string())?;
+    for section in out.suite.renders() {
+        println!("{section}");
+    }
+    eprintln!("{}", out.suite.stats.summary());
+    eprintln!("{}", out.stats.summary());
+    if let Some(metrics) = &out.suite.store_metrics {
+        eprint!("{}", metrics.render());
+    }
+    Ok(degraded_exit(&out.suite))
+}
+
+/// `worker`: one shard worker process. Stdout carries only the
+/// `listening on HOST:PORT` contract line; the coordinator owns the
+/// figures.
+fn cmd_worker(rest: &[String]) -> Result<ExitCode, String> {
+    check_flags(
+        rest,
+        &[
+            "--listen",
+            "--fidelity",
+            "--scenario",
+            "--archive",
+            "--chaos",
+        ],
+        &[],
+    )?;
+    let ctx = parse_context(rest)?;
+    let opts = suite::ShardSuiteOptions {
+        archive: flag(rest, "--archive").map(|d| Path::new(&d).to_path_buf()),
+        chaos: parse_chaos(rest)?,
+    };
+    let addr = flag(rest, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
+    // Bind before anything else: a port conflict must be diagnosable
+    // (exit 2, as for serve and collectd).
+    let listener = match std::net::TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: binding {addr}: {e}");
+            return Ok(ExitCode::from(EXIT_BIND));
+        }
+    };
+    println!(
+        "listening on {}",
+        listener.local_addr().map_err(|e| e.to_string())?
+    );
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let exit = serve_worker(&ctx, &opts, listener).map_err(|e| e.to_string())?;
+    eprintln!("worker: {exit:?}");
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_collect(rest: &[String]) -> Result<ExitCode, String> {
     check_flags(
         rest,
@@ -610,6 +790,7 @@ fn cmd_collectd(rest: &[String]) -> Result<ExitCode, String> {
             "--cells",
             "--records",
             "--batch",
+            "--rcvbuf",
         ],
         &["--soak"],
     )?;
@@ -617,6 +798,10 @@ fn cmd_collectd(rest: &[String]) -> Result<ExitCode, String> {
     let sockets = parse_count(rest, "--sockets", 2)?;
     let shards = parse_count(rest, "--shards", 4)?;
     let queue_capacity = parse_count(rest, "--queue", 1_024)?;
+    let rcvbuf = match flag(rest, "--rcvbuf") {
+        None => None,
+        Some(_) => Some(parse_count(rest, "--rcvbuf", 0)?),
+    };
 
     if rest.iter().any(|a| a == "--soak") {
         if flag(rest, "--listen").is_some() {
@@ -630,6 +815,7 @@ fn cmd_collectd(rest: &[String]) -> Result<ExitCode, String> {
         cfg.cells = parse_count(rest, "--cells", cfg.cells)?;
         cfg.records_per_cell = parse_count(rest, "--records", cfg.records_per_cell)?;
         cfg.batch_size = parse_count(rest, "--batch", cfg.batch_size)?;
+        cfg.rcvbuf = rcvbuf;
         let out = match soak::run(&cfg) {
             Ok(out) => out,
             Err(e) => {
@@ -653,6 +839,7 @@ fn cmd_collectd(rest: &[String]) -> Result<ExitCode, String> {
     dcfg.sockets = sockets;
     dcfg.shards = shards;
     dcfg.queue_capacity = queue_capacity;
+    dcfg.rcvbuf = rcvbuf;
     if let Some(addr) = flag(rest, "--listen") {
         dcfg.listen = addr
             .parse()
@@ -697,6 +884,41 @@ fn cmd_collectd(rest: &[String]) -> Result<ExitCode, String> {
         cycle.queue_dropped,
     );
     eprint!("{}", metrics.render());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `export`: the exporter half of a two-process wire run. Encodes
+/// synthetic flows and pushes them at a running collectd; the printed
+/// tallies are the sender's side of the cross-process conservation diff.
+fn cmd_export(rest: &[String]) -> Result<ExitCode, String> {
+    check_flags(
+        rest,
+        &[
+            "--target",
+            "--format",
+            "--cells",
+            "--records",
+            "--batch",
+            "--exporters",
+        ],
+        &[],
+    )?;
+    let targets = flag(rest, "--target")
+        .ok_or("export needs --target HOST:PORT[,HOST:PORT...]")?
+        .split(',')
+        .map(|a| {
+            a.trim()
+                .parse()
+                .map_err(|_| format!("bad --target address: {a}"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut cfg = ExportConfig::new(parse_format(rest)?, targets);
+    cfg.cells = parse_count(rest, "--cells", cfg.cells)?;
+    cfg.records_per_cell = parse_count(rest, "--records", cfg.records_per_cell)?;
+    cfg.batch_size = parse_count(rest, "--batch", cfg.batch_size)?;
+    cfg.exporters = parse_count(rest, "--exporters", cfg.exporters)?;
+    let out = export::run(&cfg).map_err(|e| e.to_string())?;
+    println!("{}", out.render());
     Ok(ExitCode::SUCCESS)
 }
 

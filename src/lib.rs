@@ -10,6 +10,7 @@ pub use lockdown_dns as dns;
 pub use lockdown_flow as flow;
 pub use lockdown_query as query;
 pub use lockdown_scenario as scenario;
+pub use lockdown_shard as shard;
 pub use lockdown_store as store;
 pub use lockdown_topology as topology;
 pub use lockdown_traffic as traffic;

@@ -531,6 +531,125 @@ fn collectd_soak_smoke_reports_clean_audit() {
 }
 
 #[test]
+fn export_process_feeds_collectd_and_conservation_closes() {
+    use std::io::{BufRead, BufReader, Read};
+
+    // A daemon process with a generous kernel buffer (the exporter is a
+    // separate process with no flow-control channel back).
+    let mut daemon = bin()
+        .args(["collectd", "--sockets", "2", "--rcvbuf", "4194304"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn collectd");
+    let mut stdout = BufReader::new(daemon.stdout.take().expect("collectd stdout"));
+    let mut targets = Vec::new();
+    for _ in 0..2 {
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read bound address");
+        targets.push(
+            line.trim()
+                .strip_prefix("listening on ")
+                .unwrap_or_else(|| panic!("unexpected line: {line:?}"))
+                .to_string(),
+        );
+    }
+
+    // A separate exporter process pushes one cell at the daemon.
+    let out = bin()
+        .args(["export", "--target", &targets.join(",")])
+        .args(["--cells", "1", "--records", "20000"])
+        .output()
+        .expect("spawn export");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stdout);
+    // "export: R records in D datagrams (B bytes) over 1 cells"
+    let words: Vec<&str> = summary.split_whitespace().collect();
+    assert_eq!(words[0], "export:", "{summary}");
+    assert_eq!(words[1], "20000", "{summary}");
+    let datagrams: u64 = words[4].parse().unwrap_or_else(|_| panic!("{summary}"));
+    assert!(datagrams > 0, "{summary}");
+
+    // Let the receivers pull everything off the sockets, then drain.
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    drop(daemon.stdin.take());
+    let mut rest = String::new();
+    stdout
+        .read_to_string(&mut rest)
+        .expect("read drain summary");
+    let status = daemon.wait().expect("collectd exits");
+    assert_eq!(status.code(), Some(0), "graceful drain exits 0");
+
+    // Cross-process conservation: every datagram and record the exporter
+    // printed shows up in the daemon's drain summary, with zero losses
+    // at any of the three drop sites.
+    assert!(
+        rest.contains(&format!("{datagrams} datagrams received (0 truncated)")),
+        "sent {datagrams}: {rest:?}"
+    );
+    assert!(
+        rest.contains("20000 records accepted"),
+        "all records must land: {rest:?}"
+    );
+    assert!(rest.contains("0 malformed"), "{rest:?}");
+    assert!(rest.contains("0 queue-dropped"), "{rest:?}");
+}
+
+#[test]
+fn coordinate_validates_worker_topology_flags() {
+    // Neither --workers nor --attach: refused with guidance.
+    let out = bin()
+        .args(["coordinate", "--fidelity", "test"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--workers") && err.contains("--attach"),
+        "{err}"
+    );
+
+    // Both at once: also refused (ambiguous topology).
+    let out = bin()
+        .args(["coordinate", "--workers", "2", "--attach", "127.0.0.1:1"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn coordinate_spawned_workers_render_byte_identical_figures() {
+    let single = bin()
+        .args(["figures", "--fidelity", "test"])
+        .output()
+        .expect("spawn figures");
+    assert!(single.status.success());
+
+    let sharded = bin()
+        .args(["coordinate", "--fidelity", "test", "--workers", "3"])
+        .output()
+        .expect("spawn coordinate");
+    assert!(
+        sharded.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sharded.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&sharded.stdout),
+        String::from_utf8_lossy(&single.stdout),
+        "coordinated figures must be byte-identical to the single process"
+    );
+    let err = String::from_utf8_lossy(&sharded.stderr);
+    assert!(err.contains("coordinated 3 workers"), "{err}");
+    assert!(err.contains("0 ranges quarantined"), "{err}");
+}
+
+#[test]
 fn serve_loadgen_roundtrip_and_mismatch_exit_4() {
     use std::io::{BufRead, BufReader};
 
