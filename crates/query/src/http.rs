@@ -455,6 +455,137 @@ mod tests {
         server.shutdown(Duration::from_secs(2));
     }
 
+    #[test]
+    fn request_head_split_at_every_byte_boundary_is_reassembled() {
+        // The straddle test above covers the byte-per-tick extreme; this
+        // one covers every *single* split point — any prefix/suffix
+        // segmentation a hostile wire (or a chaos proxy in split mode)
+        // can produce must reassemble to exactly one 200, on one
+        // keep-alive connection, with zero spurious 400s.
+        let metrics = QueryMetrics::new();
+        let handler: Handler =
+            Arc::new(|req: &Request| Response::json(200, format!("{{\"path\":\"{}\"}}", req.path)));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = Server::start(listener, 2, Arc::clone(&metrics), handler).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_nodelay(true).unwrap();
+
+        let request = b"GET /split HTTP/1.1\r\nHost: t\r\n\r\n";
+        for cut in 1..request.len() {
+            s.write_all(&request[..cut]).unwrap();
+            s.flush().unwrap();
+            // Let the first fragment land in its own poll read.
+            std::thread::sleep(Duration::from_millis(2));
+            s.write_all(&request[cut..]).unwrap();
+            let resp = read_response(&mut s);
+            assert!(resp.contains("200 OK"), "split at {cut} got: {resp}");
+        }
+        assert_eq!(metrics.responses_4xx.get(), 0, "no spurious 400s");
+        assert_eq!(metrics.requests.get(), (request.len() - 1) as u64);
+        server.shutdown(Duration::from_secs(2));
+    }
+
+    #[test]
+    fn mid_response_client_reset_does_not_kill_the_server() {
+        // A client that asks for a response and slams the door while the
+        // server writes it (closing with unread data in the receive
+        // queue makes the kernel send RST): the connection thread must
+        // die quietly — no panic, no wedged slot — and the server must
+        // keep serving everyone else.
+        let metrics = QueryMetrics::new();
+        let handler: Handler = Arc::new(|_req: &Request| {
+            // A response large enough that the write outlives a rude
+            // client's departure.
+            Response::json(200, format!("{{\"blob\":\"{}\"}}", "x".repeat(1 << 20)))
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = Server::start(listener, 4, Arc::clone(&metrics), handler).unwrap();
+
+        for _ in 0..3 {
+            let rude = TcpStream::connect(server.addr()).unwrap();
+            let mut rude = rude;
+            rude.write_all(b"GET /big HTTP/1.1\r\nHost: t\r\n\r\n")
+                .unwrap();
+            // Read a few bytes so the server is mid-write, then slam the
+            // door on the rest — an abortive close, from the server's
+            // point of view a connection reset mid-response.
+            let mut first = [0u8; 64];
+            let _ = rude.read(&mut first);
+            drop(rude);
+        }
+
+        // Survivors are served, repeatedly, on a fresh connection.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        for _ in 0..2 {
+            s.write_all(b"GET /after HTTP/1.1\r\nHost: t\r\n\r\n")
+                .unwrap();
+            let resp = read_response(&mut s);
+            assert!(resp.contains("200 OK"), "{}", &resp[..resp.len().min(200)]);
+        }
+        // Reset connections drain their slots; nothing stays wedged.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.active_connections() > 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(server.active_connections() <= 1, "reset slots drained");
+        server.shutdown(Duration::from_secs(2));
+    }
+
+    #[test]
+    fn loadgen_percentiles_survive_a_rude_neighbour() {
+        // While the load generator measures a healthy server, a rogue
+        // client keeps resetting mid-response. The report's accounting
+        // identity must hold (requests == samples + failed_status) and
+        // every measured request must have succeeded — the rude
+        // neighbour's wreckage must not leak into anyone's percentiles.
+        let metrics = QueryMetrics::new();
+        // Enough of the serve surface for loadgen's seeded mix: the
+        // /figures catalog, per-figure renders, queries and metrics.
+        let handler: Handler = Arc::new(|req: &Request| match req.path.as_str() {
+            "/figures" => Response::json(200, "{\"figures\":[\"fig1\",\"fig2\"]}".into()),
+            "/metrics" => Response::text(200, "query_requests_total 0\n".into()),
+            _ => Response::json(200, "{\"ok\":true}".into()),
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = Server::start(listener, 64, Arc::clone(&metrics), handler).unwrap();
+        let addr = server.addr();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let rude_stop = Arc::clone(&stop);
+        let rude = std::thread::spawn(move || {
+            while !rude_stop.load(Ordering::Relaxed) {
+                if let Ok(mut s) = TcpStream::connect(addr) {
+                    let _ = s.write_all(b"GET /figures HTTP/1.1\r\nHost: t\r\n\r\n");
+                    let mut b = [0u8; 8];
+                    let _ = s.read(&mut b);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        let report = crate::loadgen::run(&crate::loadgen::LoadConfig {
+            target: addr.to_string(),
+            clients: 4,
+            duration_secs: 1.0,
+            seed: 7,
+            expect: None,
+        })
+        .expect("loadgen runs");
+        stop.store(true, Ordering::Relaxed);
+        rude.join().unwrap();
+
+        assert!(report.requests > 0, "loadgen did work");
+        assert_eq!(
+            report.requests,
+            report.latency_samples + report.failed_status,
+            "accounting identity"
+        );
+        assert_eq!(report.failed_status, 0, "healthy server, healthy mix");
+        assert!(report.p50_us > 0, "percentiles measured");
+        assert!(report.p50_us <= report.p99_us && report.p99_us <= report.p999_us);
+        server.shutdown(Duration::from_secs(2));
+    }
+
     fn read_response(s: &mut TcpStream) -> String {
         // Responses always carry Content-Length; read head, then body.
         let mut buf = Vec::new();

@@ -10,12 +10,20 @@
 //! assembled suite then degrades exactly like a single-process
 //! supervised pass (same report, same exit-3 contract).
 //!
-//! Liveness is heartbeat-based: a worker that sends nothing for
-//! [`CoordOptions::heartbeat_timeout`] is declared dead and its socket
-//! abandoned (a spawned child is additionally killed). That covers
-//! crashed processes, wedged processes and unplugged machines with one
-//! mechanism — the same trio the in-process supervisor handles with
-//! `catch_unwind`, stall timeouts and write faults.
+//! Liveness is deadline-based on two clocks: silence past
+//! [`CoordOptions::heartbeat_timeout`] between frames, or a single
+//! frame whose bytes trickle past the same budget after it started
+//! (see [`proto::read_frame_deadline`]) — so neither a dead worker nor
+//! a byte-per-tick hostile wire can hold an assignment hostage.
+//!
+//! A failed link is not immediately a failed worker: the coordinator
+//! redials the worker's address and re-handshakes first. Workers retain
+//! finished slices across connections (see [`crate::worker`]) and
+//! advertise them in HELLO_ACK, so re-driving the same assignment after
+//! a transient reset re-adopts completed work — byte-identical, zero
+//! cells recomputed — instead of recomputing the range. Only when the
+//! redial fails (process dead, listener gone) or the reconnect budget
+//! is spent does the range go back on the queue for another worker.
 
 use lockdown_chaos::ChaosInjector;
 use lockdown_core::engine::SliceOutcome;
@@ -24,15 +32,27 @@ use lockdown_core::Context;
 use std::collections::VecDeque;
 use std::io::BufRead;
 use std::net::TcpStream;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::process::{Child, Command, Stdio};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::proto::{self, Assign, Identity};
 use crate::ShardError;
 
 /// Default attempt budget per range when no chaos spec provides one.
 pub const DEFAULT_ATTEMPTS: u32 = 3;
+
+/// Consecutive reconnects the coordinator grants one assignment before
+/// declaring the worker dead. Wire failures are not charged against the
+/// range's attempt budget — they are the link's fault, not the work's —
+/// so this cap is what keeps a persistently hostile wire bounded.
+pub const RECONNECTS_PER_ASSIGNMENT: u32 = 2;
+
+/// How long a redial keeps trying when the connection is not being
+/// actively refused (a refused dial means the listener is gone and the
+/// worker is dead — that fails fast).
+const REDIAL_WINDOW: Duration = Duration::from_secs(2);
 
 /// How a coordinated pass is tuned. `suite` must describe the same
 /// context the workers were started with — the hello exchange verifies
@@ -45,7 +65,8 @@ pub struct CoordOptions {
     /// mean finer rebalancing after a death, at more protocol round
     /// trips. Zero means one range per worker.
     pub chunks_per_worker: usize,
-    /// Declare a worker dead after this long without a frame.
+    /// Declare a worker dead after this long without a frame — and
+    /// declare a frame dead this long after it started.
     pub heartbeat_timeout: Duration,
 }
 
@@ -70,7 +91,8 @@ pub struct WorkerLink {
     pub child: Option<Child>,
     /// Kept alive for the child's lifetime.
     stdout: Option<std::process::ChildStdout>,
-    /// Where the worker is, for reports.
+    /// Where the worker is, for reports — and for redialing it after a
+    /// wire failure.
     pub label: String,
 }
 
@@ -89,6 +111,11 @@ pub struct CoordStats {
     pub workers_lost: u32,
     /// Ranges whose attempt budget ran out.
     pub quarantined_ranges: u32,
+    /// Successful redial-and-rehandshake recoveries after wire failures.
+    pub reconnects: u32,
+    /// Ranges re-adopted from a reconnected worker's retained inventory
+    /// — completed work that a wire failure did *not* force us to redo.
+    pub ranges_resumed: u32,
 }
 
 impl CoordStats {
@@ -96,13 +123,15 @@ impl CoordStats {
     pub fn summary(&self) -> String {
         format!(
             "coordinated {} workers: {} ranges, {} assignments, {} reassigned, \
-             {} workers lost, {} ranges quarantined",
+             {} workers lost, {} ranges quarantined, {} reconnects, {} ranges resumed",
             self.workers,
             self.chunks,
             self.assignments,
             self.reassignments,
             self.workers_lost,
-            self.quarantined_ranges
+            self.quarantined_ranges,
+            self.reconnects,
+            self.ranges_resumed
         )
     }
 }
@@ -110,10 +139,38 @@ impl CoordStats {
 /// A finished coordinated pass.
 pub struct Coordinated {
     /// The assembled suite — byte-identical to a single-process pass
-    /// when nothing was quarantined.
-    pub suite: Suite,
+    /// when nothing was quarantined. `None` when quarantine holes left
+    /// the figure assembly unable to run (see `assembly_error`); the
+    /// pass still ends in a *named* degraded outcome, never a crash.
+    pub suite: Option<Suite>,
+    /// Why assembly produced no suite, when it did not: the panic
+    /// message of the figure that could not compute from partial data.
+    pub assembly_error: Option<String>,
     /// Scheduling statistics.
     pub stats: CoordStats,
+}
+
+impl Coordinated {
+    /// Whether this pass must exit with the degraded contract (exit 3):
+    /// either the suite computed from partial data, or the quarantine
+    /// holes were too large for it to compute at all.
+    pub fn is_degraded(&self) -> bool {
+        self.assembly_error.is_some() || self.suite.as_ref().is_some_and(|s| s.degraded.is_some())
+    }
+
+    /// Rendered sections: the suite's own (annotated when degraded), or
+    /// a single named degraded section when assembly could not run.
+    pub fn renders(&self) -> Vec<String> {
+        match &self.suite {
+            Some(suite) => suite.renders(),
+            None => vec![format!(
+                "[degraded: no figures — {} quarantined range(s) left the suite \
+                 unable to assemble: {}]",
+                self.stats.quarantined_ranges,
+                self.assembly_error.as_deref().unwrap_or("unknown failure")
+            )],
+        }
+    }
 }
 
 /// Split `cells` indices into up to `workers * chunks_per_worker`
@@ -248,8 +305,9 @@ enum Reply {
 }
 
 /// Send one assignment and pump frames until DONE/FAILED. Heartbeats
-/// reset the clock; silence past the timeout, EOF, or protocol garbage
-/// mean the worker is gone.
+/// reset the idle clock; silence past the timeout, a frame trickling
+/// past the same budget, EOF, or protocol garbage mean the link is
+/// gone.
 fn drive_assignment(
     stream: &mut TcpStream,
     assign: &Assign,
@@ -257,11 +315,8 @@ fn drive_assignment(
 ) -> Result<Reply, ShardError> {
     proto::write_frame(stream, proto::T_ASSIGN, &proto::encode_assign(assign))
         .map_err(|e| ShardError::io("sending assignment", &e))?;
-    stream
-        .set_read_timeout(Some(timeout))
-        .map_err(|e| ShardError::io("arming heartbeat timeout", &e))?;
     loop {
-        match proto::read_frame(stream) {
+        match proto::read_frame_deadline(stream, Some(timeout), timeout) {
             Ok(Some((proto::T_HEARTBEAT, _))) => continue,
             Ok(Some((proto::T_DONE, payload))) => {
                 return Ok(Reply::Done(proto::decode_outcome(&payload)?))
@@ -281,8 +336,7 @@ fn drive_assignment(
             }
             Err(ShardError::Io { detail, .. }) => {
                 return Err(ShardError::Protocol(format!(
-                    "no heartbeat within {}ms ({detail})",
-                    timeout.as_millis()
+                    "connection failed mid-assignment ({detail})"
                 )))
             }
             Err(e) => return Err(e),
@@ -294,8 +348,13 @@ fn drive_assignment(
 ///
 /// The hello exchange rejects any worker whose seed, scenario or cell
 /// plan differs from the coordinator's; after that, range dispatch,
-/// retry, quarantine and merge all happen here. Spawned children are
-/// shut down (or killed, if dead) before this returns.
+/// retry, reconnect, quarantine and merge all happen here. Spawned
+/// children are shut down (or killed, if dead) before this returns.
+///
+/// A pass whose quarantine holes are too large for the figure suite to
+/// assemble still returns `Ok` — with [`Coordinated::suite`] `None` and
+/// the failure named — because "the network lost that much work" is a
+/// degraded outcome under the exit-3 contract, not a crash.
 pub fn coordinate(
     ctx: &Context,
     opts: &CoordOptions,
@@ -348,6 +407,7 @@ pub fn coordinate(
                     link,
                     &dispatch,
                     &ready,
+                    &identity,
                     injector.as_ref(),
                     budget,
                     stall_ms,
@@ -359,6 +419,7 @@ pub fn coordinate(
 
     let state = dispatch.into_inner().expect("no thread held the lock");
     let stats = state.stats;
+    let quarantined = !state.quarantined.is_empty();
 
     // Deterministic merge order — not required for correctness (the
     // merges are additive over disjoint cells) but it keeps two runs of
@@ -371,12 +432,52 @@ pub fn coordinate(
     for (start, end, attempts, error) in state.quarantined {
         assembler.quarantine_range(start as usize..end as usize, attempts, &error);
     }
-    let suite = assembler.finish(ctx, stats.workers)?;
-    Ok(Coordinated { suite, stats })
+
+    // Figure assembly asserts it has the data its windows demand; a
+    // badly-holed quarantine pattern can make that impossible. Under
+    // quarantine, an assembly panic is a *named degraded outcome* — the
+    // robustness contract is "recovery or degraded, never a crash" —
+    // while a panic on complete data is a genuine bug and re-raised.
+    match catch_unwind(AssertUnwindSafe(|| assembler.finish(ctx, stats.workers))) {
+        Ok(Ok(suite)) => Ok(Coordinated {
+            suite: Some(suite),
+            assembly_error: None,
+            stats,
+        }),
+        Ok(Err(e)) => Err(e.into()),
+        Err(panic) => {
+            if quarantined {
+                Ok(Coordinated {
+                    suite: None,
+                    assembly_error: Some(panic_message(panic)),
+                    stats,
+                })
+            } else {
+                resume_unwind(panic)
+            }
+        }
+    }
+}
+
+/// Render a panic payload for the degraded report.
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic during assembly".to_string()
+    }
 }
 
 /// Exchange identities with one worker and verify them field by field.
-fn handshake(link: &mut WorkerLink, ours: &Identity, timeout: Duration) -> Result<(), ShardError> {
+/// Returns the worker's retained-range inventory (empty on a first
+/// connection; possibly not after a reconnect).
+fn handshake(
+    link: &mut WorkerLink,
+    ours: &Identity,
+    timeout: Duration,
+) -> Result<Vec<(u32, u32)>, ShardError> {
     proto::write_frame(
         &mut link.stream,
         proto::T_HELLO,
@@ -385,24 +486,23 @@ fn handshake(link: &mut WorkerLink, ours: &Identity, timeout: Duration) -> Resul
     .map_err(|e| ShardError::io(format!("greeting worker {}", link.label), &e))?;
     // Hello asks the worker to build its suite plan; give it headroom
     // beyond the steady-state heartbeat timeout.
-    link.stream
-        .set_read_timeout(Some(timeout.max(Duration::from_secs(10))))
-        .map_err(|e| ShardError::io("arming handshake timeout", &e))?;
-    let theirs = match proto::read_frame(&mut link.stream)? {
-        Some((proto::T_HELLO_ACK, payload)) => proto::decode_identity(&payload)?,
-        Some((kind, _)) => {
-            return Err(ShardError::Protocol(format!(
-                "worker {} answered HELLO with frame type {kind}",
-                link.label
-            )))
-        }
-        None => {
-            return Err(ShardError::Protocol(format!(
-                "worker {} hung up during handshake",
-                link.label
-            )))
-        }
-    };
+    let budget = timeout.max(Duration::from_secs(10));
+    let (theirs, retained) =
+        match proto::read_frame_deadline(&mut link.stream, Some(budget), budget)? {
+            Some((proto::T_HELLO_ACK, payload)) => proto::decode_hello_ack(&payload)?,
+            Some((kind, _)) => {
+                return Err(ShardError::Protocol(format!(
+                    "worker {} answered HELLO with frame type {kind}",
+                    link.label
+                )))
+            }
+            None => {
+                return Err(ShardError::Protocol(format!(
+                    "worker {} hung up during handshake",
+                    link.label
+                )))
+            }
+        };
     if theirs != *ours {
         return Err(ShardError::Protocol(format!(
             "worker {} identity mismatch: worker has seed {:#x} scenario {:#018x} \
@@ -420,20 +520,50 @@ fn handshake(link: &mut WorkerLink, ours: &Identity, timeout: Duration) -> Resul
             ours.cells,
         )));
     }
-    Ok(())
+    Ok(retained)
+}
+
+/// Redial a failed link and re-handshake. A refused dial fails fast —
+/// the listener is gone, so the worker process is dead — while other
+/// dial errors retry inside [`REDIAL_WINDOW`]. Returns the worker's
+/// retained-range inventory on success.
+fn reconnect(link: &mut WorkerLink, ours: &Identity, timeout: Duration) -> Option<Vec<(u32, u32)>> {
+    let deadline = Instant::now() + REDIAL_WINDOW;
+    loop {
+        match TcpStream::connect(&link.label) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                link.stream = stream;
+                // Connected but garbled (corrupt wire, wrong identity,
+                // hang-up): the link is not coming back usable.
+                return handshake(link, ours, timeout).ok();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => return None,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => return None,
+        }
+    }
 }
 
 /// One worker's dispatch loop: pull ranges until the queue is dry and
 /// nothing is in flight, then shut the worker down.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     mut link: WorkerLink,
     dispatch: &Mutex<Dispatch>,
     ready: &Condvar,
+    identity: &Identity,
     injector: Option<&ChaosInjector>,
     budget: u32,
     stall_ms: u32,
     timeout: Duration,
 ) {
+    // Ranges the worker advertised as retained at its last handshake:
+    // completing one of these after a reconnect is resumed work, not
+    // recomputed work.
+    let mut inventory: Vec<(u32, u32)> = Vec::new();
     loop {
         let job = {
             let mut d = dispatch.lock().expect("dispatch lock");
@@ -465,37 +595,60 @@ fn worker_loop(
             kill: chaos.kill,
             stall_ms: if chaos.stall { stall_ms } else { 0 },
         };
-        match drive_assignment(&mut link.stream, &assign, timeout) {
-            Ok(Reply::Done(outcome)) => {
-                let mut d = dispatch.lock().expect("dispatch lock");
-                d.in_flight -= 1;
-                d.done.push((start, outcome));
-                ready.notify_all();
-            }
-            Ok(Reply::Failed(message)) => {
-                // The slice failed but the worker is healthy: charge the
-                // attempt and keep the worker in rotation.
-                let mut d = dispatch.lock().expect("dispatch lock");
-                d.in_flight -= 1;
-                d.fail(start, end, attempt, budget, &message);
-                ready.notify_all();
-            }
-            Err(e) => {
-                // The worker is gone (timeout, EOF, garbage). Release
-                // its range, retire it, and reap any child.
-                {
+        let mut redials_left = RECONNECTS_PER_ASSIGNMENT;
+        loop {
+            match drive_assignment(&mut link.stream, &assign, timeout) {
+                Ok(Reply::Done(outcome)) => {
+                    let resumed = inventory.contains(&(start, end));
                     let mut d = dispatch.lock().expect("dispatch lock");
                     d.in_flight -= 1;
-                    d.live -= 1;
-                    d.stats.workers_lost += 1;
-                    d.fail(start, end, attempt, budget, &e.to_string());
-                    if d.live == 0 {
-                        d.drain_to_quarantine();
+                    d.done.push((start, outcome));
+                    if resumed {
+                        d.stats.ranges_resumed += 1;
                     }
                     ready.notify_all();
+                    break;
                 }
-                reap_link(&mut link);
-                return;
+                Ok(Reply::Failed(message)) => {
+                    // The slice failed but the worker is healthy: charge
+                    // the attempt and keep the worker in rotation.
+                    let mut d = dispatch.lock().expect("dispatch lock");
+                    d.in_flight -= 1;
+                    d.fail(start, end, attempt, budget, &message);
+                    ready.notify_all();
+                    break;
+                }
+                Err(e) => {
+                    // The *link* failed (timeout, EOF, garbage). Redial
+                    // before declaring the worker dead: a worker that
+                    // answers retains its finished slices, so the same
+                    // assignment re-adopts work instead of redoing it.
+                    // The wire failure is not charged as an attempt.
+                    if redials_left > 0 {
+                        redials_left -= 1;
+                        if let Some(inv) = reconnect(&mut link, identity, timeout) {
+                            inventory = inv;
+                            let mut d = dispatch.lock().expect("dispatch lock");
+                            d.stats.reconnects += 1;
+                            continue;
+                        }
+                    }
+                    // Dead for real: release the range, retire the
+                    // worker, reap any child.
+                    {
+                        let mut d = dispatch.lock().expect("dispatch lock");
+                        d.in_flight -= 1;
+                        d.live -= 1;
+                        d.stats.workers_lost += 1;
+                        d.fail(start, end, attempt, budget, &e.to_string());
+                        if d.live == 0 {
+                            d.drain_to_quarantine();
+                        }
+                        ready.notify_all();
+                    }
+                    reap_link(&mut link);
+                    return;
+                }
             }
         }
     }

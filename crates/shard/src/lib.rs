@@ -18,6 +18,12 @@
 //! attempt budget is quarantined — the assembled suite then degrades
 //! (exit 3) instead of aborting, with every missing cell named.
 //!
+//! The wire itself is treated as hostile (PR 10): every frame carries a
+//! CRC-32 check, every socket read runs under a monotonic whole-frame
+//! deadline, and a transient connection loss triggers reconnect —
+//! workers retain finished slices and re-offer them in HELLO_ACK, so a
+//! reset costs a round trip, not a recomputation.
+//!
 //! The split of labour:
 //!
 //! - [`proto`] — frames and message codecs; no sockets, pure bytes.
@@ -42,8 +48,11 @@ pub enum ShardError {
         detail: String,
     },
     /// The peer spoke the protocol wrong (bad magic, unknown frame,
-    /// truncated payload, identity mismatch).
+    /// truncated payload, CRC mismatch, identity mismatch).
     Protocol(String),
+    /// The peer went silent (no frame inside the idle budget) or
+    /// trickled (a started frame outlived its whole-frame deadline).
+    Timeout(String),
     /// The merge or archive side failed.
     Store(StoreError),
 }
@@ -63,6 +72,7 @@ impl fmt::Display for ShardError {
         match self {
             ShardError::Io { context, detail } => write!(f, "{context}: {detail}"),
             ShardError::Protocol(msg) => write!(f, "shard protocol: {msg}"),
+            ShardError::Timeout(msg) => write!(f, "shard timeout: {msg}"),
             ShardError::Store(e) => write!(f, "{e}"),
         }
     }

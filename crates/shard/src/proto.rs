@@ -2,22 +2,26 @@
 //!
 //! Same school as the HTTP plane and the collection daemon — explicit
 //! bytes over `std::net`, explicit limits, no serialization dependency.
-//! Every frame is
+//! Every v2 frame is
 //!
 //! ```text
-//! "LKSH" ‖ version u8 ‖ type u8 ‖ payload_len u32 BE ‖ payload
+//! "LKSH" ‖ version u8 ‖ type u8 ‖ payload_len u32 BE ‖ check u32 BE ‖ payload
 //! ```
 //!
-//! and payload integers are big-endian via the analysis codec's
-//! primitives, so the consumer-state frames riding inside [`T_DONE`]
-//! use the very same byte conventions as their envelope.
+//! `check` is the CRC-32 (IEEE, the archive's checksum) of the payload,
+//! xor-folded with a constant derived from the type byte — so a flipped
+//! payload byte fails the CRC and a flipped type byte shifts the fold,
+//! and neither can decode as a silently-wrong frame. Payload integers
+//! are big-endian via the analysis codec's primitives, so the
+//! consumer-state frames riding inside [`T_DONE`] use the very same
+//! byte conventions as their envelope.
 //!
 //! The conversation is strictly coordinator-driven:
 //!
 //! ```text
 //! coordinator                         worker
 //!   HELLO{identity}          ->
-//!                            <-  HELLO_ACK{identity, cells}
+//!                            <-  HELLO_ACK{identity, retained ranges}
 //!   ASSIGN{range, attempt}   ->
 //!                            <-  HEARTBEAT  (every ~100 ms while busy)
 //!                            <-  DONE{slice outcome} | FAILED{message}
@@ -28,7 +32,17 @@
 //! Identity (seed, scenario hash, plan hash) is exchanged both ways and
 //! checked by the coordinator before any assignment: a worker built
 //! against a different scenario or fidelity must be rejected up front,
-//! not discovered as silently-wrong figures.
+//! not discovered as silently-wrong figures. The HELLO_ACK additionally
+//! carries the worker's *retained range inventory* — slices it has
+//! already completed and still holds encoded — so a coordinator that
+//! reconnects after a wire failure can re-adopt finished work instead
+//! of recomputing it (see [`crate::worker`]).
+//!
+//! Reads are hostile-wire hardened: [`read_frame_deadline`] holds a
+//! monotonic whole-frame deadline across every `read` call (a peer
+//! trickling one byte per poll tick cannot reset the clock), and
+//! payloads are read in capped chunks so a corrupt length field costs
+//! bounded memory before the check rejects the frame.
 
 use lockdown_analysis::codec::{self, StateReader};
 use lockdown_core::engine::SliceOutcome;
@@ -38,6 +52,8 @@ use lockdown_store::SegmentMeta;
 use lockdown_topology::vantage::VantagePoint;
 use lockdown_traffic::plan::{Cell, Stream};
 use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use crate::ShardError;
 
@@ -45,16 +61,23 @@ use crate::ShardError;
 pub const MAGIC: [u8; 4] = *b"LKSH";
 
 /// Protocol version byte; bumped on any incompatible frame change.
-pub const PROTO_VERSION: u8 = 1;
+/// v2 added the per-frame CRC-32 check and the HELLO_ACK retained-range
+/// inventory; v1 frames are rejected by name.
+pub const PROTO_VERSION: u8 = 2;
 
 /// Hard ceiling on a frame payload. A full-suite slice outcome at high
 /// fidelity is a few MB of consumer state; 256 MiB is "corrupt peer",
 /// not "big slice".
 pub const MAX_PAYLOAD: u32 = 256 << 20;
 
+/// Payloads are read in increments of at most this much, so a flipped
+/// length byte claiming (say) 200 MiB costs one chunk of allocation per
+/// chunk actually received, not an eager up-front `vec![0; claim]`.
+pub const READ_CHUNK: usize = 64 << 10;
+
 /// Coordinator → worker: identity announcement.
 pub const T_HELLO: u8 = 1;
-/// Worker → coordinator: identity echo plus cell count.
+/// Worker → coordinator: identity echo plus retained-range inventory.
 pub const T_HELLO_ACK: u8 = 2;
 /// Coordinator → worker: run one cell-index range.
 pub const T_ASSIGN: u8 = 3;
@@ -68,7 +91,10 @@ pub const T_FAILED: u8 = 6;
 pub const T_SHUTDOWN: u8 = 7;
 
 /// Bytes of frame header preceding the payload.
-pub const HEADER_LEN: usize = 4 + 1 + 1 + 4;
+pub const HEADER_LEN: usize = 4 + 1 + 1 + 4 + 4;
+
+/// Poll tick for deadline-guarded socket reads.
+const POLL: Duration = Duration::from_millis(50);
 
 /// Identity of one side of the shard conversation. Mirrors the archive
 /// manifest key: two processes with equal identities generate equal
@@ -102,6 +128,15 @@ pub struct Assign {
     pub stall_ms: u32,
 }
 
+/// The frame check value: CRC-32 of the payload, xor-folded with a
+/// splitmix-derived constant of the type byte. One flipped byte in
+/// either fails verification; the fold means a (kind, payload) pair can
+/// never verify as a different kind with the same payload.
+pub fn frame_check(kind: u8, payload: &[u8]) -> u32 {
+    lockdown_store::codec::crc32(payload)
+        ^ 0x9e37_79b9u32.wrapping_mul(u32::from(kind).wrapping_add(1))
+}
+
 /// Write one frame.
 pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<()> {
     assert!(
@@ -113,31 +148,15 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Res
     header[..4].copy_from_slice(&MAGIC);
     header[4] = PROTO_VERSION;
     header[5] = kind;
-    header[6..].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    header[6..10].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    header[10..].copy_from_slice(&frame_check(kind, payload).to_be_bytes());
     w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()
 }
 
-/// Read one frame. Returns `Ok(None)` on a clean EOF at a frame
-/// boundary (the peer hung up between messages); any other truncation
-/// or malformation is an error.
-pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, ShardError> {
-    let mut first = [0u8; 1];
-    loop {
-        match r.read(&mut first) {
-            Ok(0) => return Ok(None),
-            Ok(_) => break,
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) => return Err(ShardError::io("reading frame header", &e)),
-        }
-    }
-    let mut rest = [0u8; HEADER_LEN - 1];
-    r.read_exact(&mut rest)
-        .map_err(|e| ShardError::io("reading frame header", &e))?;
-    let mut header = [0u8; HEADER_LEN];
-    header[0] = first[0];
-    header[1..].copy_from_slice(&rest);
+/// Validate a complete header; returns `(kind, payload_len, check)`.
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32, u32), ShardError> {
     if header[..4] != MAGIC {
         return Err(ShardError::Protocol(format!(
             "bad frame magic {:02x?}",
@@ -151,15 +170,181 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, ShardError
         )));
     }
     let kind = header[5];
-    let len = u32::from_be_bytes(header[6..].try_into().expect("4 bytes"));
+    let len = u32::from_be_bytes(header[6..10].try_into().expect("4 bytes"));
     if len > MAX_PAYLOAD {
         return Err(ShardError::Protocol(format!(
             "frame payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte limit"
         )));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)
-        .map_err(|e| ShardError::io("reading frame payload", &e))?;
+    let check = u32::from_be_bytes(header[10..].try_into().expect("4 bytes"));
+    Ok((kind, len, check))
+}
+
+/// Verify a received payload against the header's check value.
+fn verify_check(kind: u8, payload: &[u8], check: u32) -> Result<(), ShardError> {
+    let computed = frame_check(kind, payload);
+    if computed != check {
+        return Err(ShardError::Protocol(format!(
+            "frame CRC mismatch on type {kind}: header says {check:#010x}, \
+             payload is {computed:#010x} — corrupt wire"
+        )));
+    }
+    Ok(())
+}
+
+/// Read the payload in capped increments (see [`READ_CHUNK`]).
+fn read_payload(r: &mut impl Read, len: usize) -> Result<Vec<u8>, ShardError> {
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let take = (len - payload.len()).min(READ_CHUNK);
+        let filled = payload.len();
+        payload.resize(filled + take, 0);
+        r.read_exact(&mut payload[filled..])
+            .map_err(|e| ShardError::io("reading frame payload", &e))?;
+    }
+    Ok(payload)
+}
+
+/// Read one frame from a plain byte stream. Returns `Ok(None)` on a
+/// clean EOF at a frame boundary (the peer hung up between messages);
+/// any other truncation or malformation is an error.
+///
+/// This variant has no deadline — it trusts the reader's own blocking
+/// discipline. Socket readers should use [`read_frame_deadline`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, ShardError> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ShardError::io("reading frame header", &e)),
+        }
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first[0];
+    r.read_exact(&mut header[1..])
+        .map_err(|e| ShardError::io("reading frame header", &e))?;
+    let (kind, len, check) = parse_header(&header)?;
+    let payload = read_payload(r, len as usize)?;
+    verify_check(kind, &payload, check)?;
+    Ok(Some((kind, payload)))
+}
+
+/// Fill `buf` from the socket under a monotonic deadline. The deadline
+/// is *absolute*: progress does not extend it, so a peer delivering one
+/// byte per poll tick still runs out of clock.
+fn read_full_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+    what: &str,
+) -> Result<(), ShardError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(ShardError::Timeout(format!(
+                "{what}: whole-frame deadline exceeded after {filled} of {} bytes",
+                buf.len()
+            )));
+        }
+        let tick = (deadline - now).min(POLL);
+        stream
+            .set_read_timeout(Some(tick))
+            .map_err(|e| ShardError::io("arming frame deadline", &e))?;
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(ShardError::Protocol(format!(
+                    "{what}: peer closed the connection mid-frame \
+                     ({filled} of {} bytes)",
+                    buf.len()
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(ShardError::io(what, &e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame from a socket with an idle budget and a whole-frame
+/// budget.
+///
+/// * `idle` bounds the silence *before* the first byte — `None` waits
+///   forever (a worker idling between assignments), `Some(d)` turns
+///   silence past `d` into [`ShardError::Timeout`] (a coordinator
+///   holding a heartbeat clock).
+/// * `frame` bounds the whole frame *after* its first byte lands, as
+///   one monotonic deadline across every read. A trickling or stalled
+///   peer surfaces as a named timeout, never a hang — per-`read`
+///   timeouts alone would reset with every byte delivered.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary. The socket's
+/// read-timeout setting is clobbered by this call.
+pub fn read_frame_deadline(
+    stream: &mut TcpStream,
+    idle: Option<Duration>,
+    frame: Duration,
+) -> Result<Option<(u8, Vec<u8>)>, ShardError> {
+    // Phase one: await the first byte under the idle budget.
+    let idle_deadline = idle.map(|d| Instant::now() + d);
+    let mut first = [0u8; 1];
+    loop {
+        let tick = match idle_deadline {
+            Some(deadline) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(ShardError::Timeout(format!(
+                        "no frame within {}ms",
+                        idle.expect("deadline implies budget").as_millis()
+                    )));
+                }
+                (deadline - now).min(POLL)
+            }
+            None => POLL,
+        };
+        stream
+            .set_read_timeout(Some(tick))
+            .map_err(|e| ShardError::io("arming idle timeout", &e))?;
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(ShardError::io("reading frame header", &e)),
+        }
+    }
+
+    // Phase two: the frame has started; everything else must land
+    // before one absolute deadline.
+    let deadline = Instant::now() + frame;
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first[0];
+    read_full_deadline(stream, &mut header[1..], deadline, "reading frame header")?;
+    let (kind, len, check) = parse_header(&header)?;
+    let len = len as usize;
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let take = (len - payload.len()).min(READ_CHUNK);
+        let filled = payload.len();
+        payload.resize(filled + take, 0);
+        read_full_deadline(
+            stream,
+            &mut payload[filled..],
+            deadline,
+            "reading frame payload",
+        )?;
+    }
+    verify_check(kind, &payload, check)?;
     Ok(Some((kind, payload)))
 }
 
@@ -171,7 +356,7 @@ fn proto_err(e: impl std::fmt::Display) -> ShardError {
     ShardError::Protocol(e.to_string())
 }
 
-/// Encode an identity (HELLO / HELLO_ACK payload).
+/// Encode an identity (HELLO payload).
 pub fn encode_identity(id: &Identity) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
     codec::put_u64(&mut out, id.seed);
@@ -184,12 +369,52 @@ pub fn encode_identity(id: &Identity) -> Vec<u8> {
 /// Decode an identity.
 pub fn decode_identity(buf: &[u8]) -> Result<Identity, ShardError> {
     let mut r = reader(buf);
+    decode_identity_from(&mut r)
+}
+
+fn decode_identity_from(r: &mut StateReader<'_>) -> Result<Identity, ShardError> {
     Ok(Identity {
         seed: r.u64("seed").map_err(proto_err)?,
         scenario_hash: r.u64("scenario hash").map_err(proto_err)?,
         plan_hash: r.u64("plan hash").map_err(proto_err)?,
         cells: r.u64("cell count").map_err(proto_err)?,
     })
+}
+
+/// Encode a HELLO_ACK: the worker's identity plus the inventory of
+/// completed ranges it still retains and can re-serve without
+/// recomputation.
+pub fn encode_hello_ack(id: &Identity, retained: &[(u32, u32)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + 8 + retained.len() * 8);
+    codec::put_u64(&mut out, id.seed);
+    codec::put_u64(&mut out, id.scenario_hash);
+    codec::put_u64(&mut out, id.plan_hash);
+    codec::put_u64(&mut out, id.cells);
+    codec::put_u64(&mut out, retained.len() as u64);
+    for &(start, end) in retained {
+        codec::put_u32(&mut out, start);
+        codec::put_u32(&mut out, end);
+    }
+    out
+}
+
+/// Decode a HELLO_ACK into `(identity, retained ranges)`.
+pub fn decode_hello_ack(buf: &[u8]) -> Result<(Identity, Vec<(u32, u32)>), ShardError> {
+    let mut r = reader(buf);
+    let id = decode_identity_from(&mut r)?;
+    let n = r.len("retained ranges", 8).map_err(proto_err)?;
+    let mut retained = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = r.u32("retained range start").map_err(proto_err)?;
+        let end = r.u32("retained range end").map_err(proto_err)?;
+        if end <= start {
+            return Err(ShardError::Protocol(format!(
+                "retained range {start}..{end} is empty or inverted"
+            )));
+        }
+        retained.push((start, end));
+    }
+    Ok((id, retained))
 }
 
 /// Encode an assignment.
@@ -363,6 +588,7 @@ pub fn decode_outcome(buf: &[u8]) -> Result<SliceOutcome, ShardError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
 
     fn sample_outcome() -> SliceOutcome {
         SliceOutcome {
@@ -439,17 +665,40 @@ mod tests {
     }
 
     #[test]
+    fn hello_ack_roundtrips_inventory() {
+        let id = Identity {
+            seed: 1,
+            scenario_hash: 2,
+            plan_hash: 3,
+            cells: 96,
+        };
+        for retained in [vec![], vec![(0u32, 8u32)], vec![(0, 8), (16, 24), (88, 96)]] {
+            let bytes = encode_hello_ack(&id, &retained);
+            let (got_id, got_ranges) = decode_hello_ack(&bytes).unwrap();
+            assert_eq!(got_id, id);
+            assert_eq!(got_ranges, retained);
+        }
+        // A plain identity (v1-era HELLO payload shape) is NOT a valid
+        // hello-ack: the inventory count is mandatory.
+        assert!(decode_hello_ack(&encode_identity(&id)).is_err());
+        // Inverted ranges are rejected by name.
+        let bad = encode_hello_ack(&id, &[(9, 9)]);
+        let err = decode_hello_ack(&bad).unwrap_err();
+        assert!(err.to_string().contains("empty or inverted"), "{err}");
+    }
+
+    #[test]
     fn malformed_frames_are_named_not_crashed() {
         // Bad magic.
-        let mut r = &b"NOPE\x01\x01\x00\x00\x00\x00"[..];
+        let mut r = &b"NOPE\x02\x01\x00\x00\x00\x00\x00\x00\x00\x00"[..];
         let err = read_frame(&mut r).unwrap_err();
         assert!(err.to_string().contains("magic"), "{err}");
-        // Wrong version.
+        // Wrong version (v1 peers are rejected by name, not misread).
         let mut wire = Vec::new();
         write_frame(&mut wire, T_HEARTBEAT, &[]).unwrap();
-        wire[4] = 99;
+        wire[4] = 1;
         let err = read_frame(&mut &wire[..]).unwrap_err();
-        assert!(err.to_string().contains("version 99"), "{err}");
+        assert!(err.to_string().contains("version 1"), "{err}");
         // Oversized payload claim.
         let mut wire = Vec::new();
         write_frame(&mut wire, T_DONE, &[]).unwrap();
@@ -465,6 +714,137 @@ mod tests {
         let full = encode_outcome(&sample_outcome());
         let err = decode_outcome(&full[..12]).unwrap_err();
         assert!(err.to_string().contains("generated tally"), "{err}");
+    }
+
+    #[test]
+    fn a_flipped_payload_byte_is_a_named_crc_mismatch() {
+        let mut wire = Vec::new();
+        write_frame(
+            &mut wire,
+            T_ASSIGN,
+            &encode_assign(&Assign {
+                start: 1,
+                end: 2,
+                attempt: 0,
+                kill: false,
+                stall_ms: 0,
+            }),
+        )
+        .unwrap();
+        // Flip one payload byte; the header check must catch it.
+        let last = wire.len() - 1;
+        wire[last] ^= 0x40;
+        let err = read_frame(&mut &wire[..]).unwrap_err();
+        assert!(err.to_string().contains("CRC mismatch"), "{err}");
+        // Flip the *type* byte instead: same payload, same CRC — the
+        // kind fold must still reject it.
+        let mut wire2 = Vec::new();
+        write_frame(&mut wire2, T_HEARTBEAT, &[]).unwrap();
+        wire2[5] = T_SHUTDOWN;
+        let err = read_frame(&mut &wire2[..]).unwrap_err();
+        assert!(err.to_string().contains("CRC mismatch"), "{err}");
+    }
+
+    #[test]
+    fn a_corrupt_length_costs_bounded_memory_not_256mib() {
+        // Claim a large payload but supply almost nothing: the reader
+        // must fail on EOF after at most one chunk of allocation, not
+        // eagerly allocate the full claim. (The claim passes the size
+        // check; only delivery can expose the lie.)
+        let mut wire = Vec::new();
+        write_frame(&mut wire, T_DONE, &[0u8; 16]).unwrap();
+        wire[6..10].copy_from_slice(&(200u32 << 20).to_be_bytes());
+        let before = wire.len();
+        let err = read_frame(&mut &wire[..]).unwrap_err();
+        assert!(err.to_string().contains("payload"), "{err}");
+        // The reader consumed what existed; nothing panicked or OOMed.
+        assert!(before < READ_CHUNK);
+    }
+
+    #[test]
+    fn a_trickling_peer_hits_the_whole_frame_deadline() {
+        // Satellite regression: one byte per poll tick used to reset a
+        // per-read timeout forever; the monotonic deadline must fire.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let trickler = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut wire = Vec::new();
+            write_frame(&mut wire, T_DONE, &vec![7u8; 4096]).unwrap();
+            for b in wire {
+                if s.write_all(&[b]).is_err() {
+                    return; // reader gave up — exactly the point
+                }
+                let _ = s.flush();
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let started = Instant::now();
+        let err = read_frame_deadline(
+            &mut stream,
+            Some(Duration::from_secs(5)),
+            Duration::from_millis(300),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ShardError::Timeout(_)),
+            "wanted a timeout, got {err}"
+        );
+        assert!(err.to_string().contains("deadline"), "{err}");
+        // The clock was monotonic across reads: ~300ms, not 20ms × frame len.
+        assert!(started.elapsed() < Duration::from_secs(3));
+        drop(stream);
+        trickler.join().unwrap();
+    }
+
+    #[test]
+    fn a_slow_but_live_peer_finishes_within_budget() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut wire = Vec::new();
+            write_frame(&mut wire, T_FAILED, &encode_failed("slow but fine")).unwrap();
+            // Dribble in three installments, well inside the budget.
+            for part in wire.chunks(wire.len() / 3 + 1) {
+                s.write_all(part).unwrap();
+                s.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let (kind, payload) = read_frame_deadline(
+            &mut stream,
+            Some(Duration::from_secs(5)),
+            Duration::from_secs(2),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(kind, T_FAILED);
+        assert_eq!(decode_failed(&payload).unwrap(), "slow but fine");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn idle_budget_times_out_an_utterly_silent_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let holder = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(600));
+            drop(s);
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let err = read_frame_deadline(
+            &mut stream,
+            Some(Duration::from_millis(150)),
+            Duration::from_secs(1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ShardError::Timeout(_)), "{err}");
+        assert!(err.to_string().contains("no frame within 150ms"), "{err}");
+        holder.join().unwrap();
     }
 
     #[test]

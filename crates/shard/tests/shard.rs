@@ -52,6 +52,12 @@ fn coordinate_with(opts: CoordOptions, workers: usize) -> (coord::Coordinated, V
     (out, exits)
 }
 
+/// Unwrap the assembled suite — these tests expect assembly to succeed
+/// (quarantine-hole assembly failure is its own test below).
+fn suite(out: &coord::Coordinated) -> &suite::Suite {
+    out.suite.as_ref().expect("suite assembled")
+}
+
 fn fresh_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("lockdown-shard-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -76,20 +82,21 @@ fn coordinated_pass_is_byte_identical_and_adopts_segments() {
         exits.iter().all(|e| *e == WorkerExit::Shutdown),
         "{exits:?}"
     );
-    assert_eq!(cold.suite.renders(), *reference(), "cold sharded output");
+    assert_eq!(cold.renders(), *reference(), "cold sharded output");
     assert_eq!(cold.stats.workers, 3);
-    assert!(cold.suite.degraded.is_none());
+    assert!(suite(&cold).degraded.is_none());
+    assert!(!cold.is_degraded());
     assert_eq!(cold.stats.reassignments, 0);
-    let total = cold.suite.stats.cells_generated;
+    let total = suite(&cold).stats.cells_generated;
     assert!(total > 0, "cold pass generates");
-    assert_eq!(cold.suite.stats.cells_replayed, 0);
+    assert_eq!(suite(&cold).stats.cells_replayed, 0);
 
     // Warm: the adopted manifest covers the whole plan, so a re-run —
     // with a different worker count, even — regenerates zero cells.
     let (warm, _) = coordinate_with(opts, 2);
-    assert_eq!(warm.suite.renders(), *reference(), "warm sharded output");
-    assert_eq!(warm.suite.stats.cells_generated, 0, "warm pass replays");
-    assert_eq!(warm.suite.stats.cells_replayed, total);
+    assert_eq!(warm.renders(), *reference(), "warm sharded output");
+    assert_eq!(suite(&warm).stats.cells_generated, 0, "warm pass replays");
+    assert_eq!(suite(&warm).stats.cells_replayed, total);
 
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
@@ -142,9 +149,9 @@ fn seeded_worker_kill_reassigns_and_still_matches() {
     assert!(out.stats.workers_lost >= 1, "{}", out.stats.summary());
     assert!(out.stats.reassignments >= 1, "{}", out.stats.summary());
     assert_eq!(out.stats.quarantined_ranges, 0, "{}", out.stats.summary());
-    assert!(out.suite.degraded.is_none());
+    assert!(suite(&out).degraded.is_none());
     assert_eq!(
-        out.suite.renders(),
+        out.renders(),
         *reference(),
         "reassignment must not change a byte"
     );
@@ -182,16 +189,26 @@ fn a_fully_dead_range_degrades_instead_of_aborting() {
         }
         let mut opts = CoordOptions::default();
         opts.suite.chaos = Some(cfg);
-        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            coordinate_with(opts, workers)
-        }));
-        let Ok((out, exits)) = run else { continue };
+        let (out, exits) = coordinate_with(opts, workers);
 
         assert!(exits.contains(&WorkerExit::ChaosKilled), "{exits:?}");
         assert_eq!(out.stats.workers_lost, 1, "{}", out.stats.summary());
         assert_eq!(out.stats.quarantined_ranges, 1, "{}", out.stats.summary());
         assert_eq!(out.stats.reassignments, 0, "{}", out.stats.summary());
-        let report = out.suite.degraded.as_ref().expect("degraded report");
+        assert!(out.is_degraded(), "a quarantined range must degrade");
+        if out.suite.is_none() {
+            // This seed's hole was too large for figure assembly: the
+            // coordinator must still return a *named* degraded outcome
+            // (no crash), with its single explanatory section. Keep
+            // searching for a seed whose hole the figures tolerate.
+            let err = out.assembly_error.as_deref().expect("named failure");
+            assert!(!err.is_empty());
+            let sections = out.renders();
+            assert_eq!(sections.len(), 1, "{sections:?}");
+            assert!(sections[0].contains("degraded"), "{}", sections[0]);
+            continue;
+        }
+        let report = suite(&out).degraded.as_ref().expect("degraded report");
         let rendered = report.render();
         assert!(rendered.contains("DEGRADED PASS"), "{rendered}");
         assert!(!report.quarantined.is_empty());
@@ -200,7 +217,7 @@ fn a_fully_dead_range_degrades_instead_of_aborting() {
             "one replica, one attempt"
         );
         // The suite still renders every section — degraded, not aborted.
-        assert_eq!(out.suite.renders().len(), reference().len());
+        assert_eq!(out.renders().len(), reference().len());
         return;
     }
     panic!("no seed in 0..10000 produced a renderable one-range quarantine");

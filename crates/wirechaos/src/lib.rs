@@ -1,0 +1,548 @@
+//! Seeded wire-chaos: a deterministic TCP/UDP fault-injecting proxy.
+//!
+//! `crates/chaos` owns *process*-level faults (worker kills, torn
+//! spills); this crate owns the *wire*. A [`TcpProxy`] or [`UdpProxy`]
+//! sits between any two planes of the pipeline — coordinator↔worker,
+//! export↔collectd, loadgen↔serve — and mangles traffic on a schedule
+//! that is a pure function of `(seed, connection, direction, chunk)`:
+//! the same seed replays the same faults, so a failing run is a
+//! repro case, not an anecdote.
+//!
+//! The fault vocabulary (all opt-in via [`WireChaosConfig::parse`]):
+//!
+//! | key            | plane | effect                                           |
+//! |----------------|-------|--------------------------------------------------|
+//! | `corrupt=P`    | TCP   | flip one byte of a relayed chunk                 |
+//! | `trunc=P`      | TCP   | forward half a chunk, then sever the connection  |
+//! | `split=P`      | TCP   | relay the chunk one byte per `write` call        |
+//! | `delay=P` + `delay-ms=N` | both | hold a chunk/datagram for `N` ms       |
+//! | `reset=P`      | TCP   | sever the connection before relaying the chunk   |
+//! | `stall=P`      | TCP   | stop relaying this direction forever (hold open) |
+//! | `cut-payload=N`| TCP   | once per proxy: first server→client chunk of at  |
+//! |                |       | least `N` bytes is cut in half, then severed     |
+//! | `min-len=N`    | TCP   | `corrupt`/`trunc` draws only consider chunks of  |
+//! |                |       | at least `N` bytes (spares tiny control frames)  |
+//! | `drop=P`       | UDP   | swallow the datagram                             |
+//! | `dup=P`        | UDP   | deliver the datagram twice                       |
+//! | `corrupt=P`    | UDP   | flip one byte of the datagram                    |
+//!
+//! Like its process-level sibling this crate is dependency-free and
+//! does all randomness through splitmix64 folding, so schedules never
+//! shift when unrelated draws are added.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tcp;
+mod udp;
+
+pub use tcp::TcpProxy;
+pub use udp::UdpProxy;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relay buffer size: one proxied "chunk" is one `read` into this much.
+pub const CHUNK_LEN: usize = 64 << 10;
+
+/// Salt for byte-corruption draws.
+const CORRUPT_SALT: u64 = 0x0005_7c1c_0477_u64;
+/// Salt for truncation draws.
+const TRUNC_SALT: u64 = 0x0057_c172_411c_u64;
+/// Salt for write-splitting draws.
+const SPLIT_SALT: u64 = 0x0005_7c15_9117_u64;
+/// Salt for latency draws.
+const DELAY_SALT: u64 = 0x0005_7c1d_e1a1_u64;
+/// Salt for connection-reset draws.
+const RESET_SALT: u64 = 0x0005_7c14_e5e7_u64;
+/// Salt for stall draws.
+const STALL_SALT: u64 = 0x0005_7c15_7a11_u64;
+/// Salt for UDP drop draws.
+const DROP_SALT: u64 = 0x57c1_d409_u64;
+/// Salt for UDP duplication draws.
+const DUP_SALT: u64 = 0x57c1_d119_u64;
+/// Salt for picking which byte to flip and what to xor it with.
+const FLIP_SALT: u64 = 0x57c1_f119_u64;
+
+/// One splitmix64 scramble step.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Fold a key sequence into one hash; every draw in this crate is a
+/// pure function of the folded keys, never of call order.
+fn fold_hash(keys: &[u64]) -> u64 {
+    let mut h = 0x10cd_d047_2020_c4a5u64;
+    for &k in keys {
+        h = splitmix64(h ^ k);
+    }
+    h
+}
+
+/// Map a hash to a uniform draw in `[0, 1)` from its top 53 bits.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Traffic direction through the proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → upstream (what the dialing side sends).
+    Up,
+    /// Upstream → client (what the accepting side answers).
+    Down,
+}
+
+impl Direction {
+    fn code(self) -> u64 {
+        match self {
+            Direction::Up => 0,
+            Direction::Down => 1,
+        }
+    }
+
+    /// Short label for metrics and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Up => "up",
+            Direction::Down => "down",
+        }
+    }
+}
+
+/// Parsed wire-chaos specification. All probabilities are per-chunk
+/// (TCP) or per-datagram (UDP); a zeroed config is a pure passthrough.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireChaosConfig {
+    /// Root of every schedule.
+    pub seed: u64,
+    /// Probability a relayed TCP chunk (or UDP datagram) has one byte
+    /// flipped.
+    pub corrupt: f64,
+    /// Probability a relayed chunk is cut in half and the connection
+    /// severed.
+    pub trunc: f64,
+    /// Probability a chunk is written one byte per syscall.
+    pub split: f64,
+    /// Probability a chunk/datagram is delayed by [`Self::delay_ms`].
+    pub delay: f64,
+    /// Added latency for delayed chunks, milliseconds.
+    pub delay_ms: u64,
+    /// Probability the connection is severed before a chunk is relayed.
+    pub reset: f64,
+    /// Probability this direction of the connection stalls forever
+    /// (held open, nothing relayed again).
+    pub stall: f64,
+    /// When non-zero: exactly once per proxy lifetime, the first
+    /// upstream→client chunk of at least this many bytes is forwarded
+    /// only halfway, then the connection is severed. A deterministic
+    /// mid-frame reset for reconnect/resume gates.
+    pub cut_payload: usize,
+    /// `corrupt` and `trunc` draws only consider chunks of at least
+    /// this many bytes; small control traffic passes clean.
+    pub min_len: usize,
+    /// Probability a UDP datagram is swallowed.
+    pub drop: f64,
+    /// Probability a UDP datagram is delivered twice.
+    pub dup: f64,
+}
+
+impl WireChaosConfig {
+    /// A passthrough config: no faults, seed zero.
+    pub fn zero() -> WireChaosConfig {
+        WireChaosConfig {
+            seed: 0,
+            corrupt: 0.0,
+            trunc: 0.0,
+            split: 0.0,
+            delay: 0.0,
+            delay_ms: 10,
+            reset: 0.0,
+            stall: 0.0,
+            cut_payload: 0,
+            min_len: 0,
+            drop: 0.0,
+            dup: 0.0,
+        }
+    }
+
+    /// Whether every fault channel is off.
+    pub fn is_zero(&self) -> bool {
+        self.corrupt == 0.0
+            && self.trunc == 0.0
+            && self.split == 0.0
+            && self.delay == 0.0
+            && self.reset == 0.0
+            && self.stall == 0.0
+            && self.cut_payload == 0
+            && self.drop == 0.0
+            && self.dup == 0.0
+    }
+
+    /// Parse a `key=value,key=value` spec (same grammar as the
+    /// process-chaos `--chaos` flag). Unknown keys, malformed numbers
+    /// and out-of-range probabilities are errors, not defaults.
+    pub fn parse(spec: &str) -> Result<WireChaosConfig, String> {
+        let mut cfg = WireChaosConfig::zero();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("wire-chaos spec part {part:?} is not key=value"))?;
+            let prob = || -> Result<f64, String> {
+                let p: f64 = value
+                    .parse()
+                    .map_err(|_| format!("wire-chaos {key}={value:?} is not a number"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("wire-chaos {key}={value} is outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            let count = || -> Result<u64, String> {
+                value
+                    .parse()
+                    .map_err(|_| format!("wire-chaos {key}={value:?} is not a count"))
+            };
+            match key {
+                "seed" => cfg.seed = count()?,
+                "corrupt" => cfg.corrupt = prob()?,
+                "trunc" => cfg.trunc = prob()?,
+                "split" => cfg.split = prob()?,
+                "delay" => cfg.delay = prob()?,
+                "delay-ms" => cfg.delay_ms = count()?,
+                "reset" => cfg.reset = prob()?,
+                "stall" => cfg.stall = prob()?,
+                "cut-payload" => cfg.cut_payload = count()? as usize,
+                "min-len" => cfg.min_len = count()? as usize,
+                "drop" => cfg.drop = prob()?,
+                "dup" => cfg.dup = prob()?,
+                other => return Err(format!("unknown wire-chaos key {other:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// What the schedule says to do with one TCP chunk. At most one fault
+/// fires per chunk; severing faults win over mangling ones so a chunk
+/// is never both corrupted and cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkFault {
+    /// Relay unmodified.
+    None,
+    /// Sever the connection without relaying this chunk.
+    Reset,
+    /// Stop relaying this direction forever, holding the socket open.
+    Stall,
+    /// Relay the first half, then sever.
+    Truncate,
+    /// Flip `byte index` with `xor` (xor is never zero).
+    Corrupt {
+        /// Index into the chunk of the byte to flip.
+        index: usize,
+        /// Non-zero value to xor the byte with.
+        xor: u8,
+    },
+    /// Relay one byte per `write` call.
+    Split,
+    /// Sleep this many milliseconds, then relay unmodified.
+    Delay(u64),
+}
+
+/// The seeded decision engine. Cheap to copy; every proxy connection
+/// shares one.
+#[derive(Debug, Clone, Copy)]
+pub struct WireSchedule {
+    cfg: WireChaosConfig,
+}
+
+impl WireSchedule {
+    /// Build a schedule over `cfg`.
+    pub fn new(cfg: WireChaosConfig) -> WireSchedule {
+        WireSchedule { cfg }
+    }
+
+    /// The config this schedule draws from.
+    pub fn config(&self) -> &WireChaosConfig {
+        &self.cfg
+    }
+
+    /// Decide the fate of TCP chunk `chunk_idx` of `len` bytes flowing
+    /// in `dir` on connection `conn`. Pure: same keys, same fault.
+    pub fn tcp_fault(&self, conn: u64, dir: Direction, chunk_idx: u64, len: usize) -> ChunkFault {
+        let c = &self.cfg;
+        let keys = |salt: u64| [c.seed, salt, conn, dir.code(), chunk_idx];
+        if c.reset > 0.0 && unit(fold_hash(&keys(RESET_SALT))) < c.reset {
+            return ChunkFault::Reset;
+        }
+        if c.stall > 0.0 && unit(fold_hash(&keys(STALL_SALT))) < c.stall {
+            return ChunkFault::Stall;
+        }
+        let big_enough = len >= c.min_len;
+        if big_enough && c.trunc > 0.0 && unit(fold_hash(&keys(TRUNC_SALT))) < c.trunc {
+            return ChunkFault::Truncate;
+        }
+        if big_enough && c.corrupt > 0.0 && unit(fold_hash(&keys(CORRUPT_SALT))) < c.corrupt {
+            let h = fold_hash(&keys(FLIP_SALT));
+            return ChunkFault::Corrupt {
+                index: (h as usize) % len.max(1),
+                xor: ((h >> 32) as u8).max(1),
+            };
+        }
+        if c.split > 0.0 && unit(fold_hash(&keys(SPLIT_SALT))) < c.split {
+            return ChunkFault::Split;
+        }
+        if c.delay > 0.0 && unit(fold_hash(&keys(DELAY_SALT))) < c.delay {
+            return ChunkFault::Delay(c.delay_ms);
+        }
+        ChunkFault::None
+    }
+
+    /// Decide the fate of UDP datagram number `idx` of `len` bytes.
+    pub fn udp_fault(&self, idx: u64, len: usize) -> UdpFault {
+        let c = &self.cfg;
+        let keys = |salt: u64| [c.seed, salt, idx];
+        if c.drop > 0.0 && unit(fold_hash(&keys(DROP_SALT))) < c.drop {
+            return UdpFault::Drop;
+        }
+        if c.dup > 0.0 && unit(fold_hash(&keys(DUP_SALT))) < c.dup {
+            return UdpFault::Duplicate;
+        }
+        if len >= c.min_len && c.corrupt > 0.0 && unit(fold_hash(&keys(CORRUPT_SALT))) < c.corrupt {
+            let h = fold_hash(&keys(FLIP_SALT));
+            return UdpFault::Corrupt {
+                index: (h as usize) % len.max(1),
+                xor: ((h >> 32) as u8).max(1),
+            };
+        }
+        if c.delay > 0.0 && unit(fold_hash(&keys(DELAY_SALT))) < c.delay {
+            return UdpFault::Delay(c.delay_ms);
+        }
+        UdpFault::None
+    }
+}
+
+/// What the schedule says to do with one UDP datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UdpFault {
+    /// Forward unmodified.
+    None,
+    /// Swallow the datagram.
+    Drop,
+    /// Forward it twice.
+    Duplicate,
+    /// Flip one byte, then forward.
+    Corrupt {
+        /// Index into the datagram of the byte to flip.
+        index: usize,
+        /// Non-zero value to xor the byte with.
+        xor: u8,
+    },
+    /// Sleep this many milliseconds, then forward.
+    Delay(u64),
+}
+
+/// Lock-free tallies of what a proxy actually did — the ground truth a
+/// fault-matrix test checks injected faults against.
+#[derive(Debug, Default)]
+pub struct ProxyMetrics {
+    /// TCP connections accepted.
+    pub connections: AtomicU64,
+    /// TCP chunks relayed (mangled or not).
+    pub chunks: AtomicU64,
+    /// Bytes relayed client→upstream.
+    pub bytes_up: AtomicU64,
+    /// Bytes relayed upstream→client.
+    pub bytes_down: AtomicU64,
+    /// Chunks with a byte flipped.
+    pub corrupted: AtomicU64,
+    /// Chunks cut in half (trunc or cut-payload), severing the link.
+    pub truncated: AtomicU64,
+    /// Chunks relayed byte-by-byte.
+    pub split: AtomicU64,
+    /// Chunks (or datagrams) held for added latency.
+    pub delayed: AtomicU64,
+    /// Connections severed by a reset draw.
+    pub resets: AtomicU64,
+    /// Directions stalled forever.
+    pub stalls: AtomicU64,
+    /// UDP datagrams relayed.
+    pub datagrams: AtomicU64,
+    /// UDP datagrams swallowed.
+    pub dropped: AtomicU64,
+    /// UDP datagrams delivered twice.
+    pub duplicated: AtomicU64,
+}
+
+impl ProxyMetrics {
+    /// Total chunks/datagrams that had any fault applied.
+    pub fn faults(&self) -> u64 {
+        self.corrupted.load(Ordering::Relaxed)
+            + self.truncated.load(Ordering::Relaxed)
+            + self.split.load(Ordering::Relaxed)
+            + self.delayed.load(Ordering::Relaxed)
+            + self.resets.load(Ordering::Relaxed)
+            + self.stalls.load(Ordering::Relaxed)
+            + self.dropped.load(Ordering::Relaxed)
+            + self.duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Text exposition (Prometheus style, same school as the other
+    /// planes' metrics).
+    pub fn render(&self) -> String {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        format!(
+            "wirechaos_connections {}\n\
+             wirechaos_chunks {}\n\
+             wirechaos_bytes_up {}\n\
+             wirechaos_bytes_down {}\n\
+             wirechaos_corrupted {}\n\
+             wirechaos_truncated {}\n\
+             wirechaos_split {}\n\
+             wirechaos_delayed {}\n\
+             wirechaos_resets {}\n\
+             wirechaos_stalls {}\n\
+             wirechaos_datagrams {}\n\
+             wirechaos_dropped {}\n\
+             wirechaos_duplicated {}\n",
+            g(&self.connections),
+            g(&self.chunks),
+            g(&self.bytes_up),
+            g(&self.bytes_down),
+            g(&self.corrupted),
+            g(&self.truncated),
+            g(&self.split),
+            g(&self.delayed),
+            g(&self.resets),
+            g(&self.stalls),
+            g(&self.datagrams),
+            g(&self.dropped),
+            g(&self.duplicated),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_every_key() {
+        let cfg = WireChaosConfig::parse(
+            "seed=7,corrupt=0.5,trunc=0.1,split=0.2,delay=0.3,delay-ms=25,\
+             reset=0.05,stall=0.01,cut-payload=512,min-len=128,drop=0.4,dup=0.15",
+        )
+        .unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.corrupt, 0.5);
+        assert_eq!(cfg.trunc, 0.1);
+        assert_eq!(cfg.split, 0.2);
+        assert_eq!(cfg.delay, 0.3);
+        assert_eq!(cfg.delay_ms, 25);
+        assert_eq!(cfg.reset, 0.05);
+        assert_eq!(cfg.stall, 0.01);
+        assert_eq!(cfg.cut_payload, 512);
+        assert_eq!(cfg.min_len, 128);
+        assert_eq!(cfg.drop, 0.4);
+        assert_eq!(cfg.dup, 0.15);
+        assert!(!cfg.is_zero());
+        assert!(WireChaosConfig::parse("").unwrap().is_zero());
+        assert!(WireChaosConfig::parse("seed=9").unwrap().is_zero());
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_names() {
+        for (spec, needle) in [
+            ("corrupt=2", "outside"),
+            ("corrupt=x", "not a number"),
+            ("frobnicate=1", "unknown"),
+            ("corrupt", "key=value"),
+            ("seed=-1", "not a count"),
+        ] {
+            let err = WireChaosConfig::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_seed_sensitive() {
+        let cfg = WireChaosConfig::parse("seed=3,corrupt=0.3,reset=0.1,split=0.2").unwrap();
+        let s = WireSchedule::new(cfg);
+        for conn in 0..4u64 {
+            for chunk in 0..64u64 {
+                let a = s.tcp_fault(conn, Direction::Up, chunk, 1000);
+                let b = s.tcp_fault(conn, Direction::Up, chunk, 1000);
+                assert_eq!(a, b, "same keys, same fault");
+            }
+        }
+        // A different seed must produce a different fault pattern.
+        let other = WireSchedule::new(WireChaosConfig { seed: 4, ..cfg });
+        let pattern = |s: &WireSchedule| -> Vec<ChunkFault> {
+            (0..256u64)
+                .map(|i| s.tcp_fault(0, Direction::Down, i, 1000))
+                .collect()
+        };
+        assert_ne!(pattern(&s), pattern(&other));
+    }
+
+    #[test]
+    fn min_len_spares_small_chunks() {
+        let cfg = WireChaosConfig::parse("seed=1,corrupt=1,min-len=512").unwrap();
+        let s = WireSchedule::new(cfg);
+        for chunk in 0..128u64 {
+            assert_eq!(
+                s.tcp_fault(0, Direction::Up, chunk, 100),
+                ChunkFault::None,
+                "chunks under min-len pass clean"
+            );
+            assert!(matches!(
+                s.tcp_fault(0, Direction::Up, chunk, 512),
+                ChunkFault::Corrupt { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn corrupt_xor_is_never_zero_and_index_in_range() {
+        let cfg = WireChaosConfig::parse("seed=11,corrupt=1").unwrap();
+        let s = WireSchedule::new(cfg);
+        for chunk in 0..512u64 {
+            match s.tcp_fault(3, Direction::Down, chunk, 37) {
+                ChunkFault::Corrupt { index, xor } => {
+                    assert!(index < 37);
+                    assert_ne!(xor, 0, "xor 0 would be a silent no-op");
+                }
+                other => panic!("corrupt=1 must always corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn udp_faults_cover_the_vocabulary() {
+        let cfg = WireChaosConfig::parse("seed=5,drop=0.3,dup=0.3,corrupt=0.3").unwrap();
+        let s = WireSchedule::new(cfg);
+        let mut seen_drop = false;
+        let mut seen_dup = false;
+        let mut seen_corrupt = false;
+        let mut seen_none = false;
+        for i in 0..512u64 {
+            match s.udp_fault(i, 64) {
+                UdpFault::Drop => seen_drop = true,
+                UdpFault::Duplicate => seen_dup = true,
+                UdpFault::Corrupt { index, xor } => {
+                    assert!(index < 64);
+                    assert_ne!(xor, 0);
+                    seen_corrupt = true;
+                }
+                UdpFault::None => seen_none = true,
+                UdpFault::Delay(_) => {}
+            }
+        }
+        assert!(seen_drop && seen_dup && seen_corrupt && seen_none);
+    }
+}

@@ -46,7 +46,7 @@ if [[ $quick -eq 0 ]]; then
     echo "==> wire-mode zero-fault equality (audited)"
     plain=$(mktemp)
     wired=$(mktemp)
-    trap 'kill "${serve_pid:-}" 2>/dev/null || true; rm -f "$plain" "$wired" "${cold:-}" "${warm:-}" "${qctl:-}" "${sharded:-}" "${shwarm:-}" "${killed:-}"; rm -rf "${arch:-}" "${sharch:-}"' EXIT
+    trap 'kill "${serve_pid:-}" "${wc_worker_pid:-}" "${wc_proxy_pid:-}" 2>/dev/null || true; rm -f "$plain" "$wired" "${cold:-}" "${warm:-}" "${qctl:-}" "${pctl:-}" "${sharded:-}" "${shwarm:-}" "${killed:-}" "${resumed_wire:-}"; rm -rf "${arch:-}" "${sharch:-}"' EXIT
     ./target/release/lockdown figures --fidelity test > "$plain"
     # --audit makes a conservation violation a hard failure (non-zero exit)
     # on top of the byte-identity diff; the report lands in the artifact.
@@ -287,6 +287,104 @@ if [[ $quick -eq 0 ]]; then
     echo "==> shard bench numbers (BENCH_shard.json)"
     cargo run --release -q -p lockdown-bench --bin shard_json > BENCH_shard.json
     cat BENCH_shard.json
+
+    echo "==> wire-chaos gate: mid-frame cut resumes over reconnect (byte-identical)"
+    mkdir -p target/proxy
+    # One real worker process; a seeded chaos proxy in front of it that
+    # severs the first bulk result frame halfway. The coordinator must
+    # reconnect and re-adopt the worker's retained slice: byte-identical
+    # figures, >=1 resumed range, zero recomputed (reassigned) ranges.
+    ./target/release/lockdown worker --listen 127.0.0.1:0 --fidelity test \
+        < /dev/null > target/proxy/worker-stdout.txt \
+        2> target/proxy/worker-stderr.txt &
+    wc_worker_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q "listening on" target/proxy/worker-stdout.txt 2> /dev/null && break
+        sleep 0.1
+    done
+    waddr=$(grep -m1 -oE "[0-9.]+:[0-9]+" target/proxy/worker-stdout.txt)
+    pctl=$(mktemp -u)
+    mkfifo "$pctl"
+    # The FIFO keeps the proxy's stdin open; closing fd 8 (stdin EOF)
+    # shuts it down and flushes its fault tallies to stderr.
+    ./target/release/lockdown chaosproxy --listen 127.0.0.1:0 \
+        --upstream "$waddr" --chaos seed=1,cut-payload=512 < "$pctl" \
+        > target/proxy/cut-proxy-stdout.txt \
+        2> target/proxy/cut-proxy-metrics.txt &
+    wc_proxy_pid=$!
+    exec 8> "$pctl"
+    for _ in $(seq 1 100); do
+        grep -q "listening on" target/proxy/cut-proxy-stdout.txt 2> /dev/null && break
+        sleep 0.1
+    done
+    paddr=$(grep -m1 -oE "[0-9.]+:[0-9]+" target/proxy/cut-proxy-stdout.txt)
+    resumed_wire=$(mktemp)
+    ./target/release/lockdown coordinate --fidelity test --attach "$paddr" \
+        > "$resumed_wire" 2> target/proxy/cut-coord-stderr.txt
+    diff -u "$plain" "$resumed_wire"
+    grep -Eq "[1-9][0-9]* reconnects" target/proxy/cut-coord-stderr.txt
+    grep -Eq "[1-9][0-9]* ranges resumed" target/proxy/cut-coord-stderr.txt
+    grep -q " 0 reassigned" target/proxy/cut-coord-stderr.txt
+    grep -q " 0 ranges quarantined" target/proxy/cut-coord-stderr.txt
+    exec 8>&-
+    wait "$wc_proxy_pid"
+    wc_proxy_pid=
+    wait "$wc_worker_pid"
+    wc_worker_pid=
+    # The one-shot cut is accounted as a truncation in the fault ledger.
+    grep -q "wirechaos_truncated 1" target/proxy/cut-proxy-metrics.txt
+    rm -f "$pctl" "$resumed_wire"
+
+    echo "==> wire-chaos gate: certain corruption degrades (exit 3), no flip merges"
+    # corrupt=1 with min-len=512 flips a byte in every bulk frame and
+    # leaves the small control frames alone: the handshake succeeds,
+    # every result is rejected by the frame CRC, and the run must end
+    # in the named degraded outcome — never a hang, never wrong bytes.
+    ./target/release/lockdown worker --listen 127.0.0.1:0 --fidelity test \
+        < /dev/null > target/proxy/corrupt-worker-stdout.txt \
+        2> target/proxy/corrupt-worker-stderr.txt &
+    wc_worker_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q "listening on" target/proxy/corrupt-worker-stdout.txt 2> /dev/null && break
+        sleep 0.1
+    done
+    waddr=$(grep -m1 -oE "[0-9.]+:[0-9]+" target/proxy/corrupt-worker-stdout.txt)
+    mkfifo "$pctl"
+    ./target/release/lockdown chaosproxy --listen 127.0.0.1:0 \
+        --upstream "$waddr" --chaos seed=3,corrupt=1,min-len=512 < "$pctl" \
+        > target/proxy/corrupt-proxy-stdout.txt \
+        2> target/proxy/corrupt-proxy-metrics.txt &
+    wc_proxy_pid=$!
+    exec 8> "$pctl"
+    for _ in $(seq 1 100); do
+        grep -q "listening on" target/proxy/corrupt-proxy-stdout.txt 2> /dev/null && break
+        sleep 0.1
+    done
+    paddr=$(grep -m1 -oE "[0-9.]+:[0-9]+" target/proxy/corrupt-proxy-stdout.txt)
+    set +e
+    ./target/release/lockdown coordinate --fidelity test --attach "$paddr" \
+        > target/proxy/corrupt-stdout.txt 2> target/proxy/corrupt-stderr.txt
+    wc_exit=$?
+    set -e
+    [[ $wc_exit -eq 3 ]] || {
+        echo "expected degraded exit 3 under certain corruption, got $wc_exit" >&2
+        exit 1
+    }
+    grep -q "DEGRADED" target/proxy/corrupt-stderr.txt
+    exec 8>&-
+    wait "$wc_proxy_pid"
+    wc_proxy_pid=
+    # The worker lingers in its reconnect window; the gate owns its end.
+    kill "$wc_worker_pid" 2> /dev/null || true
+    wait "$wc_worker_pid" 2> /dev/null || true
+    wc_worker_pid=
+    grep -Eq "wirechaos_corrupted [1-9]" target/proxy/corrupt-proxy-metrics.txt
+    rm -f "$pctl"
+
+    echo "==> proxy overhead numbers (BENCH_proxy.json)"
+    cargo run --release -q -p lockdown-bench --bin proxy_json > BENCH_proxy.json
+    cat BENCH_proxy.json
+    cp BENCH_proxy.json target/proxy/BENCH_proxy.json
 
     rm -rf "$arch" "$cold" "$warm" "$sharch" "$sharded" "$shwarm" "$killed"
 fi

@@ -7,6 +7,7 @@
 //! lockdown registry
 //! lockdown capture --vantage IXP-CE --date 2020-03-25 --out day.lkdn [--format ipfix|v9|v5] [--sample N]
 //! lockdown analyze --trace day.lkdn
+//! lockdown chaosproxy --upstream HOST:PORT [--listen HOST:PORT] [--chaos SPEC] [--udp]
 //! lockdown serve --archive DIR [--addr HOST:PORT] [--connections N] [--cache-mb MB]
 //! lockdown query --archive DIR [--from T] [--to T] [--vantage VP] [--class C] [--as N] [--port P] [--direction D]
 //! lockdown loadgen --target URL [--clients N] [--duration S] [--seed N] [--expect FILE]
@@ -37,6 +38,7 @@ use lockdown::shard::coord::{self, CoordOptions};
 use lockdown::shard::worker::serve_worker;
 use lockdown::store::{gc_dir, ArchiveReader, StoreMetrics};
 use lockdown::topology::vantage::VantagePoint;
+use lockdown::wirechaos;
 use lockdown_flow::time::Date;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -71,6 +73,7 @@ fn main() -> ExitCode {
         "figures" => cmd_figures(rest),
         "coordinate" => cmd_coordinate(rest),
         "worker" => cmd_worker(rest),
+        "chaosproxy" => cmd_chaosproxy(rest),
         "collect" => cmd_collect(rest),
         "collectd" => cmd_collectd(rest),
         "export" => cmd_export(rest),
@@ -159,7 +162,31 @@ USAGE:
       stdout line), serve one coordinator connection, run assigned
       cell ranges sequentially and stream serialized consumer state
       back. Exits 0 when the coordinator shuts it down or hangs up;
-      exit 2 if the listen address cannot be bound.
+      exit 2 if the listen address cannot be bound. The wire is treated
+      as hostile: every frame carries a CRC-32, reads run under a
+      whole-frame deadline, and finished slices are retained across
+      connection loss — a coordinator that redials resumes them
+      byte-identically instead of recomputing.
+  lockdown chaosproxy --upstream HOST:PORT [--listen HOST:PORT]
+                      [--chaos SPEC] [--udp]
+      Interpose a seeded hostile wire between two lockdown processes:
+      accept on --listen (default 127.0.0.1:0; bound address is the
+      first stdout line, exit 2 on bind failure), relay byte-for-byte
+      to --upstream, and inject the faults named in --chaos on a
+      deterministic splitmix64 schedule — same seed, same faults,
+      every run. Runs until stdin reaches EOF, then prints the
+      wirechaos_* metrics snapshot to stderr. SPEC keys (comma-
+      separated key=value; probabilities in [0,1]): seed=N corrupt=P
+      trunc=P split=P delay=P delay-ms=MS reset=P stall=P drop=P
+      dup=P min-len=BYTES (spare chunks smaller than BYTES from
+      corrupt/trunc — e.g. 512 mangles bulk payloads but not control
+      frames) cut-payload=BYTES (one-shot: sever the first upstream->
+      client chunk of at least BYTES halfway through — a deterministic
+      mid-frame reset). --udp proxies datagrams instead (drop/dup/
+      corrupt/delay apply; replies relay to the last client unfaulted).
+      Insert between coordinate and workers (--attach through the
+      proxy), between export and collectd (--udp), or between loadgen
+      and serve.
   lockdown store inspect|verify|gc --archive DIR [--dry-run]
       inspect: print the manifest key and per-segment zone maps.
       verify:  re-read and CRC-check every segment; non-zero on failure.
@@ -325,6 +352,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--attach",
     "--chunks",
     "--timeout-ms",
+    "--upstream",
 ];
 
 /// Reject any `--flag` the subcommand does not define: a typo must fail
@@ -670,15 +698,26 @@ fn cmd_coordinate(rest: &[String]) -> Result<ExitCode, String> {
         }
     };
     let out = coord::coordinate(&ctx, &opts, links).map_err(|e| e.to_string())?;
-    for section in out.suite.renders() {
+    for section in out.renders() {
         println!("{section}");
     }
-    eprintln!("{}", out.suite.stats.summary());
+    if let Some(suite) = &out.suite {
+        eprintln!("{}", suite.stats.summary());
+    }
     eprintln!("{}", out.stats.summary());
-    if let Some(metrics) = &out.suite.store_metrics {
+    let Some(suite) = &out.suite else {
+        // Quarantine holes too large for the figures to assemble at
+        // all: the deepest degraded outcome, same exit contract.
+        eprintln!(
+            "DEGRADED: suite assembly impossible after {} quarantined range(s)",
+            out.stats.quarantined_ranges
+        );
+        return Ok(ExitCode::from(EXIT_DEGRADED));
+    };
+    if let Some(metrics) = &suite.store_metrics {
         eprint!("{}", metrics.render());
     }
-    Ok(degraded_exit(&out.suite))
+    Ok(degraded_exit(suite))
 }
 
 /// `worker`: one shard worker process. Stdout carries only the
@@ -718,6 +757,65 @@ fn cmd_worker(rest: &[String]) -> Result<ExitCode, String> {
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     let exit = serve_worker(&ctx, &opts, listener).map_err(|e| e.to_string())?;
     eprintln!("worker: {exit:?}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `chaosproxy`: a seeded hostile wire between any two lockdown
+/// processes. Sits on --listen, relays to --upstream, and injects the
+/// faults named in --chaos on a deterministic splitmix64 schedule —
+/// same seed, same faults, every run.
+fn cmd_chaosproxy(rest: &[String]) -> Result<ExitCode, String> {
+    check_flags(rest, &["--listen", "--upstream", "--chaos"], &["--udp"])?;
+    let upstream = flag(rest, "--upstream").ok_or("chaosproxy needs --upstream HOST:PORT")?;
+    let upstream: std::net::SocketAddr = upstream
+        .parse()
+        .map_err(|_| format!("bad --upstream (want HOST:PORT): {upstream}"))?;
+    let listen = flag(rest, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
+    let cfg = match flag(rest, "--chaos") {
+        None => wirechaos::WireChaosConfig::zero(),
+        Some(spec) => {
+            wirechaos::WireChaosConfig::parse(&spec).map_err(|e| format!("bad --chaos: {e}"))?
+        }
+    };
+    let udp = rest.iter().any(|a| a == "--udp");
+
+    // Bind before anything else: exit 2 on a port conflict, as for
+    // serve, collectd and worker.
+    let (addr, metrics, mut tcp, mut udp_proxy) = if udp {
+        match wirechaos::UdpProxy::start(listen.as_str(), upstream, cfg) {
+            Ok(p) => (p.addr(), p.metrics(), None, Some(p)),
+            Err(e) => {
+                eprintln!("error: binding {listen}: {e}");
+                return Ok(ExitCode::from(EXIT_BIND));
+            }
+        }
+    } else {
+        match wirechaos::TcpProxy::start(listen.as_str(), upstream, cfg) {
+            Ok(p) => (p.addr(), p.metrics(), Some(p), None),
+            Err(e) => {
+                eprintln!("error: binding {listen}: {e}");
+                return Ok(ExitCode::from(EXIT_BIND));
+            }
+        }
+    };
+    // The bound address is the first stdout line so a parent pipeline
+    // can scrape the ephemeral port.
+    println!("listening on {addr}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    // Run until stdin reaches EOF — the same portable shutdown signal
+    // every other lockdown daemon honours.
+    let mut sink = [0u8; 4096];
+    let mut stdin = std::io::stdin();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+
+    if let Some(p) = tcp.as_mut() {
+        p.shutdown();
+    }
+    if let Some(p) = udp_proxy.as_mut() {
+        p.shutdown();
+    }
+    eprint!("{}", metrics.render());
     Ok(ExitCode::SUCCESS)
 }
 

@@ -14,3 +14,4 @@ pub use lockdown_shard as shard;
 pub use lockdown_store as store;
 pub use lockdown_topology as topology;
 pub use lockdown_traffic as traffic;
+pub use lockdown_wirechaos as wirechaos;
